@@ -1,0 +1,263 @@
+// Package bayou is a from-scratch Go implementation of the protocol studied
+// in "On mixing eventual and strong consistency: Bayou revisited"
+// (Kokociński, Kobus, Wojciechowski; PODC 2019, arXiv:1905.11762): a
+// replicated data store that executes *weak* operations in a highly
+// available, eventually consistent fashion and *strong* operations through
+// consensus-based total order broadcast — over the same data.
+//
+// The package is a façade over a deterministic simulation of a full
+// deployment: Bayou replicas (Algorithm 1 of the paper, or the improved
+// Algorithm 2 that avoids circular causality and makes weak operations
+// bounded wait-free), reliable broadcast, Paxos-based total order broadcast
+// gated on the failure detector Ω, and a partitionable network. Every run
+// records a history that can be verified against the paper's correctness
+// guarantees — BEC, the paper's new Fluctuating Eventual Consistency (FEC),
+// and sequential consistency for strong operations.
+//
+// A minimal session:
+//
+//	c, _ := bayou.New(bayou.Options{Replicas: 3})
+//	c.ElectLeader(0)
+//	call, _ := c.Invoke(1, bayou.Append("hello"), bayou.Weak)
+//	_ = c.Settle()
+//	fmt.Println(call.Response.Value) // the tentative response
+//
+// See the examples/ directory for complete programs, and DESIGN.md /
+// EXPERIMENTS.md for the mapping from the paper's figures and theorems to
+// this repository's tests and benchmarks.
+package bayou
+
+import (
+	"fmt"
+
+	"bayou/internal/check"
+	"bayou/internal/cluster"
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/sim"
+	"bayou/internal/spec"
+	"bayou/internal/traceviz"
+)
+
+// Level selects the consistency level of an invocation.
+type Level = core.Level
+
+// The two levels of the paper: Weak operations return tentatively and may
+// later be reordered; Strong operations return only once the final execution
+// order is established by consensus.
+const (
+	Weak   = core.Weak
+	Strong = core.Strong
+)
+
+// Variant selects the protocol variant.
+type Variant = core.Variant
+
+// Original is Algorithm 1 of the paper; Modified is Algorithm 2 (no
+// circular causality, bounded wait-free weak operations) and the default.
+const (
+	Original = core.Original
+	Modified = core.NoCircularCausality
+)
+
+// Op is a deterministic transaction against the replicated state; the
+// constructors in this package (Append, Put, Deposit, Reserve, ...) cover
+// the built-in data types, and any spec.Op implementation works.
+type Op = spec.Op
+
+// Value is the dynamic value type returned by operations.
+type Value = spec.Value
+
+// Call is a client handle on one invocation; Done flips when the response
+// arrives and Response carries the value plus its tentative/stable status.
+type Call = cluster.Call
+
+// Report is a checker verdict over a recorded history.
+type Report = check.Report
+
+// Options configures a cluster.
+type Options struct {
+	// Replicas is the number of replicas (default 3).
+	Replicas int
+	// Variant selects Algorithm 1 (Original) or 2 (Modified, default).
+	Variant Variant
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// UsePrimaryTOB selects the original Bayou primary-commit scheme
+	// instead of Paxos; replica 0 becomes the (non-fault-tolerant)
+	// primary.
+	UsePrimaryTOB bool
+	// SlowReplicas maps replica ids to an internal-step delay factor for
+	// the progress experiments of §2.3.
+	SlowReplicas map[int]int64
+	// ClockSlowdown maps replica ids to a clock divisor (§2.3's skewed
+	// clock experiment).
+	ClockSlowdown map[int]int64
+}
+
+// Cluster is a simulated Bayou deployment.
+type Cluster struct {
+	inner *cluster.Cluster
+	n     int
+}
+
+// New builds a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Replicas == 0 {
+		opts.Replicas = 3
+	}
+	if opts.Variant == 0 {
+		opts.Variant = Modified
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cfg := cluster.Config{
+		N:       opts.Replicas,
+		Variant: opts.Variant,
+		Seed:    opts.Seed,
+	}
+	if opts.UsePrimaryTOB {
+		cfg.TOB = cluster.PrimaryTOB
+	}
+	if len(opts.SlowReplicas) > 0 {
+		cfg.ProcDelay = make(map[core.ReplicaID]sim.Time, len(opts.SlowReplicas))
+		for id, d := range opts.SlowReplicas {
+			cfg.ProcDelay[core.ReplicaID(id)] = sim.Time(d)
+		}
+	}
+	if len(opts.ClockSlowdown) > 0 {
+		cfg.ClockSlowdown = make(map[core.ReplicaID]int64, len(opts.ClockSlowdown))
+		for id, d := range opts.ClockSlowdown {
+			cfg.ClockSlowdown[core.ReplicaID(id)] = d
+		}
+	}
+	inner, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner, n: opts.Replicas}, nil
+}
+
+// Invoke submits op at the given replica with the given level. The returned
+// Call completes as the simulation advances (Run/Settle). Invoking on a
+// session whose previous call has not returned yields an error, matching the
+// paper's sequential-session model.
+func (c *Cluster) Invoke(replica int, op Op, level Level) (*Call, error) {
+	if replica < 0 || replica >= c.n {
+		return nil, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	return c.inner.Invoke(core.ReplicaID(replica), op, level)
+}
+
+// ElectLeader stabilizes the failure detector Ω on the given replica: the
+// stable-run switch that lets strong operations commit.
+func (c *Cluster) ElectLeader(replica int) { c.inner.StabilizeOmega(core.ReplicaID(replica)) }
+
+// Destabilize clears Ω: the asynchronous-run switch; strong operations stop
+// committing until a new leader is elected.
+func (c *Cluster) Destabilize() { c.inner.DestabilizeOmega() }
+
+// Partition splits the network into cells; replicas in different cells stop
+// exchanging messages until Heal.
+func (c *Cluster) Partition(cells ...[]int) {
+	conv := make([][]core.ReplicaID, len(cells))
+	for i, cell := range cells {
+		for _, id := range cell {
+			conv[i] = append(conv[i], core.ReplicaID(id))
+		}
+	}
+	c.inner.Partition(conv...)
+}
+
+// Heal removes all partitions; messages held during the partition are
+// delivered.
+func (c *Cluster) Heal() { c.inner.Heal() }
+
+// Run advances the simulation by d virtual ticks.
+func (c *Cluster) Run(d int64) { c.inner.RunFor(sim.Time(d)) }
+
+// Settle runs the simulation to quiescence (every message delivered, every
+// replica passive). It fails if the protocol livelocks, and it will not
+// terminate early while strong operations legitimately pend — use Run for
+// asynchronous-run experiments.
+func (c *Cluster) Settle() error { return c.inner.Settle(0) }
+
+// Read peeks at a register of a replica's current state (diagnostics; use a
+// read operation through Invoke for a client-visible read).
+func (c *Cluster) Read(replica int, register string) Value {
+	return c.inner.Replica(core.ReplicaID(replica)).Read(register)
+}
+
+// MarkStable records the quiescence point for the history checkers: events
+// invoked afterwards act as the probes of the "eventually" predicates.
+func (c *Cluster) MarkStable() { c.inner.MarkStable() }
+
+// History returns the recorded history of the run so far.
+func (c *Cluster) History() (*history.History, error) { return c.inner.History() }
+
+// Timeline renders the run as a chronological table (Figures 1–2 style).
+func (c *Cluster) Timeline() (string, error) {
+	h, err := c.inner.History()
+	if err != nil {
+		return "", err
+	}
+	return traceviz.Timeline(h), nil
+}
+
+// CheckFEC verifies Fluctuating Eventual Consistency — the paper's new
+// correctness criterion — for the given level on the recorded history.
+func (c *Cluster) CheckFEC(level Level) (Report, error) {
+	h, err := c.inner.History()
+	if err != nil {
+		return Report{}, err
+	}
+	return check.NewWitness(h).FEC(level), nil
+}
+
+// CheckBEC verifies Basic Eventual Consistency for the given level. Bayou
+// deliberately does not satisfy BEC(weak) on reordered schedules — that gap
+// is the subject of the paper.
+func (c *Cluster) CheckBEC(level Level) (Report, error) {
+	h, err := c.inner.History()
+	if err != nil {
+		return Report{}, err
+	}
+	return check.NewWitness(h).BEC(level), nil
+}
+
+// CheckSeq verifies sequential consistency for the given level (the paper
+// proves it for Strong in stable runs).
+func (c *Cluster) CheckSeq(level Level) (Report, error) {
+	h, err := c.inner.History()
+	if err != nil {
+		return Report{}, err
+	}
+	return check.NewWitness(h).Seq(level), nil
+}
+
+// Compact runs Bayou's log compaction on every replica: undo data for
+// committed prefixes (which can never be rolled back) is released. Returns
+// the number of undo entries freed.
+func (c *Cluster) Compact() int { return c.inner.CompactAll() }
+
+// Rollbacks returns the total number of state rollbacks across replicas —
+// the visible cost of temporary operation reordering.
+func (c *Cluster) Rollbacks() int64 {
+	var total int64
+	for _, st := range c.inner.Stats() {
+		total += st.Rollbacks
+	}
+	return total
+}
+
+// Committed returns the names of the operations in a replica's committed
+// (final) order.
+func (c *Cluster) Committed(replica int) []string {
+	reqs := c.inner.Replica(core.ReplicaID(replica)).Committed()
+	out := make([]string, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Op.Name()
+	}
+	return out
+}

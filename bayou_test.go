@@ -1,0 +1,284 @@
+package bayou
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := New(Options{Replicas: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(0)
+	weak, err := c.Invoke(1, Append("hello"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak.Done {
+		t.Fatal("Modified-variant weak call must complete within the invoke step")
+	}
+	strong, err := c.Invoke(2, PutIfAbsent("lock", "owner2"), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !strong.Done {
+		t.Fatal("strong call must complete in a stable run")
+	}
+	if strong.Response.Value != true {
+		t.Errorf("putIfAbsent = %v, want true", strong.Response.Value)
+	}
+	if !strong.Response.Committed {
+		t.Error("strong responses are stable")
+	}
+	if weak.Response.Committed {
+		t.Error("weak responses are tentative")
+	}
+}
+
+func TestDefaultsAndValidation(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(99, Append("x"), Weak); err == nil {
+		t.Error("out-of-range replica must error")
+	}
+	if _, err := c.Invoke(-1, Append("x"), Weak); err == nil {
+		t.Error("negative replica must error")
+	}
+}
+
+func TestSessionSequentialityEnforced(t *testing.T) {
+	c, err := New(Options{Replicas: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No leader: the strong call pends, the session stays busy.
+	if _, err := c.Invoke(0, Append("x"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(0, Append("y"), Weak); err == nil {
+		t.Error("busy session must reject a second invocation")
+	}
+}
+
+func TestPartitionHealAndConvergence(t *testing.T) {
+	c, err := New(Options{Replicas: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(2)
+	c.Partition([]int{0, 1}, []int{2, 3})
+	a, err := c.Invoke(0, Append("left"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Invoke(3, Append("right"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2_000)
+	if !a.Done || !b.Done {
+		t.Fatal("weak calls must complete inside partitions")
+	}
+	c.Heal()
+	c.ElectLeader(2)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	ref := c.Read(0, "list")
+	for i := 1; i < 4; i++ {
+		if c.Read(i, "list") == nil {
+			t.Fatalf("replica %d missing state", i)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		got := c.Read(i, "list")
+		if len(got.([]Value)) != len(ref.([]Value)) {
+			t.Fatalf("replica %d diverged", i)
+		}
+	}
+	if len(c.Committed(0)) != 2 {
+		t.Errorf("committed = %v, want both appends", c.Committed(0))
+	}
+}
+
+func TestCheckersOnFacadeRun(t *testing.T) {
+	c, err := New(Options{Replicas: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(0)
+	if _, err := c.Invoke(0, Append("a"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(1, Duplicate(), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkStable()
+	if _, err := c.Invoke(2, ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fec.OK() {
+		t.Errorf("FEC(weak) must hold:\n%s", fec)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.OK() {
+		t.Errorf("Seq(strong) must hold:\n%s", seq)
+	}
+	if _, err := c.CheckBEC(Weak); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := c.Timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tl, "append(a)") || !strings.Contains(tl, "duplicate()") {
+		t.Errorf("timeline incomplete:\n%s", tl)
+	}
+}
+
+func TestPrimaryTOBOption(t *testing.T) {
+	c, err := New(Options{Replicas: 3, Seed: 17, UsePrimaryTOB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := c.Invoke(1, Append("x"), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !call.Done {
+		t.Error("primary TOB must commit in a healthy run")
+	}
+}
+
+func TestRollbacksCounter(t *testing.T) {
+	c, err := New(Options{Replicas: 2, Seed: 19, Variant: Original, ClockSlowdown: map[int]int64{1: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(0)
+	// Concurrent rounds: replica 1's skewed (low) timestamps order its
+	// requests before replica 0's already-executed ones, forcing
+	// rollbacks when they gossip across.
+	for i := 0; i < 6; i++ {
+		if _, err := c.Invoke(0, Append("f"), Weak); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Invoke(1, Append("s"), Weak); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(60)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Rollbacks() == 0 {
+		t.Error("skewed clocks must cause rollbacks")
+	}
+}
+
+func TestStableNoticeViaFacade(t *testing.T) {
+	c, err := New(Options{Replicas: 2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(0)
+	call, err := c.Invoke(1, Append("n"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.StableDone {
+		t.Fatal("stable notice cannot precede commit")
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !call.StableDone {
+		t.Fatal("stable notice must arrive after commit")
+	}
+	if call.StableResponse.Value != "n" || !call.StableResponse.Committed {
+		t.Errorf("stable response = %+v", call.StableResponse)
+	}
+}
+
+func TestEditorOpsViaFacade(t *testing.T) {
+	c, err := New(Options{Replicas: 2, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(0)
+	if _, err := c.Invoke(0, Insert("d", 0, "world"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(1, Insert("d", 0, "hello "), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(0, Delete("d", 0, 0), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	read, err := c.Invoke(0, DocRead("d"), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if read.Response.Value != "hello world" {
+		t.Errorf("document = %v, want hello world", read.Response.Value)
+	}
+}
+
+func TestCompactViaFacade(t *testing.T) {
+	c, err := New(Options{Replicas: 2, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ElectLeader(0)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Invoke(i%2, Append("x"), Weak); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(60)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	freed := c.Compact()
+	if freed == 0 {
+		t.Error("compaction must free committed undo entries")
+	}
+	// The cluster keeps working after compaction.
+	if _, err := c.Invoke(0, Append("y"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+}

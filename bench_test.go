@@ -1,0 +1,223 @@
+package bayou_test
+
+// The benchmark harness regenerates every evaluation artifact of the paper:
+// one BenchmarkE* target per experiment of DESIGN.md §2 (the figures, the
+// §2.3 progress phenomena, the three theorems, and the prose comparisons),
+// plus micro-benchmarks of the protocol's hot paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each E* benchmark validates the paper-vs-measured shape on every
+// iteration, so `-bench` doubles as a reproduction check; cmd/bayou-bench
+// prints the same tables in a human-readable layout.
+
+import (
+	"testing"
+
+	"bayou"
+	"bayou/internal/check"
+	"bayou/internal/core"
+	"bayou/internal/experiments"
+	"bayou/internal/scenario"
+	"bayou/internal/spec"
+	"bayou/internal/stateobj"
+)
+
+func runExperiment(b *testing.B, fn func() (experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatalf("experiment shape deviates from the paper:\n%s", res)
+		}
+	}
+}
+
+// BenchmarkE1_Figure1 regenerates Figure 1 (temporary operation reordering).
+func BenchmarkE1_Figure1(b *testing.B) { runExperiment(b, experiments.E1) }
+
+// BenchmarkE2_Figure2 regenerates Figure 2 (circular causality and its
+// elimination by Algorithm 2).
+func BenchmarkE2_Figure2(b *testing.B) { runExperiment(b, experiments.E2) }
+
+// BenchmarkE3_UnboundedLatency regenerates the §2.3 slow-replica latency
+// series (growing under Algorithm 1, flat zero under Algorithm 2).
+func BenchmarkE3_UnboundedLatency(b *testing.B) { runExperiment(b, experiments.E3) }
+
+// BenchmarkE4_ClockSkewRollbacks regenerates the §2.3 clock-slowing series
+// (rollbacks on the fast replicas grow with the skew).
+func BenchmarkE4_ClockSkewRollbacks(b *testing.B) { runExperiment(b, experiments.E4) }
+
+// BenchmarkE5_StableRunChecker regenerates the Theorem 2 verification over
+// randomized stable runs.
+func BenchmarkE5_StableRunChecker(b *testing.B) {
+	runExperiment(b, func() (experiments.Result, error) { return experiments.E5(4) })
+}
+
+// BenchmarkE6_AsyncRunChecker regenerates the Theorem 3 verification over
+// randomized asynchronous runs.
+func BenchmarkE6_AsyncRunChecker(b *testing.B) {
+	runExperiment(b, func() (experiments.Result, error) { return experiments.E6(4) })
+}
+
+// BenchmarkE7_Impossibility regenerates the Theorem 1 construction and its
+// exhaustive-search refutation, plus the FEC(weak) witness on the same run.
+func BenchmarkE7_Impossibility(b *testing.B) { runExperiment(b, experiments.E7) }
+
+// BenchmarkE8_BECvsFEC regenerates the BEC(weak) > FEC(weak) separation.
+func BenchmarkE8_BECvsFEC(b *testing.B) { runExperiment(b, experiments.E8) }
+
+// BenchmarkE9_BaselineComparison regenerates the Bayou vs EC-store vs SMR vs
+// GSP comparison table.
+func BenchmarkE9_BaselineComparison(b *testing.B) { runExperiment(b, experiments.E9) }
+
+// BenchmarkE10_SessionGuarantees regenerates the §A.1.2 read-your-writes
+// trade-off table.
+func BenchmarkE10_SessionGuarantees(b *testing.B) { runExperiment(b, experiments.E10) }
+
+// BenchmarkE11_TOBAblation regenerates the primary-commit vs Paxos ablation.
+func BenchmarkE11_TOBAblation(b *testing.B) { runExperiment(b, experiments.E11) }
+
+// BenchmarkE12_RollbackCost regenerates the rollback-cost sweep.
+func BenchmarkE12_RollbackCost(b *testing.B) { runExperiment(b, experiments.E12) }
+
+// --- protocol micro-benchmarks ---------------------------------------------
+
+// BenchmarkWeakInvokeModified measures the Algorithm 2 weak path: immediate
+// execute + rollback + broadcast effects (the bounded-wait-free fast path).
+// One iteration is a fixed 100-invocation workload on a fresh replica, so
+// the pseudocode-faithful O(order-length) bookkeeping of adjustExecution
+// does not skew per-op numbers as b.N grows.
+func BenchmarkWeakInvokeModified(b *testing.B) {
+	const ops = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := core.NewReplica(0, core.NoCircularCausality, func() int64 { return 0 })
+		for k := 0; k < ops; k++ {
+			eff, err := r.Invoke(spec.Inc("c", 1), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, req := range eff.TOBCast {
+				if _, err := r.TOBDeliver(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := r.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRollbackReexecute measures the reordering hot path: remote
+// requests with older timestamps force rollbacks and re-executions. One
+// iteration is a fixed 100-delivery workload on a fresh replica.
+func BenchmarkRollbackReexecute(b *testing.B) {
+	const ops = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := core.NewReplica(0, core.Original, func() int64 { return 1 << 40 })
+		if _, err := r.Invoke(spec.Append("local"), false); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < ops; k++ {
+			req := core.Req{
+				Timestamp: int64(k + 1), // always older than the local op
+				Dot:       core.Dot{Replica: 1, EventNo: int64(k + 1)},
+				Op:        spec.Inc("c", 1),
+			}
+			if _, err := r.RBDeliver(req); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStateObjectExecute measures Algorithm 3's undo-logged
+// execute/rollback pair.
+func BenchmarkStateObjectExecute(b *testing.B) {
+	s := stateobj.New()
+	op := spec.Inc("c", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Execute("req", op); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Rollback("req"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndStableRun measures a full stable run (invocations through
+// Paxos TOB to quiescence) per iteration.
+func BenchmarkEndToEndStableRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := bayou.New(bayou.Options{Replicas: 3, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.ElectLeader(0)
+		for k := 0; k < 10; k++ {
+			if _, err := c.Invoke(k%3, bayou.Append("x"), bayou.Weak); err != nil {
+				b.Fatal(err)
+			}
+			c.Run(5)
+		}
+		if _, err := c.Invoke(0, bayou.Duplicate(), bayou.Strong); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Settle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWitnessChecker measures FEC+Seq verification over a recorded
+// stable-run history.
+func BenchmarkWitnessChecker(b *testing.B) {
+	out, err := scenario.StableRun(1, 3, 8, core.NoCircularCausality)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := check.NewWitness(out.History)
+		if !w.FEC(core.Weak).OK() || !w.Seq(core.Strong).OK() {
+			b.Fatal("checker verdict changed")
+		}
+	}
+}
+
+// BenchmarkSearchImpossibility measures the exhaustive (vis, ar) search on
+// the Theorem 1 history.
+func BenchmarkSearchImpossibility(b *testing.B) {
+	out, err := scenario.Theorem1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := check.Search(out.History, check.BECWeakSeqStrong())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Satisfiable {
+			b.Fatal("impossibility refuted?!")
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command bayou-bench regenerates every evaluation artifact of the paper —
+// experiments E1 through E12 of DESIGN.md — and prints the paper-claim vs.
+// measured-result tables recorded in EXPERIMENTS.md. It exits non-zero if
+// any measured shape deviates from the paper's claim.
+//
+// Usage:
+//
+//	bayou-bench [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"bayou/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	only := flag.String("only", "", "run a single experiment, e.g. E7")
+	flag.Parse()
+
+	results, err := experiments.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := false
+	for _, res := range results {
+		if *only != "" && !strings.EqualFold(res.ID, *only) {
+			continue
+		}
+		fmt.Println(res)
+		if !res.OK() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

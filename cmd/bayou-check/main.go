@@ -1,0 +1,89 @@
+// Command bayou-check runs the paper's correctness predicates — witness mode
+// over protocol runs, and the exhaustive search mode that machine-checks the
+// Theorem 1 impossibility — and exits non-zero when a guarantee the paper
+// proves is violated (or one it refutes is satisfied).
+//
+// Usage:
+//
+//	bayou-check [-seeds N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bayou/internal/check"
+	"bayou/internal/core"
+	"bayou/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	seeds := flag.Int("seeds", 10, "number of randomized runs per theorem check")
+	flag.Parse()
+
+	failed := false
+	report := func(name string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-58s %s  %s\n", name, status, detail)
+	}
+
+	// Theorem 2: stable runs satisfy FEC(weak) ∧ FEC(strong) ∧ Seq(strong).
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		out, err := scenario.StableRun(seed, 3, 6, core.NoCircularCausality)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := check.NewWitness(out.History)
+		ok := w.FEC(core.Weak).OK() && w.FEC(core.Strong).OK() && w.Seq(core.Strong).OK()
+		report(fmt.Sprintf("theorem2 stable run (seed %d)", seed), ok,
+			fmt.Sprintf("%d events", len(out.History.Events)))
+	}
+
+	// Theorem 3: asynchronous runs satisfy FEC(weak); Seq(strong) unachieved.
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		out, err := scenario.AsyncRun(seed, 3, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := check.NewWitness(out.History)
+		ok := w.FEC(core.Weak).OK() && !w.SeqPendingAware(core.Strong).OK()
+		report(fmt.Sprintf("theorem3 async run (seed %d)", seed), ok,
+			fmt.Sprintf("%d events", len(out.History.Events)))
+	}
+
+	// Theorem 1: the constructed history is unsatisfiable.
+	out, err := scenario.Theorem1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	search, err := check.Search(out.History, check.BECWeakSeqStrong())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("theorem1 impossibility (search mode)", !search.Satisfiable, search.String())
+
+	// Figure 2: Algorithm 1 violates NCC; Algorithm 2 restores it.
+	f2orig, err := scenario.Figure2(core.Original)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("figure2 Algorithm 1 violates NCC",
+		!check.NewWitness(f2orig.History).NCC().Holds, "")
+	f2mod, err := scenario.Figure2(core.NoCircularCausality)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("figure2 Algorithm 2 satisfies NCC",
+		check.NewWitness(f2mod.History).NCC().Holds, "")
+
+	if failed {
+		os.Exit(1)
+	}
+}

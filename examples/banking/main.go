@@ -1,0 +1,95 @@
+// Command banking shows why the paper's mixed consistency matters on one
+// data set: deposits are blind, commuting updates — perfect weak operations,
+// available even under partitions — while withdrawals are balance-guarded
+// and must not be approved twice, so they go through the strong level. The
+// example also demonstrates the hazard of issuing a guarded operation
+// weakly: the tentative approval can be invalidated by the final order (the
+// Cassandra LWT-mixing bug the paper cites as [13]).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bayou"
+)
+
+func main() {
+	c, err := bayou.New(bayou.Options{Replicas: 3, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.ElectLeader(0)
+
+	// Fund the account with weak deposits from two branches.
+	d1, err := c.Invoke(0, bayou.Deposit("shared", 60), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2, err := c.Invoke(1, bayou.Deposit("shared", 40), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch 0 deposits 60 -> tentative balance %v\n", d1.Response.Value)
+	fmt.Printf("branch 1 deposits 40 -> tentative balance %v\n", d2.Response.Value)
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The danger: two branches both try to withdraw 80 weakly. Each sees
+	// enough balance locally and tentatively approves — but only one can
+	// survive the final order.
+	fmt.Println("\n— two concurrent WEAK withdrawals of 80 (unsafe) —")
+	w1, err := c.Invoke(0, bayou.Withdraw("shared", 80), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w2, err := c.Invoke(1, bayou.Withdraw("shared", 80), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch 0 weak withdraw(80) tentatively -> %v\n", w1.Response.Value)
+	fmt.Printf("branch 1 weak withdraw(80) tentatively -> %v\n", w2.Response.Value)
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	final, err := c.Invoke(2, bayou.Balance("shared"), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final balance after reconciliation: %v\n", final.Response.Value)
+	fmt.Println("=> both clients were told 'approved', but one withdrawal was")
+	fmt.Println("   silently rejected in the final order — temporary operation")
+	fmt.Println("   reordering made a tentative response unreliable.")
+
+	// The safe pattern: strong withdrawals. The second one is rejected
+	// up front, and its rejection is final.
+	fmt.Println("\n— the same flow with STRONG withdrawals (safe) —")
+	if _, err := c.Invoke(0, bayou.Deposit("vault", 100), bayou.Weak); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	s1, err := c.Invoke(0, bayou.Withdraw("vault", 80), bayou.Strong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	s2, err := c.Invoke(1, bayou.Withdraw("vault", 80), bayou.Strong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch 0 strong withdraw(80) -> %v (stable=%v)\n", s1.Response.Value, s1.Response.Committed)
+	fmt.Printf("branch 1 strong withdraw(80) -> %v (stable=%v)\n", s2.Response.Value, s2.Response.Committed)
+	vault, err := c.Invoke(2, bayou.Balance("vault"), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vault balance: %v — no double spend, and both answers are final\n", vault.Response.Value)
+}

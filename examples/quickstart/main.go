@@ -1,0 +1,82 @@
+// Command quickstart is the smallest complete Bayou session: a three-replica
+// cluster, weak (highly available, tentative) and strong (consensus-backed,
+// stable) operations over the same list, a look at the recorded timeline,
+// and the paper's correctness checkers run over the history.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bayou"
+)
+
+func main() {
+	// Three replicas running Algorithm 2 (the paper's improved protocol)
+	// over Paxos-based total order broadcast.
+	c, err := bayou.New(bayou.Options{Replicas: 3, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Stable run: the failure detector Ω elects replica 0 as the
+	// consensus leader, so strong operations can commit.
+	c.ElectLeader(0)
+
+	// Weak operations answer immediately with a tentative response.
+	hello, err := c.Invoke(1, bayou.Append("hello "), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weak  append(hello )  -> %q (tentative=%v)\n",
+		hello.Response.Value, !hello.Response.Committed)
+
+	world, err := c.Invoke(2, bayou.Append("world"), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weak  append(world)   -> %q (tentative=%v)\n",
+		world.Response.Value, !world.Response.Committed)
+
+	// A strong operation returns only after consensus establishes its
+	// final position — its response can never change.
+	lock, err := c.Invoke(0, bayou.PutIfAbsent("lock", "replica-0"), bayou.Strong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strong putIfAbsent    -> %v (stable=%v)\n\n",
+		lock.Response.Value, lock.Response.Committed)
+
+	// All replicas converged to one committed order.
+	fmt.Println("committed order at replica 0:", c.Committed(0))
+	fmt.Println("committed order at replica 2:", c.Committed(2))
+
+	// Verify the paper's guarantees on the recorded history.
+	c.MarkStable()
+	if _, err := c.Invoke(1, bayou.ListRead(), bayou.Weak); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	fec, err := c.CheckFEC(bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := c.CheckSeq(bayou.Strong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(fec)
+	fmt.Print(seq)
+
+	tl, err := c.Timeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntimeline:")
+	fmt.Print(tl)
+}

@@ -1,0 +1,98 @@
+// Package ecstore is the purely eventually-consistent baseline the paper
+// contrasts Bayou with (§2.2): a last-writer-wins key-value store in the
+// style of Dynamo/Cassandra, using a single ordering method — timestamps
+// with replica-id tiebreaks (Thomas' write rule, the paper's reference
+// [22]). Because there is only one ordering method, it never exhibits
+// temporary operation reordering and never rolls anything back; the price is
+// the limited semantics the paper's introduction laments: per-key blind
+// writes and local reads only, no strong operations at all.
+package ecstore
+
+import (
+	"bayou/internal/core"
+	"bayou/internal/rb"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+	"bayou/internal/spec"
+)
+
+// versioned is a value with its write timestamp (ts, dot ordering).
+type versioned struct {
+	val spec.Value
+	ts  int64
+	dot core.Dot
+}
+
+// newer reports whether a beats b under last-writer-wins.
+func (a versioned) newer(b versioned) bool {
+	if a.ts != b.ts {
+		return a.ts > b.ts
+	}
+	if a.dot.Replica != b.dot.Replica {
+		return a.dot.Replica > b.dot.Replica
+	}
+	return a.dot.EventNo > b.dot.EventNo
+}
+
+// write is the replicated update record.
+type write struct {
+	Key string
+	V   versioned
+}
+
+// Replica is one store replica. Construct with New; wire Handle into the
+// node's mux.
+type Replica struct {
+	id      core.ReplicaID
+	sched   *sim.Scheduler
+	rbNode  *rb.Node
+	data    map[string]versioned
+	eventNo int64
+	applied int64
+}
+
+// New returns a replica attached to the network.
+func New(id core.ReplicaID, sched *sim.Scheduler, net *simnet.Network) *Replica {
+	r := &Replica{id: id, sched: sched, data: make(map[string]versioned)}
+	r.rbNode = rb.New(simnet.NodeID(id), sched, net, r.onDeliver)
+	return r
+}
+
+// Handle consumes the replica's wire traffic.
+func (r *Replica) Handle(from simnet.NodeID, payload any) bool {
+	return r.rbNode.Handle(from, payload)
+}
+
+// Put stores v under key (highly available: applied locally, gossiped via
+// RB) and returns immediately.
+func (r *Replica) Put(key string, v spec.Value) {
+	r.eventNo++
+	w := write{Key: key, V: versioned{
+		val: spec.Clone(v),
+		ts:  int64(r.sched.Now()),
+		dot: core.Dot{Replica: r.id, EventNo: r.eventNo},
+	}}
+	r.rbNode.Cast(rb.Message{ID: w.V.dot.String(), Payload: w})
+}
+
+// Get reads the local value for key (nil when absent) — always available,
+// never blocking, possibly stale.
+func (r *Replica) Get(key string) spec.Value {
+	return spec.Clone(r.data[key].val)
+}
+
+// Applied returns the number of writes applied locally (each applied exactly
+// once; there are no rollbacks by construction).
+func (r *Replica) Applied() int64 { return r.applied }
+
+func (r *Replica) onDeliver(m rb.Message) {
+	w, ok := m.Payload.(write)
+	if !ok {
+		return
+	}
+	cur, exists := r.data[w.Key]
+	if !exists || w.V.newer(cur) {
+		r.data[w.Key] = w.V
+	}
+	r.applied++
+}

@@ -1,0 +1,110 @@
+package ecstore
+
+import (
+	"fmt"
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+)
+
+func newStore(t *testing.T, n int) (*sim.Scheduler, *simnet.Network, []*Replica) {
+	t.Helper()
+	sched := sim.New(5)
+	net := simnet.New(sched)
+	reps := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		reps[i] = New(core.ReplicaID(i), sched, net)
+		mux := &simnet.Mux{}
+		mux.Add(reps[i].Handle)
+		net.Register(simnet.NodeID(i), mux.Handler())
+	}
+	return sched, net, reps
+}
+
+func TestPutGetLocal(t *testing.T) {
+	sched, _, reps := newStore(t, 2)
+	reps[0].Put("k", "v")
+	sched.Run(0)
+	if got := reps[0].Get("k"); got != "v" {
+		t.Errorf("Get = %v, want v", got)
+	}
+	if got := reps[1].Get("k"); got != "v" {
+		t.Errorf("replicated Get = %v, want v", got)
+	}
+}
+
+func TestLastWriterWinsConvergence(t *testing.T) {
+	sched, _, reps := newStore(t, 3)
+	// Concurrent writes at the same instant: replica-id tiebreak.
+	reps[0].Put("k", "from0")
+	reps[2].Put("k", "from2")
+	sched.Run(0)
+	for i, r := range reps {
+		if got := r.Get("k"); got != "from2" {
+			t.Errorf("replica %d = %v, want from2 (higher replica id wins ties)", i, got)
+		}
+	}
+	// A later write beats everything.
+	sched.After(10, func() { reps[1].Put("k", "late") })
+	sched.Run(0)
+	for i, r := range reps {
+		if got := r.Get("k"); got != "late" {
+			t.Errorf("replica %d = %v, want late", i, got)
+		}
+	}
+}
+
+func TestAvailabilityUnderPartitionAndConvergenceAfterHeal(t *testing.T) {
+	sched, net, reps := newStore(t, 4)
+	net.Partition([]simnet.NodeID{0, 1}, []simnet.NodeID{2, 3})
+	reps[0].Put("k", "left")
+	sched.RunFor(5)
+	reps[2].Put("k", "right") // later timestamp
+	sched.Run(0)
+	if got := reps[1].Get("k"); got != "left" {
+		t.Errorf("left cell = %v, want left", got)
+	}
+	if got := reps[3].Get("k"); got != "right" {
+		t.Errorf("right cell = %v, want right", got)
+	}
+	net.Heal()
+	sched.Run(0)
+	for i, r := range reps {
+		if got := r.Get("k"); got != "right" {
+			t.Errorf("replica %d after heal = %v, want right (LWW)", i, got)
+		}
+	}
+}
+
+func TestNoReorderingNoRollbacks(t *testing.T) {
+	// The defining contrast with Bayou: once a value is applied, the set
+	// of applied writes only grows; there is no rollback counter because
+	// nothing can be rolled back by construction.
+	sched, _, reps := newStore(t, 2)
+	for i := 0; i < 20; i++ {
+		reps[i%2].Put(fmt.Sprintf("k%d", i%3), int64(i))
+		sched.RunFor(3)
+	}
+	sched.Run(0)
+	for i, r := range reps {
+		if r.Applied() != 20 {
+			t.Errorf("replica %d applied %d, want 20 (each write exactly once)", i, r.Applied())
+		}
+	}
+	if !sameValue(reps, "k0") || !sameValue(reps, "k1") || !sameValue(reps, "k2") {
+		t.Error("replicas diverged")
+	}
+}
+
+func sameValue(reps []*Replica, key string) bool {
+	ref := reps[0].Get(key)
+	for _, r := range reps[1:] {
+		got := r.Get(key)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+// Package gsp implements the Global Sequence Protocol baseline (§6, the
+// paper's reference [12], Burckhardt et al., ECOOP '15): client devices keep
+// a confirmed prefix of the global operation sequence plus a buffer of their
+// own pending updates; a cloud sequencer establishes the global order and
+// streams it back. Reads replay confirmed · pending, so a client's perceived
+// order only ever *grows* — GSP exhibits no temporary operation reordering.
+// The trade-off the paper points out: when the cloud is unreachable, clients
+// keep operating on their own updates but never see each other's — no
+// cross-client visibility progress, so Theorem 1 does not apply to it.
+package gsp
+
+import (
+	"bayou/internal/core"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+	"bayou/internal/spec"
+)
+
+// update is a client operation traveling to/from the cloud.
+type update struct {
+	Dot core.Dot
+	Op  spec.Op
+}
+
+// ordered is the cloud's sequencing announcement.
+type ordered struct {
+	Seq int64
+	U   update
+}
+
+// Cloud is the sequencer. Construct with NewCloud; wire Handle into its mux.
+type Cloud struct {
+	id   simnet.NodeID
+	net  *simnet.Network
+	seq  int64
+	seen map[core.Dot]bool
+}
+
+// NewCloud returns the sequencer for the given network node.
+func NewCloud(id simnet.NodeID, net *simnet.Network) *Cloud {
+	return &Cloud{id: id, net: net, seen: make(map[core.Dot]bool)}
+}
+
+// Handle consumes updates and broadcasts their global positions.
+func (c *Cloud) Handle(from simnet.NodeID, payload any) bool {
+	u, ok := payload.(update)
+	if !ok {
+		return false
+	}
+	if c.seen[u.Dot] {
+		return true
+	}
+	c.seen[u.Dot] = true
+	c.seq++
+	c.net.Broadcast(c.id, ordered{Seq: c.seq, U: u})
+	return true
+}
+
+// Client is a GSP client device. Construct with NewClient; wire Handle into
+// its mux.
+type Client struct {
+	id      core.ReplicaID
+	node    simnet.NodeID
+	cloud   simnet.NodeID
+	net     *simnet.Network
+	sched   *sim.Scheduler
+	eventNo int64
+
+	confirmed []update         // the known prefix of the global sequence
+	nextSeq   int64            // next expected global position
+	buffered  map[int64]update // out-of-order cloud announcements
+	pending   []update         // own updates not yet confirmed
+	replays   int64            // state recomputations (the GSP cost center)
+}
+
+// NewClient returns a client attached to the network.
+func NewClient(id core.ReplicaID, node, cloud simnet.NodeID, sched *sim.Scheduler, net *simnet.Network) *Client {
+	return &Client{
+		id: id, node: node, cloud: cloud, net: net, sched: sched,
+		nextSeq: 1, buffered: make(map[int64]update),
+	}
+}
+
+// Update applies an updating operation locally (pending) and ships it to the
+// cloud. Always available; returns the locally-perceived response.
+func (c *Client) Update(op spec.Op) spec.Value {
+	c.eventNo++
+	u := update{Dot: core.Dot{Replica: c.id, EventNo: c.eventNo}, Op: op}
+	c.pending = append(c.pending, u)
+	c.net.Send(c.node, c.cloud, u)
+	return c.eval(op, 1) // response from confirmed · pending (op included)
+}
+
+// Read evaluates a read-only operation on confirmed · pending.
+func (c *Client) Read(op spec.Op) spec.Value {
+	return c.eval(op, 0)
+}
+
+// eval replays confirmed · pending and applies op; skipLast excludes op
+// itself from pending (it was just appended by Update).
+func (c *Client) eval(op spec.Op, skipLast int) spec.Value {
+	c.replays++
+	tx := spec.NewMapTx()
+	for _, u := range c.confirmed {
+		u.Op.Apply(tx)
+	}
+	for i := 0; i < len(c.pending)-skipLast; i++ {
+		c.pending[i].Op.Apply(tx)
+	}
+	return op.Apply(tx)
+}
+
+// Handle consumes cloud announcements.
+func (c *Client) Handle(from simnet.NodeID, payload any) bool {
+	o, ok := payload.(ordered)
+	if !ok {
+		return false
+	}
+	if o.Seq < c.nextSeq {
+		return true
+	}
+	c.buffered[o.Seq] = o.U
+	for {
+		u, ready := c.buffered[c.nextSeq]
+		if !ready {
+			return true
+		}
+		delete(c.buffered, c.nextSeq)
+		c.nextSeq++
+		c.confirmed = append(c.confirmed, u)
+		if u.Dot.Replica == c.id {
+			// Own update confirmed: drop it from pending (FIFO).
+			for i, p := range c.pending {
+				if p.Dot == u.Dot {
+					c.pending = append(c.pending[:i], c.pending[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// ConfirmedLen returns the length of the known global prefix.
+func (c *Client) ConfirmedLen() int { return len(c.confirmed) }
+
+// PendingLen returns the number of unconfirmed own updates.
+func (c *Client) PendingLen() int { return len(c.pending) }
+
+// Replays returns the number of full state replays performed.
+func (c *Client) Replays() int64 { return c.replays }

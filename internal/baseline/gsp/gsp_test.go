@@ -1,0 +1,133 @@
+package gsp
+
+import (
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+	"bayou/internal/spec"
+)
+
+func newGSP(t *testing.T, clients int) (*sim.Scheduler, *simnet.Network, []*Client) {
+	t.Helper()
+	sched := sim.New(9)
+	net := simnet.New(sched)
+	cloud := NewCloud(0, net)
+	cloudMux := &simnet.Mux{}
+	cloudMux.Add(cloud.Handle)
+	net.Register(0, cloudMux.Handler())
+	cs := make([]*Client, clients)
+	for i := 0; i < clients; i++ {
+		node := simnet.NodeID(i + 1)
+		cs[i] = NewClient(core.ReplicaID(i+1), node, 0, sched, net)
+		mux := &simnet.Mux{}
+		mux.Add(cs[i].Handle)
+		net.Register(node, mux.Handler())
+	}
+	return sched, net, cs
+}
+
+func TestLocalUpdateVisibleImmediately(t *testing.T) {
+	sched, _, cs := newGSP(t, 2)
+	got := cs[0].Update(spec.Append("a"))
+	if !spec.Equal(got, "a") {
+		t.Errorf("update response = %v, want a", got)
+	}
+	if !spec.Equal(cs[0].Read(spec.ListRead()), "a") {
+		t.Error("own update must be locally visible before confirmation")
+	}
+	if !spec.Equal(cs[1].Read(spec.ListRead()), "") {
+		t.Error("foreign update must be invisible before the cloud confirms")
+	}
+	sched.Run(0)
+	if !spec.Equal(cs[1].Read(spec.ListRead()), "a") {
+		t.Error("foreign update must arrive via the cloud")
+	}
+}
+
+func TestNoTemporaryReordering(t *testing.T) {
+	// A client's perceived order of any two operations never flips: once
+	// the client has seen x before y, it sees x before y forever. We
+	// track pairwise orders across the whole run.
+	sched, _, cs := newGSP(t, 3)
+	seen := map[string]map[[2]string]bool{} // client -> ordered pair
+	record := func(name string, c *Client) {
+		v, _ := c.Read(spec.ListRead()).(string)
+		m := seen[name]
+		if m == nil {
+			m = make(map[[2]string]bool)
+			seen[name] = m
+		}
+		for i := 0; i < len(v); i++ {
+			for j := i + 1; j < len(v); j++ {
+				a, b := string(v[i]), string(v[j])
+				if a == b {
+					continue
+				}
+				if m[[2]string{b, a}] {
+					t.Fatalf("client %s: pair %s<%s flipped — temporary reordering in GSP", name, b, a)
+				}
+				m[[2]string{a, b}] = true
+			}
+		}
+	}
+	elems := []string{"a", "b", "c", "d", "e", "f"}
+	for i, e := range elems {
+		cs[i%3].Update(spec.Append(e))
+		sched.RunFor(7)
+		for k, c := range cs {
+			record(string(rune('A'+k)), c)
+		}
+	}
+	sched.Run(0)
+	for k, c := range cs {
+		record(string(rune('A'+k)), c)
+	}
+	// All clients converge to the same confirmed sequence.
+	ref := cs[0].Read(spec.ListRead())
+	for i := 1; i < 3; i++ {
+		if !spec.Equal(cs[i].Read(spec.ListRead()), ref) {
+			t.Errorf("client %d diverged: %v vs %v", i, cs[i].Read(spec.ListRead()), ref)
+		}
+	}
+}
+
+func TestCloudOutageStopsMutualVisibility(t *testing.T) {
+	// §6: "When the cloud is unavailable, GSP does not guarantee progress
+	// (the clients do not observe each others newly submitted
+	// operations)" — but local work continues.
+	sched, net, cs := newGSP(t, 2)
+	net.Partition([]simnet.NodeID{0}, []simnet.NodeID{1, 2})
+	cs[0].Update(spec.Append("a"))
+	cs[1].Update(spec.Append("b"))
+	sched.RunFor(5_000)
+	if !spec.Equal(cs[0].Read(spec.ListRead()), "a") {
+		t.Error("own update must stay visible during outage")
+	}
+	if !spec.Equal(cs[1].Read(spec.ListRead()), "b") {
+		t.Error("own update must stay visible during outage")
+	}
+	if cs[0].ConfirmedLen() != 0 || cs[1].ConfirmedLen() != 0 {
+		t.Error("nothing can confirm during a cloud outage")
+	}
+	net.Heal()
+	sched.Run(0)
+	if cs[0].PendingLen() != 0 || cs[1].PendingLen() != 0 {
+		t.Error("pending must drain after the cloud returns")
+	}
+	if !spec.Equal(cs[0].Read(spec.ListRead()), cs[1].Read(spec.ListRead())) {
+		t.Error("clients must converge after the outage")
+	}
+}
+
+func TestFIFOOwnUpdates(t *testing.T) {
+	sched, _, cs := newGSP(t, 2)
+	cs[0].Update(spec.Append("1"))
+	cs[0].Update(spec.Append("2"))
+	cs[0].Update(spec.Append("3"))
+	sched.Run(0)
+	if got := cs[1].Read(spec.ListRead()); !spec.Equal(got, "123") {
+		t.Errorf("foreign view = %v, want 123 (per-client FIFO)", got)
+	}
+}

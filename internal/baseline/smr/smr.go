@@ -1,0 +1,98 @@
+// Package smr is the strongly-consistent baseline (§2.2): classic state
+// machine replication [Lamport 78, Schneider 90] — every operation, read or
+// write, is totally ordered by TOB before execution, so every response
+// reflects the single global order (sequential consistency for every
+// operation; no anomalies of any kind). The price is the availability the
+// paper's introduction trades away: nothing returns without consensus, so a
+// minority partition serves nothing at all.
+package smr
+
+import (
+	"bayou/internal/core"
+	"bayou/internal/fd"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+	"bayou/internal/spec"
+	"bayou/internal/stateobj"
+	"bayou/internal/tob"
+)
+
+// Call is a client handle on one invocation.
+type Call struct {
+	Dot        core.Dot
+	Op         spec.Op
+	Done       bool
+	Value      spec.Value
+	WallInvoke int64
+	WallReturn int64
+}
+
+// Replica is one SMR replica. Construct with New; wire Handle into the mux.
+type Replica struct {
+	id      core.ReplicaID
+	sched   *sim.Scheduler
+	tobNode tob.TOB
+	state   *stateobj.State
+	eventNo int64
+	pending map[core.Dot]*Call
+	applied int64
+}
+
+// req is the replicated operation record.
+type req struct {
+	Dot core.Dot
+	Op  spec.Op
+}
+
+// New returns a replica using Paxos-based TOB over the shared network.
+func New(id core.ReplicaID, peers []simnet.NodeID, sched *sim.Scheduler, net *simnet.Network, omega *fd.Omega) *Replica {
+	r := &Replica{
+		id:      id,
+		sched:   sched,
+		state:   stateobj.New(),
+		pending: make(map[core.Dot]*Call),
+	}
+	r.tobNode = tob.NewPaxos(simnet.NodeID(id), peers, sched, net, omega, r.onDeliver)
+	return r
+}
+
+// Handle consumes the replica's wire traffic.
+func (r *Replica) Handle(from simnet.NodeID, payload any) bool {
+	return r.tobNode.Handle(from, payload)
+}
+
+// Invoke submits an operation; the call completes when the operation commits
+// and executes locally. Nothing is tentative, nothing rolls back, and under
+// a partition without quorum nothing returns.
+func (r *Replica) Invoke(op spec.Op) *Call {
+	r.eventNo++
+	d := core.Dot{Replica: r.id, EventNo: r.eventNo}
+	call := &Call{Dot: d, Op: op, WallInvoke: int64(r.sched.Now())}
+	r.pending[d] = call
+	r.tobNode.Cast(d.String(), req{Dot: d, Op: op})
+	return call
+}
+
+// Applied returns the number of committed operations executed locally.
+func (r *Replica) Applied() int64 { return r.applied }
+
+// Read peeks at the replica state (diagnostics).
+func (r *Replica) Read(id string) spec.Value { return r.state.Read(id) }
+
+func (r *Replica) onDeliver(_ int64, m tob.Message) {
+	q, ok := m.Payload.(req)
+	if !ok {
+		return
+	}
+	v, err := r.state.Execute(q.Dot.String(), q.Op)
+	if err != nil {
+		panic("smr: duplicate execution of " + q.Dot.String())
+	}
+	r.applied++
+	if call, mine := r.pending[q.Dot]; mine && !call.Done {
+		call.Done = true
+		call.Value = v
+		call.WallReturn = int64(r.sched.Now())
+		delete(r.pending, q.Dot)
+	}
+}

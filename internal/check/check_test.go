@@ -1,0 +1,361 @@
+package check
+
+import (
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+)
+
+// evt builds a history event compactly for tests.
+type evt struct {
+	session core.ReplicaID
+	eventNo int64
+	op      spec.Op
+	level   core.Level
+	rval    spec.Value
+	invoke  int64
+	ret     int64
+	ts      int64
+	tobCast bool
+	tobNo   int64
+	trace   []core.Dot
+	commLen int
+	pending bool
+}
+
+func build(t *testing.T, stableAt int64, evts ...evt) *history.History {
+	t.Helper()
+	events := make([]*history.Event, len(evts))
+	for i, e := range evts {
+		events[i] = &history.Event{
+			Session:      e.session,
+			Op:           e.op,
+			Level:        e.level,
+			RVal:         e.rval,
+			Pending:      e.pending,
+			Invoke:       e.invoke,
+			Return:       e.ret,
+			Dot:          core.Dot{Replica: e.session, EventNo: e.eventNo},
+			Timestamp:    e.ts,
+			TOBCast:      e.tobCast,
+			TOBNo:        e.tobNo,
+			Trace:        e.trace,
+			CommittedLen: e.commLen,
+		}
+	}
+	h, err := history.New(events, stableAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func dot(r core.ReplicaID, n int64) core.Dot { return core.Dot{Replica: r, EventNo: n} }
+
+// figure1History is the history of Figure 1 as produced by Algorithm 1,
+// with the witness data the core tests verified: TOB order a, x, dup; x's
+// trace observed duplicate() tentatively; duplicate()'s trace observed the
+// committed x.
+func figure1History(t *testing.T) *history.History {
+	return build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Append("a"), level: core.Weak, rval: "a",
+			invoke: 10, ret: 11, ts: 10, tobCast: true, tobNo: 1, trace: nil},
+		evt{session: 0, eventNo: 2, op: spec.Append("x"), level: core.Weak, rval: "aax",
+			invoke: 20, ret: 25, ts: 20, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1), dot(1, 1)}},
+		evt{session: 1, eventNo: 1, op: spec.Duplicate(), level: core.Strong, rval: "axax",
+			invoke: 15, ret: 40, ts: 15, tobCast: true, tobNo: 3,
+			trace: []core.Dot{dot(0, 1), dot(0, 2)}, commLen: 2},
+	)
+}
+
+// reorderHistory is the minimal temporary-operation-reordering history under
+// Algorithm 2: two non-commuting weak appends whose timestamp order opposes
+// the TOB order, observed tentatively by a weak reader before commit and by
+// a probe reader after quiescence.
+func reorderHistory(t *testing.T) *history.History {
+	return build(t, 100,
+		// p: ts 5, but committed second.
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Weak, rval: "p",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 2, trace: nil},
+		// q: ts 10, committed first.
+		evt{session: 1, eventNo: 1, op: spec.Append("q"), level: core.Weak, rval: "q",
+			invoke: 10, ret: 10, ts: 10, tobCast: true, tobNo: 1, trace: nil},
+		// Tentative reader on replica 2: observes timestamp order p, q.
+		evt{session: 2, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "pq",
+			invoke: 20, ret: 20, ts: 20, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1), dot(1, 1)}},
+		// Post-quiescence probe: observes the final (TOB) order q, p.
+		evt{session: 2, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: "qp",
+			invoke: 200, ret: 200, ts: 200, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(1, 1), dot(0, 1)}, commLen: 2},
+	)
+}
+
+func TestWitnessFigure1FECWeakHolds(t *testing.T) {
+	w := NewWitness(figure1History(t))
+	if res := w.FRVal(core.Weak); !res.Holds {
+		t.Errorf("FRVal(weak) must hold on Figure 1: %s", res)
+	}
+	if res := w.FRVal(core.Strong); !res.Holds {
+		t.Errorf("FRVal(strong) must hold on Figure 1: %s", res)
+	}
+	if res := w.CPar(core.Weak); !res.Holds {
+		t.Errorf("CPar(weak) must hold (no post-quiescence events): %s", res)
+	}
+}
+
+func TestWitnessFigure1CircularCausality(t *testing.T) {
+	// §2.2: in Figure 1 the return value of append(x) causally depends on
+	// duplicate() and vice versa — the original protocol violates NCC.
+	w := NewWitness(figure1History(t))
+	if res := w.NCC(); res.Holds {
+		t.Errorf("NCC must be violated on Figure 1 under Algorithm 1: %s", res)
+	}
+}
+
+func TestWitnessFigure1SeqStrongHolds(t *testing.T) {
+	w := NewWitness(figure1History(t))
+	rep := w.Seq(core.Strong)
+	if !rep.OK() {
+		t.Errorf("Seq(strong) must hold on Figure 1:\n%s", rep)
+	}
+}
+
+func TestWitnessReorderBECFailsFECHolds(t *testing.T) {
+	// The §4.1 separation: the reordering history violates RVal(weak,F)
+	// (hence BEC(weak,F)) but satisfies FEC(weak,F).
+	w := NewWitness(reorderHistory(t))
+	if res := w.RVal(core.Weak); res.Holds {
+		t.Errorf("RVal(weak) must fail on the reordering history: %s", res)
+	}
+	rep := w.FEC(core.Weak)
+	if !rep.OK() {
+		t.Errorf("FEC(weak) must hold on the reordering history:\n%s", rep)
+	}
+	becRep := w.BEC(core.Weak)
+	if becRep.OK() {
+		t.Error("BEC(weak) must fail on the reordering history")
+	}
+}
+
+func TestWitnessCParDetectsPostQuiescenceDisagreement(t *testing.T) {
+	// A probe that still perceives the old order after quiescence is a
+	// CPar violation: par(e) failed to converge to ar.
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Weak, rval: "p",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 2},
+		evt{session: 1, eventNo: 1, op: spec.Append("q"), level: core.Weak, rval: "q",
+			invoke: 10, ret: 10, ts: 10, tobCast: true, tobNo: 1},
+		evt{session: 2, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "pq",
+			invoke: 200, ret: 200, ts: 200, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1), dot(1, 1)}},
+	)
+	w := NewWitness(h)
+	if res := w.CPar(core.Weak); res.Holds {
+		t.Errorf("CPar must detect stale perception after quiescence: %s", res)
+	}
+}
+
+func TestWitnessEV(t *testing.T) {
+	// An event returned before quiescence but absent from a probe's trace
+	// violates EV.
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Weak, rval: "p",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "",
+			invoke: 200, ret: 200, ts: 200, tobCast: false, tobNo: -1, trace: nil},
+	)
+	w := NewWitness(h)
+	if res := w.EV(); res.Holds {
+		t.Errorf("EV must fail when probes miss returned events: %s", res)
+	}
+
+	h2 := build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Weak, rval: "p",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "p",
+			invoke: 200, ret: 200, ts: 200, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1)}},
+	)
+	if res := NewWitness(h2).EV(); !res.Holds {
+		t.Errorf("EV must hold when probes observe everything: %s", res)
+	}
+}
+
+func TestWitnessSessArb(t *testing.T) {
+	// A strong event arbitrated before its session predecessor violates
+	// SessArb(strong).
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Weak, rval: "p",
+			invoke: 5, ret: 6, ts: 5, tobCast: true, tobNo: 2},
+		evt{session: 0, eventNo: 2, op: spec.Append("s"), level: core.Strong, rval: "ps",
+			invoke: 10, ret: 20, ts: 10, tobCast: true, tobNo: 1,
+			trace: []core.Dot{dot(0, 1)}},
+	)
+	w := NewWitness(h)
+	if res := w.SessArb(core.Strong); res.Holds {
+		t.Errorf("SessArb must fail when TOB inverts session order: %s", res)
+	}
+}
+
+func TestWitnessSinOrdPendingExemption(t *testing.T) {
+	// A pending strong event need not be visible (the E' of the SinOrd
+	// definition).
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Strong, rval: nil,
+			invoke: 5, ts: 5, tobCast: true, tobNo: -1, pending: true},
+		evt{session: 1, eventNo: 1, op: spec.Append("s"), level: core.Strong, rval: "s",
+			invoke: 10, ret: 20, ts: 10, tobCast: true, tobNo: 1, trace: nil},
+	)
+	w := NewWitness(h)
+	if res := w.SinOrd(core.Strong); !res.Holds {
+		t.Errorf("SinOrd must exempt pending events: %s", res)
+	}
+}
+
+func TestWitnessArTotal(t *testing.T) {
+	w := NewWitness(figure1History(t))
+	if res := w.ArTotal(); !res.Holds {
+		t.Errorf("constructed ar must be total on Figure 1: %s", res)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	// Session 0 writes then reads without observing its own write: RYW
+	// violated (the §A.1.2 trade-off of Algorithm 2).
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w"), level: core.Weak, rval: "w",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 0, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: "",
+			invoke: 10, ret: 10, ts: 10, tobCast: false, tobNo: -1, trace: nil},
+	)
+	w := NewWitness(h)
+	if res := w.ReadYourWrites(); res.Holds {
+		t.Errorf("RYW must fail: %s", res)
+	}
+
+	h2 := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w"), level: core.Weak, rval: "w",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 0, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: "w",
+			invoke: 10, ret: 10, ts: 10, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1)}},
+	)
+	if res := NewWitness(h2).ReadYourWrites(); !res.Holds {
+		t.Errorf("RYW must hold when traces include session writes: %s", res)
+	}
+}
+
+func TestSeqPendingAware(t *testing.T) {
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Strong, rval: nil,
+			invoke: 5, ts: 5, tobCast: true, tobNo: -1, pending: true},
+	)
+	rep := NewWitness(h).SeqPendingAware(core.Strong)
+	if rep.OK() {
+		t.Error("pending strong events must fail the pending-aware Seq report")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rep := Report{Guarantee: "X", Results: []Result{
+		{Predicate: "A", Holds: true},
+		{Predicate: "B", Holds: false, Detail: "boom"},
+	}}
+	if rep.OK() {
+		t.Error("OK must be false with a failure")
+	}
+	if len(rep.Failures()) != 1 {
+		t.Error("Failures must list the violated predicate")
+	}
+	if s := rep.String(); s == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestMonotonicReads(t *testing.T) {
+	// Session 1 observes w in its first read, loses it in the second:
+	// monotonic reads violated (the mid-rollback window of Algorithm 2).
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w"), level: core.Weak, rval: "w",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 2},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "w",
+			invoke: 10, ret: 10, ts: 10, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1)}},
+		evt{session: 1, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: "",
+			invoke: 20, ret: 20, ts: 20, tobCast: false, tobNo: -1, trace: nil},
+	)
+	if res := NewWitness(h).MonotonicReads(); res.Holds {
+		t.Errorf("MR must fail when an observation is lost: %s", res)
+	}
+
+	h2 := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w"), level: core.Weak, rval: "w",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "w",
+			invoke: 10, ret: 10, ts: 10, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1)}},
+		evt{session: 1, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: "w",
+			invoke: 20, ret: 20, ts: 20, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1)}},
+	)
+	if res := NewWitness(h2).MonotonicReads(); !res.Holds {
+		t.Errorf("MR must hold on monotone traces: %s", res)
+	}
+}
+
+func TestMonotonicWrites(t *testing.T) {
+	// A trace observing the later session write without (or before) the
+	// earlier one violates MW.
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w1"), level: core.Weak, rval: "w1",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 0, eventNo: 2, op: spec.Append("w2"), level: core.Weak, rval: "w1w2",
+			invoke: 10, ret: 10, ts: 10, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1)}},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "w2",
+			invoke: 20, ret: 20, ts: 20, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 2)}}, // w2 without w1
+	)
+	if res := NewWitness(h).MonotonicWrites(); res.Holds {
+		t.Errorf("MW must fail: %s", res)
+	}
+
+	h2 := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w1"), level: core.Weak, rval: "w1",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 0, eventNo: 2, op: spec.Append("w2"), level: core.Weak, rval: "w1w2",
+			invoke: 10, ret: 10, ts: 10, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1)}},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "w1w2",
+			invoke: 20, ret: 20, ts: 20, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1), dot(0, 2)}},
+	)
+	if res := NewWitness(h2).MonotonicWrites(); !res.Holds {
+		t.Errorf("MW must hold: %s", res)
+	}
+}
+
+func TestWritesFollowReads(t *testing.T) {
+	// Session 1 reads x (from session 0), then writes v. A third party
+	// observes v without x: WFR violated.
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("x"), level: core.Weak, rval: "x",
+			invoke: 5, ret: 5, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "x",
+			invoke: 10, ret: 10, ts: 10, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1)}},
+		evt{session: 1, eventNo: 2, op: spec.Append("v"), level: core.Weak, rval: "xv",
+			invoke: 15, ret: 15, ts: 15, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1)}},
+		evt{session: 2, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "v",
+			invoke: 20, ret: 20, ts: 20, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(1, 2)}}, // v without x
+	)
+	if res := NewWitness(h).WritesFollowReads(); res.Holds {
+		t.Errorf("WFR must fail: %s", res)
+	}
+}

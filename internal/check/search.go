@@ -1,0 +1,291 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+)
+
+// Guarantees selects the predicates the search must satisfy simultaneously.
+// EV and CPar are omitted deliberately: on finite histories "all but
+// finitely many" is vacuously true, so they constrain nothing (the paper's
+// impossibility accordingly forces the contradiction through RVal, SinOrd,
+// SessArb and the acyclicity of arbitration alone).
+type Guarantees struct {
+	WeakRVal   bool // RVal(weak,F): weak responses explained in ar order
+	StrongSeq  bool // SinOrd(strong) ∧ SessArb(strong) ∧ RVal(strong,F)
+	RequireNCC bool // acyclic(so ∪ vis)
+}
+
+// BECWeakSeqStrong is the conjunction Theorem 1 proves unachievable for
+// arbitrary F.
+func BECWeakSeqStrong() Guarantees {
+	return Guarantees{WeakRVal: true, StrongSeq: true, RequireNCC: true}
+}
+
+// SearchOutcome reports whether any abstract execution explains the history.
+type SearchOutcome struct {
+	Satisfiable bool
+	// ArWitness is one satisfying arbitration order (dots in order) when
+	// Satisfiable.
+	ArWitness []core.Dot
+	// ExploredArs counts the arbitration orders examined (all n! of them
+	// for an unsatisfiable verdict — the exhaustiveness guarantee).
+	ExploredArs int64
+}
+
+// String implements fmt.Stringer.
+func (o SearchOutcome) String() string {
+	if !o.Satisfiable {
+		return fmt.Sprintf("UNSATISFIABLE (all %d arbitration orders refuted)", o.ExploredArs)
+	}
+	parts := make([]string, len(o.ArWitness))
+	for i, d := range o.ArWitness {
+		parts[i] = d.String()
+	}
+	return fmt.Sprintf("SATISFIABLE with ar = %s", strings.Join(parts, " < "))
+}
+
+// MaxSearchEvents bounds the exhaustive search (n! arbitration orders).
+const MaxSearchEvents = 9
+
+// Search decides, by exhaustive enumeration of arbitration orders and
+// visibility assignments, whether the history admits an abstract execution
+// satisfying the requested guarantees. It is the executable counterpart of
+// the Theorem 1 argument: an UNSAT verdict on the theorem's construction is
+// a machine-checked replay of the impossibility proof.
+func Search(h *history.History, g Guarantees) (SearchOutcome, error) {
+	n := len(h.Events)
+	if n > MaxSearchEvents {
+		return SearchOutcome{}, fmt.Errorf("check: search over %d events exceeds the %d-event bound", n, MaxSearchEvents)
+	}
+	s := &searcher{h: h, g: g, evalCache: make(map[string]spec.Value)}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	out := SearchOutcome{}
+	s.permute(perm, 0, &out)
+	return out, nil
+}
+
+type searcher struct {
+	h         *history.History
+	g         Guarantees
+	evalCache map[string]spec.Value
+}
+
+// permute enumerates permutations in-place (simple recursive swap scheme)
+// and tests each as an arbitration order.
+func (s *searcher) permute(perm []int, k int, out *SearchOutcome) {
+	if out.Satisfiable {
+		return
+	}
+	if k == len(perm) {
+		out.ExploredArs++
+		if s.testAr(perm) {
+			out.Satisfiable = true
+			out.ArWitness = make([]core.Dot, len(perm))
+			for i, idx := range perm {
+				out.ArWitness[i] = s.h.Events[idx].Dot
+			}
+		}
+		return
+	}
+	for i := k; i < len(perm); i++ {
+		perm[k], perm[i] = perm[i], perm[k]
+		s.permute(perm, k+1, out)
+		perm[k], perm[i] = perm[i], perm[k]
+		if out.Satisfiable {
+			return
+		}
+	}
+}
+
+// testAr reports whether the permutation (perm[i] = index of the i-th event
+// in ar) can be completed to a satisfying abstract execution.
+func (s *searcher) testAr(perm []int) bool {
+	events := s.h.Events
+	n := len(events)
+	pos := make([]int, n)
+	for p, idx := range perm {
+		pos[idx] = p
+	}
+
+	// SessArb(strong): session order into strong events respects ar.
+	if s.g.StrongSeq {
+		for _, e := range events {
+			if e.Level != core.Strong {
+				continue
+			}
+			for _, x := range events {
+				if x != e && s.h.SessionOrder(x, e) && pos[x.ID] > pos[e.ID] {
+					return false
+				}
+			}
+		}
+	}
+
+	// Pending events and the E' of SinOrd's definition: each pending
+	// event either contributes its ar-edges to every strong context or to
+	// none. Enumerate the (tiny) power set.
+	var pending []*history.Event
+	for _, e := range events {
+		if e.Pending {
+			pending = append(pending, e)
+		}
+	}
+	for mask := 0; mask < 1<<len(pending); mask++ {
+		excluded := make(map[history.EventID]bool)
+		for i, p := range pending {
+			if mask&(1<<i) != 0 {
+				excluded[p.ID] = true
+			}
+		}
+		if s.testArWithExclusions(perm, pos, excluded) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *searcher) testArWithExclusions(perm, pos []int, excluded map[history.EventID]bool) bool {
+	events := s.h.Events
+	updating := s.h.Updating()
+
+	// Forced strong contexts: SinOrd makes vis⁻¹(e) = ar-predecessors
+	// (minus E'); RVal(strong) then pins the responses.
+	visEdges := history.NewRel(len(events)) // chosen/forced vis edges
+	for _, e := range events {
+		if e.Level != core.Strong {
+			continue
+		}
+		var ctx []*history.Event
+		for _, idx := range perm {
+			x := events[idx]
+			if x == e || pos[x.ID] > pos[e.ID] || excluded[x.ID] {
+				continue
+			}
+			ctx = append(ctx, x)
+			visEdges.Add(x.ID, e.ID)
+		}
+		if s.g.StrongSeq && !e.Pending {
+			if !spec.Equal(e.RVal, s.eval(ctx, e.Op)) {
+				return false
+			}
+		}
+	}
+
+	// Weak contexts: any subset of updating events whose ar-ordered replay
+	// yields the observed response. Choices only affect NCC, so collect
+	// all candidates per event and backtrack over them.
+	type choice struct {
+		e          *history.Event
+		candidates [][]*history.Event
+	}
+	var choices []choice
+	if s.g.WeakRVal {
+		for _, e := range events {
+			if e.Level != core.Weak || e.Pending {
+				continue
+			}
+			cands := s.weakContexts(e, updating, pos)
+			if len(cands) == 0 {
+				return false
+			}
+			choices = append(choices, choice{e: e, candidates: cands})
+		}
+	}
+
+	// Backtrack over weak-context choices, checking NCC at the leaves.
+	// Each branch works on its own copy of the visibility edge set.
+	var rec func(i int, vis *history.Rel) bool
+	rec = func(i int, vis *history.Rel) bool {
+		if i == len(choices) {
+			if !s.g.RequireNCC {
+				return true
+			}
+			hb := vis.Clone()
+			for _, e := range events {
+				for _, x := range events {
+					if x != e && s.h.SessionOrder(x, e) {
+						hb.Add(x.ID, e.ID)
+					}
+				}
+			}
+			ok, _ := hb.Acyclic()
+			return ok
+		}
+		c := choices[i]
+		for _, ctx := range c.candidates {
+			branch := vis.Clone()
+			for _, x := range ctx {
+				branch.Add(x.ID, c.e.ID)
+			}
+			if rec(i+1, branch) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, visEdges)
+}
+
+// weakContexts enumerates the visible-updating sets that explain e's
+// response under the given arbitration order.
+func (s *searcher) weakContexts(e *history.Event, updating []*history.Event, pos []int) [][]*history.Event {
+	var pool []*history.Event
+	for _, u := range updating {
+		if u != e {
+			pool = append(pool, u)
+		}
+	}
+	var out [][]*history.Event
+	for mask := 0; mask < 1<<len(pool); mask++ {
+		var ctx []*history.Event
+		for i, u := range pool {
+			if mask&(1<<i) != 0 {
+				ctx = append(ctx, u)
+			}
+		}
+		// Order by ar.
+		sortByPos(ctx, pos)
+		if spec.Equal(e.RVal, s.eval(ctx, e.Op)) {
+			out = append(out, ctx)
+		}
+	}
+	return out
+}
+
+func sortByPos(ctx []*history.Event, pos []int) {
+	for i := 1; i < len(ctx); i++ {
+		for j := i; j > 0 && pos[ctx[j].ID] < pos[ctx[j-1].ID]; j-- {
+			ctx[j], ctx[j-1] = ctx[j-1], ctx[j]
+		}
+	}
+}
+
+// eval computes F(op, ctx) with memoization (contexts repeat massively
+// across permutations).
+func (s *searcher) eval(ctx []*history.Event, op spec.Op) spec.Value {
+	var key strings.Builder
+	for _, x := range ctx {
+		key.WriteString(x.Dot.String())
+		key.WriteByte('|')
+	}
+	key.WriteString(op.Name())
+	k := key.String()
+	if v, ok := s.evalCache[k]; ok {
+		return v
+	}
+	ops := make([]spec.Op, len(ctx))
+	for i, x := range ctx {
+		ops[i] = x.Op
+	}
+	v := spec.Eval(ops, op)
+	s.evalCache[k] = v
+	return v
+}

@@ -1,0 +1,153 @@
+package check
+
+import (
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+// TestSearchTheorem1Impossibility replays the Theorem 1 construction as an
+// observable history: replicas i=0, j=1, k=2; non-commuting weak updates a
+// (on i) and b (on j); a weak read r on k observing a then b; then a strong
+// operation c on j whose response reflects b but cannot reflect a (the
+// partition hid a from j, and non-blocking strong operations must still
+// answer). No abstract execution can explain it.
+func TestSearchTheorem1Impossibility(t *testing.T) {
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("p"), level: core.Weak, rval: "p",
+			invoke: 10, ret: 11, ts: 10},
+		evt{session: 1, eventNo: 1, op: spec.Append("q"), level: core.Weak, rval: "q",
+			invoke: 10, ret: 11, ts: 10},
+		evt{session: 2, eventNo: 1, op: spec.ListRead(), level: core.Weak, rval: "pq",
+			invoke: 20, ret: 21, ts: 20},
+		evt{session: 1, eventNo: 2, op: spec.Append("z"), level: core.Strong, rval: "qz",
+			invoke: 30, ret: 35, ts: 30},
+	)
+	out, err := Search(h, BECWeakSeqStrong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Satisfiable {
+		t.Fatalf("Theorem 1 construction must be unsatisfiable under BEC(weak)∧Seq(strong); got %s", out)
+	}
+	if out.ExploredArs != 24 { // 4! arbitration orders, all refuted
+		t.Errorf("explored %d arbitration orders, want 24", out.ExploredArs)
+	}
+}
+
+func TestSearchTheorem1RegisterCounterpoint(t *testing.T) {
+	// The paper's closing remark of §5: for a single register the same
+	// schedule *is* achievable — the last-writer semantics hide the order
+	// disagreement.
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.RegWrite("x", int64(1)), level: core.Weak, rval: int64(1),
+			invoke: 10, ret: 11, ts: 10},
+		evt{session: 1, eventNo: 1, op: spec.RegWrite("x", int64(2)), level: core.Weak, rval: int64(2),
+			invoke: 10, ret: 11, ts: 10},
+		evt{session: 2, eventNo: 1, op: spec.RegRead("x"), level: core.Weak, rval: int64(2),
+			invoke: 20, ret: 21, ts: 20},
+		evt{session: 1, eventNo: 2, op: spec.RegRead("x"), level: core.Strong, rval: int64(2),
+			invoke: 30, ret: 35, ts: 30},
+	)
+	out, err := Search(h, BECWeakSeqStrong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Satisfiable {
+		t.Fatal("register history must be satisfiable (Theorem 1 does not apply to a single register)")
+	}
+}
+
+func TestSearchFigure1(t *testing.T) {
+	// Figure 1's history: BEC(weak)∧Seq(strong) is unsatisfiable (the
+	// mutual observation of append(x) and duplicate() forces either a
+	// visibility cycle or a wrong return value), while BEC(weak) alone is
+	// satisfiable — the anomaly needs both levels to manifest.
+	events := []evt{
+		{session: 0, eventNo: 1, op: spec.Append("a"), level: core.Weak, rval: "a",
+			invoke: 10, ret: 11, ts: 10},
+		{session: 0, eventNo: 2, op: spec.Append("x"), level: core.Weak, rval: "aax",
+			invoke: 20, ret: 25, ts: 20},
+		{session: 1, eventNo: 1, op: spec.Duplicate(), level: core.Strong, rval: "axax",
+			invoke: 15, ret: 40, ts: 15},
+	}
+	h := build(t, 0, events...)
+	out, err := Search(h, BECWeakSeqStrong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Satisfiable {
+		t.Fatalf("Figure 1 history must violate BEC(weak)∧Seq(strong); got %s", out)
+	}
+
+	h2 := build(t, 0, events...)
+	weakOnly, err := Search(h2, Guarantees{WeakRVal: true, RequireNCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weakOnly.Satisfiable {
+		t.Error("Figure 1 history must satisfy BEC(weak) alone")
+	}
+}
+
+func TestSearchConsistentHistorySatisfiable(t *testing.T) {
+	// A strongly-consistent-looking history passes everything.
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("a"), level: core.Weak, rval: "a",
+			invoke: 10, ret: 11, ts: 10},
+		evt{session: 1, eventNo: 1, op: spec.Append("b"), level: core.Weak, rval: "ab",
+			invoke: 20, ret: 21, ts: 20},
+		evt{session: 0, eventNo: 2, op: spec.Duplicate(), level: core.Strong, rval: "abab",
+			invoke: 30, ret: 35, ts: 30},
+	)
+	out, err := Search(h, BECWeakSeqStrong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Satisfiable {
+		t.Error("consistent history must be satisfiable")
+	}
+}
+
+func TestSearchPendingStrongExemption(t *testing.T) {
+	// A pending strong event must not block satisfiability (E' absorbs it).
+	h := build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("a"), level: core.Weak, rval: "a",
+			invoke: 10, ret: 11, ts: 10},
+		evt{session: 1, eventNo: 1, op: spec.Append("s"), level: core.Strong, rval: nil,
+			invoke: 20, ts: 20, pending: true},
+		evt{session: 0, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: "a",
+			invoke: 30, ret: 31, ts: 30},
+	)
+	out, err := Search(h, BECWeakSeqStrong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Satisfiable {
+		t.Error("history with a pending strong op must be satisfiable via the E' exemption")
+	}
+}
+
+func TestSearchTooManyEvents(t *testing.T) {
+	var evts []evt
+	for i := int64(1); i <= MaxSearchEvents+1; i++ {
+		evts = append(evts, evt{session: 0, eventNo: i, op: spec.Append("a"), level: core.Weak,
+			rval: "?", invoke: i * 10, ret: i*10 + 1, ts: i * 10})
+	}
+	h := build(t, 0, evts...)
+	if _, err := Search(h, BECWeakSeqStrong()); err == nil {
+		t.Error("oversized search must be rejected")
+	}
+}
+
+func TestSearchOutcomeString(t *testing.T) {
+	o := SearchOutcome{Satisfiable: false, ExploredArs: 24}
+	if o.String() == "" {
+		t.Error("empty render")
+	}
+	o2 := SearchOutcome{Satisfiable: true, ArWitness: []core.Dot{{Replica: 0, EventNo: 1}}}
+	if o2.String() == "" {
+		t.Error("empty render")
+	}
+}

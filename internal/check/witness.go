@@ -1,0 +1,159 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+)
+
+// Witness is the abstract execution (vis, ar, par) constructed from the
+// protocol's run data, following the proof of Theorem 2 (Appendix A.2.3):
+//
+//   - ar: TOB-delivered events by tobNo; TOB-cast-but-undelivered events
+//     after all delivered ones, in request order; events never TOB-cast
+//     (weak read-only requests of Algorithm 2) interleaved by request order;
+//   - vis: a TOB-cast event is visible to e exactly when it occurs in
+//     exec(e) (the trace from which e's response was computed); a never-cast
+//     read-only event is visible according to request order;
+//   - par(e): the trace exec(e)·e itself — visible events are perceived in
+//     trace order, everything else relative to ar.
+type Witness struct {
+	H      *history.History
+	vis    *history.Rel
+	so     *history.Rel
+	traces map[history.EventID]map[core.Dot]bool
+}
+
+// NewWitness builds the abstract execution for a recorded history.
+func NewWitness(h *history.History) *Witness {
+	w := &Witness{H: h, traces: make(map[history.EventID]map[core.Dot]bool, len(h.Events))}
+	n := len(h.Events)
+	for _, e := range h.Events {
+		set := make(map[core.Dot]bool, len(e.Trace))
+		for _, d := range e.Trace {
+			set[d] = true
+		}
+		w.traces[e.ID] = set
+	}
+	w.vis = history.FromLess(n, func(a, b history.EventID) bool {
+		return w.Vis(h.Events[a], h.Events[b])
+	})
+	w.so = history.FromLess(n, func(a, b history.EventID) bool {
+		return h.SessionOrder(h.Events[a], h.Events[b])
+	})
+	return w
+}
+
+// delivered reports whether the event's request was TOB-delivered within the
+// observation horizon.
+func delivered(e *history.Event) bool { return e.TOBNo > 0 }
+
+// ArLess is the arbitration comparator of the Theorem 2 proof.
+func (w *Witness) ArLess(a, b *history.Event) bool {
+	if a == b {
+		return false
+	}
+	if !a.TOBCast || !b.TOBCast {
+		return history.ReqLess(a, b)
+	}
+	da, db := delivered(a), delivered(b)
+	switch {
+	case da && db:
+		return a.TOBNo < b.TOBNo
+	case da:
+		return true
+	case db:
+		return false
+	default:
+		return history.ReqLess(a, b)
+	}
+}
+
+// Vis is the visibility relation of the Theorem 2 proof.
+func (w *Witness) Vis(a, b *history.Event) bool {
+	if a == b {
+		return false
+	}
+	if !a.TOBCast {
+		// Never-cast (weak read-only) events are "visible" by request
+		// order — the formal completeness rule of the proof.
+		return history.ReqLess(a, b)
+	}
+	return w.traces[b.ID][a.Dot]
+}
+
+// VisRel returns the materialized vis relation.
+func (w *Witness) VisRel() *history.Rel { return w.vis }
+
+// SoRel returns the materialized session-order relation.
+func (w *Witness) SoRel() *history.Rel { return w.so }
+
+// ArRel materializes the arbitration relation (diagnostics; predicates use
+// the comparator directly).
+func (w *Witness) ArRel() *history.Rel {
+	return history.FromLess(len(w.H.Events), func(a, b history.EventID) bool {
+		return w.ArLess(w.H.Events[a], w.H.Events[b])
+	})
+}
+
+// ArTotal verifies that the constructed arbitration is a strict total order
+// over the history. The paper's construction can fail totality only under
+// unbounded clock drift (see DESIGN.md §3); this diagnostic makes the
+// assumption checkable per run.
+func (w *Witness) ArTotal() Result {
+	if w.ArRel().IsStrictTotalOrder() {
+		return Result{Predicate: "ar-total", Holds: true, Detail: fmt.Sprintf("%d events", len(w.H.Events))}
+	}
+	return Result{Predicate: "ar-total", Holds: false, Detail: "constructed arbitration is not a strict total order (clock drift beyond model assumptions?)"}
+}
+
+// traceEvents maps e's exec(e) trace to history events (in trace order),
+// dropping dots that are not part of the history (none, for complete
+// recordings).
+func (w *Witness) traceEvents(e *history.Event) []*history.Event {
+	out := make([]*history.Event, 0, len(e.Trace))
+	for _, d := range e.Trace {
+		if x := w.H.ByDot(d); x != nil {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// updatingTrace restricts the trace to updating (non-read-only) events — the
+// operation context after applying the read-only axiom of §3.4.
+func (w *Witness) updatingTrace(e *history.Event) []*history.Event {
+	var out []*history.Event
+	for _, x := range w.traceEvents(e) {
+		if !x.IsReadOnly() {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// expectedFRVal computes F(op(e), fcontext(A, e)): the visible updating
+// operations replayed in perceived (trace) order.
+func (w *Witness) expectedFRVal(e *history.Event) spec.Value {
+	ctx := w.updatingTrace(e)
+	ops := make([]spec.Op, len(ctx))
+	for i, x := range ctx {
+		ops[i] = x.Op
+	}
+	return spec.Eval(ops, e.Op)
+}
+
+// expectedRVal computes F(op(e), context(A, e)): the visible updating
+// operations replayed in arbitration order.
+func (w *Witness) expectedRVal(e *history.Event) spec.Value {
+	ctx := append([]*history.Event(nil), w.updatingTrace(e)...)
+	sort.SliceStable(ctx, func(i, j int) bool { return w.ArLess(ctx[i], ctx[j]) })
+	ops := make([]spec.Op, len(ctx))
+	for i, x := range ctx {
+		ops[i] = x.Op
+	}
+	return spec.Eval(ops, e.Op)
+}

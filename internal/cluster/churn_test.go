@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bayou/internal/check"
+	"bayou/internal/core"
+	"bayou/internal/sim"
+	"bayou/internal/spec"
+)
+
+// TestConvergenceUnderPartitionChurnProperty is the repository's widest
+// end-to-end safety net: random workloads over random partition/heal
+// schedules, with random leader movement, must always (a) keep every replica
+// invariant intact, (b) converge to identical committed orders and states
+// after the final heal, and (c) satisfy FEC(weak,F) ∧ Seq(strong,F) on the
+// recorded history — Theorem 2 under adversarial (but eventually stable)
+// schedules.
+func TestConvergenceUnderPartitionChurnProperty(t *testing.T) {
+	f := func(seed int64, churnRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 4
+		c, err := New(Config{N: n, Variant: core.NoCircularCausality, Seed: seed})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		leader := core.ReplicaID(r.Intn(n))
+		c.StabilizeOmega(leader)
+		rounds := int(churnRaw%6) + 3
+		elems := []string{"a", "b", "c"}
+		for round := 0; round < rounds; round++ {
+			// Random churn action.
+			switch r.Intn(4) {
+			case 0:
+				// Partition into two random cells.
+				var left, right []core.ReplicaID
+				for i := 0; i < n; i++ {
+					if r.Intn(2) == 0 {
+						left = append(left, core.ReplicaID(i))
+					} else {
+						right = append(right, core.ReplicaID(i))
+					}
+				}
+				c.Partition(left, right)
+			case 1:
+				c.Heal()
+			case 2:
+				leader = core.ReplicaID(r.Intn(n))
+				c.StabilizeOmega(leader)
+			}
+			// Random invocations (skipping busy sessions).
+			for i := 0; i < n; i++ {
+				level := core.Weak
+				if r.Intn(5) == 0 {
+					level = core.Strong
+				}
+				var op spec.Op
+				if r.Intn(3) == 0 {
+					op = spec.Insert("d", int64(r.Intn(5)), elems[r.Intn(3)])
+				} else {
+					op = spec.Append(elems[r.Intn(3)])
+				}
+				_, invErr := c.Invoke(core.ReplicaID(i), op, level)
+				if invErr != nil && !errors.Is(invErr, ErrSessionBusy) {
+					t.Log(invErr)
+					return false
+				}
+			}
+			c.RunFor(sim.Time(r.Intn(120)))
+			for i := 0; i < n; i++ {
+				if err := c.Replica(core.ReplicaID(i)).CheckInvariants(); err != nil {
+					t.Logf("seed %d round %d: %v", seed, round, err)
+					return false
+				}
+			}
+		}
+		// Final stabilization: heal, fix a leader, settle.
+		c.Heal()
+		c.StabilizeOmega(leader)
+		if err := c.Settle(0); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// (b) convergence.
+		ref := c.Replica(0)
+		if len(ref.Tentative()) != 0 {
+			t.Logf("seed %d: tentative not drained", seed)
+			return false
+		}
+		for i := 1; i < n; i++ {
+			p := c.Replica(core.ReplicaID(i))
+			refC, pC := ref.Committed(), p.Committed()
+			if len(refC) != len(pC) {
+				t.Logf("seed %d: committed lengths diverge", seed)
+				return false
+			}
+			for k := range refC {
+				if refC[k].Dot != pC[k].Dot {
+					t.Logf("seed %d: committed order diverges at %d", seed, k)
+					return false
+				}
+			}
+			for _, key := range []string{spec.DefaultListID, "doc/d"} {
+				if !spec.Equal(ref.Read(key), p.Read(key)) {
+					t.Logf("seed %d: state diverges on %s", seed, key)
+					return false
+				}
+			}
+		}
+		// (c) the guarantees, with probes.
+		c.MarkStable()
+		for i := 0; i < n; i++ {
+			if _, e := c.Invoke(core.ReplicaID(i), spec.ListRead(), core.Weak); e != nil && !errors.Is(e, ErrSessionBusy) {
+				t.Log(e)
+				return false
+			}
+		}
+		if err := c.Settle(0); err != nil {
+			t.Log(err)
+			return false
+		}
+		h, err := c.History()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		w := check.NewWitness(h)
+		for _, rep := range []check.Report{w.FEC(core.Weak), w.Seq(core.Strong)} {
+			if !rep.OK() {
+				t.Logf("seed %d:\n%s", seed, rep)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactionDuringChurn: periodic log compaction never affects outcomes.
+func TestCompactionDuringChurn(t *testing.T) {
+	run := func(compact bool) string {
+		c, err := New(Config{N: 3, Variant: core.NoCircularCausality, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.StabilizeOmega(0)
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 3; i++ {
+				_, invErr := c.Invoke(core.ReplicaID(i), spec.Append(fmt.Sprintf("%d", round)), core.Weak)
+				if invErr != nil && !errors.Is(invErr, ErrSessionBusy) {
+					t.Fatal(invErr)
+				}
+			}
+			c.RunFor(35)
+			if compact {
+				c.CompactAll()
+			}
+		}
+		if err := c.Settle(0); err != nil {
+			t.Fatal(err)
+		}
+		if compact {
+			if freed := c.CompactAll(); freed == 0 {
+				t.Error("final compaction freed nothing — suspicious")
+			}
+		}
+		return spec.Encode(c.Replica(0).Read(spec.DefaultListID))
+	}
+	plain := run(false)
+	compacted := run(true)
+	if plain != compacted {
+		t.Errorf("compaction changed the outcome: %s vs %s", plain, compacted)
+	}
+}

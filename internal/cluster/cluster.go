@@ -1,0 +1,377 @@
+// Package cluster assembles a full Bayou deployment inside the simulator:
+// core replicas (Algorithm 1 or 2), reliable broadcast, total order
+// broadcast (Paxos- or primary-based), the failure detector Ω, and the
+// network — and records every invocation and response into a history with
+// the witness data the checkers consume.
+//
+// The cluster is the experiment driver: it exposes partitions, Ω
+// stabilization, per-replica processing delay and clock skew (§2.3), and
+// either automatic internal-step scheduling or manual stepping (used by the
+// scenario package to reproduce the exact schedules of Figures 1 and 2,
+// where "for every operation, its local execution is for some reason
+// delayed").
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"bayou/internal/core"
+	"bayou/internal/fd"
+	"bayou/internal/history"
+	"bayou/internal/rb"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+	"bayou/internal/spec"
+	"bayou/internal/tob"
+)
+
+// TOBKind selects the total-order-broadcast implementation.
+type TOBKind int
+
+const (
+	// PaxosTOB is the consensus-based TOB of the modified protocol.
+	PaxosTOB TOBKind = iota + 1
+	// PrimaryTOB is the original Bayou primary-commit scheme (replica 0
+	// is the primary); the E11 ablation.
+	PrimaryTOB
+)
+
+// Config parametrizes a cluster.
+type Config struct {
+	N       int          // number of replicas (≥ 1)
+	Variant core.Variant // Original (Alg. 1) or NoCircularCausality (Alg. 2)
+	TOB     TOBKind      // defaults to PaxosTOB
+	Seed    int64        // scheduler seed
+	Latency sim.Time     // link latency (default 10)
+
+	// ProcDelay is the virtual time one internal step (rollback or
+	// execute) takes, per replica; missing entries default to 1. The
+	// §2.3 slow replica is modelled with a large entry.
+	ProcDelay map[core.ReplicaID]sim.Time
+
+	// ClockSlowdown divides a replica's clock (§2.3's "artificially
+	// slowing the clock on Rs"); missing entries default to 1.
+	ClockSlowdown map[core.ReplicaID]int64
+
+	// ManualStepping disables automatic scheduling of internal steps;
+	// the scenario drives StepReplica/DrainReplica explicitly.
+	ManualStepping bool
+}
+
+// Call is a client's handle on one invocation.
+type Call struct {
+	Dot      core.Dot
+	Op       spec.Op
+	Level    core.Level
+	Done     bool
+	Response core.Response
+	// WallInvoke/WallReturn bracket the call in simulated time.
+	WallInvoke int64
+	WallReturn int64
+
+	// StableDone/StableResponse carry the optional stable notification
+	// for weak updating operations (footnote 3 of the paper; the
+	// parenthesized values of Figure 1). Strong operations are stable at
+	// Response already; weak read-only operations never stabilize.
+	StableDone     bool
+	StableResponse core.Response
+	WallStable     int64
+}
+
+// Cluster is a running deployment. Construct with New. Not safe for
+// concurrent use: everything runs on the simulator's single thread.
+type Cluster struct {
+	cfg   Config
+	sched *sim.Scheduler
+	net   *simnet.Network
+	omega *fd.Omega
+	nodes []*node
+	rec   *recorder
+}
+
+type node struct {
+	id          core.ReplicaID
+	replica     *core.Replica
+	rbNode      *rb.Node
+	tobNode     tob.TOB
+	procDelay   sim.Time
+	stepPending bool
+	cl          *Cluster
+}
+
+// New builds and wires a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 1 {
+		return nil, errors.New("cluster: need at least one replica")
+	}
+	if cfg.Variant == 0 {
+		cfg.Variant = core.NoCircularCausality
+	}
+	if cfg.TOB == 0 {
+		cfg.TOB = PaxosTOB
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 10
+	}
+	c := &Cluster{cfg: cfg, sched: sim.New(cfg.Seed), rec: newRecorder()}
+	c.net = simnet.New(c.sched)
+	c.net.SetLatency(func(from, to simnet.NodeID) sim.Time {
+		if from == to {
+			return 1
+		}
+		return cfg.Latency
+	})
+	c.omega = fd.New()
+
+	peers := make([]simnet.NodeID, cfg.N)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := core.ReplicaID(i)
+		slow := cfg.ClockSlowdown[id]
+		if slow <= 0 {
+			slow = 1
+		}
+		n := &node{id: id, cl: c, procDelay: 1}
+		if d, ok := cfg.ProcDelay[id]; ok && d > 0 {
+			n.procDelay = d
+		}
+		n.replica = core.NewReplica(id, cfg.Variant, func() int64 {
+			return int64(c.sched.Now()) / slow
+		})
+		n.rbNode = rb.New(simnet.NodeID(i), c.sched, c.net, n.onRBDeliver)
+		switch cfg.TOB {
+		case PrimaryTOB:
+			n.tobNode = tob.NewPrimary(simnet.NodeID(i), 0, c.net, n.onTOBDeliver)
+		default:
+			n.tobNode = tob.NewPaxos(simnet.NodeID(i), peers, c.sched, c.net, c.omega, n.onTOBDeliver)
+		}
+		mux := &simnet.Mux{}
+		mux.Add(n.rbNode.Handle)
+		mux.Add(n.tobNode.Handle)
+		c.net.Register(simnet.NodeID(i), mux.Handler())
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Scheduler exposes the simulation scheduler (scenarios schedule their own
+// injections with it).
+func (c *Cluster) Scheduler() *sim.Scheduler { return c.sched }
+
+// Network exposes the network (partitions, crashes).
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Omega exposes the failure detector oracle.
+func (c *Cluster) Omega() *fd.Omega { return c.omega }
+
+// Replica returns the core replica (introspection for tests and examples).
+func (c *Cluster) Replica(id core.ReplicaID) *core.Replica { return c.nodes[id].replica }
+
+// StabilizeOmega makes every replica trust leader — the stable-run switch.
+func (c *Cluster) StabilizeOmega(leader core.ReplicaID) {
+	nodes := make([]simnet.NodeID, c.cfg.N)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	c.omega.Stabilize(nodes, simnet.NodeID(leader))
+}
+
+// DestabilizeOmega clears all leader hints — the asynchronous-run switch.
+func (c *Cluster) DestabilizeOmega() {
+	nodes := make([]simnet.NodeID, c.cfg.N)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	c.omega.Destabilize(nodes)
+}
+
+// Partition splits the network (delegates to simnet).
+func (c *Cluster) Partition(cells ...[]core.ReplicaID) {
+	conv := make([][]simnet.NodeID, len(cells))
+	for i, cell := range cells {
+		for _, id := range cell {
+			conv[i] = append(conv[i], simnet.NodeID(id))
+		}
+	}
+	c.net.Partition(conv...)
+}
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// ErrSessionBusy reports an invocation on a session whose previous operation
+// has not yet returned. Well-formed histories (§3.2) require sessions to be
+// sequential: a client blocked on a strong operation cannot issue more work.
+var ErrSessionBusy = errors.New("cluster: session awaiting a response")
+
+// Invoke submits an operation at a replica and returns the call handle,
+// which fills in when the response arrives.
+func (c *Cluster) Invoke(id core.ReplicaID, op spec.Op, level core.Level) (*Call, error) {
+	if c.rec.sessionBusy(id) {
+		return nil, fmt.Errorf("%w: replica %d", ErrSessionBusy, id)
+	}
+	n := c.nodes[id]
+	eff, err := n.replica.Invoke(op, level == core.Strong)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: invoke on %d: %w", id, err)
+	}
+	// The dot of the request just created is the replica's latest.
+	var d core.Dot
+	var ts int64
+	var tobCast bool
+	switch {
+	case len(eff.TOBCast) > 0:
+		d, ts, tobCast = eff.TOBCast[0].Dot, eff.TOBCast[0].Timestamp, true
+	case len(eff.RBCast) > 0:
+		d, ts = eff.RBCast[0].Dot, eff.RBCast[0].Timestamp
+	case len(eff.Responses) > 0:
+		d, ts = eff.Responses[0].Req.Dot, eff.Responses[0].Req.Timestamp
+	default:
+		return nil, fmt.Errorf("cluster: invoke on %d produced no request", id)
+	}
+	call := c.rec.invoked(id, d, op, level, ts, tobCast, int64(c.sched.Now()))
+	n.route(eff)
+	n.scheduleStep()
+	return call, nil
+}
+
+// StepReplica performs one internal step at the replica (manual mode).
+func (c *Cluster) StepReplica(id core.ReplicaID) error {
+	n := c.nodes[id]
+	eff, err := n.replica.Step()
+	if err != nil {
+		return err
+	}
+	n.route(eff)
+	return nil
+}
+
+// DrainReplica runs internal steps at the replica until passive (manual
+// mode).
+func (c *Cluster) DrainReplica(id core.ReplicaID) error {
+	n := c.nodes[id]
+	for n.replica.HasInternalWork() {
+		if err := c.StepReplica(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Settle runs the simulation to quiescence. It returns an error when the
+// step budget is exhausted first (protocol livelock) — callers in
+// asynchronous-run scenarios use RunFor instead, since pending strong
+// operations legitimately keep retry timers alive.
+func (c *Cluster) Settle(budget int64) error {
+	if budget <= 0 {
+		budget = 5_000_000
+	}
+	if _, ok := c.sched.Run(budget); !ok {
+		return errors.New("cluster: simulation did not quiesce within budget")
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d ticks.
+func (c *Cluster) RunFor(d sim.Time) { c.sched.RunFor(d) }
+
+// MarkStable records the quiescence cutoff for the history's finite-trace
+// predicates: events invoked after this call act as probes.
+func (c *Cluster) MarkStable() { c.rec.markStable() }
+
+// History assembles the recorded history.
+func (c *Cluster) History() (*history.History, error) { return c.rec.history() }
+
+// Calls returns every recorded call in invocation order.
+func (c *Cluster) Calls() []*Call { return c.rec.callList }
+
+// Stats aggregates replica cost counters (rollbacks/executions), keyed by
+// replica.
+func (c *Cluster) Stats() map[core.ReplicaID]core.Stats {
+	out := make(map[core.ReplicaID]core.Stats, len(c.nodes))
+	for _, n := range c.nodes {
+		out[n.id] = n.replica.Stats()
+	}
+	return out
+}
+
+// NetStats exposes network counters.
+func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
+
+// CompactAll runs Bayou's log compaction on every replica, releasing undo
+// data for committed prefixes; it returns the number of entries released.
+func (c *Cluster) CompactAll() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.replica.Compact()
+	}
+	return total
+}
+
+// route dispatches a replica's effects into the broadcast layers and the
+// recorder.
+func (n *node) route(eff core.Effects) {
+	for _, r := range eff.RBCast {
+		n.rbNode.Cast(rb.Message{ID: r.ID(), Payload: r})
+	}
+	for _, r := range eff.TOBCast {
+		n.tobNode.Cast(r.ID(), r)
+	}
+	for _, resp := range eff.Responses {
+		n.cl.rec.responded(resp, int64(n.cl.sched.Now()))
+	}
+	for _, notice := range eff.StableNotices {
+		n.cl.rec.stableNoticed(notice, int64(n.cl.sched.Now()))
+	}
+}
+
+// onRBDeliver feeds RB deliveries into the replica.
+func (n *node) onRBDeliver(m rb.Message) {
+	r, ok := m.Payload.(core.Req)
+	if !ok {
+		return
+	}
+	eff, err := n.replica.RBDeliver(r)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: RBDeliver on %d: %v", n.id, err))
+	}
+	n.route(eff)
+	n.scheduleStep()
+}
+
+// onTOBDeliver feeds TOB deliveries into the replica and records the global
+// tobNo.
+func (n *node) onTOBDeliver(tobNo int64, m tob.Message) {
+	r, ok := m.Payload.(core.Req)
+	if !ok {
+		return
+	}
+	n.cl.rec.tobDelivered(r.Dot, tobNo)
+	eff, err := n.replica.TOBDeliver(r)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: TOBDeliver on %d: %v", n.id, err))
+	}
+	n.route(eff)
+	n.scheduleStep()
+}
+
+// scheduleStep arranges the next internal step after procDelay, unless in
+// manual mode or one is already pending.
+func (n *node) scheduleStep() {
+	if n.cl.cfg.ManualStepping || n.stepPending || !n.replica.HasInternalWork() {
+		return
+	}
+	n.stepPending = true
+	n.cl.sched.After(n.procDelay, func() {
+		n.stepPending = false
+		eff, err := n.replica.Step()
+		if err != nil {
+			panic(fmt.Sprintf("cluster: step on %d: %v", n.id, err))
+		}
+		n.route(eff)
+		n.scheduleStep()
+	})
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bayou/internal/check"
+	"bayou/internal/core"
+	"bayou/internal/sim"
+	"bayou/internal/spec"
+)
+
+func mustInvoke(t *testing.T, c *Cluster, id core.ReplicaID, op spec.Op, l core.Level) *Call {
+	t.Helper()
+	call, err := c.Invoke(id, op, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return call
+}
+
+func mustSettle(t *testing.T, c *Cluster) {
+	t.Helper()
+	if err := c.Settle(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStableRunSatisfiesTheorem2 is the integration-level Theorem 2 check:
+// a stable run of the modified protocol satisfies FEC(weak,F) ∧
+// FEC(strong,F) ∧ Seq(strong,F), as verified by the witness-mode checker.
+func TestStableRunSatisfiesTheorem2(t *testing.T) {
+	c, err := New(Config{N: 3, Variant: core.NoCircularCausality, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeOmega(0)
+
+	mustInvoke(t, c, 0, spec.Append("a"), core.Weak)
+	c.RunFor(3)
+	mustInvoke(t, c, 1, spec.Append("b"), core.Weak)
+	mustInvoke(t, c, 2, spec.Duplicate(), core.Strong)
+	c.RunFor(50)
+	mustInvoke(t, c, 0, spec.PutIfAbsent("k", "v"), core.Strong)
+	mustInvoke(t, c, 1, spec.Inc("ctr", 2), core.Weak)
+	mustSettle(t, c)
+	c.MarkStable()
+	// Post-quiescence probes on every replica.
+	for i := 0; i < 3; i++ {
+		mustInvoke(t, c, core.ReplicaID(i), spec.ListRead(), core.Weak)
+	}
+	mustSettle(t, c)
+
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := check.NewWitness(h)
+	if res := w.ArTotal(); !res.Holds {
+		t.Errorf("%s", res)
+	}
+	for _, rep := range []check.Report{w.FEC(core.Weak), w.FEC(core.Strong), w.Seq(core.Strong)} {
+		if !rep.OK() {
+			t.Errorf("stable run violates guarantee:\n%s", rep)
+		}
+	}
+	// Every call completed.
+	for _, call := range c.Calls() {
+		if !call.Done {
+			t.Errorf("call %s (%s) never completed", call.Dot, call.Op.Name())
+		}
+	}
+}
+
+// TestAsyncRunSatisfiesTheorem3 is the integration-level Theorem 3 check: a
+// run with Ω never stabilizing satisfies FEC(weak,F) while strong operations
+// pend forever, so Seq(strong,F) is unachieved.
+func TestAsyncRunSatisfiesTheorem3(t *testing.T) {
+	c, err := New(Config{N: 3, Variant: core.NoCircularCausality, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ω never stabilizes: consensus makes no progress.
+	mustInvoke(t, c, 0, spec.Append("a"), core.Weak)
+	c.RunFor(40)
+	strong := mustInvoke(t, c, 1, spec.Duplicate(), core.Strong)
+	mustInvoke(t, c, 2, spec.Append("b"), core.Weak)
+	c.RunFor(3_000)
+	c.MarkStable()
+	// Probes avoid session 1, whose client is still blocked on the
+	// pending strong operation (sessions are sequential, §3.2).
+	for _, i := range []core.ReplicaID{0, 2} {
+		mustInvoke(t, c, i, spec.ListRead(), core.Weak)
+	}
+	c.RunFor(3_000)
+
+	if strong.Done {
+		t.Fatal("strong op completed without consensus — Theorem 3 premise broken")
+	}
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := check.NewWitness(h)
+	if rep := w.FEC(core.Weak); !rep.OK() {
+		t.Errorf("asynchronous run violates FEC(weak):\n%s", rep)
+	}
+	if rep := w.SeqPendingAware(core.Strong); rep.OK() {
+		t.Error("Seq(strong) must be unachieved in asynchronous runs (pending strong ops)")
+	}
+}
+
+// TestWeakAvailabilityUnderPartition: weak operations stay available inside
+// every partition cell; strong operations block in the minority but proceed
+// in a quorum cell; healing reconciles all replicas.
+func TestWeakAvailabilityUnderPartition(t *testing.T) {
+	c, err := New(Config{N: 5, Variant: core.NoCircularCausality, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeOmega(2) // leader in the majority cell
+	c.Partition([]core.ReplicaID{0, 1}, []core.ReplicaID{2, 3, 4})
+
+	minorityWeak := mustInvoke(t, c, 0, spec.Append("m"), core.Weak)
+	minorityStrong := mustInvoke(t, c, 1, spec.Append("s1"), core.Strong)
+	majorityWeak := mustInvoke(t, c, 3, spec.Append("M"), core.Weak)
+	majorityStrong := mustInvoke(t, c, 2, spec.Append("s2"), core.Strong)
+	c.RunFor(5_000)
+
+	if !minorityWeak.Done || !majorityWeak.Done {
+		t.Error("weak operations must respond inside any partition cell")
+	}
+	if minorityStrong.Done {
+		t.Error("minority strong op must block while partitioned")
+	}
+	if !majorityStrong.Done {
+		t.Error("majority strong op must complete (quorum available)")
+	}
+
+	c.Heal()
+	c.StabilizeOmega(2)
+	mustSettle(t, c)
+	if !minorityStrong.Done {
+		t.Error("minority strong op must complete after heal")
+	}
+	// All replicas converge to one committed order and state.
+	ref := c.Replica(0).Committed()
+	for i := 1; i < 5; i++ {
+		got := c.Replica(core.ReplicaID(i)).Committed()
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d committed %d, want %d", i, len(got), len(ref))
+		}
+		for k := range ref {
+			if got[k].Dot != ref[k].Dot {
+				t.Fatalf("replica %d committed order diverges at %d", i, k)
+			}
+		}
+		if !spec.Equal(c.Replica(core.ReplicaID(i)).Read(spec.DefaultListID), c.Replica(0).Read(spec.DefaultListID)) {
+			t.Fatalf("replica %d state diverges", i)
+		}
+	}
+}
+
+// TestOriginalVariantEndToEnd runs Algorithm 1 over the full stack.
+func TestOriginalVariantEndToEnd(t *testing.T) {
+	c, err := New(Config{N: 3, Variant: core.Original, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeOmega(0)
+	mustInvoke(t, c, 0, spec.Append("a"), core.Weak)
+	mustInvoke(t, c, 1, spec.Append("b"), core.Weak)
+	mustInvoke(t, c, 2, spec.Duplicate(), core.Strong)
+	mustSettle(t, c)
+	for _, call := range c.Calls() {
+		if !call.Done {
+			t.Errorf("call %s never completed", call.Dot)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Replica(core.ReplicaID(i)).CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestPrimaryTOBEndToEnd runs the original Bayou commit scheme (E11).
+func TestPrimaryTOBEndToEnd(t *testing.T) {
+	c, err := New(Config{N: 3, Variant: core.NoCircularCausality, TOB: PrimaryTOB, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInvoke(t, c, 1, spec.Append("a"), core.Weak)
+	mustInvoke(t, c, 2, spec.Append("b"), core.Strong)
+	mustSettle(t, c)
+	for _, call := range c.Calls() {
+		if !call.Done {
+			t.Errorf("call %s never completed under PrimaryTOB", call.Dot)
+		}
+	}
+	// Crash the primary: strong ops stop committing.
+	c.Network().Crash(0)
+	stuck := mustInvoke(t, c, 1, spec.Append("c"), core.Strong)
+	c.RunFor(5_000)
+	if stuck.Done {
+		t.Error("strong op must block after primary crash (the ablation's point)")
+	}
+}
+
+// TestReadYourWritesTradeoff (§A.1.2): Algorithm 1 preserves
+// read-your-writes; Algorithm 2's immediate execution can miss the session's
+// own immediately-preceding write.
+func TestReadYourWritesTradeoff(t *testing.T) {
+	run := func(v core.Variant) check.Result {
+		c, err := New(Config{N: 2, Variant: v, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.StabilizeOmega(0)
+		// Two back-to-back invocations with no scheduler progress in
+		// between: under Algorithm 2 the first returns within its
+		// invoke step, so the session is free again, yet the second
+		// executes before the first is applied to the replica state.
+		// Under Algorithm 1 the session blocks until the write is
+		// executed, so the read necessarily observes it.
+		mustInvoke(t, c, 0, spec.Append("w"), core.Weak)
+		if v == core.Original {
+			mustSettle(t, c) // Algorithm 1: the session is busy until then
+		}
+		mustInvoke(t, c, 0, spec.ListRead(), core.Weak)
+		mustSettle(t, c)
+		h, err := c.History()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return check.NewWitness(h).ReadYourWrites()
+	}
+	if res := run(core.NoCircularCausality); res.Holds {
+		t.Errorf("Algorithm 2 must lose read-your-writes on back-to-back invokes: %s", res)
+	}
+	if res := run(core.Original); !res.Holds {
+		t.Errorf("Algorithm 1 must preserve read-your-writes: %s", res)
+	}
+}
+
+// TestSlowReplicaBacklogGrows reproduces the §2.3 progress argument in
+// miniature: with one slow replica saturated by the others' requests, the
+// response time of the slow replica's own weak invocations grows round after
+// round under Algorithm 1 (no bounded wait-freedom), while under Algorithm 2
+// weak responses stay immediate.
+func TestSlowReplicaBacklogGrows(t *testing.T) {
+	latencies := func(variant core.Variant) []int64 {
+		c, err := New(Config{
+			N:         3,
+			Variant:   variant,
+			Seed:      23,
+			ProcDelay: map[core.ReplicaID]sim.Time{2: 40},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.StabilizeOmega(0)
+		var slowCalls []*Call
+		const dt = 60 // enough for fast replicas, far too little for ~3 ops × 40 on the slow one
+		for round := 0; round < 12; round++ {
+			for i := 0; i < 3; i++ {
+				call, invErr := c.Invoke(core.ReplicaID(i), spec.Append("z"), core.Weak)
+				if errors.Is(invErr, ErrSessionBusy) {
+					continue // session still blocked on its previous call
+				}
+				if invErr != nil {
+					t.Fatal(invErr)
+				}
+				if i == 2 {
+					slowCalls = append(slowCalls, call)
+				}
+			}
+			c.RunFor(dt)
+		}
+		mustSettle(t, c)
+		out := make([]int64, 0, len(slowCalls))
+		for _, call := range slowCalls {
+			if !call.Done {
+				t.Fatal("weak call never completed after settle")
+			}
+			out = append(out, call.WallReturn-call.WallInvoke)
+		}
+		return out
+	}
+
+	orig := latencies(core.Original)
+	if orig[len(orig)-1] <= orig[0]*2 {
+		t.Errorf("Algorithm 1 slow-replica latency must grow: first=%d last=%d", orig[0], orig[len(orig)-1])
+	}
+	mod := latencies(core.NoCircularCausality)
+	for i, l := range mod {
+		if l != 0 {
+			t.Errorf("Algorithm 2 weak latency[%d] = %d, want 0 (immediate)", i, l)
+		}
+	}
+}
+
+func TestHistoryWellFormedAndLatencies(t *testing.T) {
+	c, err := New(Config{N: 2, Variant: core.NoCircularCausality, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeOmega(0)
+	call := mustInvoke(t, c, 0, spec.Append("a"), core.Weak)
+	mustSettle(t, c)
+	strong := mustInvoke(t, c, 1, spec.Duplicate(), core.Strong)
+	mustSettle(t, c)
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Events) != 2 {
+		t.Fatalf("history has %d events, want 2", len(h.Events))
+	}
+	if call.WallReturn < call.WallInvoke {
+		t.Error("weak call latency negative")
+	}
+	if strong.WallReturn <= strong.WallInvoke {
+		t.Error("strong call must take positive time (TOB round trips)")
+	}
+	if !h.SessionOrder(h.Events[0], h.Events[1]) == h.SameSession(h.Events[0], h.Events[1]) {
+		t.Log("session relations consistent")
+	}
+}
+
+func TestManyOpsManyReplicasConverge(t *testing.T) {
+	c, err := New(Config{N: 4, Variant: core.NoCircularCausality, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StabilizeOmega(1)
+	invoked := 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			level := core.Weak
+			if (round+i)%5 == 0 {
+				level = core.Strong
+			}
+			_, invErr := c.Invoke(core.ReplicaID(i), spec.Append(fmt.Sprintf("%d%d", round, i)), level)
+			if errors.Is(invErr, ErrSessionBusy) {
+				continue // strong call from an earlier round still pending
+			}
+			if invErr != nil {
+				t.Fatal(invErr)
+			}
+			invoked++
+		}
+		c.RunFor(7)
+	}
+	mustSettle(t, c)
+	ref := c.Replica(0)
+	if len(ref.Tentative()) != 0 {
+		t.Error("tentative must drain in stable runs")
+	}
+	if got := len(ref.Committed()); got != invoked {
+		t.Errorf("committed %d, want %d", got, invoked)
+	}
+	for i := 1; i < 4; i++ {
+		p := c.Replica(core.ReplicaID(i))
+		if !spec.Equal(p.Read(spec.DefaultListID), ref.Read(spec.DefaultListID)) {
+			t.Errorf("replica %d state diverges", i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+)
+
+// recorder accumulates the observable history and the run witnesses while
+// the simulation executes. Invocation and response instants are stamped with
+// a global logical sequence so that the rb relation is unambiguous even when
+// several events share a simulated instant.
+type recorder struct {
+	seq      int64
+	stableAt int64
+	calls    map[core.Dot]*Call
+	callList []*Call
+	events   map[core.Dot]*history.Event
+	order    []core.Dot
+	tobNos   map[core.Dot]int64
+	lastOf   map[core.ReplicaID]*history.Event
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		calls:  make(map[core.Dot]*Call),
+		events: make(map[core.Dot]*history.Event),
+		tobNos: make(map[core.Dot]int64),
+		lastOf: make(map[core.ReplicaID]*history.Event),
+	}
+}
+
+// sessionBusy reports whether the session's latest invocation is still
+// awaiting its response; well-formed histories (§3.2) forbid a new
+// invocation until then.
+func (r *recorder) sessionBusy(session core.ReplicaID) bool {
+	last := r.lastOf[session]
+	return last != nil && last.Pending
+}
+
+func (r *recorder) next() int64 {
+	r.seq++
+	return r.seq
+}
+
+func (r *recorder) invoked(session core.ReplicaID, d core.Dot, op spec.Op, level core.Level, ts int64, tobCast bool, wall int64) *Call {
+	call := &Call{Dot: d, Op: op, Level: level, WallInvoke: wall}
+	r.calls[d] = call
+	r.callList = append(r.callList, call)
+	e := &history.Event{
+		Session:    session,
+		Op:         op,
+		Level:      level,
+		Pending:    true,
+		Invoke:     r.next(),
+		WallInvoke: wall,
+		Dot:        d,
+		Timestamp:  ts,
+		TOBCast:    tobCast,
+		TOBNo:      -1,
+	}
+	r.events[d] = e
+	r.lastOf[session] = e
+	r.order = append(r.order, d)
+	return call
+}
+
+func (r *recorder) responded(resp core.Response, wall int64) {
+	d := resp.Req.Dot
+	if call, ok := r.calls[d]; ok && !call.Done {
+		call.Done = true
+		call.Response = resp
+		call.WallReturn = wall
+	}
+	if e, ok := r.events[d]; ok && e.Pending {
+		e.Pending = false
+		e.Return = r.next()
+		e.WallReturn = wall
+		e.RVal = resp.Value
+		e.Trace = append([]core.Dot(nil), resp.Trace...)
+		e.CommittedLen = resp.CommittedLen
+	}
+}
+
+// stableNoticed records the stable value of a weak operation that already
+// returned tentatively. It updates the call handle only: the history's rval
+// stays the (first) tentative response, matching the paper's model of a
+// client interested in one or the other (footnote 3).
+func (r *recorder) stableNoticed(resp core.Response, wall int64) {
+	d := resp.Req.Dot
+	if call, ok := r.calls[d]; ok && !call.StableDone {
+		call.StableDone = true
+		call.StableResponse = resp
+		call.WallStable = wall
+	}
+}
+
+func (r *recorder) tobDelivered(d core.Dot, tobNo int64) {
+	if _, seen := r.tobNos[d]; !seen {
+		r.tobNos[d] = tobNo
+	}
+}
+
+func (r *recorder) markStable() { r.stableAt = r.seq }
+
+// history assembles the recorded events. TOB numbers are attached at
+// assembly time so that late deliveries (after the response) are reflected.
+func (r *recorder) history() (*history.History, error) {
+	events := make([]*history.Event, 0, len(r.order))
+	for _, d := range r.order {
+		e := r.events[d]
+		if no, ok := r.tobNos[d]; ok {
+			e.TOBNo = no
+		} else {
+			e.TOBNo = -1
+		}
+		events = append(events, e)
+	}
+	return history.New(events, r.stableAt)
+}

@@ -1,0 +1,993 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bayou/internal/spec"
+)
+
+// harness hand-drives a set of replicas with full control over message
+// timing, mirroring the explicit schedules of Figures 1 and 2.
+type harness struct {
+	t         *testing.T
+	replicas  []*Replica
+	clock     int64
+	tobOrder  []Req // global commit order, in TOB-cast arrival order by default
+	responses map[ReplicaID][]Response
+}
+
+func newHarness(t *testing.T, n int, v Variant) *harness {
+	h := &harness{t: t, responses: make(map[ReplicaID][]Response)}
+	for i := 0; i < n; i++ {
+		h.replicas = append(h.replicas, NewReplica(ReplicaID(i), v, func() int64 { return h.clock }))
+	}
+	return h
+}
+
+func (h *harness) record(id ReplicaID, eff Effects) Effects {
+	h.responses[id] = append(h.responses[id], eff.Responses...)
+	return eff
+}
+
+// invoke invokes op at replica id with the given timestamp and returns the
+// effects (the caller routes RB/TOB messages explicitly).
+func (h *harness) invoke(id ReplicaID, ts int64, op spec.Op, strong bool) Effects {
+	h.t.Helper()
+	h.clock = ts
+	eff, err := h.replicas[id].Invoke(op, strong)
+	if err != nil {
+		h.t.Fatalf("invoke on %d: %v", id, err)
+	}
+	return h.record(id, eff)
+}
+
+func (h *harness) rbDeliver(id ReplicaID, r Req) {
+	h.t.Helper()
+	eff, err := h.replicas[id].RBDeliver(r)
+	if err != nil {
+		h.t.Fatalf("RBDeliver on %d: %v", id, err)
+	}
+	h.record(id, eff)
+}
+
+func (h *harness) tobDeliver(id ReplicaID, r Req) {
+	h.t.Helper()
+	eff, err := h.replicas[id].TOBDeliver(r)
+	if err != nil {
+		h.t.Fatalf("TOBDeliver on %d: %v", id, err)
+	}
+	h.record(id, eff)
+}
+
+func (h *harness) drain(id ReplicaID) {
+	h.t.Helper()
+	eff, err := h.replicas[id].Drain()
+	if err != nil {
+		h.t.Fatalf("drain on %d: %v", id, err)
+	}
+	h.record(id, eff)
+}
+
+func (h *harness) lastResponse(id ReplicaID) Response {
+	h.t.Helper()
+	rs := h.responses[id]
+	if len(rs) == 0 {
+		h.t.Fatalf("replica %d has no responses", id)
+	}
+	return rs[len(rs)-1]
+}
+
+func (h *harness) checkAll() {
+	h.t.Helper()
+	for _, r := range h.replicas {
+		if err := r.CheckInvariants(); err != nil {
+			h.t.Fatalf("replica %d: %v", r.ID(), err)
+		}
+	}
+}
+
+// TestFigure1 reproduces Figure 1 of the paper exactly: temporary operation
+// reordering under Algorithm 1.
+func TestFigure1(t *testing.T) {
+	h := newHarness(t, 2, Original)
+	r1, r2 := ReplicaID(0), ReplicaID(1)
+
+	// R1 invokes weak append(a); it executes locally and commits.
+	effA := h.invoke(r1, 10, spec.Append("a"), false)
+	reqA := effA.RBCast[0]
+	h.drain(r1)
+	if got := h.lastResponse(r1); !spec.Equal(got.Value, "a") || got.Committed {
+		t.Fatalf("append(a) tentative response = %v (committed=%v), want a, tentative", got.Value, got.Committed)
+	}
+	h.rbDeliver(r2, reqA)
+	h.tobDeliver(r1, reqA)
+	h.tobDeliver(r2, reqA)
+	h.drain(r2)
+
+	// Concurrently: R2 invokes strong duplicate() with the LOWER
+	// timestamp, R1 invokes weak append(x) with the higher timestamp.
+	effDup := h.invoke(r2, 15, spec.Duplicate(), true)
+	reqDup := effDup.TOBCast[0]
+	effX := h.invoke(r1, 20, spec.Append("x"), false)
+	reqX := effX.RBCast[0]
+
+	// Local executions are delayed ("CPU is busy"); the RB-cast message
+	// about duplicate() reaches R1 before R1 executes append(x).
+	h.rbDeliver(r1, reqDup)
+	h.drain(r1) // executes duplicate() then append(x) in tentative order
+	if got := h.lastResponse(r1); !spec.Equal(got.Value, "aax") || got.Committed {
+		t.Fatalf("append(x) tentative response = %v (committed=%v), want aax, tentative", got.Value, got.Committed)
+	}
+
+	// The final execution order established by TOB differs from the
+	// timestamp order: append(x) commits BEFORE duplicate().
+	h.rbDeliver(r2, reqX)
+	h.drain(r2)
+	h.tobDeliver(r1, reqX)
+	h.tobDeliver(r2, reqX)
+	h.tobDeliver(r1, reqDup)
+	h.tobDeliver(r2, reqDup)
+	h.drain(r1)
+	h.drain(r2)
+
+	// duplicate() is strong: its response reflects the final order.
+	if got := h.lastResponse(r2); !spec.Equal(got.Value, "axax") || !got.Committed {
+		t.Fatalf("duplicate() response = %v (committed=%v), want axax, committed", got.Value, got.Committed)
+	}
+
+	// Both replicas converge to the same final order a, x, dup and the
+	// same state.
+	for _, id := range []ReplicaID{r1, r2} {
+		if got := h.replicas[id].Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "x", "a", "x"}) {
+			t.Errorf("replica %d final list = %v", id, got)
+		}
+		if len(h.replicas[id].Tentative()) != 0 {
+			t.Errorf("replica %d tentative not empty", id)
+		}
+	}
+	h.checkAll()
+
+	// The anomaly: the client at R1 observed duplicate() before
+	// append(x) (rval aax), the client at R2 observed append(x) before
+	// duplicate() (rval axax) — temporary operation reordering.
+}
+
+// TestFigure1StrongAppend runs the same schedule with append(x) strong: the
+// response is then ax, consistent with the final order (the parenthesized
+// values of Figure 1).
+func TestFigure1StrongAppend(t *testing.T) {
+	h := newHarness(t, 2, Original)
+	r1, r2 := ReplicaID(0), ReplicaID(1)
+
+	effA := h.invoke(r1, 10, spec.Append("a"), false)
+	reqA := effA.RBCast[0]
+	h.drain(r1)
+	h.rbDeliver(r2, reqA)
+	h.tobDeliver(r1, reqA)
+	h.tobDeliver(r2, reqA)
+	h.drain(r2)
+
+	effDup := h.invoke(r2, 15, spec.Duplicate(), true)
+	reqDup := effDup.TOBCast[0]
+	effX := h.invoke(r1, 20, spec.Append("x"), true)
+	reqX := effX.RBCast[0]
+
+	h.rbDeliver(r1, reqDup)
+	h.drain(r1) // tentative execution; strong response withheld
+
+	for _, rs := range h.responses[r1] {
+		if rs.Req.Dot == reqX.Dot {
+			t.Fatal("strong append(x) responded before commit")
+		}
+	}
+
+	h.rbDeliver(r2, reqX)
+	h.drain(r2)
+	h.tobDeliver(r1, reqX)
+	h.tobDeliver(r2, reqX)
+	h.tobDeliver(r1, reqDup)
+	h.tobDeliver(r2, reqDup)
+	h.drain(r1)
+	h.drain(r2)
+
+	var xResp *Response
+	for i := range h.responses[r1] {
+		if h.responses[r1][i].Req.Dot == reqX.Dot {
+			xResp = &h.responses[r1][i]
+		}
+	}
+	if xResp == nil {
+		t.Fatal("strong append(x) never responded")
+	}
+	if !spec.Equal(xResp.Value, "ax") || !xResp.Committed {
+		t.Fatalf("strong append(x) = %v (committed=%v), want ax, committed", xResp.Value, xResp.Committed)
+	}
+	h.checkAll()
+}
+
+// TestFigure2CircularCausality reproduces Figure 2: under Algorithm 1, two
+// weak appends can each observe the other — circular causality.
+func TestFigure2CircularCausality(t *testing.T) {
+	h := newHarness(t, 2, Original)
+	r1, r2 := ReplicaID(0), ReplicaID(1)
+
+	// Committed prefix: append(a).
+	effA := h.invoke(r1, 10, spec.Append("a"), false)
+	reqA := effA.RBCast[0]
+	h.drain(r1)
+	h.rbDeliver(r2, reqA)
+	h.tobDeliver(r1, reqA)
+	h.tobDeliver(r2, reqA)
+	h.drain(r2)
+
+	// R2 invokes weak append(y) with the lower timestamp; R1 invokes
+	// weak append(x) with the higher timestamp.
+	effY := h.invoke(r2, 15, spec.Append("y"), false)
+	reqY := effY.RBCast[0]
+	effX := h.invoke(r1, 20, spec.Append("x"), false)
+	reqX := effX.RBCast[0]
+
+	// R1 RB-delivers y before executing x: tentative order y, x.
+	h.rbDeliver(r1, reqY)
+	h.drain(r1)
+	xResp := h.lastResponse(r1)
+	if !spec.Equal(xResp.Value, "ayx") {
+		t.Fatalf("append(x) = %v, want ayx (observes y)", xResp.Value)
+	}
+
+	// R2's local execution of append(y) is delayed past R2's own TOB
+	// delivery of y; the final order is a, x, y.
+	h.rbDeliver(r2, reqX)
+	h.tobDeliver(r1, reqX)
+	h.tobDeliver(r2, reqX)
+	h.tobDeliver(r1, reqY)
+	h.tobDeliver(r2, reqY)
+	h.drain(r2)
+	h.drain(r1)
+
+	var yResp *Response
+	for i := range h.responses[r2] {
+		if h.responses[r2][i].Req.Dot == reqY.Dot {
+			yResp = &h.responses[r2][i]
+		}
+	}
+	if yResp == nil {
+		t.Fatal("append(y) never responded")
+	}
+	if !spec.Equal(yResp.Value, "axy") {
+		t.Fatalf("append(y) = %v, want axy (observes x)", yResp.Value)
+	}
+	// Circular causality: x's return value observes y, and y's observes
+	// x. Witnessed by the traces:
+	if !containsDot(xResp.Trace, reqY.Dot) {
+		t.Error("x's trace must contain y")
+	}
+	if !containsDot(yResp.Trace, reqX.Dot) {
+		t.Error("y's trace must contain x")
+	}
+	h.checkAll()
+}
+
+// TestFigure2Modified runs the same schedule under Algorithm 2: the
+// immediate execution of weak operations prevents the cycle.
+func TestFigure2Modified(t *testing.T) {
+	h := newHarness(t, 2, NoCircularCausality)
+	r1, r2 := ReplicaID(0), ReplicaID(1)
+
+	effA := h.invoke(r1, 10, spec.Append("a"), false)
+	reqA := effA.RBCast[0]
+	h.drain(r1)
+	h.rbDeliver(r2, reqA)
+	h.tobDeliver(r1, reqA)
+	h.tobDeliver(r2, reqA)
+	h.drain(r2)
+
+	// Algorithm 2: append(y) executes immediately upon invocation — its
+	// response cannot observe any operation R2 has not yet seen.
+	effY := h.invoke(r2, 15, spec.Append("y"), false)
+	reqY := effY.RBCast[0]
+	yResp := h.lastResponse(r2)
+	if !spec.Equal(yResp.Value, "ay") {
+		t.Fatalf("append(y) = %v, want ay (immediate execution)", yResp.Value)
+	}
+
+	effX := h.invoke(r1, 20, spec.Append("x"), false)
+	reqX := effX.RBCast[0]
+	xResp := h.lastResponse(r1)
+	if !spec.Equal(xResp.Value, "ax") {
+		t.Fatalf("append(x) = %v, want ax (immediate execution)", xResp.Value)
+	}
+
+	// Deliveries proceed as in Figure 2; no response can now create a
+	// cycle because both responses are already fixed.
+	h.rbDeliver(r1, reqY)
+	h.rbDeliver(r2, reqX)
+	h.tobDeliver(r1, reqX)
+	h.tobDeliver(r2, reqX)
+	h.tobDeliver(r1, reqY)
+	h.tobDeliver(r2, reqY)
+	h.drain(r1)
+	h.drain(r2)
+
+	if !containsDot(xResp.Trace, reqY.Dot) == false && containsDot(yResp.Trace, reqX.Dot) {
+		t.Error("unexpected mutual observation under Algorithm 2")
+	}
+	// Convergence to the committed order a, x, y.
+	for _, id := range []ReplicaID{r1, r2} {
+		if got := h.replicas[id].Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "x", "y"}) {
+			t.Errorf("replica %d final list = %v", id, got)
+		}
+	}
+	h.checkAll()
+}
+
+func TestModifiedWeakIsBoundedWaitFree(t *testing.T) {
+	// Algorithm 2 responds to a weak invocation within the invoke step
+	// itself, regardless of backlog.
+	h := newHarness(t, 1, NoCircularCausality)
+	// Build a backlog: many tentative requests from a remote replica.
+	for i := 0; i < 50; i++ {
+		h.clock = int64(i)
+		r := Req{Timestamp: int64(i), Dot: Dot{Replica: 9, EventNo: int64(i + 1)}, Op: spec.Append("z")}
+		h.rbDeliver(0, r)
+	}
+	eff := h.invoke(0, 100, spec.Append("q"), false)
+	if len(eff.Responses) != 1 {
+		t.Fatalf("weak invoke under Algorithm 2 must respond immediately; got %d responses", len(eff.Responses))
+	}
+	h.checkAll()
+}
+
+func TestOriginalWeakWaitsForBacklog(t *testing.T) {
+	// Algorithm 1 responds only when the execute step reaches the request
+	// — the §2.3 unbounded-latency mechanism.
+	h := newHarness(t, 1, Original)
+	for i := 0; i < 50; i++ {
+		r := Req{Timestamp: int64(i), Dot: Dot{Replica: 9, EventNo: int64(i + 1)}, Op: spec.Append("z")}
+		h.rbDeliver(0, r)
+	}
+	eff := h.invoke(0, 100, spec.Append("q"), false)
+	if len(eff.Responses) != 0 {
+		t.Fatal("Algorithm 1 must not respond at invoke time")
+	}
+	steps := 0
+	for h.replicas[0].HasInternalWork() {
+		e, err := h.replicas[0].Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if len(e.Responses) > 0 {
+			break
+		}
+	}
+	if steps != 51 { // 50 backlog executions + own request
+		t.Errorf("response after %d steps, want 51 (backlog first)", steps)
+	}
+}
+
+func TestModifiedWeakROIsLocalOnly(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	eff := h.invoke(0, 10, spec.ListRead(), false)
+	if len(eff.RBCast) != 0 || len(eff.TOBCast) != 0 {
+		t.Error("weak read-only requests must not be broadcast (invisible reads)")
+	}
+	if len(eff.Responses) != 1 {
+		t.Error("weak read-only requests must respond immediately")
+	}
+}
+
+func TestModifiedStrongIsTOBOnly(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	eff := h.invoke(0, 10, spec.Append("s"), true)
+	if len(eff.RBCast) != 0 {
+		t.Error("strong requests must not be RB-cast under Algorithm 2")
+	}
+	if len(eff.TOBCast) != 1 {
+		t.Fatal("strong requests must be TOB-cast")
+	}
+	if len(eff.Responses) != 0 {
+		t.Error("strong requests must not respond before commit")
+	}
+	// Strong requests never appear on the tentative list.
+	if len(h.replicas[0].Tentative()) != 0 {
+		t.Error("strong request on tentative list")
+	}
+	// Response arrives after TOB delivery + execution.
+	h.tobDeliver(0, eff.TOBCast[0])
+	h.drain(0)
+	got := h.lastResponse(0)
+	if !spec.Equal(got.Value, "s") || !got.Committed {
+		t.Errorf("strong response = %v (committed=%v), want s, committed", got.Value, got.Committed)
+	}
+}
+
+func TestOriginalStrongRespondsViaStoredResponse(t *testing.T) {
+	// Algorithm 1 line 32: a strong request already executed in the right
+	// order responds at TOB delivery from the stored response.
+	h := newHarness(t, 1, Original)
+	eff := h.invoke(0, 10, spec.Append("s"), true)
+	h.drain(0) // executes tentatively; response withheld and stored
+	if len(h.responses[0]) != 0 {
+		t.Fatal("strong response leaked before commit")
+	}
+	h.tobDeliver(0, eff.TOBCast[0])
+	got := h.lastResponse(0)
+	if !spec.Equal(got.Value, "s") || !got.Committed {
+		t.Errorf("stored strong response = %v (committed=%v), want s, committed", got.Value, got.Committed)
+	}
+	h.checkAll()
+}
+
+func TestRollbackOnReorder(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	// Local request at high timestamp, executed.
+	h.invoke(0, 100, spec.Append("b"), false)
+	h.drain(0)
+	// Remote request with lower timestamp arrives: must roll back.
+	rA := Req{Timestamp: 50, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Append("a")}
+	h.rbDeliver(0, rA)
+	h.drain(0)
+	if got := h.replicas[0].Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "b"}) {
+		t.Errorf("list = %v, want [a b]", got)
+	}
+	st := h.replicas[0].Stats()
+	if st.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if st.Executes != 3 { // b, a, b again
+		t.Errorf("executes = %d, want 3", st.Executes)
+	}
+	h.checkAll()
+}
+
+func TestTOBOrderOverridesTimestampOrder(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	rA := Req{Timestamp: 50, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Append("a")}
+	rB := Req{Timestamp: 60, Dot: Dot{Replica: 2, EventNo: 1}, Op: spec.Append("b")}
+	h.rbDeliver(0, rA)
+	h.rbDeliver(0, rB)
+	h.drain(0) // tentative order a, b
+	// TOB commits b first.
+	h.tobDeliver(0, rB)
+	h.drain(0)
+	h.tobDeliver(0, rA)
+	h.drain(0)
+	if got := h.replicas[0].Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"b", "a"}) {
+		t.Errorf("list = %v, want [b a] (TOB order)", got)
+	}
+	h.checkAll()
+}
+
+func TestPendingResponses(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	eff := h.invoke(0, 10, spec.Append("s"), true)
+	pending := h.replicas[0].PendingResponses()
+	if len(pending) != 1 || pending[0] != eff.TOBCast[0].Dot {
+		t.Errorf("pending = %v", pending)
+	}
+	h.tobDeliver(0, eff.TOBCast[0])
+	h.drain(0)
+	if len(h.replicas[0].PendingResponses()) != 0 {
+		t.Error("pending must clear after response")
+	}
+}
+
+func TestDuplicateTOBDeliveryRejected(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	r := Req{Timestamp: 1, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Append("a")}
+	h.tobDeliver(0, r)
+	if _, err := h.replicas[0].TOBDeliver(r); err == nil {
+		t.Error("duplicate TOB delivery must be rejected")
+	}
+}
+
+func TestMonotoneClock(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	e1 := h.invoke(0, 100, spec.Append("a"), false)
+	e2 := h.invoke(0, 50, spec.Append("b"), false) // clock went backwards
+	if e2.RBCast[0].Timestamp <= e1.RBCast[0].Timestamp {
+		t.Errorf("timestamps must be strictly monotone per replica: %d then %d",
+			e1.RBCast[0].Timestamp, e2.RBCast[0].Timestamp)
+	}
+}
+
+func containsDot(ds []Dot, d Dot) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConvergenceProperty: for random workloads delivered in a consistent
+// global TOB order with arbitrary RB interleaving, all replicas converge to
+// identical committed lists and identical states, with empty tentative lists
+// — the paper's convergence requirement of eventual consistency.
+func TestConvergenceProperty(t *testing.T) {
+	for _, variant := range []Variant{Original, NoCircularCausality} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			f := func(seed int64, nRaw uint8) bool {
+				r := rand.New(rand.NewSource(seed))
+				nOps := int(nRaw%25) + 2
+				const nReplicas = 3
+				h := newHarness(t, nReplicas, variant)
+
+				type cast struct {
+					req Req
+					rb  bool
+				}
+				var casts []cast
+				clock := int64(0)
+				for i := 0; i < nOps; i++ {
+					clock += int64(r.Intn(20))
+					id := ReplicaID(r.Intn(nReplicas))
+					strong := r.Intn(4) == 0
+					var op spec.Op
+					switch r.Intn(3) {
+					case 0:
+						op = spec.Append([]string{"a", "b", "c"}[r.Intn(3)])
+					case 1:
+						op = spec.Inc("c", int64(r.Intn(5)))
+					default:
+						op = spec.Put("k", int64(r.Intn(9)))
+					}
+					eff := h.invoke(id, clock, op, strong)
+					for _, rq := range eff.RBCast {
+						casts = append(casts, cast{req: rq, rb: true})
+					}
+					for _, rq := range eff.TOBCast {
+						casts = append(casts, cast{req: rq, rb: false})
+					}
+					// Random partial draining.
+					if r.Intn(2) == 0 {
+						h.drain(id)
+					}
+				}
+				// RB-deliver in random order per replica.
+				for rep := 0; rep < nReplicas; rep++ {
+					perm := r.Perm(len(casts))
+					for _, k := range perm {
+						c := casts[k]
+						if !c.rb {
+							continue
+						}
+						h.rbDeliver(ReplicaID(rep), c.req)
+						if r.Intn(3) == 0 {
+							h.drain(ReplicaID(rep))
+						}
+					}
+				}
+				// TOB-deliver in one global order (cast order) everywhere.
+				for _, c := range casts {
+					if c.rb {
+						continue
+					}
+					for rep := 0; rep < nReplicas; rep++ {
+						h.tobDeliver(ReplicaID(rep), c.req)
+					}
+				}
+				for rep := 0; rep < nReplicas; rep++ {
+					h.drain(ReplicaID(rep))
+					if err := h.replicas[rep].CheckInvariants(); err != nil {
+						t.Logf("invariant: %v", err)
+						return false
+					}
+				}
+				// Wait: weak requests are both RB- and TOB-cast; TOB list
+				// includes them, so every request commits. Compare states.
+				ref := h.replicas[0]
+				for rep := 1; rep < nReplicas; rep++ {
+					p := h.replicas[rep]
+					if len(p.Tentative()) != 0 {
+						t.Logf("replica %d tentative non-empty", rep)
+						return false
+					}
+					refC, pC := ref.Committed(), p.Committed()
+					if len(refC) != len(pC) {
+						return false
+					}
+					for i := range refC {
+						if refC[i].Dot != pC[i].Dot {
+							return false
+						}
+					}
+					for _, key := range []string{spec.DefaultListID, "c", "kv/k"} {
+						if !spec.Equal(ref.Read(key), p.Read(key)) {
+							t.Logf("replica %d state diverges on %s", rep, key)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestInvariantsUnderChaosProperty drives a single replica with random
+// interleavings of invokes, deliveries and single steps, checking the
+// protocol invariants after every transition.
+func TestInvariantsUnderChaosProperty(t *testing.T) {
+	for _, variant := range []Variant{Original, NoCircularCausality} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			f := func(seed int64, nRaw uint8) bool {
+				r := rand.New(rand.NewSource(seed))
+				steps := int(nRaw%60) + 10
+				h := newHarness(t, 1, variant)
+				var tobQueue []Req // requests destined for TOB delivery
+				remoteEvent := int64(0)
+				clock := int64(0)
+				for i := 0; i < steps; i++ {
+					clock += int64(r.Intn(10))
+					switch r.Intn(5) {
+					case 0: // local invoke
+						eff := h.invoke(0, clock, spec.Append("l"), r.Intn(4) == 0)
+						tobQueue = append(tobQueue, eff.TOBCast...)
+					case 1: // remote RB delivery
+						remoteEvent++
+						req := Req{Timestamp: clock - int64(r.Intn(30)), Dot: Dot{Replica: 7, EventNo: remoteEvent}, Op: spec.Append("r")}
+						h.rbDeliver(0, req)
+						tobQueue = append(tobQueue, req)
+					case 2: // TOB delivery of the oldest outstanding request
+						if len(tobQueue) > 0 {
+							h.tobDeliver(0, tobQueue[0])
+							tobQueue = tobQueue[1:]
+						}
+					case 3: // one internal step
+						if _, err := h.replicas[0].Step(); err != nil {
+							t.Logf("step: %v", err)
+							return false
+						}
+					default: // drain
+						h.drain(0)
+					}
+					if err := h.replicas[0].CheckInvariants(); err != nil {
+						t.Logf("after step %d: %v", i, err)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Weak.String() != "weak" || Strong.String() != "strong" {
+		t.Error("level strings")
+	}
+	if LevelOf(Req{Strong: true}) != Strong || LevelOf(Req{}) != Weak {
+		t.Error("LevelOf")
+	}
+	if Original.String() != "original" || NoCircularCausality.String() != "no-circular-causality" {
+		t.Error("variant strings")
+	}
+}
+
+func TestReqOrdering(t *testing.T) {
+	a := Req{Timestamp: 1, Dot: Dot{Replica: 2, EventNo: 1}}
+	b := Req{Timestamp: 1, Dot: Dot{Replica: 1, EventNo: 5}}
+	c := Req{Timestamp: 2, Dot: Dot{Replica: 0, EventNo: 1}}
+	if !b.Less(a) {
+		t.Error("same timestamp: lower replica wins")
+	}
+	if !a.Less(c) || !b.Less(c) {
+		t.Error("lower timestamp wins")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive")
+	}
+	if fmt.Sprint(a.Dot) != "r2#1" {
+		t.Errorf("dot string = %s", a.Dot)
+	}
+}
+
+// TestStableNoticeFigure1 verifies the parenthesized values of Figure 1: a
+// weak operation's client can additionally await the *stable* response,
+// which reflects the final execution order (footnote 3).
+func TestStableNoticeFigure1(t *testing.T) {
+	h := newHarness(t, 2, Original)
+	r1, r2 := ReplicaID(0), ReplicaID(1)
+
+	effA := h.invoke(r1, 10, spec.Append("a"), false)
+	reqA := effA.RBCast[0]
+	h.drain(r1)
+	h.rbDeliver(r2, reqA)
+	// TOB delivery of a releases its stable notice with the same value.
+	eff, err := h.replicas[r1].TOBDeliver(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.StableNotices) != 1 || !spec.Equal(eff.StableNotices[0].Value, "a") {
+		t.Fatalf("append(a) stable notice = %+v, want value a", eff.StableNotices)
+	}
+	h.tobDeliver(r2, reqA)
+	h.drain(r2)
+
+	effDup := h.invoke(r2, 15, spec.Duplicate(), true)
+	reqDup := effDup.TOBCast[0]
+	effX := h.invoke(r1, 20, spec.Append("x"), false)
+	reqX := effX.RBCast[0]
+
+	h.rbDeliver(r1, reqDup)
+	h.drain(r1) // tentative response aax goes out
+	h.rbDeliver(r2, reqX)
+	h.drain(r2)
+
+	// Final order: x before dup. x is rolled back and re-executed in
+	// committed order; its stable notice must carry "ax" — the
+	// parenthesized value of the figure.
+	effTOBx, err := h.replicas[r1].TOBDeliver(reqX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.record(r1, effTOBx)
+	h.tobDeliver(r2, reqX)
+	h.tobDeliver(r1, reqDup)
+	h.tobDeliver(r2, reqDup)
+
+	var notice *Response
+	collect := func(eff Effects) {
+		for i := range eff.StableNotices {
+			if eff.StableNotices[i].Req.Dot == reqX.Dot {
+				notice = &eff.StableNotices[i]
+			}
+		}
+	}
+	collect(effTOBx)
+	for h.replicas[r1].HasInternalWork() {
+		eff, err := h.replicas[r1].Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(eff)
+	}
+	h.drain(r2)
+	if notice == nil {
+		t.Fatal("append(x) never received a stable notice")
+	}
+	if !spec.Equal(notice.Value, "ax") {
+		t.Fatalf("append(x) stable value = %v, want ax (the figure's parenthesized value)", notice.Value)
+	}
+	if !notice.Committed {
+		t.Fatal("stable notices must be committed")
+	}
+	h.checkAll()
+}
+
+// TestStableNoticeModifiedVariant: under Algorithm 2 the tentative response
+// comes at invoke; the stable notice arrives after commit with the final
+// value.
+func TestStableNoticeModifiedVariant(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	eff := h.invoke(0, 10, spec.Append("q"), false)
+	req := eff.TOBCast[0]
+	// A remote op with a lower timestamp commits first.
+	remote := Req{Timestamp: 5, Dot: Dot{Replica: 9, EventNo: 1}, Op: spec.Append("z")}
+	h.rbDeliver(0, remote)
+	h.tobDeliver(0, remote)
+	h.tobDeliver(0, req)
+	var notice *Response
+	for h.replicas[0].HasInternalWork() {
+		step, err := h.replicas[0].Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range step.StableNotices {
+			if step.StableNotices[i].Req.Dot == req.Dot {
+				notice = &step.StableNotices[i]
+			}
+		}
+	}
+	if notice == nil {
+		t.Fatal("no stable notice")
+	}
+	// Tentative said "q" (empty state); stable says "zq" (final order).
+	if !spec.Equal(eff.Responses[0].Value, "q") {
+		t.Fatalf("tentative = %v, want q", eff.Responses[0].Value)
+	}
+	if !spec.Equal(notice.Value, "zq") {
+		t.Fatalf("stable = %v, want zq", notice.Value)
+	}
+}
+
+// TestNoStableNoticeForReadOnly: weak read-only requests under Algorithm 2
+// are never broadcast, so they never stabilize.
+func TestNoStableNoticeForReadOnly(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	eff := h.invoke(0, 10, spec.ListRead(), false)
+	if len(eff.TOBCast) != 0 {
+		t.Fatal("read-only must not be TOB-cast")
+	}
+	if len(eff.StableNotices) != 0 {
+		t.Fatal("read-only must not produce stable notices")
+	}
+}
+
+// TestCompactReleasesOnlyStablePrefix: compaction drops undo data for the
+// committed executed prefix and never touches the tentative suffix, and the
+// protocol keeps functioning afterwards (including rollbacks of the
+// tentative part).
+func TestCompactReleasesOnlyStablePrefix(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	effA := h.invoke(0, 10, spec.Append("a"), false)
+	effB := h.invoke(0, 20, spec.Append("b"), false)
+	h.drain(0)
+	h.tobDeliver(0, effA.TOBCast[0])
+	h.drain(0)
+	// a committed+executed; b tentative+executed.
+	r := h.replicas[0]
+	if got := r.Compact(); got != 1 {
+		t.Fatalf("Compact = %d, want 1 (only the committed prefix)", got)
+	}
+	if got := r.LiveUndoEntries(); got != 1 {
+		t.Fatalf("live undo entries = %d, want 1 (b)", got)
+	}
+	// A remote request with ts between a and b forces b's rollback —
+	// still possible after compaction.
+	remote := Req{Timestamp: 15, Dot: Dot{Replica: 9, EventNo: 1}, Op: spec.Append("m")}
+	h.rbDeliver(0, remote)
+	h.drain(0)
+	if got := r.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "m", "b"}) {
+		t.Fatalf("list = %v, want [a m b]", got)
+	}
+	h.tobDeliver(0, remote)
+	h.tobDeliver(0, effB.TOBCast[0])
+	h.drain(0)
+	if got := r.Compact(); got != 2 {
+		t.Fatalf("second Compact = %d, want 2 (m and b now committed)", got)
+	}
+	if got := r.LiveUndoEntries(); got != 0 {
+		t.Fatalf("live undo entries = %d, want 0", got)
+	}
+	h.checkAll()
+}
+
+// TestCompactIsSafeUnderChaosProperty: interleaving Compact with random
+// protocol activity never breaks the invariants or causes errors.
+func TestCompactIsSafeUnderChaosProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		steps := int(nRaw%50) + 10
+		h := newHarness(t, 1, Original)
+		var tobQueue []Req
+		remoteEvent := int64(0)
+		clock := int64(0)
+		for i := 0; i < steps; i++ {
+			clock += int64(r.Intn(10))
+			switch r.Intn(6) {
+			case 0:
+				eff := h.invoke(0, clock, spec.Append("l"), false)
+				tobQueue = append(tobQueue, eff.TOBCast...)
+			case 1:
+				remoteEvent++
+				req := Req{Timestamp: clock - int64(r.Intn(30)), Dot: Dot{Replica: 7, EventNo: remoteEvent}, Op: spec.Append("r")}
+				h.rbDeliver(0, req)
+				tobQueue = append(tobQueue, req)
+			case 2:
+				if len(tobQueue) > 0 {
+					h.tobDeliver(0, tobQueue[0])
+					tobQueue = tobQueue[1:]
+				}
+			case 3:
+				h.replicas[0].Compact()
+			default:
+				h.drain(0)
+			}
+			if err := h.replicas[0].CheckInvariants(); err != nil {
+				t.Logf("after step %d: %v", i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotonicReadsLostMidRollback demonstrates the monotonic-reads window
+// of Algorithm 2: a weak read issued between a rollback and the
+// re-execution observes a state from which a previously-seen operation has
+// vanished.
+func TestMonotonicReadsLostMidRollback(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	// Local weak write w, executed tentatively.
+	effW := h.invoke(0, 20, spec.Append("w"), false)
+	_ = effW
+	h.drain(0)
+	// First read observes w.
+	h.invoke(0, 25, spec.ListRead(), false)
+	read1 := h.lastResponse(0)
+	if !spec.Equal(read1.Value, "w") {
+		t.Fatalf("read1 = %v, want w", read1.Value)
+	}
+	// A remote operation commits first, forcing w's rollback.
+	remote := Req{Timestamp: 5, Dot: Dot{Replica: 9, EventNo: 1}, Op: spec.Append("z")}
+	h.tobDeliver(0, remote)
+	// Step exactly once: the rollback of w happens, its re-execution has
+	// not — the window.
+	if _, err := h.replicas[0].Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.invoke(0, 30, spec.ListRead(), false)
+	read2 := h.lastResponse(0)
+	if !spec.Equal(read2.Value, "") {
+		t.Fatalf("read2 = %v, want empty (w temporarily invisible)", read2.Value)
+	}
+	// After draining, w returns.
+	h.drain(0)
+	h.invoke(0, 35, spec.ListRead(), false)
+	read3 := h.lastResponse(0)
+	if !spec.Equal(read3.Value, "zw") {
+		t.Fatalf("read3 = %v, want zw", read3.Value)
+	}
+	h.checkAll()
+}
+
+// TestStrongReadOnly: a strong read-only operation returns the stable value
+// reflecting exactly the committed prefix (Algorithm 2 sends it through TOB
+// only, like any strong request).
+func TestStrongReadOnly(t *testing.T) {
+	h := newHarness(t, 1, NoCircularCausality)
+	effW := h.invoke(0, 10, spec.Append("w"), false)
+	// Tentative op not yet committed; strong read must NOT see it until
+	// its own commit point, which orders after w's commit here.
+	effR := h.invoke(0, 20, spec.ListRead(), true)
+	if len(effR.TOBCast) != 1 {
+		t.Fatal("strong read-only must be TOB-cast")
+	}
+	h.tobDeliver(0, effW.TOBCast[0])
+	h.tobDeliver(0, effR.TOBCast[0])
+	h.drain(0)
+	got := h.lastResponse(0)
+	if !spec.Equal(got.Value, "w") || !got.Committed {
+		t.Fatalf("strong read = %v (committed=%v), want w, stable", got.Value, got.Committed)
+	}
+	h.checkAll()
+}
+
+// TestTOBBeforeRBDelivery: a request can be TOB-delivered before its RB copy
+// arrives; the late RB delivery must be ignored (Algorithm 1 line 25).
+func TestTOBBeforeRBDelivery(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	r := Req{Timestamp: 5, Dot: Dot{Replica: 3, EventNo: 1}, Op: spec.Append("z")}
+	h.tobDeliver(0, r)
+	h.drain(0)
+	h.rbDeliver(0, r) // late RB copy
+	h.drain(0)
+	if got := h.replicas[0].Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"z"}) {
+		t.Fatalf("list = %v, want single z (no duplicate execution)", got)
+	}
+	st := h.replicas[0].Stats()
+	if st.Executes != 1 {
+		t.Errorf("executes = %d, want 1", st.Executes)
+	}
+}
+
+// TestWeakCommittedBeforeExecution: if TOB delivers a local weak request
+// before the replica ever executed it, the single execution happens in
+// committed order and the (first) response is already stable.
+func TestWeakCommittedBeforeExecution(t *testing.T) {
+	h := newHarness(t, 1, Original)
+	eff := h.invoke(0, 10, spec.Append("a"), false)
+	h.tobDeliver(0, eff.TOBCast[0]) // committed before any internal step
+	h.drain(0)
+	got := h.lastResponse(0)
+	if !spec.Equal(got.Value, "a") || !got.Committed {
+		t.Fatalf("response = %v (committed=%v), want a, stable", got.Value, got.Committed)
+	}
+}

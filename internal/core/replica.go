@@ -1,0 +1,474 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bayou/internal/spec"
+	"bayou/internal/stateobj"
+)
+
+// ErrInvariant reports a broken internal invariant; it always indicates a
+// protocol implementation bug, never a legal run.
+var ErrInvariant = errors.New("core: protocol invariant violated")
+
+// pendingResp is a reqsAwaitingResp entry (Algorithm 1 line 8): ⊥ until the
+// request is executed, then the stored tentative response awaiting commit.
+type pendingResp struct {
+	has          bool
+	value        spec.Value
+	trace        []Dot
+	committedLen int
+}
+
+// Replica is one Bayou process. It is not safe for concurrent use: the
+// simulation drives it from a single goroutine, mirroring the atomic-step
+// automaton model.
+type Replica struct {
+	id      ReplicaID
+	variant Variant
+	state   *stateobj.State
+	clock   func() int64
+
+	currEventNo int64
+	lastTS      int64 // enforces a strictly monotone local clock (footnote 9)
+
+	committed []Req
+	tentative []Req
+
+	executed       []Req
+	toBeExecuted   []Req
+	toBeRolledBack []Req
+
+	awaiting     map[Dot]*pendingResp
+	awaitStable  map[Dot]*pendingResp // weak ops answered tentatively, awaiting the stable notice
+	committedSet map[Dot]bool
+	executedSet  map[Dot]bool
+	tentativeSet map[Dot]bool
+
+	steps int64 // internal events executed (bounded-wait-freedom accounting)
+}
+
+// NewReplica constructs a replica. clock supplies currTime for request
+// timestamps (the cluster feeds it virtual time, optionally skewed for the
+// §2.3 experiments); it is made strictly monotone internally.
+func NewReplica(id ReplicaID, variant Variant, clock func() int64) *Replica {
+	return &Replica{
+		id:           id,
+		variant:      variant,
+		state:        stateobj.New(),
+		clock:        clock,
+		awaiting:     make(map[Dot]*pendingResp),
+		awaitStable:  make(map[Dot]*pendingResp),
+		committedSet: make(map[Dot]bool),
+		executedSet:  make(map[Dot]bool),
+		tentativeSet: make(map[Dot]bool),
+	}
+}
+
+// ID returns the replica's identifier.
+func (p *Replica) ID() ReplicaID { return p.id }
+
+// Variant returns the protocol variant the replica runs.
+func (p *Replica) Variant() Variant { return p.variant }
+
+// now returns a strictly increasing local timestamp.
+func (p *Replica) now() int64 {
+	t := p.clock()
+	if t <= p.lastTS {
+		t = p.lastTS + 1
+	}
+	p.lastTS = t
+	return t
+}
+
+// Invoke handles a client invocation (Algorithm 1 line 9 / Algorithm 2).
+func (p *Replica) Invoke(op spec.Op, strong bool) (Effects, error) {
+	p.currEventNo++
+	r := Req{Timestamp: p.now(), Dot: Dot{Replica: p.id, EventNo: p.currEventNo}, Strong: strong, Op: op}
+	if p.variant == NoCircularCausality {
+		return p.invokeModified(r)
+	}
+	// Algorithm 1: broadcast via RB and TOB, simulate immediate local
+	// RB-delivery, and await the response from a later execute step.
+	var eff Effects
+	eff.RBCast = append(eff.RBCast, r)
+	eff.TOBCast = append(eff.TOBCast, r)
+	p.adjustTentativeOrder(r)
+	p.awaiting[r.Dot] = &pendingResp{}
+	return eff, nil
+}
+
+// invokeModified is Algorithm 2: weak requests execute immediately on the
+// current state and respond at once (bounded wait-freedom); strong requests
+// go through TOB only, so they never appear on any tentative list.
+func (p *Replica) invokeModified(r Req) (Effects, error) {
+	var eff Effects
+	if !r.Strong {
+		value, err := p.state.Execute(r.ID(), r.Op)
+		if err != nil {
+			return Effects{}, fmt.Errorf("%w: transient execute: %v", ErrInvariant, err)
+		}
+		trace := p.currentTrace()
+		if err := p.state.Rollback(r.ID()); err != nil {
+			return Effects{}, fmt.Errorf("%w: transient rollback: %v", ErrInvariant, err)
+		}
+		eff.Responses = append(eff.Responses, Response{
+			Req:          r,
+			Value:        value,
+			Committed:    false,
+			Trace:        trace,
+			CommittedLen: len(p.committed),
+		})
+		if !r.Op.ReadOnly() {
+			eff.RBCast = append(eff.RBCast, r)
+			eff.TOBCast = append(eff.TOBCast, r)
+			p.adjustTentativeOrder(r)
+			// The client may additionally await the stable value
+			// (footnote 3); read-only requests are never committed
+			// under Algorithm 2, so they have no stable notice.
+			p.awaitStable[r.Dot] = &pendingResp{
+				has: true, value: value, trace: trace, committedLen: len(p.committed),
+			}
+		}
+		return eff, nil
+	}
+	p.awaiting[r.Dot] = &pendingResp{}
+	eff.TOBCast = append(eff.TOBCast, r)
+	return eff, nil
+}
+
+// RBDeliver handles an RB delivery (Algorithm 1 line 22).
+func (p *Replica) RBDeliver(r Req) (Effects, error) {
+	if r.Dot.Replica == p.id {
+		return Effects{}, nil // issued locally (line 23)
+	}
+	if p.committedSet[r.Dot] || p.tentativeSet[r.Dot] {
+		return Effects{}, nil // already known (line 25)
+	}
+	p.adjustTentativeOrder(r)
+	return Effects{}, nil
+}
+
+// TOBDeliver handles a TOB delivery (Algorithm 1 line 27): the request's
+// final position is appended to committed; a stored tentative response for a
+// strong request already executed in the right order is released.
+func (p *Replica) TOBDeliver(r Req) (Effects, error) {
+	if p.committedSet[r.Dot] {
+		return Effects{}, fmt.Errorf("%w: duplicate TOB delivery of %s", ErrInvariant, r.ID())
+	}
+	p.committed = append(p.committed, r)
+	p.committedSet[r.Dot] = true
+	if p.tentativeSet[r.Dot] {
+		delete(p.tentativeSet, r.Dot)
+		keep := p.tentative[:0]
+		for _, x := range p.tentative {
+			if x.Dot != r.Dot {
+				keep = append(keep, x)
+			}
+		}
+		p.tentative = keep
+	}
+	p.adjustExecution()
+
+	var eff Effects
+	if pr, ok := p.awaiting[r.Dot]; ok && p.executedSet[r.Dot] {
+		if !pr.has {
+			return Effects{}, fmt.Errorf("%w: %s executed but no stored response", ErrInvariant, r.ID())
+		}
+		eff.Responses = append(eff.Responses, Response{
+			Req:          r,
+			Value:        pr.value,
+			Committed:    true,
+			Trace:        pr.trace,
+			CommittedLen: pr.committedLen,
+		})
+		delete(p.awaiting, r.Dot)
+	}
+	// A weak request already executed in the (now final) right order: its
+	// stored value is stable, release the notice (the weak analogue of
+	// Algorithm 1 line 32).
+	if pr, ok := p.awaitStable[r.Dot]; ok && p.executedSet[r.Dot] && pr.has {
+		eff.StableNotices = append(eff.StableNotices, Response{
+			Req:          r,
+			Value:        pr.value,
+			Committed:    true,
+			Trace:        pr.trace,
+			CommittedLen: pr.committedLen,
+		})
+		delete(p.awaitStable, r.Dot)
+	}
+	return eff, nil
+}
+
+// adjustTentativeOrder inserts r into the timestamp-sorted tentative list
+// and recomputes the execution schedule (Algorithm 1 line 16).
+func (p *Replica) adjustTentativeOrder(r Req) {
+	i := 0
+	for i < len(p.tentative) && p.tentative[i].Less(r) {
+		i++
+	}
+	p.tentative = append(p.tentative, Req{})
+	copy(p.tentative[i+1:], p.tentative[i:])
+	p.tentative[i] = r
+	p.tentativeSet[r.Dot] = true
+	p.adjustExecution()
+}
+
+// adjustExecution recomputes executed/toBeExecuted/toBeRolledBack against
+// the new order committed · tentative (Algorithm 1 line 35).
+func (p *Replica) adjustExecution() {
+	newOrder := make([]Req, 0, len(p.committed)+len(p.tentative))
+	newOrder = append(newOrder, p.committed...)
+	newOrder = append(newOrder, p.tentative...)
+
+	// inOrder = longest common prefix of executed and newOrder.
+	n := 0
+	for n < len(p.executed) && n < len(newOrder) && p.executed[n].Dot == newOrder[n].Dot {
+		n++
+	}
+	outOfOrder := p.executed[n:]
+	p.executed = p.executed[:n]
+	// Roll back the out-of-order suffix in reverse execution order.
+	for i := len(outOfOrder) - 1; i >= 0; i-- {
+		p.toBeRolledBack = append(p.toBeRolledBack, outOfOrder[i])
+		delete(p.executedSet, outOfOrder[i].Dot)
+	}
+	// toBeExecuted = everything in newOrder not already executed.
+	p.toBeExecuted = p.toBeExecuted[:0]
+	for _, x := range newOrder[n:] {
+		p.toBeExecuted = append(p.toBeExecuted, x)
+	}
+}
+
+// HasInternalWork reports whether an internal event (rollback or execute) is
+// enabled. A replica with no internal work is passive (§5 input-driven
+// processing).
+func (p *Replica) HasInternalWork() bool {
+	return len(p.toBeRolledBack) > 0 || len(p.toBeExecuted) > 0
+}
+
+// Step executes exactly one enabled internal event: a rollback if any is
+// pending (Algorithm 1 line 41), otherwise one execution (line 45). Calling
+// Step on a passive replica is a no-op.
+func (p *Replica) Step() (Effects, error) {
+	p.steps++
+	if len(p.toBeRolledBack) > 0 {
+		head := p.toBeRolledBack[0]
+		p.toBeRolledBack = p.toBeRolledBack[1:]
+		if err := p.state.Rollback(head.ID()); err != nil {
+			return Effects{}, fmt.Errorf("%w: rollback %s: %v", ErrInvariant, head.ID(), err)
+		}
+		return Effects{}, nil
+	}
+	if len(p.toBeExecuted) == 0 {
+		return Effects{}, nil
+	}
+	head := p.toBeExecuted[0]
+	p.toBeExecuted = p.toBeExecuted[1:]
+	trace := p.currentTrace()
+	value, err := p.state.Execute(head.ID(), head.Op)
+	if err != nil {
+		return Effects{}, fmt.Errorf("%w: execute %s: %v", ErrInvariant, head.ID(), err)
+	}
+	var eff Effects
+	if pr, ok := p.awaiting[head.Dot]; ok {
+		if !head.Strong || p.committedSet[head.Dot] {
+			committed := p.committedSet[head.Dot]
+			eff.Responses = append(eff.Responses, Response{
+				Req:          head,
+				Value:        value,
+				Committed:    committed,
+				Trace:        trace,
+				CommittedLen: len(p.committed),
+			})
+			delete(p.awaiting, head.Dot)
+			if !head.Strong && !committed {
+				// The tentative weak response went out; keep
+				// tracking it so the stable value can be
+				// notified later (footnote 3).
+				p.awaitStable[head.Dot] = &pendingResp{
+					has: true, value: value, trace: trace, committedLen: len(p.committed),
+				}
+			}
+		} else {
+			pr.has = true
+			pr.value = value
+			pr.trace = trace
+			pr.committedLen = len(p.committed)
+		}
+	} else if pr, ok := p.awaitStable[head.Dot]; ok {
+		if p.committedSet[head.Dot] {
+			eff.StableNotices = append(eff.StableNotices, Response{
+				Req:          head,
+				Value:        value,
+				Committed:    true,
+				Trace:        trace,
+				CommittedLen: len(p.committed),
+			})
+			delete(p.awaitStable, head.Dot)
+		} else {
+			// Re-executed tentatively: remember the latest value for
+			// the TOB-delivery release path.
+			pr.has = true
+			pr.value = value
+			pr.trace = trace
+			pr.committedLen = len(p.committed)
+		}
+	}
+	p.executed = append(p.executed, head)
+	p.executedSet[head.Dot] = true
+	return eff, nil
+}
+
+// Drain runs internal events until the replica is passive, merging effects.
+func (p *Replica) Drain() (Effects, error) {
+	var eff Effects
+	for p.HasInternalWork() {
+		e, err := p.Step()
+		if err != nil {
+			return eff, err
+		}
+		eff.merge(e)
+	}
+	return eff, nil
+}
+
+// Compact releases the undo entries of the stable prefix — the executed
+// requests that are already committed. That prefix can never be rolled back
+// (committed is append-only, and adjustExecution's common prefix with
+// committed · tentative always retains it), so this is the original Bayou's
+// log truncation. It returns the number of undo entries released.
+func (p *Replica) Compact() int {
+	stable := len(p.executed)
+	if len(p.committed) < stable {
+		stable = len(p.committed)
+	}
+	return p.state.Release(stable)
+}
+
+// LiveUndoEntries reports how many executed requests still hold undo data.
+func (p *Replica) LiveUndoEntries() int { return p.state.LiveUndoEntries() }
+
+// currentTrace returns the current trace of the state object as dots:
+// executed · reverse(toBeRolledBack) (Appendix A.2.2).
+func (p *Replica) currentTrace() []Dot {
+	out := make([]Dot, 0, len(p.executed)+len(p.toBeRolledBack))
+	for _, r := range p.executed {
+		out = append(out, r.Dot)
+	}
+	for i := len(p.toBeRolledBack) - 1; i >= 0; i-- {
+		out = append(out, p.toBeRolledBack[i].Dot)
+	}
+	return out
+}
+
+// Committed returns a copy of the committed list.
+func (p *Replica) Committed() []Req { return append([]Req(nil), p.committed...) }
+
+// Tentative returns a copy of the tentative list.
+func (p *Replica) Tentative() []Req { return append([]Req(nil), p.tentative...) }
+
+// CurrentOrder returns committed · tentative — the order the replica is
+// converging to.
+func (p *Replica) CurrentOrder() []Req {
+	out := make([]Req, 0, len(p.committed)+len(p.tentative))
+	out = append(out, p.committed...)
+	out = append(out, p.tentative...)
+	return out
+}
+
+// CommittedLen returns |committed|.
+func (p *Replica) CommittedLen() int { return len(p.committed) }
+
+// PendingResponses returns the dots of requests whose clients still await a
+// response (pending events of the history; in asynchronous runs strong
+// requests pend forever, the crux of Theorem 3).
+func (p *Replica) PendingResponses() []Dot {
+	out := make([]Dot, 0, len(p.awaiting))
+	for d := range p.awaiting {
+		out = append(out, d)
+	}
+	sortDots(out)
+	return out
+}
+
+// Read peeks at a register of the replica's current state (diagnostics and
+// examples; not part of the protocol).
+func (p *Replica) Read(id string) spec.Value { return p.state.Read(id) }
+
+// Stats bundles the replica's cost counters.
+type Stats struct {
+	Steps     int64 // internal events executed
+	Executes  int64 // state executions (including re-executions)
+	Rollbacks int64 // state rollbacks
+	Backlog   int   // current |toBeExecuted| + |toBeRolledBack|
+}
+
+// Stats returns current counters.
+func (p *Replica) Stats() Stats {
+	st := p.state.Stats()
+	return Stats{
+		Steps:     p.steps,
+		Executes:  st.Executes,
+		Rollbacks: st.Rollbacks,
+		Backlog:   len(p.toBeExecuted) + len(p.toBeRolledBack),
+	}
+}
+
+// CheckInvariants validates the replica's internal consistency; property
+// tests call it after every transition. It returns nil when all invariants
+// hold.
+func (p *Replica) CheckInvariants() error {
+	// 1. committed and tentative are disjoint; tentative is sorted.
+	for _, r := range p.tentative {
+		if p.committedSet[r.Dot] {
+			return fmt.Errorf("%w: %s in both committed and tentative", ErrInvariant, r.ID())
+		}
+	}
+	for i := 1; i < len(p.tentative); i++ {
+		if !p.tentative[i-1].Less(p.tentative[i]) {
+			return fmt.Errorf("%w: tentative not sorted at %d", ErrInvariant, i)
+		}
+	}
+	// 2. executed is a prefix of committed · tentative.
+	order := p.CurrentOrder()
+	if len(p.executed) > len(order) {
+		return fmt.Errorf("%w: executed longer than order", ErrInvariant)
+	}
+	for i, r := range p.executed {
+		if order[i].Dot != r.Dot {
+			return fmt.Errorf("%w: executed[%d]=%s is not order[%d]=%s", ErrInvariant, i, r.ID(), i, order[i].ID())
+		}
+	}
+	// 3. the state object's trace equals executed · reverse(toBeRolledBack).
+	want := p.currentTrace()
+	got := p.state.Trace()
+	if len(got) != len(want) {
+		return fmt.Errorf("%w: state trace length %d, replica trace length %d", ErrInvariant, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].String() {
+			return fmt.Errorf("%w: state trace[%d]=%s, replica trace %s", ErrInvariant, i, got[i], want[i])
+		}
+	}
+	// 4. when no rollbacks are pending, toBeExecuted continues the order
+	//    right after executed.
+	if len(p.toBeRolledBack) == 0 {
+		for i, r := range p.toBeExecuted {
+			j := len(p.executed) + i
+			if j >= len(order) || order[j].Dot != r.Dot {
+				return fmt.Errorf("%w: toBeExecuted[%d]=%s misaligned", ErrInvariant, i, r.ID())
+			}
+		}
+	}
+	return nil
+}
+
+func sortDots(ds []Dot) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].less(ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

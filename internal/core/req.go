@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: the (modified)
+// Bayou protocol of Algorithm 1, and the improved variant of Algorithm 2
+// (Appendix A.1) that prevents circular causality and makes weak operations
+// bounded wait-free.
+//
+// A Replica is a pure state machine in the sense of the system model of
+// Appendix A.2.1: it reacts to input events (invoke, RB-deliver,
+// TOB-deliver) and internal events (rollback, execute) by atomically
+// transitioning state and emitting effects (messages to broadcast, responses
+// to clients). All scheduling — network, timers, interleaving of internal
+// steps — lives outside, in internal/cluster, which is what makes the
+// Figure 1/Figure 2 schedules ("local execution is for some reason delayed")
+// and the slow-replica experiment of §2.3 directly expressible.
+package core
+
+import (
+	"fmt"
+
+	"bayou/internal/spec"
+)
+
+// ReplicaID numbers the replicas 0..n-1.
+type ReplicaID int
+
+// Dot uniquely identifies a request: the issuing replica and that replica's
+// invocation counter (Algorithm 1 line 11: (i, currEventNo)).
+type Dot struct {
+	Replica ReplicaID
+	EventNo int64
+}
+
+// String renders the dot as a stable request identifier.
+func (d Dot) String() string { return fmt.Sprintf("r%d#%d", d.Replica, d.EventNo) }
+
+// less orders dots lexicographically.
+func (d Dot) less(o Dot) bool {
+	if d.Replica != o.Replica {
+		return d.Replica < o.Replica
+	}
+	return d.EventNo < o.EventNo
+}
+
+// Req is the request record broadcast between replicas (Algorithm 1 line 1):
+// invocation timestamp, dot, strong/weak flag, and the operation itself.
+type Req struct {
+	Timestamp int64
+	Dot       Dot
+	Strong    bool
+	Op        spec.Op
+}
+
+// Less is the request order of Algorithm 1 line 2: lexicographic on
+// (timestamp, dot). It is a total order because dots are unique.
+func (r Req) Less(o Req) bool {
+	if r.Timestamp != o.Timestamp {
+		return r.Timestamp < o.Timestamp
+	}
+	return r.Dot.less(o.Dot)
+}
+
+// ID returns the request's unique identifier (its dot, rendered).
+func (r Req) ID() string { return r.Dot.String() }
+
+// Level distinguishes the two consistency levels of the lvl attribute (§3.2).
+type Level int
+
+// The two levels of the paper: weak operations return tentatively, strong
+// operations return only after the final execution order is established.
+const (
+	Weak Level = iota + 1
+	Strong
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// LevelOf returns the level encoded in a request.
+func LevelOf(r Req) Level {
+	if r.Strong {
+		return Strong
+	}
+	return Weak
+}
+
+// Variant selects which protocol a replica runs.
+type Variant int
+
+const (
+	// Original is Algorithm 1: every request is RB-cast and TOB-cast,
+	// weak responses are returned at first (tentative) execution. It
+	// exhibits both anomalies of §2.2 — temporary operation reordering
+	// and circular causality — and weak operations are not bounded
+	// wait-free (§2.3).
+	Original Variant = iota + 1
+	// NoCircularCausality is Algorithm 2 (Appendix A.1): strong requests
+	// are disseminated by TOB only; weak requests are executed
+	// immediately on the current state (then rolled back and scheduled
+	// tentatively), making them bounded wait-free; weak read-only
+	// requests are purely local. Circular causality is eliminated;
+	// temporary operation reordering necessarily remains (Theorem 1).
+	NoCircularCausality
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Original:
+		return "original"
+	case NoCircularCausality:
+		return "no-circular-causality"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Response is a value returned to a client, together with the witness data
+// the correctness checkers consume (the exec(e) trace and committed length
+// used to build vis/ar/par exactly as in the proofs of Theorems 2 and 3).
+type Response struct {
+	Req   Req
+	Value spec.Value
+	// Committed reports whether the request was on the committed list
+	// when the response value was computed (strong responses always are;
+	// weak responses usually are not).
+	Committed bool
+	// Trace is exec(e): the current trace of the state object — executed
+	// · reverse(toBeRolledBack) — at the moment the response value was
+	// computed, excluding the request itself.
+	Trace []Dot
+	// CommittedLen is |committed| at the moment the response value was
+	// computed (anchors read-only events in the arbitration witness).
+	CommittedLen int
+}
+
+// Effects collects everything a state transition asks the environment to do.
+type Effects struct {
+	RBCast    []Req
+	TOBCast   []Req
+	Responses []Response
+	// StableNotices carry the *stable* value of weak operations that
+	// already returned tentatively — the optional notification of the
+	// original Bayou (footnote 3 of the paper: "optionally, [the client]
+	// can be notified once the final order of operation execution is
+	// established and the generated response is stable"). The
+	// parenthesized values of Figure 1 are exactly these notices.
+	StableNotices []Response
+}
+
+// merge appends other's effects.
+func (e *Effects) merge(other Effects) {
+	e.RBCast = append(e.RBCast, other.RBCast...)
+	e.TOBCast = append(e.TOBCast, other.TOBCast...)
+	e.Responses = append(e.Responses, other.Responses...)
+	e.StableNotices = append(e.StableNotices, other.StableNotices...)
+}

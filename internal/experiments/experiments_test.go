@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsPass is the repository's master reproduction check:
+// every figure, theorem and comparison of the paper regenerates with the
+// expected shape.
+func TestAllExperimentsPass(t *testing.T) {
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(results))
+	}
+	for _, res := range results {
+		if !res.OK() {
+			t.Errorf("experiment failed:\n%s", res)
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := Result{ID: "EX", Title: "demo", Rows: []Row{
+		{Name: "a", Paper: "p", Measured: "m", OK: true},
+		{Name: "b", Paper: "p", Measured: "m", OK: false},
+	}}
+	if r.OK() {
+		t.Error("OK must be false with a mismatch")
+	}
+	s := r.String()
+	if s == "" || len(s) < 10 {
+		t.Error("render too short")
+	}
+}

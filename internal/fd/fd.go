@@ -1,0 +1,83 @@
+// Package fd implements the failure detector Ω used by the paper (§2.1,
+// §5): the weakest failure detector for solving consensus [Chandra,
+// Hadzilacos, Toueg]. Ω guarantees that *eventually* all correct processes
+// trust the same correct process as leader — but only in stable runs. The
+// paper models the distinction implicitly ("we equip the replicas with the
+// TOB abstraction that achieves progress only when a failure detector that
+// is at least as strong as Ω is available"); here the oracle is explicit so
+// experiments can switch between:
+//
+//   - stable runs: the harness calls Stabilize(leader) and consensus makes
+//     progress, and
+//   - asynchronous runs: the harness calls Destabilize() (or never
+//     stabilizes) and any protocol step that waits on consensus blocks
+//     forever, exactly as Theorem 3 requires.
+//
+// The oracle is per-node: before stabilization different nodes may trust
+// different (or no) leaders, which exercises the multi-proposer paths of
+// Paxos.
+package fd
+
+import "bayou/internal/simnet"
+
+// NoLeader is returned while a node trusts nobody.
+const NoLeader simnet.NodeID = -1
+
+// Omega is the failure-detector oracle shared by all nodes of a simulation.
+// The zero value is not usable; construct with New.
+type Omega struct {
+	hint map[simnet.NodeID]simnet.NodeID
+	subs []func(node simnet.NodeID)
+}
+
+// New returns an oracle in the destabilized state (no node trusts anyone).
+func New() *Omega {
+	return &Omega{hint: make(map[simnet.NodeID]simnet.NodeID)}
+}
+
+// Leader returns the leader currently trusted by node, or NoLeader.
+func (o *Omega) Leader(node simnet.NodeID) simnet.NodeID {
+	if l, ok := o.hint[node]; ok {
+		return l
+	}
+	return NoLeader
+}
+
+// Stabilize makes every node trust leader, modelling the eventual agreement
+// Ω provides in stable runs, and notifies subscribers.
+func (o *Omega) Stabilize(nodes []simnet.NodeID, leader simnet.NodeID) {
+	for _, n := range nodes {
+		o.hint[n] = leader
+	}
+	o.notify(nodes)
+}
+
+// SetHint makes a single node trust leader (possibly a wrong or conflicting
+// hint — Ω permits arbitrary disagreement before stabilization).
+func (o *Omega) SetHint(node, leader simnet.NodeID) {
+	o.hint[node] = leader
+	o.notify([]simnet.NodeID{node})
+}
+
+// Destabilize clears all hints: no node trusts any leader, so
+// consensus-based progress stops. Models the asynchronous runs of §5.
+func (o *Omega) Destabilize(nodes []simnet.NodeID) {
+	for _, n := range nodes {
+		delete(o.hint, n)
+	}
+	o.notify(nodes)
+}
+
+// Subscribe registers a callback invoked with each node whose hint changed.
+// TOB modules use it to start or stop leading.
+func (o *Omega) Subscribe(fn func(node simnet.NodeID)) {
+	o.subs = append(o.subs, fn)
+}
+
+func (o *Omega) notify(nodes []simnet.NodeID) {
+	for _, fn := range o.subs {
+		for _, n := range nodes {
+			fn(n)
+		}
+	}
+}

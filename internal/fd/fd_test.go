@@ -1,0 +1,61 @@
+package fd
+
+import (
+	"testing"
+
+	"bayou/internal/simnet"
+)
+
+func TestInitiallyNoLeader(t *testing.T) {
+	o := New()
+	if got := o.Leader(0); got != NoLeader {
+		t.Errorf("Leader = %v, want NoLeader", got)
+	}
+}
+
+func TestStabilize(t *testing.T) {
+	o := New()
+	nodes := []simnet.NodeID{0, 1, 2}
+	o.Stabilize(nodes, 1)
+	for _, n := range nodes {
+		if got := o.Leader(n); got != 1 {
+			t.Errorf("Leader(%d) = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestDestabilize(t *testing.T) {
+	o := New()
+	nodes := []simnet.NodeID{0, 1}
+	o.Stabilize(nodes, 0)
+	o.Destabilize(nodes)
+	for _, n := range nodes {
+		if got := o.Leader(n); got != NoLeader {
+			t.Errorf("Leader(%d) = %v, want NoLeader", n, got)
+		}
+	}
+}
+
+func TestConflictingHints(t *testing.T) {
+	o := New()
+	o.SetHint(0, 0)
+	o.SetHint(1, 1)
+	if o.Leader(0) != 0 || o.Leader(1) != 1 {
+		t.Error("Ω must permit disagreeing hints before stabilization")
+	}
+}
+
+func TestSubscribeNotifications(t *testing.T) {
+	o := New()
+	var notified []simnet.NodeID
+	o.Subscribe(func(n simnet.NodeID) { notified = append(notified, n) })
+	o.Stabilize([]simnet.NodeID{0, 1}, 0)
+	if len(notified) != 2 {
+		t.Errorf("notified = %v, want both nodes", notified)
+	}
+	notified = nil
+	o.SetHint(1, 0)
+	if len(notified) != 1 || notified[0] != 1 {
+		t.Errorf("notified = %v, want [1]", notified)
+	}
+}

@@ -1,0 +1,239 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+func ev(session core.ReplicaID, eventNo int64, op spec.Op, level core.Level, invoke, ret int64) *Event {
+	return &Event{
+		Session:   session,
+		Op:        op,
+		Level:     level,
+		Invoke:    invoke,
+		Return:    ret,
+		Dot:       core.Dot{Replica: session, EventNo: eventNo},
+		Timestamp: invoke,
+	}
+}
+
+func TestNewAssignsIDsAndIndexes(t *testing.T) {
+	a := ev(0, 1, spec.Append("a"), core.Weak, 1, 2)
+	b := ev(1, 1, spec.Append("b"), core.Weak, 3, 4)
+	h, err := New([]*Event{a, b}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != 0 || b.ID != 1 {
+		t.Error("ids not assigned in order")
+	}
+	if h.ByDot(core.Dot{Replica: 1, EventNo: 1}) != b {
+		t.Error("ByDot lookup failed")
+	}
+}
+
+func TestDuplicateDotRejected(t *testing.T) {
+	a := ev(0, 1, spec.Append("a"), core.Weak, 1, 2)
+	b := ev(0, 1, spec.Append("b"), core.Weak, 3, 4)
+	if _, err := New([]*Event{a, b}, 0); err == nil {
+		t.Error("duplicate dot must be rejected")
+	}
+}
+
+func TestWellFormedness(t *testing.T) {
+	// Overlapping same-session events are not well-formed.
+	a := ev(0, 1, spec.Append("a"), core.Weak, 1, 10)
+	b := ev(0, 2, spec.Append("b"), core.Weak, 5, 12)
+	if _, err := New([]*Event{a, b}, 0); err == nil {
+		t.Error("overlapping session events must be rejected")
+	}
+	// An event after a pending one is not well-formed.
+	p := ev(0, 1, spec.Append("a"), core.Strong, 1, 0)
+	p.Pending = true
+	q := ev(0, 2, spec.Append("b"), core.Weak, 5, 6)
+	if _, err := New([]*Event{p, q}, 0); err == nil {
+		t.Error("event after pending must be rejected")
+	}
+}
+
+func TestRelationsRbSoProbes(t *testing.T) {
+	a := ev(0, 1, spec.Append("a"), core.Weak, 1, 2)
+	b := ev(0, 2, spec.Append("b"), core.Weak, 3, 4)
+	c := ev(1, 1, spec.Append("c"), core.Weak, 3, 5)
+	d := ev(1, 2, spec.ListRead(), core.Weak, 50, 51)
+	h, err := New([]*Event{a, b, c, d}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.ReturnsBefore(a, b) || !h.ReturnsBefore(a, c) {
+		t.Error("rb edges missing")
+	}
+	if h.ReturnsBefore(b, c) {
+		t.Error("overlapping events are not rb-ordered")
+	}
+	if !h.SessionOrder(a, b) || h.SessionOrder(a, c) {
+		t.Error("so must be rb ∩ ß")
+	}
+	probes := h.Probes()
+	if len(probes) != 1 || probes[0] != d {
+		t.Errorf("probes = %v, want [d]", probes)
+	}
+	if len(h.Levels(core.Weak)) != 4 {
+		t.Error("levels filter")
+	}
+	if len(h.Updating()) != 3 {
+		t.Error("updating filter")
+	}
+}
+
+func TestReqLess(t *testing.T) {
+	a := ev(2, 1, spec.Append("a"), core.Weak, 5, 6)
+	b := ev(1, 9, spec.Append("b"), core.Weak, 5, 6)
+	b.Invoke = 7
+	b.Timestamp = 5 // same timestamp: replica id breaks the tie
+	if !ReqLess(b, a) || ReqLess(a, b) {
+		t.Error("request order must tiebreak on replica id")
+	}
+	c := ev(0, 1, spec.Append("c"), core.Weak, 9, 10)
+	if !ReqLess(a, c) {
+		t.Error("lower timestamp first")
+	}
+}
+
+func TestRelBasics(t *testing.T) {
+	r := NewRel(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.Has(0, 1) || r.Has(1, 0) {
+		t.Error("Has")
+	}
+	if r.Pairs() != 2 {
+		t.Error("Pairs")
+	}
+	tc := r.TransitiveClosure()
+	if !tc.Has(0, 2) {
+		t.Error("closure missing composite edge")
+	}
+	if ok, _ := r.Acyclic(); !ok {
+		t.Error("chain must be acyclic")
+	}
+	r.Add(2, 0)
+	if ok, cyc := r.Acyclic(); ok || len(cyc) == 0 {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestRelCompose(t *testing.T) {
+	a := NewRel(3)
+	a.Add(0, 1)
+	b := NewRel(3)
+	b.Add(1, 2)
+	c := a.Compose(b)
+	if !c.Has(0, 2) || c.Pairs() != 1 {
+		t.Error("compose")
+	}
+}
+
+func TestRelTotalOrder(t *testing.T) {
+	r := FromLess(4, func(a, b EventID) bool { return a < b })
+	if !r.IsStrictTotalOrder() {
+		t.Error("< over ids must be a strict total order")
+	}
+	r2 := NewRel(3)
+	r2.Add(0, 1)
+	if r2.IsStrictTotalOrder() {
+		t.Error("partial relation must not be total")
+	}
+	// Intransitive "total" relation (rock-paper-scissors).
+	r3 := NewRel(3)
+	r3.Add(0, 1)
+	r3.Add(1, 2)
+	r3.Add(2, 0)
+	if r3.IsStrictTotalOrder() {
+		t.Error("cyclic relation must not be a strict total order")
+	}
+}
+
+func TestRelRestrictAndRank(t *testing.T) {
+	r := FromLess(5, func(a, b EventID) bool { return a < b })
+	s := map[EventID]bool{1: true, 3: true}
+	res := r.Restrict(s)
+	if !res.Has(1, 3) || res.Has(0, 1) || res.Has(1, 2) {
+		t.Error("restrict")
+	}
+	if got := r.Rank([]EventID{0, 1, 2, 3}, 2); got != 2 {
+		t.Errorf("rank = %d, want 2", got)
+	}
+}
+
+func TestUnionDisjoint(t *testing.T) {
+	a := NewRel(2)
+	a.Add(0, 1)
+	b := NewRel(2)
+	b.Add(1, 0)
+	u := a.Union(b)
+	if !u.Has(0, 1) || !u.Has(1, 0) {
+		t.Error("union")
+	}
+	if a.Has(1, 0) {
+		t.Error("union must not mutate receiver")
+	}
+}
+
+// Property: the transitive closure of an order induced by a comparator over
+// distinct keys is a strict total order, and acyclic.
+func TestClosureOfComparatorProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		r := rand.New(rand.NewSource(seed))
+		keys := r.Perm(n)
+		rel := FromLess(n, func(a, b EventID) bool { return keys[a] < keys[b] })
+		if !rel.IsStrictTotalOrder() {
+			return false
+		}
+		ok, _ := rel.Acyclic()
+		if !ok {
+			return false
+		}
+		return rel.TransitiveClosure().Pairs() == rel.Pairs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: closure is idempotent and monotone w.r.t. the base relation.
+func TestClosureIdempotentProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		m := int(mRaw % 20)
+		r := rand.New(rand.NewSource(seed))
+		rel := NewRel(n)
+		for i := 0; i < m; i++ {
+			rel.Add(EventID(r.Intn(n)), EventID(r.Intn(n)))
+		}
+		c1 := rel.TransitiveClosure()
+		c2 := c1.TransitiveClosure()
+		if c1.Pairs() != c2.Pairs() {
+			return false
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if rel.Has(EventID(a), EventID(b)) && !c1.Has(EventID(a), EventID(b)) {
+					return false
+				}
+				if c1.Has(EventID(a), EventID(b)) != c2.Has(EventID(a), EventID(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package history
+
+import "fmt"
+
+// Rel is a binary relation over the events 0..n-1 of one history,
+// represented densely. It implements the relation algebra of §3.1 needed by
+// the correctness predicates: union, composition, transitive closure,
+// acyclicity, totality, restriction and rank.
+type Rel struct {
+	n   int
+	adj []bool // adj[i*n+j] <=> (i, j) ∈ rel
+}
+
+// NewRel returns the empty relation over n events.
+func NewRel(n int) *Rel { return &Rel{n: n, adj: make([]bool, n*n)} }
+
+// Size returns the number of events the relation ranges over.
+func (r *Rel) Size() int { return r.n }
+
+// Add inserts the pair (a, b).
+func (r *Rel) Add(a, b EventID) { r.adj[int(a)*r.n+int(b)] = true }
+
+// Has reports whether (a, b) ∈ rel.
+func (r *Rel) Has(a, b EventID) bool { return r.adj[int(a)*r.n+int(b)] }
+
+// Pairs returns the number of pairs in the relation.
+func (r *Rel) Pairs() int {
+	c := 0
+	for _, v := range r.adj {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (r *Rel) Clone() *Rel {
+	out := NewRel(r.n)
+	copy(out.adj, r.adj)
+	return out
+}
+
+// Union returns rel ∪ other.
+func (r *Rel) Union(other *Rel) *Rel {
+	if r.n != other.n {
+		panic(fmt.Sprintf("history: union of relations over %d and %d events", r.n, other.n))
+	}
+	out := r.Clone()
+	for i, v := range other.adj {
+		if v {
+			out.adj[i] = true
+		}
+	}
+	return out
+}
+
+// Compose returns rel ; other (§3.1).
+func (r *Rel) Compose(other *Rel) *Rel {
+	if r.n != other.n {
+		panic(fmt.Sprintf("history: compose of relations over %d and %d events", r.n, other.n))
+	}
+	out := NewRel(r.n)
+	for a := 0; a < r.n; a++ {
+		for b := 0; b < r.n; b++ {
+			if !r.adj[a*r.n+b] {
+				continue
+			}
+			for c := 0; c < r.n; c++ {
+				if other.adj[b*r.n+c] {
+					out.adj[a*r.n+c] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransitiveClosure returns rel⁺ (Floyd–Warshall; adequate for the history
+// sizes the checkers handle).
+func (r *Rel) TransitiveClosure() *Rel {
+	out := r.Clone()
+	n := out.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !out.adj[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if out.adj[k*n+j] {
+					out.adj[i*n+j] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Acyclic reports whether the relation has no cycle, via DFS; self-loops
+// count as cycles. If a cycle exists, one witness cycle is returned.
+func (r *Rel) Acyclic() (bool, []EventID) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, r.n)
+	parent := make([]int, r.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []EventID
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for v := 0; v < r.n; v++ {
+			if !r.adj[u*r.n+v] {
+				continue
+			}
+			switch color[v] {
+			case gray:
+				// Reconstruct u -> ... -> v cycle.
+				cycle = append(cycle, EventID(v))
+				for x := u; x != v && x != -1; x = parent[x] {
+					cycle = append(cycle, EventID(x))
+				}
+				return false
+			case white:
+				parent[v] = u
+				if !dfs(v) {
+					return false
+				}
+			}
+		}
+		color[u] = black
+		return true
+	}
+	for i := 0; i < r.n; i++ {
+		if color[i] == white && !dfs(i) {
+			return false, cycle
+		}
+	}
+	return true, nil
+}
+
+// IsStrictTotalOrder reports whether the relation is a strict total order
+// over all n events (§3.1: irreflexive, transitive, total).
+func (r *Rel) IsStrictTotalOrder() bool {
+	n := r.n
+	for a := 0; a < n; a++ {
+		if r.adj[a*n+a] {
+			return false
+		}
+		for b := 0; b < n; b++ {
+			if a != b && !r.adj[a*n+b] && !r.adj[b*n+a] {
+				return false
+			}
+			if a != b && r.adj[a*n+b] && r.adj[b*n+a] {
+				return false
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if !r.adj[a*n+b] {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				if r.adj[b*n+c] && !r.adj[a*n+c] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Restrict returns rel|S = rel ∩ (S × S).
+func (r *Rel) Restrict(s map[EventID]bool) *Rel {
+	out := NewRel(r.n)
+	for a := 0; a < r.n; a++ {
+		if !s[EventID(a)] {
+			continue
+		}
+		for b := 0; b < r.n; b++ {
+			if s[EventID(b)] && r.adj[a*r.n+b] {
+				out.adj[a*r.n+b] = true
+			}
+		}
+	}
+	return out
+}
+
+// Rank implements the paper's rank(S, rel, a) = |{x ∈ S : x rel a}| (§4.2).
+func (r *Rel) Rank(s []EventID, a EventID) int {
+	c := 0
+	for _, x := range s {
+		if r.Has(x, a) {
+			c++
+		}
+	}
+	return c
+}
+
+// FromLess builds a relation from a pairwise comparator over the events,
+// adding (i, j) whenever less(i, j).
+func FromLess(n int, less func(a, b EventID) bool) *Rel {
+	out := NewRel(n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && less(EventID(a), EventID(b)) {
+				out.Add(EventID(a), EventID(b))
+			}
+		}
+	}
+	return out
+}

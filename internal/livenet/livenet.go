@@ -1,0 +1,308 @@
+// Package livenet runs the Bayou protocol over real goroutines and channels
+// instead of the deterministic simulator: one goroutine per replica, channel
+// inboxes as links, wall-clock-free logical timestamps, and the original
+// Bayou primary-commit scheme for total order (replica 0 stamps commit
+// numbers; learners apply a hold-back buffer, so channel scheduling order
+// does not matter).
+//
+// The package exists to demonstrate that internal/core is a pure state
+// machine with no dependency on the simulation substrate, and to exercise
+// the protocol under true concurrency (`go test -race ./internal/livenet`).
+// Simulation remains the tool for the paper's experiments — determinism is
+// what makes the figures reproducible — while livenet is the shape a real
+// deployment driver would take.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+// ErrStopped is returned for operations on a stopped cluster.
+var ErrStopped = errors.New("livenet: cluster stopped")
+
+// ErrTimeout is returned when a Future is not resolved within the deadline.
+var ErrTimeout = errors.New("livenet: timed out awaiting response")
+
+// inboxSize bounds each replica's message queue. Sends are blocking;
+// workloads that could overrun it should be throttled by awaiting futures.
+const inboxSize = 1 << 14
+
+type msgKind int
+
+const (
+	msgInvoke msgKind = iota + 1
+	msgRBDeliver
+	msgForward // weak/strong request en route to the primary
+	msgCommit  // primary's ordering announcement
+	msgPeek
+)
+
+type message struct {
+	kind     msgKind
+	req      core.Req
+	commitNo int64
+	op       spec.Op
+	strong   bool
+	future   *Future
+	peekKey  string
+	peekRes  chan spec.Value
+}
+
+// Future resolves with a call's tentative (weak) or stable (strong)
+// response.
+type Future struct {
+	ch  chan core.Response
+	dot atomic.Value // core.Dot, set once the invoke is processed
+}
+
+// Wait blocks until the response arrives or the timeout expires.
+func (f *Future) Wait(timeout time.Duration) (core.Response, error) {
+	select {
+	case r := <-f.ch:
+		return r, nil
+	case <-time.After(timeout):
+		return core.Response{}, ErrTimeout
+	}
+}
+
+// Dot returns the request identifier once the invoke has been processed
+// (zero value before that).
+func (f *Future) Dot() core.Dot {
+	if d, ok := f.dot.Load().(core.Dot); ok {
+		return d
+	}
+	return core.Dot{}
+}
+
+// Cluster is a goroutine-per-replica deployment. Construct with New; always
+// Stop it (defer c.Stop()).
+type Cluster struct {
+	n       int
+	variant core.Variant
+	nodes   []*node
+	clock   atomic.Int64
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+type node struct {
+	id      core.ReplicaID
+	cl      *Cluster
+	replica *core.Replica
+	inbox   chan message
+	stop    chan struct{}
+
+	awaiting map[core.Dot]*Future
+
+	// Primary (sequencer) state, used on replica 0 only.
+	commitNo int64
+	stamped  map[string]bool
+
+	// Learner hold-back: commits applied in stamped order.
+	nextCommit int64
+	held       map[int64]core.Req
+}
+
+// New starts a cluster of n replicas running the given protocol variant.
+func New(n int, variant core.Variant) *Cluster {
+	c := &Cluster{n: n, variant: variant}
+	for i := 0; i < n; i++ {
+		nd := &node{
+			id:         core.ReplicaID(i),
+			cl:         c,
+			inbox:      make(chan message, inboxSize),
+			stop:       make(chan struct{}),
+			awaiting:   make(map[core.Dot]*Future),
+			stamped:    make(map[string]bool),
+			nextCommit: 1,
+			held:       make(map[int64]core.Req),
+		}
+		nd.replica = core.NewReplica(nd.id, variant, func() int64 {
+			// A shared logical clock keeps timestamps globally unique
+			// and roughly synchronized without wall-clock flakiness.
+			return c.clock.Add(1)
+		})
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		c.wg.Add(1)
+		go nd.run()
+	}
+	return c
+}
+
+// Stop terminates every replica goroutine and waits for them.
+func (c *Cluster) Stop() {
+	if !c.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, nd := range c.nodes {
+		close(nd.stop)
+	}
+	c.wg.Wait()
+}
+
+// Invoke submits an operation at a replica; the returned Future resolves
+// with the weak tentative response or the strong stable response.
+func (c *Cluster) Invoke(replica int, op spec.Op, strong bool) (*Future, error) {
+	if c.stopped.Load() {
+		return nil, ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return nil, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	f := &Future{ch: make(chan core.Response, 1)}
+	c.nodes[replica].inbox <- message{kind: msgInvoke, op: op, strong: strong, future: f}
+	return f, nil
+}
+
+// Read fetches a register value through the replica's own goroutine (safe
+// snapshot of its current state).
+func (c *Cluster) Read(replica int, key string, timeout time.Duration) (spec.Value, error) {
+	if c.stopped.Load() {
+		return nil, ErrStopped
+	}
+	res := make(chan spec.Value, 1)
+	c.nodes[replica].inbox <- message{kind: msgPeek, peekKey: key, peekRes: res}
+	select {
+	case v := <-res:
+		return v, nil
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// run is the replica goroutine: a strict event loop over the inbox, exactly
+// the atomic-step automaton model of the paper.
+func (n *node) run() {
+	defer n.cl.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m := <-n.inbox:
+			n.handle(m)
+		}
+	}
+}
+
+func (n *node) handle(m message) {
+	switch m.kind {
+	case msgInvoke:
+		eff, err := n.replica.Invoke(m.op, m.strong)
+		if err != nil {
+			m.future.ch <- core.Response{}
+			return
+		}
+		d := requestDot(eff)
+		m.future.dot.Store(d)
+		n.awaiting[d] = m.future
+		n.route(eff)
+	case msgRBDeliver:
+		eff, err := n.replica.RBDeliver(m.req)
+		if err == nil {
+			n.route(eff)
+		}
+	case msgForward:
+		if n.id == 0 {
+			n.stampAndBroadcast(m.req)
+		}
+	case msgCommit:
+		n.applyCommit(m.commitNo, m.req)
+	case msgPeek:
+		m.peekRes <- n.replica.Read(m.peekKey)
+	}
+	n.drain()
+}
+
+// stampAndBroadcast is the primary's sequencer step.
+func (n *node) stampAndBroadcast(r core.Req) {
+	if n.stamped[r.ID()] {
+		return
+	}
+	n.stamped[r.ID()] = true
+	n.commitNo++
+	no := n.commitNo
+	for _, peer := range n.cl.nodes {
+		if peer.id == n.id {
+			n.applyCommit(no, r)
+			continue
+		}
+		peer.inbox <- message{kind: msgCommit, commitNo: no, req: r}
+	}
+}
+
+// applyCommit enforces stamped order regardless of channel scheduling.
+func (n *node) applyCommit(no int64, r core.Req) {
+	if no < n.nextCommit {
+		return
+	}
+	n.held[no] = r
+	for {
+		next, ok := n.held[n.nextCommit]
+		if !ok {
+			return
+		}
+		delete(n.held, n.nextCommit)
+		n.nextCommit++
+		eff, err := n.replica.TOBDeliver(next)
+		if err == nil {
+			n.route(eff)
+		}
+	}
+}
+
+// drain runs the replica's internal work and routes the produced effects.
+func (n *node) drain() {
+	eff, err := n.replica.Drain()
+	if err != nil {
+		return
+	}
+	n.route(eff)
+}
+
+// route fans a step's effects out to the other replicas and to waiting
+// futures.
+func (n *node) route(eff core.Effects) {
+	for _, r := range eff.RBCast {
+		for _, peer := range n.cl.nodes {
+			if peer.id != n.id {
+				peer.inbox <- message{kind: msgRBDeliver, req: r}
+			}
+		}
+	}
+	for _, r := range eff.TOBCast {
+		if n.id == 0 {
+			n.stampAndBroadcast(r)
+			continue
+		}
+		n.cl.nodes[0].inbox <- message{kind: msgForward, req: r}
+	}
+	for _, resp := range eff.Responses {
+		if f, ok := n.awaiting[resp.Req.Dot]; ok {
+			f.ch <- resp
+			delete(n.awaiting, resp.Req.Dot)
+		}
+	}
+}
+
+// requestDot extracts the dot of the request an invoke produced.
+func requestDot(eff core.Effects) core.Dot {
+	switch {
+	case len(eff.TOBCast) > 0:
+		return eff.TOBCast[0].Dot
+	case len(eff.RBCast) > 0:
+		return eff.RBCast[0].Dot
+	case len(eff.Responses) > 0:
+		return eff.Responses[0].Req.Dot
+	default:
+		return core.Dot{}
+	}
+}

@@ -1,0 +1,203 @@
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+const waitFor = 5 * time.Second
+
+// eventually polls cond until it holds or the deadline expires.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(waitFor)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+func TestWeakInvokeResolvesImmediately(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+	f, err := c.Invoke(1, spec.Append("hello"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.Wait(waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Equal(resp.Value, "hello") {
+		t.Errorf("weak response = %v, want hello", resp.Value)
+	}
+	if resp.Committed {
+		t.Error("weak response must be tentative")
+	}
+}
+
+func TestStrongInvokeResolvesAfterCommit(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+	f, err := c.Invoke(2, spec.PutIfAbsent("lock", "me"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.Wait(waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value != true {
+		t.Errorf("strong response = %v, want true", resp.Value)
+	}
+	if !resp.Committed {
+		t.Error("strong response must be stable")
+	}
+}
+
+func TestConvergenceUnderConcurrentClients(t *testing.T) {
+	const (
+		replicas = 4
+		clients  = 8
+		perEach  = 10
+	)
+	c := New(replicas, core.NoCircularCausality)
+	defer c.Stop()
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perEach; k++ {
+				f, err := c.Invoke(cl%replicas, spec.Inc("ctr", 1), false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := f.Wait(waitFor); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All increments eventually commit everywhere: the counter converges
+	// to clients*perEach on every replica.
+	want := int64(clients * perEach)
+	for i := 0; i < replicas; i++ {
+		i := i
+		eventually(t, fmt.Sprintf("replica %d counter = %d", i, want), func() bool {
+			v, err := c.Read(i, "ctr", waitFor)
+			if err != nil {
+				return false
+			}
+			got, _ := v.(int64)
+			return got == want
+		})
+	}
+}
+
+func TestMixedLevelsUnderConcurrency(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+
+	var wg sync.WaitGroup
+	results := make([]any, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := c.Invoke(i, spec.PutIfAbsent("leader", fmt.Sprintf("replica-%d", i)), true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := f.Wait(waitFor)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = resp.Value
+		}()
+	}
+	wg.Wait()
+
+	// Exactly one strong putIfAbsent wins — the consensus-backed
+	// semantics the paper motivates with.
+	winners := 0
+	for _, r := range results {
+		if r == true {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Errorf("putIfAbsent winners = %d, want exactly 1 (results %v)", winners, results)
+	}
+}
+
+func TestOriginalVariantConverges(t *testing.T) {
+	c := New(3, core.Original)
+	defer c.Stop()
+	futures := make([]*Future, 0, 6)
+	for k := 0; k < 6; k++ {
+		f, err := c.Invoke(k%3, spec.Append(fmt.Sprintf("%d", k)), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(waitFor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "replicas share one list", func() bool {
+		ref, err := c.Read(0, spec.DefaultListID, waitFor)
+		if err != nil || ref == nil {
+			return false
+		}
+		if len(ref.([]spec.Value)) != 6 {
+			return false
+		}
+		for i := 1; i < 3; i++ {
+			v, err := c.Read(i, spec.DefaultListID, waitFor)
+			if err != nil || !spec.Equal(v, ref) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestStopIsIdempotentAndRejectsWork(t *testing.T) {
+	c := New(2, core.NoCircularCausality)
+	c.Stop()
+	c.Stop()
+	if _, err := c.Invoke(0, spec.Append("x"), false); err == nil {
+		t.Error("invoke on stopped cluster must error")
+	}
+	if _, err := c.Read(0, "k", time.Millisecond); err == nil {
+		t.Error("read on stopped cluster must error")
+	}
+}
+
+func TestInvalidReplica(t *testing.T) {
+	c := New(2, core.NoCircularCausality)
+	defer c.Stop()
+	if _, err := c.Invoke(9, spec.Append("x"), false); err == nil {
+		t.Error("invalid replica must error")
+	}
+}

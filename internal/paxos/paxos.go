@@ -1,0 +1,463 @@
+// Package paxos implements multi-slot (multi-decree) Paxos, the quorum-based
+// consensus protocol the paper names as the non-blocking implementation of
+// total order broadcast (§2.3: "TOB … can be implemented in a non-blocking
+// fashion through e.g., quorum-based protocols such as Paxos [29]").
+//
+// Each Node plays all three roles:
+//
+//   - acceptor: a single promised ballot guards all slots; accepted values
+//     are kept per slot;
+//   - proposer: when told to lead (by the TOB layer, driven by the failure
+//     detector Ω), the node runs phase 1 once for all slots from its first
+//     undelivered slot, adopts the highest-ballot accepted value it
+//     discovers per slot, fills holes with no-ops, and then assigns queued
+//     values to fresh slots in phase 2;
+//   - learner: decided values are delivered in contiguous slot order.
+//
+// Progress requires a quorum (⌊n/2⌋+1) of acceptors to be reachable, so a
+// leader inside a minority partition cannot decide anything — which is
+// precisely how asynchronous runs starve strong operations in the paper's
+// model — while safety (no two nodes deliver different values for one slot)
+// holds unconditionally.
+package paxos
+
+import (
+	"sort"
+
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+)
+
+// Ballot numbers are globally unique per proposer: ballot = round*n + id.
+type Ballot int64
+
+// Slot identifies a consensus instance; slots are decided independently and
+// delivered in order.
+type Slot int64
+
+// NoOp is the hole-filling value proposed by a new leader for slots that may
+// have been started but whose value cannot be recovered. The TOB layer
+// skips no-ops at delivery.
+type NoOp struct{}
+
+// Wire messages. They are exported so tests can inspect traffic, but only
+// Node methods produce or consume them.
+type (
+	// PrepareMsg starts phase 1 for all slots ≥ From at ballot Ballot.
+	PrepareMsg struct {
+		Ballot Ballot
+		From   Slot
+	}
+	// PromiseMsg answers a Prepare, carrying every accepted (slot,
+	// ballot, value) triple at or above From.
+	PromiseMsg struct {
+		Ballot   Ballot
+		From     Slot
+		Accepted []SlotVal
+	}
+	// NackMsg rejects a Prepare or Accept carrying the higher promised
+	// ballot.
+	NackMsg struct {
+		Ballot Ballot
+	}
+	// AcceptMsg is the phase-2 proposal for one slot.
+	AcceptMsg struct {
+		Ballot Ballot
+		Slot   Slot
+		Val    any
+	}
+	// AckMsg acknowledges an accepted phase-2 proposal.
+	AckMsg struct {
+		Ballot Ballot
+		Slot   Slot
+	}
+	// DecideMsg announces a chosen value for a slot.
+	DecideMsg struct {
+		Slot Slot
+		Val  any
+	}
+)
+
+// SlotVal is an accepted value with its ballot, reported in promises.
+type SlotVal struct {
+	Slot   Slot
+	Ballot Ballot
+	Val    any
+}
+
+type proposal struct {
+	val     any
+	acks    map[simnet.NodeID]bool
+	retries int
+}
+
+// Node is one Paxos participant. Construct with New; wire Handle into the
+// node's mux. Not safe for concurrent use (the simulation is
+// single-threaded).
+type Node struct {
+	id       simnet.NodeID
+	peers    []simnet.NodeID
+	sched    *sim.Scheduler
+	net      *simnet.Network
+	onDecide func(Slot, any)
+	onLead   func() // invoked when a ballot is established (may be nil)
+
+	// Acceptor.
+	promised Ballot
+	accepted map[Slot]SlotVal
+
+	// Learner.
+	decided     map[Slot]any
+	nextDeliver Slot
+
+	// Proposer.
+	wantLead  bool
+	preparing bool
+	leading   bool
+	curBallot Ballot
+	maxSeen   Ballot
+	promises  map[simnet.NodeID]PromiseMsg
+	queue     []any
+	inflight  map[Slot]*proposal
+	nextSlot  Slot
+
+	retryDelay  sim.Time
+	maxRetries  int
+	preemptions int // consecutive preemptions; capped to avoid livelock
+
+	decidedCount int64
+}
+
+// New returns a Paxos node. peers must list every participant including id;
+// onDecide receives decided values (including NoOp fillers) in contiguous
+// slot order starting at 0.
+func New(id simnet.NodeID, peers []simnet.NodeID, sched *sim.Scheduler, net *simnet.Network, onDecide func(Slot, any)) *Node {
+	sorted := append([]simnet.NodeID(nil), peers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &Node{
+		id:         id,
+		peers:      sorted,
+		sched:      sched,
+		net:        net,
+		onDecide:   onDecide,
+		accepted:   make(map[Slot]SlotVal),
+		decided:    make(map[Slot]any),
+		promises:   make(map[simnet.NodeID]PromiseMsg),
+		inflight:   make(map[Slot]*proposal),
+		retryDelay: 200,
+		maxRetries: 10,
+	}
+}
+
+// SetOnLead registers a callback invoked whenever the node establishes a
+// ballot (completes phase 1). The TOB layer uses it to hand pooled
+// candidates to a freshly promoted leader.
+func (n *Node) SetOnLead(fn func()) { n.onLead = fn }
+
+func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+// nextBallot returns a fresh ballot above everything seen, unique to this
+// node.
+func (n *Node) nextBallot() Ballot {
+	np := Ballot(len(n.peers))
+	round := n.maxSeen/np + 1
+	return round*np + Ballot(n.id)
+}
+
+// sendAll sends a message to every peer including the node itself (self
+// traffic flows through the network for uniform, deterministic scheduling).
+func (n *Node) sendAll(payload any) {
+	for _, p := range n.peers {
+		n.net.Send(n.id, p, payload)
+	}
+}
+
+// Lead asks the node to (keep trying to) become leader. The TOB layer calls
+// it when Ω designates this node. Idempotent: a node already leading just
+// drains its queue.
+func (n *Node) Lead() {
+	n.wantLead = true
+	if n.leading {
+		n.drainQueue()
+		return
+	}
+	if !n.preparing {
+		n.startPhase1()
+	}
+}
+
+// StopLead makes the node stop acquiring or exercising leadership (Ω moved
+// on). In-flight proposals are abandoned; their values are *not* lost: they
+// remain queued for a future leader if undecided.
+func (n *Node) StopLead() {
+	n.wantLead = false
+	n.preparing = false
+	n.leading = false
+	for slot, p := range n.inflight {
+		if _, done := n.decided[slot]; !done {
+			n.queue = append(n.queue, p.val)
+		}
+		delete(n.inflight, slot)
+	}
+}
+
+// Propose enqueues a value for total ordering. Only a leader assigns slots;
+// followers keep the value queued so a later leadership acquisition (or a
+// duplicate proposal through another node) can order it.
+func (n *Node) Propose(v any) {
+	n.queue = append(n.queue, v)
+	if n.leading {
+		n.drainQueue()
+	} else if n.wantLead && !n.preparing {
+		n.startPhase1()
+	}
+}
+
+// QueueLen reports the number of values waiting for a slot on this node.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Decided reports how many slots this node has delivered.
+func (n *Node) Decided() int64 { return n.decidedCount }
+
+// Leading reports whether the node currently holds an established ballot.
+func (n *Node) Leading() bool { return n.leading }
+
+func (n *Node) startPhase1() {
+	n.preparing = true
+	n.leading = false
+	n.curBallot = n.nextBallot()
+	n.maxSeen = n.curBallot
+	n.promises = make(map[simnet.NodeID]PromiseMsg)
+	msg := PrepareMsg{Ballot: n.curBallot, From: n.nextDeliver}
+	n.sendAll(msg)
+	n.scheduleRetry(n.curBallot, 0, func() bool {
+		if !n.preparing || n.curBallot != msg.Ballot {
+			return false
+		}
+		n.sendAll(msg)
+		return true
+	})
+}
+
+// scheduleRetry re-invokes resend (which reports whether to continue) up to
+// maxRetries times with exponential backoff. Retries tolerate crashed
+// acceptors; partition-held messages are re-delivered by simnet anyway.
+func (n *Node) scheduleRetry(ballot Ballot, attempt int, resend func() bool) {
+	if attempt >= n.maxRetries {
+		return
+	}
+	delay := n.retryDelay << uint(attempt)
+	n.sched.After(delay, func() {
+		if n.curBallot != ballot {
+			return
+		}
+		if resend() {
+			n.scheduleRetry(ballot, attempt+1, resend)
+		}
+	})
+}
+
+// Handle consumes Paxos wire traffic; it reports false for foreign payloads.
+func (n *Node) Handle(from simnet.NodeID, payload any) bool {
+	switch m := payload.(type) {
+	case PrepareMsg:
+		n.onPrepare(from, m)
+	case PromiseMsg:
+		n.onPromise(from, m)
+	case NackMsg:
+		n.onNack(m)
+	case AcceptMsg:
+		n.onAccept(from, m)
+	case AckMsg:
+		n.onAck(from, m)
+	case DecideMsg:
+		n.onDecideMsg(m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (n *Node) onPrepare(from simnet.NodeID, m PrepareMsg) {
+	if m.Ballot > n.maxSeen {
+		n.maxSeen = m.Ballot
+	}
+	if m.Ballot < n.promised {
+		n.net.Send(n.id, from, NackMsg{Ballot: n.promised})
+		return
+	}
+	n.promised = m.Ballot
+	var acc []SlotVal
+	for slot, sv := range n.accepted {
+		if slot >= m.From {
+			acc = append(acc, sv)
+		}
+	}
+	sort.Slice(acc, func(i, j int) bool { return acc[i].Slot < acc[j].Slot })
+	n.net.Send(n.id, from, PromiseMsg{Ballot: m.Ballot, From: m.From, Accepted: acc})
+}
+
+func (n *Node) onPromise(from simnet.NodeID, m PromiseMsg) {
+	if !n.preparing || m.Ballot != n.curBallot {
+		return
+	}
+	n.promises[from] = m
+	if len(n.promises) < n.quorum() {
+		return
+	}
+	// Quorum of promises: leadership established.
+	n.preparing = false
+	n.leading = true
+	n.preemptions = 0
+	// Adopt the highest-ballot accepted value per slot.
+	merged := make(map[Slot]SlotVal)
+	var maxSlot Slot = -1
+	for _, pm := range n.promises {
+		for _, sv := range pm.Accepted {
+			if cur, ok := merged[sv.Slot]; !ok || sv.Ballot > cur.Ballot {
+				merged[sv.Slot] = sv
+			}
+			if sv.Slot > maxSlot {
+				maxSlot = sv.Slot
+			}
+		}
+	}
+	// Slots this node itself assigned in an earlier (preempted) stint may
+	// have no accepted value anywhere; they must still be filled, or the
+	// contiguous delivery order stalls on the hole forever.
+	if n.nextSlot-1 > maxSlot {
+		maxSlot = n.nextSlot - 1
+	}
+	if n.nextSlot <= maxSlot {
+		n.nextSlot = maxSlot + 1
+	}
+	if n.nextSlot < n.nextDeliver {
+		n.nextSlot = n.nextDeliver
+	}
+	slots := make([]Slot, 0, len(merged))
+	for s := range merged {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	// Re-propose adopted values and fill holes with no-ops.
+	for s := n.nextDeliver; s <= maxSlot; s++ {
+		if _, done := n.decided[s]; done {
+			continue
+		}
+		if sv, ok := merged[s]; ok {
+			n.propose(s, sv.Val)
+		} else {
+			n.propose(s, NoOp{})
+		}
+	}
+	n.drainQueue()
+	if n.onLead != nil {
+		n.onLead()
+	}
+}
+
+func (n *Node) onNack(m NackMsg) {
+	if m.Ballot > n.maxSeen {
+		n.maxSeen = m.Ballot
+	}
+	if m.Ballot <= n.curBallot {
+		return
+	}
+	// Preempted: abandon the ballot; retry from scratch if still willing.
+	wasActive := n.preparing || n.leading
+	n.preparing = false
+	n.leading = false
+	for slot, p := range n.inflight {
+		if _, done := n.decided[slot]; !done {
+			n.queue = append(n.queue, p.val)
+		}
+		delete(n.inflight, slot)
+	}
+	// Dueling-proposer livelock is broken by capping consecutive
+	// preemption-triggered retries; Ω re-kicks leadership afterwards.
+	if wasActive && n.wantLead && n.preemptions < n.maxRetries {
+		n.preemptions++
+		delay := n.retryDelay << uint(n.preemptions)
+		n.sched.After(delay, func() {
+			if n.wantLead && !n.preparing && !n.leading {
+				n.startPhase1()
+			}
+		})
+	}
+}
+
+func (n *Node) propose(slot Slot, val any) {
+	p := &proposal{val: val, acks: make(map[simnet.NodeID]bool)}
+	n.inflight[slot] = p
+	ballot := n.curBallot
+	msg := AcceptMsg{Ballot: ballot, Slot: slot, Val: val}
+	n.sendAll(msg)
+	n.scheduleRetry(ballot, 0, func() bool {
+		if !n.leading || n.curBallot != ballot {
+			return false
+		}
+		if _, done := n.decided[slot]; done {
+			return false
+		}
+		n.sendAll(msg)
+		return true
+	})
+}
+
+func (n *Node) drainQueue() {
+	for n.leading && len(n.queue) > 0 {
+		v := n.queue[0]
+		n.queue = n.queue[1:]
+		n.propose(n.nextSlot, v)
+		n.nextSlot++
+	}
+}
+
+func (n *Node) onAccept(from simnet.NodeID, m AcceptMsg) {
+	if m.Ballot > n.maxSeen {
+		n.maxSeen = m.Ballot
+	}
+	if m.Ballot < n.promised {
+		n.net.Send(n.id, from, NackMsg{Ballot: n.promised})
+		return
+	}
+	n.promised = m.Ballot
+	n.accepted[m.Slot] = SlotVal{Slot: m.Slot, Ballot: m.Ballot, Val: m.Val}
+	n.net.Send(n.id, from, AckMsg{Ballot: m.Ballot, Slot: m.Slot})
+}
+
+func (n *Node) onAck(from simnet.NodeID, m AckMsg) {
+	if m.Ballot != n.curBallot {
+		return
+	}
+	p, ok := n.inflight[m.Slot]
+	if !ok {
+		return
+	}
+	p.acks[from] = true
+	if len(p.acks) < n.quorum() {
+		return
+	}
+	delete(n.inflight, m.Slot)
+	n.sendAll(DecideMsg{Slot: m.Slot, Val: p.val})
+}
+
+func (n *Node) onDecideMsg(m DecideMsg) {
+	if _, ok := n.decided[m.Slot]; ok {
+		return
+	}
+	n.decided[m.Slot] = m.Val
+	if m.Slot >= n.nextSlot {
+		n.nextSlot = m.Slot + 1
+	}
+	for {
+		v, ok := n.decided[n.nextDeliver]
+		if !ok {
+			return
+		}
+		slot := n.nextDeliver
+		n.nextDeliver++
+		n.decidedCount++
+		n.onDecide(slot, v)
+	}
+}

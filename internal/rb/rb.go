@@ -1,0 +1,95 @@
+// Package rb implements Reliable Broadcast (RB), the dissemination primitive
+// Bayou uses for weak operations (Algorithm 1, lines 12 and 22). It provides
+// the standard guarantees [Guerraoui & Rodrigues, reference 47 of the
+// paper]:
+//
+//   - validity: a correct node that casts a message eventually delivers it;
+//   - no duplication: every message is delivered at most once per node;
+//   - agreement: if any correct node delivers m, every correct node that is
+//     (eventually) connected to it delivers m.
+//
+// Agreement is achieved by eager relaying: the first time a node delivers a
+// message it forwards it to every peer. Combined with simnet's held-message
+// partition semantics, messages RB-cast inside a partition reach the whole
+// partition, and reach everyone once partitions heal — the behaviour §2.1
+// describes ("operations … will be disseminated within a partition using
+// RB").
+//
+// The sender delivers its own message through the scheduler like everyone
+// else; Bayou's replica skips self-deliveries (Algorithm 1 line 23), so wire
+// and protocol stay faithful to the pseudocode.
+package rb
+
+import (
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+)
+
+// Message is an RB payload with a globally unique identifier (the Bayou
+// request dot renders to the ID).
+type Message struct {
+	ID      string
+	Payload any
+}
+
+// gossip is the wire envelope, distinguishing RB traffic in a shared mux.
+type gossip struct {
+	M Message
+}
+
+// Node is the per-replica RB endpoint. Construct with New; wire Handle into
+// the node's simnet mux.
+type Node struct {
+	id      simnet.NodeID
+	sched   *sim.Scheduler
+	net     *simnet.Network
+	seen    map[string]bool
+	deliver func(m Message)
+
+	delivered int64
+	relayed   int64
+}
+
+// New returns an RB endpoint for node id delivering via the callback.
+func New(id simnet.NodeID, sched *sim.Scheduler, net *simnet.Network, deliver func(Message)) *Node {
+	return &Node{id: id, sched: sched, net: net, seen: make(map[string]bool), deliver: deliver}
+}
+
+// Cast RB-casts m: the local node delivers it (asynchronously, via the
+// scheduler) and every peer receives a relayed copy.
+func (n *Node) Cast(m Message) {
+	if n.seen[m.ID] {
+		return
+	}
+	n.seen[m.ID] = true
+	n.net.Broadcast(n.id, gossip{M: m})
+	n.sched.After(0, func() {
+		n.delivered++
+		n.deliver(m)
+	})
+}
+
+// Handle consumes RB wire traffic; it reports false for foreign payloads so
+// a mux can pass them on.
+func (n *Node) Handle(from simnet.NodeID, payload any) bool {
+	g, ok := payload.(gossip)
+	if !ok {
+		return false
+	}
+	if n.seen[g.M.ID] {
+		return true
+	}
+	n.seen[g.M.ID] = true
+	// Eager relay for agreement despite sender crash.
+	n.net.Broadcast(n.id, g)
+	n.relayed++
+	n.delivered++
+	n.deliver(g.M)
+	return true
+}
+
+// Seen reports whether the node has already delivered (or cast) the message.
+func (n *Node) Seen(id string) bool { return n.seen[id] }
+
+// Delivered returns the count of messages delivered on this node.
+func (n *Node) Delivered() int64 { return n.delivered }

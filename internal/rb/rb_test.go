@@ -1,0 +1,129 @@
+package rb
+
+import (
+	"fmt"
+	"testing"
+
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+)
+
+type fixture struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+	nodes []*Node
+	got   [][]string
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	f := &fixture{sched: sim.New(3), got: make([][]string, n)}
+	f.net = simnet.New(f.sched)
+	f.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		f.nodes[i] = New(simnet.NodeID(i), f.sched, f.net, func(m Message) {
+			f.got[i] = append(f.got[i], m.ID)
+		})
+		mux := &simnet.Mux{}
+		mux.Add(f.nodes[i].Handle)
+		f.net.Register(simnet.NodeID(i), mux.Handler())
+	}
+	return f
+}
+
+func TestCastDeliversEverywhereIncludingSelf(t *testing.T) {
+	f := newFixture(t, 4)
+	f.nodes[0].Cast(Message{ID: "m1", Payload: "x"})
+	f.sched.Run(0)
+	for i, g := range f.got {
+		if len(g) != 1 || g[0] != "m1" {
+			t.Errorf("node %d delivered %v, want [m1]", i, g)
+		}
+	}
+}
+
+func TestNoDuplication(t *testing.T) {
+	f := newFixture(t, 5)
+	f.nodes[0].Cast(Message{ID: "m1"})
+	f.nodes[0].Cast(Message{ID: "m1"}) // duplicate cast is a no-op
+	f.sched.Run(0)
+	for i, g := range f.got {
+		if len(g) != 1 {
+			t.Errorf("node %d delivered %d copies: %v", i, len(g), g)
+		}
+	}
+}
+
+func TestManyMessagesAllDelivered(t *testing.T) {
+	f := newFixture(t, 3)
+	const per = 20
+	for i := 0; i < 3; i++ {
+		for k := 0; k < per; k++ {
+			f.nodes[i].Cast(Message{ID: fmt.Sprintf("n%d-%d", i, k)})
+		}
+	}
+	f.sched.Run(0)
+	for i, g := range f.got {
+		if len(g) != 3*per {
+			t.Errorf("node %d delivered %d, want %d", i, len(g), 3*per)
+		}
+	}
+}
+
+func TestDisseminationWithinPartition(t *testing.T) {
+	f := newFixture(t, 4)
+	f.net.Partition([]simnet.NodeID{0, 1}, []simnet.NodeID{2, 3})
+	f.nodes[0].Cast(Message{ID: "m1"})
+	f.sched.Run(0)
+	for i := 0; i < 2; i++ {
+		if len(f.got[i]) != 1 {
+			t.Errorf("node %d (same cell) delivered %v, want [m1]", i, f.got[i])
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if len(f.got[i]) != 0 {
+			t.Errorf("node %d (other cell) delivered %v, want none", i, f.got[i])
+		}
+	}
+	f.net.Heal()
+	f.sched.Run(0)
+	for i := 0; i < 4; i++ {
+		if len(f.got[i]) != 1 {
+			t.Errorf("node %d after heal delivered %v, want [m1]", i, f.got[i])
+		}
+	}
+}
+
+func TestAgreementDespiteSenderCrash(t *testing.T) {
+	// The sender's direct sends to nodes 2,3 are lost to a partition, but
+	// node 1 relays. After the sender crashes and the partition heals,
+	// everyone correct still delivers: agreement.
+	f := newFixture(t, 4)
+	f.net.Partition([]simnet.NodeID{0, 1}, []simnet.NodeID{2, 3})
+	f.nodes[0].Cast(Message{ID: "m1"})
+	f.sched.Run(0)
+	f.net.Crash(0)
+	f.net.Heal()
+	f.sched.Run(0)
+	for i := 1; i < 4; i++ {
+		if len(f.got[i]) != 1 || f.got[i][0] != "m1" {
+			t.Errorf("correct node %d delivered %v, want [m1]", i, f.got[i])
+		}
+	}
+}
+
+func TestSeen(t *testing.T) {
+	f := newFixture(t, 2)
+	f.nodes[0].Cast(Message{ID: "m1"})
+	if !f.nodes[0].Seen("m1") {
+		t.Error("caster must have seen its own message")
+	}
+	if f.nodes[1].Seen("m1") {
+		t.Error("peer cannot have seen the message before delivery")
+	}
+	f.sched.Run(0)
+	if !f.nodes[1].Seen("m1") {
+		t.Error("peer must have seen the message after delivery")
+	}
+}

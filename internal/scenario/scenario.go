@@ -1,0 +1,391 @@
+// Package scenario reproduces the paper's constructed executions through the
+// full protocol stack (core replicas + RB + Paxos TOB + simulated network):
+//
+//   - Figure1: temporary operation reordering (weak append(x) returns "aax",
+//     strong duplicate() returns "axax", the committed order is a,x,dup);
+//   - Figure2: circular causality between two weak appends under
+//     Algorithm 1, and its absence under Algorithm 2;
+//   - Theorem1: the impossibility construction of §5 — a run whose
+//     observable history admits *no* abstract execution satisfying
+//     BEC(weak,F) ∧ Seq(strong,F);
+//   - StableRun / AsyncRun: randomized workloads in stable and asynchronous
+//     runs for the Theorem 2 / Theorem 3 checkers.
+//
+// Every scenario returns the recorded history plus named calls so tests and
+// benchmarks can assert the exact return values from the figures.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"bayou/internal/cluster"
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/sim"
+	"bayou/internal/spec"
+)
+
+// Outcome bundles a scenario run.
+type Outcome struct {
+	Cluster *cluster.Cluster
+	History *history.History
+	Calls   map[string]*cluster.Call // named calls, e.g. "append(x)"
+}
+
+// settleManual drains replicas and runs the scheduler to joint quiescence in
+// manual-stepping mode.
+func settleManual(c *cluster.Cluster, n int) error {
+	for i := 0; i < 200; i++ {
+		for r := 0; r < n; r++ {
+			if err := c.DrainReplica(core.ReplicaID(r)); err != nil {
+				return err
+			}
+		}
+		if c.Scheduler().Pending() == 0 {
+			allPassive := true
+			for r := 0; r < n; r++ {
+				if c.Replica(core.ReplicaID(r)).HasInternalWork() {
+					allPassive = false
+				}
+			}
+			if allPassive {
+				return nil
+			}
+			continue
+		}
+		c.RunFor(200)
+	}
+	return errors.New("scenario: no joint quiescence")
+}
+
+// Figure1 reproduces Figure 1 of the paper with the given protocol variant
+// (the figure itself depicts Algorithm 1). R1 is replica 0, R2 is replica 1.
+func Figure1(variant core.Variant) (*Outcome, error) {
+	c, err := cluster.New(cluster.Config{
+		N:              2,
+		Variant:        variant,
+		Seed:           1,
+		Latency:        10,
+		ManualStepping: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.StabilizeOmega(0) // TOB leader is R1: append(x) wins the commit race
+	calls := make(map[string]*cluster.Call)
+	sched := c.Scheduler()
+	var schedErr error
+	fail := func(e error) {
+		if schedErr == nil && e != nil {
+			schedErr = e
+		}
+	}
+
+	// Phase 1: weak append(a) on R1, fully committed everywhere.
+	sched.At(10, func() {
+		call, e := c.Invoke(0, spec.Append("a"), core.Weak)
+		fail(e)
+		calls["append(a)"] = call
+		fail(c.DrainReplica(0))
+	})
+	sched.At(45, func() {
+		fail(c.DrainReplica(0))
+		fail(c.DrainReplica(1))
+	})
+	// Phase 2: concurrent strong duplicate() on R2 (lower timestamp) and
+	// weak append(x) on R1 (higher timestamp). Local executions delayed.
+	sched.At(50, func() {
+		call, e := c.Invoke(1, spec.Duplicate(), core.Strong)
+		fail(e)
+		calls["duplicate()"] = call
+	})
+	sched.At(55, func() {
+		call, e := c.Invoke(0, spec.Append("x"), core.Weak)
+		fail(e)
+		calls["append(x)"] = call
+	})
+	// R1 executes only after RB-delivering duplicate() (arrives at 60):
+	// the tentative order is duplicate(), append(x) → response "aax".
+	sched.At(62, func() { fail(c.DrainReplica(0)) })
+	// R2 executes tentatively as well (stores the withheld strong
+	// response).
+	sched.At(66, func() { fail(c.DrainReplica(1)) })
+	sched.RunFor(70)
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	// Let TOB finish: append(x) commits before duplicate(); both replicas
+	// roll back and re-execute; duplicate() answers from the final order.
+	if err := settleManual(c, 2); err != nil {
+		return nil, err
+	}
+	c.MarkStable()
+	// Post-quiescence probes (EV/CPar witnesses).
+	for r := 0; r < 2; r++ {
+		if _, err := c.Invoke(core.ReplicaID(r), spec.ListRead(), core.Weak); err != nil {
+			return nil, err
+		}
+	}
+	if err := settleManual(c, 2); err != nil {
+		return nil, err
+	}
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Cluster: c, History: h, Calls: calls}, nil
+}
+
+// Figure2 reproduces Figure 2: weak append(y) on R2 with the lower
+// timestamp, weak append(x) on R1 with the higher one; R2's local execution
+// of append(y) is delayed past R2's own TOB delivery of y, so y's response
+// reflects the final order while x's reflects the tentative one — circular
+// causality under Algorithm 1, eliminated under Algorithm 2.
+func Figure2(variant core.Variant) (*Outcome, error) {
+	c, err := cluster.New(cluster.Config{
+		N:              2,
+		Variant:        variant,
+		Seed:           2,
+		Latency:        10,
+		ManualStepping: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.StabilizeOmega(0)
+	calls := make(map[string]*cluster.Call)
+	sched := c.Scheduler()
+	var schedErr error
+	fail := func(e error) {
+		if schedErr == nil && e != nil {
+			schedErr = e
+		}
+	}
+
+	sched.At(10, func() {
+		call, e := c.Invoke(0, spec.Append("a"), core.Weak)
+		fail(e)
+		calls["append(a)"] = call
+		fail(c.DrainReplica(0))
+	})
+	sched.At(45, func() {
+		fail(c.DrainReplica(0))
+		fail(c.DrainReplica(1))
+	})
+	sched.At(50, func() {
+		call, e := c.Invoke(1, spec.Append("y"), core.Weak)
+		fail(e)
+		calls["append(y)"] = call
+	})
+	sched.At(55, func() {
+		call, e := c.Invoke(0, spec.Append("x"), core.Weak)
+		fail(e)
+		calls["append(x)"] = call
+	})
+	// R1 drains after RB-delivering y (at 60): executes y then x → "ayx".
+	sched.At(62, func() { fail(c.DrainReplica(0)) })
+	// R2 does NOT drain until TOB has delivered both x and y to it (the
+	// decides arrive by ~91); its append(y) then executes in committed
+	// order → "axy".
+	sched.At(95, func() { fail(c.DrainReplica(1)) })
+	sched.RunFor(100)
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	if err := settleManual(c, 2); err != nil {
+		return nil, err
+	}
+	c.MarkStable()
+	for r := 0; r < 2; r++ {
+		if _, err := c.Invoke(core.ReplicaID(r), spec.ListRead(), core.Weak); err != nil {
+			return nil, err
+		}
+	}
+	if err := settleManual(c, 2); err != nil {
+		return nil, err
+	}
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Cluster: c, History: h, Calls: calls}, nil
+}
+
+// Theorem1 runs the impossibility construction of §5 on the real protocol
+// (Algorithm 2, Paxos TOB): replicas i=0, j=1, k=2. The adversarial
+// asynchronous schedule delays every message toward j, so j answers the
+// strong operation c knowing b but not a, while k's read observed both.
+// The returned history is small enough for the exhaustive search checker.
+func Theorem1() (*Outcome, error) {
+	c, err := cluster.New(cluster.Config{
+		N:       3,
+		Variant: core.NoCircularCausality,
+		Seed:    3,
+		Latency: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	calls := make(map[string]*cluster.Call)
+	sched := c.Scheduler()
+	net := c.Network()
+	var schedErr error
+	fail := func(e error) {
+		if schedErr == nil && e != nil {
+			schedErr = e
+		}
+	}
+
+	// Establish TOB leadership at j before the blocks (Ω stabilized).
+	c.StabilizeOmega(1)
+	c.RunFor(25)
+
+	// The adversary delays all traffic into j.
+	net.Block(0, 1)
+	net.Block(2, 1)
+
+	sched.At(30, func() {
+		call, e := c.Invoke(0, spec.Append("p"), core.Weak) // a on i
+		fail(e)
+		calls["a"] = call
+	})
+	sched.At(31, func() {
+		call, e := c.Invoke(1, spec.Append("q"), core.Weak) // b on j
+		fail(e)
+		calls["b"] = call
+	})
+	// k RB-delivers both a and b, then serves the weak read r.
+	sched.At(55, func() {
+		call, e := c.Invoke(2, spec.ListRead(), core.Weak) // r on k
+		fail(e)
+		calls["r"] = call
+	})
+	// j invokes the strong c; its consensus acks are delayed but arrive
+	// once the links reopen (a temporary partition), so c completes in a
+	// bounded number of steps after its TOB delivery — without j ever
+	// having heard of a.
+	sched.At(60, func() {
+		call, e := c.Invoke(1, spec.Append("z"), core.Strong) // c on j
+		fail(e)
+		calls["c"] = call
+	})
+	c.RunFor(2_000)
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	if cCall := calls["c"]; cCall.Done {
+		return nil, errors.New("scenario: strong op completed while j was isolated")
+	}
+	net.Unblock(0, 1)
+	net.Unblock(2, 1)
+	c.StabilizeOmega(1)
+	if err := c.Settle(0); err != nil {
+		return nil, err
+	}
+	// The run quiesces here; the mid-run read r is legitimately exempt
+	// from CPar (its reordered perception is the "temporary" in temporary
+	// operation reordering).
+	c.MarkStable()
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Cluster: c, History: h, Calls: calls}, nil
+}
+
+// StableRun drives a randomized mixed workload through a stable run (Ω
+// stabilized, no partitions), settles, and issues post-quiescence probes —
+// the experiment backing Theorem 2 (E5).
+func StableRun(seed int64, replicas, rounds int, variant core.Variant) (*Outcome, error) {
+	c, err := cluster.New(cluster.Config{N: replicas, Variant: variant, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	c.StabilizeOmega(core.ReplicaID(int(seed) % replicas))
+	r := rand.New(rand.NewSource(seed))
+	elems := []string{"a", "b", "c", "d"}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < replicas; i++ {
+			var op spec.Op
+			switch r.Intn(5) {
+			case 0:
+				op = spec.Duplicate()
+			case 1:
+				op = spec.Inc("ctr", int64(r.Intn(5)))
+			case 2:
+				op = spec.PutIfAbsent(fmt.Sprintf("k%d", r.Intn(3)), elems[r.Intn(4)])
+			default:
+				op = spec.Append(elems[r.Intn(4)])
+			}
+			level := core.Weak
+			if r.Intn(4) == 0 {
+				level = core.Strong
+			}
+			if _, e := c.Invoke(core.ReplicaID(i), op, level); e != nil && !errors.Is(e, cluster.ErrSessionBusy) {
+				return nil, e
+			}
+		}
+		c.RunFor(sim.Time(r.Intn(40)))
+	}
+	if err := c.Settle(0); err != nil {
+		return nil, err
+	}
+	c.MarkStable()
+	for i := 0; i < replicas; i++ {
+		if _, e := c.Invoke(core.ReplicaID(i), spec.ListRead(), core.Weak); e != nil && !errors.Is(e, cluster.ErrSessionBusy) {
+			return nil, e
+		}
+	}
+	if err := c.Settle(0); err != nil {
+		return nil, err
+	}
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Cluster: c, History: h}, nil
+}
+
+// AsyncRun drives a weak-only-progress workload through an asynchronous run:
+// Ω never stabilizes, so strong operations pend while weak operations
+// propagate via RB — the experiment backing Theorem 3 (E6).
+func AsyncRun(seed int64, replicas, rounds int) (*Outcome, error) {
+	c, err := cluster.New(cluster.Config{N: replicas, Variant: core.NoCircularCausality, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	elems := []string{"a", "b", "c"}
+	strongIssued := false
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < replicas; i++ {
+			level := core.Weak
+			// One strong op somewhere in the middle: it must pend forever.
+			if !strongIssued && round == rounds/2 {
+				level = core.Strong
+				strongIssued = true
+			}
+			op := spec.Op(spec.Append(elems[r.Intn(3)]))
+			if _, e := c.Invoke(core.ReplicaID(i), op, level); e != nil && !errors.Is(e, cluster.ErrSessionBusy) {
+				return nil, e
+			}
+		}
+		c.RunFor(sim.Time(20 + r.Intn(40)))
+	}
+	// Weak traffic drains (RB only); strong ops stay pending.
+	c.RunFor(5_000)
+	c.MarkStable()
+	for i := 0; i < replicas; i++ {
+		if _, e := c.Invoke(core.ReplicaID(i), spec.ListRead(), core.Weak); e != nil && !errors.Is(e, cluster.ErrSessionBusy) {
+			return nil, e
+		}
+	}
+	c.RunFor(5_000)
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Cluster: c, History: h}, nil
+}

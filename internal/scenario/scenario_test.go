@@ -1,0 +1,255 @@
+package scenario
+
+import (
+	"testing"
+
+	"bayou/internal/check"
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+func TestFigure1ExactValues(t *testing.T) {
+	out, err := Figure1(core.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		value     spec.Value
+		committed bool
+	}{
+		{"append(a)", "a", false},
+		{"append(x)", "aax", false},
+		{"duplicate()", "axax", true},
+	}
+	for _, c := range cases {
+		call := out.Calls[c.name]
+		if call == nil || !call.Done {
+			t.Fatalf("%s missing or incomplete", c.name)
+		}
+		if !spec.Equal(call.Response.Value, c.value) {
+			t.Errorf("%s = %v, want %v", c.name, call.Response.Value, c.value)
+		}
+		if call.Response.Committed != c.committed {
+			t.Errorf("%s committed = %v, want %v", c.name, call.Response.Committed, c.committed)
+		}
+	}
+	// Both replicas converge to axax.
+	for r := 0; r < 2; r++ {
+		if got := out.Cluster.Replica(core.ReplicaID(r)).Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "x", "a", "x"}) {
+			t.Errorf("replica %d final list = %v", r, got)
+		}
+	}
+
+	// The parenthesized values of the figure: the stable notifications.
+	stables := []struct {
+		name string
+		want spec.Value
+	}{
+		{"append(a)", "a"},
+		{"append(x)", "ax"},
+	}
+	for _, s := range stables {
+		call := out.Calls[s.name]
+		if !call.StableDone {
+			t.Errorf("%s never received its stable notice", s.name)
+			continue
+		}
+		if !spec.Equal(call.StableResponse.Value, s.want) {
+			t.Errorf("%s stable value = %v, want %v", s.name, call.StableResponse.Value, s.want)
+		}
+		if call.WallStable < call.WallReturn {
+			t.Errorf("%s stable notice before tentative response", s.name)
+		}
+	}
+}
+
+func TestFigure1TemporaryReorderingWitnessed(t *testing.T) {
+	out, err := Figure1(core.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client at R1 observed duplicate() before append(x); the final
+	// order has append(x) first — the two perceived orders disagree.
+	x := out.Calls["append(x)"].Response
+	dup := out.Calls["duplicate()"].Response
+	dupDot := out.Calls["duplicate()"].Dot
+	xDot := out.Calls["append(x)"].Dot
+	if !containsDot(x.Trace, dupDot) {
+		t.Error("append(x) must have perceived duplicate() before itself")
+	}
+	if !containsDot(dup.Trace, xDot) {
+		t.Error("duplicate() must have perceived append(x) before itself")
+	}
+	// The fluctuating return-value and convergence predicates hold even
+	// under Algorithm 1, as does Seq(strong); NCC is violated — §2.2's
+	// circular causality, which only the modified protocol eliminates.
+	w := check.NewWitness(out.History)
+	for _, res := range []check.Result{w.EV(), w.FRVal(core.Weak), w.CPar(core.Weak)} {
+		if !res.Holds {
+			t.Errorf("Figure 1 (Algorithm 1): %s", res)
+		}
+	}
+	if rep := w.Seq(core.Strong); !rep.OK() {
+		t.Errorf("Seq(strong) must hold on Figure 1:\n%s", rep)
+	}
+	if res := w.NCC(); res.Holds {
+		t.Error("NCC must be violated on Figure 1 under Algorithm 1")
+	}
+
+	// Under Algorithm 2 the same schedule yields the stable values
+	// directly and satisfies full FEC(weak) including NCC (Theorem 2).
+	mod, err := Figure1(core.NoCircularCausality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Equal(mod.Calls["append(x)"].Response.Value, "ax") {
+		t.Errorf("modified append(x) = %v, want ax", mod.Calls["append(x)"].Response.Value)
+	}
+	wm := check.NewWitness(mod.History)
+	if rep := wm.FEC(core.Weak); !rep.OK() {
+		t.Errorf("FEC(weak) must hold on Figure 1 under Algorithm 2:\n%s", rep)
+	}
+	if rep := wm.Seq(core.Strong); !rep.OK() {
+		t.Errorf("Seq(strong) must hold on Figure 1 under Algorithm 2:\n%s", rep)
+	}
+}
+
+func TestFigure2CircularCausalityAndItsElimination(t *testing.T) {
+	orig, err := Figure2(core.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := orig.Calls["append(x)"]
+	y := orig.Calls["append(y)"]
+	if !spec.Equal(x.Response.Value, "ayx") {
+		t.Errorf("append(x) = %v, want ayx", x.Response.Value)
+	}
+	if !spec.Equal(y.Response.Value, "axy") {
+		t.Errorf("append(y) = %v, want axy", y.Response.Value)
+	}
+	if res := check.NewWitness(orig.History).NCC(); res.Holds {
+		t.Error("Algorithm 1 must exhibit circular causality on Figure 2")
+	}
+
+	mod, err := Figure2(core.NoCircularCausality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check.NewWitness(mod.History).NCC(); !res.Holds {
+		t.Errorf("Algorithm 2 must avoid circular causality: %s", res)
+	}
+	// Under Algorithm 2 the weak appends answer immediately from local
+	// state: y sees only a, x sees only a.
+	if !spec.Equal(mod.Calls["append(y)"].Response.Value, "ay") {
+		t.Errorf("modified append(y) = %v, want ay", mod.Calls["append(y)"].Response.Value)
+	}
+	if !spec.Equal(mod.Calls["append(x)"].Response.Value, "ax") {
+		t.Errorf("modified append(x) = %v, want ax", mod.Calls["append(x)"].Response.Value)
+	}
+}
+
+func TestTheorem1RunIsUnsatisfiable(t *testing.T) {
+	out, err := Theorem1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The construction's observable values.
+	want := map[string]spec.Value{"a": "p", "b": "q", "r": "pq", "c": "qz"}
+	for name, v := range want {
+		call := out.Calls[name]
+		if call == nil || !call.Done {
+			t.Fatalf("call %s missing or incomplete", name)
+		}
+		if !spec.Equal(call.Response.Value, v) {
+			t.Fatalf("call %s = %v, want %v", name, call.Response.Value, v)
+		}
+	}
+	// The strong c must have answered without knowing a.
+	if containsDot(out.Calls["c"].Response.Trace, out.Calls["a"].Dot) {
+		t.Fatal("construction broken: c observed a")
+	}
+	// The observable history (exactly the four constructed events) admits
+	// no BEC(weak)∧Seq(strong) execution.
+	if len(out.History.Events) != 4 {
+		t.Fatalf("history has %d events, want 4", len(out.History.Events))
+	}
+	res, err := check.Search(out.History, check.BECWeakSeqStrong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Fatalf("Theorem 1 run must be unsatisfiable, got %s", res)
+	}
+	// Yet the protocol is FEC(weak)-correct on the same run.
+	w := check.NewWitness(out.History)
+	if rep := w.FEC(core.Weak); !rep.OK() {
+		t.Errorf("FEC(weak) must hold on the Theorem 1 run:\n%s", rep)
+	}
+}
+
+func TestStableRunTheorem2AcrossSeeds(t *testing.T) {
+	for _, variant := range []core.Variant{core.NoCircularCausality} {
+		for seed := int64(1); seed <= 5; seed++ {
+			out, err := StableRun(seed, 3, 6, variant)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			w := check.NewWitness(out.History)
+			if res := w.ArTotal(); !res.Holds {
+				t.Errorf("seed %d: %s", seed, res)
+			}
+			for _, rep := range []check.Report{w.FEC(core.Weak), w.FEC(core.Strong), w.Seq(core.Strong)} {
+				if !rep.OK() {
+					t.Errorf("seed %d violates Theorem 2:\n%s", seed, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestAsyncRunTheorem3AcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		out, err := AsyncRun(seed, 3, 6)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		w := check.NewWitness(out.History)
+		if rep := w.FEC(core.Weak); !rep.OK() {
+			t.Errorf("seed %d violates FEC(weak):\n%s", seed, rep)
+		}
+		if rep := w.SeqPendingAware(core.Strong); rep.OK() {
+			t.Errorf("seed %d: Seq(strong) must be unachieved in an asynchronous run", seed)
+		}
+	}
+}
+
+func containsDot(ds []core.Dot, d core.Dot) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSessionGuaranteesOnStableRuns documents the implementation's session
+// strength: monotonic writes hold (FIFO dissemination), and writes-follow-
+// reads holds too — our reliable broadcast relays eagerly over FIFO links,
+// which yields causal delivery on these topologies. (Read-your-writes is
+// the guarantee Algorithm 2 gives up; see the cluster tests.)
+func TestSessionGuaranteesOnStableRuns(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		out, err := StableRun(seed, 3, 6, core.NoCircularCausality)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		w := check.NewWitness(out.History)
+		if res := w.MonotonicWrites(); !res.Holds {
+			t.Errorf("seed %d: %s", seed, res)
+		}
+		if res := w.WritesFollowReads(); !res.Holds {
+			t.Errorf("seed %d: %s", seed, res)
+		}
+	}
+}

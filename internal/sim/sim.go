@@ -1,0 +1,144 @@
+// Package sim is the deterministic discrete-event simulation substrate on
+// which every experiment in this repository runs. It implements the system
+// model of Appendix A.2.1 of the paper literally: replicas are state automata
+// that execute steps in reaction to events; an execution is a sequence of
+// events; an execution is fair when every enabled event is eventually
+// executed. The scheduler provides:
+//
+//   - a virtual clock (Time) that only advances when events are processed,
+//   - a priority queue of events ordered by (time, insertion sequence) so
+//     that runs are bit-for-bit reproducible for a given seed and schedule,
+//   - a seeded random source for randomized workloads, and
+//   - run-to-quiescence execution with a step budget that turns accidental
+//     livelock into a test failure instead of a hang.
+//
+// The paper's asynchronous versus stable runs are modelled above this layer
+// (by partitions and the failure-detector oracle), not by nondeterminism
+// here: determinism is what makes the Figure 1/2 schedules and the Theorem 1
+// construction reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual time in abstract ticks. Experiments use milliseconds-like
+// magnitudes but nothing depends on the unit.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq int64 // insertion order; total tiebreak => deterministic, fair (FIFO)
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event scheduler. The zero value is not usable;
+// construct with New. Schedulers are not safe for concurrent use: the whole
+// simulation is single-threaded by design (determinism).
+type Scheduler struct {
+	now   Time
+	seq   int64
+	queue eventHeap
+	rng   *rand.Rand
+	steps int64
+}
+
+// New returns a scheduler whose random source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events processed so far.
+func (s *Scheduler) Steps() int64 { return s.steps }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t. Times in the past are clamped
+// to the present (the event runs after already-queued events at Now).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d ticks from now.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step processes the single earliest event. It reports false when the queue
+// is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// Run processes events until the queue is empty and returns the number of
+// events processed. maxSteps bounds the run: a non-positive budget means
+// "effectively unbounded" (2^62). Run reports ok=false when the budget was
+// exhausted before quiescence — protocol livelock in tests shows up as a
+// clean failure, not a hang.
+func (s *Scheduler) Run(maxSteps int64) (processed int64, ok bool) {
+	if maxSteps <= 0 {
+		maxSteps = 1 << 62
+	}
+	for processed < maxSteps {
+		if !s.Step() {
+			return processed, true
+		}
+		processed++
+	}
+	return processed, len(s.queue) == 0
+}
+
+// RunUntil processes events with time ≤ t (leaving later events queued) and
+// advances the clock to t. It returns the number of events processed.
+func (s *Scheduler) RunUntil(t Time) int64 {
+	var processed int64
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+		processed++
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return processed
+}
+
+// RunFor processes events within the next d ticks.
+func (s *Scheduler) RunFor(d Time) int64 { return s.RunUntil(s.now + d) }

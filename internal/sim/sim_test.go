@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	if _, ok := s.Run(0); !ok {
+		t.Fatal("run did not quiesce")
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30 {
+		t.Errorf("now = %d, want 30", s.Now())
+	}
+}
+
+func TestFIFOTiebreakAtSameTime(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events must run FIFO; got %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var got []string
+	s.At(10, func() {
+		got = append(got, "a")
+		s.After(5, func() { got = append(got, "c") })
+		s.After(0, func() { got = append(got, "b") })
+	})
+	s.Run(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		s.At(50, func() {
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %d, want clamped to 100", s.Now())
+			}
+		})
+	})
+	s.Run(0)
+}
+
+func TestRunBudget(t *testing.T) {
+	s := New(1)
+	// A self-perpetuating event chain must be stopped by the budget.
+	var ping func()
+	ping = func() { s.After(1, ping) }
+	s.After(1, ping)
+	processed, ok := s.Run(100)
+	if ok {
+		t.Error("livelocked run must report ok=false")
+	}
+	if processed != 100 {
+		t.Errorf("processed = %d, want 100", processed)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(10, func() { got = append(got, 10) })
+	s.At(20, func() { got = append(got, 20) })
+	s.At(30, func() { got = append(got, 30) })
+	n := s.RunUntil(20)
+	if n != 2 || len(got) != 2 {
+		t.Errorf("RunUntil(20) processed %d events (%v), want 2", n, got)
+	}
+	if s.Now() != 20 {
+		t.Errorf("now = %d, want 20", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Property: two schedulers with the same seed and schedule process
+	// events in the same order and draw the same random numbers.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		run := func() []int64 {
+			s := New(seed)
+			var trace []int64
+			for i := 0; i < n; i++ {
+				d := Time(s.Rand().Intn(100))
+				s.After(d, func() { trace = append(trace, int64(s.Now())+s.Rand().Int63n(10)) })
+			}
+			s.Run(0)
+			return trace
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(Time(i), func() {})
+	}
+	s.Run(0)
+	if s.Steps() != 5 {
+		t.Errorf("steps = %d, want 5", s.Steps())
+	}
+}

@@ -1,0 +1,27 @@
+package simnet
+
+// Mux fans a node's incoming payloads out to protocol layers (reliable
+// broadcast, total order broadcast, ...) stacked on one network endpoint.
+// Each subscriber reports whether it consumed the payload; unconsumed
+// payloads fall through to the next subscriber and are silently ignored when
+// nobody claims them (e.g., traffic addressed to a protocol a node no longer
+// runs).
+type Mux struct {
+	subs []func(from NodeID, payload any) bool
+}
+
+// Add appends a subscriber. Subscribers are tried in registration order.
+func (m *Mux) Add(fn func(from NodeID, payload any) bool) {
+	m.subs = append(m.subs, fn)
+}
+
+// Handler returns the network Handler that drives the mux.
+func (m *Mux) Handler() Handler {
+	return func(from NodeID, payload any) {
+		for _, s := range m.subs {
+			if s(from, payload) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package simnet simulates the message-passing network connecting the
+// replicas: point-to-point links with configurable latency, FIFO delivery
+// per link, node crashes, and — central to the paper — network partitions.
+//
+// Partition semantics follow the "temporary partitions" model the paper
+// adopts (§2.3, after [15] [23]): messages between nodes in different
+// partition cells are *held* and delivered once the partition heals, which
+// models reliable links with retransmission. A run in which a partition is
+// never healed within the observation horizon is an *asynchronous run*; a
+// run in which partitions heal and the failure detector stabilizes is a
+// *stable run* (§5, §A.2.1).
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"bayou/internal/sim"
+)
+
+// NodeID identifies a replica in the network. IDs are small non-negative
+// integers assigned densely from 0.
+type NodeID int
+
+// Handler receives a delivered payload on a node.
+type Handler func(from NodeID, payload any)
+
+// Stats counts network activity for the benchmark harness.
+type Stats struct {
+	Sent      int64 // messages submitted
+	Delivered int64 // messages handed to handlers
+	Held      int64 // messages that waited out a partition at least once
+	DroppedTo int64 // messages discarded because the target crashed
+}
+
+// heldMsg is a message parked because sender and receiver were separated.
+type heldMsg struct {
+	from, to NodeID
+	payload  any
+}
+
+// Network is the simulated network. It is single-threaded over the shared
+// scheduler; construct with New.
+type Network struct {
+	sched    *sim.Scheduler
+	handlers map[NodeID]Handler
+	latency  func(from, to NodeID) sim.Time
+	cell     map[NodeID]int // partition cell per node; all 0 when healed
+	crashed  map[NodeID]bool
+	blocked  map[[2]NodeID]bool // directed per-link blocks
+	held     []heldMsg
+	lastDue  map[[2]NodeID]sim.Time // per-link FIFO watermark
+	stats    Stats
+}
+
+// New returns a network over the scheduler with a constant default latency
+// of 10 ticks per link.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{
+		sched:    sched,
+		handlers: make(map[NodeID]Handler),
+		latency:  func(NodeID, NodeID) sim.Time { return 10 },
+		cell:     make(map[NodeID]int),
+		crashed:  make(map[NodeID]bool),
+		blocked:  make(map[[2]NodeID]bool),
+		lastDue:  make(map[[2]NodeID]sim.Time),
+	}
+}
+
+// Register installs the delivery handler for a node. Registering twice
+// replaces the handler.
+func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// SetLatency replaces the link-latency function. Latency must be
+// deterministic for reproducibility; jitter should be derived from the
+// scheduler's seeded random source by the caller.
+func (n *Network) SetLatency(f func(from, to NodeID) sim.Time) { n.latency = f }
+
+// Connected reports whether messages from a currently reach b: same
+// partition cell, link not blocked, neither endpoint crashed.
+func (n *Network) Connected(a, b NodeID) bool {
+	if n.crashed[a] || n.crashed[b] {
+		return false
+	}
+	return n.cell[a] == n.cell[b] && !n.blocked[[2]NodeID{a, b}]
+}
+
+// Block holds all traffic on the directed link from→to until Unblock. The
+// asynchronous model permits arbitrary per-message delays, so one-directional
+// blocking is a legal adversarial schedule — the Theorem 1 construction uses
+// it to hide one replica's messages from another while consensus traffic
+// still flows outward.
+func (n *Network) Block(from, to NodeID) { n.blocked[[2]NodeID{from, to}] = true }
+
+// Unblock releases a directed link and schedules delivery of messages held
+// on it.
+func (n *Network) Unblock(from, to NodeID) {
+	delete(n.blocked, [2]NodeID{from, to})
+	n.releaseHeld()
+}
+
+// Partition splits the network into the given cells. Every listed node is
+// assigned to its cell; unlisted nodes form an implicit final cell. A
+// subsequent Heal (or another Partition) releases held messages whose
+// endpoints become connected.
+func (n *Network) Partition(cells ...[]NodeID) {
+	for id := range n.handlers {
+		n.cell[id] = len(cells) // implicit cell for unlisted nodes
+	}
+	for i, cell := range cells {
+		for _, id := range cell {
+			n.cell[id] = i
+		}
+	}
+	n.releaseHeld()
+}
+
+// Heal removes all partitions and schedules delivery of held messages.
+func (n *Network) Heal() {
+	for id := range n.handlers {
+		n.cell[id] = 0
+	}
+	n.releaseHeld()
+}
+
+// Crash marks a node as silently crashed: it no longer sends or receives
+// (§A.2.1 "replicas may crash silently and cease all communication").
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Crashed reports whether the node has crashed.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// Send transmits payload from one node to another. Self-sends are delivered
+// through the scheduler like any other message (zero-latency links are
+// allowed). Messages across a partition are held until connectivity returns.
+func (n *Network) Send(from, to NodeID, payload any) {
+	n.stats.Sent++
+	if n.crashed[from] {
+		return
+	}
+	if !n.linkOpen(from, to) {
+		n.stats.Held++
+		n.held = append(n.held, heldMsg{from: from, to: to, payload: payload})
+		return
+	}
+	n.transmit(from, to, payload)
+}
+
+// linkOpen reports whether traffic currently flows on the directed link.
+func (n *Network) linkOpen(from, to NodeID) bool {
+	return n.cell[from] == n.cell[to] && !n.blocked[[2]NodeID{from, to}]
+}
+
+// Broadcast sends payload from one node to every other registered node.
+func (n *Network) Broadcast(from NodeID, payload any) {
+	for _, to := range n.Nodes() {
+		if to != from {
+			n.Send(from, to, payload)
+		}
+	}
+}
+
+// Nodes returns the registered node ids in ascending order.
+func (n *Network) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// transmit schedules the actual delivery, enforcing per-link FIFO: a message
+// never overtakes an earlier message on the same (from, to) link even if the
+// latency function fluctuates.
+func (n *Network) transmit(from, to NodeID, payload any) {
+	due := n.sched.Now() + n.latency(from, to)
+	link := [2]NodeID{from, to}
+	if due < n.lastDue[link] {
+		due = n.lastDue[link]
+	}
+	n.lastDue[link] = due
+	n.sched.At(due, func() { n.deliver(from, to, payload) })
+}
+
+// deliver hands the payload to the target handler unless, at delivery time,
+// the endpoints are separated (the message is then re-held) or the target
+// crashed (the message is dropped).
+func (n *Network) deliver(from, to NodeID, payload any) {
+	if n.crashed[to] {
+		n.stats.DroppedTo++
+		return
+	}
+	if !n.linkOpen(from, to) {
+		n.stats.Held++
+		n.held = append(n.held, heldMsg{from: from, to: to, payload: payload})
+		return
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		panic(fmt.Sprintf("simnet: delivery to unregistered node %d", to))
+	}
+	n.stats.Delivered++
+	h(from, payload)
+}
+
+// releaseHeld re-transmits every held message whose endpoints are connected
+// again. Held messages between still-separated nodes stay held.
+func (n *Network) releaseHeld() {
+	pending := n.held
+	n.held = nil
+	for _, m := range pending {
+		if n.crashed[m.to] || n.crashed[m.from] {
+			n.stats.DroppedTo++
+			continue
+		}
+		if !n.linkOpen(m.from, m.to) {
+			n.held = append(n.held, m)
+			continue
+		}
+		n.transmit(m.from, m.to, m.payload)
+	}
+}
+
+// HeldCount returns the number of messages currently parked on partitions,
+// for assertions in partition tests.
+func (n *Network) HeldCount() int { return len(n.held) }

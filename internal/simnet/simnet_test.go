@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"testing"
+
+	"bayou/internal/sim"
+)
+
+type sink struct {
+	got []string
+}
+
+func (s *sink) handler() Handler {
+	return func(from NodeID, payload any) {
+		s.got = append(s.got, payload.(string))
+	}
+}
+
+func newNet(t *testing.T, nodes int) (*sim.Scheduler, *Network, []*sink) {
+	t.Helper()
+	sched := sim.New(7)
+	net := New(sched)
+	sinks := make([]*sink, nodes)
+	for i := 0; i < nodes; i++ {
+		sinks[i] = &sink{}
+		net.Register(NodeID(i), sinks[i].handler())
+	}
+	return sched, net, sinks
+}
+
+func TestSendDelivers(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	net.Send(0, 1, "hello")
+	sched.Run(0)
+	if len(sinks[1].got) != 1 || sinks[1].got[0] != "hello" {
+		t.Errorf("sink 1 got %v", sinks[1].got)
+	}
+	if len(sinks[0].got) != 0 {
+		t.Errorf("sink 0 must receive nothing, got %v", sinks[0].got)
+	}
+}
+
+func TestBroadcastSkipsSender(t *testing.T) {
+	sched, net, sinks := newNet(t, 3)
+	net.Broadcast(0, "m")
+	sched.Run(0)
+	if len(sinks[0].got) != 0 {
+		t.Errorf("sender received its own broadcast: %v", sinks[0].got)
+	}
+	for i := 1; i < 3; i++ {
+		if len(sinks[i].got) != 1 {
+			t.Errorf("sink %d got %v", i, sinks[i].got)
+		}
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	// Decreasing latency would reorder messages without the FIFO watermark.
+	lat := []sim.Time{50, 10, 1}
+	i := 0
+	net.SetLatency(func(from, to NodeID) sim.Time {
+		l := lat[i%len(lat)]
+		i++
+		return l
+	})
+	net.Send(0, 1, "first")
+	net.Send(0, 1, "second")
+	net.Send(0, 1, "third")
+	sched.Run(0)
+	want := []string{"first", "second", "third"}
+	for j, w := range want {
+		if sinks[1].got[j] != w {
+			t.Fatalf("delivery order = %v, want %v", sinks[1].got, want)
+		}
+	}
+}
+
+func TestPartitionHoldsAndHealReleases(t *testing.T) {
+	sched, net, sinks := newNet(t, 3)
+	net.Partition([]NodeID{0}, []NodeID{1, 2})
+	net.Send(0, 1, "across")
+	net.Send(1, 2, "within")
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("partitioned message delivered: %v", sinks[1].got)
+	}
+	if len(sinks[2].got) != 1 || sinks[2].got[0] != "within" {
+		t.Errorf("intra-partition message lost: %v", sinks[2].got)
+	}
+	if net.HeldCount() != 1 {
+		t.Errorf("held = %d, want 1", net.HeldCount())
+	}
+	net.Heal()
+	sched.Run(0)
+	if len(sinks[1].got) != 1 || sinks[1].got[0] != "across" {
+		t.Errorf("held message not delivered after heal: %v", sinks[1].got)
+	}
+}
+
+func TestPartitionAtDeliveryTimeReholds(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	net.Send(0, 1, "inflight")
+	// Partition strikes while the message is in flight.
+	net.Partition([]NodeID{0}, []NodeID{1})
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("in-flight message crossed a partition: %v", sinks[1].got)
+	}
+	net.Heal()
+	sched.Run(0)
+	if len(sinks[1].got) != 1 {
+		t.Errorf("in-flight message lost after heal: %v", sinks[1].got)
+	}
+}
+
+func TestRepartitionKeepsHolding(t *testing.T) {
+	sched, net, sinks := newNet(t, 3)
+	net.Partition([]NodeID{0}, []NodeID{1, 2})
+	net.Send(0, 1, "m")
+	sched.Run(0)
+	// Repartition differently but still separating 0 from 1.
+	net.Partition([]NodeID{0, 2}, []NodeID{1})
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("message crossed while still separated: %v", sinks[1].got)
+	}
+	net.Heal()
+	sched.Run(0)
+	if len(sinks[1].got) != 1 {
+		t.Errorf("message lost: %v", sinks[1].got)
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	net.Send(0, 1, "before")
+	net.Crash(1)
+	net.Send(0, 1, "after")
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("crashed node received messages: %v", sinks[1].got)
+	}
+	net.Crash(0)
+	net.Send(0, 1, "fromCrashed")
+	sched.Run(0)
+	st := net.Stats()
+	if st.Delivered != 0 {
+		t.Errorf("delivered = %d, want 0", st.Delivered)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	_, net, _ := newNet(t, 3)
+	if !net.Connected(0, 1) {
+		t.Error("fresh network must be fully connected")
+	}
+	net.Partition([]NodeID{0}, []NodeID{1, 2})
+	if net.Connected(0, 1) {
+		t.Error("0 and 1 must be separated")
+	}
+	if !net.Connected(1, 2) {
+		t.Error("1 and 2 must stay connected")
+	}
+	net.Heal()
+	if !net.Connected(0, 1) {
+		t.Error("heal must reconnect")
+	}
+	net.Crash(2)
+	if net.Connected(1, 2) {
+		t.Error("crashed node must be disconnected")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sched, net, _ := newNet(t, 2)
+	net.Send(0, 1, "a")
+	net.Send(0, 1, "b")
+	sched.Run(0)
+	st := net.Stats()
+	if st.Sent != 2 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDirectedBlockHoldsOneWay(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	net.Block(0, 1)
+	net.Send(0, 1, "held")
+	net.Send(1, 0, "through")
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("blocked direction delivered: %v", sinks[1].got)
+	}
+	if len(sinks[0].got) != 1 || sinks[0].got[0] != "through" {
+		t.Errorf("open direction lost: %v", sinks[0].got)
+	}
+	net.Unblock(0, 1)
+	sched.Run(0)
+	if len(sinks[1].got) != 1 || sinks[1].got[0] != "held" {
+		t.Errorf("held message not released: %v", sinks[1].got)
+	}
+}
+
+func TestBlockedAtDeliveryReholds(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	net.Send(0, 1, "inflight")
+	net.Block(0, 1) // strikes while in flight
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("in-flight message crossed a blocked link: %v", sinks[1].got)
+	}
+	net.Unblock(0, 1)
+	sched.Run(0)
+	if len(sinks[1].got) != 1 {
+		t.Errorf("message lost: %v", sinks[1].got)
+	}
+}

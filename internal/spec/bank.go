@@ -1,0 +1,121 @@
+package spec
+
+// The bank data type used by the examples and benchmarks: accounts with
+// deposits (commuting blind updates, natural weak operations) and
+// withdrawals/transfers (balance-guarded, the kind of operation one wants to
+// issue strongly so a tentative approval is never revoked). This is the
+// classic mixed-consistency workload the paper's introduction motivates.
+
+const acctPrefix = "acct/"
+
+// DepositOp adds Amount to Account and returns the new balance.
+type DepositOp struct {
+	Account string
+	Amount  int64
+}
+
+// Deposit constructs a deposit(account, amount) operation.
+func Deposit(account string, amount int64) DepositOp {
+	return DepositOp{Account: account, Amount: amount}
+}
+
+// Name implements Op.
+func (o DepositOp) Name() string {
+	return "deposit(" + o.Account + "," + Encode(o.Amount) + ")"
+}
+
+// ReadOnly implements Op.
+func (DepositOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o DepositOp) Apply(tx Tx) Value {
+	bal, _ := tx.Read(acctPrefix + o.Account).(int64)
+	bal += o.Amount
+	tx.Write(acctPrefix+o.Account, bal)
+	return bal
+}
+
+// WithdrawOp subtracts Amount from Account when the balance suffices. It
+// returns the new balance on success and nil when rejected (the
+// dependency-check pattern of the original Bayou, emulated at the operation
+// level as §2.1 prescribes).
+type WithdrawOp struct {
+	Account string
+	Amount  int64
+}
+
+// Withdraw constructs a withdraw(account, amount) operation.
+func Withdraw(account string, amount int64) WithdrawOp {
+	return WithdrawOp{Account: account, Amount: amount}
+}
+
+// Name implements Op.
+func (o WithdrawOp) Name() string {
+	return "withdraw(" + o.Account + "," + Encode(o.Amount) + ")"
+}
+
+// ReadOnly implements Op.
+func (WithdrawOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o WithdrawOp) Apply(tx Tx) Value {
+	bal, _ := tx.Read(acctPrefix + o.Account).(int64)
+	if bal < o.Amount {
+		return nil
+	}
+	bal -= o.Amount
+	tx.Write(acctPrefix+o.Account, bal)
+	return bal
+}
+
+// BalanceOp reads the balance of Account (0 when the account is fresh).
+type BalanceOp struct {
+	Account string
+}
+
+// Balance constructs a balance(account) operation.
+func Balance(account string) BalanceOp { return BalanceOp{Account: account} }
+
+// Name implements Op.
+func (o BalanceOp) Name() string { return "balance(" + o.Account + ")" }
+
+// ReadOnly implements Op.
+func (BalanceOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o BalanceOp) Apply(tx Tx) Value {
+	bal, _ := tx.Read(acctPrefix + o.Account).(int64)
+	return bal
+}
+
+// TransferOp atomically moves Amount from From to To when From's balance
+// suffices, returning true on success.
+type TransferOp struct {
+	From, To string
+	Amount   int64
+}
+
+// Transfer constructs a transfer(from, to, amount) operation.
+func Transfer(from, to string, amount int64) TransferOp {
+	return TransferOp{From: from, To: to, Amount: amount}
+}
+
+// Name implements Op.
+func (o TransferOp) Name() string {
+	return "transfer(" + o.From + "," + o.To + "," + Encode(o.Amount) + ")"
+}
+
+// ReadOnly implements Op.
+func (TransferOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o TransferOp) Apply(tx Tx) Value {
+	from, _ := tx.Read(acctPrefix + o.From).(int64)
+	if from < o.Amount {
+		return false
+	}
+	to, _ := tx.Read(acctPrefix + o.To).(int64)
+	tx.Write(acctPrefix+o.From, from-o.Amount)
+	tx.Write(acctPrefix+o.To, to+o.Amount)
+	return true
+}

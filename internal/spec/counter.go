@@ -1,0 +1,47 @@
+package spec
+
+// The counter data type (a "replicated counter" is the paper's first example
+// of a replicated data type in §3.4).
+
+// IncOp adds Delta to the counter under Key and returns the new value.
+type IncOp struct {
+	Key   string
+	Delta int64
+}
+
+// Inc constructs an inc(key, delta) operation.
+func Inc(key string, delta int64) IncOp { return IncOp{Key: key, Delta: delta} }
+
+// Name implements Op.
+func (o IncOp) Name() string { return "inc(" + o.Key + "," + Encode(o.Delta) + ")" }
+
+// ReadOnly implements Op.
+func (IncOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o IncOp) Apply(tx Tx) Value {
+	cur, _ := tx.Read(o.Key).(int64)
+	cur += o.Delta
+	tx.Write(o.Key, cur)
+	return cur
+}
+
+// CtrGetOp reads the counter under Key (0 when never incremented).
+type CtrGetOp struct {
+	Key string
+}
+
+// CtrGet constructs a get(key) counter read.
+func CtrGet(key string) CtrGetOp { return CtrGetOp{Key: key} }
+
+// Name implements Op.
+func (o CtrGetOp) Name() string { return "ctrGet(" + o.Key + ")" }
+
+// ReadOnly implements Op.
+func (CtrGetOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o CtrGetOp) Apply(tx Tx) Value {
+	cur, _ := tx.Read(o.Key).(int64)
+	return cur
+}

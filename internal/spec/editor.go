@@ -1,0 +1,107 @@
+package spec
+
+// The text-editor data type: a shared document with position-based inserts
+// and deletes. Positional operations are the canonical example of
+// "arbitrarily complex semantics" (§1): they neither commute nor tolerate
+// reordering gracefully, so the same edit lands differently under the
+// tentative and the final execution order — which is exactly the behaviour
+// the weak/strong split is about. Out-of-range positions clamp to the
+// nearest valid position (a deterministic merge rule, in the spirit of
+// Bayou's merge procedures).
+
+const docPrefix = "doc/"
+
+// InsertOp inserts Text at rune position Pos of document Doc and returns the
+// resulting document.
+type InsertOp struct {
+	Doc  string
+	Pos  int64
+	Text string
+}
+
+// Insert constructs an insert(doc, pos, text) operation.
+func Insert(doc string, pos int64, text string) InsertOp {
+	return InsertOp{Doc: doc, Pos: pos, Text: text}
+}
+
+// Name implements Op.
+func (o InsertOp) Name() string {
+	return "insert(" + o.Doc + "," + Encode(o.Pos) + "," + o.Text + ")"
+}
+
+// ReadOnly implements Op.
+func (InsertOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o InsertOp) Apply(tx Tx) Value {
+	cur, _ := tx.Read(docPrefix + o.Doc).(string)
+	pos := clampPos(o.Pos, len(cur))
+	out := cur[:pos] + o.Text + cur[pos:]
+	tx.Write(docPrefix+o.Doc, out)
+	return out
+}
+
+// DeleteOp removes N characters starting at Pos and returns the resulting
+// document. The range is clamped to the document.
+type DeleteOp struct {
+	Doc string
+	Pos int64
+	N   int64
+}
+
+// Delete constructs a delete(doc, pos, n) operation.
+func Delete(doc string, pos, n int64) DeleteOp { return DeleteOp{Doc: doc, Pos: pos, N: n} }
+
+// Name implements Op.
+func (o DeleteOp) Name() string {
+	return "delete(" + o.Doc + "," + Encode(o.Pos) + "," + Encode(o.N) + ")"
+}
+
+// ReadOnly implements Op.
+func (DeleteOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o DeleteOp) Apply(tx Tx) Value {
+	cur, _ := tx.Read(docPrefix + o.Doc).(string)
+	pos := clampPos(o.Pos, len(cur))
+	end := pos + int(o.N)
+	if o.N < 0 {
+		end = pos
+	}
+	if end > len(cur) {
+		end = len(cur)
+	}
+	out := cur[:pos] + cur[end:]
+	tx.Write(docPrefix+o.Doc, out)
+	return out
+}
+
+// DocReadOp returns the document contents (empty string when absent).
+type DocReadOp struct {
+	Doc string
+}
+
+// DocRead constructs a read(doc) operation.
+func DocRead(doc string) DocReadOp { return DocReadOp{Doc: doc} }
+
+// Name implements Op.
+func (o DocReadOp) Name() string { return "docRead(" + o.Doc + ")" }
+
+// ReadOnly implements Op.
+func (DocReadOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o DocReadOp) Apply(tx Tx) Value {
+	cur, _ := tx.Read(docPrefix + o.Doc).(string)
+	return cur
+}
+
+func clampPos(pos int64, n int) int {
+	if pos < 0 {
+		return 0
+	}
+	if pos > int64(n) {
+		return n
+	}
+	return int(pos)
+}

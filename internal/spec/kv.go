@@ -1,0 +1,125 @@
+package spec
+
+// The key-value data type with putIfAbsent — the paper's motivating example
+// of an operation that requires consensus (§1: "Enabling the support for
+// some relatively basic operations, such as putIfAbsent in a key-value data
+// store, requires the ability to solve distributed consensus"). Keys are
+// namespaced under "kv/" so the type can coexist with others in one store.
+
+const kvPrefix = "kv/"
+
+// PutOp stores V under Key (a blind write) and returns V.
+type PutOp struct {
+	Key string
+	V   Value
+}
+
+// Put constructs a put(key, v) operation.
+func Put(key string, v Value) PutOp { return PutOp{Key: key, V: v} }
+
+// Name implements Op.
+func (o PutOp) Name() string { return "put(" + o.Key + "," + Encode(o.V) + ")" }
+
+// ReadOnly implements Op.
+func (PutOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o PutOp) Apply(tx Tx) Value {
+	tx.Write(kvPrefix+o.Key, o.V)
+	return Clone(o.V)
+}
+
+// GetOp reads the value under Key, nil when absent.
+type GetOp struct {
+	Key string
+}
+
+// Get constructs a get(key) operation.
+func Get(key string) GetOp { return GetOp{Key: key} }
+
+// Name implements Op.
+func (o GetOp) Name() string { return "get(" + o.Key + ")" }
+
+// ReadOnly implements Op.
+func (GetOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o GetOp) Apply(tx Tx) Value { return tx.Read(kvPrefix + o.Key) }
+
+// DelOp removes the binding for Key and returns the previous value.
+type DelOp struct {
+	Key string
+}
+
+// Del constructs a del(key) operation.
+func Del(key string) DelOp { return DelOp{Key: key} }
+
+// Name implements Op.
+func (o DelOp) Name() string { return "del(" + o.Key + ")" }
+
+// ReadOnly implements Op.
+func (DelOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o DelOp) Apply(tx Tx) Value {
+	old := tx.Read(kvPrefix + o.Key)
+	tx.Write(kvPrefix+o.Key, nil)
+	return old
+}
+
+// PutIfAbsentOp stores V under Key only when Key is unbound; it returns true
+// when the put took effect. Issued as a strong operation it has
+// compare-and-set semantics; issued as a weak operation its tentative
+// response may later be invalidated — exactly the LWT-mixing hazard the
+// paper cites from Cassandra (reference [13]).
+type PutIfAbsentOp struct {
+	Key string
+	V   Value
+}
+
+// PutIfAbsent constructs a putIfAbsent(key, v) operation.
+func PutIfAbsent(key string, v Value) PutIfAbsentOp { return PutIfAbsentOp{Key: key, V: v} }
+
+// Name implements Op.
+func (o PutIfAbsentOp) Name() string {
+	return "putIfAbsent(" + o.Key + "," + Encode(o.V) + ")"
+}
+
+// ReadOnly implements Op.
+func (PutIfAbsentOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o PutIfAbsentOp) Apply(tx Tx) Value {
+	if tx.Read(kvPrefix+o.Key) != nil {
+		return false
+	}
+	tx.Write(kvPrefix+o.Key, o.V)
+	return true
+}
+
+// CasOp replaces the value under Key with New when the current value equals
+// Old; it returns true when the swap took effect.
+type CasOp struct {
+	Key      string
+	Old, New Value
+}
+
+// Cas constructs a cas(key, old, new) operation.
+func Cas(key string, old, new Value) CasOp { return CasOp{Key: key, Old: old, New: new} }
+
+// Name implements Op.
+func (o CasOp) Name() string {
+	return "cas(" + o.Key + "," + Encode(o.Old) + "," + Encode(o.New) + ")"
+}
+
+// ReadOnly implements Op.
+func (CasOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o CasOp) Apply(tx Tx) Value {
+	if !Equal(tx.Read(kvPrefix+o.Key), o.Old) {
+		return false
+	}
+	tx.Write(kvPrefix+o.Key, o.New)
+	return true
+}

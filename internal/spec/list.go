@@ -1,0 +1,136 @@
+package spec
+
+import "strings"
+
+// DefaultListID is the register under which list operations store the list
+// when constructed via the convenience constructors.
+const DefaultListID = "list"
+
+// The list data type of Figures 1 and 2: an initially empty sequence of
+// strings. Updating operations return the modified state of the list
+// rendered as the concatenation of its elements, matching the figures
+// (append(a) -> "a", duplicate() -> "axax", ...).
+
+// AppendOp appends a single element to the list and returns the
+// concatenation of the resulting list.
+type AppendOp struct {
+	ID   string // register holding the list
+	Elem string
+}
+
+// Append returns an append(elem) operation on the default list register.
+func Append(elem string) AppendOp { return AppendOp{ID: DefaultListID, Elem: elem} }
+
+// Name implements Op.
+func (o AppendOp) Name() string { return "append(" + o.Elem + ")" }
+
+// ReadOnly implements Op.
+func (AppendOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o AppendOp) Apply(tx Tx) Value {
+	l := valueList(tx.Read(o.ID))
+	l = append(l, Value(o.Elem))
+	tx.Write(o.ID, l)
+	return concat(l)
+}
+
+// DuplicateOp atomically appends a copy of the list to itself — the paper's
+// duplicate(), "equivalent to atomically executing append(read())" — and
+// returns the concatenation of the resulting list.
+type DuplicateOp struct {
+	ID string
+}
+
+// Duplicate returns a duplicate() operation on the default list register.
+func Duplicate() DuplicateOp { return DuplicateOp{ID: DefaultListID} }
+
+// Name implements Op.
+func (DuplicateOp) Name() string { return "duplicate()" }
+
+// ReadOnly implements Op.
+func (DuplicateOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o DuplicateOp) Apply(tx Tx) Value {
+	l := valueList(tx.Read(o.ID))
+	l = append(l, l...)
+	tx.Write(o.ID, l)
+	return concat(l)
+}
+
+// ListReadOp returns the concatenation of the list without modifying it.
+type ListReadOp struct {
+	ID string
+}
+
+// ListRead returns a read() operation on the default list register.
+func ListRead() ListReadOp { return ListReadOp{ID: DefaultListID} }
+
+// Name implements Op.
+func (ListReadOp) Name() string { return "read()" }
+
+// ReadOnly implements Op.
+func (ListReadOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o ListReadOp) Apply(tx Tx) Value {
+	return concat(valueList(tx.Read(o.ID)))
+}
+
+// GetFirstOp returns the first element of the list, or nil when empty.
+// It is one of the example list operations named in Section 2.1.
+type GetFirstOp struct {
+	ID string
+}
+
+// GetFirst returns a getFirst() operation on the default list register.
+func GetFirst() GetFirstOp { return GetFirstOp{ID: DefaultListID} }
+
+// Name implements Op.
+func (GetFirstOp) Name() string { return "getFirst()" }
+
+// ReadOnly implements Op.
+func (GetFirstOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o GetFirstOp) Apply(tx Tx) Value {
+	l := valueList(tx.Read(o.ID))
+	if len(l) == 0 {
+		return nil
+	}
+	return Clone(l[0])
+}
+
+// SizeOp returns the length of the list.
+type SizeOp struct {
+	ID string
+}
+
+// Size returns a size() operation on the default list register.
+func Size() SizeOp { return SizeOp{ID: DefaultListID} }
+
+// Name implements Op.
+func (SizeOp) Name() string { return "size()" }
+
+// ReadOnly implements Op.
+func (SizeOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o SizeOp) Apply(tx Tx) Value {
+	return int64(len(valueList(tx.Read(o.ID))))
+}
+
+// concat renders a list of string elements as their concatenation, the
+// return-value convention of Figures 1 and 2.
+func concat(l []Value) Value {
+	var b strings.Builder
+	for _, e := range l {
+		if s, ok := e.(string); ok {
+			b.WriteString(s)
+		} else {
+			b.WriteString(Encode(e))
+		}
+	}
+	return b.String()
+}

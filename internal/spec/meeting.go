@@ -1,0 +1,113 @@
+package spec
+
+import "sort"
+
+// The meeting-room calendar: the motivating application of the original
+// Bayou paper (reference [11]). Reservation requests carry alternate slots;
+// when the preferred slot is taken, the operation falls back to the first
+// free alternate. This emulates Bayou's dependency checks and merge
+// procedures at the level of the operation specification, exactly as §2.1
+// says one can ("dependency checks and merge procedures can be emulated on
+// the level of operation specification").
+
+const roomPrefix = "room/"
+
+// ReserveOp books a slot in Room for Who. Slot is the preferred slot;
+// Alternates are tried in order when Slot (or an earlier alternate) is
+// taken. The response is the granted slot name, or nil when every candidate
+// was taken — so a weak invocation's tentative grant can differ from the
+// final grant after commit, the original Bayou's signature behaviour.
+type ReserveOp struct {
+	Room       string
+	Slot       string
+	Who        string
+	Alternates []string
+}
+
+// Reserve constructs a reserve(room, slot, who, alternates...) operation.
+func Reserve(room, slot, who string, alternates ...string) ReserveOp {
+	return ReserveOp{Room: room, Slot: slot, Who: who, Alternates: alternates}
+}
+
+// Name implements Op.
+func (o ReserveOp) Name() string {
+	return "reserve(" + o.Room + "," + o.Slot + "," + o.Who + ")"
+}
+
+// ReadOnly implements Op.
+func (ReserveOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o ReserveOp) Apply(tx Tx) Value {
+	candidates := append([]string{o.Slot}, o.Alternates...)
+	for _, slot := range candidates {
+		key := roomPrefix + o.Room + "/" + slot
+		if tx.Read(key) == nil {
+			tx.Write(key, o.Who)
+			return slot
+		}
+	}
+	return nil
+}
+
+// CancelOp releases Room/Slot when held by Who; returns true when released.
+type CancelOp struct {
+	Room string
+	Slot string
+	Who  string
+}
+
+// Cancel constructs a cancel(room, slot, who) operation.
+func Cancel(room, slot, who string) CancelOp { return CancelOp{Room: room, Slot: slot, Who: who} }
+
+// Name implements Op.
+func (o CancelOp) Name() string {
+	return "cancel(" + o.Room + "," + o.Slot + "," + o.Who + ")"
+}
+
+// ReadOnly implements Op.
+func (CancelOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o CancelOp) Apply(tx Tx) Value {
+	key := roomPrefix + o.Room + "/" + o.Slot
+	if !Equal(tx.Read(key), o.Who) {
+		return false
+	}
+	tx.Write(key, nil)
+	return true
+}
+
+// ScheduleOp lists the bookings of Room as sorted "slot=who" strings. The
+// slot universe must be supplied because the register model has no key scan.
+type ScheduleOp struct {
+	Room  string
+	Slots []string
+}
+
+// Schedule constructs a schedule(room) read over the given slot universe.
+func Schedule(room string, slots ...string) ScheduleOp {
+	return ScheduleOp{Room: room, Slots: slots}
+}
+
+// Name implements Op.
+func (o ScheduleOp) Name() string { return "schedule(" + o.Room + ")" }
+
+// ReadOnly implements Op.
+func (ScheduleOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o ScheduleOp) Apply(tx Tx) Value {
+	var out []Value
+	slots := append([]string(nil), o.Slots...)
+	sort.Strings(slots)
+	for _, slot := range slots {
+		who := tx.Read(roomPrefix + o.Room + "/" + slot)
+		if who != nil {
+			if w, ok := who.(string); ok {
+				out = append(out, Value(slot+"="+w))
+			}
+		}
+	}
+	return out
+}

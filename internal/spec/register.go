@@ -1,0 +1,46 @@
+package spec
+
+// The register data type: the paper's simplest example (read/write
+// operations on a register; §2.1). Theorem 1's closing remark observes that
+// for a single register, BEC(weak,F) and Seq(strong,F) are jointly
+// achievable; the register type is used by the impossibility benchmark to
+// demonstrate that counterpoint.
+
+// WriteOp writes v to register key and returns v (matching the paper's
+// example rval(write(3)) = 3).
+type WriteOp struct {
+	Key string
+	V   Value
+}
+
+// RegWrite constructs a write(key, v) operation.
+func RegWrite(key string, v Value) WriteOp { return WriteOp{Key: key, V: v} }
+
+// Name implements Op.
+func (o WriteOp) Name() string { return "write(" + o.Key + "," + Encode(o.V) + ")" }
+
+// ReadOnly implements Op.
+func (WriteOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o WriteOp) Apply(tx Tx) Value {
+	tx.Write(o.Key, o.V)
+	return Clone(o.V)
+}
+
+// ReadOp reads register key, returning nil when unwritten.
+type ReadOp struct {
+	Key string
+}
+
+// RegRead constructs a read(key) operation.
+func RegRead(key string) ReadOp { return ReadOp{Key: key} }
+
+// Name implements Op.
+func (o ReadOp) Name() string { return "read(" + o.Key + ")" }
+
+// ReadOnly implements Op.
+func (ReadOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o ReadOp) Apply(tx Tx) Value { return tx.Read(o.Key) }

@@ -1,0 +1,119 @@
+package spec
+
+import "sort"
+
+// The set data type: a sequentially-specified set of strings kept sorted in
+// a single register. (The paper's OR-Set discussion in §3.4 concerns types
+// that expose concurrency; Bayou executes sequentially, so a sequential set
+// is the appropriate specification here.)
+
+const setPrefix = "set/"
+
+// SetAddOp inserts Elem into the set under Key and returns true when the
+// element was not already present.
+type SetAddOp struct {
+	Key  string
+	Elem string
+}
+
+// SetAdd constructs an add(key, elem) operation.
+func SetAdd(key, elem string) SetAddOp { return SetAddOp{Key: key, Elem: elem} }
+
+// Name implements Op.
+func (o SetAddOp) Name() string { return "setAdd(" + o.Key + "," + o.Elem + ")" }
+
+// ReadOnly implements Op.
+func (SetAddOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o SetAddOp) Apply(tx Tx) Value {
+	elems := valueList(tx.Read(setPrefix + o.Key))
+	for _, e := range elems {
+		if Equal(e, o.Elem) {
+			return false
+		}
+	}
+	elems = append(elems, Value(o.Elem))
+	sort.Slice(elems, func(i, j int) bool { return Encode(elems[i]) < Encode(elems[j]) })
+	tx.Write(setPrefix+o.Key, elems)
+	return true
+}
+
+// SetRemoveOp removes Elem from the set under Key and returns true when the
+// element was present.
+type SetRemoveOp struct {
+	Key  string
+	Elem string
+}
+
+// SetRemove constructs a remove(key, elem) operation.
+func SetRemove(key, elem string) SetRemoveOp { return SetRemoveOp{Key: key, Elem: elem} }
+
+// Name implements Op.
+func (o SetRemoveOp) Name() string { return "setRemove(" + o.Key + "," + o.Elem + ")" }
+
+// ReadOnly implements Op.
+func (SetRemoveOp) ReadOnly() bool { return false }
+
+// Apply implements Op.
+func (o SetRemoveOp) Apply(tx Tx) Value {
+	elems := valueList(tx.Read(setPrefix + o.Key))
+	out := elems[:0:0]
+	found := false
+	for _, e := range elems {
+		if Equal(e, o.Elem) {
+			found = true
+			continue
+		}
+		out = append(out, e)
+	}
+	if found {
+		tx.Write(setPrefix+o.Key, out)
+	}
+	return found
+}
+
+// SetContainsOp reports whether Elem is in the set under Key.
+type SetContainsOp struct {
+	Key  string
+	Elem string
+}
+
+// SetContains constructs a contains(key, elem) operation.
+func SetContains(key, elem string) SetContainsOp { return SetContainsOp{Key: key, Elem: elem} }
+
+// Name implements Op.
+func (o SetContainsOp) Name() string { return "setContains(" + o.Key + "," + o.Elem + ")" }
+
+// ReadOnly implements Op.
+func (SetContainsOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o SetContainsOp) Apply(tx Tx) Value {
+	for _, e := range valueList(tx.Read(setPrefix + o.Key)) {
+		if Equal(e, o.Elem) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetElementsOp returns the sorted elements of the set under Key.
+type SetElementsOp struct {
+	Key string
+}
+
+// SetElements constructs an elements(key) operation.
+func SetElements(key string) SetElementsOp { return SetElementsOp{Key: key} }
+
+// Name implements Op.
+func (o SetElementsOp) Name() string { return "setElements(" + o.Key + ")" }
+
+// ReadOnly implements Op.
+func (SetElementsOp) ReadOnly() bool { return true }
+
+// Apply implements Op.
+func (o SetElementsOp) Apply(tx Tx) Value {
+	elems := valueList(tx.Read(setPrefix + o.Key))
+	return Clone(Value(elems))
+}

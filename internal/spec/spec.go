@@ -1,0 +1,186 @@
+// Package spec models replicated data types in the sense of Section 3.4 of
+// the paper: a data type F is a set of operations, each of which is a
+// deterministic transaction composed of register reads and writes plus local
+// computation, returning a value (the model of Appendix A.2.2). The same
+// operations serve two purposes:
+//
+//   - they are executed by the protocol's state object (internal/stateobj)
+//     against the replica's database, and
+//   - they act as a sequential specification for the correctness checkers:
+//     F(op, C) is computed by replaying the context C in arbitration order on
+//     a fresh store and then applying op (Bayou executes all operations
+//     sequentially, so a sequential specification is exact; see footnote 5 of
+//     the paper).
+//
+// Values are deeply-copied at package boundaries so that operations can never
+// alias protocol state (operations may be re-executed after rollbacks and
+// must stay deterministic).
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is the dynamic value type stored in registers and returned by
+// operations. The concrete types used throughout this repository are:
+// nil, bool, int64, string, and []Value (recursively of the same types).
+type Value any
+
+// Tx is the interface an operation uses to access the replica state. It is
+// the register read/write model of Algorithm 3: every operation is a
+// composition of Read and Write instructions plus local computation.
+type Tx interface {
+	// Read returns the current value of the register id, or nil if the
+	// register was never written.
+	Read(id string) Value
+	// Write sets the register id to v.
+	Write(id string, v Value)
+}
+
+// Op is a deterministic transaction against the replicated state. An Op must
+// be pure apart from its Tx effects: given the same sequence of Read results
+// it must perform the same Writes and return the same Value, because the
+// protocol re-executes operations after rollbacks.
+type Op interface {
+	// Name renders the operation with its arguments, e.g. "append(x)".
+	// Names appear in traces and in the Figure 1/2 reproductions.
+	Name() string
+	// ReadOnly reports whether the operation performs no Writes for any
+	// possible reads. Read-only operations are the readonlyops(F) of the
+	// paper: they may be executed locally and never influence other
+	// operations' return values.
+	ReadOnly() bool
+	// Apply runs the transaction against tx and returns the response.
+	Apply(tx Tx) Value
+}
+
+// Clone returns a deep copy of v. Slices are copied recursively; scalar
+// values are returned as-is.
+func Clone(v Value) Value {
+	s, ok := v.([]Value)
+	if !ok {
+		return v
+	}
+	out := make([]Value, len(s))
+	for i, e := range s {
+		out[i] = Clone(e)
+	}
+	return out
+}
+
+// Encode renders v canonically so that two Values are semantically equal
+// exactly when their encodings are equal byte-for-byte.
+func Encode(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return "i" + strconv.FormatInt(x, 10)
+	case int:
+		// Accept untyped int literals from tests and examples.
+		return "i" + strconv.Itoa(x)
+	case string:
+		return strconv.Quote(x)
+	case []Value:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = Encode(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	default:
+		// Unknown dynamic types are rendered via fmt; they compare by
+		// their printed form. Operations in this repository only produce
+		// the documented types.
+		return fmt.Sprintf("?%T:%v", v, v)
+	}
+}
+
+// Equal reports whether two Values are semantically equal (deep equality
+// over the documented value types).
+func Equal(a, b Value) bool {
+	return Encode(a) == Encode(b)
+}
+
+// MapTx is a plain map-backed Tx used for sequential replay by the checkers
+// and the examples. The zero value is not usable; use NewMapTx.
+type MapTx struct {
+	m map[string]Value
+}
+
+// NewMapTx returns an empty map-backed store.
+func NewMapTx() *MapTx {
+	return &MapTx{m: make(map[string]Value)}
+}
+
+// Read implements Tx. Missing registers read as nil.
+func (t *MapTx) Read(id string) Value {
+	return Clone(t.m[id])
+}
+
+// Write implements Tx.
+func (t *MapTx) Write(id string, v Value) {
+	t.m[id] = Clone(v)
+}
+
+// Snapshot returns a deep copy of the store contents, for test assertions.
+func (t *MapTx) Snapshot() map[string]Value {
+	out := make(map[string]Value, len(t.m))
+	for k, v := range t.m {
+		out[k] = Clone(v)
+	}
+	return out
+}
+
+// Keys returns the sorted register ids present in the store.
+func (t *MapTx) Keys() []string {
+	keys := make([]string, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Eval computes F(op, context): it replays the context operations in order
+// on a fresh store and returns op's response on the resulting state. This is
+// the sequential-specification reading of the replicated data type function
+// F from Section 3.4; the caller supplies the context already sorted by the
+// arbitration (or perceived arbitration) order and restricted to the visible
+// events.
+func Eval(context []Op, op Op) Value {
+	tx := NewMapTx()
+	for _, c := range context {
+		c.Apply(tx)
+	}
+	return op.Apply(tx)
+}
+
+// Replay applies ops in order on a fresh store and returns every response.
+func Replay(ops []Op) []Value {
+	tx := NewMapTx()
+	out := make([]Value, len(ops))
+	for i, o := range ops {
+		out[i] = o.Apply(tx)
+	}
+	return out
+}
+
+// valueList coerces a register content to a []Value, treating nil as empty.
+func valueList(v Value) []Value {
+	if v == nil {
+		return nil
+	}
+	s, ok := v.([]Value)
+	if !ok {
+		return []Value{v}
+	}
+	return s
+}

@@ -1,0 +1,393 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeScalars(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "nil"},
+		{true, "true"},
+		{false, "false"},
+		{int64(42), "i42"},
+		{int64(-7), "i-7"},
+		{"abc", `"abc"`},
+		{[]Value{"a", int64(1)}, `["a",i1]`},
+		{[]Value{}, `[]`},
+		{[]Value{[]Value{"x"}}, `[["x"]]`},
+	}
+	for _, c := range cases {
+		if got := Encode(c.v); got != c.want {
+			t.Errorf("Encode(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]Value{"a", int64(1)}, []Value{"a", int64(1)}) {
+		t.Error("deep-equal slices must compare equal")
+	}
+	if Equal("a", "b") {
+		t.Error("distinct strings must not compare equal")
+	}
+	if Equal(int64(1), "i1") {
+		t.Error("int64(1) must differ from string \"i1\"")
+	}
+	if !Equal(nil, nil) {
+		t.Error("nil equals nil")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	orig := []Value{"a", []Value{"b"}}
+	cp := Clone(Value(orig)).([]Value)
+	cp[0] = "mutated"
+	cp[1].([]Value)[0] = "mutated"
+	if orig[0] != "a" || orig[1].([]Value)[0] != "b" {
+		t.Errorf("Clone must deep-copy; original mutated: %v", orig)
+	}
+}
+
+func TestMapTxReadMissing(t *testing.T) {
+	tx := NewMapTx()
+	if v := tx.Read("nope"); v != nil {
+		t.Errorf("missing register reads as %v, want nil", v)
+	}
+}
+
+func TestMapTxCloneOnReadWrite(t *testing.T) {
+	tx := NewMapTx()
+	v := []Value{"a"}
+	tx.Write("k", v)
+	v[0] = "mutated"
+	got := tx.Read("k").([]Value)
+	if got[0] != "a" {
+		t.Errorf("Write must clone: got %v", got)
+	}
+	got[0] = "mutated"
+	again := tx.Read("k").([]Value)
+	if again[0] != "a" {
+		t.Errorf("Read must clone: got %v", again)
+	}
+}
+
+func TestListFigureValues(t *testing.T) {
+	// The return-value convention of Figure 1: append returns the whole
+	// concatenated list, duplicate doubles it.
+	rvals := Replay([]Op{Append("a"), Append("x"), Duplicate(), ListRead()})
+	want := []Value{"a", "ax", "axax", "axax"}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestListFigure1TentativeOrder(t *testing.T) {
+	// Tentative order from Figure 1: append(a), duplicate(), append(x)
+	// yields aax for the append(x) response.
+	rvals := Replay([]Op{Append("a"), Duplicate(), Append("x")})
+	if !Equal(rvals[2], "aax") {
+		t.Errorf("append(x) after [a, duplicate] = %v, want aax", rvals[2])
+	}
+}
+
+func TestListAccessors(t *testing.T) {
+	rvals := Replay([]Op{GetFirst(), Size(), Append("q"), GetFirst(), Size()})
+	if rvals[0] != nil {
+		t.Errorf("getFirst on empty = %v, want nil", rvals[0])
+	}
+	if !Equal(rvals[1], int64(0)) {
+		t.Errorf("size on empty = %v, want 0", rvals[1])
+	}
+	if !Equal(rvals[3], "q") || !Equal(rvals[4], int64(1)) {
+		t.Errorf("after append: getFirst=%v size=%v", rvals[3], rvals[4])
+	}
+}
+
+func TestRegister(t *testing.T) {
+	rvals := Replay([]Op{RegRead("r"), RegWrite("r", int64(3)), RegRead("r"), RegWrite("r", "s"), RegRead("r")})
+	want := []Value{nil, int64(3), int64(3), "s", "s"}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	rvals := Replay([]Op{CtrGet("c"), Inc("c", 5), Inc("c", -2), CtrGet("c")})
+	want := []Value{int64(0), int64(5), int64(3), int64(3)}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestKVPutIfAbsent(t *testing.T) {
+	rvals := Replay([]Op{
+		PutIfAbsent("k", "v1"), // true
+		PutIfAbsent("k", "v2"), // false
+		Get("k"),               // v1
+		Del("k"),               // v1
+		Get("k"),               // nil
+		PutIfAbsent("k", "v3"), // true after delete
+	})
+	want := []Value{true, false, "v1", "v1", nil, true}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestKVCas(t *testing.T) {
+	rvals := Replay([]Op{
+		Put("k", int64(1)),
+		Cas("k", int64(1), int64(2)), // true
+		Cas("k", int64(1), int64(3)), // false
+		Get("k"),                     // 2
+		Cas("absent", nil, "init"),   // true: absent reads as nil
+		Get("absent"),
+	})
+	want := []Value{int64(1), true, false, int64(2), true, "init"}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	rvals := Replay([]Op{
+		SetAdd("s", "b"),
+		SetAdd("s", "a"),
+		SetAdd("s", "a"),      // false, duplicate
+		SetContains("s", "a"), // true
+		SetElements("s"),      // sorted [a b]
+		SetRemove("s", "a"),   // true
+		SetRemove("s", "a"),   // false
+		SetContains("s", "a"), // false
+	})
+	want := []Value{true, true, false, true, []Value{"a", "b"}, true, false, false}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestBank(t *testing.T) {
+	rvals := Replay([]Op{
+		Deposit("alice", 100),
+		Withdraw("alice", 30),  // 70
+		Withdraw("alice", 100), // nil: insufficient
+		Transfer("alice", "bob", 50),
+		Balance("alice"),             // 20
+		Balance("bob"),               // 50
+		Transfer("alice", "bob", 21), // false
+	})
+	want := []Value{int64(100), int64(70), nil, true, int64(20), int64(50), false}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestMeetingRoomMergeProcedure(t *testing.T) {
+	rvals := Replay([]Op{
+		Reserve("atrium", "9am", "ann", "10am", "11am"),
+		Reserve("atrium", "9am", "bob", "10am", "11am"), // falls to 10am
+		Reserve("atrium", "9am", "cyn"),                 // no alternates: nil
+		Schedule("atrium", "9am", "10am", "11am"),
+		Cancel("atrium", "9am", "bob"), // false: ann holds it
+		Cancel("atrium", "9am", "ann"), // true
+		Reserve("atrium", "9am", "cyn"),
+	})
+	want := []Value{
+		"9am", "10am", nil,
+		[]Value{"10am=bob", "9am=ann"},
+		false, true, "9am",
+	}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestReadOnlyFlags(t *testing.T) {
+	ro := []Op{ListRead(), GetFirst(), Size(), RegRead("r"), CtrGet("c"), Get("k"), SetContains("s", "x"), SetElements("s"), Balance("a"), Schedule("r", "s")}
+	for _, o := range ro {
+		if !o.ReadOnly() {
+			t.Errorf("%s must be read-only", o.Name())
+		}
+	}
+	upd := []Op{Append("x"), Duplicate(), RegWrite("r", int64(1)), Inc("c", 1), Put("k", "v"), Del("k"), PutIfAbsent("k", "v"), Cas("k", nil, "v"), SetAdd("s", "x"), SetRemove("s", "x"), Deposit("a", 1), Withdraw("a", 1), Transfer("a", "b", 1), Reserve("r", "s", "w"), Cancel("r", "s", "w")}
+	for _, o := range upd {
+		if o.ReadOnly() {
+			t.Errorf("%s must be updating", o.Name())
+		}
+	}
+}
+
+// randomOps builds a deterministic pseudo-random op sequence mixing all data
+// types, for property tests.
+func randomOps(r *rand.Rand, n int) []Op {
+	elems := []string{"a", "b", "c", "d"}
+	keys := []string{"k1", "k2"}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(10) {
+		case 0:
+			ops = append(ops, Append(elems[r.Intn(len(elems))]))
+		case 1:
+			ops = append(ops, Duplicate())
+		case 2:
+			ops = append(ops, ListRead())
+		case 3:
+			ops = append(ops, Inc("c", int64(r.Intn(5))-2))
+		case 4:
+			ops = append(ops, Put(keys[r.Intn(len(keys))], int64(r.Intn(10))))
+		case 5:
+			ops = append(ops, PutIfAbsent(keys[r.Intn(len(keys))], "v"))
+		case 6:
+			ops = append(ops, SetAdd("s", elems[r.Intn(len(elems))]))
+		case 7:
+			ops = append(ops, SetRemove("s", elems[r.Intn(len(elems))]))
+		case 8:
+			ops = append(ops, Deposit("acct", int64(r.Intn(20))))
+		default:
+			ops = append(ops, Withdraw("acct", int64(r.Intn(20))))
+		}
+	}
+	return ops
+}
+
+func TestReplayDeterministicProperty(t *testing.T) {
+	// Property: replaying the same operation sequence twice yields
+	// identical responses — operations must be deterministic.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		ops := randomOps(rand.New(rand.NewSource(seed)), n)
+		a, b := Replay(ops), Replay(ops)
+		for i := range a {
+			if !Equal(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalIgnoresReadOnlyContextProperty(t *testing.T) {
+	// Property (the read-only axiom of §3.4): removing a read-only
+	// operation from the context never changes F(op, C).
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		r := rand.New(rand.NewSource(seed))
+		ops := randomOps(r, n)
+		probe := ListRead()
+		base := Eval(ops, probe)
+		for i, o := range ops {
+			if !o.ReadOnly() {
+				continue
+			}
+			reduced := append(append([]Op{}, ops[:i]...), ops[i+1:]...)
+			if !Equal(Eval(reduced, probe), base) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPrefixConsistencyProperty(t *testing.T) {
+	// Property: Eval over a context equals replaying the context and
+	// reading the final response — i.e., Replay and Eval agree.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		ops := randomOps(rand.New(rand.NewSource(seed)), n)
+		rvals := Replay(ops)
+		last := ops[n-1]
+		return Equal(Eval(ops[:n-1], last), rvals[n-1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Append("x"), "append(x)"},
+		{Duplicate(), "duplicate()"},
+		{ListRead(), "read()"},
+		{RegWrite("r", int64(3)), "write(r,i3)"},
+		{PutIfAbsent("k", "v"), `putIfAbsent(k,"v")`},
+		{Reserve("atrium", "9am", "ann"), "reserve(atrium,9am,ann)"},
+	}
+	for _, c := range cases {
+		if got := c.op.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEditorBasics(t *testing.T) {
+	rvals := Replay([]Op{
+		Insert("d", 0, "world"),
+		Insert("d", 0, "hello "),
+		Insert("d", 99, "!"), // clamped to the end
+		Delete("d", 0, 6),
+		DocRead("d"),
+	})
+	want := []Value{"world", "hello world", "hello world!", "world!", "world!"}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestEditorClamping(t *testing.T) {
+	rvals := Replay([]Op{
+		Insert("d", -5, "a"), // clamped to 0
+		Delete("d", -2, 100), // clamped range deletes everything
+		Insert("d", 0, "xy"),
+		Delete("d", 1, -3), // negative count deletes nothing
+	})
+	want := []Value{"a", "", "xy", "xy"}
+	for i := range want {
+		if !Equal(rvals[i], want[i]) {
+			t.Errorf("rvals[%d] = %v, want %v", i, rvals[i], want[i])
+		}
+	}
+}
+
+func TestEditorOrderSensitivity(t *testing.T) {
+	// An insert and a delete land differently under the two orders — the
+	// "arbitrarily complex semantics" that make reordering observable.
+	a := Insert("d", 0, "A")
+	b := Delete("d", 0, 1)
+	ab := Replay([]Op{a, b})
+	ba := Replay([]Op{b, a})
+	if Equal(ab[1], ba[1]) {
+		t.Errorf("orders must differ: %v vs %v", ab[1], ba[1])
+	}
+}

@@ -1,0 +1,184 @@
+// Package stateobj implements the StateObject of Algorithm 3 in the paper: a
+// register database together with an undo log that can revoke the effects of
+// any executed request, enabling the rollback/re-execute cycle at the heart
+// of Bayou (Algorithm 1 lines 41–55).
+//
+// The state encapsulates the result of sequentially executing the *current
+// trace* α — the list of executed-and-not-rolled-back requests — and the
+// implementation guarantees that responses are consistent with a
+// deterministic serial execution of α (the requirement of Appendix A.2.2).
+// Rollbacks must occur in reverse execution order; the undo log is therefore
+// kept as a stack and misuse is reported as an error rather than silently
+// corrupting state.
+package stateobj
+
+import (
+	"errors"
+	"fmt"
+
+	"bayou/internal/spec"
+)
+
+// Sentinel errors returned by State methods.
+var (
+	// ErrNotExecuted reports a rollback of a request that is not the most
+	// recently executed live request.
+	ErrNotExecuted = errors.New("stateobj: request is not at the top of the undo stack")
+	// ErrDuplicateExecute reports executing a request id that is already
+	// live (executed and not rolled back).
+	ErrDuplicateExecute = errors.New("stateobj: request already executed and not rolled back")
+)
+
+// ErrReleased reports a rollback of a request whose undo entry was released
+// by Release (it lies below the commit watermark and can never legally be
+// rolled back).
+var ErrReleased = errors.New("stateobj: undo entry was released by compaction")
+
+// undoEntry records, for one executed request, the values every register it
+// wrote held immediately before the first write (nil meaning "unset"). A
+// released entry keeps its place in the trace but has dropped its undo map.
+type undoEntry struct {
+	id       string
+	undo     map[string]spec.Value
+	released bool
+}
+
+// State is the StateObject: a register store plus an undo stack. The zero
+// value is not usable; construct with New.
+type State struct {
+	db    map[string]spec.Value
+	stack []undoEntry
+	live  map[string]int // request id -> index in stack
+
+	executes  int64 // total Execute calls, for cost accounting
+	rollbacks int64 // total Rollback calls
+}
+
+// New returns an empty state.
+func New() *State {
+	return &State{
+		db:   make(map[string]spec.Value),
+		live: make(map[string]int),
+	}
+}
+
+// undoTx is the Tx handed to operations: reads hit the database, writes
+// record the overwritten value in the undo map the first time each register
+// is touched (Algorithm 3 lines 9–12).
+type undoTx struct {
+	db   map[string]spec.Value
+	undo map[string]spec.Value
+}
+
+func (t *undoTx) Read(id string) spec.Value { return spec.Clone(t.db[id]) }
+
+func (t *undoTx) Write(id string, v spec.Value) {
+	if _, saved := t.undo[id]; !saved {
+		t.undo[id] = t.db[id]
+	}
+	t.db[id] = spec.Clone(v)
+}
+
+// Execute runs op under the request id, records an undo entry, and returns
+// the response (Algorithm 3, function execute). The id must not currently be
+// live: a request may only be re-executed after it was rolled back.
+func (s *State) Execute(id string, op spec.Op) (spec.Value, error) {
+	if _, ok := s.live[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateExecute, id)
+	}
+	tx := &undoTx{db: s.db, undo: make(map[string]spec.Value)}
+	resp := op.Apply(tx)
+	s.live[id] = len(s.stack)
+	s.stack = append(s.stack, undoEntry{id: id, undo: tx.undo})
+	s.executes++
+	return resp, nil
+}
+
+// Rollback revokes the effects of the request id (Algorithm 3, function
+// rollback). Rollbacks must be issued in reverse execution order, so id must
+// be the most recently executed live request.
+func (s *State) Rollback(id string) error {
+	n := len(s.stack)
+	if n == 0 || s.stack[n-1].id != id {
+		return fmt.Errorf("%w: %s", ErrNotExecuted, id)
+	}
+	if s.stack[n-1].released {
+		return fmt.Errorf("%w: %s", ErrReleased, id)
+	}
+	entry := s.stack[n-1]
+	for reg, old := range entry.undo {
+		if old == nil {
+			delete(s.db, reg)
+		} else {
+			s.db[reg] = old
+		}
+	}
+	s.stack = s.stack[:n-1]
+	delete(s.live, id)
+	s.rollbacks++
+	return nil
+}
+
+// Release drops the undo maps of the oldest n live requests — Bayou's log
+// compaction: once a prefix of the trace is committed it can never be rolled
+// back, so its undo data is dead weight. It returns the number of entries
+// newly released. The trace itself (request ids, order) is retained.
+func (s *State) Release(n int) int {
+	released := 0
+	for i := 0; i < n && i < len(s.stack); i++ {
+		if s.stack[i].released {
+			continue
+		}
+		s.stack[i].released = true
+		s.stack[i].undo = nil
+		released++
+	}
+	return released
+}
+
+// LiveUndoEntries returns the number of stack entries still holding undo
+// data (observability for the compaction tests and stats).
+func (s *State) LiveUndoEntries() int {
+	live := 0
+	for _, e := range s.stack {
+		if !e.released {
+			live++
+		}
+	}
+	return live
+}
+
+// Trace returns the ids of the current trace α: the executed and
+// not-rolled-back requests in execution order.
+func (s *State) Trace() []string {
+	out := make([]string, len(s.stack))
+	for i, e := range s.stack {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Depth returns the number of live (executed, not rolled back) requests.
+func (s *State) Depth() int { return len(s.stack) }
+
+// Read returns the current value of a register, for read-only peeking by
+// drivers and tests; it does not touch the undo log.
+func (s *State) Read(id string) spec.Value { return spec.Clone(s.db[id]) }
+
+// Executes returns the total number of Execute calls (cost accounting for
+// the rollback-cost experiments).
+func (s *State) Executes() int64 { return s.executes }
+
+// Rollbacks returns the total number of Rollback calls.
+func (s *State) Rollbacks() int64 { return s.rollbacks }
+
+// Stats bundles the cost counters.
+type Stats struct {
+	Executes  int64
+	Rollbacks int64
+}
+
+// Stats returns the current cost counters.
+func (s *State) Stats() Stats {
+	return Stats{Executes: s.executes, Rollbacks: s.rollbacks}
+}

@@ -1,0 +1,274 @@
+package stateobj
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bayou/internal/spec"
+)
+
+func mustExec(t *testing.T, s *State, id string, op spec.Op) spec.Value {
+	t.Helper()
+	v, err := s.Execute(id, op)
+	if err != nil {
+		t.Fatalf("Execute(%s): %v", id, err)
+	}
+	return v
+}
+
+func TestExecuteAndRead(t *testing.T) {
+	s := New()
+	if got := mustExec(t, s, "r1", spec.Append("a")); !spec.Equal(got, "a") {
+		t.Errorf("append(a) = %v, want a", got)
+	}
+	if got := mustExec(t, s, "r2", spec.Append("x")); !spec.Equal(got, "ax") {
+		t.Errorf("append(x) = %v, want ax", got)
+	}
+	if got := s.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "x"}) {
+		t.Errorf("db list = %v", got)
+	}
+}
+
+func TestRollbackRestores(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	mustExec(t, s, "r2", spec.Duplicate())
+	mustExec(t, s, "r3", spec.Append("x"))
+	if err := s.Rollback("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a"}) {
+		t.Errorf("after rollbacks list = %v, want [a]", got)
+	}
+	if got := s.Trace(); len(got) != 1 || got[0] != "r1" {
+		t.Errorf("trace = %v, want [r1]", got)
+	}
+}
+
+func TestRollbackToEmptyRemovesRegisters(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	if err := s.Rollback("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(spec.DefaultListID); got != nil {
+		t.Errorf("register must be unset after full rollback, got %v", got)
+	}
+	if s.Depth() != 0 {
+		t.Errorf("depth = %d, want 0", s.Depth())
+	}
+}
+
+func TestRollbackOrderEnforced(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	mustExec(t, s, "r2", spec.Append("b"))
+	if err := s.Rollback("r1"); !errors.Is(err, ErrNotExecuted) {
+		t.Errorf("out-of-order rollback error = %v, want ErrNotExecuted", err)
+	}
+	if err := s.Rollback("r3"); !errors.Is(err, ErrNotExecuted) {
+		t.Errorf("unknown-request rollback error = %v, want ErrNotExecuted", err)
+	}
+}
+
+func TestDuplicateExecuteRejected(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	if _, err := s.Execute("r1", spec.Append("b")); !errors.Is(err, ErrDuplicateExecute) {
+		t.Errorf("duplicate execute error = %v, want ErrDuplicateExecute", err)
+	}
+	// After rollback the id may be executed again (re-execution cycle).
+	if err := s.Rollback("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute("r1", spec.Append("b")); err != nil {
+		t.Errorf("re-execute after rollback: %v", err)
+	}
+}
+
+func TestReexecutionAfterReorder(t *testing.T) {
+	// The Figure 1 pattern: execute duplicate() and append(x) tentatively,
+	// then roll both back and re-execute in committed order.
+	s := New()
+	mustExec(t, s, "a", spec.Append("a"))
+	mustExec(t, s, "dup", spec.Duplicate())
+	got := mustExec(t, s, "x", spec.Append("x"))
+	if !spec.Equal(got, "aax") {
+		t.Fatalf("tentative append(x) = %v, want aax", got)
+	}
+	for _, id := range []string{"x", "dup"} {
+		if err := s.Rollback(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = mustExec(t, s, "x", spec.Append("x"))
+	if !spec.Equal(got, "ax") {
+		t.Fatalf("committed append(x) = %v, want ax", got)
+	}
+	got = mustExec(t, s, "dup", spec.Duplicate())
+	if !spec.Equal(got, "axax") {
+		t.Fatalf("committed duplicate() = %v, want axax", got)
+	}
+}
+
+func TestMultiRegisterUndo(t *testing.T) {
+	s := New()
+	mustExec(t, s, "d1", spec.Deposit("alice", 100))
+	mustExec(t, s, "d2", spec.Deposit("bob", 10))
+	mustExec(t, s, "t", spec.Transfer("alice", "bob", 40))
+	if got := mustExec(t, s, "b1", spec.Balance("bob")); !spec.Equal(got, int64(50)) {
+		t.Fatalf("bob balance = %v, want 50", got)
+	}
+	if err := s.Rollback("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback("t"); err != nil {
+		t.Fatal(err)
+	}
+	bal, err := s.Execute("b2", spec.Balance("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Equal(bal, int64(100)) {
+		t.Errorf("alice balance after transfer rollback = %v, want 100", bal)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	mustExec(t, s, "r2", spec.Append("b"))
+	if err := s.Rollback("r2"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Executes != 2 || st.Rollbacks != 1 {
+		t.Errorf("stats = %+v, want {2 1}", st)
+	}
+}
+
+// TestTraceEquivalenceProperty is the core Appendix A.2.2 requirement: the
+// state after any interleaving of executes and (legal) rollbacks equals the
+// state of a plain sequential replay of the current trace.
+func TestTraceEquivalenceProperty(t *testing.T) {
+	ops := func(r *rand.Rand) spec.Op {
+		switch r.Intn(6) {
+		case 0:
+			return spec.Append([]string{"a", "b", "c"}[r.Intn(3)])
+		case 1:
+			return spec.Duplicate()
+		case 2:
+			return spec.Inc("c", int64(r.Intn(7))-3)
+		case 3:
+			return spec.Put("k", int64(r.Intn(5)))
+		case 4:
+			return spec.Deposit("acct", int64(r.Intn(9)))
+		default:
+			return spec.Withdraw("acct", int64(r.Intn(9)))
+		}
+	}
+	f := func(seed int64, stepsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		steps := int(stepsRaw%60) + 5
+		s := New()
+		var trace []spec.Op
+		byID := map[string]spec.Op{}
+		next := 0
+		for i := 0; i < steps; i++ {
+			if s.Depth() > 0 && r.Intn(3) == 0 {
+				ids := s.Trace()
+				top := ids[len(ids)-1]
+				if err := s.Rollback(top); err != nil {
+					return false
+				}
+				trace = trace[:len(trace)-1]
+				continue
+			}
+			id := fmt.Sprintf("req%d", next)
+			next++
+			op := ops(r)
+			byID[id] = op
+			if _, err := s.Execute(id, op); err != nil {
+				return false
+			}
+			trace = append(trace, op)
+		}
+		// The database must match a sequential replay of the trace.
+		ref := spec.NewMapTx()
+		for _, op := range trace {
+			op.Apply(ref)
+		}
+		for _, key := range []string{spec.DefaultListID, "c", "kv/k", "acct/acct"} {
+			if !spec.Equal(s.Read(key), ref.Read(key)) {
+				return false
+			}
+		}
+		// And the reported trace ids must match what we executed live.
+		got := s.Trace()
+		if len(got) != len(trace) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReleaseDropsUndoData(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	mustExec(t, s, "r2", spec.Append("b"))
+	mustExec(t, s, "r3", spec.Append("c"))
+	if got := s.Release(2); got != 2 {
+		t.Fatalf("Release = %d, want 2", got)
+	}
+	if got := s.LiveUndoEntries(); got != 1 {
+		t.Fatalf("live entries = %d, want 1", got)
+	}
+	// Releasing again is idempotent.
+	if got := s.Release(2); got != 0 {
+		t.Fatalf("second Release = %d, want 0", got)
+	}
+	// The unreleased top can still roll back; the trace is intact.
+	if err := s.Rollback("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Trace(); len(got) != 2 || got[0] != "r1" || got[1] != "r2" {
+		t.Fatalf("trace = %v", got)
+	}
+	if got := s.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "b"}) {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+func TestRollbackOfReleasedEntryRejected(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	s.Release(1)
+	if err := s.Rollback("r1"); !errors.Is(err, ErrReleased) {
+		t.Errorf("rollback of released entry = %v, want ErrReleased", err)
+	}
+}
+
+func TestExecutionContinuesAfterRelease(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	s.Release(1)
+	got := mustExec(t, s, "r2", spec.Append("b"))
+	if !spec.Equal(got, "ab") {
+		t.Fatalf("append after release = %v, want ab", got)
+	}
+	if err := s.Rollback("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a"}) {
+		t.Fatalf("state = %v", got)
+	}
+}

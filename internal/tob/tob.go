@@ -1,0 +1,386 @@
+// Package tob implements Total Order Broadcast (TOB), the mechanism the
+// paper substitutes for the original Bayou primary to establish the final
+// request execution order (§2.1). Two implementations are provided:
+//
+//   - Paxos (NewPaxos): fault-tolerant, consensus-based, progress gated on
+//     the failure detector Ω — the paper's replacement for the primary;
+//   - Primary (NewPrimary): the original Bayou's primary-commit scheme — a
+//     fixed sequencer stamps commit sequence numbers; simple but not
+//     fault-tolerant. Kept as an ablation (experiment E11).
+//
+// Both satisfy, in stable runs, the paper's required TOB properties
+// (§A.2.1):
+//
+//   - total order: all replicas deliver all messages in the same order;
+//   - FIFO: the delivery order respects the order in which each replica
+//     TOB-cast its messages;
+//   - RB-coupling: if a message was (RB- and) TOB-cast by some replica and
+//     reached any correct replica, then all correct replicas eventually
+//     TOB-deliver it. The Paxos implementation achieves this by eagerly
+//     relaying cast messages into every node's candidate pool, from which
+//     any (future) leader proposes; invocation of the RB-cast and TOB-cast
+//     is a single atomic step in the replica model, so pool dissemination
+//     is equivalent to the paper's formulation.
+//
+// FIFO is enforced end-to-end: origins stamp contiguous per-origin sequence
+// numbers, leaders propose per origin in sequence order, and learners apply
+// a deterministic hold-back (identical at every node because the decided
+// slot sequence is identical), so even duplicated or leader-crossing
+// proposals never violate cast order.
+package tob
+
+import (
+	"sort"
+
+	"bayou/internal/fd"
+	"bayou/internal/paxos"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+)
+
+// Message is a TOB payload. ID must be globally unique (Bayou uses the
+// request dot); Origin and Seq are stamped by Cast.
+type Message struct {
+	ID      string
+	Origin  simnet.NodeID
+	Seq     int64 // contiguous per-origin cast sequence, from 1
+	Payload any
+}
+
+// DeliverFunc receives TOB-delivered messages together with their global
+// delivery position (the tobNo of the paper's proofs), identical at every
+// replica.
+type DeliverFunc func(tobNo int64, m Message)
+
+// TOB is the interface shared by both implementations.
+type TOB interface {
+	// Cast submits a payload for total ordering under the unique id.
+	Cast(id string, payload any)
+	// Handle consumes TOB wire traffic (false for foreign payloads).
+	Handle(from simnet.NodeID, payload any) bool
+	// DeliveredCount returns the number of messages TOB-delivered here.
+	DeliveredCount() int64
+}
+
+// forwardMsg disseminates a cast message into every node's candidate pool.
+type forwardMsg struct {
+	M Message
+}
+
+// fifoGate implements the deterministic per-origin hold-back and the
+// duplicate filter shared by both implementations.
+type fifoGate struct {
+	deliver    DeliverFunc
+	seen       map[string]bool
+	nextSeq    map[simnet.NodeID]int64
+	buffered   map[simnet.NodeID]map[int64]Message
+	nDelivered int64
+}
+
+func newFifoGate(deliver DeliverFunc) *fifoGate {
+	return &fifoGate{
+		deliver:  deliver,
+		seen:     make(map[string]bool),
+		nextSeq:  make(map[simnet.NodeID]int64),
+		buffered: make(map[simnet.NodeID]map[int64]Message),
+	}
+}
+
+// offer feeds the gate one decided message; in-order messages (and any
+// buffered successors they unblock) are delivered.
+func (g *fifoGate) offer(m Message) {
+	if g.seen[m.ID] {
+		return
+	}
+	g.seen[m.ID] = true
+	if g.nextSeq[m.Origin] == 0 {
+		g.nextSeq[m.Origin] = 1
+	}
+	if m.Seq != g.nextSeq[m.Origin] {
+		b := g.buffered[m.Origin]
+		if b == nil {
+			b = make(map[int64]Message)
+			g.buffered[m.Origin] = b
+		}
+		b[m.Seq] = m
+		return
+	}
+	g.emit(m)
+	for {
+		next, ok := g.buffered[m.Origin][g.nextSeq[m.Origin]]
+		if !ok {
+			return
+		}
+		delete(g.buffered[m.Origin], next.Seq)
+		g.emit(next)
+	}
+}
+
+func (g *fifoGate) emit(m Message) {
+	g.nextSeq[m.Origin] = m.Seq + 1
+	g.nDelivered++
+	g.deliver(g.nDelivered, m)
+}
+
+// delivered reports whether the message id has passed the duplicate filter.
+func (g *fifoGate) sawDecided(id string) bool { return g.seen[id] }
+
+// ---------------------------------------------------------------------------
+// Paxos-based TOB
+// ---------------------------------------------------------------------------
+
+// Paxos is the consensus-based TOB endpoint of one replica.
+type Paxos struct {
+	id    simnet.NodeID
+	peers []simnet.NodeID
+	net   *simnet.Network
+	px    *paxos.Node
+	omega *fd.Omega
+	gate  *fifoGate
+
+	myseq      int64
+	pool       map[simnet.NodeID]map[int64]Message // candidates by origin/seq
+	poolIDs    map[string]bool
+	proposePtr map[simnet.NodeID]int64 // next per-origin seq to hand to paxos
+}
+
+var _ TOB = (*Paxos)(nil)
+
+// NewPaxos returns the Paxos-based TOB for node id. It subscribes to omega:
+// when Ω designates this node it starts leading, otherwise it stops.
+func NewPaxos(id simnet.NodeID, peers []simnet.NodeID, sched *sim.Scheduler, net *simnet.Network, omega *fd.Omega, deliver DeliverFunc) *Paxos {
+	t := &Paxos{
+		id:         id,
+		peers:      append([]simnet.NodeID(nil), peers...),
+		net:        net,
+		omega:      omega,
+		gate:       newFifoGate(deliver),
+		pool:       make(map[simnet.NodeID]map[int64]Message),
+		poolIDs:    make(map[string]bool),
+		proposePtr: make(map[simnet.NodeID]int64),
+	}
+	t.px = paxos.New(id, peers, sched, net, t.onDecide)
+	t.px.SetOnLead(t.drainProposals)
+	omega.Subscribe(func(node simnet.NodeID) {
+		if node != id {
+			return
+		}
+		t.refreshLeadership()
+	})
+	return t
+}
+
+// Cast implements TOB.
+func (t *Paxos) Cast(id string, payload any) {
+	t.myseq++
+	m := Message{ID: id, Origin: t.id, Seq: t.myseq, Payload: payload}
+	t.addCandidate(m)
+	t.net.Broadcast(t.id, forwardMsg{M: m})
+}
+
+// Handle implements TOB.
+func (t *Paxos) Handle(from simnet.NodeID, payload any) bool {
+	if f, ok := payload.(forwardMsg); ok {
+		if !t.poolIDs[f.M.ID] && !t.gate.sawDecided(f.M.ID) {
+			// Eager relay gives the RB-coupling property: once any
+			// correct node holds the candidate, all of them will.
+			t.net.Broadcast(t.id, f)
+			t.addCandidate(f.M)
+		}
+		return true
+	}
+	return t.px.Handle(from, payload)
+}
+
+// DeliveredCount implements TOB.
+func (t *Paxos) DeliveredCount() int64 { return t.gate.nDelivered }
+
+// Leading reports whether the underlying Paxos node holds leadership.
+func (t *Paxos) Leading() bool { return t.px.Leading() }
+
+func (t *Paxos) refreshLeadership() {
+	if t.omega.Leader(t.id) == t.id {
+		// Re-propose everything undelivered: a returning leader may have
+		// stale pointers from a previous stint.
+		for origin := range t.proposePtr {
+			t.proposePtr[origin] = t.gate.nextSeq[origin]
+			if t.proposePtr[origin] == 0 {
+				t.proposePtr[origin] = 1
+			}
+		}
+		t.px.Lead()
+		t.drainProposals()
+		return
+	}
+	t.px.StopLead()
+}
+
+func (t *Paxos) addCandidate(m Message) {
+	byOrigin := t.pool[m.Origin]
+	if byOrigin == nil {
+		byOrigin = make(map[int64]Message)
+		t.pool[m.Origin] = byOrigin
+	}
+	byOrigin[m.Seq] = m
+	t.poolIDs[m.ID] = true
+	if t.proposePtr[m.Origin] == 0 {
+		t.proposePtr[m.Origin] = 1
+	}
+	if t.px.Leading() {
+		t.drainProposals()
+	}
+}
+
+// drainProposals hands pooled candidates to Paxos in per-origin FIFO order.
+func (t *Paxos) drainProposals() {
+	origins := make([]simnet.NodeID, 0, len(t.pool))
+	for o := range t.pool {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		for {
+			ptr := t.proposePtr[o]
+			if ptr == 0 {
+				ptr = 1
+			}
+			m, ok := t.pool[o][ptr]
+			if !ok {
+				// The pool entry may be gone because the message was
+				// already decided and delivered; skip past it so the
+				// pointer never wedges below later candidates.
+				if t.gate.nextSeq[o] > ptr {
+					t.proposePtr[o] = ptr + 1
+					continue
+				}
+				break // genuine gap: await the candidate's forward
+			}
+			t.proposePtr[o] = ptr + 1
+			if t.gate.sawDecided(m.ID) {
+				continue
+			}
+			t.px.Propose(m)
+		}
+	}
+}
+
+func (t *Paxos) onDecide(_ paxos.Slot, v any) {
+	m, ok := v.(Message)
+	if !ok {
+		return // no-op filler
+	}
+	t.gate.offer(m)
+	// Free the pool entry; keep poolIDs so late forwards are not re-pooled.
+	if byOrigin := t.pool[m.Origin]; byOrigin != nil {
+		delete(byOrigin, m.Seq)
+	}
+	// A delivery can unblock FIFO-held successors in the pool; a leader
+	// must pick them up even when no new forward arrives.
+	if t.px.Leading() {
+		t.drainProposals()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Primary-based TOB (original Bayou's commit scheme)
+// ---------------------------------------------------------------------------
+
+// commitMsg is the primary's ordering announcement.
+type commitMsg struct {
+	No int64
+	M  Message
+}
+
+// Primary is the sequencer-based TOB endpoint of one replica. The node with
+// id == primary stamps commit numbers; everyone delivers in stamped order.
+// If the primary crashes, no further message is ever TOB-delivered — the
+// fault-tolerance deficiency that motivated replacing it with consensus.
+type Primary struct {
+	id      simnet.NodeID
+	primary simnet.NodeID
+	net     *simnet.Network
+	gate    *fifoGate
+
+	myseq int64
+
+	// Sequencer state (used only on the primary).
+	commitNo int64
+	stamped  map[string]bool
+
+	// Learner state: commits applied in stamped order.
+	nextCommit int64
+	pending    map[int64]Message
+}
+
+var _ TOB = (*Primary)(nil)
+
+// NewPrimary returns the primary-based TOB endpoint for node id, with the
+// given fixed primary.
+func NewPrimary(id, primary simnet.NodeID, net *simnet.Network, deliver DeliverFunc) *Primary {
+	return &Primary{
+		id:         id,
+		primary:    primary,
+		net:        net,
+		gate:       newFifoGate(deliver),
+		stamped:    make(map[string]bool),
+		nextCommit: 1,
+		pending:    make(map[int64]Message),
+	}
+}
+
+// Cast implements TOB.
+func (t *Primary) Cast(id string, payload any) {
+	t.myseq++
+	m := Message{ID: id, Origin: t.id, Seq: t.myseq, Payload: payload}
+	if t.id == t.primary {
+		t.stamp(m)
+		return
+	}
+	t.net.Send(t.id, t.primary, forwardMsg{M: m})
+}
+
+// Handle implements TOB.
+func (t *Primary) Handle(from simnet.NodeID, payload any) bool {
+	switch m := payload.(type) {
+	case forwardMsg:
+		if t.id == t.primary {
+			t.stamp(m.M)
+		}
+		return true
+	case commitMsg:
+		t.onCommit(m)
+		return true
+	default:
+		return false
+	}
+}
+
+// DeliveredCount implements TOB.
+func (t *Primary) DeliveredCount() int64 { return t.gate.nDelivered }
+
+func (t *Primary) stamp(m Message) {
+	if t.stamped[m.ID] {
+		return
+	}
+	t.stamped[m.ID] = true
+	t.commitNo++
+	c := commitMsg{No: t.commitNo, M: m}
+	t.net.Broadcast(t.id, c)
+	t.onCommit(c)
+}
+
+func (t *Primary) onCommit(c commitMsg) {
+	if c.No < t.nextCommit {
+		return
+	}
+	t.pending[c.No] = c.M
+	for {
+		m, ok := t.pending[t.nextCommit]
+		if !ok {
+			return
+		}
+		delete(t.pending, t.nextCommit)
+		t.nextCommit++
+		t.gate.offer(m)
+	}
+}

@@ -1,0 +1,373 @@
+package tob
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bayou/internal/fd"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+)
+
+type delivery struct {
+	tobNo int64
+	id    string
+}
+
+type fixture struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+	omega *fd.Omega
+	tobs  []TOB
+	got   [][]delivery
+	peers []simnet.NodeID
+}
+
+func newPaxosFixture(t *testing.T, n int, seed int64) *fixture {
+	t.Helper()
+	f := &fixture{sched: sim.New(seed), got: make([][]delivery, n)}
+	f.net = simnet.New(f.sched)
+	f.omega = fd.New()
+	for i := 0; i < n; i++ {
+		f.peers = append(f.peers, simnet.NodeID(i))
+	}
+	f.tobs = make([]TOB, n)
+	for i := 0; i < n; i++ {
+		i := i
+		f.tobs[i] = NewPaxos(f.peers[i], f.peers, f.sched, f.net, f.omega, func(no int64, m Message) {
+			f.got[i] = append(f.got[i], delivery{tobNo: no, id: m.ID})
+		})
+		mux := &simnet.Mux{}
+		mux.Add(f.tobs[i].Handle)
+		f.net.Register(f.peers[i], mux.Handler())
+	}
+	return f
+}
+
+func newPrimaryFixture(t *testing.T, n int, primary simnet.NodeID) *fixture {
+	t.Helper()
+	f := &fixture{sched: sim.New(11), got: make([][]delivery, n)}
+	f.net = simnet.New(f.sched)
+	for i := 0; i < n; i++ {
+		f.peers = append(f.peers, simnet.NodeID(i))
+	}
+	f.tobs = make([]TOB, n)
+	for i := 0; i < n; i++ {
+		i := i
+		f.tobs[i] = NewPrimary(f.peers[i], primary, f.net, func(no int64, m Message) {
+			f.got[i] = append(f.got[i], delivery{tobNo: no, id: m.ID})
+		})
+		mux := &simnet.Mux{}
+		mux.Add(f.tobs[i].Handle)
+		f.net.Register(f.peers[i], mux.Handler())
+	}
+	return f
+}
+
+func (f *fixture) run(t *testing.T) {
+	t.Helper()
+	if _, ok := f.sched.Run(5_000_000); !ok {
+		t.Fatal("scheduler did not quiesce (livelock)")
+	}
+}
+
+func (f *fixture) ids(node int) []string {
+	out := make([]string, len(f.got[node]))
+	for i, d := range f.got[node] {
+		out[i] = d.id
+	}
+	return out
+}
+
+func (f *fixture) assertAgreement(t *testing.T, want int) {
+	t.Helper()
+	ref := f.ids(0)
+	if len(ref) != want {
+		t.Fatalf("node 0 delivered %d messages (%v), want %d", len(ref), ref, want)
+	}
+	for i := 1; i < len(f.tobs); i++ {
+		ids := f.ids(i)
+		if len(ids) != want {
+			t.Fatalf("node %d delivered %d messages, want %d", i, len(ids), want)
+		}
+		for k := range ref {
+			if ids[k] != ref[k] {
+				t.Fatalf("node %d order diverges at %d: %v vs %v", i, k, ids, ref)
+			}
+		}
+		// tobNo must be contiguous from 1 and identical everywhere.
+		for k, d := range f.got[i] {
+			if d.tobNo != int64(k+1) {
+				t.Fatalf("node %d tobNo[%d] = %d, want %d", i, k, d.tobNo, k+1)
+			}
+		}
+	}
+}
+
+func TestPaxosTOBTotalOrder(t *testing.T) {
+	f := newPaxosFixture(t, 3, 1)
+	f.omega.Stabilize(f.peers, 0)
+	f.tobs[0].Cast("a", nil)
+	f.tobs[1].Cast("b", nil)
+	f.tobs[2].Cast("c", nil)
+	f.run(t)
+	f.assertAgreement(t, 3)
+}
+
+func TestPaxosTOBFIFOPerOrigin(t *testing.T) {
+	f := newPaxosFixture(t, 3, 2)
+	f.omega.Stabilize(f.peers, 1)
+	for k := 0; k < 10; k++ {
+		f.tobs[2].Cast(fmt.Sprintf("m%d", k), nil)
+	}
+	f.run(t)
+	f.assertAgreement(t, 10)
+	ids := f.ids(0)
+	for k := 0; k < 10; k++ {
+		if ids[k] != fmt.Sprintf("m%d", k) {
+			t.Fatalf("FIFO violated: %v", ids)
+		}
+	}
+}
+
+func TestPaxosTOBNoProgressWithoutOmega(t *testing.T) {
+	// An asynchronous run: Ω never stabilizes, so nothing is delivered —
+	// strong operations would block forever (Theorem 3's premise).
+	f := newPaxosFixture(t, 3, 3)
+	f.tobs[0].Cast("a", nil)
+	f.run(t)
+	for i := range f.tobs {
+		if len(f.got[i]) != 0 {
+			t.Errorf("node %d delivered %v without a leader", i, f.got[i])
+		}
+	}
+	// Stabilizing later (a stable run resumes) delivers the backlog: the
+	// candidate pools retained the message.
+	f.omega.Stabilize(f.peers, 2)
+	f.run(t)
+	f.assertAgreement(t, 1)
+}
+
+func TestPaxosTOBLeaderFailover(t *testing.T) {
+	f := newPaxosFixture(t, 5, 4)
+	f.omega.Stabilize(f.peers, 0)
+	f.tobs[1].Cast("before", nil)
+	f.run(t)
+	f.net.Crash(0)
+	f.omega.Stabilize(f.peers, 3)
+	f.tobs[2].Cast("after", nil)
+	f.run(t)
+	// All correct nodes must deliver both messages in the same order.
+	ref := f.ids(1)
+	if len(ref) != 2 {
+		t.Fatalf("node 1 delivered %v, want 2 messages", ref)
+	}
+	for i := 1; i < 5; i++ {
+		ids := f.ids(i)
+		if len(ids) != 2 || ids[0] != ref[0] || ids[1] != ref[1] {
+			t.Fatalf("node %d delivered %v, want %v", i, ids, ref)
+		}
+	}
+}
+
+func TestPaxosTOBCouplingSurvivesOriginCrash(t *testing.T) {
+	// The origin casts and crashes immediately; the forward reached at
+	// least one correct node, whose relay must get it everywhere once a
+	// leader exists (the paper's RB-coupling property).
+	f := newPaxosFixture(t, 5, 5)
+	f.tobs[4].Cast("orphan", nil)
+	f.sched.RunFor(15) // let the forward reach some peers
+	f.net.Crash(4)
+	f.omega.Stabilize(f.peers[:4], 0)
+	f.run(t)
+	for i := 0; i < 4; i++ {
+		ids := f.ids(i)
+		if len(ids) != 1 || ids[0] != "orphan" {
+			t.Fatalf("node %d delivered %v, want [orphan]", i, ids)
+		}
+	}
+}
+
+func TestPaxosTOBMinorityPartitionBlocksThenHeals(t *testing.T) {
+	f := newPaxosFixture(t, 5, 6)
+	f.omega.Stabilize(f.peers, 0)
+	f.net.Partition([]simnet.NodeID{0, 1}, []simnet.NodeID{2, 3, 4})
+	f.tobs[0].Cast("stuck", nil)
+	f.sched.RunFor(2_000_000)
+	for i := range f.tobs {
+		if len(f.got[i]) != 0 {
+			t.Errorf("node %d delivered %v across minority partition", i, f.got[i])
+		}
+	}
+	f.net.Heal()
+	f.omega.Stabilize(f.peers, 0) // re-kick leadership after heal
+	f.run(t)
+	f.assertAgreement(t, 1)
+}
+
+func TestPaxosTOBConcurrentLoad(t *testing.T) {
+	f := newPaxosFixture(t, 4, 7)
+	f.omega.Stabilize(f.peers, 0)
+	r := rand.New(rand.NewSource(42))
+	total := 0
+	for round := 0; round < 10; round++ {
+		for i := range f.tobs {
+			if r.Intn(2) == 0 {
+				f.tobs[i].Cast(fmt.Sprintf("n%d-r%d", i, round), nil)
+				total++
+			}
+		}
+		f.sched.RunFor(sim.Time(r.Intn(50)))
+	}
+	f.run(t)
+	f.assertAgreement(t, total)
+	// Per-origin FIFO across the whole run.
+	for node := range f.tobs {
+		lastRound := map[string]int{}
+		for _, d := range f.got[node] {
+			var origin string
+			var round int
+			fmt.Sscanf(d.id, "n%1s-r%d", &origin, &round)
+			if prev, ok := lastRound[origin]; ok && round < prev {
+				t.Fatalf("node %d FIFO violated for origin %s: %v", node, origin, f.ids(node))
+			}
+			lastRound[origin] = round
+		}
+	}
+}
+
+func TestPrimaryTOBTotalOrderAndFIFO(t *testing.T) {
+	f := newPrimaryFixture(t, 3, 0)
+	f.tobs[1].Cast("a", nil)
+	f.tobs[1].Cast("b", nil)
+	f.tobs[2].Cast("c", nil)
+	f.run(t)
+	f.assertAgreement(t, 3)
+	// a must precede b (same origin).
+	ids := f.ids(0)
+	ai, bi := -1, -1
+	for i, id := range ids {
+		switch id {
+		case "a":
+			ai = i
+		case "b":
+			bi = i
+		}
+	}
+	if ai > bi {
+		t.Fatalf("FIFO violated: %v", ids)
+	}
+}
+
+func TestPrimaryTOBPrimaryCastsToo(t *testing.T) {
+	f := newPrimaryFixture(t, 3, 0)
+	f.tobs[0].Cast("p", nil)
+	f.run(t)
+	f.assertAgreement(t, 1)
+}
+
+func TestPrimaryTOBPrimaryCrashHaltsCommit(t *testing.T) {
+	// The original Bayou's deficiency (§2.1: "Obviously, this approach is
+	// not fault-tolerant"): with the primary crashed nothing commits.
+	f := newPrimaryFixture(t, 3, 0)
+	f.net.Crash(0)
+	f.tobs[1].Cast("lost", nil)
+	f.run(t)
+	for i := range f.tobs {
+		if len(f.got[i]) != 0 {
+			t.Errorf("node %d delivered %v with primary crashed", i, f.got[i])
+		}
+	}
+}
+
+func TestPaxosAndPrimaryAgreeOnSemantics(t *testing.T) {
+	// Sanity for the E11 ablation: both TOBs deliver the same message set
+	// (orders may differ between implementations, but each is total).
+	px := newPaxosFixture(t, 3, 8)
+	px.omega.Stabilize(px.peers, 0)
+	pr := newPrimaryFixture(t, 3, 0)
+	for k := 0; k < 5; k++ {
+		id := fmt.Sprintf("m%d", k)
+		px.tobs[k%3].Cast(id, nil)
+		pr.tobs[k%3].Cast(id, nil)
+	}
+	px.run(t)
+	pr.run(t)
+	px.assertAgreement(t, 5)
+	pr.assertAgreement(t, 5)
+}
+
+// TestPaxosTOBChurnProperty: random casts, partitions, heals and leader
+// changes must never violate total order or per-origin FIFO, and after the
+// final heal every message is delivered everywhere.
+func TestPaxosTOBChurnProperty(t *testing.T) {
+	f := func(seed int64, churnRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		f5 := newPaxosFixture(t, 5, seed)
+		f5.omega.Stabilize(f5.peers, 0)
+		rounds := int(churnRaw%6) + 2
+		total := 0
+		for round := 0; round < rounds; round++ {
+			switch r.Intn(4) {
+			case 0:
+				f5.net.Partition(
+					[]simnet.NodeID{0, 1, 2},
+					[]simnet.NodeID{3, 4})
+			case 1:
+				f5.net.Heal()
+			case 2:
+				f5.omega.Stabilize(f5.peers, simnet.NodeID(r.Intn(5)))
+			}
+			for i := range f5.tobs {
+				if r.Intn(2) == 0 {
+					f5.tobs[i].Cast(fmt.Sprintf("s%d-n%d-r%d", seed, i, round), nil)
+					total++
+				}
+			}
+			f5.sched.RunFor(sim.Time(r.Intn(300)))
+		}
+		f5.net.Heal()
+		f5.omega.Stabilize(f5.peers, 0)
+		if _, ok := f5.sched.Run(10_000_000); !ok {
+			t.Logf("seed %d: no quiescence", seed)
+			return false
+		}
+		ref := f5.ids(0)
+		if len(ref) != total {
+			t.Logf("seed %d: node 0 delivered %d of %d", seed, len(ref), total)
+			return false
+		}
+		for i := 1; i < 5; i++ {
+			ids := f5.ids(i)
+			if len(ids) != total {
+				t.Logf("seed %d: node %d delivered %d of %d", seed, i, len(ids), total)
+				return false
+			}
+			for k := range ref {
+				if ids[k] != ref[k] {
+					t.Logf("seed %d: node %d diverges at %d", seed, i, k)
+					return false
+				}
+			}
+		}
+		// Per-origin FIFO: rounds per origin must be non-decreasing.
+		lastRound := map[string]int{}
+		for _, id := range ref {
+			var s int64
+			var origin, round int
+			fmt.Sscanf(id, "s%d-n%d-r%d", &s, &origin, &round)
+			key := fmt.Sprint(origin)
+			if prev, ok := lastRound[key]; ok && round < prev {
+				t.Logf("seed %d: FIFO violated for origin %d", seed, origin)
+				return false
+			}
+			lastRound[key] = round
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

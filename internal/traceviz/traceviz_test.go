@@ -1,0 +1,71 @@
+package traceviz
+
+import (
+	"strings"
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+)
+
+func sample(t *testing.T) *history.History {
+	t.Helper()
+	events := []*history.Event{
+		{
+			Session: 0, Op: spec.Append("a"), Level: core.Weak, RVal: "a",
+			Invoke: 1, Return: 2, WallInvoke: 10, WallReturn: 11,
+			Dot: core.Dot{Replica: 0, EventNo: 1}, Timestamp: 10, TOBCast: true, TOBNo: 1,
+		},
+		{
+			Session: 1, Op: spec.Duplicate(), Level: core.Strong,
+			Invoke: 3, WallInvoke: 15, Pending: true,
+			Dot: core.Dot{Replica: 1, EventNo: 1}, Timestamp: 15, TOBCast: true, TOBNo: -1,
+			Trace: []core.Dot{{Replica: 0, EventNo: 1}},
+		},
+	}
+	h, err := history.New(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTimelineRendersAllEvents(t *testing.T) {
+	out := Timeline(sample(t))
+	for _, want := range []string{"append(a)", "duplicate()", "tob#1", "pending", `"a"`, "∇"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLanesOnePerReplica(t *testing.T) {
+	out := Lanes(sample(t))
+	if !strings.Contains(out, "R0 |") || !strings.Contains(out, "R1 |") {
+		t.Errorf("lanes missing replicas:\n%s", out)
+	}
+	if strings.Index(out, "R0") > strings.Index(out, "R1") {
+		t.Error("lanes must be sorted by replica")
+	}
+}
+
+func TestPerceivedOrder(t *testing.T) {
+	h := sample(t)
+	out := PerceivedOrder(h, core.Dot{Replica: 1, EventNo: 1})
+	if !strings.Contains(out, "perceived") || !strings.Contains(out, "r0#1") {
+		t.Errorf("perceived order missing content:\n%s", out)
+	}
+	if got := PerceivedOrder(h, core.Dot{Replica: 9, EventNo: 9}); !strings.Contains(got, "no event") {
+		t.Errorf("missing-event message: %s", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if clip("short", 10) != "short" {
+		t.Error("clip must not touch short strings")
+	}
+	if got := clip("averyverylongname", 8); len(got) > 10 { // clipped + ellipsis rune
+		t.Errorf("clip failed: %q", got)
+	}
+}

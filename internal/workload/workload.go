@@ -1,0 +1,354 @@
+// Package workload drives the quantitative experiments of the reproduction:
+// the §2.3 progress phenomena (E3: unbounded weak-response latency on a slow
+// replica; E4: clock skew converting the cost into rollbacks on the fast
+// replicas), the baseline comparison of §2.2/§6 (E9), and the rollback-cost
+// profile of the protocol (E12). Each function returns plain data rows that
+// the benchmark harness and cmd/bayou-bench print as the corresponding
+// table or series.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"bayou/internal/baseline/ecstore"
+	"bayou/internal/baseline/gsp"
+	"bayou/internal/baseline/smr"
+	"bayou/internal/check"
+	"bayou/internal/cluster"
+	"bayou/internal/core"
+	"bayou/internal/fd"
+	"bayou/internal/sim"
+	"bayou/internal/simnet"
+	"bayou/internal/spec"
+)
+
+// SeriesPoint is one point of a per-round series.
+type SeriesPoint struct {
+	Round int
+	Value int64
+}
+
+// SlowReplicaLatency reproduces the §2.3 argument (E3): n replicas, one of
+// which processes internal steps slowDelay× slower, all saturated with one
+// weak request per replica per Δt. It returns the response latency of the
+// slow replica's successive own invocations. Under Algorithm 1 the series
+// grows without bound; under Algorithm 2 it is identically zero.
+func SlowReplicaLatency(variant core.Variant, replicas, rounds int, slowDelay, dt sim.Time) ([]SeriesPoint, error) {
+	slow := core.ReplicaID(replicas - 1)
+	c, err := cluster.New(cluster.Config{
+		N:         replicas,
+		Variant:   variant,
+		Seed:      101,
+		ProcDelay: map[core.ReplicaID]sim.Time{slow: slowDelay},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.StabilizeOmega(0)
+	type tagged struct {
+		round int
+		call  *cluster.Call
+	}
+	var slowCalls []tagged
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < replicas; i++ {
+			call, invErr := c.Invoke(core.ReplicaID(i), spec.Append("z"), core.Weak)
+			if errors.Is(invErr, cluster.ErrSessionBusy) {
+				continue
+			}
+			if invErr != nil {
+				return nil, invErr
+			}
+			if core.ReplicaID(i) == slow {
+				slowCalls = append(slowCalls, tagged{round: round, call: call})
+			}
+		}
+		c.RunFor(dt)
+	}
+	if err := c.Settle(20_000_000); err != nil {
+		return nil, err
+	}
+	out := make([]SeriesPoint, 0, len(slowCalls))
+	for _, tc := range slowCalls {
+		if !tc.call.Done {
+			return nil, fmt.Errorf("workload: call %s never completed", tc.call.Dot)
+		}
+		out = append(out, SeriesPoint{Round: tc.round, Value: tc.call.WallReturn - tc.call.WallInvoke})
+	}
+	return out, nil
+}
+
+// ClockSkewRollbacks reproduces the second half of the §2.3 argument (E4):
+// slowing the slow replica's *clock* gives its requests unfairly low
+// timestamps, which schedules them before already-executed requests on the
+// other replicas — the latency problem turns into a growing number of
+// rollbacks there. It returns total rollbacks on the fast replicas for each
+// slowdown factor.
+func ClockSkewRollbacks(variant core.Variant, replicas, rounds int, slowdowns []int64) ([]SeriesPoint, error) {
+	out := make([]SeriesPoint, 0, len(slowdowns))
+	for idx, slowdown := range slowdowns {
+		skewed := core.ReplicaID(replicas - 1)
+		c, err := cluster.New(cluster.Config{
+			N:             replicas,
+			Variant:       variant,
+			Seed:          202,
+			ClockSlowdown: map[core.ReplicaID]int64{skewed: slowdown},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.StabilizeOmega(0)
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < replicas; i++ {
+				_, invErr := c.Invoke(core.ReplicaID(i), spec.Append("z"), core.Weak)
+				if invErr != nil && !errors.Is(invErr, cluster.ErrSessionBusy) {
+					return nil, invErr
+				}
+			}
+			c.RunFor(60)
+		}
+		if err := c.Settle(20_000_000); err != nil {
+			return nil, err
+		}
+		var fastRollbacks int64
+		for id, st := range c.Stats() {
+			if id != skewed {
+				fastRollbacks += st.Rollbacks
+			}
+		}
+		out = append(out, SeriesPoint{Round: idx, Value: fastRollbacks})
+		_ = slowdown
+	}
+	return out, nil
+}
+
+// ComparisonRow is one system's profile in the E9 comparison table.
+type ComparisonRow struct {
+	System                  string
+	WeakAvailableInMinority bool   // does a weak/local op answer inside a minority partition?
+	StrongSupported         bool   // does the system offer consensus-backed operations at all?
+	StrongInMinority        string // behaviour of a strong op in the minority: "blocks", "n/a"
+	Rollbacks               int64  // state rollbacks across the run
+	Reordered               int    // events that perceived a non-final order
+	ConvergedAfterHeal      bool
+}
+
+// Compare runs the same partition-then-heal workload shape over Bayou and
+// the three baselines (E9).
+func Compare(seed int64) ([]ComparisonRow, error) {
+	rows := make([]ComparisonRow, 0, 4)
+
+	bayouRow, err := compareBayou(seed)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, bayouRow)
+	rows = append(rows, compareECStore(seed))
+	rows = append(rows, compareSMR(seed))
+	rows = append(rows, compareGSP(seed))
+	return rows, nil
+}
+
+func compareBayou(seed int64) (ComparisonRow, error) {
+	row := ComparisonRow{System: "bayou (Alg. 2 + Paxos TOB)", StrongSupported: true}
+	// Replica 0's clock runs slow: its requests carry low timestamps but
+	// reach the leader late, so timestamp order and commit order diverge
+	// — the recipe for temporary operation reordering.
+	c, err := cluster.New(cluster.Config{
+		N: 3, Variant: core.NoCircularCausality, Seed: seed,
+		ClockSlowdown: map[core.ReplicaID]int64{0: 8},
+	})
+	if err != nil {
+		return row, err
+	}
+	c.StabilizeOmega(1)
+	c.RunFor(25) // leadership established
+	if _, err := c.Invoke(1, spec.Append("q"), core.Weak); err != nil {
+		return row, err
+	}
+	c.RunFor(5)
+	if _, err := c.Invoke(0, spec.Append("p"), core.Weak); err != nil {
+		return row, err
+	}
+	c.RunFor(17)
+	// The reader observes timestamp order p,q before the opposite commit
+	// order q,p arrives.
+	if _, err := c.Invoke(2, spec.ListRead(), core.Weak); err != nil {
+		return row, err
+	}
+	if err := c.Settle(0); err != nil {
+		return row, err
+	}
+	// Partition: minority {0}, majority {1, 2}.
+	c.Partition([]core.ReplicaID{0}, []core.ReplicaID{1, 2})
+	weakMin, err := c.Invoke(0, spec.Append("w"), core.Weak)
+	if err != nil {
+		return row, err
+	}
+	strongMin, err := c.Invoke(0, spec.Append("s"), core.Strong)
+	if err == nil {
+		c.RunFor(3_000)
+		row.StrongInMinority = "blocks"
+		if strongMin.Done {
+			row.StrongInMinority = "answers (!)"
+		}
+	}
+	c.RunFor(2_000)
+	row.WeakAvailableInMinority = weakMin.Done
+	c.Heal()
+	c.StabilizeOmega(1)
+	if err := c.Settle(0); err != nil {
+		return row, err
+	}
+	c.MarkStable()
+	h, err := c.History()
+	if err != nil {
+		return row, err
+	}
+	w := check.NewWitness(h)
+	row.Reordered = w.CountReordered()
+	for _, st := range c.Stats() {
+		row.Rollbacks += st.Rollbacks
+	}
+	row.ConvergedAfterHeal = spec.Equal(
+		c.Replica(0).Read(spec.DefaultListID), c.Replica(1).Read(spec.DefaultListID)) &&
+		spec.Equal(c.Replica(1).Read(spec.DefaultListID), c.Replica(2).Read(spec.DefaultListID))
+	return row, nil
+}
+
+func compareECStore(seed int64) ComparisonRow {
+	row := ComparisonRow{System: "ec-store (LWW, RB only)", StrongSupported: false, StrongInMinority: "n/a"}
+	sched := sim.New(seed)
+	net := simnet.New(sched)
+	reps := make([]*ecstore.Replica, 3)
+	for i := range reps {
+		reps[i] = ecstore.New(core.ReplicaID(i), sched, net)
+		mux := &simnet.Mux{}
+		mux.Add(reps[i].Handle)
+		net.Register(simnet.NodeID(i), mux.Handler())
+	}
+	reps[0].Put("k", "pre")
+	sched.Run(0)
+	net.Partition([]simnet.NodeID{0}, []simnet.NodeID{1, 2})
+	reps[0].Put("k", "minority")
+	sched.RunFor(50)
+	// Availability = the write is locally visible at once.
+	row.WeakAvailableInMinority = spec.Equal(reps[0].Get("k"), "minority")
+	net.Heal()
+	sched.Run(0)
+	row.ConvergedAfterHeal = spec.Equal(reps[0].Get("k"), reps[1].Get("k")) &&
+		spec.Equal(reps[1].Get("k"), reps[2].Get("k"))
+	// No rollbacks and no reordering by construction (single ordering
+	// method; see the ecstore package tests).
+	return row
+}
+
+func compareSMR(seed int64) ComparisonRow {
+	row := ComparisonRow{System: "smr (all ops via TOB)", StrongSupported: true, StrongInMinority: "blocks"}
+	sched := sim.New(seed)
+	net := simnet.New(sched)
+	omega := fd.New()
+	peers := []simnet.NodeID{0, 1, 2}
+	reps := make([]*smr.Replica, 3)
+	for i := range reps {
+		reps[i] = smr.New(core.ReplicaID(i), peers, sched, net, omega)
+		mux := &simnet.Mux{}
+		mux.Add(reps[i].Handle)
+		net.Register(simnet.NodeID(i), mux.Handler())
+	}
+	omega.Stabilize(peers, 1)
+	pre := reps[1].Invoke(spec.Append("pre"))
+	sched.RunFor(2_000)
+	_ = pre
+	net.Partition([]simnet.NodeID{0}, []simnet.NodeID{1, 2})
+	minority := reps[0].Invoke(spec.Append("m"))
+	sched.RunFor(3_000)
+	row.WeakAvailableInMinority = minority.Done // false: SMR has no weak mode
+	net.Heal()
+	omega.Stabilize(peers, 1)
+	sched.Run(5_000_000)
+	row.ConvergedAfterHeal = spec.Equal(reps[0].Read(spec.DefaultListID), reps[1].Read(spec.DefaultListID)) &&
+		spec.Equal(reps[1].Read(spec.DefaultListID), reps[2].Read(spec.DefaultListID))
+	return row
+}
+
+func compareGSP(seed int64) ComparisonRow {
+	row := ComparisonRow{System: "gsp (cloud sequencer)", StrongSupported: false, StrongInMinority: "n/a"}
+	sched := sim.New(seed)
+	net := simnet.New(sched)
+	cloud := gsp.NewCloud(0, net)
+	cloudMux := &simnet.Mux{}
+	cloudMux.Add(cloud.Handle)
+	net.Register(0, cloudMux.Handler())
+	cs := make([]*gsp.Client, 2)
+	for i := range cs {
+		node := simnet.NodeID(i + 1)
+		cs[i] = gsp.NewClient(core.ReplicaID(i+1), node, 0, sched, net)
+		mux := &simnet.Mux{}
+		mux.Add(cs[i].Handle)
+		net.Register(node, mux.Handler())
+	}
+	cs[0].Update(spec.Append("pre"))
+	sched.Run(0)
+	// Cloud outage = the partition case.
+	net.Partition([]simnet.NodeID{0}, []simnet.NodeID{1, 2})
+	v := cs[0].Update(spec.Append("m"))
+	row.WeakAvailableInMinority = spec.Equal(v, "prem")
+	sched.RunFor(100)
+	net.Heal()
+	sched.Run(0)
+	row.ConvergedAfterHeal = spec.Equal(cs[0].Read(spec.ListRead()), cs[1].Read(spec.ListRead()))
+	return row
+}
+
+// CostPoint is one point of the E12 rollback-cost sweep.
+type CostPoint struct {
+	Slowdown       int64
+	Rollbacks      int64
+	Executes       int64
+	Ops            int64
+	RollbacksPerOp float64
+}
+
+// RollbackCostSweep measures how the divergence between timestamp order and
+// commit order (induced by clock skew) translates into rollback and
+// re-execution work (E12).
+func RollbackCostSweep(replicas, rounds int, slowdowns []int64) ([]CostPoint, error) {
+	out := make([]CostPoint, 0, len(slowdowns))
+	for _, slowdown := range slowdowns {
+		skewed := core.ReplicaID(replicas - 1)
+		c, err := cluster.New(cluster.Config{
+			N:             replicas,
+			Variant:       core.NoCircularCausality,
+			Seed:          303,
+			ClockSlowdown: map[core.ReplicaID]int64{skewed: slowdown},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.StabilizeOmega(0)
+		var ops int64
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < replicas; i++ {
+				_, invErr := c.Invoke(core.ReplicaID(i), spec.Append("z"), core.Weak)
+				if invErr != nil && !errors.Is(invErr, cluster.ErrSessionBusy) {
+					return nil, invErr
+				}
+				ops++
+			}
+			c.RunFor(60)
+		}
+		if err := c.Settle(20_000_000); err != nil {
+			return nil, err
+		}
+		p := CostPoint{Slowdown: slowdown, Ops: ops}
+		for _, st := range c.Stats() {
+			p.Rollbacks += st.Rollbacks
+			p.Executes += st.Executes
+		}
+		p.RollbacksPerOp = float64(p.Rollbacks) / float64(ops)
+		out = append(out, p)
+	}
+	return out, nil
+}

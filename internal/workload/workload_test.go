@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"bayou/internal/core"
+)
+
+func TestSlowReplicaLatencyGrowsUnderAlgorithm1(t *testing.T) {
+	series, err := SlowReplicaLatency(core.Original, 3, 12, 40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 3 {
+		t.Fatalf("too few slow-replica calls completed: %d", len(series))
+	}
+	first, last := series[0].Value, series[len(series)-1].Value
+	if last <= first {
+		t.Errorf("latency must grow: first=%d last=%d series=%v", first, last, series)
+	}
+	// Monotone-ish growth: the maximum is at the end half of the series.
+	maxIdx := 0
+	for i, p := range series {
+		if p.Value >= series[maxIdx].Value {
+			maxIdx = i
+		}
+	}
+	if maxIdx < len(series)/2 {
+		t.Errorf("latency peak at index %d of %d — not a growing backlog", maxIdx, len(series))
+	}
+}
+
+func TestSlowReplicaLatencyZeroUnderAlgorithm2(t *testing.T) {
+	series, err := SlowReplicaLatency(core.NoCircularCausality, 3, 12, 40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range series {
+		if p.Value != 0 {
+			t.Errorf("round %d latency = %d, want 0 (bounded wait-free)", p.Round, p.Value)
+		}
+	}
+}
+
+func TestClockSkewIncreasesFastReplicaRollbacks(t *testing.T) {
+	points, err := ClockSkewRollbacks(core.NoCircularCausality, 3, 10, []int64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %v", points)
+	}
+	if points[2].Value <= points[0].Value {
+		t.Errorf("rollbacks must grow with skew: %v", points)
+	}
+}
+
+func TestCompareShapes(t *testing.T) {
+	rows, err := Compare(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	bayou := rows[0]
+	if !bayou.WeakAvailableInMinority {
+		t.Error("bayou weak ops must be available in the minority")
+	}
+	if bayou.StrongInMinority != "blocks" {
+		t.Errorf("bayou strong op in minority = %q, want blocks", bayou.StrongInMinority)
+	}
+	if !bayou.ConvergedAfterHeal {
+		t.Error("bayou must converge after heal")
+	}
+	for _, r := range rows {
+		if !r.ConvergedAfterHeal {
+			t.Errorf("%s did not converge after heal", r.System)
+		}
+	}
+	// The qualitative orderings of §2.2/§6: only Bayou both supports
+	// strong ops and stays weak-available; SMR is unavailable in the
+	// minority; EC store and GSP have no strong ops.
+	for _, name := range []string{"ec-store (LWW, RB only)", "gsp (cloud sequencer)"} {
+		if byName[name].StrongSupported {
+			t.Errorf("%s must not support strong ops", name)
+		}
+		if !byName[name].WeakAvailableInMinority {
+			t.Errorf("%s must stay available in the minority", name)
+		}
+	}
+	if byName["smr (all ops via TOB)"].WeakAvailableInMinority {
+		t.Error("smr must block in the minority")
+	}
+}
+
+func TestRollbackCostSweepGrowsWithSkew(t *testing.T) {
+	points, err := RollbackCostSweep(3, 10, []int64{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	if points[1].Rollbacks <= points[0].Rollbacks {
+		t.Errorf("rollback cost must grow with skew: %+v", points)
+	}
+	if points[0].Ops == 0 || points[1].Executes < points[1].Ops {
+		t.Errorf("cost accounting looks wrong: %+v", points)
+	}
+}

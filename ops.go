@@ -1,0 +1,127 @@
+package bayou
+
+import "bayou/internal/spec"
+
+// This file re-exports the operation constructors of the built-in replicated
+// data types so applications only import the bayou package. Each data type
+// is a sequential specification in the sense of §3.4 of the paper; all
+// operations are deterministic transactions over registers (§A.2.2).
+
+// List operations (the data type of Figures 1 and 2; elements are strings,
+// updating operations return the concatenated list).
+
+// Append appends an element to the shared list and returns the resulting
+// concatenation.
+func Append(elem string) Op { return spec.Append(elem) }
+
+// Duplicate atomically appends the list to itself ("append(read())") and
+// returns the resulting concatenation.
+func Duplicate() Op { return spec.Duplicate() }
+
+// ListRead returns the concatenated list without modifying it (read-only).
+func ListRead() Op { return spec.ListRead() }
+
+// GetFirst returns the first list element, or nil when empty (read-only).
+func GetFirst() Op { return spec.GetFirst() }
+
+// Size returns the list length (read-only).
+func Size() Op { return spec.Size() }
+
+// Register operations.
+
+// RegWrite writes v to the named register and returns v.
+func RegWrite(key string, v Value) Op { return spec.RegWrite(key, v) }
+
+// RegRead reads the named register (read-only; nil when unwritten).
+func RegRead(key string) Op { return spec.RegRead(key) }
+
+// Counter operations.
+
+// Inc adds delta to the named counter and returns the new value.
+func Inc(key string, delta int64) Op { return spec.Inc(key, delta) }
+
+// CtrGet reads the named counter (read-only; 0 when fresh).
+func CtrGet(key string) Op { return spec.CtrGet(key) }
+
+// Key-value operations, including the paper's motivating consensus-requiring
+// operation putIfAbsent (§1).
+
+// Put stores v under key (blind write) and returns v.
+func Put(key string, v Value) Op { return spec.Put(key, v) }
+
+// Get reads the value under key (read-only; nil when absent).
+func Get(key string) Op { return spec.Get(key) }
+
+// Del removes the binding for key and returns the previous value.
+func Del(key string) Op { return spec.Del(key) }
+
+// PutIfAbsent stores v under key only when key is unbound, returning true on
+// success. Issue it Strong for compare-and-set semantics; issued Weak its
+// tentative true may later be invalidated (the Cassandra LWT-mixing hazard
+// the paper cites).
+func PutIfAbsent(key string, v Value) Op { return spec.PutIfAbsent(key, v) }
+
+// Cas swaps the value under key from old to new, returning true on success.
+func Cas(key string, old, new Value) Op { return spec.Cas(key, old, new) }
+
+// Set operations.
+
+// SetAdd inserts elem into the named set, returning true when new.
+func SetAdd(key, elem string) Op { return spec.SetAdd(key, elem) }
+
+// SetRemove removes elem from the named set, returning true when present.
+func SetRemove(key, elem string) Op { return spec.SetRemove(key, elem) }
+
+// SetContains reports membership (read-only).
+func SetContains(key, elem string) Op { return spec.SetContains(key, elem) }
+
+// SetElements returns the sorted elements (read-only).
+func SetElements(key string) Op { return spec.SetElements(key) }
+
+// Bank operations (the examples' mixed-consistency workload: deposits are
+// natural weak operations, withdrawals want to be strong).
+
+// Deposit adds amount to the account and returns the new balance.
+func Deposit(account string, amount int64) Op { return spec.Deposit(account, amount) }
+
+// Withdraw subtracts amount when the balance suffices, returning the new
+// balance, or nil when rejected.
+func Withdraw(account string, amount int64) Op { return spec.Withdraw(account, amount) }
+
+// Balance reads the account balance (read-only).
+func Balance(account string) Op { return spec.Balance(account) }
+
+// Transfer atomically moves amount between accounts, returning true on
+// success.
+func Transfer(from, to string, amount int64) Op { return spec.Transfer(from, to, amount) }
+
+// Text-editor operations (position-based edits: the canonical
+// order-sensitive, "arbitrarily complex" semantics of §1; out-of-range
+// positions clamp deterministically).
+
+// Insert inserts text at a position of the shared document and returns the
+// resulting document.
+func Insert(doc string, pos int64, text string) Op { return spec.Insert(doc, pos, text) }
+
+// Delete removes n characters starting at pos and returns the resulting
+// document.
+func Delete(doc string, pos, n int64) Op { return spec.Delete(doc, pos, n) }
+
+// DocRead returns the document contents (read-only).
+func DocRead(doc string) Op { return spec.DocRead(doc) }
+
+// Meeting-room operations (the original Bayou application; alternates
+// emulate Bayou's merge procedures at the specification level, §2.1).
+
+// Reserve books the preferred slot or the first free alternate, returning
+// the granted slot name or nil.
+func Reserve(room, slot, who string, alternates ...string) Op {
+	return spec.Reserve(room, slot, who, alternates...)
+}
+
+// Cancel releases a slot held by who, returning true when released.
+func Cancel(room, slot, who string) Op { return spec.Cancel(room, slot, who) }
+
+// Schedule lists bookings of a room over the given slot universe as sorted
+// "slot=who" strings (read-only).
+func Schedule(room string, slots ...string) Op { return spec.Schedule(room, slots...) }
