@@ -22,9 +22,10 @@
 //	_ = c.Settle()
 //	fmt.Println(call.Response.Value) // the tentative response
 //
-// See the examples/ directory for complete programs, and DESIGN.md /
-// EXPERIMENTS.md for the mapping from the paper's figures and theorems to
-// this repository's tests and benchmarks.
+// See the examples/ directory for complete programs, and DESIGN.md for the
+// mapping from the paper's algorithms, figures and theorems to this
+// repository's packages, tests and benchmarks (its §2 indexes the
+// experiments E1…E13 that cmd/bayou-bench regenerates).
 package bayou
 
 import (
@@ -93,6 +94,12 @@ type Options struct {
 	// ClockSlowdown maps replica ids to a clock divisor (§2.3's skewed
 	// clock experiment).
 	ClockSlowdown map[int]int64
+	// StepBatch caps how many internal events (rollbacks/executions) one
+	// scheduled activation of a replica executes. The default 1 is the
+	// paper-faithful one-event-per-tick discipline; throughput-oriented
+	// deployments raise it so Settle drains backlogs in batches (see
+	// experiment E13 for the equivalence and the event-count effect).
+	StepBatch int
 }
 
 // Cluster is a simulated Bayou deployment.
@@ -113,9 +120,10 @@ func New(opts Options) (*Cluster, error) {
 		opts.Seed = 1
 	}
 	cfg := cluster.Config{
-		N:       opts.Replicas,
-		Variant: opts.Variant,
-		Seed:    opts.Seed,
+		N:         opts.Replicas,
+		Variant:   opts.Variant,
+		Seed:      opts.Seed,
+		StepBatch: opts.StepBatch,
 	}
 	if opts.UsePrimaryTOB {
 		cfg.TOB = cluster.PrimaryTOB
@@ -178,9 +186,10 @@ func (c *Cluster) Heal() { c.inner.Heal() }
 func (c *Cluster) Run(d int64) { c.inner.RunFor(sim.Time(d)) }
 
 // Settle runs the simulation to quiescence (every message delivered, every
-// replica passive). It fails if the protocol livelocks, and it will not
-// terminate early while strong operations legitimately pend — use Run for
-// asynchronous-run experiments.
+// replica passive), draining each replica's backlog in batches of
+// Options.StepBatch internal events per activation. It fails if the
+// protocol livelocks, and it will not terminate early while strong
+// operations legitimately pend — use Run for asynchronous-run experiments.
 func (c *Cluster) Settle() error { return c.inner.Settle(0) }
 
 // Read peeks at a register of a replica's current state (diagnostics; use a

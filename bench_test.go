@@ -21,6 +21,7 @@ import (
 	"bayou/internal/scenario"
 	"bayou/internal/spec"
 	"bayou/internal/stateobj"
+	"bayou/internal/workload"
 )
 
 func runExperiment(b *testing.B, fn func() (experiments.Result, error)) {
@@ -84,31 +85,22 @@ func BenchmarkE11_TOBAblation(b *testing.B) { runExperiment(b, experiments.E11) 
 // BenchmarkE12_RollbackCost regenerates the rollback-cost sweep.
 func BenchmarkE12_RollbackCost(b *testing.B) { runExperiment(b, experiments.E12) }
 
+// BenchmarkE13_BatchedDraining regenerates the batched-engine equivalence
+// experiment (identical convergence, fewer scheduler events).
+func BenchmarkE13_BatchedDraining(b *testing.B) { runExperiment(b, experiments.E13) }
+
 // --- protocol micro-benchmarks ---------------------------------------------
 
 // BenchmarkWeakInvokeModified measures the Algorithm 2 weak path: immediate
 // execute + rollback + broadcast effects (the bounded-wait-free fast path).
-// One iteration is a fixed 100-invocation workload on a fresh replica, so
-// the pseudocode-faithful O(order-length) bookkeeping of adjustExecution
-// does not skew per-op numbers as b.N grows.
+// One iteration is a fixed 100-invocation workload on a fresh replica (the
+// shared workload lives in internal/workload so cmd/bayou-bench's -json
+// report measures the identical thing).
 func BenchmarkWeakInvokeModified(b *testing.B) {
-	const ops = 100
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := core.NewReplica(0, core.NoCircularCausality, func() int64 { return 0 })
-		for k := 0; k < ops; k++ {
-			eff, err := r.Invoke(spec.Inc("c", 1), false)
-			if err != nil {
-				b.Fatal(err)
-			}
-			for _, req := range eff.TOBCast {
-				if _, err := r.TOBDeliver(req); err != nil {
-					b.Fatal(err)
-				}
-			}
-			if _, err := r.Drain(); err != nil {
-				b.Fatal(err)
-			}
+		if err := workload.MicroWeakInvoke(100); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -117,30 +109,85 @@ func BenchmarkWeakInvokeModified(b *testing.B) {
 // requests with older timestamps force rollbacks and re-executions. One
 // iteration is a fixed 100-delivery workload on a fresh replica.
 func BenchmarkRollbackReexecute(b *testing.B) {
-	const ops = 100
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := core.NewReplica(0, core.Original, func() int64 { return 1 << 40 })
-		if _, err := r.Invoke(spec.Append("local"), false); err != nil {
+		if err := workload.MicroRollbackReexecute(100); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := r.Drain(); err != nil {
-			b.Fatal(err)
-		}
-		for k := 0; k < ops; k++ {
-			req := core.Req{
-				Timestamp: int64(k + 1), // always older than the local op
-				Dot:       core.Dot{Replica: 1, EventNo: int64(k + 1)},
-				Op:        spec.Inc("c", 1),
+	}
+}
+
+// BenchmarkAdjustExecution profiles the incremental schedule-edit engine on
+// its three characteristic shapes. One iteration is a fixed 500-request
+// workload on a fresh replica; the per-request cost is what distinguishes
+// the engine from the pseudocode-literal O(order length) rebuild:
+//
+//   - tail-insert: timestamp-ordered arrivals edit at the schedule end — O(1);
+//   - commit-head: TOB confirms the tentative head — O(1), no re-execution;
+//   - head-insert: every arrival predates the whole tentative suffix — the
+//     adversarial O(suffix) shape where each edit shifts the entire plan.
+func BenchmarkAdjustExecution(b *testing.B) {
+	const ops = 500
+	remote := func(k int, ts int64) core.Req {
+		return core.Req{Timestamp: ts, Dot: core.Dot{Replica: 1, EventNo: int64(k + 1)}, Op: spec.Inc("c", 1)}
+	}
+	b.Run("tail-insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := core.NewReplica(0, core.Original, func() int64 { return 0 })
+			for k := 0; k < ops; k++ {
+				if _, err := r.RBDeliver(remote(k, int64(k+1))); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.Drain(); err != nil {
+					b.Fatal(err)
+				}
 			}
-			if _, err := r.RBDeliver(req); err != nil {
+		}
+	})
+	b.Run("commit-head", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Setup (building and executing the tentative backlog) is
+			// excluded from the measurement so the timed region is the
+			// commit fast path alone.
+			b.StopTimer()
+			r := core.NewReplica(0, core.Original, func() int64 { return 0 })
+			reqs := make([]core.Req, ops)
+			for k := 0; k < ops; k++ {
+				reqs[k] = remote(k, int64(k+1))
+				if _, err := r.RBDeliver(reqs[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := r.Drain(); err != nil {
 				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, req := range reqs {
+				if _, err := r.TOBDeliver(req); err != nil {
+					b.Fatal(err)
+				}
 			}
 			if _, err := r.Drain(); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}
+	})
+	b.Run("head-insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := core.NewReplica(0, core.Original, func() int64 { return 0 })
+			for k := 0; k < ops; k++ {
+				if _, err := r.RBDeliver(remote(k, int64(ops-k))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := r.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkStateObjectExecute measures Algorithm 3's undo-logged

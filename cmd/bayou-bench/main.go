@@ -1,43 +1,187 @@
 // Command bayou-bench regenerates every evaluation artifact of the paper —
-// experiments E1 through E12 of DESIGN.md — and prints the paper-claim vs.
-// measured-result tables recorded in EXPERIMENTS.md. It exits non-zero if
-// any measured shape deviates from the paper's claim.
+// experiments E1 through E13 of DESIGN.md §2 — and prints the paper-claim
+// vs. measured-result tables. It exits non-zero if any measured shape
+// deviates from the paper's claim.
+//
+// With -json it instead emits a machine-readable benchmark report on
+// stdout: one record per experiment and per protocol micro-benchmark, with
+// ns/op, allocs/op and bytes/op, so successive runs can be recorded as
+// BENCH_*.json trajectories and compared across PRs. Combining -json with
+// -only restricts the report to that single experiment record; the
+// micro-benchmark records are emitted only on unfiltered runs.
 //
 // Usage:
 //
-//	bayou-bench [-only E7]
+//	bayou-bench [-only E7] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
+	"time"
 
 	"bayou/internal/experiments"
+	"bayou/internal/workload"
 )
+
+// benchRecord is one line of the -json report.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // "experiment" or "micro"
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Ops         int64   `json:"ops"`
+	OK          bool    `json:"ok"`
+}
 
 func main() {
 	log.SetFlags(0)
 	only := flag.String("only", "", "run a single experiment, e.g. E7")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON benchmark report")
 	flag.Parse()
 
-	results, err := experiments.All()
-	if err != nil {
-		log.Fatal(err)
+	if *asJSON {
+		if err := emitJSON(*only); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
+
 	failed := false
-	for _, res := range results {
-		if *only != "" && !strings.EqualFold(res.ID, *only) {
+	matched := false
+	for _, e := range experiments.Registry() {
+		if *only != "" && !strings.EqualFold(e.ID, *only) {
 			continue
+		}
+		matched = true
+		res, err := e.Run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
 		}
 		fmt.Println(res)
 		if !res.OK() {
 			failed = true
 		}
 	}
+	if *only != "" && !matched {
+		log.Fatalf("bayou-bench: unknown experiment %q (have %s)", *only, experimentRange())
+	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// experimentRange renders the registry's span for error messages.
+func experimentRange() string {
+	reg := experiments.Registry()
+	return reg[0].ID + ".." + reg[len(reg)-1].ID
+}
+
+// emitJSON measures every experiment (wall time and allocations around one
+// full run) and the protocol micro-benchmarks (via testing.Benchmark), then
+// writes the records as a JSON array on stdout.
+func emitJSON(only string) error {
+	var records []benchRecord
+	ok := true
+
+	for _, e := range experiments.Registry() {
+		if only != "" && !strings.EqualFold(e.ID, only) {
+			continue
+		}
+		rec, err := measureExperiment(e.ID, e.Run)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		ok = ok && rec.OK
+		records = append(records, rec)
+	}
+	if only != "" && len(records) == 0 {
+		return fmt.Errorf("bayou-bench: unknown experiment %q (have %s)", only, experimentRange())
+	}
+
+	if only == "" {
+		for _, m := range microBenches() {
+			res := testing.Benchmark(m.fn)
+			records = append(records, benchRecord{
+				Name:        m.name,
+				Kind:        "micro",
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: float64(res.AllocsPerOp()),
+				BytesPerOp:  float64(res.AllocedBytesPerOp()),
+				Ops:         int64(res.N),
+				OK:          true,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		return err
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// measureExperiment times one full experiment run and samples the allocator
+// around it.
+func measureExperiment(id string, fn func() (experiments.Result, error)) (benchRecord, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	return benchRecord{
+		Name:        id,
+		Kind:        "experiment",
+		NsPerOp:     float64(elapsed.Nanoseconds()),
+		AllocsPerOp: float64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  float64(after.TotalAlloc - before.TotalAlloc),
+		Ops:         1,
+		OK:          res.OK(),
+	}, nil
+}
+
+// microBenches runs the same shared hot-path workloads as the root
+// package's bench_test.go (internal/workload), so the JSON report tracks
+// exactly the numbers CI smoke-runs.
+func microBenches() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"WeakInvokeModified/100ops", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := workload.MicroWeakInvoke(100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"RollbackReexecute/100ops", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := workload.MicroRollbackReexecute(100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 }

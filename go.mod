@@ -1,0 +1,3 @@
+module bayou
+
+go 1.24

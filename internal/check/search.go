@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"bayou/internal/core"
@@ -261,11 +262,7 @@ func (s *searcher) weakContexts(e *history.Event, updating []*history.Event, pos
 }
 
 func sortByPos(ctx []*history.Event, pos []int) {
-	for i := 1; i < len(ctx); i++ {
-		for j := i; j > 0 && pos[ctx[j].ID] < pos[ctx[j-1].ID]; j-- {
-			ctx[j], ctx[j-1] = ctx[j-1], ctx[j]
-		}
-	}
+	slices.SortFunc(ctx, func(a, b *history.Event) int { return pos[a.ID] - pos[b.ID] })
 }
 
 // eval computes F(op, ctx) with memoization (contexts repeat massively

@@ -57,6 +57,14 @@ type Config struct {
 	// ManualStepping disables automatic scheduling of internal steps;
 	// the scenario drives StepReplica/DrainReplica explicitly.
 	ManualStepping bool
+
+	// StepBatch is the maximum number of internal events one scheduled
+	// activation executes (via the replica's StepN). Values ≤ 1 keep the
+	// seed-faithful one-event-per-activation discipline on which the
+	// paper's timing experiments rely; larger values trade per-step
+	// timing granularity for throughput: a backlog of k ≤ StepBatch
+	// events drains in a single activation costing one ProcDelay.
+	StepBatch int
 }
 
 // Call is a client's handle on one invocation.
@@ -98,7 +106,13 @@ type node struct {
 	procDelay   sim.Time
 	stepPending bool
 	cl          *Cluster
+
+	effPool core.EffectsPool
+	reqBuf  []core.Req // scratch for converting delivery batches
 }
+
+func (n *node) takeEff() *core.Effects { return n.effPool.Take() }
+func (n *node) putEff(e *core.Effects) { n.effPool.Put(e) }
 
 // New builds and wires a cluster.
 func New(cfg Config) (*Cluster, error) {
@@ -141,13 +155,15 @@ func New(cfg Config) (*Cluster, error) {
 		n.replica = core.NewReplica(id, cfg.Variant, func() int64 {
 			return int64(c.sched.Now()) / slow
 		})
-		n.rbNode = rb.New(simnet.NodeID(i), c.sched, c.net, n.onRBDeliver)
+		n.rbNode = rb.New(simnet.NodeID(i), c.sched, c.net, nil)
+		n.rbNode.SetBatchDeliver(n.onRBDeliverBatch)
 		switch cfg.TOB {
 		case PrimaryTOB:
-			n.tobNode = tob.NewPrimary(simnet.NodeID(i), 0, c.net, n.onTOBDeliver)
+			n.tobNode = tob.NewPrimary(simnet.NodeID(i), 0, c.net, nil)
 		default:
-			n.tobNode = tob.NewPaxos(simnet.NodeID(i), peers, c.sched, c.net, c.omega, n.onTOBDeliver)
+			n.tobNode = tob.NewPaxos(simnet.NodeID(i), peers, c.sched, c.net, c.omega, nil)
 		}
+		n.tobNode.SetBatchDeliver(n.onTOBDeliverBatch)
 		mux := &simnet.Mux{}
 		mux.Add(n.rbNode.Handle)
 		mux.Add(n.tobNode.Handle)
@@ -214,26 +230,14 @@ func (c *Cluster) Invoke(id core.ReplicaID, op spec.Op, level core.Level) (*Call
 		return nil, fmt.Errorf("%w: replica %d", ErrSessionBusy, id)
 	}
 	n := c.nodes[id]
-	eff, err := n.replica.Invoke(op, level == core.Strong)
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	req, err := n.replica.InvokeInto(op, level == core.Strong, eff)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: invoke on %d: %w", id, err)
 	}
-	// The dot of the request just created is the replica's latest.
-	var d core.Dot
-	var ts int64
-	var tobCast bool
-	switch {
-	case len(eff.TOBCast) > 0:
-		d, ts, tobCast = eff.TOBCast[0].Dot, eff.TOBCast[0].Timestamp, true
-	case len(eff.RBCast) > 0:
-		d, ts = eff.RBCast[0].Dot, eff.RBCast[0].Timestamp
-	case len(eff.Responses) > 0:
-		d, ts = eff.Responses[0].Req.Dot, eff.Responses[0].Req.Timestamp
-	default:
-		return nil, fmt.Errorf("cluster: invoke on %d produced no request", id)
-	}
-	call := c.rec.invoked(id, d, op, level, ts, tobCast, int64(c.sched.Now()))
-	n.route(eff)
+	call := c.rec.invoked(id, req.Dot, op, level, req.Timestamp, len(eff.TOBCast) > 0, int64(c.sched.Now()))
+	n.route(*eff)
 	n.scheduleStep()
 	return call, nil
 }
@@ -241,11 +245,12 @@ func (c *Cluster) Invoke(id core.ReplicaID, op spec.Op, level core.Level) (*Call
 // StepReplica performs one internal step at the replica (manual mode).
 func (c *Cluster) StepReplica(id core.ReplicaID) error {
 	n := c.nodes[id]
-	eff, err := n.replica.Step()
-	if err != nil {
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	if err := n.replica.StepInto(eff); err != nil {
 		return err
 	}
-	n.route(eff)
+	n.route(*eff)
 	return nil
 }
 
@@ -312,10 +317,19 @@ func (c *Cluster) CompactAll() int {
 }
 
 // route dispatches a replica's effects into the broadcast layers and the
-// recorder.
+// recorder. Casts of more than one request go out as single batch
+// envelopes.
 func (n *node) route(eff core.Effects) {
-	for _, r := range eff.RBCast {
-		n.rbNode.Cast(rb.Message{ID: r.ID(), Payload: r})
+	switch len(eff.RBCast) {
+	case 0:
+	case 1:
+		n.rbNode.Cast(rb.Message{ID: eff.RBCast[0].ID(), Payload: eff.RBCast[0]})
+	default:
+		ms := make([]rb.Message, len(eff.RBCast))
+		for i, r := range eff.RBCast {
+			ms[i] = rb.Message{ID: r.ID(), Payload: r}
+		}
+		n.rbNode.CastBatch(ms)
 	}
 	for _, r := range eff.TOBCast {
 		n.tobNode.Cast(r.ID(), r)
@@ -328,38 +342,53 @@ func (n *node) route(eff core.Effects) {
 	}
 }
 
-// onRBDeliver feeds RB deliveries into the replica.
-func (n *node) onRBDeliver(m rb.Message) {
-	r, ok := m.Payload.(core.Req)
-	if !ok {
+// onRBDeliverBatch feeds an RB delivery envelope into the replica: the
+// whole batch becomes one schedule adjustment.
+func (n *node) onRBDeliverBatch(ms []rb.Message) {
+	n.reqBuf = n.reqBuf[:0]
+	for _, m := range ms {
+		if r, ok := m.Payload.(core.Req); ok {
+			n.reqBuf = append(n.reqBuf, r)
+		}
+	}
+	if len(n.reqBuf) == 0 {
 		return
 	}
-	eff, err := n.replica.RBDeliver(r)
-	if err != nil {
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	if err := n.replica.RBDeliverBatch(n.reqBuf, eff); err != nil {
 		panic(fmt.Sprintf("cluster: RBDeliver on %d: %v", n.id, err))
 	}
-	n.route(eff)
+	n.route(*eff)
 	n.scheduleStep()
 }
 
-// onTOBDeliver feeds TOB deliveries into the replica and records the global
-// tobNo.
-func (n *node) onTOBDeliver(tobNo int64, m tob.Message) {
-	r, ok := m.Payload.(core.Req)
-	if !ok {
+// onTOBDeliverBatch feeds a TOB cascade into the replica and records the
+// global tobNos.
+func (n *node) onTOBDeliverBatch(first int64, ms []tob.Message) {
+	n.reqBuf = n.reqBuf[:0]
+	for i, m := range ms {
+		if r, ok := m.Payload.(core.Req); ok {
+			n.cl.rec.tobDelivered(r.Dot, first+int64(i))
+			n.reqBuf = append(n.reqBuf, r)
+		}
+	}
+	if len(n.reqBuf) == 0 {
 		return
 	}
-	n.cl.rec.tobDelivered(r.Dot, tobNo)
-	eff, err := n.replica.TOBDeliver(r)
-	if err != nil {
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	if err := n.replica.TOBDeliverBatch(n.reqBuf, eff); err != nil {
 		panic(fmt.Sprintf("cluster: TOBDeliver on %d: %v", n.id, err))
 	}
-	n.route(eff)
+	n.route(*eff)
 	n.scheduleStep()
 }
 
-// scheduleStep arranges the next internal step after procDelay, unless in
-// manual mode or one is already pending.
+// scheduleStep arranges the next internal activation after procDelay,
+// unless in manual mode or one is already pending. One activation executes
+// a single internal event, or up to Config.StepBatch of them when batched
+// stepping is enabled.
 func (n *node) scheduleStep() {
 	if n.cl.cfg.ManualStepping || n.stepPending || !n.replica.HasInternalWork() {
 		return
@@ -367,11 +396,16 @@ func (n *node) scheduleStep() {
 	n.stepPending = true
 	n.cl.sched.After(n.procDelay, func() {
 		n.stepPending = false
-		eff, err := n.replica.Step()
-		if err != nil {
+		batch := n.cl.cfg.StepBatch
+		if batch < 1 {
+			batch = 1
+		}
+		eff := n.takeEff()
+		defer n.putEff(eff)
+		if _, err := n.replica.StepN(batch, eff); err != nil {
 			panic(fmt.Sprintf("cluster: step on %d: %v", n.id, err))
 		}
-		n.route(eff)
+		n.route(*eff)
 		n.scheduleStep()
 	})
 }

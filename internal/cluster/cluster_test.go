@@ -368,3 +368,63 @@ func TestManyOpsManyReplicasConverge(t *testing.T) {
 		}
 	}
 }
+
+// TestStepBatchConvergence runs the same seeded workload under the
+// one-event-per-activation discipline and under batched draining, for both
+// protocol variants: every replica must converge to the identical committed
+// order and state, with the core invariants intact, and the batched run must
+// consume fewer scheduler events.
+func TestStepBatchConvergence(t *testing.T) {
+	for _, variant := range []core.Variant{core.Original, core.NoCircularCausality} {
+		t.Run(variant.String(), func(t *testing.T) {
+			run := func(batch int) (*Cluster, int64) {
+				c, err := New(Config{N: 3, Variant: variant, Seed: 37, StepBatch: batch})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.StabilizeOmega(0)
+				for round := 0; round < 5; round++ {
+					for i := 0; i < 3; i++ {
+						for k := 0; k < 3; k++ {
+							_, invErr := c.Invoke(core.ReplicaID(i), spec.Append(fmt.Sprintf("%d", i)), core.Weak)
+							if errors.Is(invErr, ErrSessionBusy) {
+								break // Original: weak calls pend past the invoke step
+							}
+							if invErr != nil {
+								t.Fatal(invErr)
+							}
+						}
+					}
+					c.RunFor(12)
+				}
+				mustSettle(t, c)
+				for i := 0; i < 3; i++ {
+					if err := c.Replica(core.ReplicaID(i)).CheckInvariants(); err != nil {
+						t.Fatalf("batch=%d: %v", batch, err)
+					}
+				}
+				return c, c.Scheduler().Steps()
+			}
+			seq, seqEvents := run(1)
+			bat, batEvents := run(8)
+			if batEvents >= seqEvents {
+				t.Errorf("batched run used %d scheduler events, sequential %d", batEvents, seqEvents)
+			}
+			refSeq, refBat := seq.Replica(0).Committed(), bat.Replica(0).Committed()
+			if len(refSeq) != len(refBat) {
+				t.Fatalf("committed lengths diverge: %d vs %d", len(refSeq), len(refBat))
+			}
+			for i := range refSeq {
+				if refSeq[i].Dot != refBat[i].Dot {
+					t.Fatalf("committed[%d] diverges: %v vs %v", i, refSeq[i].Dot, refBat[i].Dot)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if !spec.Equal(bat.Replica(core.ReplicaID(i)).Read(spec.DefaultListID),
+					seq.Replica(0).Read(spec.DefaultListID)) {
+					t.Errorf("replica %d state diverges from sequential run", i)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 
 	"bayou/internal/spec"
 	"bayou/internal/stateobj"
@@ -24,6 +26,31 @@ type pendingResp struct {
 // Replica is one Bayou process. It is not safe for concurrent use: the
 // simulation drives it from a single goroutine, mirroring the atomic-step
 // automaton model.
+//
+// # The incremental execution engine
+//
+// The paper's Algorithm 1 recomputes the execution schedule against the full
+// order committed · tentative on every delivery ("adjust execution", line
+// 35). Implemented literally that is O(n) per transition — O(n²) per run —
+// and it dominated the protocol hot paths. This engine maintains the same
+// abstract state incrementally, under one structural invariant:
+//
+//	executed · toBeExecuted  ==  committed · tentative   (the schedule)
+//
+// Every input event edits the schedule at a single position d that is known
+// from the event itself, with no rescan:
+//
+//   - a tentative insert at index i edits at d = |committed| + i;
+//   - a TOB delivery of the tentative head leaves the schedule untouched
+//     (the request merely migrates across the committed/tentative boundary);
+//   - any other TOB delivery edits at d = |committed| (the commit position).
+//
+// Entries of executed at positions ≥ d are rolled back (in reverse), and
+// only the schedule suffix from d onwards is rebuilt — O(suffix), which is
+// O(1) for the common cases (timestamp-ordered arrivals, commits in
+// tentative order) instead of O(n) always. toBeExecuted is rebuilt into a
+// spare buffer that ping-pongs with the live one, so steady-state reordering
+// allocates nothing.
 type Replica struct {
 	id      ReplicaID
 	variant Variant
@@ -36,9 +63,24 @@ type Replica struct {
 	committed []Req
 	tentative []Req
 
-	executed       []Req
-	toBeExecuted   []Req
+	executed []Req
+	// The pending-execution plan (toBeExecuted of Algorithm 1) is tbeBuf
+	// from tbeHead on. Consuming from the head is an index bump, the
+	// consumed gap doubles as O(1) prepend space, and suffix rebuilds
+	// ping-pong between tbeBuf and tbeSpare — steady-state reordering
+	// allocates nothing.
+	tbeBuf         []Req
+	tbeHead        int
+	tbeSpare       []Req
 	toBeRolledBack []Req
+
+	// traceBuf mirrors the dots of executed so that currentTrace is
+	// copy-free in the no-rollback case. Responses alias its prefix;
+	// traceAliasedLen tracks the longest aliased prefix so a truncation
+	// below it copies out first (copy-on-write) instead of corrupting
+	// traces already handed to clients.
+	traceBuf        []Dot
+	traceAliasedLen int
 
 	awaiting     map[Dot]*pendingResp
 	awaitStable  map[Dot]*pendingResp // weak ops answered tentatively, awaiting the stable notice
@@ -82,36 +124,53 @@ func (p *Replica) now() int64 {
 	return t
 }
 
-// Invoke handles a client invocation (Algorithm 1 line 9 / Algorithm 2).
+// Invoke handles a client invocation (Algorithm 1 line 9 / Algorithm 2). It
+// allocates a fresh Effects; batch drivers use InvokeInto with a reusable
+// accumulator instead.
 func (p *Replica) Invoke(op spec.Op, strong bool) (Effects, error) {
+	var eff Effects
+	if _, err := p.InvokeInto(op, strong, &eff); err != nil {
+		return Effects{}, err
+	}
+	return eff, nil
+}
+
+// InvokeInto handles a client invocation, appending the produced effects to
+// eff and returning the request record it created (so drivers need not
+// reverse-engineer the dot from the effects). On error the contents of eff
+// are unspecified.
+func (p *Replica) InvokeInto(op spec.Op, strong bool, eff *Effects) (Req, error) {
 	p.currEventNo++
 	r := Req{Timestamp: p.now(), Dot: Dot{Replica: p.id, EventNo: p.currEventNo}, Strong: strong, Op: op}
 	if p.variant == NoCircularCausality {
-		return p.invokeModified(r)
+		return r, p.invokeModified(r, eff)
 	}
 	// Algorithm 1: broadcast via RB and TOB, simulate immediate local
 	// RB-delivery, and await the response from a later execute step.
-	var eff Effects
 	eff.RBCast = append(eff.RBCast, r)
 	eff.TOBCast = append(eff.TOBCast, r)
-	p.adjustTentativeOrder(r)
+	p.insertTentative(r)
 	p.awaiting[r.Dot] = &pendingResp{}
-	return eff, nil
+	return r, nil
 }
 
 // invokeModified is Algorithm 2: weak requests execute immediately on the
 // current state and respond at once (bounded wait-freedom); strong requests
 // go through TOB only, so they never appear on any tentative list.
-func (p *Replica) invokeModified(r Req) (Effects, error) {
-	var eff Effects
+func (p *Replica) invokeModified(r Req, eff *Effects) error {
 	if !r.Strong {
 		value, err := p.state.Execute(r.ID(), r.Op)
 		if err != nil {
-			return Effects{}, fmt.Errorf("%w: transient execute: %v", ErrInvariant, err)
+			return fmt.Errorf("%w: transient execute: %v", ErrInvariant, err)
 		}
 		trace := p.currentTrace()
+		if len(p.toBeRolledBack) == 0 {
+			// Only the no-rollback fast path aliases the trace
+			// mirror; the copy path needs no COW protection.
+			p.markTraceAliased(len(trace))
+		}
 		if err := p.state.Rollback(r.ID()); err != nil {
-			return Effects{}, fmt.Errorf("%w: transient rollback: %v", ErrInvariant, err)
+			return fmt.Errorf("%w: transient rollback: %v", ErrInvariant, err)
 		}
 		eff.Responses = append(eff.Responses, Response{
 			Req:          r,
@@ -123,7 +182,7 @@ func (p *Replica) invokeModified(r Req) (Effects, error) {
 		if !r.Op.ReadOnly() {
 			eff.RBCast = append(eff.RBCast, r)
 			eff.TOBCast = append(eff.TOBCast, r)
-			p.adjustTentativeOrder(r)
+			p.insertTentative(r)
 			// The client may additionally await the stable value
 			// (footnote 3); read-only requests are never committed
 			// under Algorithm 2, so they have no stable notice.
@@ -131,50 +190,91 @@ func (p *Replica) invokeModified(r Req) (Effects, error) {
 				has: true, value: value, trace: trace, committedLen: len(p.committed),
 			}
 		}
-		return eff, nil
+		return nil
 	}
 	p.awaiting[r.Dot] = &pendingResp{}
 	eff.TOBCast = append(eff.TOBCast, r)
-	return eff, nil
+	return nil
 }
 
 // RBDeliver handles an RB delivery (Algorithm 1 line 22).
 func (p *Replica) RBDeliver(r Req) (Effects, error) {
+	var eff Effects
+	if err := p.RBDeliverInto(r, &eff); err != nil {
+		return Effects{}, err
+	}
+	return eff, nil
+}
+
+// RBDeliverInto handles an RB delivery, appending effects to eff.
+func (p *Replica) RBDeliverInto(r Req, eff *Effects) error {
 	if r.Dot.Replica == p.id {
-		return Effects{}, nil // issued locally (line 23)
+		return nil // issued locally (line 23)
 	}
 	if p.committedSet[r.Dot] || p.tentativeSet[r.Dot] {
-		return Effects{}, nil // already known (line 25)
+		return nil // already known (line 25)
 	}
-	p.adjustTentativeOrder(r)
-	return Effects{}, nil
+	p.insertTentative(r)
+	return nil
+}
+
+// RBDeliverBatch handles a batch of RB deliveries in order, appending the
+// merged effects to eff. It is equivalent to calling RBDeliverInto for each
+// request with no internal steps in between.
+func (p *Replica) RBDeliverBatch(rs []Req, eff *Effects) error {
+	for _, r := range rs {
+		if err := p.RBDeliverInto(r, eff); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TOBDeliver handles a TOB delivery (Algorithm 1 line 27): the request's
 // final position is appended to committed; a stored tentative response for a
 // strong request already executed in the right order is released.
 func (p *Replica) TOBDeliver(r Req) (Effects, error) {
-	if p.committedSet[r.Dot] {
-		return Effects{}, fmt.Errorf("%w: duplicate TOB delivery of %s", ErrInvariant, r.ID())
+	var eff Effects
+	if err := p.TOBDeliverInto(r, &eff); err != nil {
+		return Effects{}, err
 	}
+	return eff, nil
+}
+
+// TOBDeliverInto handles a TOB delivery, appending effects to eff.
+func (p *Replica) TOBDeliverInto(r Req, eff *Effects) error {
+	if p.committedSet[r.Dot] {
+		return fmt.Errorf("%w: duplicate TOB delivery of %s", ErrInvariant, r.ID())
+	}
+	c := len(p.committed)
 	p.committed = append(p.committed, r)
 	p.committedSet[r.Dot] = true
 	if p.tentativeSet[r.Dot] {
 		delete(p.tentativeSet, r.Dot)
-		keep := p.tentative[:0]
-		for _, x := range p.tentative {
-			if x.Dot != r.Dot {
-				keep = append(keep, x)
-			}
+		switch j := p.tentativeIndex(r); {
+		case j < 0:
+			return fmt.Errorf("%w: %s in tentativeSet but not on the tentative list", ErrInvariant, r.ID())
+		case j == 0:
+			// The commit confirms the tentative head: the schedule
+			// committed · tentative is unchanged, the request merely
+			// crosses the boundary. O(1).
+			p.tentative = p.tentative[1:]
+		default:
+			// The request moves from schedule position c+j to c.
+			copy(p.tentative[j:], p.tentative[j+1:])
+			p.tentative = p.tentative[:len(p.tentative)-1]
+			p.editSchedule(c, r, c+j)
 		}
-		p.tentative = keep
+	} else {
+		// A request committed before it was RB-delivered here: it enters
+		// the schedule at the commit position, pushing all tentative
+		// requests one slot right.
+		p.editSchedule(c, r, -1)
 	}
-	p.adjustExecution()
 
-	var eff Effects
 	if pr, ok := p.awaiting[r.Dot]; ok && p.executedSet[r.Dot] {
 		if !pr.has {
-			return Effects{}, fmt.Errorf("%w: %s executed but no stored response", ErrInvariant, r.ID())
+			return fmt.Errorf("%w: %s executed but no stored response", ErrInvariant, r.ID())
 		}
 		eff.Responses = append(eff.Responses, Response{
 			Req:          r,
@@ -183,6 +283,7 @@ func (p *Replica) TOBDeliver(r Req) (Effects, error) {
 			Trace:        pr.trace,
 			CommittedLen: pr.committedLen,
 		})
+		p.markTraceAliased(len(pr.trace))
 		delete(p.awaiting, r.Dot)
 	}
 	// A weak request already executed in the (now final) right order: its
@@ -196,48 +297,143 @@ func (p *Replica) TOBDeliver(r Req) (Effects, error) {
 			Trace:        pr.trace,
 			CommittedLen: pr.committedLen,
 		})
+		p.markTraceAliased(len(pr.trace))
 		delete(p.awaitStable, r.Dot)
 	}
-	return eff, nil
+	return nil
 }
 
-// adjustTentativeOrder inserts r into the timestamp-sorted tentative list
-// and recomputes the execution schedule (Algorithm 1 line 16).
-func (p *Replica) adjustTentativeOrder(r Req) {
-	i := 0
-	for i < len(p.tentative) && p.tentative[i].Less(r) {
-		i++
+// TOBDeliverBatch handles a batch of TOB deliveries in order, appending the
+// merged effects to eff. It is equivalent to calling TOBDeliverInto for each
+// request with no internal steps in between — the shape a consensus layer
+// produces when one decision unblocks a run of buffered successors.
+func (p *Replica) TOBDeliverBatch(rs []Req, eff *Effects) error {
+	for _, r := range rs {
+		if err := p.TOBDeliverInto(r, eff); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// insertTentative inserts r into the timestamp-sorted tentative list and
+// patches the execution schedule at the insertion point (Algorithm 1 line
+// 16, made incremental).
+func (p *Replica) insertTentative(r Req) {
+	i := sort.Search(len(p.tentative), func(k int) bool { return !p.tentative[k].Less(r) })
 	p.tentative = append(p.tentative, Req{})
 	copy(p.tentative[i+1:], p.tentative[i:])
 	p.tentative[i] = r
 	p.tentativeSet[r.Dot] = true
-	p.adjustExecution()
+	p.editSchedule(len(p.committed)+i, r, -1)
 }
 
-// adjustExecution recomputes executed/toBeExecuted/toBeRolledBack against
-// the new order committed · tentative (Algorithm 1 line 35).
-func (p *Replica) adjustExecution() {
-	newOrder := make([]Req, 0, len(p.committed)+len(p.tentative))
-	newOrder = append(newOrder, p.committed...)
-	newOrder = append(newOrder, p.tentative...)
+// tentativeIndex locates r in the sorted tentative list.
+func (p *Replica) tentativeIndex(r Req) int {
+	j := sort.Search(len(p.tentative), func(k int) bool { return !p.tentative[k].Less(r) })
+	if j < len(p.tentative) && p.tentative[j].Dot == r.Dot {
+		return j
+	}
+	// Defensive: the list is sorted by construction, but fall back to a
+	// scan rather than corrupt the schedule if it ever is not.
+	for k := range p.tentative {
+		if p.tentative[k].Dot == r.Dot {
+			return k
+		}
+	}
+	return -1
+}
 
-	// inOrder = longest common prefix of executed and newOrder.
-	n := 0
-	for n < len(p.executed) && n < len(newOrder) && p.executed[n].Dot == newOrder[n].Dot {
-		n++
+// editSchedule applies one edit to the schedule committed · tentative:
+// r enters at position d; if srcPos ≥ 0, r previously sat at schedule
+// position srcPos (> d) and has already been removed from the tentative
+// list (a move, i.e. a commit out of tentative order). Executed entries at
+// positions ≥ d are rolled back and the execution plan is patched in
+// O(len(schedule) − d) — the seed of Algorithm 1's "adjust execution",
+// restricted to the affected suffix.
+func (p *Replica) editSchedule(d int, r Req, srcPos int) {
+	ne := len(p.executed)
+	if d >= ne {
+		// The edit lands beyond the executed prefix: no rollback, patch
+		// the plan in place.
+		k := d - ne
+		plan := p.tbeBuf[p.tbeHead:]
+		if srcPos >= 0 {
+			// Move within the plan: rotate [k, srcK] one right.
+			srcK := srcPos - ne
+			copy(plan[k+1:srcK+1], plan[k:srcK])
+			plan[k] = r
+			return
+		}
+		if k == 0 && p.tbeHead > 0 {
+			// O(1) front insert into the consumed gap.
+			p.tbeHead--
+			p.tbeBuf[p.tbeHead] = r
+			return
+		}
+		p.tbeBuf = append(p.tbeBuf, Req{})
+		plan = p.tbeBuf[p.tbeHead:]
+		copy(plan[k+1:], plan[k:])
+		plan[k] = r
+		return
 	}
-	outOfOrder := p.executed[n:]
-	p.executed = p.executed[:n]
-	// Roll back the out-of-order suffix in reverse execution order.
-	for i := len(outOfOrder) - 1; i >= 0; i-- {
-		p.toBeRolledBack = append(p.toBeRolledBack, outOfOrder[i])
-		delete(p.executedSet, outOfOrder[i].Dot)
+
+	// Roll back the executed suffix from d, in reverse execution order
+	// (Algorithm 1 line 41's queue discipline: later rollbacks append
+	// after pending ones, matching the state object's undo stack).
+	rolled := p.executed[d:]
+	for i := len(rolled) - 1; i >= 0; i-- {
+		p.toBeRolledBack = append(p.toBeRolledBack, rolled[i])
+		delete(p.executedSet, rolled[i].Dot)
 	}
-	// toBeExecuted = everything in newOrder not already executed.
-	p.toBeExecuted = p.toBeExecuted[:0]
-	for _, x := range newOrder[n:] {
-		p.toBeExecuted = append(p.toBeExecuted, x)
+
+	// New plan suffix: r, then the old suffix (rolled-back entries
+	// followed by the old plan) minus r when this is a move.
+	if srcPos < 0 && p.tbeHead > len(rolled) {
+		// The consumed gap fits r and the rolled-back entries: prepend
+		// in place without touching the rest of the plan.
+		h := p.tbeHead - len(rolled) - 1
+		p.tbeBuf[h] = r
+		copy(p.tbeBuf[h+1:p.tbeHead], rolled)
+		p.tbeHead = h
+	} else {
+		plan := p.tbeBuf[p.tbeHead:]
+		buf := p.tbeSpare[:0]
+		buf = append(buf, r)
+		switch {
+		case srcPos < 0:
+			buf = append(buf, rolled...)
+			buf = append(buf, plan...)
+		case srcPos < ne: // r was executed: it sits inside rolled
+			off := srcPos - d
+			buf = append(buf, rolled[:off]...)
+			buf = append(buf, rolled[off+1:]...)
+			buf = append(buf, plan...)
+		default: // r was planned but not executed
+			srcK := srcPos - ne
+			buf = append(buf, rolled...)
+			buf = append(buf, plan[:srcK]...)
+			buf = append(buf, plan[srcK+1:]...)
+		}
+		p.tbeSpare = p.tbeBuf[:0]
+		p.tbeBuf = buf
+		p.tbeHead = 0
+	}
+	p.truncateExecuted(d)
+}
+
+// truncateExecuted cuts executed (and its trace mirror) to length d. If a
+// client response aliases the trace beyond d, the surviving prefix is copied
+// out first so the issued trace stays immutable.
+func (p *Replica) truncateExecuted(d int) {
+	p.executed = p.executed[:d]
+	if d < p.traceAliasedLen {
+		fresh := make([]Dot, d, d+8)
+		copy(fresh, p.traceBuf[:d])
+		p.traceBuf = fresh
+		p.traceAliasedLen = 0
+	} else {
+		p.traceBuf = p.traceBuf[:d]
 	}
 }
 
@@ -245,34 +441,58 @@ func (p *Replica) adjustExecution() {
 // enabled. A replica with no internal work is passive (§5 input-driven
 // processing).
 func (p *Replica) HasInternalWork() bool {
-	return len(p.toBeRolledBack) > 0 || len(p.toBeExecuted) > 0
+	return len(p.toBeRolledBack) > 0 || p.tbeHead < len(p.tbeBuf)
 }
 
 // Step executes exactly one enabled internal event: a rollback if any is
 // pending (Algorithm 1 line 41), otherwise one execution (line 45). Calling
 // Step on a passive replica is a no-op.
 func (p *Replica) Step() (Effects, error) {
+	var eff Effects
+	if err := p.StepInto(&eff); err != nil {
+		return Effects{}, err
+	}
+	return eff, nil
+}
+
+// StepInto executes one internal event, appending effects to eff.
+func (p *Replica) StepInto(eff *Effects) error {
 	p.steps++
 	if len(p.toBeRolledBack) > 0 {
 		head := p.toBeRolledBack[0]
 		p.toBeRolledBack = p.toBeRolledBack[1:]
 		if err := p.state.Rollback(head.ID()); err != nil {
-			return Effects{}, fmt.Errorf("%w: rollback %s: %v", ErrInvariant, head.ID(), err)
+			return fmt.Errorf("%w: rollback %s: %v", ErrInvariant, head.ID(), err)
 		}
-		return Effects{}, nil
+		return nil
 	}
-	if len(p.toBeExecuted) == 0 {
-		return Effects{}, nil
+	if p.tbeHead == len(p.tbeBuf) {
+		return nil
 	}
-	head := p.toBeExecuted[0]
-	p.toBeExecuted = p.toBeExecuted[1:]
-	trace := p.currentTrace()
+	head := p.tbeBuf[p.tbeHead]
+	p.tbeHead++
+	if p.tbeHead == len(p.tbeBuf) {
+		// Plan drained: rewind so the full capacity is reusable.
+		p.tbeBuf = p.tbeBuf[:0]
+		p.tbeHead = 0
+	}
+	prA, okA := p.awaiting[head.Dot]
+	var prS *pendingResp
+	var okS bool
+	if !okA {
+		prS, okS = p.awaitStable[head.Dot]
+	}
+	// The trace is only needed when somebody awaits this request; skipping
+	// it otherwise keeps re-executions of remote requests trace-free.
+	var trace []Dot
+	if okA || okS {
+		trace = p.currentTrace()
+	}
 	value, err := p.state.Execute(head.ID(), head.Op)
 	if err != nil {
-		return Effects{}, fmt.Errorf("%w: execute %s: %v", ErrInvariant, head.ID(), err)
+		return fmt.Errorf("%w: execute %s: %v", ErrInvariant, head.ID(), err)
 	}
-	var eff Effects
-	if pr, ok := p.awaiting[head.Dot]; ok {
+	if okA {
 		if !head.Strong || p.committedSet[head.Dot] {
 			committed := p.committedSet[head.Dot]
 			eff.Responses = append(eff.Responses, Response{
@@ -282,6 +502,7 @@ func (p *Replica) Step() (Effects, error) {
 				Trace:        trace,
 				CommittedLen: len(p.committed),
 			})
+			p.markTraceAliased(len(trace))
 			delete(p.awaiting, head.Dot)
 			if !head.Strong && !committed {
 				// The tentative weak response went out; keep
@@ -292,12 +513,12 @@ func (p *Replica) Step() (Effects, error) {
 				}
 			}
 		} else {
-			pr.has = true
-			pr.value = value
-			pr.trace = trace
-			pr.committedLen = len(p.committed)
+			prA.has = true
+			prA.value = value
+			prA.trace = trace
+			prA.committedLen = len(p.committed)
 		}
-	} else if pr, ok := p.awaitStable[head.Dot]; ok {
+	} else if okS {
 		if p.committedSet[head.Dot] {
 			eff.StableNotices = append(eff.StableNotices, Response{
 				Req:          head,
@@ -306,39 +527,64 @@ func (p *Replica) Step() (Effects, error) {
 				Trace:        trace,
 				CommittedLen: len(p.committed),
 			})
+			p.markTraceAliased(len(trace))
 			delete(p.awaitStable, head.Dot)
 		} else {
 			// Re-executed tentatively: remember the latest value for
 			// the TOB-delivery release path.
-			pr.has = true
-			pr.value = value
-			pr.trace = trace
-			pr.committedLen = len(p.committed)
+			prS.has = true
+			prS.value = value
+			prS.trace = trace
+			prS.committedLen = len(p.committed)
 		}
 	}
 	p.executed = append(p.executed, head)
+	p.traceBuf = append(p.traceBuf, head.Dot)
 	p.executedSet[head.Dot] = true
-	return eff, nil
+	return nil
+}
+
+// StepN executes up to max enabled internal events, appending the merged
+// effects to eff; it returns the number of events executed. Unlike Step, it
+// does not count activations on a passive replica.
+func (p *Replica) StepN(max int, eff *Effects) (int, error) {
+	done := 0
+	for done < max && p.HasInternalWork() {
+		if err := p.StepInto(eff); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
 }
 
 // Drain runs internal events until the replica is passive, merging effects.
 func (p *Replica) Drain() (Effects, error) {
 	var eff Effects
-	for p.HasInternalWork() {
-		e, err := p.Step()
-		if err != nil {
-			return eff, err
-		}
-		eff.merge(e)
+	if _, err := p.DrainInto(&eff); err != nil {
+		return eff, err
 	}
 	return eff, nil
 }
 
+// DrainInto runs internal events until the replica is passive, appending the
+// merged effects to eff; it returns the number of events executed.
+func (p *Replica) DrainInto(eff *Effects) (int, error) {
+	done := 0
+	for p.HasInternalWork() {
+		if err := p.StepInto(eff); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
 // Compact releases the undo entries of the stable prefix — the executed
 // requests that are already committed. That prefix can never be rolled back
-// (committed is append-only, and adjustExecution's common prefix with
-// committed · tentative always retains it), so this is the original Bayou's
-// log truncation. It returns the number of undo entries released.
+// (committed is append-only, and the schedule edit position never precedes
+// the committed prefix), so this is the original Bayou's log truncation. It
+// returns the number of undo entries released.
 func (p *Replica) Compact() int {
 	stable := len(p.executed)
 	if len(p.committed) < stable {
@@ -351,16 +597,33 @@ func (p *Replica) Compact() int {
 func (p *Replica) LiveUndoEntries() int { return p.state.LiveUndoEntries() }
 
 // currentTrace returns the current trace of the state object as dots:
-// executed · reverse(toBeRolledBack) (Appendix A.2.2).
+// executed · reverse(toBeRolledBack) (Appendix A.2.2). In the common
+// no-rollback case it aliases the replica's trace mirror without copying;
+// the returned slice must be treated as immutable by callers (the engine
+// copy-on-writes it if a later rollback would overwrite it).
 func (p *Replica) currentTrace() []Dot {
-	out := make([]Dot, 0, len(p.executed)+len(p.toBeRolledBack))
-	for _, r := range p.executed {
-		out = append(out, r.Dot)
+	if len(p.toBeRolledBack) == 0 {
+		n := len(p.executed)
+		return p.traceBuf[:n:n]
 	}
+	out := make([]Dot, 0, len(p.executed)+len(p.toBeRolledBack))
+	out = append(out, p.traceBuf[:len(p.executed)]...)
 	for i := len(p.toBeRolledBack) - 1; i >= 0; i-- {
 		out = append(out, p.toBeRolledBack[i].Dot)
 	}
 	return out
+}
+
+// markTraceAliased records that a trace prefix of length n may now be held
+// outside the replica (it escaped in a Response), so truncations below n
+// must copy-on-write the trace mirror. Traces stored only in pendingResp
+// entries are not marked: a rollback past their request clears executedSet,
+// which gates every release path, and the re-execution overwrites the entry
+// before it can be read again.
+func (p *Replica) markTraceAliased(n int) {
+	if n > p.traceAliasedLen {
+		p.traceAliasedLen = n
+	}
 }
 
 // Committed returns a copy of the committed list.
@@ -389,7 +652,7 @@ func (p *Replica) PendingResponses() []Dot {
 	for d := range p.awaiting {
 		out = append(out, d)
 	}
-	sortDots(out)
+	slices.SortFunc(out, Dot.cmp)
 	return out
 }
 
@@ -412,7 +675,7 @@ func (p *Replica) Stats() Stats {
 		Steps:     p.steps,
 		Executes:  st.Executes,
 		Rollbacks: st.Rollbacks,
-		Backlog:   len(p.toBeExecuted) + len(p.toBeRolledBack),
+		Backlog:   len(p.tbeBuf) - p.tbeHead + len(p.toBeRolledBack),
 	}
 }
 
@@ -431,18 +694,43 @@ func (p *Replica) CheckInvariants() error {
 			return fmt.Errorf("%w: tentative not sorted at %d", ErrInvariant, i)
 		}
 	}
-	// 2. executed is a prefix of committed · tentative.
+	// 2. executed · toBeExecuted is exactly committed · tentative — the
+	//    engine's structural invariant (it implies the seed invariant that
+	//    executed is a prefix of the order).
 	order := p.CurrentOrder()
-	if len(p.executed) > len(order) {
-		return fmt.Errorf("%w: executed longer than order", ErrInvariant)
+	plan := p.tbeBuf[p.tbeHead:]
+	if len(p.executed)+len(plan) != len(order) {
+		return fmt.Errorf("%w: |executed|+|toBeExecuted| = %d+%d, order %d",
+			ErrInvariant, len(p.executed), len(plan), len(order))
 	}
 	for i, r := range p.executed {
 		if order[i].Dot != r.Dot {
 			return fmt.Errorf("%w: executed[%d]=%s is not order[%d]=%s", ErrInvariant, i, r.ID(), i, order[i].ID())
 		}
 	}
-	// 3. the state object's trace equals executed · reverse(toBeRolledBack).
-	want := p.currentTrace()
+	for i, r := range plan {
+		j := len(p.executed) + i
+		if order[j].Dot != r.Dot {
+			return fmt.Errorf("%w: toBeExecuted[%d]=%s misaligned", ErrInvariant, i, r.ID())
+		}
+	}
+	// 3. the trace mirror matches executed.
+	if len(p.traceBuf) != len(p.executed) {
+		return fmt.Errorf("%w: trace mirror length %d, executed %d", ErrInvariant, len(p.traceBuf), len(p.executed))
+	}
+	for i, r := range p.executed {
+		if p.traceBuf[i] != r.Dot {
+			return fmt.Errorf("%w: trace mirror[%d]=%s, executed %s", ErrInvariant, i, p.traceBuf[i], r.Dot)
+		}
+	}
+	// 4. the state object's trace equals executed · reverse(toBeRolledBack).
+	want := make([]Dot, 0, len(p.executed)+len(p.toBeRolledBack))
+	for _, r := range p.executed {
+		want = append(want, r.Dot)
+	}
+	for i := len(p.toBeRolledBack) - 1; i >= 0; i-- {
+		want = append(want, p.toBeRolledBack[i].Dot)
+	}
 	got := p.state.Trace()
 	if len(got) != len(want) {
 		return fmt.Errorf("%w: state trace length %d, replica trace length %d", ErrInvariant, len(got), len(want))
@@ -452,23 +740,5 @@ func (p *Replica) CheckInvariants() error {
 			return fmt.Errorf("%w: state trace[%d]=%s, replica trace %s", ErrInvariant, i, got[i], want[i])
 		}
 	}
-	// 4. when no rollbacks are pending, toBeExecuted continues the order
-	//    right after executed.
-	if len(p.toBeRolledBack) == 0 {
-		for i, r := range p.toBeExecuted {
-			j := len(p.executed) + i
-			if j >= len(order) || order[j].Dot != r.Dot {
-				return fmt.Errorf("%w: toBeExecuted[%d]=%s misaligned", ErrInvariant, i, r.ID())
-			}
-		}
-	}
 	return nil
-}
-
-func sortDots(ds []Dot) {
-	for i := 1; i < len(ds); i++ {
-		for j := i; j > 0 && ds[j].less(ds[j-1]); j-- {
-			ds[j], ds[j-1] = ds[j-1], ds[j]
-		}
-	}
 }

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"bayou/internal/spec"
 )
@@ -29,8 +30,17 @@ type Dot struct {
 	EventNo int64
 }
 
-// String renders the dot as a stable request identifier.
-func (d Dot) String() string { return fmt.Sprintf("r%d#%d", d.Replica, d.EventNo) }
+// String renders the dot as a stable request identifier. It is on the
+// execute/rollback hot path (the state object keys undo records by it), so
+// it is built with strconv rather than fmt.
+func (d Dot) String() string {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, 'r')
+	buf = strconv.AppendInt(buf, int64(d.Replica), 10)
+	buf = append(buf, '#')
+	buf = strconv.AppendInt(buf, d.EventNo, 10)
+	return string(buf)
+}
 
 // less orders dots lexicographically.
 func (d Dot) less(o Dot) bool {
@@ -38,6 +48,18 @@ func (d Dot) less(o Dot) bool {
 		return d.Replica < o.Replica
 	}
 	return d.EventNo < o.EventNo
+}
+
+// cmp is the three-way form of less, for slices.SortFunc.
+func (d Dot) cmp(o Dot) int {
+	switch {
+	case d.less(o):
+		return -1
+	case o.less(d):
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Req is the request record broadcast between replicas (Algorithm 1 line 1):
@@ -142,6 +164,12 @@ type Response struct {
 }
 
 // Effects collects everything a state transition asks the environment to do.
+//
+// The single-shot transition methods (Invoke, RBDeliver, TOBDeliver, Step,
+// Drain) return a freshly allocated Effects each call. The batched "*Into"
+// and "*Batch" variants instead append into a caller-owned accumulator;
+// pairing them with Reset lets a driver reuse the backing arrays across
+// transitions and route effects allocation-free.
 type Effects struct {
 	RBCast    []Req
 	TOBCast   []Req
@@ -155,10 +183,36 @@ type Effects struct {
 	StableNotices []Response
 }
 
-// merge appends other's effects.
-func (e *Effects) merge(other Effects) {
-	e.RBCast = append(e.RBCast, other.RBCast...)
-	e.TOBCast = append(e.TOBCast, other.TOBCast...)
-	e.Responses = append(e.Responses, other.Responses...)
-	e.StableNotices = append(e.StableNotices, other.StableNotices...)
+// Reset empties the effect lists while keeping their backing arrays, so an
+// accumulator can be reused across transitions. Previously returned slices
+// are invalidated: consume (or copy out) effects before resetting.
+func (e *Effects) Reset() {
+	e.RBCast = e.RBCast[:0]
+	e.TOBCast = e.TOBCast[:0]
+	e.Responses = e.Responses[:0]
+	e.StableNotices = e.StableNotices[:0]
 }
+
+// EffectsPool recycles Effects accumulators for a single-threaded driver.
+// It is a stack rather than a single buffer because drivers can nest:
+// routing an invocation's TOB cast through a primary sequencer self-commits
+// synchronously, re-entering the driver while the outer effects are still
+// being routed. Not safe for concurrent use.
+type EffectsPool struct {
+	free []*Effects
+}
+
+// Take pops a reset accumulator (allocating if the pool is empty); return
+// it with Put after routing its contents.
+func (p *EffectsPool) Take() *Effects {
+	if len(p.free) == 0 {
+		return &Effects{}
+	}
+	e := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	e.Reset()
+	return e
+}
+
+// Put returns an accumulator to the pool.
+func (p *EffectsPool) Put(e *Effects) { p.free = append(p.free, e) }

@@ -10,8 +10,8 @@ func TestAllExperimentsPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
-		t.Fatalf("got %d experiments, want 12", len(results))
+	if len(results) != 13 {
+		t.Fatalf("got %d experiments, want 13", len(results))
 	}
 	for _, res := range results {
 		if !res.OK() {

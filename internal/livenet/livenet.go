@@ -108,7 +108,16 @@ type node struct {
 	// Learner hold-back: commits applied in stamped order.
 	nextCommit int64
 	held       map[int64]core.Req
+
+	// effPool recycles effect accumulators; rbBatch buffers RB deliveries
+	// pulled from the inbox in one burst so they hit the replica as a
+	// single batch.
+	effPool core.EffectsPool
+	rbBatch []core.Req
 }
+
+func (n *node) takeEff() *core.Effects { return n.effPool.Take() }
+func (n *node) putEff(e *core.Effects) { n.effPool.Put(e) }
 
 // New starts a cluster of n replicas running the given protocol variant.
 func New(n int, variant core.Variant) *Cluster {
@@ -179,8 +188,18 @@ func (c *Cluster) Read(replica int, key string, timeout time.Duration) (spec.Val
 	}
 }
 
+// maxBurst caps how many queued messages one burst pulls before the node
+// flushes RB batches and drains internal work. Without the cap a saturated
+// inbox (blocking senders keep it non-empty) would defer execution — and
+// therefore responses — indefinitely.
+const maxBurst = 256
+
 // run is the replica goroutine: a strict event loop over the inbox, exactly
-// the atomic-step automaton model of the paper.
+// the atomic-step automaton model of the paper — with opportunistic
+// batching: whatever has queued up while the replica was busy is pulled in
+// one burst (capped), consecutive RB deliveries collapse into a single
+// batched schedule adjustment, and internal work is drained once per burst
+// instead of once per message.
 func (n *node) run() {
 	defer n.cl.wg.Done()
 	for {
@@ -188,28 +207,43 @@ func (n *node) run() {
 		case <-n.stop:
 			return
 		case m := <-n.inbox:
-			n.handle(m)
+			n.process(m)
+		burst:
+			for i := 1; i < maxBurst; i++ {
+				select {
+				case m2 := <-n.inbox:
+					n.process(m2)
+				default:
+					break burst
+				}
+			}
+			n.flushRB()
+			n.drain()
 		}
 	}
 }
 
-func (n *node) handle(m message) {
+// process handles one message; RB deliveries are buffered (flushed before
+// any other message kind so per-node delivery order is preserved).
+func (n *node) process(m message) {
+	if m.kind == msgRBDeliver {
+		n.rbBatch = append(n.rbBatch, m.req)
+		return
+	}
+	n.flushRB()
 	switch m.kind {
 	case msgInvoke:
-		eff, err := n.replica.Invoke(m.op, m.strong)
+		eff := n.takeEff()
+		req, err := n.replica.InvokeInto(m.op, m.strong, eff)
 		if err != nil {
+			n.putEff(eff)
 			m.future.ch <- core.Response{}
 			return
 		}
-		d := requestDot(eff)
-		m.future.dot.Store(d)
-		n.awaiting[d] = m.future
-		n.route(eff)
-	case msgRBDeliver:
-		eff, err := n.replica.RBDeliver(m.req)
-		if err == nil {
-			n.route(eff)
-		}
+		m.future.dot.Store(req.Dot)
+		n.awaiting[req.Dot] = m.future
+		n.route(*eff)
+		n.putEff(eff)
 	case msgForward:
 		if n.id == 0 {
 			n.stampAndBroadcast(m.req)
@@ -217,9 +251,25 @@ func (n *node) handle(m message) {
 	case msgCommit:
 		n.applyCommit(m.commitNo, m.req)
 	case msgPeek:
+		// Drain before answering so a peek mid-burst still observes
+		// every message processed ahead of it (the seed's
+		// drain-after-every-message guarantee).
+		n.drain()
 		m.peekRes <- n.replica.Read(m.peekKey)
 	}
-	n.drain()
+}
+
+// flushRB feeds the buffered RB deliveries to the replica as one batch.
+func (n *node) flushRB() {
+	if len(n.rbBatch) == 0 {
+		return
+	}
+	eff := n.takeEff()
+	if err := n.replica.RBDeliverBatch(n.rbBatch, eff); err == nil {
+		n.route(*eff)
+	}
+	n.putEff(eff)
+	n.rbBatch = n.rbBatch[:0]
 }
 
 // stampAndBroadcast is the primary's sequencer step.
@@ -239,33 +289,46 @@ func (n *node) stampAndBroadcast(r core.Req) {
 	}
 }
 
-// applyCommit enforces stamped order regardless of channel scheduling.
+// applyCommit enforces stamped order regardless of channel scheduling; a
+// commit that unblocks held successors delivers the whole run as one batch.
 func (n *node) applyCommit(no int64, r core.Req) {
 	if no < n.nextCommit {
 		return
 	}
 	n.held[no] = r
+	var batch []core.Req
 	for {
 		next, ok := n.held[n.nextCommit]
 		if !ok {
-			return
+			break
 		}
 		delete(n.held, n.nextCommit)
 		n.nextCommit++
-		eff, err := n.replica.TOBDeliver(next)
-		if err == nil {
-			n.route(eff)
+		batch = append(batch, next)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	// Each commit is delivered with its own pooled accumulator: an
+	// invariant error on one commit withholds that transition's effects
+	// (whose contents are unspecified on error) without dropping the rest
+	// of the cascade.
+	for _, next := range batch {
+		eff := n.takeEff()
+		if err := n.replica.TOBDeliverInto(next, eff); err == nil {
+			n.route(*eff)
 		}
+		n.putEff(eff)
 	}
 }
 
 // drain runs the replica's internal work and routes the produced effects.
 func (n *node) drain() {
-	eff, err := n.replica.Drain()
-	if err != nil {
-		return
+	eff := n.takeEff()
+	if _, err := n.replica.DrainInto(eff); err == nil {
+		n.route(*eff)
 	}
-	n.route(eff)
+	n.putEff(eff)
 }
 
 // route fans a step's effects out to the other replicas and to waiting
@@ -290,19 +353,5 @@ func (n *node) route(eff core.Effects) {
 			f.ch <- resp
 			delete(n.awaiting, resp.Req.Dot)
 		}
-	}
-}
-
-// requestDot extracts the dot of the request an invoke produced.
-func requestDot(eff core.Effects) core.Dot {
-	switch {
-	case len(eff.TOBCast) > 0:
-		return eff.TOBCast[0].Dot
-	case len(eff.RBCast) > 0:
-		return eff.RBCast[0].Dot
-	case len(eff.Responses) > 0:
-		return eff.Responses[0].Req.Dot
-	default:
-		return core.Dot{}
 	}
 }

@@ -37,14 +37,22 @@ type gossip struct {
 	M Message
 }
 
+// gossipBatch carries several messages in one wire envelope — the shape a
+// replica produces when a batched transition RB-casts multiple requests.
+type gossipBatch struct {
+	Ms []Message
+}
+
 // Node is the per-replica RB endpoint. Construct with New; wire Handle into
 // the node's simnet mux.
 type Node struct {
-	id      simnet.NodeID
-	sched   *sim.Scheduler
-	net     *simnet.Network
-	seen    map[string]bool
-	deliver func(m Message)
+	id           simnet.NodeID
+	sched        *sim.Scheduler
+	net          *simnet.Network
+	seen         map[string]bool
+	deliver      func(m Message)
+	deliverBatch func(ms []Message)
+	one          [1]Message // scratch for single deliveries via the batch callback
 
 	delivered int64
 	relayed   int64
@@ -54,6 +62,13 @@ type Node struct {
 func New(id simnet.NodeID, sched *sim.Scheduler, net *simnet.Network, deliver func(Message)) *Node {
 	return &Node{id: id, sched: sched, net: net, seen: make(map[string]bool), deliver: deliver}
 }
+
+// SetBatchDeliver switches delivery to batches: messages arriving in one
+// envelope are handed over together (singles arrive as a batch of one), so
+// the replica can adjust its execution schedule once per envelope. The
+// slice is only valid for the duration of the call (single deliveries reuse
+// a scratch buffer): consumers that defer processing must copy it.
+func (n *Node) SetBatchDeliver(fn func(ms []Message)) { n.deliverBatch = fn }
 
 // Cast RB-casts m: the local node delivers it (asynchronously, via the
 // scheduler) and every peer receives a relayed copy.
@@ -65,27 +80,91 @@ func (n *Node) Cast(m Message) {
 	n.net.Broadcast(n.id, gossip{M: m})
 	n.sched.After(0, func() {
 		n.delivered++
-		n.deliver(m)
+		n.dispatch(m)
+	})
+}
+
+// filterUnseen marks the unseen messages of ms as seen and returns them as
+// a fresh slice (safe to hand to the network or a deferred delivery while
+// the caller reuses ms).
+func (n *Node) filterUnseen(ms []Message) []Message {
+	fresh := make([]Message, 0, len(ms))
+	for _, m := range ms {
+		if n.seen[m.ID] {
+			continue
+		}
+		n.seen[m.ID] = true
+		fresh = append(fresh, m)
+	}
+	return fresh
+}
+
+// CastBatch RB-casts several messages in a single wire envelope. The slice
+// is copied: callers may reuse their backing array (batched effect buffers
+// do).
+func (n *Node) CastBatch(ms []Message) {
+	fresh := n.filterUnseen(ms)
+	if len(fresh) == 0 {
+		return
+	}
+	n.net.Broadcast(n.id, gossipBatch{Ms: fresh})
+	n.sched.After(0, func() {
+		n.delivered += int64(len(fresh))
+		if n.deliverBatch != nil {
+			n.deliverBatch(fresh)
+			return
+		}
+		for _, m := range fresh {
+			n.deliver(m)
+		}
 	})
 }
 
 // Handle consumes RB wire traffic; it reports false for foreign payloads so
 // a mux can pass them on.
 func (n *Node) Handle(from simnet.NodeID, payload any) bool {
-	g, ok := payload.(gossip)
-	if !ok {
+	switch g := payload.(type) {
+	case gossip:
+		if n.seen[g.M.ID] {
+			return true
+		}
+		n.seen[g.M.ID] = true
+		// Eager relay for agreement despite sender crash.
+		n.net.Broadcast(n.id, g)
+		n.relayed++
+		n.delivered++
+		n.dispatch(g.M)
+		return true
+	case gossipBatch:
+		fresh := n.filterUnseen(g.Ms)
+		if len(fresh) == 0 {
+			return true
+		}
+		// Relay only the unseen remainder, still as one envelope.
+		n.net.Broadcast(n.id, gossipBatch{Ms: fresh})
+		n.relayed++
+		n.delivered += int64(len(fresh))
+		if n.deliverBatch != nil {
+			n.deliverBatch(fresh)
+			return true
+		}
+		for _, m := range fresh {
+			n.deliver(m)
+		}
+		return true
+	default:
 		return false
 	}
-	if n.seen[g.M.ID] {
-		return true
+}
+
+// dispatch hands one message to the installed delivery callback.
+func (n *Node) dispatch(m Message) {
+	if n.deliverBatch != nil {
+		n.one[0] = m
+		n.deliverBatch(n.one[:])
+		return
 	}
-	n.seen[g.M.ID] = true
-	// Eager relay for agreement despite sender crash.
-	n.net.Broadcast(n.id, g)
-	n.relayed++
-	n.delivered++
-	n.deliver(g.M)
-	return true
+	n.deliver(m)
 }
 
 // Seen reports whether the node has already delivered (or cast) the message.

@@ -127,3 +127,70 @@ func TestSeen(t *testing.T) {
 		t.Error("peer must have seen the message after delivery")
 	}
 }
+
+// TestCastBatchDeliversEverywhere: a multi-message envelope reaches every
+// node exactly once per message, via the batch callback where installed and
+// per-message delivery elsewhere.
+func TestCastBatchDeliversEverywhere(t *testing.T) {
+	f := newFixture(t, 4)
+	var batches [][]string
+	f.nodes[2].SetBatchDeliver(func(ms []Message) {
+		ids := make([]string, len(ms))
+		for i, m := range ms {
+			ids[i] = m.ID
+		}
+		batches = append(batches, ids)
+		f.got[2] = append(f.got[2], ids...)
+	})
+	f.nodes[0].CastBatch([]Message{{ID: "b1"}, {ID: "b2"}, {ID: "b3"}})
+	f.sched.Run(0)
+	for i, g := range f.got {
+		if len(g) != 3 {
+			t.Errorf("node %d delivered %v, want 3 messages", i, g)
+		}
+	}
+	if len(batches) != 1 || len(batches[0]) != 3 {
+		t.Errorf("node 2 batch callback got %v, want one batch of 3", batches)
+	}
+}
+
+// TestCastBatchFiltersSeenAndCopies: already-seen messages are filtered out
+// of the envelope, an all-seen batch casts nothing, and the caller's slice
+// may be reused immediately (the envelope is a copy).
+func TestCastBatchFiltersSeenAndCopies(t *testing.T) {
+	f := newFixture(t, 3)
+	f.nodes[0].Cast(Message{ID: "old"})
+	f.sched.Run(0)
+	buf := []Message{{ID: "old"}, {ID: "new"}}
+	f.nodes[0].CastBatch(buf)
+	buf[1] = Message{ID: "clobbered"}                         // reuse before the scheduler runs
+	f.nodes[0].CastBatch([]Message{{ID: "old"}, {ID: "new"}}) // all seen: no-op
+	f.sched.Run(0)
+	for i, g := range f.got {
+		if len(g) != 2 || g[0] != "old" || g[1] != "new" {
+			t.Errorf("node %d delivered %v, want [old new]", i, g)
+		}
+	}
+}
+
+// TestBatchRelayPartialSeen: a node that already knows part of an incoming
+// envelope relays and delivers only the unseen remainder.
+func TestBatchRelayPartialSeen(t *testing.T) {
+	f := newFixture(t, 3)
+	f.nodes[1].Cast(Message{ID: "k"}) // node 1 (and everyone) knows k
+	f.sched.Run(0)
+	f.nodes[0].CastBatch([]Message{{ID: "k"}, {ID: "f1"}, {ID: "f2"}})
+	f.sched.Run(0)
+	for i, g := range f.got {
+		if len(g) != 3 {
+			t.Errorf("node %d delivered %v, want k,f1,f2 once each", i, g)
+		}
+		seen := map[string]int{}
+		for _, id := range g {
+			seen[id]++
+		}
+		if seen["k"] != 1 || seen["f1"] != 1 || seen["f2"] != 1 {
+			t.Errorf("node %d delivered duplicates: %v", i, g)
+		}
+	}
+}

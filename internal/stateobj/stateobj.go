@@ -34,12 +34,21 @@ var (
 // rolled back).
 var ErrReleased = errors.New("stateobj: undo entry was released by compaction")
 
-// undoEntry records, for one executed request, the values every register it
-// wrote held immediately before the first write (nil meaning "unset"). A
-// released entry keeps its place in the trace but has dropped its undo map.
+// undoPair records the value one written register held immediately before
+// the request's first write to it (nil meaning "unset").
+type undoPair struct {
+	reg string
+	old spec.Value
+}
+
+// undoEntry records, for one executed request, the pre-images of every
+// register it wrote (Algorithm 3 lines 9–12). Operations touch one or two
+// registers, so the undo record is a tiny slice rather than a map — one
+// allocation per updating execute, none for read-only ones. A released
+// entry keeps its place in the trace but has dropped its undo record.
 type undoEntry struct {
 	id       string
-	undo     map[string]spec.Value
+	undo     []undoPair
 	released bool
 }
 
@@ -49,6 +58,7 @@ type State struct {
 	db    map[string]spec.Value
 	stack []undoEntry
 	live  map[string]int // request id -> index in stack
+	tx    undoTx         // reused across executes; its undo record is handed off
 
 	executes  int64 // total Execute calls, for cost accounting
 	rollbacks int64 // total Rollback calls
@@ -56,25 +66,34 @@ type State struct {
 
 // New returns an empty state.
 func New() *State {
-	return &State{
+	s := &State{
 		db:   make(map[string]spec.Value),
 		live: make(map[string]int),
 	}
+	s.tx.db = s.db
+	return s
 }
 
 // undoTx is the Tx handed to operations: reads hit the database, writes
-// record the overwritten value in the undo map the first time each register
-// is touched (Algorithm 3 lines 9–12).
+// record the overwritten value the first time each register is touched
+// (Algorithm 3 lines 9–12).
 type undoTx struct {
 	db   map[string]spec.Value
-	undo map[string]spec.Value
+	undo []undoPair
 }
 
 func (t *undoTx) Read(id string) spec.Value { return spec.Clone(t.db[id]) }
 
 func (t *undoTx) Write(id string, v spec.Value) {
-	if _, saved := t.undo[id]; !saved {
-		t.undo[id] = t.db[id]
+	saved := false
+	for i := range t.undo {
+		if t.undo[i].reg == id {
+			saved = true
+			break
+		}
+	}
+	if !saved {
+		t.undo = append(t.undo, undoPair{reg: id, old: t.db[id]})
 	}
 	t.db[id] = spec.Clone(v)
 }
@@ -86,10 +105,10 @@ func (s *State) Execute(id string, op spec.Op) (spec.Value, error) {
 	if _, ok := s.live[id]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateExecute, id)
 	}
-	tx := &undoTx{db: s.db, undo: make(map[string]spec.Value)}
-	resp := op.Apply(tx)
+	s.tx.undo = nil // ownership of the previous record moved to its entry
+	resp := op.Apply(&s.tx)
 	s.live[id] = len(s.stack)
-	s.stack = append(s.stack, undoEntry{id: id, undo: tx.undo})
+	s.stack = append(s.stack, undoEntry{id: id, undo: s.tx.undo})
 	s.executes++
 	return resp, nil
 }
@@ -106,11 +125,11 @@ func (s *State) Rollback(id string) error {
 		return fmt.Errorf("%w: %s", ErrReleased, id)
 	}
 	entry := s.stack[n-1]
-	for reg, old := range entry.undo {
-		if old == nil {
-			delete(s.db, reg)
+	for _, p := range entry.undo {
+		if p.old == nil {
+			delete(s.db, p.reg)
 		} else {
-			s.db[reg] = old
+			s.db[p.reg] = p.old
 		}
 	}
 	s.stack = s.stack[:n-1]

@@ -52,6 +52,14 @@ type Message struct {
 // replica.
 type DeliverFunc func(tobNo int64, m Message)
 
+// BatchDeliverFunc receives a contiguous run of TOB-delivered messages at
+// once; the run's global delivery positions are first, first+1, …. A single
+// decision frequently unblocks a buffered FIFO cascade, and delivering the
+// cascade as one batch lets the replica adjust its execution schedule once.
+// The slice is only valid for the duration of the call (the gate reuses its
+// cascade buffer): consumers that defer processing must copy it.
+type BatchDeliverFunc func(first int64, ms []Message)
+
 // TOB is the interface shared by both implementations.
 type TOB interface {
 	// Cast submits a payload for total ordering under the unique id.
@@ -60,6 +68,9 @@ type TOB interface {
 	Handle(from simnet.NodeID, payload any) bool
 	// DeliveredCount returns the number of messages TOB-delivered here.
 	DeliveredCount() int64
+	// SetBatchDeliver switches delivery to whole-cascade batches; the
+	// per-message DeliverFunc passed at construction is then unused.
+	SetBatchDeliver(fn BatchDeliverFunc)
 }
 
 // forwardMsg disseminates a cast message into every node's candidate pool.
@@ -68,9 +79,13 @@ type forwardMsg struct {
 }
 
 // fifoGate implements the deterministic per-origin hold-back and the
-// duplicate filter shared by both implementations.
+// duplicate filter shared by both implementations. Messages unblocked by a
+// single offer form one cascade; with a batch deliverer installed the whole
+// cascade is handed over in one call.
 type fifoGate struct {
 	deliver    DeliverFunc
+	batch      BatchDeliverFunc
+	pend       []Message
 	seen       map[string]bool
 	nextSeq    map[simnet.NodeID]int64
 	buffered   map[simnet.NodeID]map[int64]Message
@@ -109,17 +124,40 @@ func (g *fifoGate) offer(m Message) {
 	for {
 		next, ok := g.buffered[m.Origin][g.nextSeq[m.Origin]]
 		if !ok {
-			return
+			break
 		}
 		delete(g.buffered[m.Origin], next.Seq)
 		g.emit(next)
 	}
+	g.flush()
 }
 
 func (g *fifoGate) emit(m Message) {
 	g.nextSeq[m.Origin] = m.Seq + 1
-	g.nDelivered++
-	g.deliver(g.nDelivered, m)
+	g.pend = append(g.pend, m)
+}
+
+// flush dispatches the pending cascade. Deliver callbacks may legally feed
+// the gate again (a replica effect can cast, and a primary self-commits
+// synchronously); the snapshot-and-loop keeps numbering and order aligned
+// even then.
+func (g *fifoGate) flush() {
+	for len(g.pend) > 0 {
+		ms := g.pend
+		g.pend = nil
+		first := g.nDelivered + 1
+		g.nDelivered += int64(len(ms))
+		if g.batch != nil {
+			g.batch(first, ms)
+		} else {
+			for i, m := range ms {
+				g.deliver(first+int64(i), m)
+			}
+		}
+		if g.pend == nil {
+			g.pend = ms[:0] // reuse the cascade buffer
+		}
+	}
 }
 
 // delivered reports whether the message id has passed the duplicate filter.
@@ -194,6 +232,9 @@ func (t *Paxos) Handle(from simnet.NodeID, payload any) bool {
 
 // DeliveredCount implements TOB.
 func (t *Paxos) DeliveredCount() int64 { return t.gate.nDelivered }
+
+// SetBatchDeliver implements TOB.
+func (t *Paxos) SetBatchDeliver(fn BatchDeliverFunc) { t.gate.batch = fn }
 
 // Leading reports whether the underlying Paxos node holds leadership.
 func (t *Paxos) Leading() bool { return t.px.Leading() }
@@ -357,6 +398,9 @@ func (t *Primary) Handle(from simnet.NodeID, payload any) bool {
 
 // DeliveredCount implements TOB.
 func (t *Primary) DeliveredCount() int64 { return t.gate.nDelivered }
+
+// SetBatchDeliver implements TOB.
+func (t *Primary) SetBatchDeliver(fn BatchDeliverFunc) { t.gate.batch = fn }
 
 func (t *Primary) stamp(m Message) {
 	if t.stamped[m.ID] {

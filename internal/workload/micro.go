@@ -1,0 +1,61 @@
+package workload
+
+// The protocol micro-benchmark workloads live here so that the root
+// package's bench_test.go and cmd/bayou-bench's -json report measure the
+// exact same thing and cannot drift apart.
+
+import (
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+// MicroWeakInvoke is the Algorithm 2 weak hot path: ops rounds of immediate
+// execute + rollback + broadcast effects on a fresh replica, each request
+// TOB-committed and drained before the next (the bounded-wait-free fast
+// path, BenchmarkWeakInvokeModified).
+func MicroWeakInvoke(ops int) error {
+	r := core.NewReplica(0, core.NoCircularCausality, func() int64 { return 0 })
+	for k := 0; k < ops; k++ {
+		eff, err := r.Invoke(spec.Inc("c", 1), false)
+		if err != nil {
+			return err
+		}
+		for _, req := range eff.TOBCast {
+			if _, err := r.TOBDeliver(req); err != nil {
+				return err
+			}
+		}
+		if _, err := r.Drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MicroRollbackReexecute is the reordering hot path: a local request with a
+// far-future timestamp, then ops remote deliveries with ever-older
+// timestamps, each forcing a rollback and re-execution
+// (BenchmarkRollbackReexecute).
+func MicroRollbackReexecute(ops int) error {
+	r := core.NewReplica(0, core.Original, func() int64 { return 1 << 40 })
+	if _, err := r.Invoke(spec.Append("local"), false); err != nil {
+		return err
+	}
+	if _, err := r.Drain(); err != nil {
+		return err
+	}
+	for k := 0; k < ops; k++ {
+		req := core.Req{
+			Timestamp: int64(k + 1), // always older than the local op
+			Dot:       core.Dot{Replica: 1, EventNo: int64(k + 1)},
+			Op:        spec.Inc("c", 1),
+		}
+		if _, err := r.RBDeliver(req); err != nil {
+			return err
+		}
+		if _, err := r.Drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
