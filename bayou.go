@@ -5,22 +5,38 @@
 // available, eventually consistent fashion and *strong* operations through
 // consensus-based total order broadcast — over the same data.
 //
-// The package is a façade over a deterministic simulation of a full
-// deployment: Bayou replicas (Algorithm 1 of the paper, or the improved
-// Algorithm 2 that avoids circular causality and makes weak operations
-// bounded wait-free), reliable broadcast, Paxos-based total order broadcast
-// gated on the failure detector Ω, and a partitionable network. Every run
-// records a history that can be verified against the paper's correctness
-// guarantees — BEC, the paper's new Fluctuating Eventual Consistency (FEC),
-// and sequential consistency for strong operations.
+// The public surface is session-oriented, mirroring the paper's system
+// model: clients are sequential *sessions* minted with Cluster.Session (any
+// number per replica, free to overlap with each other), and every
+// invocation returns a Call whose response-status transitions — tentative,
+// reordered, committed — can be streamed with Call.Updates or
+// Cluster.Watch. That stream is the observable form of *response
+// fluctuation*, the phenomenon the paper's new correctness criterion
+// (Fluctuating Eventual Consistency) formalizes.
+//
+// A Cluster runs on one of two substrates behind the same Driver interface:
+//
+//   - New builds the deterministic simulation — Bayou replicas (Algorithm 1
+//     of the paper, or the improved Algorithm 2), reliable broadcast,
+//     Paxos-based total order broadcast gated on the failure detector Ω,
+//     and a partitionable network. Deterministic, reproducible, and the
+//     substrate of every experiment in DESIGN.md.
+//   - NewLive builds a goroutine-per-replica deployment with channel links
+//     and primary-commit total order: real concurrency, no virtual time.
+//
+// The same program runs on either. Every run records a history that can be
+// verified against the paper's correctness guarantees — BEC, FEC, and
+// sequential consistency for strong operations.
 //
 // A minimal session:
 //
-//	c, _ := bayou.New(bayou.Options{Replicas: 3})
+//	c, _ := bayou.New(bayou.WithReplicas(3))
+//	defer c.Close()
 //	c.ElectLeader(0)
-//	call, _ := c.Invoke(1, bayou.Append("hello"), bayou.Weak)
+//	s, _ := c.Session(1)
+//	call, _ := s.Invoke(bayou.Append("hello"), bayou.Weak)
 //	_ = c.Settle()
-//	fmt.Println(call.Response.Value) // the tentative response
+//	fmt.Println(call.Response().Value) // the tentative response
 //
 // See the examples/ directory for complete programs, and DESIGN.md for the
 // mapping from the paper's algorithms, figures and theorems to this
@@ -32,10 +48,9 @@ import (
 	"fmt"
 
 	"bayou/internal/check"
-	"bayou/internal/cluster"
 	"bayou/internal/core"
 	"bayou/internal/history"
-	"bayou/internal/sim"
+	"bayou/internal/record"
 	"bayou/internal/spec"
 	"bayou/internal/traceviz"
 )
@@ -56,9 +71,12 @@ type Variant = core.Variant
 
 // Original is Algorithm 1 of the paper; Modified is Algorithm 2 (no
 // circular causality, bounded wait-free weak operations) and the default.
+// VariantDefault says "use the default" explicitly; any other value outside
+// the declared variants is rejected at construction.
 const (
-	Original = core.Original
-	Modified = core.NoCircularCausality
+	VariantDefault = core.VariantDefault
+	Original       = core.Original
+	Modified       = core.NoCircularCausality
 )
 
 // Op is a deterministic transaction against the replicated state; the
@@ -69,145 +87,149 @@ type Op = spec.Op
 // Value is the dynamic value type returned by operations.
 type Value = spec.Value
 
-// Call is a client handle on one invocation; Done flips when the response
-// arrives and Response carries the value plus its tentative/stable status.
-type Call = cluster.Call
+// Dot uniquely identifies one invocation (request) of a run.
+type Dot = core.Dot
+
+// Response is a response value plus its witness data (tentative/stable
+// status, the execution trace it was computed from).
+type Response = core.Response
+
+// Call is a client handle on one invocation: Done/Response fill in when the
+// response arrives, Stable when a weak update's final value is notified,
+// and Updates streams the status transitions in between.
+type Call = record.Call
 
 // Report is a checker verdict over a recorded history.
 type Report = check.Report
 
-// Options configures a cluster.
-type Options struct {
-	// Replicas is the number of replicas (default 3).
-	Replicas int
-	// Variant selects Algorithm 1 (Original) or 2 (Modified, default).
-	Variant Variant
-	// Seed makes runs reproducible (default 1).
-	Seed int64
-	// UsePrimaryTOB selects the original Bayou primary-commit scheme
-	// instead of Paxos; replica 0 becomes the (non-fault-tolerant)
-	// primary.
-	UsePrimaryTOB bool
-	// SlowReplicas maps replica ids to an internal-step delay factor for
-	// the progress experiments of §2.3.
-	SlowReplicas map[int]int64
-	// ClockSlowdown maps replica ids to a clock divisor (§2.3's skewed
-	// clock experiment).
-	ClockSlowdown map[int]int64
-	// StepBatch caps how many internal events (rollbacks/executions) one
-	// scheduled activation of a replica executes. The default 1 is the
-	// paper-faithful one-event-per-tick discipline; throughput-oriented
-	// deployments raise it so Settle drains backlogs in batches (see
-	// experiment E13 for the equivalence and the event-count effect).
-	StepBatch int
-}
-
-// Cluster is a simulated Bayou deployment.
+// Cluster is a Bayou deployment — simulated (New) or live (NewLive) —
+// behind the session-oriented client API.
 type Cluster struct {
-	inner *cluster.Cluster
-	n     int
+	drv Driver
+	n   int
+	rec *record.Recorder
 }
 
-// New builds a cluster.
-func New(opts Options) (*Cluster, error) {
-	if opts.Replicas == 0 {
-		opts.Replicas = 3
-	}
-	if opts.Variant == 0 {
-		opts.Variant = Modified
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	cfg := cluster.Config{
-		N:         opts.Replicas,
-		Variant:   opts.Variant,
-		Seed:      opts.Seed,
-		StepBatch: opts.StepBatch,
-	}
-	if opts.UsePrimaryTOB {
-		cfg.TOB = cluster.PrimaryTOB
-	}
-	if len(opts.SlowReplicas) > 0 {
-		cfg.ProcDelay = make(map[core.ReplicaID]sim.Time, len(opts.SlowReplicas))
-		for id, d := range opts.SlowReplicas {
-			cfg.ProcDelay[core.ReplicaID(id)] = sim.Time(d)
-		}
-	}
-	if len(opts.ClockSlowdown) > 0 {
-		cfg.ClockSlowdown = make(map[core.ReplicaID]int64, len(opts.ClockSlowdown))
-		for id, d := range opts.ClockSlowdown {
-			cfg.ClockSlowdown[core.ReplicaID(id)] = d
-		}
-	}
-	inner, err := cluster.New(cfg)
+// New builds a deterministically simulated cluster.
+func New(opts ...Option) (*Cluster, error) {
+	o, err := build(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner, n: opts.Replicas}, nil
+	drv, err := newSimDriver(o)
+	if err != nil {
+		return nil, err
+	}
+	return fromDriver(drv), nil
 }
 
-// Invoke submits op at the given replica with the given level. The returned
-// Call completes as the simulation advances (Run/Settle). Invoking on a
-// session whose previous call has not returned yields an error, matching the
-// paper's sequential-session model.
+// NewLive builds a live cluster: one goroutine per replica, channel links,
+// primary-commit total order (replica 0 is the sequencer). The same
+// programs run on it as on New, minus the simulation-only environment
+// controls (partitions, Ω switches, per-replica timing), which return
+// ErrUnsupported. Always Close a live cluster.
+func NewLive(opts ...Option) (*Cluster, error) {
+	o, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := newLiveDriver(o)
+	if err != nil {
+		return nil, err
+	}
+	return fromDriver(drv), nil
+}
+
+// NewFromOptions builds a simulated cluster from the legacy Options struct.
+//
+// Deprecated: use New with functional options.
+func NewFromOptions(o Options) (*Cluster, error) {
+	norm, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return New(norm.options()...)
+}
+
+// NewWithDriver wraps an explicit driver (the two built-in ones are
+// constructed by New and NewLive; this entry point exists for tests that
+// need to drive the substrate directly).
+func NewWithDriver(d Driver) *Cluster { return fromDriver(d) }
+
+func fromDriver(d Driver) *Cluster {
+	return &Cluster{drv: d, n: d.Replicas(), rec: d.Recorder()}
+}
+
+// Driver returns the substrate the cluster runs on.
+func (c *Cluster) Driver() Driver { return c.drv }
+
+// Replicas returns the deployment size.
+func (c *Cluster) Replicas() int { return c.n }
+
+// Close releases the substrate: it stops the live driver's goroutines and
+// is a no-op on the simulator. Always `defer c.Close()`.
+func (c *Cluster) Close() error { return c.drv.Close() }
+
+// Invoke submits op at the given replica's *default* session (one such
+// session exists per replica, preserving the seed façade's semantics).
+//
+// Deprecated: mint explicit sessions with Session — multiple sessions per
+// replica may overlap, which this per-replica convenience cannot.
 func (c *Cluster) Invoke(replica int, op Op, level Level) (*Call, error) {
 	if replica < 0 || replica >= c.n {
 		return nil, fmt.Errorf("bayou: no replica %d", replica)
 	}
-	return c.inner.Invoke(core.ReplicaID(replica), op, level)
+	return c.drv.Invoke(core.SessionID(replica), op, level)
 }
 
 // ElectLeader stabilizes the failure detector Ω on the given replica: the
-// stable-run switch that lets strong operations commit.
-func (c *Cluster) ElectLeader(replica int) { c.inner.StabilizeOmega(core.ReplicaID(replica)) }
+// stable-run switch that lets strong operations commit. (On the live
+// driver total order is always available through the replica-0 sequencer;
+// electing any other replica is ErrUnsupported.)
+func (c *Cluster) ElectLeader(replica int) error { return c.drv.ElectLeader(replica) }
 
 // Destabilize clears Ω: the asynchronous-run switch; strong operations stop
-// committing until a new leader is elected.
-func (c *Cluster) Destabilize() { c.inner.DestabilizeOmega() }
+// committing until a new leader is elected. Simulation only.
+func (c *Cluster) Destabilize() error { return c.drv.Destabilize() }
 
 // Partition splits the network into cells; replicas in different cells stop
-// exchanging messages until Heal.
-func (c *Cluster) Partition(cells ...[]int) {
-	conv := make([][]core.ReplicaID, len(cells))
-	for i, cell := range cells {
-		for _, id := range cell {
-			conv[i] = append(conv[i], core.ReplicaID(id))
-		}
-	}
-	c.inner.Partition(conv...)
-}
+// exchanging messages until Heal. Simulation only.
+func (c *Cluster) Partition(cells ...[]int) error { return c.drv.Partition(cells) }
 
 // Heal removes all partitions; messages held during the partition are
-// delivered.
-func (c *Cluster) Heal() { c.inner.Heal() }
+// delivered. Simulation only.
+func (c *Cluster) Heal() error { return c.drv.Heal() }
 
-// Run advances the simulation by d virtual ticks.
-func (c *Cluster) Run(d int64) { c.inner.RunFor(sim.Time(d)) }
+// Run advances the deployment by d ticks (virtual time on the simulator, a
+// bounded sleep on the live driver).
+func (c *Cluster) Run(d int64) { c.drv.Run(d) }
 
-// Settle runs the simulation to quiescence (every message delivered, every
-// replica passive), draining each replica's backlog in batches of
-// Options.StepBatch internal events per activation. It fails if the
-// protocol livelocks, and it will not terminate early while strong
-// operations legitimately pend — use Run for asynchronous-run experiments.
-func (c *Cluster) Settle() error { return c.inner.Settle(0) }
+// Settle drives the deployment to quiescence: every message delivered,
+// every replica passive, every response (and stable notice) delivered. It
+// fails if the protocol livelocks, and it will not terminate early while
+// strong operations legitimately pend — use Run for asynchronous-run
+// experiments.
+func (c *Cluster) Settle() error { return c.drv.Settle() }
 
 // Read peeks at a register of a replica's current state (diagnostics; use a
-// read operation through Invoke for a client-visible read).
-func (c *Cluster) Read(replica int, register string) Value {
-	return c.inner.Replica(core.ReplicaID(replica)).Read(register)
+// read operation through a session for a client-visible read).
+func (c *Cluster) Read(replica int, register string) (Value, error) {
+	return c.drv.Read(replica, register)
 }
 
 // MarkStable records the quiescence point for the history checkers: events
 // invoked afterwards act as the probes of the "eventually" predicates.
-func (c *Cluster) MarkStable() { c.inner.MarkStable() }
+func (c *Cluster) MarkStable() { c.drv.MarkStable() }
 
 // History returns the recorded history of the run so far.
-func (c *Cluster) History() (*history.History, error) { return c.inner.History() }
+func (c *Cluster) History() (*history.History, error) { return c.rec.History() }
+
+// Calls returns every recorded call in invocation order.
+func (c *Cluster) Calls() []*Call { return c.rec.Calls() }
 
 // Timeline renders the run as a chronological table (Figures 1–2 style).
 func (c *Cluster) Timeline() (string, error) {
-	h, err := c.inner.History()
+	h, err := c.rec.History()
 	if err != nil {
 		return "", err
 	}
@@ -217,7 +239,7 @@ func (c *Cluster) Timeline() (string, error) {
 // CheckFEC verifies Fluctuating Eventual Consistency — the paper's new
 // correctness criterion — for the given level on the recorded history.
 func (c *Cluster) CheckFEC(level Level) (Report, error) {
-	h, err := c.inner.History()
+	h, err := c.rec.History()
 	if err != nil {
 		return Report{}, err
 	}
@@ -228,7 +250,7 @@ func (c *Cluster) CheckFEC(level Level) (Report, error) {
 // deliberately does not satisfy BEC(weak) on reordered schedules — that gap
 // is the subject of the paper.
 func (c *Cluster) CheckBEC(level Level) (Report, error) {
-	h, err := c.inner.History()
+	h, err := c.rec.History()
 	if err != nil {
 		return Report{}, err
 	}
@@ -238,7 +260,7 @@ func (c *Cluster) CheckBEC(level Level) (Report, error) {
 // CheckSeq verifies sequential consistency for the given level (the paper
 // proves it for Strong in stable runs).
 func (c *Cluster) CheckSeq(level Level) (Report, error) {
-	h, err := c.inner.History()
+	h, err := c.rec.History()
 	if err != nil {
 		return Report{}, err
 	}
@@ -248,25 +270,32 @@ func (c *Cluster) CheckSeq(level Level) (Report, error) {
 // Compact runs Bayou's log compaction on every replica: undo data for
 // committed prefixes (which can never be rolled back) is released. Returns
 // the number of undo entries freed.
-func (c *Cluster) Compact() int { return c.inner.CompactAll() }
+func (c *Cluster) Compact() (int, error) { return c.drv.Compact() }
 
 // Rollbacks returns the total number of state rollbacks across replicas —
 // the visible cost of temporary operation reordering.
-func (c *Cluster) Rollbacks() int64 {
+func (c *Cluster) Rollbacks() (int64, error) {
+	stats, err := c.drv.Stats()
+	if err != nil {
+		return 0, err
+	}
 	var total int64
-	for _, st := range c.inner.Stats() {
+	for _, st := range stats {
 		total += st.Rollbacks
 	}
-	return total
+	return total, nil
 }
 
 // Committed returns the names of the operations in a replica's committed
 // (final) order.
-func (c *Cluster) Committed(replica int) []string {
-	reqs := c.inner.Replica(core.ReplicaID(replica)).Committed()
+func (c *Cluster) Committed(replica int) ([]string, error) {
+	reqs, err := c.drv.Committed(replica)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]string, len(reqs))
 	for i, r := range reqs {
 		out[i] = r.Op.Name()
 	}
-	return out
+	return out, nil
 }

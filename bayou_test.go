@@ -1,48 +1,62 @@
 package bayou
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
 
 func TestQuickstartFlow(t *testing.T) {
-	c, err := New(Options{Replicas: 3, Seed: 5})
+	c, err := New(WithReplicas(3), WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(0)
-	weak, err := c.Invoke(1, Append("hello"), Weak)
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.Session(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !weak.Done {
+	weak, err := s1.Invoke(Append("hello"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak.Done() {
 		t.Fatal("Modified-variant weak call must complete within the invoke step")
 	}
-	strong, err := c.Invoke(2, PutIfAbsent("lock", "owner2"), Strong)
+	s2, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := s2.Invoke(PutIfAbsent("lock", "owner2"), Strong)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if !strong.Done {
+	if !strong.Done() {
 		t.Fatal("strong call must complete in a stable run")
 	}
-	if strong.Response.Value != true {
-		t.Errorf("putIfAbsent = %v, want true", strong.Response.Value)
+	if strong.Response().Value != true {
+		t.Errorf("putIfAbsent = %v, want true", strong.Response().Value)
 	}
-	if !strong.Response.Committed {
+	if !strong.Response().Committed {
 		t.Error("strong responses are stable")
 	}
-	if weak.Response.Committed {
+	if weak.Response().Committed {
 		t.Error("weak responses are tentative")
 	}
 }
 
 func TestDefaultsAndValidation(t *testing.T) {
-	c, err := New(Options{})
+	c, err := New()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if c.Replicas() != 3 {
+		t.Errorf("default replicas = %d, want 3", c.Replicas())
 	}
 	if _, err := c.Invoke(99, Append("x"), Weak); err == nil {
 		t.Error("out-of-range replica must error")
@@ -50,29 +64,104 @@ func TestDefaultsAndValidation(t *testing.T) {
 	if _, err := c.Invoke(-1, Append("x"), Weak); err == nil {
 		t.Error("negative replica must error")
 	}
+	if _, err := c.Session(99); err == nil {
+		t.Error("out-of-range session replica must error")
+	}
+	if _, err := New(WithReplicas(0)); err == nil {
+		t.Error("WithReplicas(0) must error")
+	}
+}
+
+// TestVariantValidation covers the explicit-default satellite: the zero
+// value means "default" by name, and everything outside the declared
+// variants is rejected instead of silently resolving to Modified.
+func TestVariantValidation(t *testing.T) {
+	if _, err := New(WithVariant(VariantDefault)); err != nil {
+		t.Errorf("VariantDefault must be accepted: %v", err)
+	}
+	if _, err := New(WithVariant(Original)); err != nil {
+		t.Errorf("Original must be accepted: %v", err)
+	}
+	if _, err := New(WithVariant(Variant(42))); err == nil {
+		t.Error("unknown variant must be rejected by WithVariant")
+	}
+	if _, err := NewFromOptions(Options{Variant: Variant(42)}); err == nil {
+		t.Error("unknown variant must be rejected through the legacy shim")
+	}
+	if _, err := NewFromOptions(Options{}); err != nil {
+		t.Errorf("legacy zero Options must keep working: %v", err)
+	}
+}
+
+// TestLegacyOptionsShim: the deprecated struct path and the functional
+// options build identical deployments (same seed → same simulation).
+func TestLegacyOptionsShim(t *testing.T) {
+	run := func(c *Cluster, err error) []string {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ElectLeader(0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := c.Invoke(i, Append("x"), Weak); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(7)
+		}
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		order, err := c.Committed(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a := run(New(WithReplicas(3), WithSeed(77), WithStepBatch(4)))
+	b := run(NewFromOptions(Options{Replicas: 3, Seed: 77, StepBatch: 4}))
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("shim diverges from functional options: %v vs %v", a, b)
+	}
 }
 
 func TestSessionSequentialityEnforced(t *testing.T) {
-	c, err := New(Options{Replicas: 3, Seed: 8})
+	c, err := New(WithReplicas(3), WithSeed(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// No leader: the strong call pends, the session stays busy.
-	if _, err := c.Invoke(0, Append("x"), Strong); err != nil {
+	s, err := c.Session(0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke(0, Append("y"), Weak); err == nil {
-		t.Error("busy session must reject a second invocation")
+	if _, err := s.Invoke(Append("x"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(Append("y"), Weak); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("busy session must reject a second invocation, got %v", err)
+	}
+	// The default per-replica session of the deprecated Invoke keeps the
+	// seed behaviour too.
+	if _, err := c.Invoke(1, Append("x"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(1, Append("y"), Weak); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("busy default session must reject a second invocation, got %v", err)
 	}
 }
 
 func TestPartitionHealAndConvergence(t *testing.T) {
-	c, err := New(Options{Replicas: 4, Seed: 11})
+	c, err := New(WithReplicas(4), WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(2)
-	c.Partition([]int{0, 1}, []int{2, 3})
+	if err := c.ElectLeader(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition([]int{0, 1}, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
 	a, err := c.Invoke(0, Append("left"), Weak)
 	if err != nil {
 		t.Fatal(err)
@@ -82,37 +171,51 @@ func TestPartitionHealAndConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Run(2_000)
-	if !a.Done || !b.Done {
+	if !a.Done() || !b.Done() {
 		t.Fatal("weak calls must complete inside partitions")
 	}
-	c.Heal()
-	c.ElectLeader(2)
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(2); err != nil {
+		t.Fatal(err)
+	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	ref := c.Read(0, "list")
-	for i := 1; i < 4; i++ {
-		if c.Read(i, "list") == nil {
-			t.Fatalf("replica %d missing state", i)
-		}
+	ref, err := c.Read(0, "list")
+	if err != nil {
+		t.Fatal(err)
 	}
 	for i := 1; i < 4; i++ {
-		got := c.Read(i, "list")
+		got, err := c.Read(i, "list")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			t.Fatalf("replica %d missing state", i)
+		}
 		if len(got.([]Value)) != len(ref.([]Value)) {
 			t.Fatalf("replica %d diverged", i)
 		}
 	}
-	if len(c.Committed(0)) != 2 {
-		t.Errorf("committed = %v, want both appends", c.Committed(0))
+	order, err := c.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Errorf("committed = %v, want both appends", order)
 	}
 }
 
 func TestCheckersOnFacadeRun(t *testing.T) {
-	c, err := New(Options{Replicas: 3, Seed: 13})
+	c, err := New(WithReplicas(3), WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(0)
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.Invoke(0, Append("a"), Weak); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +259,7 @@ func TestCheckersOnFacadeRun(t *testing.T) {
 }
 
 func TestPrimaryTOBOption(t *testing.T) {
-	c, err := New(Options{Replicas: 3, Seed: 17, UsePrimaryTOB: true})
+	c, err := New(WithReplicas(3), WithSeed(17), WithPrimaryTOB())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,17 +270,19 @@ func TestPrimaryTOBOption(t *testing.T) {
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if !call.Done {
+	if !call.Done() {
 		t.Error("primary TOB must commit in a healthy run")
 	}
 }
 
 func TestRollbacksCounter(t *testing.T) {
-	c, err := New(Options{Replicas: 2, Seed: 19, Variant: Original, ClockSlowdown: map[int]int64{1: 8}})
+	c, err := New(WithReplicas(2), WithSeed(19), WithVariant(Original), WithClockSlowdown(1, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(0)
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
 	// Concurrent rounds: replica 1's skewed (low) timestamps order its
 	// requests before replica 0's already-executed ones, forcing
 	// rollbacks when they gossip across.
@@ -193,41 +298,50 @@ func TestRollbacksCounter(t *testing.T) {
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if c.Rollbacks() == 0 {
+	rollbacks, err := c.Rollbacks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rollbacks == 0 {
 		t.Error("skewed clocks must cause rollbacks")
 	}
 }
 
 func TestStableNoticeViaFacade(t *testing.T) {
-	c, err := New(Options{Replicas: 2, Seed: 23})
+	c, err := New(WithReplicas(2), WithSeed(23))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(0)
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
 	call, err := c.Invoke(1, Append("n"), Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if call.StableDone {
+	if _, ok := call.Stable(); ok {
 		t.Fatal("stable notice cannot precede commit")
 	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if !call.StableDone {
+	stable, ok := call.Stable()
+	if !ok {
 		t.Fatal("stable notice must arrive after commit")
 	}
-	if call.StableResponse.Value != "n" || !call.StableResponse.Committed {
-		t.Errorf("stable response = %+v", call.StableResponse)
+	if stable.Value != "n" || !stable.Committed {
+		t.Errorf("stable response = %+v", stable)
 	}
 }
 
 func TestEditorOpsViaFacade(t *testing.T) {
-	c, err := New(Options{Replicas: 2, Seed: 27})
+	c, err := New(WithReplicas(2), WithSeed(27))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(0)
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.Invoke(0, Insert("d", 0, "world"), Weak); err != nil {
 		t.Fatal(err)
 	}
@@ -250,17 +364,19 @@ func TestEditorOpsViaFacade(t *testing.T) {
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if read.Response.Value != "hello world" {
-		t.Errorf("document = %v, want hello world", read.Response.Value)
+	if read.Response().Value != "hello world" {
+		t.Errorf("document = %v, want hello world", read.Response().Value)
 	}
 }
 
 func TestCompactViaFacade(t *testing.T) {
-	c, err := New(Options{Replicas: 2, Seed: 29})
+	c, err := New(WithReplicas(2), WithSeed(29))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.ElectLeader(0)
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
 		if _, err := c.Invoke(i%2, Append("x"), Weak); err != nil {
 			t.Fatal(err)
@@ -270,7 +386,10 @@ func TestCompactViaFacade(t *testing.T) {
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	freed := c.Compact()
+	freed, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if freed == 0 {
 		t.Error("compaction must free committed undo entries")
 	}
@@ -280,5 +399,30 @@ func TestCompactViaFacade(t *testing.T) {
 	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLiveDriverUnsupportedControls: the live substrate is explicit about
+// what it cannot express instead of silently ignoring it.
+func TestLiveDriverUnsupportedControls(t *testing.T) {
+	c, err := NewLive(WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Errorf("electing the sequencer must succeed: %v", err)
+	}
+	if err := c.ElectLeader(1); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("electing a non-sequencer must be unsupported, got %v", err)
+	}
+	if err := c.Partition([]int{0}, []int{1}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("live partition must be unsupported, got %v", err)
+	}
+	if err := c.Destabilize(); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("live destabilize must be unsupported, got %v", err)
+	}
+	if _, err := NewLive(WithClockSlowdown(1, 8)); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("live clock skew must be rejected at construction, got %v", err)
 	}
 }

@@ -117,6 +117,19 @@ func BenchmarkRollbackReexecute(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiSessionInvoke measures the session-fan-in path: 8 concurrent
+// sessions on one replica of a simulated cluster, 25 weak increments each
+// (the shared workload behind the `sessions` dimension of bayou-bench's
+// -json report).
+func BenchmarkMultiSessionInvoke(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.MicroMultiSession(8, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAdjustExecution profiles the incremental schedule-edit engine on
 // its three characteristic shapes. One iteration is a fixed 500-request
 // workload on a fresh replica; the per-request cost is what distinguishes
@@ -212,11 +225,13 @@ func BenchmarkStateObjectExecute(b *testing.B) {
 func BenchmarkEndToEndStableRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		c, err := bayou.New(bayou.Options{Replicas: 3, Seed: int64(i + 1)})
+		c, err := bayou.New(bayou.WithReplicas(3), bayou.WithSeed(int64(i+1)))
 		if err != nil {
 			b.Fatal(err)
 		}
-		c.ElectLeader(0)
+		if err := c.ElectLeader(0); err != nil {
+			b.Fatal(err)
+		}
 		for k := 0; k < 10; k++ {
 			if _, err := c.Invoke(k%3, bayou.Append("x"), bayou.Weak); err != nil {
 				b.Fatal(err)

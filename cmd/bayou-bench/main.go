@@ -38,7 +38,12 @@ type benchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Ops         int64   `json:"ops"`
-	OK          bool    `json:"ok"`
+	// Sessions is the number of concurrent client sessions the workload
+	// drives (1 for the single-client hot paths); successive BENCH_*.json
+	// snapshots can therefore track per-session throughput as this
+	// dimension grows.
+	Sessions int  `json:"sessions"`
+	OK       bool `json:"ok"`
 }
 
 func main() {
@@ -116,6 +121,7 @@ func emitJSON(only string) error {
 				AllocsPerOp: float64(res.AllocsPerOp()),
 				BytesPerOp:  float64(res.AllocedBytesPerOp()),
 				Ops:         int64(res.N),
+				Sessions:    m.sessions,
 				OK:          true,
 			})
 		}
@@ -158,16 +164,19 @@ func measureExperiment(id string, fn func() (experiments.Result, error)) (benchR
 
 // microBenches runs the same shared hot-path workloads as the root
 // package's bench_test.go (internal/workload), so the JSON report tracks
-// exactly the numbers CI smoke-runs.
+// exactly the numbers CI smoke-runs. The multi-session entries sweep the
+// sessions dimension over one replica.
 func microBenches() []struct {
-	name string
-	fn   func(b *testing.B)
+	name     string
+	sessions int
+	fn       func(b *testing.B)
 } {
-	return []struct {
-		name string
-		fn   func(b *testing.B)
+	benches := []struct {
+		name     string
+		sessions int
+		fn       func(b *testing.B)
 	}{
-		{"WeakInvokeModified/100ops", func(b *testing.B) {
+		{"WeakInvokeModified/100ops", 1, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := workload.MicroWeakInvoke(100); err != nil {
@@ -175,7 +184,7 @@ func microBenches() []struct {
 				}
 			}
 		}},
-		{"RollbackReexecute/100ops", func(b *testing.B) {
+		{"RollbackReexecute/100ops", 1, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := workload.MicroRollbackReexecute(100); err != nil {
@@ -184,4 +193,23 @@ func microBenches() []struct {
 			}
 		}},
 	}
+	for _, sessions := range []int{1, 4, 16} {
+		sessions := sessions
+		benches = append(benches, struct {
+			name     string
+			sessions int
+			fn       func(b *testing.B)
+		}{
+			fmt.Sprintf("MultiSession/%dx25ops", sessions), sessions,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := workload.MicroMultiSession(sessions, 25); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	return benches
 }

@@ -63,10 +63,11 @@ func main() {
 		for name, call := range out.Calls {
 			status := "pending"
 			val := "∇"
-			if call.Done {
-				val = fmt.Sprint(call.Response.Value)
+			if call.Done() {
+				resp := call.Response()
+				val = fmt.Sprint(resp.Value)
 				status = "tentative"
-				if call.Response.Committed {
+				if resp.Committed {
 					status = "stable"
 				}
 			}

@@ -1,0 +1,197 @@
+package bayou
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"bayou/internal/cluster"
+	"bayou/internal/core"
+	"bayou/internal/record"
+	"bayou/internal/sim"
+	"bayou/internal/spec"
+)
+
+// ErrUnsupported is returned for environment controls a driver cannot
+// express (e.g. partitions on the live driver).
+var ErrUnsupported = errors.New("bayou: operation not supported by this driver")
+
+// Driver is the substrate a Cluster runs on: the deterministic simulator
+// (New) or the goroutine-per-replica live deployment (NewLive). Both expose
+// the same session-oriented operations, feed the same record.Recorder, and
+// therefore produce comparable histories, checker verdicts and watch
+// streams.
+//
+// The interface references internal types, so it is satisfiable only from
+// within this module (a sealed interface): it exists to keep the façade
+// honest about what a substrate must provide, not as a third-party
+// extension point yet.
+type Driver interface {
+	// Replicas returns the deployment size.
+	Replicas() int
+	// Recorder exposes the shared observation layer.
+	Recorder() *record.Recorder
+	// OpenSession mints a fresh sequential session bound to a replica.
+	OpenSession(replica int) (core.SessionID, error)
+	// Invoke submits an operation on a session; the returned call fills
+	// in as the deployment makes progress.
+	Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error)
+	// Settle drives the deployment to quiescence: every message
+	// delivered, every replica passive, every call terminal.
+	Settle() error
+	// Run advances the deployment by d ticks of driver time (virtual
+	// ticks on the simulator; a bounded real-time sleep on live).
+	Run(d int64)
+	// AwaitCall blocks until the call's response arrives, making whatever
+	// progress the substrate requires, or until ctx is done.
+	AwaitCall(ctx context.Context, call *record.Call) error
+	// ElectLeader stabilizes the failure detector Ω on a replica.
+	ElectLeader(replica int) error
+	// Destabilize clears Ω (the asynchronous-run switch).
+	Destabilize() error
+	// Partition splits the network into cells; Heal reunites it.
+	Partition(cells [][]int) error
+	Heal() error
+	// Read peeks at a register of a replica's current state.
+	Read(replica int, register string) (spec.Value, error)
+	// Committed snapshots a replica's committed order.
+	Committed(replica int) ([]core.Req, error)
+	// Stats aggregates replica cost counters.
+	Stats() (map[core.ReplicaID]core.Stats, error)
+	// Compact runs log compaction everywhere, returning freed undo entries.
+	Compact() (int, error)
+	// MarkStable records the quiescence cutoff for the history checkers.
+	MarkStable()
+	// Close releases the substrate (stops goroutines on live; no-op on sim).
+	Close() error
+}
+
+// simDriver adapts internal/cluster — the deterministic discrete-event
+// simulation — to the Driver interface.
+type simDriver struct {
+	c *cluster.Cluster
+	n int
+}
+
+// newSimDriver builds the simulated substrate from validated options.
+func newSimDriver(o Options) (*simDriver, error) {
+	cfg := cluster.Config{
+		N:         o.Replicas,
+		Variant:   o.Variant,
+		Seed:      o.Seed,
+		StepBatch: o.StepBatch,
+	}
+	if o.UsePrimaryTOB {
+		cfg.TOB = cluster.PrimaryTOB
+	}
+	if len(o.SlowReplicas) > 0 {
+		cfg.ProcDelay = make(map[core.ReplicaID]sim.Time, len(o.SlowReplicas))
+		for id, d := range o.SlowReplicas {
+			cfg.ProcDelay[core.ReplicaID(id)] = sim.Time(d)
+		}
+	}
+	if len(o.ClockSlowdown) > 0 {
+		cfg.ClockSlowdown = make(map[core.ReplicaID]int64, len(o.ClockSlowdown))
+		for id, d := range o.ClockSlowdown {
+			cfg.ClockSlowdown[core.ReplicaID(id)] = d
+		}
+	}
+	inner, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &simDriver{c: inner, n: o.Replicas}, nil
+}
+
+func (d *simDriver) Replicas() int              { return d.n }
+func (d *simDriver) Recorder() *record.Recorder { return d.c.Recorder() }
+
+func (d *simDriver) OpenSession(replica int) (core.SessionID, error) {
+	return d.c.OpenSession(core.ReplicaID(replica))
+}
+
+func (d *simDriver) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error) {
+	return d.c.InvokeSession(sess, op, level)
+}
+
+func (d *simDriver) Settle() error { return d.c.Settle(0) }
+func (d *simDriver) Run(t int64)   { d.c.RunFor(sim.Time(t)) }
+
+// AwaitCall advances the simulation until the call completes. Waiting on a
+// single simulator thread cannot block: the driver *is* the progress, so it
+// runs the scheduler in slices and fails if the event queue empties with
+// the call still pending (e.g. a strong operation in an asynchronous run —
+// exactly the Theorem 3 situation, which no amount of waiting resolves).
+func (d *simDriver) AwaitCall(ctx context.Context, call *record.Call) error {
+	for !call.Done() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d.c.Scheduler().Pending() == 0 {
+			return fmt.Errorf("bayou: call %s cannot complete: simulation is quiescent (no leader elected, or an asynchronous run)", call.Dot())
+		}
+		d.c.RunFor(100)
+	}
+	return nil
+}
+
+func (d *simDriver) ElectLeader(replica int) error {
+	if replica < 0 || replica >= d.n {
+		return fmt.Errorf("bayou: no replica %d", replica)
+	}
+	d.c.StabilizeOmega(core.ReplicaID(replica))
+	return nil
+}
+
+func (d *simDriver) Destabilize() error {
+	d.c.DestabilizeOmega()
+	return nil
+}
+
+func (d *simDriver) Partition(cells [][]int) error {
+	conv := make([][]core.ReplicaID, len(cells))
+	for i, cell := range cells {
+		for _, id := range cell {
+			if id < 0 || id >= d.n {
+				return fmt.Errorf("bayou: no replica %d", id)
+			}
+			conv[i] = append(conv[i], core.ReplicaID(id))
+		}
+	}
+	d.c.Partition(conv...)
+	return nil
+}
+
+func (d *simDriver) Heal() error {
+	d.c.Heal()
+	return nil
+}
+
+func (d *simDriver) Read(replica int, register string) (spec.Value, error) {
+	if replica < 0 || replica >= d.n {
+		return nil, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	return d.c.Replica(core.ReplicaID(replica)).Read(register), nil
+}
+
+func (d *simDriver) Committed(replica int) ([]core.Req, error) {
+	if replica < 0 || replica >= d.n {
+		return nil, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	return d.c.Replica(core.ReplicaID(replica)).Committed(), nil
+}
+
+func (d *simDriver) Stats() (map[core.ReplicaID]core.Stats, error) { return d.c.Stats(), nil }
+func (d *simDriver) Compact() (int, error)                         { return d.c.CompactAll(), nil }
+func (d *simDriver) MarkStable()                                   { d.c.MarkStable() }
+func (d *simDriver) Close() error                                  { return nil }
+
+// Sim exposes the underlying simulated cluster when the driver is the
+// simulator (scenario-style schedule control: manual stepping, network
+// blocks). It returns nil on other drivers.
+func (c *Cluster) Sim() *cluster.Cluster {
+	if d, ok := c.drv.(*simDriver); ok {
+		return d.c
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package bayou
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// step is one scripted invocation of the conformance scenario, addressed to
+// a named session.
+type step struct {
+	sess    string
+	replica int // used when the session is first seen
+	op      Op
+	level   Level
+}
+
+// conformanceScript mixes weak and strong operations across four sessions,
+// two of which share replica 0 — the shape the seed API could not express.
+// All updates commute on the counter, so the settled counter value is
+// substrate-independent even though commit order is not.
+func conformanceScript() []step {
+	return []step{
+		{sess: "a", replica: 0, op: Inc("ctr", 1), level: Weak},
+		{sess: "b", replica: 0, op: Inc("ctr", 2), level: Weak},
+		{sess: "c", replica: 1, op: Inc("ctr", 4), level: Weak},
+		{sess: "d", replica: 2, op: PutIfAbsent("lock", "d"), level: Strong},
+		{sess: "a", op: Inc("ctr", 8), level: Weak},
+		{sess: "b", op: PutIfAbsent("lock", "b"), level: Strong},
+		{sess: "c", op: Inc("ctr", 16), level: Weak},
+	}
+}
+
+// conformanceOutcome is everything the scenario observes through the public
+// API, in a driver-comparable form.
+type conformanceOutcome struct {
+	counter    Value
+	lockOwners int      // how many strong putIfAbsent calls won (must be 1)
+	committed  []string // replica 0's committed order
+	fecOK      bool
+	seqOK      bool
+}
+
+// runConformance executes the script on the given cluster — the function is
+// substrate-blind; only the constructor differs between the sub-tests.
+func runConformance(t *testing.T, c *Cluster) conformanceOutcome {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sessions := map[string]*Session{}
+	wins := 0
+	for _, st := range conformanceScript() {
+		s, ok := sessions[st.sess]
+		if !ok {
+			var err error
+			if s, err = c.Session(st.replica); err != nil {
+				t.Fatal(err)
+			}
+			sessions[st.sess] = s
+		}
+		call, err := s.Invoke(st.op, st.level)
+		if err != nil {
+			t.Fatalf("session %s: %v", st.sess, err)
+		}
+		if st.level == Strong {
+			// Keep the session well-formed: the next scripted op on
+			// this session may not overlap its pending strong call.
+			resp, err := s.Wait(ctx)
+			if err != nil {
+				t.Fatalf("session %s: %v", st.sess, err)
+			}
+			if resp.Value == true {
+				wins++
+			}
+			_ = call
+		}
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Convergence within the deployment: every replica holds the same
+	// committed order.
+	ref, err := c.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < c.Replicas(); r++ {
+		got, err := c.Committed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d committed %d ops, replica 0 %d", r, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("replica %d committed order diverges at %d: %s vs %s", r, i, got[i], ref[i])
+			}
+		}
+	}
+
+	c.MarkStable()
+	probe, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	counter, err := c.Read(0, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conformanceOutcome{
+		counter:    counter,
+		lockOwners: wins,
+		committed:  sortedCopy(ref),
+		fecOK:      fec.OK(),
+		seqOK:      seq.OK(),
+	}
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// TestDriverConformance runs the identical scripted scenario against both
+// drivers and asserts they agree on everything timing-independent: the
+// settled counter value, the committed operation multiset, exactly one
+// strong putIfAbsent winner, and the checker verdicts. (The simulator's
+// committed *order* is deterministic; the live driver's depends on real
+// scheduling, so orders are compared as multisets.)
+func TestDriverConformance(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runConformance(t, live)
+
+	if !Equal(simOut.counter, int64(31)) {
+		t.Errorf("sim counter = %v, want 31", simOut.counter)
+	}
+	if !Equal(simOut.counter, liveOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, live %v", simOut.counter, liveOut.counter)
+	}
+	if simOut.lockOwners != 1 || liveOut.lockOwners != 1 {
+		t.Errorf("strong putIfAbsent winners: sim %d, live %d, want 1 and 1", simOut.lockOwners, liveOut.lockOwners)
+	}
+	if len(simOut.committed) != len(liveOut.committed) {
+		t.Fatalf("committed sizes diverge: sim %v, live %v", simOut.committed, liveOut.committed)
+	}
+	for i := range simOut.committed {
+		if simOut.committed[i] != liveOut.committed[i] {
+			t.Errorf("committed multisets diverge at %d: sim %s, live %s", i, simOut.committed[i], liveOut.committed[i])
+		}
+	}
+	if !simOut.fecOK || !liveOut.fecOK {
+		t.Errorf("FEC(weak) verdicts: sim %v, live %v, want both true", simOut.fecOK, liveOut.fecOK)
+	}
+	if !simOut.seqOK || !liveOut.seqOK {
+		t.Errorf("Seq(strong) verdicts: sim %v, live %v, want both true", simOut.seqOK, liveOut.seqOK)
+	}
+}

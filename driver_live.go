@@ -1,0 +1,108 @@
+package bayou
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bayou/internal/core"
+	"bayou/internal/livenet"
+	"bayou/internal/record"
+	"bayou/internal/spec"
+)
+
+// liveTimeout bounds every internal wait of the live driver (reads, stats,
+// quiescence). A healthy in-process deployment settles in milliseconds;
+// hitting this limit indicates a real defect, not a slow run.
+const liveTimeout = 30 * time.Second
+
+// liveDriver adapts internal/livenet — one goroutine per replica, channel
+// links, primary-commit total order — to the Driver interface. Progress is
+// continuous and in the background: Run sleeps instead of stepping, Settle
+// waits for quiescence instead of driving it. Environment controls the
+// substrate cannot express (partitions, Ω manipulation, per-replica timing)
+// return ErrUnsupported.
+type liveDriver struct {
+	c *livenet.Cluster
+	n int
+}
+
+// newLiveDriver builds the live substrate from validated options.
+func newLiveDriver(o Options) (*liveDriver, error) {
+	if len(o.SlowReplicas) > 0 || len(o.ClockSlowdown) > 0 {
+		return nil, fmt.Errorf("%w: per-replica timing knobs (SlowReplicas/ClockSlowdown) need the deterministic simulator", ErrUnsupported)
+	}
+	// The live substrate always totally orders through the replica-0
+	// sequencer, so UsePrimaryTOB is already true and Seed has no effect.
+	return &liveDriver{c: livenet.New(o.Replicas, o.Variant), n: o.Replicas}, nil
+}
+
+func (d *liveDriver) Replicas() int              { return d.n }
+func (d *liveDriver) Recorder() *record.Recorder { return d.c.Recorder() }
+
+func (d *liveDriver) OpenSession(replica int) (core.SessionID, error) {
+	return d.c.OpenSession(replica)
+}
+
+func (d *liveDriver) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error) {
+	return d.c.Invoke(sess, op, level)
+}
+
+func (d *liveDriver) Settle() error { return d.c.Quiesce(liveTimeout) }
+
+// Run lets the background goroutines work for about d milliseconds (the
+// simulator's tick granularity mapped coarsely onto real time, capped so a
+// script written for virtual time cannot stall a live run for minutes).
+func (d *liveDriver) Run(t int64) {
+	const cap = 2_000
+	if t > cap {
+		t = cap
+	}
+	if t > 0 {
+		time.Sleep(time.Duration(t) * time.Millisecond)
+	}
+}
+
+func (d *liveDriver) AwaitCall(ctx context.Context, call *record.Call) error {
+	return call.WaitDone(ctx)
+}
+
+// ElectLeader accepts the sequencer replica 0 (total order is always up on
+// the live substrate) and rejects everything else: primary commit cannot
+// move the leader.
+func (d *liveDriver) ElectLeader(replica int) error {
+	if replica == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: live total order is sequenced by replica 0 (cannot elect %d)", ErrUnsupported, replica)
+}
+
+func (d *liveDriver) Destabilize() error {
+	return fmt.Errorf("%w: live Ω cannot be destabilized", ErrUnsupported)
+}
+func (d *liveDriver) Partition(_ [][]int) error {
+	return fmt.Errorf("%w: live network cannot be partitioned", ErrUnsupported)
+}
+func (d *liveDriver) Heal() error {
+	return fmt.Errorf("%w: live network cannot be partitioned", ErrUnsupported)
+}
+
+func (d *liveDriver) Read(replica int, register string) (spec.Value, error) {
+	return d.c.Read(replica, register, liveTimeout)
+}
+
+func (d *liveDriver) Committed(replica int) ([]core.Req, error) {
+	return d.c.Committed(replica, liveTimeout)
+}
+
+func (d *liveDriver) Stats() (map[core.ReplicaID]core.Stats, error) {
+	return d.c.Stats(liveTimeout)
+}
+
+func (d *liveDriver) Compact() (int, error) { return d.c.Compact(liveTimeout) }
+func (d *liveDriver) MarkStable()           { d.c.MarkStable() }
+
+func (d *liveDriver) Close() error {
+	d.c.Stop()
+	return nil
+}

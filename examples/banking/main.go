@@ -4,7 +4,9 @@
 // and must not be approved twice, so they go through the strong level. The
 // example also demonstrates the hazard of issuing a guarded operation
 // weakly: the tentative approval can be invalidated by the final order (the
-// Cassandra LWT-mixing bug the paper cites as [13]).
+// Cassandra LWT-mixing bug the paper cites as [13]) — and with the watch
+// API the teller sees that invalidation happen, instead of discovering it
+// by re-reading the balance later.
 package main
 
 import (
@@ -14,50 +16,56 @@ import (
 	"bayou"
 )
 
-func main() {
-	c, err := bayou.New(bayou.Options{Replicas: 3, Seed: 99})
+func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.ElectLeader(0)
+}
+
+func main() {
+	c, err := bayou.New(bayou.WithReplicas(3), bayou.WithSeed(99))
+	check(err)
+	defer c.Close()
+	check(c.ElectLeader(0))
+
+	// One teller session per branch.
+	branch0, err := c.Session(0)
+	check(err)
+	branch1, err := c.Session(1)
+	check(err)
+	auditor, err := c.Session(2)
+	check(err)
 
 	// Fund the account with weak deposits from two branches.
-	d1, err := c.Invoke(0, bayou.Deposit("shared", 60), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	d2, err := c.Invoke(1, bayou.Deposit("shared", 40), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("branch 0 deposits 60 -> tentative balance %v\n", d1.Response.Value)
-	fmt.Printf("branch 1 deposits 40 -> tentative balance %v\n", d2.Response.Value)
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
+	d1, err := branch0.Invoke(bayou.Deposit("shared", 60), bayou.Weak)
+	check(err)
+	d2, err := branch1.Invoke(bayou.Deposit("shared", 40), bayou.Weak)
+	check(err)
+	fmt.Printf("branch 0 deposits 60 -> tentative balance %v\n", d1.Value())
+	fmt.Printf("branch 1 deposits 40 -> tentative balance %v\n", d2.Value())
+	check(c.Settle())
 
 	// The danger: two branches both try to withdraw 80 weakly. Each sees
 	// enough balance locally and tentatively approves — but only one can
 	// survive the final order.
 	fmt.Println("\n— two concurrent WEAK withdrawals of 80 (unsafe) —")
-	w1, err := c.Invoke(0, bayou.Withdraw("shared", 80), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
+	w1, err := branch0.Invoke(bayou.Withdraw("shared", 80), bayou.Weak)
+	check(err)
+	w2, err := branch1.Invoke(bayou.Withdraw("shared", 80), bayou.Weak)
+	check(err)
+	u1, u2 := w1.Updates(), w2.Updates()
+	fmt.Printf("branch 0 weak withdraw(80) tentatively -> %v\n", w1.Value())
+	fmt.Printf("branch 1 weak withdraw(80) tentatively -> %v\n", w2.Value())
+	check(c.Settle())
+	// Each teller watches their approval's fate under the final order.
+	for name, updates := range map[string]<-chan bayou.Update{"branch 0": u1, "branch 1": u2} {
+		for u := range updates {
+			fmt.Printf("%s watch: %-9s -> %v\n", name, u.Status, u.Value)
+		}
 	}
-	w2, err := c.Invoke(1, bayou.Withdraw("shared", 80), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("branch 0 weak withdraw(80) tentatively -> %v\n", w1.Response.Value)
-	fmt.Printf("branch 1 weak withdraw(80) tentatively -> %v\n", w2.Response.Value)
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
-	final, err := c.Invoke(2, bayou.Balance("shared"), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("final balance after reconciliation: %v\n", final.Response.Value)
+	final, err := auditor.Invoke(bayou.Balance("shared"), bayou.Weak)
+	check(err)
+	fmt.Printf("final balance after reconciliation: %v\n", final.Value())
 	fmt.Println("=> both clients were told 'approved', but one withdrawal was")
 	fmt.Println("   silently rejected in the final order — temporary operation")
 	fmt.Println("   reordering made a tentative response unreliable.")
@@ -65,31 +73,18 @@ func main() {
 	// The safe pattern: strong withdrawals. The second one is rejected
 	// up front, and its rejection is final.
 	fmt.Println("\n— the same flow with STRONG withdrawals (safe) —")
-	if _, err := c.Invoke(0, bayou.Deposit("vault", 100), bayou.Weak); err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
-	s1, err := c.Invoke(0, bayou.Withdraw("vault", 80), bayou.Strong)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
-	s2, err := c.Invoke(1, bayou.Withdraw("vault", 80), bayou.Strong)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("branch 0 strong withdraw(80) -> %v (stable=%v)\n", s1.Response.Value, s1.Response.Committed)
-	fmt.Printf("branch 1 strong withdraw(80) -> %v (stable=%v)\n", s2.Response.Value, s2.Response.Committed)
-	vault, err := c.Invoke(2, bayou.Balance("vault"), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("vault balance: %v — no double spend, and both answers are final\n", vault.Response.Value)
+	_, err = branch0.Invoke(bayou.Deposit("vault", 100), bayou.Weak)
+	check(err)
+	check(c.Settle())
+	s1, err := branch0.Invoke(bayou.Withdraw("vault", 80), bayou.Strong)
+	check(err)
+	check(c.Settle())
+	s2, err := branch1.Invoke(bayou.Withdraw("vault", 80), bayou.Strong)
+	check(err)
+	check(c.Settle())
+	fmt.Printf("branch 0 strong withdraw(80) -> %v (stable=%v)\n", s1.Value(), s1.Response().Committed)
+	fmt.Printf("branch 1 strong withdraw(80) -> %v (stable=%v)\n", s2.Value(), s2.Response().Committed)
+	vault, err := auditor.Invoke(bayou.Balance("vault"), bayou.Weak)
+	check(err)
+	fmt.Printf("vault balance: %v — no double spend, and both answers are final\n", vault.Value())
 }

@@ -1,9 +1,10 @@
-// Command editor is a collaborative text editor over Bayou: two authors
-// type into the same document from different replicas. Position-based edits
-// are the most order-sensitive semantics in this repository, so the gap
-// between an author's tentative view and the final agreed document — the
-// paper's temporary operation reordering — is directly visible in the text.
-// A strong "publish" read returns the stable document.
+// Command editor is a collaborative text editor over Bayou: two authors —
+// each an independent client session — type into the same document from
+// different replicas. Position-based edits are the most order-sensitive
+// semantics in this repository, so the gap between an author's tentative
+// view and the final agreed document — the paper's temporary operation
+// reordering — is directly visible in the text. A strong "publish" read
+// returns the stable document.
 package main
 
 import (
@@ -13,59 +14,56 @@ import (
 	"bayou"
 )
 
-func main() {
-	c, err := bayou.New(bayou.Options{Replicas: 2, Seed: 6})
+func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.ElectLeader(0)
+}
+
+func main() {
+	c, err := bayou.New(bayou.WithReplicas(2), bayou.WithSeed(6))
+	check(err)
+	defer c.Close()
+	check(c.ElectLeader(0))
+
+	author0, err := c.Session(0)
+	check(err)
+	author1, err := c.Session(1)
+	check(err)
 
 	// A settled shared baseline.
-	if _, err := c.Invoke(0, bayou.Insert("draft", 0, "the fox"), bayou.Weak); err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
+	_, err = author0.Invoke(bayou.Insert("draft", 0, "the fox"), bayou.Weak)
+	check(err)
+	check(c.Settle())
 	fmt.Println("baseline draft:          \"the fox\"")
 
 	// The authors disconnect and edit concurrently.
 	fmt.Println("\n— authors go offline (partition) —")
-	c.Partition([]int{0}, []int{1})
-	a, err := c.Invoke(0, bayou.Insert("draft", 4, "quick "), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("author 0 inserts \"quick \" at 4 -> sees: %q\n", a.Response.Value)
+	check(c.Partition([]int{0}, []int{1}))
+	a, err := author0.Invoke(bayou.Insert("draft", 4, "quick "), bayou.Weak)
+	check(err)
+	fmt.Printf("author 0 inserts \"quick \" at 4 -> sees: %q\n", a.Value())
 	c.Run(30)
-	b, err := c.Invoke(1, bayou.Insert("draft", 4, "brown "), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("author 1 inserts \"brown \" at 4 -> sees: %q\n", b.Response.Value)
+	b, err := author1.Invoke(bayou.Insert("draft", 4, "brown "), bayou.Weak)
+	check(err)
+	fmt.Printf("author 1 inserts \"brown \" at 4 -> sees: %q\n", b.Value())
 
 	fmt.Println("\n— reconnect; Bayou merges the edit streams —")
-	c.Heal()
-	c.ElectLeader(0)
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
+	check(c.Heal())
+	check(c.ElectLeader(0))
+	check(c.Settle())
 
-	publish, err := c.Invoke(0, bayou.DocRead("draft"), bayou.Strong)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("strong publish reads the agreed document: %q\n", publish.Response.Value)
+	publish, err := author0.Invoke(bayou.DocRead("draft"), bayou.Strong)
+	check(err)
+	check(c.Settle())
+	fmt.Printf("strong publish reads the agreed document: %q\n", publish.Value())
 
 	// The stable notices show each author what their edit became under
 	// the final order.
 	for name, call := range map[string]*bayou.Call{"author 0": a, "author 1": b} {
-		if call.StableDone {
+		if stable, ok := call.Stable(); ok {
 			fmt.Printf("%s stable notice: document was %q when the edit landed finally\n",
-				name, call.StableResponse.Value)
+				name, stable.Value)
 		}
 	}
 	fmt.Println("\n=> both authors aimed at position 4; the final order decided")

@@ -1,7 +1,14 @@
-// Command quickstart is the smallest complete Bayou session: a three-replica
-// cluster, weak (highly available, tentative) and strong (consensus-backed,
-// stable) operations over the same list, a look at the recorded timeline,
-// and the paper's correctness checkers run over the history.
+// Command quickstart is the smallest complete Bayou session tour: a
+// three-replica cluster, independent client sessions (two of them sharing
+// one replica, with overlapping calls), weak (highly available, tentative)
+// and strong (consensus-backed, stable) operations over the same list, a
+// watch stream on a weak call's status transitions, and the paper's
+// correctness checkers run over the recorded history.
+//
+// The same run function executes twice — once on the deterministic
+// simulator (bayou.New) and once on the goroutine-per-replica live driver
+// (bayou.NewLive) — through the identical session API: the substrate is a
+// constructor choice, not a programming model.
 package main
 
 import (
@@ -12,34 +19,65 @@ import (
 )
 
 func main() {
-	// Three replicas running Algorithm 2 (the paper's improved protocol)
-	// over Paxos-based total order broadcast.
-	c, err := bayou.New(bayou.Options{Replicas: 3, Seed: 42})
+	sim, err := bayou.New(bayou.WithReplicas(3), bayou.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Stable run: the failure detector Ω elects replica 0 as the
-	// consensus leader, so strong operations can commit.
-	c.ElectLeader(0)
+	fmt.Println("=== deterministic simulator (bayou.New) ===")
+	run(sim)
+
+	live, err := bayou.NewLive(bayou.WithReplicas(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== live goroutine deployment (bayou.NewLive) ===")
+	run(live)
+}
+
+// run is substrate-agnostic: everything below works identically on the
+// simulator and on the live driver.
+func run(c *bayou.Cluster) {
+	defer c.Close()
+	// Stable run: replica 0 leads consensus, so strong operations commit.
+	if err := c.ElectLeader(0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two independent sessions on the SAME replica, plus one on another —
+	// the seed API allowed only one outstanding call per replica.
+	alice, err := c.Session(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := c.Session(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	carol, err := c.Session(0)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Weak operations answer immediately with a tentative response.
-	hello, err := c.Invoke(1, bayou.Append("hello "), bayou.Weak)
+	hello, err := alice.Invoke(bayou.Append("hello "), bayou.Weak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Watch hello's status transitions while the run proceeds.
+	updates := hello.Updates()
+
+	world, err := bob.Invoke(bayou.Append("world"), bayou.Weak)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("weak  append(hello )  -> %q (tentative=%v)\n",
-		hello.Response.Value, !hello.Response.Committed)
-
-	world, err := c.Invoke(2, bayou.Append("world"), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
+		hello.Value(), !hello.Response().Committed)
 	fmt.Printf("weak  append(world)   -> %q (tentative=%v)\n",
-		world.Response.Value, !world.Response.Committed)
+		world.Value(), !world.Response().Committed)
 
 	// A strong operation returns only after consensus establishes its
 	// final position — its response can never change.
-	lock, err := c.Invoke(0, bayou.PutIfAbsent("lock", "replica-0"), bayou.Strong)
+	lock, err := carol.Invoke(bayou.PutIfAbsent("lock", "carol"), bayou.Strong)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,15 +85,31 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("strong putIfAbsent    -> %v (stable=%v)\n\n",
-		lock.Response.Value, lock.Response.Committed)
+		lock.Value(), lock.Response().Committed)
+
+	// The watch stream replays hello's full lifecycle — tentative first,
+	// committed last, any reordering fluctuation in between.
+	fmt.Println("watch(append(hello )):")
+	for u := range updates {
+		fmt.Printf("  %-9s -> %q\n", u.Status, u.Value)
+	}
 
 	// All replicas converged to one committed order.
-	fmt.Println("committed order at replica 0:", c.Committed(0))
-	fmt.Println("committed order at replica 2:", c.Committed(2))
+	for _, r := range []int{0, 2} {
+		order, err := c.Committed(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("committed order at replica %d: %v\n", r, order)
+	}
 
 	// Verify the paper's guarantees on the recorded history.
 	c.MarkStable()
-	if _, err := c.Invoke(1, bayou.ListRead(), bayou.Weak); err != nil {
+	probe, err := c.Session(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := probe.Invoke(bayou.ListRead(), bayou.Weak); err != nil {
 		log.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {

@@ -3,9 +3,10 @@
 // repository's protocol. Reservation requests carry alternate slots, which
 // emulates Bayou's dependency checks and merge procedures at the level of
 // the operation specification, exactly as §2.1 of the paper prescribes.
-// Two colleagues book the same room while partitioned; after reconciliation
-// the loser of the final order lands on an alternate slot, and their
-// tentative grant visibly differs from the stable schedule.
+// Two colleagues — each a client session on their own laptop's replica —
+// book the same room while partitioned; after reconciliation the loser of
+// the final order lands on an alternate slot, and their tentative grant
+// visibly differs from the stable schedule.
 package main
 
 import (
@@ -15,52 +16,57 @@ import (
 	"bayou"
 )
 
-func main() {
-	c, err := bayou.New(bayou.Options{Replicas: 2, Seed: 3})
+func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.ElectLeader(0)
+}
+
+func main() {
+	c, err := bayou.New(bayou.WithReplicas(2), bayou.WithSeed(3))
+	check(err)
+	defer c.Close()
+	check(c.ElectLeader(0))
+
+	ann, err := c.Session(0)
+	check(err)
+	bob, err := c.Session(1)
+	check(err)
 
 	fmt.Println("— laptops disconnect (partition) —")
-	c.Partition([]int{0}, []int{1})
+	check(c.Partition([]int{0}, []int{1}))
 
 	// Both want the atrium at 9am; each lists alternates.
-	ann, err := c.Invoke(0, bayou.Reserve("atrium", "9am", "ann", "10am", "11am"), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
+	annCall, err := ann.Invoke(bayou.Reserve("atrium", "9am", "ann", "10am", "11am"), bayou.Weak)
+	check(err)
 	c.Run(20)
-	bob, err := c.Invoke(1, bayou.Reserve("atrium", "9am", "bob", "10am", "11am"), bayou.Weak)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("ann's tentative grant: %v\n", ann.Response.Value)
-	fmt.Printf("bob's tentative grant: %v (he cannot see ann's booking)\n", bob.Response.Value)
+	bobCall, err := bob.Invoke(bayou.Reserve("atrium", "9am", "bob", "10am", "11am"), bayou.Weak)
+	check(err)
+	fmt.Printf("ann's tentative grant: %v\n", annCall.Value())
+	fmt.Printf("bob's tentative grant: %v (he cannot see ann's booking)\n", bobCall.Value())
 
 	fmt.Println("\n— laptops reconnect; Bayou reconciles the calendars —")
-	c.Heal()
-	c.ElectLeader(0)
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
+	check(c.Heal())
+	check(c.ElectLeader(0))
+	check(c.Settle())
+
+	// The stable notices tell each owner which slot they finally hold.
+	for name, call := range map[string]*bayou.Call{"ann": annCall, "bob": bobCall} {
+		if stable, ok := call.Stable(); ok {
+			fmt.Printf("%s's stable grant: %v\n", name, stable.Value)
+		}
 	}
 
 	// A strong read returns the final, agreed schedule.
-	sched, err := c.Invoke(0, bayou.Schedule("atrium", "9am", "10am", "11am"), bayou.Strong)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("final schedule: %v\n", sched.Response.Value)
+	sched, err := ann.Invoke(bayou.Schedule("atrium", "9am", "10am", "11am"), bayou.Strong)
+	check(err)
+	check(c.Settle())
+	fmt.Printf("final schedule: %v\n", sched.Value())
 	fmt.Println("=> one tentative grant was silently moved to an alternate slot")
 	fmt.Println("   by the merge procedure — the signature Bayou behaviour.")
 
 	tl, err := c.Timeline()
-	if err != nil {
-		log.Fatal(err)
-	}
+	check(err)
 	fmt.Println("\ntimeline:")
 	fmt.Print(tl)
 }

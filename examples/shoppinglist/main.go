@@ -1,9 +1,10 @@
 // Command shoppinglist is the collaborative-editing workload that motivated
-// eventually consistent stores: two household members add items to a shared
-// shopping list while the network between them is partitioned, stay fully
-// available the whole time, and converge once the partition heals. The
-// checkout — the operation that must never be retracted — goes through the
-// strong level and therefore reflects the final, agreed list.
+// eventually consistent stores: four household members — each their own
+// client session — add items to a shared shopping list while the network
+// between them is partitioned, stay fully available the whole time, and
+// converge once the partition heals. The checkout — the operation that must
+// never be retracted — goes through the strong level and therefore reflects
+// the final, agreed list.
 package main
 
 import (
@@ -13,57 +14,68 @@ import (
 	"bayou"
 )
 
-func main() {
-	c, err := bayou.New(bayou.Options{Replicas: 4, Seed: 7})
+func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+func main() {
+	c, err := bayou.New(bayou.WithReplicas(4), bayou.WithSeed(7))
+	check(err)
+	defer c.Close()
 	// The consensus leader lives in the cell that will keep quorum.
-	c.ElectLeader(2)
+	check(c.ElectLeader(2))
+
+	// One session per household member, each bound to their own device's
+	// replica.
+	names := []string{"alice", "tablet", "bob", "laptop"}
+	members := make(map[string]*bayou.Session, len(names))
+	for replica, name := range names {
+		s, err := c.Session(replica)
+		check(err)
+		members[name] = s
+	}
 
 	fmt.Println("— network splits: {alice@0, tablet@1} | {bob@2, laptop@3} —")
-	c.Partition([]int{0, 1}, []int{2, 3})
+	check(c.Partition([]int{0, 1}, []int{2, 3}))
 
-	add := func(replica int, item string) {
-		call, err := c.Invoke(replica, bayou.Append(item+";"), bayou.Weak)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("replica %d adds %-9q -> list now (tentative): %q\n",
-			replica, item, call.Response.Value)
+	add := func(member, item string) {
+		call, err := members[member].Invoke(bayou.Append(item+";"), bayou.Weak)
+		check(err)
+		fmt.Printf("%-6s adds %-9q -> list now (tentative): %q\n",
+			member, item, call.Value())
 	}
-	add(0, "milk")
+	add("alice", "milk")
 	c.Run(50)
-	add(2, "eggs")
+	add("bob", "eggs")
 	c.Run(50)
-	add(1, "bread") // the tablet sees milk (same cell) but not eggs
+	add("tablet", "bread") // the tablet sees milk (same cell) but not eggs
 	c.Run(50)
-	add(3, "butter")
+	add("laptop", "butter")
 	c.Run(200)
 
 	fmt.Println("\nnote: each side only sees its own cell's items — availability")
 	fmt.Println("under partition is exactly what Bayou's weak level provides.")
 
 	fmt.Println("\n— partition heals; replicas reconcile —")
-	c.Heal()
-	c.ElectLeader(2)
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
+	check(c.Heal())
+	check(c.ElectLeader(2))
+	check(c.Settle())
 
 	// The strong checkout: its response is final, never to be reordered.
-	checkout, err := c.Invoke(2, bayou.ListRead(), bayou.Strong)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Settle(); err != nil {
-		log.Fatal(err)
-	}
+	checkout, err := members["bob"].Invoke(bayou.ListRead(), bayou.Strong)
+	check(err)
+	check(c.Settle())
 	fmt.Printf("\nstrong checkout reads the agreed list: %q (stable=%v)\n",
-		checkout.Response.Value, checkout.Response.Committed)
+		checkout.Value(), checkout.Response().Committed)
 
 	for r := 0; r < 4; r++ {
-		fmt.Printf("replica %d committed order: %v\n", r, c.Committed(r))
+		order, err := c.Committed(r)
+		check(err)
+		fmt.Printf("replica %d committed order: %v\n", r, order)
 	}
-	fmt.Printf("total rollbacks while reconciling: %d\n", c.Rollbacks())
+	rollbacks, err := c.Rollbacks()
+	check(err)
+	fmt.Printf("total rollbacks while reconciling: %d\n", rollbacks)
 }

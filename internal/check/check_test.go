@@ -10,7 +10,7 @@ import (
 
 // evt builds a history event compactly for tests.
 type evt struct {
-	session core.ReplicaID
+	session core.SessionID
 	eventNo int64
 	op      spec.Op
 	level   core.Level
@@ -37,7 +37,7 @@ func build(t *testing.T, stableAt int64, evts ...evt) *history.History {
 			Pending:      e.pending,
 			Invoke:       e.invoke,
 			Return:       e.ret,
-			Dot:          core.Dot{Replica: e.session, EventNo: e.eventNo},
+			Dot:          core.Dot{Replica: core.ReplicaID(e.session), EventNo: e.eventNo},
 			Timestamp:    e.ts,
 			TOBCast:      e.tobCast,
 			TOBNo:        e.tobNo,

@@ -20,6 +20,7 @@ import (
 	"bayou/internal/fd"
 	"bayou/internal/history"
 	"bayou/internal/rb"
+	"bayou/internal/record"
 	"bayou/internal/sim"
 	"bayou/internal/simnet"
 	"bayou/internal/spec"
@@ -67,35 +68,20 @@ type Config struct {
 	StepBatch int
 }
 
-// Call is a client's handle on one invocation.
-type Call struct {
-	Dot      core.Dot
-	Op       spec.Op
-	Level    core.Level
-	Done     bool
-	Response core.Response
-	// WallInvoke/WallReturn bracket the call in simulated time.
-	WallInvoke int64
-	WallReturn int64
-
-	// StableDone/StableResponse carry the optional stable notification
-	// for weak updating operations (footnote 3 of the paper; the
-	// parenthesized values of Figure 1). Strong operations are stable at
-	// Response already; weak read-only operations never stabilize.
-	StableDone     bool
-	StableResponse core.Response
-	WallStable     int64
-}
+// Call is a client's handle on one invocation (see record.Call).
+type Call = record.Call
 
 // Cluster is a running deployment. Construct with New. Not safe for
 // concurrent use: everything runs on the simulator's single thread.
 type Cluster struct {
-	cfg   Config
-	sched *sim.Scheduler
-	net   *simnet.Network
-	omega *fd.Omega
-	nodes []*node
-	rec   *recorder
+	cfg      Config
+	sched    *sim.Scheduler
+	net      *simnet.Network
+	omega    *fd.Omega
+	nodes    []*node
+	rec      *record.Recorder
+	sessions map[core.SessionID]core.ReplicaID
+	nextSess core.SessionID
 }
 
 type node struct {
@@ -119,8 +105,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.N < 1 {
 		return nil, errors.New("cluster: need at least one replica")
 	}
-	if cfg.Variant == 0 {
+	if cfg.Variant == core.VariantDefault {
 		cfg.Variant = core.NoCircularCausality
+	}
+	if !cfg.Variant.Valid() {
+		return nil, fmt.Errorf("cluster: unknown protocol variant %s", cfg.Variant)
 	}
 	if cfg.TOB == 0 {
 		cfg.TOB = PaxosTOB
@@ -128,7 +117,18 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Latency == 0 {
 		cfg.Latency = 10
 	}
-	c := &Cluster{cfg: cfg, sched: sim.New(cfg.Seed), rec: newRecorder()}
+	c := &Cluster{
+		cfg:      cfg,
+		sched:    sim.New(cfg.Seed),
+		rec:      record.New(),
+		sessions: make(map[core.SessionID]core.ReplicaID, cfg.N),
+		nextSess: core.SessionID(cfg.N),
+	}
+	// Sessions 0..N-1 are the default one-session-per-replica bindings of
+	// the legacy façade; OpenSession mints fresh ids from N on.
+	for i := 0; i < cfg.N; i++ {
+		c.sessions[core.SessionID(i)] = core.ReplicaID(i)
+	}
 	c.net = simnet.New(c.sched)
 	c.net.SetLatency(func(from, to simnet.NodeID) sim.Time {
 		if from == to {
@@ -155,6 +155,7 @@ func New(cfg Config) (*Cluster, error) {
 		n.replica = core.NewReplica(id, cfg.Variant, func() int64 {
 			return int64(c.sched.Now()) / slow
 		})
+		n.replica.EnableTransitions()
 		n.rbNode = rb.New(simnet.NodeID(i), c.sched, c.net, nil)
 		n.rbNode.SetBatchDeliver(n.onRBDeliverBatch)
 		switch cfg.TOB {
@@ -221,22 +222,56 @@ func (c *Cluster) Heal() { c.net.Heal() }
 // ErrSessionBusy reports an invocation on a session whose previous operation
 // has not yet returned. Well-formed histories (§3.2) require sessions to be
 // sequential: a client blocked on a strong operation cannot issue more work.
-var ErrSessionBusy = errors.New("cluster: session awaiting a response")
+var ErrSessionBusy = record.ErrSessionBusy
 
-// Invoke submits an operation at a replica and returns the call handle,
-// which fills in when the response arrives.
+// OpenSession mints a fresh sequential session bound to the given replica.
+// Any number of sessions can share a replica; each is individually
+// sequential but their invocations may freely overlap.
+func (c *Cluster) OpenSession(id core.ReplicaID) (core.SessionID, error) {
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return 0, fmt.Errorf("cluster: no replica %d", id)
+	}
+	s := c.nextSess
+	c.nextSess++
+	c.sessions[s] = id
+	return s, nil
+}
+
+// SessionReplica returns the replica a session is bound to.
+func (c *Cluster) SessionReplica(s core.SessionID) (core.ReplicaID, bool) {
+	id, ok := c.sessions[s]
+	return id, ok
+}
+
+// Invoke submits an operation at a replica on its default session (session
+// id == replica id) and returns the call handle, which fills in when the
+// response arrives. Multi-session clients use OpenSession + InvokeSession.
 func (c *Cluster) Invoke(id core.ReplicaID, op spec.Op, level core.Level) (*Call, error) {
-	if c.rec.sessionBusy(id) {
-		return nil, fmt.Errorf("%w: replica %d", ErrSessionBusy, id)
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return nil, fmt.Errorf("cluster: no replica %d", id)
+	}
+	return c.InvokeSession(core.SessionID(id), op, level)
+}
+
+// InvokeSession submits an operation on the given session, at the replica
+// the session is bound to. It rejects a session whose previous call has not
+// returned (ErrSessionBusy): sessions are the sequential clients of §3.2.
+func (c *Cluster) InvokeSession(sess core.SessionID, op spec.Op, level core.Level) (*Call, error) {
+	id, ok := c.sessions[sess]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown session %d", sess)
+	}
+	if c.rec.SessionBusy(sess) {
+		return nil, fmt.Errorf("%w: session %d", ErrSessionBusy, sess)
 	}
 	n := c.nodes[id]
 	eff := n.takeEff()
 	defer n.putEff(eff)
-	req, err := n.replica.InvokeInto(op, level == core.Strong, eff)
+	req, err := n.replica.InvokeFrom(sess, op, level == core.Strong, eff)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: invoke on %d: %w", id, err)
 	}
-	call := c.rec.invoked(id, req.Dot, op, level, req.Timestamp, len(eff.TOBCast) > 0, int64(c.sched.Now()))
+	call := c.rec.Invoked(sess, req.Dot, op, level, req.Timestamp, len(eff.TOBCast) > 0, int64(c.sched.Now()))
 	n.route(*eff)
 	n.scheduleStep()
 	return call, nil
@@ -285,13 +320,17 @@ func (c *Cluster) RunFor(d sim.Time) { c.sched.RunFor(d) }
 
 // MarkStable records the quiescence cutoff for the history's finite-trace
 // predicates: events invoked after this call act as probes.
-func (c *Cluster) MarkStable() { c.rec.markStable() }
+func (c *Cluster) MarkStable() { c.rec.MarkStable() }
 
 // History assembles the recorded history.
-func (c *Cluster) History() (*history.History, error) { return c.rec.history() }
+func (c *Cluster) History() (*history.History, error) { return c.rec.History() }
 
 // Calls returns every recorded call in invocation order.
-func (c *Cluster) Calls() []*Call { return c.rec.callList }
+func (c *Cluster) Calls() []*Call { return c.rec.Calls() }
+
+// Recorder exposes the shared observation layer (watch subscriptions, call
+// lookup by dot).
+func (c *Cluster) Recorder() *record.Recorder { return c.rec }
 
 // Stats aggregates replica cost counters (rollbacks/executions), keyed by
 // replica.
@@ -334,11 +373,14 @@ func (n *node) route(eff core.Effects) {
 	for _, r := range eff.TOBCast {
 		n.tobNode.Cast(r.ID(), r)
 	}
+	for _, t := range eff.Transitions {
+		n.cl.rec.Transition(t, int64(n.cl.sched.Now()))
+	}
 	for _, resp := range eff.Responses {
-		n.cl.rec.responded(resp, int64(n.cl.sched.Now()))
+		n.cl.rec.Responded(resp, int64(n.cl.sched.Now()))
 	}
 	for _, notice := range eff.StableNotices {
-		n.cl.rec.stableNoticed(notice, int64(n.cl.sched.Now()))
+		n.cl.rec.StableNoticed(notice, int64(n.cl.sched.Now()))
 	}
 }
 
@@ -369,7 +411,7 @@ func (n *node) onTOBDeliverBatch(first int64, ms []tob.Message) {
 	n.reqBuf = n.reqBuf[:0]
 	for i, m := range ms {
 		if r, ok := m.Payload.(core.Req); ok {
-			n.cl.rec.tobDelivered(r.Dot, first+int64(i))
+			n.cl.rec.TOBDelivered(r.Dot, first+int64(i))
 			n.reqBuf = append(n.reqBuf, r)
 		}
 	}

@@ -67,8 +67,8 @@ func TestStableRunSatisfiesTheorem2(t *testing.T) {
 	}
 	// Every call completed.
 	for _, call := range c.Calls() {
-		if !call.Done {
-			t.Errorf("call %s (%s) never completed", call.Dot, call.Op.Name())
+		if !call.Done() {
+			t.Errorf("call %s (%s) never completed", call.Dot(), call.Op().Name())
 		}
 	}
 }
@@ -95,7 +95,7 @@ func TestAsyncRunSatisfiesTheorem3(t *testing.T) {
 	}
 	c.RunFor(3_000)
 
-	if strong.Done {
+	if strong.Done() {
 		t.Fatal("strong op completed without consensus — Theorem 3 premise broken")
 	}
 	h, err := c.History()
@@ -128,20 +128,20 @@ func TestWeakAvailabilityUnderPartition(t *testing.T) {
 	majorityStrong := mustInvoke(t, c, 2, spec.Append("s2"), core.Strong)
 	c.RunFor(5_000)
 
-	if !minorityWeak.Done || !majorityWeak.Done {
+	if !minorityWeak.Done() || !majorityWeak.Done() {
 		t.Error("weak operations must respond inside any partition cell")
 	}
-	if minorityStrong.Done {
+	if minorityStrong.Done() {
 		t.Error("minority strong op must block while partitioned")
 	}
-	if !majorityStrong.Done {
+	if !majorityStrong.Done() {
 		t.Error("majority strong op must complete (quorum available)")
 	}
 
 	c.Heal()
 	c.StabilizeOmega(2)
 	mustSettle(t, c)
-	if !minorityStrong.Done {
+	if !minorityStrong.Done() {
 		t.Error("minority strong op must complete after heal")
 	}
 	// All replicas converge to one committed order and state.
@@ -174,8 +174,8 @@ func TestOriginalVariantEndToEnd(t *testing.T) {
 	mustInvoke(t, c, 2, spec.Duplicate(), core.Strong)
 	mustSettle(t, c)
 	for _, call := range c.Calls() {
-		if !call.Done {
-			t.Errorf("call %s never completed", call.Dot)
+		if !call.Done() {
+			t.Errorf("call %s never completed", call.Dot())
 		}
 	}
 	for i := 0; i < 3; i++ {
@@ -195,15 +195,15 @@ func TestPrimaryTOBEndToEnd(t *testing.T) {
 	mustInvoke(t, c, 2, spec.Append("b"), core.Strong)
 	mustSettle(t, c)
 	for _, call := range c.Calls() {
-		if !call.Done {
-			t.Errorf("call %s never completed under PrimaryTOB", call.Dot)
+		if !call.Done() {
+			t.Errorf("call %s never completed under PrimaryTOB", call.Dot())
 		}
 	}
 	// Crash the primary: strong ops stop committing.
 	c.Network().Crash(0)
 	stuck := mustInvoke(t, c, 1, spec.Append("c"), core.Strong)
 	c.RunFor(5_000)
-	if stuck.Done {
+	if stuck.Done() {
 		t.Error("strong op must block after primary crash (the ablation's point)")
 	}
 }
@@ -281,10 +281,10 @@ func TestSlowReplicaBacklogGrows(t *testing.T) {
 		mustSettle(t, c)
 		out := make([]int64, 0, len(slowCalls))
 		for _, call := range slowCalls {
-			if !call.Done {
+			if !call.Done() {
 				t.Fatal("weak call never completed after settle")
 			}
-			out = append(out, call.WallReturn-call.WallInvoke)
+			out = append(out, call.WallReturn()-call.WallInvoke())
 		}
 		return out
 	}
@@ -318,10 +318,10 @@ func TestHistoryWellFormedAndLatencies(t *testing.T) {
 	if len(h.Events) != 2 {
 		t.Fatalf("history has %d events, want 2", len(h.Events))
 	}
-	if call.WallReturn < call.WallInvoke {
+	if call.WallReturn() < call.WallInvoke() {
 		t.Error("weak call latency negative")
 	}
-	if strong.WallReturn <= strong.WallInvoke {
+	if strong.WallReturn() <= strong.WallInvoke() {
 		t.Error("strong call must take positive time (TOB round trips)")
 	}
 	if !h.SessionOrder(h.Events[0], h.Events[1]) == h.SameSession(h.Events[0], h.Events[1]) {

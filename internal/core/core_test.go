@@ -991,3 +991,101 @@ func TestWeakCommittedBeforeExecution(t *testing.T) {
 		t.Fatalf("response = %v (committed=%v), want a, stable", got.Value, got.Committed)
 	}
 }
+
+// TestTransitionEmission: with transitions enabled, a weak update's
+// lifecycle is reported as tentative → reordered (value changed by a
+// rescheduled remote request) → committed, attributed to the issuing
+// session; with transitions disabled (the default) nothing is emitted.
+func TestTransitionEmission(t *testing.T) {
+	collect := func(enable bool) []Transition {
+		var out []Transition
+		p := NewReplica(0, NoCircularCausality, func() int64 { return 100 })
+		if enable {
+			p.EnableTransitions()
+		}
+		var eff Effects
+		req, err := p.InvokeFrom(7, spec.Append("a"), false, &eff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, eff.Transitions...)
+		// A remote request with an older timestamp schedules before the
+		// local one: rollback + re-execution changes append(a)'s value.
+		remote := Req{Timestamp: 1, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Append("b")}
+		eff.Reset()
+		if err := p.RBDeliverInto(remote, &eff); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.DrainInto(&eff); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, eff.Transitions...)
+		// Commit both, remote first (it precedes in request order).
+		eff.Reset()
+		if err := p.TOBDeliverInto(remote, &eff); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.TOBDeliverInto(req, &eff); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.DrainInto(&eff); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, eff.Transitions...)
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if got := collect(false); len(got) != 0 {
+		t.Fatalf("transitions disabled by default, got %+v", got)
+	}
+	got := collect(true)
+	want := []struct {
+		status Status
+		value  spec.Value
+	}{
+		{StatusTentative, "a"},
+		{StatusReordered, "ba"},
+		{StatusCommitted, "ba"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %d entries", got, len(want))
+	}
+	for i, w := range want {
+		if got[i].Status != w.status || !spec.Equal(got[i].Value, w.value) {
+			t.Errorf("transition[%d] = %v %v, want %v %v", i, got[i].Status, got[i].Value, w.status, w.value)
+		}
+		if got[i].Session != 7 {
+			t.Errorf("transition[%d].Session = %d, want 7", i, got[i].Session)
+		}
+	}
+}
+
+// TestTransitionNoSpuriousReorder: the normal Algorithm 2 path — tentative
+// execution reproducing the invoke-time value — emits no Reordered event;
+// the stream is exactly tentative then committed.
+func TestTransitionNoSpuriousReorder(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, func() int64 { return 1 })
+	p.EnableTransitions()
+	var eff Effects
+	req, err := p.InvokeFrom(3, spec.Append("x"), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TOBDeliverInto(req, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Transitions) != 2 ||
+		eff.Transitions[0].Status != StatusTentative ||
+		eff.Transitions[1].Status != StatusCommitted {
+		t.Fatalf("transitions = %+v, want exactly tentative, committed", eff.Transitions)
+	}
+}

@@ -16,7 +16,10 @@ var ErrInvariant = errors.New("core: protocol invariant violated")
 
 // pendingResp is a reqsAwaitingResp entry (Algorithm 1 line 8): ⊥ until the
 // request is executed, then the stored tentative response awaiting commit.
+// It also carries the issuing session, so response-status transitions can
+// be attributed without widening Req itself.
 type pendingResp struct {
+	session      SessionID
 	has          bool
 	value        spec.Value
 	trace        []Dot
@@ -88,6 +91,11 @@ type Replica struct {
 	executedSet  map[Dot]bool
 	tentativeSet map[Dot]bool
 
+	// transitions gates response-status Transition emission (off by
+	// default: raw replica harnesses and micro-benchmarks measure the
+	// seed-comparable path; session drivers enable it for watch streams).
+	transitions bool
+
 	steps int64 // internal events executed (bounded-wait-freedom accounting)
 }
 
@@ -110,6 +118,21 @@ func NewReplica(id ReplicaID, variant Variant, clock func() int64) *Replica {
 
 // ID returns the replica's identifier.
 func (p *Replica) ID() ReplicaID { return p.id }
+
+// EnableTransitions turns on response-status Transition emission into
+// Effects (see Transition). Session-oriented drivers enable it so clients
+// can subscribe to fluctuations; it is off by default.
+func (p *Replica) EnableTransitions() { p.transitions = true }
+
+// emit appends a transition for the dot when emission is enabled.
+func (p *Replica) emit(eff *Effects, d Dot, session SessionID, s Status, value spec.Value) {
+	if !p.transitions {
+		return
+	}
+	eff.Transitions = append(eff.Transitions, Transition{
+		Dot: d, Session: session, Status: s, Value: value,
+	})
+}
 
 // Variant returns the protocol variant the replica runs.
 func (p *Replica) Variant() Variant { return p.variant }
@@ -137,27 +160,39 @@ func (p *Replica) Invoke(op spec.Op, strong bool) (Effects, error) {
 
 // InvokeInto handles a client invocation, appending the produced effects to
 // eff and returning the request record it created (so drivers need not
-// reverse-engineer the dot from the effects). On error the contents of eff
-// are unspecified.
+// reverse-engineer the dot from the effects). The invocation is attributed
+// to the replica's default session (id i for replica i); multi-session
+// drivers use InvokeFrom. On error the contents of eff are unspecified.
 func (p *Replica) InvokeInto(op spec.Op, strong bool, eff *Effects) (Req, error) {
+	return p.InvokeFrom(SessionID(p.id), op, strong, eff)
+}
+
+// InvokeFrom handles a client invocation issued by the given session,
+// appending the produced effects to eff and returning the request record it
+// created. Sessions are sequential clients; the replica itself accepts any
+// interleaving (the driver enforces per-session FIFO), so any number of
+// sessions can be bound to one replica with their invocations freely
+// overlapping — the request's dot stays unique regardless because the
+// replica's event counter mints it.
+func (p *Replica) InvokeFrom(session SessionID, op spec.Op, strong bool, eff *Effects) (Req, error) {
 	p.currEventNo++
 	r := Req{Timestamp: p.now(), Dot: Dot{Replica: p.id, EventNo: p.currEventNo}, Strong: strong, Op: op}
 	if p.variant == NoCircularCausality {
-		return r, p.invokeModified(r, eff)
+		return r, p.invokeModified(r, session, eff)
 	}
 	// Algorithm 1: broadcast via RB and TOB, simulate immediate local
 	// RB-delivery, and await the response from a later execute step.
 	eff.RBCast = append(eff.RBCast, r)
 	eff.TOBCast = append(eff.TOBCast, r)
 	p.insertTentative(r)
-	p.awaiting[r.Dot] = &pendingResp{}
+	p.awaiting[r.Dot] = &pendingResp{session: session}
 	return r, nil
 }
 
 // invokeModified is Algorithm 2: weak requests execute immediately on the
 // current state and respond at once (bounded wait-freedom); strong requests
 // go through TOB only, so they never appear on any tentative list.
-func (p *Replica) invokeModified(r Req, eff *Effects) error {
+func (p *Replica) invokeModified(r Req, session SessionID, eff *Effects) error {
 	if !r.Strong {
 		value, err := p.state.Execute(r.ID(), r.Op)
 		if err != nil {
@@ -179,6 +214,7 @@ func (p *Replica) invokeModified(r Req, eff *Effects) error {
 			Trace:        trace,
 			CommittedLen: len(p.committed),
 		})
+		p.emit(eff, r.Dot, session, StatusTentative, value)
 		if !r.Op.ReadOnly() {
 			eff.RBCast = append(eff.RBCast, r)
 			eff.TOBCast = append(eff.TOBCast, r)
@@ -187,12 +223,12 @@ func (p *Replica) invokeModified(r Req, eff *Effects) error {
 			// (footnote 3); read-only requests are never committed
 			// under Algorithm 2, so they have no stable notice.
 			p.awaitStable[r.Dot] = &pendingResp{
-				has: true, value: value, trace: trace, committedLen: len(p.committed),
+				session: session, has: true, value: value, trace: trace, committedLen: len(p.committed),
 			}
 		}
 		return nil
 	}
-	p.awaiting[r.Dot] = &pendingResp{}
+	p.awaiting[r.Dot] = &pendingResp{session: session}
 	eff.TOBCast = append(eff.TOBCast, r)
 	return nil
 }
@@ -283,6 +319,7 @@ func (p *Replica) TOBDeliverInto(r Req, eff *Effects) error {
 			Trace:        pr.trace,
 			CommittedLen: pr.committedLen,
 		})
+		p.emit(eff, r.Dot, pr.session, StatusCommitted, pr.value)
 		p.markTraceAliased(len(pr.trace))
 		delete(p.awaiting, r.Dot)
 	}
@@ -297,6 +334,7 @@ func (p *Replica) TOBDeliverInto(r Req, eff *Effects) error {
 			Trace:        pr.trace,
 			CommittedLen: pr.committedLen,
 		})
+		p.emit(eff, r.Dot, pr.session, StatusCommitted, pr.value)
 		p.markTraceAliased(len(pr.trace))
 		delete(p.awaitStable, r.Dot)
 	}
@@ -502,6 +540,11 @@ func (p *Replica) StepInto(eff *Effects) error {
 				Trace:        trace,
 				CommittedLen: len(p.committed),
 			})
+			if committed {
+				p.emit(eff, head.Dot, prA.session, StatusCommitted, value)
+			} else {
+				p.emit(eff, head.Dot, prA.session, StatusTentative, value)
+			}
 			p.markTraceAliased(len(trace))
 			delete(p.awaiting, head.Dot)
 			if !head.Strong && !committed {
@@ -509,7 +552,7 @@ func (p *Replica) StepInto(eff *Effects) error {
 				// tracking it so the stable value can be
 				// notified later (footnote 3).
 				p.awaitStable[head.Dot] = &pendingResp{
-					has: true, value: value, trace: trace, committedLen: len(p.committed),
+					session: prA.session, has: true, value: value, trace: trace, committedLen: len(p.committed),
 				}
 			}
 		} else {
@@ -527,11 +570,22 @@ func (p *Replica) StepInto(eff *Effects) error {
 				Trace:        trace,
 				CommittedLen: len(p.committed),
 			})
+			p.emit(eff, head.Dot, prS.session, StatusCommitted, value)
 			p.markTraceAliased(len(trace))
 			delete(p.awaitStable, head.Dot)
 		} else {
 			// Re-executed tentatively: remember the latest value for
-			// the TOB-delivery release path.
+			// the TOB-delivery release path. When the recomputed value
+			// differs from the one the client holds, the response has
+			// fluctuated — the StatusReordered event is the observable
+			// form of the "temporary" in temporary operation
+			// reordering. (Re-executions that reproduce the same value,
+			// such as Algorithm 2's first scheduled execution on an
+			// unchanged state, are invisible to the client and emit
+			// nothing.)
+			if p.transitions && prS.has && !spec.Equal(prS.value, value) {
+				p.emit(eff, head.Dot, prS.session, StatusReordered, value)
+			}
 			prS.has = true
 			prS.value = value
 			prS.trace = trace

@@ -23,6 +23,18 @@ import (
 // ReplicaID numbers the replicas 0..n-1.
 type ReplicaID int
 
+// SessionID identifies one sequential client session (§3.2: a history's ß
+// equivalence classes). Many sessions may be bound to the same replica; each
+// issues at most one operation at a time. By convention the driver reserves
+// the ids 0..n-1 for one default session per replica (so seed histories,
+// which conflated session with replica, read unchanged) and mints fresh ids
+// from n upwards.
+type SessionID int64
+
+// NoSession marks an invocation that is not part of any recorded session
+// (raw replica drivers, micro-benchmarks). Recorders skip such requests.
+const NoSession SessionID = -1
+
 // Dot uniquely identifies a request: the issuing replica and that replica's
 // invocation counter (Algorithm 1 line 11: (i, currEventNo)).
 type Dot struct {
@@ -64,6 +76,13 @@ func (d Dot) cmp(o Dot) int {
 
 // Req is the request record broadcast between replicas (Algorithm 1 line 1):
 // invocation timestamp, dot, strong/weak flag, and the operation itself.
+//
+// The issuing session is deliberately NOT part of the record: the dot is
+// the request's identity, and sessions are a client-side notion the rest of
+// the protocol never consults. The replica keeps the session on its
+// response-attribution entries (reqsAwaitingResp) only, so the schedule
+// engine — which copies Req values constantly while editing plans — does
+// not pay for the field, and the wire format matches the paper's.
 type Req struct {
 	Timestamp int64
 	Dot       Dot
@@ -116,6 +135,11 @@ func LevelOf(r Req) Level {
 // Variant selects which protocol a replica runs.
 type Variant int
 
+// VariantDefault is the explicit "let the constructor choose" sentinel (it
+// resolves to NoCircularCausality). Constructors reject any other value that
+// is not a declared variant instead of silently defaulting.
+const VariantDefault Variant = 0
+
 const (
 	// Original is Algorithm 1: every request is RB-cast and TOB-cast,
 	// weak responses are returned at first (tentative) execution. It
@@ -135,6 +159,8 @@ const (
 // String implements fmt.Stringer.
 func (v Variant) String() string {
 	switch v {
+	case VariantDefault:
+		return "default"
 	case Original:
 		return "original"
 	case NoCircularCausality:
@@ -142,6 +168,12 @@ func (v Variant) String() string {
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
+}
+
+// Valid reports whether v names a declared protocol variant (the default
+// sentinel is not itself a variant; constructors resolve it first).
+func (v Variant) Valid() bool {
+	return v == Original || v == NoCircularCausality
 }
 
 // Response is a value returned to a client, together with the witness data
@@ -163,6 +195,51 @@ type Response struct {
 	CommittedLen int
 }
 
+// Status classifies the lifecycle of a response value — the observable side
+// of the paper's response fluctuation (§4: FEC's fluct is exactly the
+// sequence of these transitions before stabilization).
+type Status int
+
+const (
+	// StatusTentative is the first (weak) response, computed on a schedule
+	// that consensus may still rearrange.
+	StatusTentative Status = iota + 1
+	// StatusReordered marks a re-execution of an already-answered weak
+	// request on a rearranged schedule: the response value the client saw
+	// has fluctuated (it would read differently now).
+	StatusReordered
+	// StatusCommitted marks the final execution: the request's position is
+	// fixed by TOB and the value can never change again.
+	StatusCommitted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusTentative:
+		return "tentative"
+	case StatusReordered:
+		return "reordered"
+	case StatusCommitted:
+		return "committed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Transition is one response-status event for a locally-invoked request:
+// the engine emits StatusTentative when the first weak value goes out,
+// StatusReordered every time that request is re-executed on a rearranged
+// schedule before commit, and StatusCommitted when the final order fixes
+// the value. Drivers stream these to watch subscriptions; emission is off
+// by default (EnableTransitions) so raw replica harnesses pay nothing.
+type Transition struct {
+	Dot     Dot
+	Session SessionID
+	Status  Status
+	Value   spec.Value
+}
+
 // Effects collects everything a state transition asks the environment to do.
 //
 // The single-shot transition methods (Invoke, RBDeliver, TOBDeliver, Step,
@@ -181,6 +258,9 @@ type Effects struct {
 	// established and the generated response is stable"). The
 	// parenthesized values of Figure 1 are exactly these notices.
 	StableNotices []Response
+	// Transitions carry response-status lifecycle events (see Transition);
+	// empty unless the replica has transitions enabled.
+	Transitions []Transition
 }
 
 // Reset empties the effect lists while keeping their backing arrays, so an
@@ -191,6 +271,7 @@ func (e *Effects) Reset() {
 	e.TOBCast = e.TOBCast[:0]
 	e.Responses = e.Responses[:0]
 	e.StableNotices = e.StableNotices[:0]
+	e.Transitions = e.Transitions[:0]
 }
 
 // EffectsPool recycles Effects accumulators for a single-threaded driver.

@@ -70,9 +70,9 @@ func row(name, paper, measured string, ok bool) Row {
 func valueRow(name string, want spec.Value, call *cluster.Call) Row {
 	measured := "∇ (pending)"
 	ok := false
-	if call != nil && call.Done {
-		measured = spec.Encode(call.Response.Value)
-		ok = spec.Equal(call.Response.Value, want)
+	if call != nil && call.Done() {
+		measured = spec.Encode(call.Response().Value)
+		ok = spec.Equal(call.Response().Value, want)
 	}
 	return row(name, spec.Encode(want), measured, ok)
 }
@@ -80,9 +80,11 @@ func valueRow(name string, want spec.Value, call *cluster.Call) Row {
 func stableRow(name string, want spec.Value, call *cluster.Call) Row {
 	measured := "no stable notice"
 	ok := false
-	if call != nil && call.StableDone {
-		measured = spec.Encode(call.StableResponse.Value)
-		ok = spec.Equal(call.StableResponse.Value, want)
+	if call != nil {
+		if stable, has := call.Stable(); has {
+			measured = spec.Encode(stable.Value)
+			ok = spec.Equal(stable.Value, want)
+		}
 	}
 	return row(name, spec.Encode(want), measured, ok)
 }
@@ -104,10 +106,10 @@ func E1() (Result, error) {
 	)
 	// The two clients observed append(x) and duplicate() in opposite
 	// orders.
-	x := out.Calls["append(x)"].Response
-	dup := out.Calls["duplicate()"].Response
-	xSeesDup := containsDot(x.Trace, out.Calls["duplicate()"].Dot)
-	dupSeesX := containsDot(dup.Trace, out.Calls["append(x)"].Dot)
+	x := out.Calls["append(x)"].Response()
+	dup := out.Calls["duplicate()"].Response()
+	xSeesDup := containsDot(x.Trace, out.Calls["duplicate()"].Dot())
+	dupSeesX := containsDot(dup.Trace, out.Calls["append(x)"].Dot())
 	res.Rows = append(res.Rows, row("clients disagree on x vs duplicate order",
 		"yes (the anomaly)", fmt.Sprintf("%v", xSeesDup && dupSeesX), xSeesDup && dupSeesX))
 	// Convergence: both replicas end with axax.
@@ -456,7 +458,7 @@ func E11() (Result, error) {
 			return false, err
 		}
 		c.RunFor(20_000)
-		return call.Done, nil
+		return call.Done(), nil
 	}
 	primaryHealthy, err := run(cluster.PrimaryTOB, false)
 	if err != nil {

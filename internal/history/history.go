@@ -28,7 +28,7 @@ type EventID int
 // run witnesses (bottom group).
 type Event struct {
 	ID      EventID
-	Session core.ReplicaID // ß: events with equal Session are same-session
+	Session core.SessionID // ß: events with equal Session are same-session
 	Op      spec.Op
 	Level   core.Level
 	RVal    spec.Value
@@ -88,7 +88,7 @@ func New(events []*Event, stableAt int64) (*History, error) {
 // validate enforces well-formedness (§3.2): per session, operations are
 // sequential and nothing follows a pending operation.
 func (h *History) validate() error {
-	bySession := make(map[core.ReplicaID][]*Event)
+	bySession := make(map[core.SessionID][]*Event)
 	for _, e := range h.Events {
 		bySession[e.Session] = append(bySession[e.Session], e)
 	}

@@ -9,14 +9,14 @@ import (
 	"bayou/internal/spec"
 )
 
-func ev(session core.ReplicaID, eventNo int64, op spec.Op, level core.Level, invoke, ret int64) *Event {
+func ev(session core.SessionID, eventNo int64, op spec.Op, level core.Level, invoke, ret int64) *Event {
 	return &Event{
 		Session:   session,
 		Op:        op,
 		Level:     level,
 		Invoke:    invoke,
 		Return:    ret,
-		Dot:       core.Dot{Replica: session, EventNo: eventNo},
+		Dot:       core.Dot{Replica: core.ReplicaID(session), EventNo: eventNo},
 		Timestamp: invoke,
 	}
 }

@@ -8,12 +8,16 @@
 // The package exists to demonstrate that internal/core is a pure state
 // machine with no dependency on the simulation substrate, and to exercise
 // the protocol under true concurrency (`go test -race ./internal/livenet`).
-// Simulation remains the tool for the paper's experiments — determinism is
-// what makes the figures reproducible — while livenet is the shape a real
-// deployment driver would take.
+// It presents the same session-oriented surface as internal/cluster — mint
+// sessions with OpenSession, invoke on them, observe through the shared
+// record.Recorder — so the bayou façade drives either substrate through one
+// Driver interface and the same programs run on both. Simulation remains the
+// tool for the paper's experiments (determinism is what makes the figures
+// reproducible); livenet is the shape a real deployment driver takes.
 package livenet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,17 +25,19 @@ import (
 	"time"
 
 	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/record"
 	"bayou/internal/spec"
 )
 
 // ErrStopped is returned for operations on a stopped cluster.
 var ErrStopped = errors.New("livenet: cluster stopped")
 
-// ErrTimeout is returned when a Future is not resolved within the deadline.
-var ErrTimeout = errors.New("livenet: timed out awaiting response")
+// ErrTimeout is returned when an operation misses its deadline.
+var ErrTimeout = errors.New("livenet: timed out")
 
 // inboxSize bounds each replica's message queue. Sends are blocking;
-// workloads that could overrun it should be throttled by awaiting futures.
+// workloads that could overrun it should be throttled by awaiting calls.
 const inboxSize = 1 << 14
 
 type msgKind int
@@ -41,7 +47,7 @@ const (
 	msgRBDeliver
 	msgForward // weak/strong request en route to the primary
 	msgCommit  // primary's ordering announcement
-	msgPeek
+	msgInspect // run a closure on the replica goroutine (reads, stats)
 )
 
 type message struct {
@@ -50,35 +56,17 @@ type message struct {
 	commitNo int64
 	op       spec.Op
 	strong   bool
-	future   *Future
-	peekKey  string
-	peekRes  chan spec.Value
+	sess     core.SessionID
+	reply    chan invokeReply
+	inspect  func(*node)
+	done     chan struct{}
 }
 
-// Future resolves with a call's tentative (weak) or stable (strong)
-// response.
-type Future struct {
-	ch  chan core.Response
-	dot atomic.Value // core.Dot, set once the invoke is processed
-}
-
-// Wait blocks until the response arrives or the timeout expires.
-func (f *Future) Wait(timeout time.Duration) (core.Response, error) {
-	select {
-	case r := <-f.ch:
-		return r, nil
-	case <-time.After(timeout):
-		return core.Response{}, ErrTimeout
-	}
-}
-
-// Dot returns the request identifier once the invoke has been processed
-// (zero value before that).
-func (f *Future) Dot() core.Dot {
-	if d, ok := f.dot.Load().(core.Dot); ok {
-		return d
-	}
-	return core.Dot{}
+// invokeReply carries the processed invocation's call handle back to the
+// submitting client.
+type invokeReply struct {
+	call *record.Call
+	err  error
 }
 
 // Cluster is a goroutine-per-replica deployment. Construct with New; always
@@ -90,6 +78,12 @@ type Cluster struct {
 	clock   atomic.Int64
 	wg      sync.WaitGroup
 	stopped atomic.Bool
+	rec     *record.Recorder
+	started time.Time
+
+	mu       sync.Mutex
+	sessions map[core.SessionID]int
+	nextSess core.SessionID
 }
 
 type node struct {
@@ -98,8 +92,6 @@ type node struct {
 	replica *core.Replica
 	inbox   chan message
 	stop    chan struct{}
-
-	awaiting map[core.Dot]*Future
 
 	// Primary (sequencer) state, used on replica 0 only.
 	commitNo int64
@@ -120,15 +112,26 @@ func (n *node) takeEff() *core.Effects { return n.effPool.Take() }
 func (n *node) putEff(e *core.Effects) { n.effPool.Put(e) }
 
 // New starts a cluster of n replicas running the given protocol variant.
+// Sessions 0..n-1 are pre-opened as one default session per replica;
+// OpenSession mints more.
 func New(n int, variant core.Variant) *Cluster {
-	c := &Cluster{n: n, variant: variant}
+	c := &Cluster{
+		n:        n,
+		variant:  variant,
+		rec:      record.New(),
+		started:  time.Now(),
+		sessions: make(map[core.SessionID]int, n),
+		nextSess: core.SessionID(n),
+	}
+	for i := 0; i < n; i++ {
+		c.sessions[core.SessionID(i)] = i
+	}
 	for i := 0; i < n; i++ {
 		nd := &node{
 			id:         core.ReplicaID(i),
 			cl:         c,
 			inbox:      make(chan message, inboxSize),
 			stop:       make(chan struct{}),
-			awaiting:   make(map[core.Dot]*Future),
 			stamped:    make(map[string]bool),
 			nextCommit: 1,
 			held:       make(map[int64]core.Req),
@@ -138,6 +141,7 @@ func New(n int, variant core.Variant) *Cluster {
 			// and roughly synchronized without wall-clock flakiness.
 			return c.clock.Add(1)
 		})
+		nd.replica.EnableTransitions()
 		c.nodes = append(c.nodes, nd)
 	}
 	for _, nd := range c.nodes {
@@ -158,33 +162,204 @@ func (c *Cluster) Stop() {
 	c.wg.Wait()
 }
 
-// Invoke submits an operation at a replica; the returned Future resolves
-// with the weak tentative response or the strong stable response.
-func (c *Cluster) Invoke(replica int, op spec.Op, strong bool) (*Future, error) {
+// wall is the driver's wall clock (microseconds since construction).
+func (c *Cluster) wall() int64 { return time.Since(c.started).Microseconds() }
+
+// Replicas returns the deployment size.
+func (c *Cluster) Replicas() int { return c.n }
+
+// Recorder exposes the shared observation layer (history, call lookup,
+// watch subscriptions).
+func (c *Cluster) Recorder() *record.Recorder { return c.rec }
+
+// OpenSession mints a fresh sequential session bound to the given replica.
+func (c *Cluster) OpenSession(replica int) (core.SessionID, error) {
+	if c.stopped.Load() {
+		return 0, ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return 0, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.nextSess
+	c.nextSess++
+	c.sessions[s] = replica
+	return s, nil
+}
+
+// SessionReplica returns the replica a session is bound to.
+func (c *Cluster) SessionReplica(s core.SessionID) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.sessions[s]
+	return id, ok
+}
+
+// Invoke submits an operation on the given session at the replica the
+// session is bound to, and returns once the replica has processed the
+// invocation: for Algorithm 2 weak operations the call is already Done
+// (bounded wait-freedom), strong operations resolve in the background (wait
+// with call.WaitDone). Sessions are sequential: a session whose previous
+// call has not returned is rejected with record.ErrSessionBusy.
+func (c *Cluster) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error) {
 	if c.stopped.Load() {
 		return nil, ErrStopped
 	}
+	c.mu.Lock()
+	replica, ok := c.sessions[sess]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	reply := make(chan invokeReply, 1)
+	select {
+	case c.nodes[replica].inbox <- message{kind: msgInvoke, sess: sess, op: op, strong: level == core.Strong, reply: reply}:
+	case <-c.nodes[replica].stop:
+		return nil, ErrStopped
+	}
+	select {
+	case r := <-reply:
+		return r.call, r.err
+	case <-c.nodes[replica].stop:
+		return nil, ErrStopped
+	}
+}
+
+// InvokeAt submits on the replica's default session (session id == replica
+// id) — the one-session-per-replica convenience of the legacy API.
+func (c *Cluster) InvokeAt(replica int, op spec.Op, level core.Level) (*record.Call, error) {
 	if replica < 0 || replica >= c.n {
 		return nil, fmt.Errorf("livenet: no replica %d", replica)
 	}
-	f := &Future{ch: make(chan core.Response, 1)}
-	c.nodes[replica].inbox <- message{kind: msgInvoke, op: op, strong: strong, future: f}
-	return f, nil
+	return c.Invoke(core.SessionID(replica), op, level)
+}
+
+// inspect runs fn on the replica's own goroutine (after draining its
+// internal work) and waits for it, bounded by timeout.
+func (c *Cluster) inspect(replica int, timeout time.Duration, fn func(*node)) error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	done := make(chan struct{})
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case c.nodes[replica].inbox <- message{kind: msgInspect, inspect: fn, done: done}:
+	case <-timer.C:
+		return ErrTimeout
+	case <-c.nodes[replica].stop:
+		return ErrStopped
+	}
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		return ErrTimeout
+	case <-c.nodes[replica].stop:
+		return ErrStopped
+	}
 }
 
 // Read fetches a register value through the replica's own goroutine (safe
 // snapshot of its current state).
 func (c *Cluster) Read(replica int, key string, timeout time.Duration) (spec.Value, error) {
-	if c.stopped.Load() {
-		return nil, ErrStopped
+	var v spec.Value
+	if err := c.inspect(replica, timeout, func(n *node) { v = n.replica.Read(key) }); err != nil {
+		return nil, err
 	}
-	res := make(chan spec.Value, 1)
-	c.nodes[replica].inbox <- message{kind: msgPeek, peekKey: key, peekRes: res}
-	select {
-	case v := <-res:
-		return v, nil
-	case <-time.After(timeout):
-		return nil, ErrTimeout
+	return v, nil
+}
+
+// Committed returns a snapshot of the replica's committed order.
+func (c *Cluster) Committed(replica int, timeout time.Duration) ([]core.Req, error) {
+	var reqs []core.Req
+	if err := c.inspect(replica, timeout, func(n *node) { reqs = n.replica.Committed() }); err != nil {
+		return nil, err
+	}
+	return reqs, nil
+}
+
+// Stats aggregates replica cost counters, keyed by replica.
+func (c *Cluster) Stats(timeout time.Duration) (map[core.ReplicaID]core.Stats, error) {
+	out := make(map[core.ReplicaID]core.Stats, c.n)
+	for i := 0; i < c.n; i++ {
+		var st core.Stats
+		if err := c.inspect(i, timeout, func(n *node) { st = n.replica.Stats() }); err != nil {
+			return nil, err
+		}
+		out[core.ReplicaID(i)] = st
+	}
+	return out, nil
+}
+
+// Compact runs Bayou's log compaction on every replica; it returns the
+// number of undo entries released.
+func (c *Cluster) Compact(timeout time.Duration) (int, error) {
+	total := 0
+	for i := 0; i < c.n; i++ {
+		var freed int
+		if err := c.inspect(i, timeout, func(n *node) { freed = n.replica.Compact() }); err != nil {
+			return total, err
+		}
+		total += freed
+	}
+	return total, nil
+}
+
+// MarkStable records the quiescence cutoff for the history checkers.
+func (c *Cluster) MarkStable() { c.rec.MarkStable() }
+
+// History assembles the recorded history.
+func (c *Cluster) History() (*history.History, error) { return c.rec.History() }
+
+// Quiesce blocks until the deployment has settled: every recorded call is
+// terminal (responses delivered, weak updates stabilized) and every replica
+// has applied every commit and drained its internal work. It is the live
+// analogue of the simulator's Settle.
+func (c *Cluster) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	for _, call := range c.rec.Calls() {
+		if err := call.WaitTerminal(ctx); err != nil {
+			return fmt.Errorf("livenet: quiesce: call %s not terminal: %w", call.Dot(), err)
+		}
+	}
+	// All replicas must have applied every commit (one per TOB-cast
+	// invocation) and be passive; the recorder count is the ground truth
+	// for how many commits a settled run contains.
+	expected := c.rec.TOBCastCount()
+	for {
+		converged := true
+		for i := 0; i < c.n; i++ {
+			var committed int
+			var busy bool
+			left := time.Until(deadline)
+			if left <= 0 {
+				return fmt.Errorf("livenet: quiesce: %w", ErrTimeout)
+			}
+			if err := c.inspect(i, left, func(n *node) {
+				committed = n.replica.CommittedLen()
+				busy = n.replica.HasInternalWork()
+			}); err != nil {
+				return fmt.Errorf("livenet: quiesce: %w", err)
+			}
+			if committed < expected || busy {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livenet: quiesce: %w", ErrTimeout)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -233,29 +408,37 @@ func (n *node) process(m message) {
 	n.flushRB()
 	switch m.kind {
 	case msgInvoke:
-		eff := n.takeEff()
-		req, err := n.replica.InvokeInto(m.op, m.strong, eff)
-		if err != nil {
-			n.putEff(eff)
-			m.future.ch <- core.Response{}
+		if n.cl.rec.SessionBusy(m.sess) {
+			m.reply <- invokeReply{err: fmt.Errorf("%w: session %d", record.ErrSessionBusy, m.sess)}
 			return
 		}
-		m.future.dot.Store(req.Dot)
-		n.awaiting[req.Dot] = m.future
+		level := core.Weak
+		if m.strong {
+			level = core.Strong
+		}
+		eff := n.takeEff()
+		req, err := n.replica.InvokeFrom(m.sess, m.op, m.strong, eff)
+		if err != nil {
+			n.putEff(eff)
+			m.reply <- invokeReply{err: fmt.Errorf("livenet: invoke on %d: %w", n.id, err)}
+			return
+		}
+		call := n.cl.rec.Invoked(m.sess, req.Dot, m.op, level, req.Timestamp, len(eff.TOBCast) > 0, n.cl.wall())
 		n.route(*eff)
 		n.putEff(eff)
+		m.reply <- invokeReply{call: call}
 	case msgForward:
 		if n.id == 0 {
 			n.stampAndBroadcast(m.req)
 		}
 	case msgCommit:
 		n.applyCommit(m.commitNo, m.req)
-	case msgPeek:
-		// Drain before answering so a peek mid-burst still observes
-		// every message processed ahead of it (the seed's
-		// drain-after-every-message guarantee).
+	case msgInspect:
+		// Drain before answering so an inspection mid-burst still
+		// observes every message processed ahead of it.
 		n.drain()
-		m.peekRes <- n.replica.Read(m.peekKey)
+		m.inspect(n)
+		close(m.done)
 	}
 }
 
@@ -313,7 +496,9 @@ func (n *node) applyCommit(no int64, r core.Req) {
 	// invariant error on one commit withholds that transition's effects
 	// (whose contents are unspecified on error) without dropping the rest
 	// of the cascade.
-	for _, next := range batch {
+	first := n.nextCommit - int64(len(batch))
+	for i, next := range batch {
+		n.cl.rec.TOBDelivered(next.Dot, first+int64(i))
 		eff := n.takeEff()
 		if err := n.replica.TOBDeliverInto(next, eff); err == nil {
 			n.route(*eff)
@@ -331,8 +516,7 @@ func (n *node) drain() {
 	n.putEff(eff)
 }
 
-// route fans a step's effects out to the other replicas and to waiting
-// futures.
+// route fans a step's effects out to the other replicas and the recorder.
 func (n *node) route(eff core.Effects) {
 	for _, r := range eff.RBCast {
 		for _, peer := range n.cl.nodes {
@@ -348,10 +532,14 @@ func (n *node) route(eff core.Effects) {
 		}
 		n.cl.nodes[0].inbox <- message{kind: msgForward, req: r}
 	}
+	wall := n.cl.wall()
+	for _, t := range eff.Transitions {
+		n.cl.rec.Transition(t, wall)
+	}
 	for _, resp := range eff.Responses {
-		if f, ok := n.awaiting[resp.Req.Dot]; ok {
-			f.ch <- resp
-			delete(n.awaiting, resp.Req.Dot)
-		}
+		n.cl.rec.Responded(resp, wall)
+	}
+	for _, notice := range eff.StableNotices {
+		n.cl.rec.StableNoticed(notice, wall)
 	}
 }

@@ -1,12 +1,16 @@
 package livenet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"bayou/internal/check"
 	"bayou/internal/core"
+	"bayou/internal/record"
 	"bayou/internal/spec"
 )
 
@@ -28,14 +32,16 @@ func eventually(t *testing.T, what string, cond func() bool) {
 func TestWeakInvokeResolvesImmediately(t *testing.T) {
 	c := New(3, core.NoCircularCausality)
 	defer c.Stop()
-	f, err := c.Invoke(1, spec.Append("hello"), false)
+	call, err := c.InvokeAt(1, spec.Append("hello"), core.Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := f.Wait(waitFor)
-	if err != nil {
-		t.Fatal(err)
+	// Algorithm 2 weak operations are bounded wait-free: the call is done
+	// by the time the invoke returns.
+	if !call.Done() {
+		t.Fatal("weak call must resolve within the invoke step")
 	}
+	resp := call.Response()
 	if !spec.Equal(resp.Value, "hello") {
 		t.Errorf("weak response = %v, want hello", resp.Value)
 	}
@@ -47,14 +53,16 @@ func TestWeakInvokeResolvesImmediately(t *testing.T) {
 func TestStrongInvokeResolvesAfterCommit(t *testing.T) {
 	c := New(3, core.NoCircularCausality)
 	defer c.Stop()
-	f, err := c.Invoke(2, spec.PutIfAbsent("lock", "me"), true)
+	call, err := c.InvokeAt(2, spec.PutIfAbsent("lock", "me"), core.Strong)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := f.Wait(waitFor)
-	if err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), waitFor)
+	defer cancel()
+	if err := call.WaitDone(ctx); err != nil {
 		t.Fatal(err)
 	}
+	resp := call.Response()
 	if resp.Value != true {
 		t.Errorf("strong response = %v, want true", resp.Value)
 	}
@@ -63,7 +71,7 @@ func TestStrongInvokeResolvesAfterCommit(t *testing.T) {
 	}
 }
 
-func TestConvergenceUnderConcurrentClients(t *testing.T) {
+func TestConvergenceUnderConcurrentSessions(t *testing.T) {
 	const (
 		replicas = 4
 		clients  = 8
@@ -72,19 +80,26 @@ func TestConvergenceUnderConcurrentClients(t *testing.T) {
 	c := New(replicas, core.NoCircularCausality)
 	defer c.Stop()
 
+	// Several concurrent sessions share each replica — the multi-session
+	// model the seed's one-call-per-replica façade could not express.
 	var wg sync.WaitGroup
 	for cl := 0; cl < clients; cl++ {
-		cl := cl
+		sess, err := c.OpenSession(cl % replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), waitFor)
+			defer cancel()
 			for k := 0; k < perEach; k++ {
-				f, err := c.Invoke(cl%replicas, spec.Inc("ctr", 1), false)
+				call, err := c.Invoke(sess, spec.Inc("ctr", 1), core.Weak)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := f.Wait(waitFor); err != nil {
+				if err := call.WaitDone(ctx); err != nil {
 					t.Error(err)
 					return
 				}
@@ -93,19 +108,58 @@ func TestConvergenceUnderConcurrentClients(t *testing.T) {
 	}
 	wg.Wait()
 
-	// All increments eventually commit everywhere: the counter converges
-	// to clients*perEach on every replica.
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	// All increments committed everywhere: the counter converges to
+	// clients*perEach on every replica.
 	want := int64(clients * perEach)
 	for i := 0; i < replicas; i++ {
-		i := i
-		eventually(t, fmt.Sprintf("replica %d counter = %d", i, want), func() bool {
-			v, err := c.Read(i, "ctr", waitFor)
-			if err != nil {
-				return false
-			}
-			got, _ := v.(int64)
-			return got == want
-		})
+		v, err := c.Read(i, "ctr", waitFor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := v.(int64); got != want {
+			t.Errorf("replica %d counter = %v, want %d", i, v, want)
+		}
+	}
+	// The recorded history is well-formed (per-session sequential) and
+	// satisfies the paper's weak-level guarantee.
+	c.MarkStable()
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Events) != clients*perEach {
+		t.Fatalf("history has %d events, want %d", len(h.Events), clients*perEach)
+	}
+	if rep := check.NewWitness(h).FEC(core.Weak); !rep.OK() {
+		t.Errorf("FEC(weak) must hold on the live run:\n%s", rep)
+	}
+}
+
+func TestSessionFIFOEnforced(t *testing.T) {
+	c := New(2, core.NoCircularCausality)
+	defer c.Stop()
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strong call leaves the session busy until it commits; a second
+	// invocation in that window must be rejected. To make the window
+	// observable we race: issue the strong call, then immediately try a
+	// weak one on the same session — either the strong one already
+	// resolved (fine) or the weak one errors with ErrSessionBusy.
+	strong, err := c.Invoke(sess, spec.Append("s"), core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(sess, spec.Append("w"), core.Weak); err != nil {
+		if !errors.Is(err, record.ErrSessionBusy) {
+			t.Fatalf("want ErrSessionBusy, got %v", err)
+		}
+	} else if !strong.Done() {
+		t.Error("second invoke accepted while the first still pends")
 	}
 }
 
@@ -120,17 +174,18 @@ func TestMixedLevelsUnderConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f, err := c.Invoke(i, spec.PutIfAbsent("leader", fmt.Sprintf("replica-%d", i)), true)
+			call, err := c.InvokeAt(i, spec.PutIfAbsent("leader", fmt.Sprintf("replica-%d", i)), core.Strong)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			resp, err := f.Wait(waitFor)
-			if err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), waitFor)
+			defer cancel()
+			if err := call.WaitDone(ctx); err != nil {
 				t.Error(err)
 				return
 			}
-			results[i] = resp.Value
+			results[i] = call.Response().Value
 		}()
 	}
 	wg.Wait()
@@ -151,53 +206,103 @@ func TestMixedLevelsUnderConcurrency(t *testing.T) {
 func TestOriginalVariantConverges(t *testing.T) {
 	c := New(3, core.Original)
 	defer c.Stop()
-	futures := make([]*Future, 0, 6)
+	calls := make([]*record.Call, 0, 6)
 	for k := 0; k < 6; k++ {
-		f, err := c.Invoke(k%3, spec.Append(fmt.Sprintf("%d", k)), false)
+		sess, err := c.OpenSession(k % 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		futures = append(futures, f)
+		call, err := c.Invoke(sess, spec.Append(fmt.Sprintf("%d", k)), core.Weak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, call)
 	}
-	for _, f := range futures {
-		if _, err := f.Wait(waitFor); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), waitFor)
+	defer cancel()
+	for _, call := range calls {
+		if err := call.WaitDone(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
-	eventually(t, "replicas share one list", func() bool {
-		ref, err := c.Read(0, spec.DefaultListID, waitFor)
-		if err != nil || ref == nil {
-			return false
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Read(0, spec.DefaultListID, waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.([]spec.Value)) != 6 {
+		t.Fatalf("list = %v, want 6 entries", ref)
+	}
+	for i := 1; i < 3; i++ {
+		v, err := c.Read(i, spec.DefaultListID, waitFor)
+		if err != nil || !spec.Equal(v, ref) {
+			t.Errorf("replica %d diverges: %v vs %v (%v)", i, v, ref, err)
 		}
-		if len(ref.([]spec.Value)) != 6 {
-			return false
-		}
-		for i := 1; i < 3; i++ {
-			v, err := c.Read(i, spec.DefaultListID, waitFor)
-			if err != nil || !spec.Equal(v, ref) {
-				return false
-			}
-		}
-		return true
-	})
+	}
+}
+
+// TestStableNoticeAndWatchOnLiveRun: a weak update's watch stream delivers
+// tentative first and committed last, over real concurrency.
+func TestStableNoticeAndWatchOnLiveRun(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+	call, err := c.InvokeAt(1, spec.Append("n"), core.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := call.Updates()
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	var got []record.Update
+	for u := range updates {
+		got = append(got, u)
+	}
+	if len(got) < 2 {
+		t.Fatalf("watch stream = %+v, want at least tentative and committed", got)
+	}
+	if got[0].Status != core.StatusTentative {
+		t.Errorf("first update %v, want tentative", got[0].Status)
+	}
+	if last := got[len(got)-1]; last.Status != core.StatusCommitted {
+		t.Errorf("last update %v, want committed", last.Status)
+	}
+	stable, ok := call.Stable()
+	if !ok {
+		t.Fatal("weak update must stabilize after quiesce")
+	}
+	if !spec.Equal(stable.Value, got[len(got)-1].Value) {
+		t.Errorf("stable value %v != final update value %v", stable.Value, got[len(got)-1].Value)
+	}
 }
 
 func TestStopIsIdempotentAndRejectsWork(t *testing.T) {
 	c := New(2, core.NoCircularCausality)
 	c.Stop()
 	c.Stop()
-	if _, err := c.Invoke(0, spec.Append("x"), false); err == nil {
+	if _, err := c.InvokeAt(0, spec.Append("x"), core.Weak); err == nil {
 		t.Error("invoke on stopped cluster must error")
 	}
 	if _, err := c.Read(0, "k", time.Millisecond); err == nil {
 		t.Error("read on stopped cluster must error")
 	}
+	if _, err := c.OpenSession(0); err == nil {
+		t.Error("open session on stopped cluster must error")
+	}
 }
 
-func TestInvalidReplica(t *testing.T) {
+func TestInvalidReplicaAndSession(t *testing.T) {
 	c := New(2, core.NoCircularCausality)
 	defer c.Stop()
-	if _, err := c.Invoke(9, spec.Append("x"), false); err == nil {
+	if _, err := c.InvokeAt(9, spec.Append("x"), core.Weak); err == nil {
 		t.Error("invalid replica must error")
+	}
+	if _, err := c.OpenSession(9); err == nil {
+		t.Error("invalid replica must error on OpenSession")
+	}
+	if _, err := c.Invoke(core.SessionID(99), spec.Append("x"), core.Weak); err == nil {
+		t.Error("unknown session must error")
 	}
 }

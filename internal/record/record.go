@@ -1,0 +1,483 @@
+// Package record is the driver-neutral observation layer of the deployment:
+// it accumulates the observable history of a run (events keyed by *session*,
+// exactly the ß equivalence classes of §3.2) together with the run witnesses
+// the checkers consume, and it owns the client-facing Call handle with its
+// response-status subscription stream.
+//
+// Both deployment drivers — the deterministic simulator (internal/cluster)
+// and the goroutine-per-replica live driver (internal/livenet) — feed the
+// same Recorder, which is what makes histories, checker verdicts and watch
+// streams comparable across substrates. The Recorder and Call are safe for
+// concurrent use; the single-threaded simulator pays only uncontended locks.
+package record
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+)
+
+// ErrSessionBusy reports an invocation on a session whose previous operation
+// has not yet returned. Well-formed histories (§3.2) require sessions to be
+// sequential: a client blocked on a strong operation cannot issue more work.
+var ErrSessionBusy = errors.New("record: session awaiting a response")
+
+// Update is one response-status event delivered on a watch stream: the
+// status the call's response transitioned to, the response value at that
+// moment, and the driver's wall time of the transition.
+type Update struct {
+	Status core.Status
+	Value  spec.Value
+	Wall   int64
+}
+
+// Call is a client's handle on one invocation. It fills in as the deployment
+// makes progress: Done/Response when the (tentative or stable) response
+// arrives, Stable when a weak update's final value is notified (footnote 3
+// of the paper), and Updates streams every status transition in between —
+// the observable fluctuation that FEC formalizes.
+type Call struct {
+	dot     core.Dot
+	session core.SessionID
+	op      spec.Op
+	level   core.Level
+	tobCast bool
+
+	mu         sync.Mutex
+	done       bool
+	resp       core.Response
+	wallInvoke int64
+	wallReturn int64
+	stableDone bool
+	stableResp core.Response
+	wallStable int64
+	terminal   bool
+	doneCh     chan struct{}
+	termCh     chan struct{}
+	log        []Update
+	subs       []*sub
+}
+
+// Dot returns the request identifier.
+func (c *Call) Dot() core.Dot { return c.dot }
+
+// Session returns the issuing session.
+func (c *Call) Session() core.SessionID { return c.session }
+
+// Op returns the invoked operation.
+func (c *Call) Op() spec.Op { return c.op }
+
+// Level returns the invocation's consistency level.
+func (c *Call) Level() core.Level { return c.level }
+
+// Done reports whether the response has arrived.
+func (c *Call) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}
+
+// Response returns the response (the zero Response while !Done). For weak
+// operations this is the first, tentative value; Stable carries the final
+// one once established.
+func (c *Call) Response() core.Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resp
+}
+
+// Value is shorthand for Response().Value.
+func (c *Call) Value() spec.Value { return c.Response().Value }
+
+// Stable returns the stable (committed-order) response and whether it has
+// arrived. For strong operations the first response is already stable;
+// for weak updating operations it is the optional notification of the
+// original Bayou; weak read-only operations never stabilize.
+func (c *Call) Stable() (core.Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stableDone {
+		return c.stableResp, true
+	}
+	if c.done && c.resp.Committed {
+		return c.resp, true
+	}
+	return core.Response{}, false
+}
+
+// WallInvoke returns the driver wall time of the invocation.
+func (c *Call) WallInvoke() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wallInvoke
+}
+
+// WallReturn returns the driver wall time of the response (0 while pending).
+func (c *Call) WallReturn() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wallReturn
+}
+
+// WallStable returns the driver wall time of the stable notice (0 if none).
+func (c *Call) WallStable() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wallStable
+}
+
+// Terminal reports whether the call can produce no further updates: its
+// response is committed (or it never entered consensus and has returned).
+func (c *Call) Terminal() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.terminal
+}
+
+// Fluctuations returns a snapshot of every status transition recorded so
+// far, in order. On a terminal call this is the complete lifecycle.
+func (c *Call) Fluctuations() []Update {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Update(nil), c.log...)
+}
+
+// WaitDone blocks until the response arrives or ctx is cancelled. It is the
+// waiting primitive of drivers that make progress in the background; on the
+// deterministic simulator nothing advances while the caller blocks, so the
+// façade routes Wait through the driver instead.
+func (c *Call) WaitDone(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WaitTerminal blocks until the call is terminal or ctx is cancelled.
+func (c *Call) WaitTerminal(ctx context.Context) error {
+	select {
+	case <-c.termCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Updates subscribes to the call's status transitions. Every transition
+// recorded so far is replayed first, then live ones are delivered in order;
+// the channel is closed once the call is terminal and all updates have been
+// consumed. The stream is lossless — a slow consumer buffers, it does not
+// drop — so the consumer must either drain the channel or the call must
+// reach a terminal status, or the feeding goroutine is retained.
+func (c *Call) Updates() <-chan Update {
+	c.mu.Lock()
+	s := &sub{notify: make(chan struct{}, 1), buf: append([]Update(nil), c.log...), done: c.terminal}
+	if !c.terminal {
+		c.subs = append(c.subs, s)
+	}
+	c.mu.Unlock()
+
+	out := make(chan Update)
+	go func() {
+		defer close(out)
+		for {
+			s.mu.Lock()
+			batch := s.buf
+			s.buf = nil
+			done := s.done
+			s.mu.Unlock()
+			for _, u := range batch {
+				out <- u
+			}
+			if done {
+				s.mu.Lock()
+				more := len(s.buf) > 0
+				s.mu.Unlock()
+				if !more {
+					return
+				}
+				continue
+			}
+			<-s.notify
+		}
+	}()
+	return out
+}
+
+// sub is one Updates subscription: an unbounded buffer plus a wake-up edge.
+type sub struct {
+	mu     sync.Mutex
+	buf    []Update
+	done   bool
+	notify chan struct{}
+}
+
+func (s *sub) push(u Update) {
+	s.mu.Lock()
+	s.buf = append(s.buf, u)
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *sub) finish() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *sub) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// respond delivers the call's response.
+func (c *Call) respond(resp core.Response, wall int64) {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	c.done = true
+	c.resp = resp
+	c.wallReturn = wall
+	close(c.doneCh)
+	// A committed response is final; a response that never entered TOB
+	// (weak read-only under Algorithm 2) can never change either.
+	if resp.Committed || !c.tobCast {
+		c.setTerminalLocked()
+	}
+	c.mu.Unlock()
+}
+
+// stable delivers the stable notice of a weak updating operation.
+func (c *Call) stable(resp core.Response, wall int64) {
+	c.mu.Lock()
+	if c.stableDone {
+		c.mu.Unlock()
+		return
+	}
+	c.stableDone = true
+	c.stableResp = resp
+	c.wallStable = wall
+	c.setTerminalLocked()
+	c.mu.Unlock()
+}
+
+// transition records a status update and fans it out to subscribers.
+func (c *Call) transition(u Update) {
+	c.mu.Lock()
+	if c.terminal {
+		c.mu.Unlock()
+		return
+	}
+	c.log = append(c.log, u)
+	subs := c.subs
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.push(u)
+	}
+}
+
+// setTerminalLocked marks the call terminal and releases subscribers; the
+// caller holds c.mu.
+func (c *Call) setTerminalLocked() {
+	if c.terminal {
+		return
+	}
+	c.terminal = true
+	close(c.termCh)
+	for _, s := range c.subs {
+		s.finish()
+	}
+	c.subs = nil
+}
+
+// Recorder accumulates the observable history and the run witnesses while a
+// deployment executes. Invocation and response instants are stamped with a
+// global logical sequence so that the rb relation is unambiguous even when
+// several events share a driver instant.
+type Recorder struct {
+	mu       sync.Mutex
+	seq      int64
+	stableAt int64
+	calls    map[core.Dot]*Call
+	callList []*Call
+	events   map[core.Dot]*history.Event
+	order    []core.Dot
+	tobNos   map[core.Dot]int64
+	lastOf   map[core.SessionID]*history.Event
+	tobCast  int
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{
+		calls:  make(map[core.Dot]*Call),
+		events: make(map[core.Dot]*history.Event),
+		tobNos: make(map[core.Dot]int64),
+		lastOf: make(map[core.SessionID]*history.Event),
+	}
+}
+
+// SessionBusy reports whether the session's latest invocation is still
+// awaiting its response. Drivers check it before invoking the replica so a
+// rejected invocation leaves no trace in the protocol state.
+func (r *Recorder) SessionBusy(session core.SessionID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last := r.lastOf[session]
+	return last != nil && last.Pending
+}
+
+// Invoked records a new invocation and returns its call handle. Requests
+// attributed to core.NoSession are not recorded and yield nil.
+func (r *Recorder) Invoked(session core.SessionID, d core.Dot, op spec.Op, level core.Level, ts int64, tobCast bool, wall int64) *Call {
+	if session == core.NoSession {
+		return nil
+	}
+	call := &Call{
+		dot: d, session: session, op: op, level: level, tobCast: tobCast,
+		wallInvoke: wall,
+		doneCh:     make(chan struct{}),
+		termCh:     make(chan struct{}),
+	}
+	r.mu.Lock()
+	r.seq++
+	e := &history.Event{
+		Session:    session,
+		Op:         op,
+		Level:      level,
+		Pending:    true,
+		Invoke:     r.seq,
+		WallInvoke: wall,
+		Dot:        d,
+		Timestamp:  ts,
+		TOBCast:    tobCast,
+		TOBNo:      -1,
+	}
+	r.calls[d] = call
+	r.callList = append(r.callList, call)
+	r.events[d] = e
+	r.lastOf[session] = e
+	r.order = append(r.order, d)
+	if tobCast {
+		r.tobCast++
+	}
+	r.mu.Unlock()
+	return call
+}
+
+// Responded records a response effect, completing the matching call.
+func (r *Recorder) Responded(resp core.Response, wall int64) {
+	d := resp.Req.Dot
+	r.mu.Lock()
+	call := r.calls[d]
+	if e, ok := r.events[d]; ok && e.Pending {
+		r.seq++
+		e.Pending = false
+		e.Return = r.seq
+		e.WallReturn = wall
+		e.RVal = resp.Value
+		e.Trace = append([]core.Dot(nil), resp.Trace...)
+		e.CommittedLen = resp.CommittedLen
+	}
+	r.mu.Unlock()
+	if call != nil {
+		call.respond(resp, wall)
+	}
+}
+
+// StableNoticed records the stable value of a weak operation that already
+// returned tentatively. It updates the call handle only: the history's rval
+// stays the (first) tentative response, matching the paper's model of a
+// client interested in one or the other (footnote 3).
+func (r *Recorder) StableNoticed(resp core.Response, wall int64) {
+	r.mu.Lock()
+	call := r.calls[resp.Req.Dot]
+	r.mu.Unlock()
+	if call != nil {
+		call.stable(resp, wall)
+	}
+}
+
+// Transition records a response-status transition, feeding the matching
+// call's watch subscriptions.
+func (r *Recorder) Transition(t core.Transition, wall int64) {
+	r.mu.Lock()
+	call := r.calls[t.Dot]
+	r.mu.Unlock()
+	if call != nil {
+		call.transition(Update{Status: t.Status, Value: t.Value, Wall: wall})
+	}
+}
+
+// TOBDelivered records the request's (first) TOB delivery position.
+func (r *Recorder) TOBDelivered(d core.Dot, tobNo int64) {
+	r.mu.Lock()
+	if _, seen := r.tobNos[d]; !seen {
+		r.tobNos[d] = tobNo
+	}
+	r.mu.Unlock()
+}
+
+// MarkStable records the quiescence point for the history checkers: events
+// invoked afterwards act as the probes of the "eventually" predicates.
+func (r *Recorder) MarkStable() {
+	r.mu.Lock()
+	r.stableAt = r.seq
+	r.mu.Unlock()
+}
+
+// Calls returns a snapshot of every recorded call in invocation order.
+func (r *Recorder) Calls() []*Call {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Call(nil), r.callList...)
+}
+
+// Call returns the call with the given dot, or nil.
+func (r *Recorder) Call(d core.Dot) *Call {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls[d]
+}
+
+// TOBCastCount returns how many recorded invocations entered total order
+// broadcast — the number of commits a quiescent run must have applied.
+func (r *Recorder) TOBCastCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tobCast
+}
+
+// History assembles the recorded history. TOB numbers are attached at
+// assembly time so that late deliveries (after the response) are reflected.
+// The events are snapshot copies taken under the lock: the recorder's own
+// Event records keep mutating as responses arrive (on replica goroutines,
+// under the live driver), so handing out live pointers would race with
+// them.
+func (r *Recorder) History() (*history.History, error) {
+	r.mu.Lock()
+	events := make([]*history.Event, 0, len(r.order))
+	for _, d := range r.order {
+		e := *r.events[d] // copy; the Trace slice is write-once and safe to share
+		if no, ok := r.tobNos[d]; ok {
+			e.TOBNo = no
+		} else {
+			e.TOBNo = -1
+		}
+		events = append(events, &e)
+	}
+	stableAt := r.stableAt
+	r.mu.Unlock()
+	return history.New(events, stableAt)
+}

@@ -1,0 +1,223 @@
+package record
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+func dot(r core.ReplicaID, n int64) core.Dot { return core.Dot{Replica: r, EventNo: n} }
+
+func resp(d core.Dot, op spec.Op, v spec.Value, committed bool) core.Response {
+	return core.Response{Req: core.Req{Dot: d, Op: op}, Value: v, Committed: committed}
+}
+
+func TestSessionBusyAndHistoryKeying(t *testing.T) {
+	r := New()
+	d1, d2 := dot(0, 1), dot(0, 2)
+	// Two sessions on the same replica: each keys its own history lane.
+	r.Invoked(5, d1, spec.Append("a"), core.Weak, 1, true, 10)
+	if !r.SessionBusy(5) {
+		t.Error("session 5 must be busy while its call pends")
+	}
+	if r.SessionBusy(6) {
+		t.Error("session 6 has no calls and cannot be busy")
+	}
+	r.Invoked(6, d2, spec.Append("b"), core.Weak, 2, true, 11)
+	r.Responded(resp(d1, spec.Append("a"), "a", false), 12)
+	if r.SessionBusy(5) {
+		t.Error("session 5 must be free after its response")
+	}
+	r.Responded(resp(d2, spec.Append("b"), "b", false), 13)
+	h, err := r.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Events[0].Session != 5 || h.Events[1].Session != 6 {
+		t.Errorf("history sessions = %d, %d, want 5, 6", h.Events[0].Session, h.Events[1].Session)
+	}
+	if r.TOBCastCount() != 2 {
+		t.Errorf("TOBCastCount = %d, want 2", r.TOBCastCount())
+	}
+}
+
+func TestNoSessionInvocationsAreNotRecorded(t *testing.T) {
+	r := New()
+	if call := r.Invoked(core.NoSession, dot(0, 1), spec.Append("x"), core.Weak, 1, false, 0); call != nil {
+		t.Fatal("NoSession invocations must not produce call handles")
+	}
+	if got := len(r.Calls()); got != 0 {
+		t.Errorf("recorded %d calls, want 0", got)
+	}
+}
+
+func TestCallLifecycleWeakUpdate(t *testing.T) {
+	r := New()
+	d := dot(1, 1)
+	op := spec.Append("v")
+	call := r.Invoked(3, d, op, core.Weak, 1, true, 0)
+	if call.Terminal() {
+		t.Fatal("fresh call cannot be terminal")
+	}
+	r.Transition(core.Transition{Dot: d, Session: 3, Status: core.StatusTentative, Value: "v"}, 1)
+	r.Responded(resp(d, op, "v", false), 1)
+	if !call.Done() || call.Terminal() {
+		t.Fatal("weak update must be done but not terminal before its stable notice")
+	}
+	r.Transition(core.Transition{Dot: d, Session: 3, Status: core.StatusReordered, Value: "uv"}, 2)
+	r.Transition(core.Transition{Dot: d, Session: 3, Status: core.StatusCommitted, Value: "uv"}, 3)
+	r.StableNoticed(resp(d, op, "uv", true), 3)
+	if !call.Terminal() {
+		t.Fatal("stable notice must make the call terminal")
+	}
+	stable, ok := call.Stable()
+	if !ok || !spec.Equal(stable.Value, "uv") {
+		t.Fatalf("stable = %v, %v", stable, ok)
+	}
+	got := call.Fluctuations()
+	want := []core.Status{core.StatusTentative, core.StatusReordered, core.StatusCommitted}
+	if len(got) != len(want) {
+		t.Fatalf("fluctuations = %+v, want %d updates", got, len(want))
+	}
+	for i, u := range got {
+		if u.Status != want[i] {
+			t.Errorf("fluctuations[%d].Status = %v, want %v", i, u.Status, want[i])
+		}
+	}
+}
+
+// TestUpdatesSubscriptionReplaysAndCloses: a late subscriber sees the whole
+// log; the channel closes at terminal.
+func TestUpdatesSubscriptionReplaysAndCloses(t *testing.T) {
+	r := New()
+	d := dot(0, 1)
+	op := spec.Append("x")
+	call := r.Invoked(2, d, op, core.Weak, 1, true, 0)
+	r.Transition(core.Transition{Dot: d, Status: core.StatusTentative, Value: "x"}, 1)
+	r.Responded(resp(d, op, "x", false), 1)
+
+	early := call.Updates() // subscribed mid-lifecycle
+	r.Transition(core.Transition{Dot: d, Status: core.StatusCommitted, Value: "x"}, 2)
+	r.StableNoticed(resp(d, op, "x", true), 2)
+	late := call.Updates() // subscribed after terminal: pure replay
+
+	for name, ch := range map[string]<-chan Update{"early": early, "late": late} {
+		var got []Update
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case u, ok := <-ch:
+				if !ok {
+					goto drained
+				}
+				got = append(got, u)
+			case <-deadline:
+				t.Fatalf("%s subscription never closed", name)
+			}
+		}
+	drained:
+		if len(got) != 2 || got[0].Status != core.StatusTentative || got[1].Status != core.StatusCommitted {
+			t.Errorf("%s subscription = %+v", name, got)
+		}
+	}
+}
+
+// TestStrongAndReadOnlyTerminality: a committed response and a never-cast
+// response are terminal at once — nothing further can arrive.
+func TestStrongAndReadOnlyTerminality(t *testing.T) {
+	r := New()
+	strongDot, roDot := dot(0, 1), dot(0, 2)
+	strong := r.Invoked(1, strongDot, spec.Append("s"), core.Strong, 1, true, 0)
+	r.Responded(resp(strongDot, spec.Append("s"), "s", true), 1)
+	if !strong.Terminal() {
+		t.Error("committed strong response must be terminal")
+	}
+	ro := r.Invoked(2, roDot, spec.ListRead(), core.Weak, 2, false, 0)
+	r.Responded(resp(roDot, spec.ListRead(), "s", false), 2)
+	if !ro.Terminal() {
+		t.Error("never-TOB-cast weak read must be terminal at its response")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := ro.WaitTerminal(ctx); err != nil {
+		t.Errorf("WaitTerminal on a terminal call must return: %v", err)
+	}
+}
+
+// TestConcurrentPublishAndSubscribe exercises the subscription machinery
+// under the race detector: one goroutine publishes transitions while others
+// subscribe and drain.
+func TestConcurrentPublishAndSubscribe(t *testing.T) {
+	r := New()
+	d := dot(0, 1)
+	op := spec.Append("x")
+	call := r.Invoked(1, d, op, core.Weak, 1, true, 0)
+
+	const updates = 100
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for range call.Updates() {
+				n++
+			}
+			if n == 0 {
+				t.Error("subscriber saw no updates")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Transition(core.Transition{Dot: d, Status: core.StatusTentative, Value: int64(0)}, 0)
+		r.Responded(resp(d, op, int64(0), false), 0)
+		for i := 1; i < updates; i++ {
+			r.Transition(core.Transition{Dot: d, Status: core.StatusReordered, Value: int64(i)}, int64(i))
+		}
+		r.Transition(core.Transition{Dot: d, Status: core.StatusCommitted, Value: int64(updates)}, updates)
+		r.StableNoticed(resp(d, op, int64(updates), true), updates)
+	}()
+	wg.Wait()
+}
+
+// TestHistorySnapshotWhileResponding: History() must hand out snapshots,
+// not live event records — assembling a history (and reading it) while
+// responses keep landing is exactly what the live driver does.
+func TestHistorySnapshotWhileResponding(t *testing.T) {
+	r := New()
+	const n = 200
+	ops := make([]core.Dot, n)
+	for i := range ops {
+		ops[i] = dot(0, int64(i+1))
+		r.Invoked(core.SessionID(i), ops[i], spec.Append("x"), core.Weak, int64(i), true, int64(i))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, d := range ops {
+			r.Responded(resp(d, spec.Append("x"), "x", false), 1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			h, err := r.History()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, e := range h.Events {
+				_ = e.Pending
+				_ = e.RVal
+			}
+		}
+	}()
+	wg.Wait()
+}

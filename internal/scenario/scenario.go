@@ -275,7 +275,7 @@ func Theorem1() (*Outcome, error) {
 	if schedErr != nil {
 		return nil, schedErr
 	}
-	if cCall := calls["c"]; cCall.Done {
+	if cCall := calls["c"]; cCall.Done() {
 		return nil, errors.New("scenario: strong op completed while j was isolated")
 	}
 	net.Unblock(0, 1)

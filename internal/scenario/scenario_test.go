@@ -24,14 +24,14 @@ func TestFigure1ExactValues(t *testing.T) {
 	}
 	for _, c := range cases {
 		call := out.Calls[c.name]
-		if call == nil || !call.Done {
+		if call == nil || !call.Done() {
 			t.Fatalf("%s missing or incomplete", c.name)
 		}
-		if !spec.Equal(call.Response.Value, c.value) {
-			t.Errorf("%s = %v, want %v", c.name, call.Response.Value, c.value)
+		if !spec.Equal(call.Response().Value, c.value) {
+			t.Errorf("%s = %v, want %v", c.name, call.Response().Value, c.value)
 		}
-		if call.Response.Committed != c.committed {
-			t.Errorf("%s committed = %v, want %v", c.name, call.Response.Committed, c.committed)
+		if call.Response().Committed != c.committed {
+			t.Errorf("%s committed = %v, want %v", c.name, call.Response().Committed, c.committed)
 		}
 	}
 	// Both replicas converge to axax.
@@ -51,14 +51,15 @@ func TestFigure1ExactValues(t *testing.T) {
 	}
 	for _, s := range stables {
 		call := out.Calls[s.name]
-		if !call.StableDone {
+		stable, has := call.Stable()
+		if !has {
 			t.Errorf("%s never received its stable notice", s.name)
 			continue
 		}
-		if !spec.Equal(call.StableResponse.Value, s.want) {
-			t.Errorf("%s stable value = %v, want %v", s.name, call.StableResponse.Value, s.want)
+		if !spec.Equal(stable.Value, s.want) {
+			t.Errorf("%s stable value = %v, want %v", s.name, stable.Value, s.want)
 		}
-		if call.WallStable < call.WallReturn {
+		if call.WallStable() < call.WallReturn() {
 			t.Errorf("%s stable notice before tentative response", s.name)
 		}
 	}
@@ -71,10 +72,10 @@ func TestFigure1TemporaryReorderingWitnessed(t *testing.T) {
 	}
 	// The client at R1 observed duplicate() before append(x); the final
 	// order has append(x) first — the two perceived orders disagree.
-	x := out.Calls["append(x)"].Response
-	dup := out.Calls["duplicate()"].Response
-	dupDot := out.Calls["duplicate()"].Dot
-	xDot := out.Calls["append(x)"].Dot
+	x := out.Calls["append(x)"].Response()
+	dup := out.Calls["duplicate()"].Response()
+	dupDot := out.Calls["duplicate()"].Dot()
+	xDot := out.Calls["append(x)"].Dot()
 	if !containsDot(x.Trace, dupDot) {
 		t.Error("append(x) must have perceived duplicate() before itself")
 	}
@@ -103,8 +104,8 @@ func TestFigure1TemporaryReorderingWitnessed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !spec.Equal(mod.Calls["append(x)"].Response.Value, "ax") {
-		t.Errorf("modified append(x) = %v, want ax", mod.Calls["append(x)"].Response.Value)
+	if !spec.Equal(mod.Calls["append(x)"].Response().Value, "ax") {
+		t.Errorf("modified append(x) = %v, want ax", mod.Calls["append(x)"].Response().Value)
 	}
 	wm := check.NewWitness(mod.History)
 	if rep := wm.FEC(core.Weak); !rep.OK() {
@@ -122,11 +123,11 @@ func TestFigure2CircularCausalityAndItsElimination(t *testing.T) {
 	}
 	x := orig.Calls["append(x)"]
 	y := orig.Calls["append(y)"]
-	if !spec.Equal(x.Response.Value, "ayx") {
-		t.Errorf("append(x) = %v, want ayx", x.Response.Value)
+	if !spec.Equal(x.Response().Value, "ayx") {
+		t.Errorf("append(x) = %v, want ayx", x.Response().Value)
 	}
-	if !spec.Equal(y.Response.Value, "axy") {
-		t.Errorf("append(y) = %v, want axy", y.Response.Value)
+	if !spec.Equal(y.Response().Value, "axy") {
+		t.Errorf("append(y) = %v, want axy", y.Response().Value)
 	}
 	if res := check.NewWitness(orig.History).NCC(); res.Holds {
 		t.Error("Algorithm 1 must exhibit circular causality on Figure 2")
@@ -141,11 +142,11 @@ func TestFigure2CircularCausalityAndItsElimination(t *testing.T) {
 	}
 	// Under Algorithm 2 the weak appends answer immediately from local
 	// state: y sees only a, x sees only a.
-	if !spec.Equal(mod.Calls["append(y)"].Response.Value, "ay") {
-		t.Errorf("modified append(y) = %v, want ay", mod.Calls["append(y)"].Response.Value)
+	if !spec.Equal(mod.Calls["append(y)"].Response().Value, "ay") {
+		t.Errorf("modified append(y) = %v, want ay", mod.Calls["append(y)"].Response().Value)
 	}
-	if !spec.Equal(mod.Calls["append(x)"].Response.Value, "ax") {
-		t.Errorf("modified append(x) = %v, want ax", mod.Calls["append(x)"].Response.Value)
+	if !spec.Equal(mod.Calls["append(x)"].Response().Value, "ax") {
+		t.Errorf("modified append(x) = %v, want ax", mod.Calls["append(x)"].Response().Value)
 	}
 }
 
@@ -158,15 +159,15 @@ func TestTheorem1RunIsUnsatisfiable(t *testing.T) {
 	want := map[string]spec.Value{"a": "p", "b": "q", "r": "pq", "c": "qz"}
 	for name, v := range want {
 		call := out.Calls[name]
-		if call == nil || !call.Done {
+		if call == nil || !call.Done() {
 			t.Fatalf("call %s missing or incomplete", name)
 		}
-		if !spec.Equal(call.Response.Value, v) {
-			t.Fatalf("call %s = %v, want %v", name, call.Response.Value, v)
+		if !spec.Equal(call.Response().Value, v) {
+			t.Fatalf("call %s = %v, want %v", name, call.Response().Value, v)
 		}
 	}
 	// The strong c must have answered without knowing a.
-	if containsDot(out.Calls["c"].Response.Trace, out.Calls["a"].Dot) {
+	if containsDot(out.Calls["c"].Response().Trace, out.Calls["a"].Dot()) {
 		t.Fatal("construction broken: c observed a")
 	}
 	// The observable history (exactly the four constructed events) admits

@@ -1,5 +1,5 @@
 // Package traceviz renders recorded histories as human-readable timelines in
-// the spirit of Figures 1 and 2 of the paper: one lane per replica, each
+// the spirit of Figures 1 and 2 of the paper: one lane per session, each
 // invocation annotated with its level, return value, tentative/stable
 // status, and final commit position.
 package traceviz
@@ -20,7 +20,7 @@ func Timeline(h *history.History) string {
 	sort.Slice(events, func(i, j int) bool { return events[i].Invoke < events[j].Invoke })
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s %-4s %-7s %-28s %-18s %-10s %s\n",
-		"t", "rep", "level", "operation", "rval", "status", "commit")
+		"t", "sess", "level", "operation", "rval", "status", "commit")
 	for _, e := range events {
 		status := "tentative"
 		commit := "-"
@@ -37,7 +37,7 @@ func Timeline(h *history.History) string {
 				status = "stable"
 			}
 		}
-		fmt.Fprintf(&b, "%-8d R%-3d %-7s %-28s %-18s %-10s %s\n",
+		fmt.Fprintf(&b, "%-8d S%-3d %-7s %-28s %-18s %-10s %s\n",
 			e.WallInvoke, e.Session, e.Level, clip(e.Op.Name(), 28), clip(rval, 18), status, commit)
 	}
 	return b.String()
@@ -46,8 +46,8 @@ func Timeline(h *history.History) string {
 // Lanes renders per-replica lanes with invocation and response markers,
 // closest in spirit to the figures.
 func Lanes(h *history.History) string {
-	bySession := make(map[core.ReplicaID][]*history.Event)
-	var sessions []core.ReplicaID
+	bySession := make(map[core.SessionID][]*history.Event)
+	var sessions []core.SessionID
 	for _, e := range h.Events {
 		if _, ok := bySession[e.Session]; !ok {
 			sessions = append(sessions, e.Session)
@@ -59,7 +59,7 @@ func Lanes(h *history.History) string {
 	for _, s := range sessions {
 		evs := bySession[s]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].Invoke < evs[j].Invoke })
-		fmt.Fprintf(&b, "R%d |", s)
+		fmt.Fprintf(&b, "S%d |", s)
 		for _, e := range evs {
 			rval := "∇"
 			if !e.Pending {

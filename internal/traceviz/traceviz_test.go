@@ -42,11 +42,11 @@ func TestTimelineRendersAllEvents(t *testing.T) {
 
 func TestLanesOnePerReplica(t *testing.T) {
 	out := Lanes(sample(t))
-	if !strings.Contains(out, "R0 |") || !strings.Contains(out, "R1 |") {
-		t.Errorf("lanes missing replicas:\n%s", out)
+	if !strings.Contains(out, "S0 |") || !strings.Contains(out, "S1 |") {
+		t.Errorf("lanes missing sessions:\n%s", out)
 	}
-	if strings.Index(out, "R0") > strings.Index(out, "R1") {
-		t.Error("lanes must be sorted by replica")
+	if strings.Index(out, "S0") > strings.Index(out, "S1") {
+		t.Error("lanes must be sorted by session")
 	}
 }
 

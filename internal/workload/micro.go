@@ -5,6 +5,7 @@ package workload
 // exact same thing and cannot drift apart.
 
 import (
+	"bayou/internal/cluster"
 	"bayou/internal/core"
 	"bayou/internal/spec"
 )
@@ -30,6 +31,35 @@ func MicroWeakInvoke(ops int) error {
 		}
 	}
 	return nil
+}
+
+// MicroMultiSession is the session-fan-in hot path: `sessions` concurrent
+// sequential sessions all bound to replica 0 of a three-replica simulated
+// cluster, each issuing `ops` weak increments round-robin, then one settle.
+// It measures what the per-replica session multiplexing costs as the
+// sessions dimension grows (BenchmarkMultiSessionInvoke and the `sessions`
+// field of cmd/bayou-bench's -json report).
+func MicroMultiSession(sessions, ops int) error {
+	c, err := cluster.New(cluster.Config{N: 3, Variant: core.NoCircularCausality, Seed: 404, StepBatch: 8})
+	if err != nil {
+		return err
+	}
+	c.StabilizeOmega(0)
+	ids := make([]core.SessionID, sessions)
+	for i := range ids {
+		if ids[i], err = c.OpenSession(0); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < ops; k++ {
+		for _, s := range ids {
+			if _, err := c.InvokeSession(s, spec.Inc("c", 1), core.Weak); err != nil {
+				return err
+			}
+		}
+		c.RunFor(5)
+	}
+	return c.Settle(0)
 }
 
 // MicroRollbackReexecute is the reordering hot path: a local request with a

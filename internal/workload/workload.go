@@ -71,10 +71,10 @@ func SlowReplicaLatency(variant core.Variant, replicas, rounds int, slowDelay, d
 	}
 	out := make([]SeriesPoint, 0, len(slowCalls))
 	for _, tc := range slowCalls {
-		if !tc.call.Done {
-			return nil, fmt.Errorf("workload: call %s never completed", tc.call.Dot)
+		if !tc.call.Done() {
+			return nil, fmt.Errorf("workload: call %s never completed", tc.call.Dot())
 		}
-		out = append(out, SeriesPoint{Round: tc.round, Value: tc.call.WallReturn - tc.call.WallInvoke})
+		out = append(out, SeriesPoint{Round: tc.round, Value: tc.call.WallReturn() - tc.call.WallInvoke()})
 	}
 	return out, nil
 }
@@ -190,12 +190,12 @@ func compareBayou(seed int64) (ComparisonRow, error) {
 	if err == nil {
 		c.RunFor(3_000)
 		row.StrongInMinority = "blocks"
-		if strongMin.Done {
+		if strongMin.Done() {
 			row.StrongInMinority = "answers (!)"
 		}
 	}
 	c.RunFor(2_000)
-	row.WeakAvailableInMinority = weakMin.Done
+	row.WeakAvailableInMinority = weakMin.Done()
 	c.Heal()
 	c.StabilizeOmega(1)
 	if err := c.Settle(0); err != nil {

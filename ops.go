@@ -7,6 +7,10 @@ import "bayou/internal/spec"
 // is a sequential specification in the sense of §3.4 of the paper; all
 // operations are deterministic transactions over registers (§A.2.2).
 
+// Equal compares two response values structurally (slices and maps
+// included), the comparison the checkers themselves use.
+func Equal(a, b Value) bool { return spec.Equal(a, b) }
+
 // List operations (the data type of Figures 1 and 2; elements are strings,
 // updating operations return the concatenated list).
 

@@ -1,0 +1,168 @@
+package bayou
+
+import (
+	"fmt"
+)
+
+// Option configures a cluster at construction. Options are applied in
+// order; later options win.
+type Option func(*Options) error
+
+// Options is the legacy configuration struct.
+//
+// Deprecated: construct clusters with the functional options (WithReplicas,
+// WithVariant, WithSeed, ...) passed to New or NewLive; keep Options only as
+// a migration shim via NewFromOptions. It remains the internal carrier the
+// functional options write into, so the two forms cannot drift apart.
+type Options struct {
+	// Replicas is the number of replicas (default 3).
+	Replicas int
+	// Variant selects Algorithm 1 (Original) or 2 (Modified).
+	// VariantDefault resolves to Modified; any other unknown value is
+	// rejected with an error.
+	Variant Variant
+	// Seed makes simulated runs reproducible (default 1). The live driver
+	// ignores it: goroutine scheduling is inherently nondeterministic.
+	Seed int64
+	// UsePrimaryTOB selects the original Bayou primary-commit scheme
+	// instead of Paxos; replica 0 becomes the (non-fault-tolerant)
+	// primary. The live driver always uses primary commit.
+	UsePrimaryTOB bool
+	// SlowReplicas maps replica ids to an internal-step delay factor for
+	// the progress experiments of §2.3 (simulation only).
+	SlowReplicas map[int]int64
+	// ClockSlowdown maps replica ids to a clock divisor (§2.3's skewed
+	// clock experiment; simulation only).
+	ClockSlowdown map[int]int64
+	// StepBatch caps how many internal events (rollbacks/executions) one
+	// scheduled activation of a replica executes. The default 1 is the
+	// paper-faithful one-event-per-tick discipline; throughput-oriented
+	// deployments raise it so Settle drains backlogs in batches (see
+	// experiment E13). The live driver drains opportunistically and
+	// ignores it.
+	StepBatch int
+}
+
+// WithReplicas sets the number of replicas (default 3).
+func WithReplicas(n int) Option {
+	return func(o *Options) error {
+		if n < 1 {
+			return fmt.Errorf("bayou: WithReplicas(%d): need at least one replica", n)
+		}
+		o.Replicas = n
+		return nil
+	}
+}
+
+// WithVariant selects the protocol variant: Original (Algorithm 1) or
+// Modified (Algorithm 2). VariantDefault resolves to Modified.
+func WithVariant(v Variant) Option {
+	return func(o *Options) error {
+		if v != VariantDefault && !v.Valid() {
+			return fmt.Errorf("bayou: WithVariant(%d): unknown protocol variant", int(v))
+		}
+		o.Variant = v
+		return nil
+	}
+}
+
+// WithSeed makes simulated runs reproducible (default 1). The live driver
+// ignores the seed.
+func WithSeed(seed int64) Option {
+	return func(o *Options) error {
+		o.Seed = seed
+		return nil
+	}
+}
+
+// WithStepBatch caps how many internal events one replica activation drains
+// (simulation; see Options.StepBatch and experiment E13).
+func WithStepBatch(n int) Option {
+	return func(o *Options) error {
+		if n < 0 {
+			return fmt.Errorf("bayou: WithStepBatch(%d): negative batch", n)
+		}
+		o.StepBatch = n
+		return nil
+	}
+}
+
+// WithPrimaryTOB selects the original Bayou primary-commit scheme instead of
+// Paxos; replica 0 becomes the (non-fault-tolerant) primary.
+func WithPrimaryTOB() Option {
+	return func(o *Options) error {
+		o.UsePrimaryTOB = true
+		return nil
+	}
+}
+
+// WithSlowReplica makes one replica process internal steps factor× slower
+// (the §2.3 slow-replica experiments; simulation only).
+func WithSlowReplica(replica int, factor int64) Option {
+	return func(o *Options) error {
+		if factor < 1 {
+			return fmt.Errorf("bayou: WithSlowReplica(%d, %d): factor must be ≥ 1", replica, factor)
+		}
+		if o.SlowReplicas == nil {
+			o.SlowReplicas = make(map[int]int64)
+		}
+		o.SlowReplicas[replica] = factor
+		return nil
+	}
+}
+
+// WithClockSlowdown divides one replica's clock (the §2.3 skewed-clock
+// experiments; simulation only).
+func WithClockSlowdown(replica int, divisor int64) Option {
+	return func(o *Options) error {
+		if divisor < 1 {
+			return fmt.Errorf("bayou: WithClockSlowdown(%d, %d): divisor must be ≥ 1", replica, divisor)
+		}
+		if o.ClockSlowdown == nil {
+			o.ClockSlowdown = make(map[int]int64)
+		}
+		o.ClockSlowdown[replica] = divisor
+		return nil
+	}
+}
+
+// build folds the options into a validated Options value.
+func build(opts []Option) (Options, error) {
+	o := Options{}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return Options{}, err
+		}
+	}
+	return o.normalize()
+}
+
+// normalize applies defaults and validates the configuration — shared by the
+// functional-options path and the legacy NewFromOptions shim.
+func (o Options) normalize() (Options, error) {
+	if o.Replicas == 0 {
+		o.Replicas = 3
+	}
+	if o.Replicas < 0 {
+		return o, fmt.Errorf("bayou: %d replicas", o.Replicas)
+	}
+	switch {
+	case o.Variant == VariantDefault:
+		o.Variant = Modified
+	case !o.Variant.Valid():
+		return o, fmt.Errorf("bayou: unknown protocol variant %d (use Original, Modified or VariantDefault)", int(o.Variant))
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// options converts the struct back into functional options (the shim's
+// bridge, also handy for "defaults plus overrides" call sites).
+func (o Options) options() []Option {
+	return []Option{func(dst *Options) error {
+		*dst = o
+		return nil
+	}}
+}

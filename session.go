@@ -1,0 +1,107 @@
+package bayou
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bayou/internal/core"
+	"bayou/internal/record"
+)
+
+// SessionID identifies a sequential client session.
+type SessionID = core.SessionID
+
+// ErrSessionBusy reports an invocation on a session whose previous call has
+// not yet returned. Sessions are the sequential clients of the paper's
+// system model (§3.2): open more sessions — any number may share a replica —
+// to issue concurrent operations.
+var ErrSessionBusy = record.ErrSessionBusy
+
+// Session is one sequential client bound to a replica. Mint sessions with
+// Cluster.Session; any number can share a replica, and their invocations
+// may freely overlap — the restriction the seed façade imposed (one
+// outstanding call per replica) is gone. Each individual session accepts
+// one operation at a time (ErrSessionBusy otherwise), which is exactly the
+// well-formedness the history checkers assume.
+//
+// Concurrency: on a live cluster (NewLive), open one session per goroutine
+// — the replica goroutines serialize their work, so sessions may invoke
+// from concurrent goroutines. A simulated cluster (New) runs entirely on
+// the caller's goroutine: its sessions can overlap *logically* (one
+// session's call pending while another invokes) but every API call must be
+// issued from a single goroutine, like the rest of the simulator.
+type Session struct {
+	c       *Cluster
+	id      core.SessionID
+	replica int
+
+	mu   sync.Mutex
+	last *Call
+}
+
+// Session mints a new sequential session bound to the given replica.
+func (c *Cluster) Session(replica int) (*Session, error) {
+	if replica < 0 || replica >= c.n {
+		return nil, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	id, err := c.drv.OpenSession(replica)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: id, replica: replica}, nil
+}
+
+// ID returns the session's identifier (the Session key of history events).
+func (s *Session) ID() SessionID { return s.id }
+
+// Replica returns the replica the session is bound to.
+func (s *Session) Replica() int { return s.replica }
+
+// Invoke submits op at the session's replica with the given level. The
+// returned Call completes as the deployment makes progress — immediately
+// for Algorithm 2 weak operations, after consensus for strong ones. A
+// session whose previous call has not returned yields ErrSessionBusy.
+func (s *Session) Invoke(op Op, level Level) (*Call, error) {
+	call, err := s.c.drv.Invoke(s.id, op, level)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.last = call
+	s.mu.Unlock()
+	return call, nil
+}
+
+// Last returns the session's most recent call (nil before the first
+// invocation).
+func (s *Session) Last() *Call {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Wait blocks until the session's outstanding call has its response,
+// driving the deployment as the substrate requires (the simulator advances
+// virtual time; the live driver parks on the call), and returns that
+// response. It respects ctx for cancellation and deadlines.
+func (s *Session) Wait(ctx context.Context) (Response, error) {
+	last := s.Last()
+	if last == nil {
+		return Response{}, errors.New("bayou: session has no outstanding call")
+	}
+	return s.c.Wait(ctx, last)
+}
+
+// Wait blocks until the given call has its response, driving the deployment
+// as the substrate requires, and returns it.
+func (c *Cluster) Wait(ctx context.Context, call *Call) (Response, error) {
+	if call == nil {
+		return Response{}, errors.New("bayou: nil call")
+	}
+	if err := c.drv.AwaitCall(ctx, call); err != nil {
+		return Response{}, err
+	}
+	return call.Response(), nil
+}

@@ -1,0 +1,297 @@
+package bayou
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bayou/internal/core"
+)
+
+// TestConcurrentSessionsOverlapOnOneReplica: two sessions bound to the same
+// replica complete overlapping invocations — the exact thing the seed
+// façade's one-call-per-replica restriction rejected.
+func TestConcurrentSessionsOverlapOnOneReplica(t *testing.T) {
+	// No leader: a strong call stays pending, holding its session open.
+	c, err := New(WithReplicas(2), WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, err := sA.Invoke(Append("strong"), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session A is blocked; session B, on the same replica, is not.
+	if _, err := sA.Invoke(Append("again"), Weak); err == nil {
+		t.Fatal("session A must be busy while its strong call pends")
+	}
+	weak, err := sB.Invoke(Append("weak"), Weak)
+	if err != nil {
+		t.Fatalf("second session on the replica must accept work: %v", err)
+	}
+	if !weak.Done() {
+		t.Fatal("Algorithm 2 weak call must complete immediately")
+	}
+	if pending.Done() {
+		t.Fatal("strong call cannot complete without a leader")
+	}
+	// Elect and settle: the overlapping calls both finish and the history
+	// is well-formed (the recorder would reject a session overlap).
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !pending.Done() {
+		t.Fatal("strong call must complete once a leader exists")
+	}
+	if _, err := c.History(); err != nil {
+		t.Fatalf("history must stay well-formed with overlapping sessions: %v", err)
+	}
+}
+
+// TestOverlappingWeakInvokesOriginalVariant: under Algorithm 1 weak calls
+// pend past the invoke step, so two sessions on one replica give genuinely
+// overlapping weak invocations in flight at once.
+func TestOverlappingWeakInvokesOriginalVariant(t *testing.T) {
+	c, err := New(WithReplicas(2), WithSeed(43), WithVariant(Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	sA, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sA.Invoke(Append("a"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sB.Invoke(Append("b"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Done() || b.Done() {
+		t.Fatal("Algorithm 1 weak calls must pend past the invoke step")
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() || !b.Done() {
+		t.Fatal("both overlapping weak invokes must complete")
+	}
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Events[0].Session == h.Events[1].Session {
+		t.Error("the two calls must belong to distinct sessions")
+	}
+}
+
+// TestPerSessionFIFO: a session's responses arrive in program order (RVal
+// reflects every earlier op of the session), and the recorded history keys
+// events by session, not replica.
+func TestPerSessionFIFO(t *testing.T) {
+	c, err := New(WithReplicas(2), WithSeed(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, 3)
+	for i := range sessions {
+		var err error
+		if sessions[i], err = c.Session(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave: each session increments its own counter once per round,
+	// with scheduler progress in between so every invocation observes the
+	// session's previous one applied (Algorithm 2 gives up read-your-
+	// writes only for back-to-back invokes within one activation).
+	for round := 0; round < 3; round++ {
+		for si, s := range sessions {
+			if _, err := s.Invoke(Inc(string(rune('a'+si)), 1), Weak); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Run(60)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events keyed by session: three distinct sessions, three events each,
+	// and within a session the counter values 1, 2, 3 in invoke order —
+	// per-session FIFO made visible in RVal.
+	bySession := map[core.SessionID][]int64{}
+	for _, e := range h.Events {
+		bySession[e.Session] = append(bySession[e.Session], e.RVal.(int64))
+	}
+	if len(bySession) != 3 {
+		t.Fatalf("history has %d sessions, want 3", len(bySession))
+	}
+	for sess, vals := range bySession {
+		for i, v := range vals {
+			if v != int64(i+1) {
+				t.Errorf("session %d rval[%d] = %d, want %d (program order)", sess, i, v, i+1)
+			}
+		}
+	}
+}
+
+// TestSessionWaitContext: Wait respects deadlines, and on the simulator it
+// fails fast when the call provably cannot complete (quiescent scheduler).
+func TestSessionWaitContext(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No leader: the strong call cannot complete; Wait must not hang.
+	if _, err := s.Invoke(Append("x"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := s.Wait(ctx); err == nil {
+		t.Fatal("waiting on an uncommittable strong call must fail, not hang")
+	}
+	// With a leader, Wait drives the simulation to the response.
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Invoke(Append("y"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Committed {
+		t.Error("strong response must be committed")
+	}
+}
+
+// TestSessionFluctuationWatch is the acceptance scenario for the watch API:
+// an application observes a weak response fluctuate tentative → reordered →
+// committed through Call.Updates/Cluster.Watch, the stream agrees with the
+// call's terminal state, and CheckFEC(Weak) holds on the same history —
+// fluctuation is exactly what FEC permits (and BEC forbids).
+func TestSessionFluctuationWatch(t *testing.T) {
+	// Replica 1's clock runs 8× slow, so its requests carry older
+	// timestamps and schedule *before* replica 0's already-executed ones:
+	// the recipe for reordering replica 0's tentative response.
+	c, err := New(WithReplicas(2), WithSeed(59), WithClockSlowdown(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100) // let virtual time (and with it replica 0's clock) advance
+
+	writer, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := writer.Invoke(Append("a"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := c.Watch(call.Dot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(call.Value(), "a") {
+		t.Fatalf("tentative value = %v, want a", call.Value())
+	}
+
+	// A remote weak append with a far older timestamp arrives at replica 0
+	// and forces the rollback + re-execution of append(a).
+	skewed, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := skewed.Invoke(Append("b"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stream []Update
+	for u := range updates {
+		stream = append(stream, u)
+	}
+	if len(stream) < 3 {
+		t.Fatalf("stream = %+v, want tentative → reordered → committed", stream)
+	}
+	if stream[0].Status != StatusTentative || !Equal(stream[0].Value, "a") {
+		t.Errorf("first update = %+v, want tentative \"a\"", stream[0])
+	}
+	sawReordered := false
+	for _, u := range stream[1 : len(stream)-1] {
+		if u.Status == StatusReordered {
+			sawReordered = true
+			if Equal(u.Value, stream[0].Value) {
+				t.Errorf("reordered update %+v must carry a changed value", u)
+			}
+		}
+	}
+	if !sawReordered {
+		t.Errorf("stream %+v never reported the reordering fluctuation", stream)
+	}
+	last := stream[len(stream)-1]
+	if last.Status != StatusCommitted {
+		t.Errorf("last update = %+v, want committed", last)
+	}
+	// The stream's terminal value is the call's stable response.
+	stable, ok := call.Stable()
+	if !ok {
+		t.Fatal("weak update must stabilize after settle")
+	}
+	if !Equal(stable.Value, last.Value) {
+		t.Errorf("stable value %v != final update value %v", stable.Value, last.Value)
+	}
+	// The statuses are consistent with the paper's criterion on this very
+	// history: FEC(weak) tolerates the observed fluctuation…
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fec.OK() {
+		t.Errorf("CheckFEC(Weak) must hold on the fluctuating history:\n%s", fec)
+	}
+	// …and the fluctuations recorded on the call match the stream.
+	if got := call.Fluctuations(); len(got) != len(stream) {
+		t.Errorf("Fluctuations() = %d updates, stream delivered %d", len(got), len(stream))
+	}
+}

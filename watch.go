@@ -1,0 +1,53 @@
+package bayou
+
+import (
+	"fmt"
+
+	"bayou/internal/core"
+	"bayou/internal/record"
+)
+
+// Status classifies a response value's lifecycle stage — see the core
+// package's Status. The stream StatusTentative → StatusReordered* →
+// StatusCommitted is the per-call shape of the paper's response
+// fluctuation, the phenomenon FEC (§4) formalizes.
+type Status = core.Status
+
+// The response-status stages.
+const (
+	// StatusTentative: the first weak response, computed on a schedule
+	// consensus may still rearrange.
+	StatusTentative = core.StatusTentative
+	// StatusReordered: a re-execution on a rearranged schedule produced a
+	// different value than the client holds — the response fluctuated.
+	StatusReordered = core.StatusReordered
+	// StatusCommitted: the final order fixed the value for good.
+	StatusCommitted = core.StatusCommitted
+)
+
+// Update is one status transition on a watch stream.
+type Update = record.Update
+
+// Watch subscribes to the status transitions of the call identified by dot
+// (see Call.Updates, which Watch resolves through the run's recorder). All
+// past transitions are replayed first, live ones follow in order, and the
+// channel closes once the response is final — so
+//
+//	updates, _ := c.Watch(call.Dot())
+//	// ... drive the run ...
+//	for u := range updates { ... }
+//
+// observes a weak response fluctuate tentative → reordered* → committed and
+// then terminates, instead of the application polling Committed state.
+//
+// On a live cluster the range can run concurrently with the deployment's
+// own progress. On the simulator nothing advances while the caller blocks
+// — subscribe whenever you like, but drain the channel only after Settle
+// (or Run) has made the call terminal, or the range will block forever.
+func (c *Cluster) Watch(dot core.Dot) (<-chan Update, error) {
+	call := c.rec.Call(dot)
+	if call == nil {
+		return nil, fmt.Errorf("bayou: no call %s recorded", dot)
+	}
+	return call.Updates(), nil
+}
