@@ -125,9 +125,12 @@ func New(opts ...Option) (*Cluster, error) {
 
 // NewLive builds a live cluster: one goroutine per replica, channel links,
 // primary-commit total order (replica 0 is the sequencer). The same
-// programs run on it as on New, minus the simulation-only environment
-// controls (partitions, Ω switches, per-replica timing), which return
-// ErrUnsupported. Always Close a live cluster.
+// programs — including fault scripts: crash, recover, partition, heal —
+// run on it as on New, minus the simulation-only environment controls
+// (Ω switches, per-replica timing, link slowdown), which return
+// ErrUnsupported. Crashing the sequencer (replica 0) is refused with a
+// substrate error: primary commit cannot lose its sequencer. Always Close
+// a live cluster.
 func NewLive(opts ...Option) (*Cluster, error) {
 	o, err := build(opts)
 	if err != nil {
@@ -192,13 +195,39 @@ func (c *Cluster) ElectLeader(replica int) error { return c.drv.ElectLeader(repl
 // committing until a new leader is elected. Simulation only.
 func (c *Cluster) Destabilize() error { return c.drv.Destabilize() }
 
+// Faults exposes the deployment's fault plane: crash, recover, partition,
+// heal, and link degradation, scripted through the public API on either
+// substrate. The convenience methods below delegate to it.
+func (c *Cluster) Faults() FaultPlane { return c.drv.Faults() }
+
 // Partition splits the network into cells; replicas in different cells stop
-// exchanging messages until Heal. Simulation only.
-func (c *Cluster) Partition(cells ...[]int) error { return c.drv.Partition(cells) }
+// exchanging messages until Heal (cross-cell traffic is held, modelling
+// reliable links that retransmit).
+func (c *Cluster) Partition(cells ...[]int) error { return c.drv.Faults().Partition(cells...) }
 
 // Heal removes all partitions; messages held during the partition are
-// delivered. Simulation only.
-func (c *Cluster) Heal() error { return c.drv.Heal() }
+// delivered.
+func (c *Cluster) Heal() error { return c.drv.Faults().Heal() }
+
+// Crash silently crashes a replica: its volatile state is lost, the network
+// drops traffic addressed to it, and invocations on its sessions fail until
+// Recover. Calls pending at the crashed replica stay pending — their
+// continuations are part of the durable image, so they complete after
+// recovery; Session.Wait on one blocks until then (use a context to bail
+// out).
+func (c *Cluster) Crash(replica int) error { return c.drv.Faults().Crash(replica) }
+
+// Recover restarts a crashed replica from its durable snapshot — committed
+// prefix, invocation counter, client continuations — and resynchronizes it:
+// the tentative suffix is refetched via RB retransmission and missed
+// decisions replay through the TOB learner catch-up.
+func (c *Cluster) Recover(replica int) error { return c.drv.Faults().Recover(replica) }
+
+// SlowLink multiplies the latency between two replicas by factor (factor 1
+// restores normal speed). Simulation only.
+func (c *Cluster) SlowLink(a, b int, factor int64) error {
+	return c.drv.Faults().SlowLink(a, b, factor)
+}
 
 // Run advances the deployment by d ticks (virtual time on the simulator, a
 // bounded sleep on the live driver).

@@ -416,13 +416,25 @@ func TestLiveDriverUnsupportedControls(t *testing.T) {
 	if err := c.ElectLeader(1); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("electing a non-sequencer must be unsupported, got %v", err)
 	}
-	if err := c.Partition([]int{0}, []int{1}); !errors.Is(err, ErrUnsupported) {
-		t.Errorf("live partition must be unsupported, got %v", err)
+	if err := c.Partition([]int{0}, []int{1}); err != nil {
+		t.Errorf("live partitions are part of the fault plane, got %v", err)
+	}
+	if err := c.Heal(); err != nil {
+		t.Errorf("live heal: %v", err)
+	}
+	if err := c.SlowLink(0, 1, 4); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("live link slowdown must be unsupported, got %v", err)
+	}
+	if err := c.Crash(0); err == nil || errors.Is(err, ErrUnsupported) {
+		t.Errorf("crashing the live sequencer must fail with a substrate error, got %v", err)
 	}
 	if err := c.Destabilize(); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("live destabilize must be unsupported, got %v", err)
 	}
 	if _, err := NewLive(WithClockSlowdown(1, 8)); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("live clock skew must be rejected at construction, got %v", err)
+	}
+	if _, err := NewLive(WithLatency(25)); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("live link latency must be rejected at construction, got %v", err)
 	}
 }

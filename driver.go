@@ -49,9 +49,10 @@ type Driver interface {
 	ElectLeader(replica int) error
 	// Destabilize clears Ω (the asynchronous-run switch).
 	Destabilize() error
-	// Partition splits the network into cells; Heal reunites it.
-	Partition(cells [][]int) error
-	Heal() error
+	// Faults exposes the substrate's fault plane: crashes, recoveries,
+	// partitions, link degradation. Controls a substrate cannot express
+	// return ErrUnsupported.
+	Faults() FaultPlane
 	// Read peeks at a register of a replica's current state.
 	Read(replica int, register string) (spec.Value, error)
 	// Committed snapshots a replica's committed order.
@@ -64,6 +65,33 @@ type Driver interface {
 	MarkStable()
 	// Close releases the substrate (stops goroutines on live; no-op on sim).
 	Close() error
+}
+
+// FaultPlane scripts failures through the public API. Both substrates
+// implement it: the simulator maps faults onto simnet and the cluster's
+// crash–recovery machinery; the live driver maps crashes onto replica
+// goroutine stop/restart and partitions onto parked channel traffic.
+// Whatever the substrate, a recovering replica restores its durable image
+// (committed prefix, dot counter, client continuations), refetches the
+// tentative suffix via RB retransmission, and catches up on decided slots
+// through the TOB learner — so the same fault script yields comparable
+// histories on both.
+type FaultPlane interface {
+	// Crash silently crashes a replica: volatile state is lost, traffic
+	// toward it is dropped, sessions bound to it are rejected. (The live
+	// substrate cannot crash its sequencer, replica 0.)
+	Crash(replica int) error
+	// Recover restarts a crashed replica from its durable snapshot and
+	// resynchronizes it with the deployment.
+	Recover(replica int) error
+	// Partition splits the network into cells; cross-cell traffic is held
+	// (reliable links retransmit) until Heal.
+	Partition(cells ...[]int) error
+	// Heal removes all partitions, releasing held traffic.
+	Heal() error
+	// SlowLink multiplies the latency between two replicas by factor
+	// (factor 1 restores normal speed). Simulation only.
+	SlowLink(a, b int, factor int64) error
 }
 
 // simDriver adapts internal/cluster — the deterministic discrete-event
@@ -80,6 +108,7 @@ func newSimDriver(o Options) (*simDriver, error) {
 		Variant:   o.Variant,
 		Seed:      o.Seed,
 		StepBatch: o.StepBatch,
+		Latency:   sim.Time(o.Latency),
 	}
 	if o.UsePrimaryTOB {
 		cfg.TOB = cluster.PrimaryTOB
@@ -128,7 +157,7 @@ func (d *simDriver) AwaitCall(ctx context.Context, call *record.Call) error {
 			return err
 		}
 		if d.c.Scheduler().Pending() == 0 {
-			return fmt.Errorf("bayou: call %s cannot complete: simulation is quiescent (no leader elected, or an asynchronous run)", call.Dot())
+			return fmt.Errorf("bayou: call %s cannot complete: simulation is quiescent (no leader elected, an asynchronous run, or the call's replica is crashed)", call.Dot())
 		}
 		d.c.RunFor(100)
 	}
@@ -148,22 +177,65 @@ func (d *simDriver) Destabilize() error {
 	return nil
 }
 
-func (d *simDriver) Partition(cells [][]int) error {
+func (d *simDriver) Faults() FaultPlane { return simFaults{d} }
+
+// simFaults maps the fault plane onto simnet and the simulated cluster's
+// crash–recovery machinery.
+type simFaults struct {
+	d *simDriver
+}
+
+func (f simFaults) check(replica int) error {
+	if replica < 0 || replica >= f.d.n {
+		return fmt.Errorf("bayou: no replica %d", replica)
+	}
+	return nil
+}
+
+func (f simFaults) Crash(replica int) error {
+	if err := f.check(replica); err != nil {
+		return err
+	}
+	return f.d.c.Crash(core.ReplicaID(replica))
+}
+
+func (f simFaults) Recover(replica int) error {
+	if err := f.check(replica); err != nil {
+		return err
+	}
+	return f.d.c.Recover(core.ReplicaID(replica))
+}
+
+func (f simFaults) Partition(cells ...[]int) error {
 	conv := make([][]core.ReplicaID, len(cells))
 	for i, cell := range cells {
 		for _, id := range cell {
-			if id < 0 || id >= d.n {
-				return fmt.Errorf("bayou: no replica %d", id)
+			if err := f.check(id); err != nil {
+				return err
 			}
 			conv[i] = append(conv[i], core.ReplicaID(id))
 		}
 	}
-	d.c.Partition(conv...)
+	f.d.c.Partition(conv...)
 	return nil
 }
 
-func (d *simDriver) Heal() error {
-	d.c.Heal()
+func (f simFaults) Heal() error {
+	f.d.c.Heal()
+	return nil
+}
+
+func (f simFaults) SlowLink(a, b int, factor int64) error {
+	if err := f.check(a); err != nil {
+		return err
+	}
+	if err := f.check(b); err != nil {
+		return err
+	}
+	if factor < 1 {
+		return fmt.Errorf("bayou: SlowLink factor %d, want ≥ 1", factor)
+	}
+	f.d.c.SlowLink(core.ReplicaID(a), core.ReplicaID(b), factor)
 	return nil
 }
 

@@ -145,6 +145,176 @@ func sortedCopy(in []string) []string {
 	return out
 }
 
+// runFaultConformance executes the fault-plane script — crash → invoke →
+// recover → partition → heal — on the given cluster, substrate-blind. The
+// script avoids crashing replica 0 (the live sequencer cannot crash) and
+// avoids link timing (live has none), so it is expressible on both drivers.
+func runFaultConformance(t *testing.T, c *Cluster) conformanceOutcome {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s2, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Invoke(Inc("ctr", 1), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the replica; the survivors serve both levels.
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	s0, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Invoke(Inc("ctr", 2), Weak); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	if _, err := s1.Invoke(PutIfAbsent("lock", "b"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s1.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value == true {
+		wins++
+	}
+
+	// Recover, then immediately partition the recovered replica away: its
+	// weak operations must stay available inside the minority cell.
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition([]int{0, 1}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	minority, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := minority.Invoke(Inc("ctr", 4), Weak)
+	if err != nil {
+		t.Fatalf("weak op on a recovered minority replica: %v", err)
+	}
+	if !call.Done() {
+		t.Fatal("weak op lost bounded wait-freedom in the minority cell")
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := c.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < c.Replicas(); r++ {
+		got, err := c.Committed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d committed %d ops, replica 0 %d", r, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("replica %d committed order diverges at %d: %s vs %s", r, i, got[i], ref[i])
+			}
+		}
+	}
+
+	c.MarkStable()
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	counter, err := c.Read(0, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conformanceOutcome{
+		counter:    counter,
+		lockOwners: wins,
+		committed:  sortedCopy(ref),
+		fecOK:      fec.OK(),
+		seqOK:      seq.OK(),
+	}
+}
+
+// TestDriverConformanceFaults runs the identical fault script — crash →
+// invoke → recover → partition → heal — on both drivers and demands equal
+// settled values, equal committed multisets and equal checker verdicts.
+func TestDriverConformanceFaults(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(4321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runFaultConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runFaultConformance(t, live)
+
+	if !Equal(simOut.counter, int64(7)) {
+		t.Errorf("sim counter = %v, want 7", simOut.counter)
+	}
+	if !Equal(simOut.counter, liveOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, live %v", simOut.counter, liveOut.counter)
+	}
+	if simOut.lockOwners != 1 || liveOut.lockOwners != 1 {
+		t.Errorf("strong putIfAbsent winners: sim %d, live %d, want 1 and 1", simOut.lockOwners, liveOut.lockOwners)
+	}
+	if len(simOut.committed) != len(liveOut.committed) {
+		t.Fatalf("committed sizes diverge: sim %v, live %v", simOut.committed, liveOut.committed)
+	}
+	for i := range simOut.committed {
+		if simOut.committed[i] != liveOut.committed[i] {
+			t.Errorf("committed multisets diverge at %d: sim %s, live %s", i, simOut.committed[i], liveOut.committed[i])
+		}
+	}
+	if !simOut.fecOK || !liveOut.fecOK {
+		t.Errorf("FEC(weak) verdicts under faults: sim %v, live %v, want both true", simOut.fecOK, liveOut.fecOK)
+	}
+	if !simOut.seqOK || !liveOut.seqOK {
+		t.Errorf("Seq(strong) verdicts under faults: sim %v, live %v, want both true", simOut.seqOK, liveOut.seqOK)
+	}
+}
+
 // TestDriverConformance runs the identical scripted scenario against both
 // drivers and asserts they agree on everything timing-independent: the
 // settled counter value, the committed operation multiset, exactly one

@@ -32,6 +32,9 @@ func newLiveDriver(o Options) (*liveDriver, error) {
 	if len(o.SlowReplicas) > 0 || len(o.ClockSlowdown) > 0 {
 		return nil, fmt.Errorf("%w: per-replica timing knobs (SlowReplicas/ClockSlowdown) need the deterministic simulator", ErrUnsupported)
 	}
+	if o.Latency != 0 {
+		return nil, fmt.Errorf("%w: link latency (WithLatency) needs the deterministic simulator", ErrUnsupported)
+	}
 	// The live substrate always totally orders through the replica-0
 	// sequencer, so UsePrimaryTOB is already true and Seed has no effect.
 	return &liveDriver{c: livenet.New(o.Replicas, o.Variant), n: o.Replicas}, nil
@@ -80,11 +83,29 @@ func (d *liveDriver) ElectLeader(replica int) error {
 func (d *liveDriver) Destabilize() error {
 	return fmt.Errorf("%w: live Ω cannot be destabilized", ErrUnsupported)
 }
-func (d *liveDriver) Partition(_ [][]int) error {
-	return fmt.Errorf("%w: live network cannot be partitioned", ErrUnsupported)
+
+func (d *liveDriver) Faults() FaultPlane { return liveFaults{d} }
+
+// liveFaults maps the fault plane onto the goroutine-per-replica substrate:
+// crashes stop (and recoveries restart) a replica's protocol loop around
+// its durable snapshot, partitions park channel traffic until heal. Link
+// timing is not a concept the channel substrate has, so SlowLink is
+// unsupported.
+type liveFaults struct {
+	d *liveDriver
 }
-func (d *liveDriver) Heal() error {
-	return fmt.Errorf("%w: live network cannot be partitioned", ErrUnsupported)
+
+func (f liveFaults) Crash(replica int) error   { return f.d.c.Crash(replica) }
+func (f liveFaults) Recover(replica int) error { return f.d.c.Recover(replica) }
+
+func (f liveFaults) Partition(cells ...[]int) error {
+	return f.d.c.Partition(cells)
+}
+
+func (f liveFaults) Heal() error { return f.d.c.Heal() }
+
+func (f liveFaults) SlowLink(a, b int, factor int64) error {
+	return fmt.Errorf("%w: the live substrate has no link timing to degrade", ErrUnsupported)
 }
 
 func (d *liveDriver) Read(replica int, register string) (spec.Value, error) {

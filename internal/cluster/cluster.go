@@ -91,6 +91,7 @@ type node struct {
 	tobNode     tob.TOB
 	procDelay   sim.Time
 	stepPending bool
+	crashed     bool
 	cl          *Cluster
 
 	effPool core.EffectsPool
@@ -219,6 +220,100 @@ func (c *Cluster) Partition(cells ...[]core.ReplicaID) {
 // Heal removes all partitions.
 func (c *Cluster) Heal() { c.net.Heal() }
 
+// SlowLink multiplies the latency between two replicas (both directions) by
+// factor; factor 1 restores normal speed.
+func (c *Cluster) SlowLink(a, b core.ReplicaID, factor int64) {
+	c.net.SlowLink(simnet.NodeID(a), simnet.NodeID(b), factor)
+}
+
+// ErrReplicaDown reports an operation addressed to a crashed replica.
+var ErrReplicaDown = errors.New("cluster: replica is crashed")
+
+// Crash silently crashes a replica: its volatile state (tentative list,
+// execution schedule, stored tentative values, RB duplicate filter) is
+// gone, the network drops traffic addressed to it, and sessions bound to it
+// are rejected until Recover. The durable image — committed log, dot
+// counter, client continuations, and the TOB endpoint's acceptor/learner
+// state (classically persisted in Paxos) — survives.
+func (c *Cluster) Crash(id core.ReplicaID) error {
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return fmt.Errorf("cluster: no replica %d", id)
+	}
+	if c.cfg.TOB == PrimaryTOB && id == 0 {
+		// Forwards toward a crashed primary are dropped and nothing
+		// retransmits them — primary commit is not fault-tolerant (the
+		// deficiency that motivated the consensus TOB), so refuse rather
+		// than leave strong operations silently wedged forever.
+		return errors.New("cluster: cannot crash the primary under PrimaryTOB")
+	}
+	n := c.nodes[id]
+	if n.crashed {
+		return fmt.Errorf("%w: %d already crashed", ErrReplicaDown, id)
+	}
+	n.crashed = true
+	c.net.Crash(simnet.NodeID(id))
+	return nil
+}
+
+// Crashed reports whether the replica is currently crashed.
+func (c *Cluster) Crashed(id core.ReplicaID) bool {
+	return int(id) >= 0 && int(id) < c.cfg.N && c.nodes[id].crashed
+}
+
+// Recover restarts a crashed replica from its durable snapshot: the
+// committed prefix is re-executed into a fresh state object, continuations
+// whose requests committed while the replica was down are answered
+// immediately, a fresh RB endpoint (primed with the committed ids) runs the
+// retransmission handshake to rebuild the tentative suffix, and the TOB
+// endpoint catches up on decided slots it slept through. The replica then
+// converges with the rest of the deployment through the ordinary protocol.
+func (c *Cluster) Recover(id core.ReplicaID) error {
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return fmt.Errorf("cluster: no replica %d", id)
+	}
+	n := c.nodes[id]
+	if !n.crashed {
+		return fmt.Errorf("cluster: replica %d is not crashed", id)
+	}
+	snap := n.replica.Snapshot()
+	slow := c.cfg.ClockSlowdown[id]
+	if slow <= 0 {
+		slow = 1
+	}
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	restored, err := core.RestoreReplica(snap, func() int64 {
+		return int64(c.sched.Now()) / slow
+	}, true, eff)
+	if err != nil {
+		return fmt.Errorf("cluster: recover %d: %w", id, err)
+	}
+	n.replica = restored
+	n.stepPending = false
+
+	// Fresh volatile RB state, primed with the durable prefix so the
+	// resync replay re-delivers only what the crash lost.
+	n.rbNode = rb.New(simnet.NodeID(id), c.sched, c.net, nil)
+	n.rbNode.SetBatchDeliver(n.onRBDeliverBatch)
+	have := make(map[string]bool, len(snap.Committed))
+	for _, r := range snap.Committed {
+		have[r.ID()] = true
+		n.rbNode.MarkSeen(r.ID())
+	}
+	mux := &simnet.Mux{}
+	mux.Add(n.rbNode.Handle)
+	mux.Add(n.tobNode.Handle)
+	c.net.Register(simnet.NodeID(id), mux.Handler())
+
+	n.crashed = false
+	c.net.Recover(simnet.NodeID(id))
+	n.route(*eff) // recovery responses for requests committed while down
+	n.rbNode.Resync(have)
+	n.tobNode.Resync()
+	n.scheduleStep()
+	return nil
+}
+
 // ErrSessionBusy reports an invocation on a session whose previous operation
 // has not yet returned. Well-formed histories (§3.2) require sessions to be
 // sequential: a client blocked on a strong operation cannot issue more work.
@@ -261,6 +356,9 @@ func (c *Cluster) InvokeSession(sess core.SessionID, op spec.Op, level core.Leve
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown session %d", sess)
 	}
+	if c.nodes[id].crashed {
+		return nil, fmt.Errorf("%w: %d (session %d)", ErrReplicaDown, id, sess)
+	}
 	if c.rec.SessionBusy(sess) {
 		return nil, fmt.Errorf("%w: session %d", ErrSessionBusy, sess)
 	}
@@ -280,6 +378,9 @@ func (c *Cluster) InvokeSession(sess core.SessionID, op spec.Op, level core.Leve
 // StepReplica performs one internal step at the replica (manual mode).
 func (c *Cluster) StepReplica(id core.ReplicaID) error {
 	n := c.nodes[id]
+	if n.crashed {
+		return fmt.Errorf("%w: %d", ErrReplicaDown, id)
+	}
 	eff := n.takeEff()
 	defer n.putEff(eff)
 	if err := n.replica.StepInto(eff); err != nil {
@@ -345,12 +446,20 @@ func (c *Cluster) Stats() map[core.ReplicaID]core.Stats {
 // NetStats exposes network counters.
 func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
 
-// CompactAll runs Bayou's log compaction on every replica, releasing undo
-// data for committed prefixes; it returns the number of entries released.
+// CompactAll runs Bayou's log compaction on every replica: undo data for
+// committed prefixes is released (the returned count), and each node's RB
+// retransmission log drops its committed entries — a recovering peer
+// refetches those through the TOB learner catch-up instead, so the resync
+// log stays proportional to the uncommitted suffix.
 func (c *Cluster) CompactAll() int {
 	total := 0
 	for _, n := range c.nodes {
 		total += n.replica.Compact()
+		committed := make(map[string]bool)
+		for _, r := range n.replica.Committed() {
+			committed[r.ID()] = true
+		}
+		n.rbNode.Compact(func(id string) bool { return committed[id] })
 	}
 	return total
 }
@@ -387,6 +496,12 @@ func (n *node) route(eff core.Effects) {
 // onRBDeliverBatch feeds an RB delivery envelope into the replica: the
 // whole batch becomes one schedule adjustment.
 func (n *node) onRBDeliverBatch(ms []rb.Message) {
+	if n.crashed {
+		// A local dispatch scheduled just before the crash: the messages
+		// are lost with the rest of the volatile state (the resync
+		// handshake re-fetches them on recovery).
+		return
+	}
 	n.reqBuf = n.reqBuf[:0]
 	for _, m := range ms {
 		if r, ok := m.Payload.(core.Req); ok {
@@ -408,6 +523,13 @@ func (n *node) onRBDeliverBatch(ms []rb.Message) {
 // onTOBDeliverBatch feeds a TOB cascade into the replica and records the
 // global tobNos.
 func (n *node) onTOBDeliverBatch(first int64, ms []tob.Message) {
+	if n.crashed {
+		// Unreachable by construction: the TOB gate only advances on
+		// network deliveries, which simnet withholds from crashed nodes.
+		// Losing a gate-delivered commit would desynchronize the replica
+		// from the gate forever, so fail loudly rather than drop.
+		panic(fmt.Sprintf("cluster: TOB delivery on crashed replica %d", n.id))
+	}
 	n.reqBuf = n.reqBuf[:0]
 	for i, m := range ms {
 		if r, ok := m.Payload.(core.Req); ok {
@@ -432,12 +554,15 @@ func (n *node) onTOBDeliverBatch(first int64, ms []tob.Message) {
 // a single internal event, or up to Config.StepBatch of them when batched
 // stepping is enabled.
 func (n *node) scheduleStep() {
-	if n.cl.cfg.ManualStepping || n.stepPending || !n.replica.HasInternalWork() {
+	if n.cl.cfg.ManualStepping || n.stepPending || n.crashed || !n.replica.HasInternalWork() {
 		return
 	}
 	n.stepPending = true
 	n.cl.sched.After(n.procDelay, func() {
 		n.stepPending = false
+		if n.crashed {
+			return // activation outlived the process
+		}
 		batch := n.cl.cfg.StepBatch
 		if batch < 1 {
 			batch = 1

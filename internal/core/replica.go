@@ -243,12 +243,25 @@ func (p *Replica) RBDeliver(r Req) (Effects, error) {
 }
 
 // RBDeliverInto handles an RB delivery, appending effects to eff.
+//
+// The paper's line 23 skips requests "issued locally"; here that skip is
+// implemented by the known-request check alone: at invocation the replica
+// inserts its own request into tentative (or committed, later), so a
+// self-origin delivery is always already known — except after a
+// crash–recover, where the volatile tentative list is gone and a resync
+// replay legitimately re-teaches the replica its own uncommitted requests.
 func (p *Replica) RBDeliverInto(r Req, eff *Effects) error {
-	if r.Dot.Replica == p.id {
-		return nil // issued locally (line 23)
-	}
 	if p.committedSet[r.Dot] || p.tentativeSet[r.Dot] {
-		return nil // already known (line 25)
+		return nil // already known (lines 23 and 25)
+	}
+	if p.variant == NoCircularCausality && r.Strong {
+		// Algorithm 2 disseminates strong requests through TOB only; they
+		// never enter a tentative list, so an RB replay of one (a resync
+		// echoing a mixed log) is dropped, not scheduled.
+		return nil
+	}
+	if r.Dot.Replica == p.id && r.Dot.EventNo > p.currEventNo {
+		return fmt.Errorf("%w: self-origin %s from the future (counter %d)", ErrInvariant, r.ID(), p.currEventNo)
 	}
 	p.insertTentative(r)
 	return nil

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"bayou/internal/spec"
+)
+
+// Snapshot is the durable image of a replica — what survives a crash. The
+// model follows the original Bayou's stable store: the committed prefix is
+// final and fsynced (it can never be rolled back, so a snapshot of the last
+// stable state is exactly this log), the invocation counter is persisted so
+// a recovered replica never re-mints a dot, and the client continuations
+// record which sessions still await an answer (the session table a server
+// journals so reconnecting clients can be completed after a restart).
+// Everything else — the tentative list, the execution schedule, stored
+// tentative values — is volatile and must be rebuilt by resynchronization
+// (RB retransmission and TOB learner catch-up).
+type Snapshot struct {
+	Replica ReplicaID
+	Variant Variant
+	EventNo int64 // invocation counter: dots minted so far
+	LastTS  int64 // clock watermark: timestamps stay strictly monotone
+
+	// Committed is the final prefix, in commit order.
+	Committed []Req
+
+	// Awaiting lists requests whose client has received no response yet
+	// (strong requests, and every Algorithm 1 request answered from the
+	// final order), keyed to the session that must be answered.
+	Awaiting map[Dot]SessionID
+
+	// AwaitStable lists weak requests answered tentatively whose stable
+	// notice is still owed (footnote 3 of the paper).
+	AwaitStable map[Dot]SessionID
+}
+
+// Snapshot captures the replica's durable image. Call it at crash time (or
+// any time — committed is append-only, so a snapshot only grows).
+func (p *Replica) Snapshot() Snapshot {
+	s := Snapshot{
+		Replica:     p.id,
+		Variant:     p.variant,
+		EventNo:     p.currEventNo,
+		LastTS:      p.lastTS,
+		Committed:   append([]Req(nil), p.committed...),
+		Awaiting:    make(map[Dot]SessionID, len(p.awaiting)),
+		AwaitStable: make(map[Dot]SessionID, len(p.awaitStable)),
+	}
+	for d, pr := range p.awaiting {
+		s.Awaiting[d] = pr.session
+	}
+	for d, pr := range p.awaitStable {
+		s.AwaitStable[d] = pr.session
+	}
+	return s
+}
+
+// RestoreReplica rebuilds a replica from its durable snapshot: the state
+// object is reconstructed by executing the committed log in order, the
+// invocation counter and clock watermark carry over, and client
+// continuations re-attach. Continuation requests that committed while the
+// replica was down are answered immediately from the final order (appending
+// the response or stable notice to eff — the recovered value can never
+// fluctuate again); continuations still uncommitted re-register and are
+// answered by the normal paths once resynchronization re-delivers them.
+//
+// transitions enables response-status Transition emission on the restored
+// replica (drivers that stream watch updates pass true).
+func RestoreReplica(snap Snapshot, clock func() int64, transitions bool, eff *Effects) (*Replica, error) {
+	p := NewReplica(snap.Replica, snap.Variant, clock)
+	p.transitions = transitions
+	p.currEventNo = snap.EventNo
+	p.lastTS = snap.LastTS
+
+	type recovered struct {
+		dot   Dot
+		value spec.Value
+		trace []Dot
+		pos   int // |committed| when the value was computed
+	}
+	var completions []recovered
+
+	for _, r := range snap.Committed {
+		if p.committedSet[r.Dot] {
+			return nil, fmt.Errorf("%w: snapshot commits %s twice", ErrInvariant, r.ID())
+		}
+		_, awaited := snap.Awaiting[r.Dot]
+		if !awaited {
+			_, awaited = snap.AwaitStable[r.Dot]
+		}
+		var trace []Dot
+		if awaited {
+			trace = append([]Dot(nil), p.traceBuf...)
+		}
+		value, err := p.state.Execute(r.ID(), r.Op)
+		if err != nil {
+			return nil, fmt.Errorf("%w: restore execute %s: %v", ErrInvariant, r.ID(), err)
+		}
+		if awaited {
+			completions = append(completions, recovered{dot: r.Dot, value: value, trace: trace, pos: len(p.committed)})
+		}
+		p.committed = append(p.committed, r)
+		p.committedSet[r.Dot] = true
+		p.executed = append(p.executed, r)
+		p.executedSet[r.Dot] = true
+		p.traceBuf = append(p.traceBuf, r.Dot)
+	}
+	// The rebuilt prefix is stable: release its undo data immediately (the
+	// restore is a snapshot load, not a replayable suffix).
+	p.state.Release(len(p.committed))
+
+	// Answer continuations whose requests are inside the committed prefix.
+	// CommittedLen counts the request itself, matching the normal path
+	// (which responds after the commit appended it).
+	for _, c := range completions {
+		req := p.committed[c.pos]
+		resp := Response{Req: req, Value: c.value, Committed: true, Trace: c.trace, CommittedLen: c.pos + 1}
+		if sess, ok := snap.Awaiting[c.dot]; ok {
+			eff.Responses = append(eff.Responses, resp)
+			p.emit(eff, c.dot, sess, StatusCommitted, c.value)
+		} else if sess, ok := snap.AwaitStable[c.dot]; ok {
+			eff.StableNotices = append(eff.StableNotices, resp)
+			p.emit(eff, c.dot, sess, StatusCommitted, c.value)
+		}
+	}
+
+	// Re-register the continuations still outside the committed prefix:
+	// resync re-delivers their requests and the normal execute/commit
+	// paths answer them. The stored tentative value is gone (volatile) —
+	// has=false makes the first post-recovery execution repopulate it.
+	for d, sess := range snap.Awaiting {
+		if !p.committedSet[d] {
+			p.awaiting[d] = &pendingResp{session: sess}
+		}
+	}
+	for d, sess := range snap.AwaitStable {
+		if !p.committedSet[d] {
+			p.awaitStable[d] = &pendingResp{session: sess}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"bayou/internal/spec"
+)
+
+// restoreClock is a trivial monotone clock for snapshot tests.
+func restoreClock() func() int64 {
+	t := int64(0)
+	return func() int64 { t += 10; return t }
+}
+
+// TestSnapshotRestoreRebuildsCommittedState crashes a replica mid-run and
+// checks that the restored replica holds exactly the committed prefix —
+// state, sets, counter and clock watermark — with the volatile tentative
+// suffix gone.
+func TestSnapshotRestoreRebuildsCommittedState(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, restoreClock())
+	var eff Effects
+	r1, err := p.InvokeInto(spec.Append("a"), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.InvokeInto(spec.Append("b"), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	// Commit only the first request; the second stays tentative (volatile).
+	if err := p.TOBDeliverInto(r1, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := p.Snapshot()
+	var reff Effects
+	q, err := RestoreReplica(snap, restoreClock(), false, &reff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dotsOf(q.Committed()); len(got) != 1 || got[0] != r1.Dot {
+		t.Errorf("restored committed = %v, want [%s]", got, r1.Dot)
+	}
+	if got := q.Tentative(); len(got) != 0 {
+		t.Errorf("restored tentative = %v, want empty (volatile state lost)", dotsOf(got))
+	}
+	if v := q.Read(spec.DefaultListID); !spec.Equal(v, []spec.Value{"a"}) {
+		t.Errorf("restored list = %v, want [a] (committed prefix only)", v)
+	}
+	// The invocation counter is durable: a fresh invoke must not re-mint a
+	// pre-crash dot.
+	r3, err := q.InvokeInto(spec.Append("c"), false, &reff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Dot.EventNo <= r2.Dot.EventNo {
+		t.Errorf("post-recovery dot %s does not advance past pre-crash %s", r3.Dot, r2.Dot)
+	}
+
+	// The resync replay re-teaches the replica its own lost request.
+	if err := q.RBDeliverInto(r2, &reff); err != nil {
+		t.Fatal(err)
+	}
+	reInserted := false
+	for _, r := range q.Tentative() {
+		if r.Dot == r2.Dot {
+			reInserted = true
+		}
+	}
+	if !reInserted {
+		t.Errorf("self-origin resync not re-inserted: tentative = %v", dotsOf(q.Tentative()))
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreAnswersContinuationsCommittedBeforeCrash covers the crash
+// window between TOB delivery and execution: the committed log already
+// holds the request, the client is still waiting, and the restore must
+// answer from the final order.
+func TestRestoreAnswersContinuationsCommittedBeforeCrash(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, restoreClock())
+	var eff Effects
+	weak, err := p.InvokeFrom(7, spec.Append("w"), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := p.InvokeFrom(8, spec.Duplicate(), true, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both commit while their scheduled executions are still pending — the
+	// replica crashes inside the delivery-to-execution window, so neither
+	// the strong response nor the weak stable notice ever went out.
+	if err := p.TOBDeliverBatch([]Req{weak, strong}, &eff); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := p.Snapshot()
+	var reff Effects
+	q, err := RestoreReplica(snap, restoreClock(), true, &reff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The strong continuation gets its (first) response; the weak one —
+	// already answered tentatively pre-crash — gets its stable notice.
+	if len(reff.Responses) != 1 || reff.Responses[0].Req.Dot != strong.Dot {
+		t.Fatalf("restore responses = %+v, want the strong continuation", reff.Responses)
+	}
+	if !reff.Responses[0].Committed || !spec.Equal(reff.Responses[0].Value, "ww") {
+		t.Errorf("strong recovery response = %+v, want committed \"ww\"", reff.Responses[0])
+	}
+	if len(reff.StableNotices) != 1 || reff.StableNotices[0].Req.Dot != weak.Dot {
+		t.Fatalf("restore stable notices = %+v, want the weak continuation", reff.StableNotices)
+	}
+	if !spec.Equal(reff.StableNotices[0].Value, "w") {
+		t.Errorf("weak stable value = %v, want \"w\"", reff.StableNotices[0].Value)
+	}
+	// Both transitions surface as committed status updates for the watch
+	// streams.
+	if len(reff.Transitions) != 2 {
+		t.Fatalf("restore transitions = %+v, want 2", reff.Transitions)
+	}
+	for _, tr := range reff.Transitions {
+		if tr.Status != StatusCommitted {
+			t.Errorf("recovery transition %+v, want committed", tr)
+		}
+	}
+}
+
+// TestRestoreReRegistersUncommittedContinuations covers the other side of
+// the window: continuations whose requests had not committed at crash time
+// re-attach and are answered by the ordinary paths after resync.
+func TestRestoreReRegistersUncommittedContinuations(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, restoreClock())
+	var eff Effects
+	weak, err := p.InvokeFrom(7, spec.Append("w"), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := p.InvokeFrom(8, spec.Duplicate(), true, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := p.Snapshot()
+	var reff Effects
+	q, err := RestoreReplica(snap, restoreClock(), false, &reff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reff.Responses) != 0 || len(reff.StableNotices) != 0 {
+		t.Fatalf("nothing was committed, restore must answer nothing: %+v %+v", reff.Responses, reff.StableNotices)
+	}
+	// Resync re-delivers the weak request; TOB then commits both.
+	if err := q.RBDeliverInto(weak, &reff); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TOBDeliverBatch([]Req{weak, strong}, &reff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.DrainInto(&reff); err != nil {
+		t.Fatal(err)
+	}
+	var gotStrong, gotWeakStable bool
+	for _, r := range reff.Responses {
+		if r.Req.Dot == strong.Dot && r.Committed && spec.Equal(r.Value, "ww") {
+			gotStrong = true
+		}
+	}
+	for _, r := range reff.StableNotices {
+		if r.Req.Dot == weak.Dot && spec.Equal(r.Value, "w") {
+			gotWeakStable = true
+		}
+	}
+	if !gotStrong || !gotWeakStable {
+		t.Errorf("re-registered continuations not answered: responses %+v, notices %+v", reff.Responses, reff.StableNotices)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package livenet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+// TestCrashRecoverCatchesUpLive crashes a replica under real concurrency,
+// keeps the rest of the deployment working, recovers it, and demands full
+// convergence through the resync handshake (peer retransmission + sequencer
+// commit-log replay).
+func TestCrashRecoverCatchesUpLive(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+
+	if _, err := c.InvokeAt(2, spec.Append("pre"), core.Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(2); !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("double crash: err = %v, want ErrReplicaDown", err)
+	}
+	if _, err := c.InvokeAt(2, spec.Append("x"), core.Weak); !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("invoke on crashed replica: err = %v, want ErrReplicaDown", err)
+	}
+	if err := c.Crash(0); err == nil {
+		t.Fatal("crashing the sequencer must be rejected")
+	}
+
+	// The deployment keeps going without replica 2.
+	if _, err := c.InvokeAt(0, spec.Append("while-down"), core.Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InvokeAt(1, spec.Inc("ctr", 7), core.Weak); err != nil {
+		t.Fatal(err)
+	}
+	strong, err := c.InvokeAt(0, spec.Duplicate(), core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if !strong.Done() {
+		t.Fatal("strong op must commit while a non-sequencer replica is down")
+	}
+
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Committed(0, waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Committed(2, waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) || len(ref) != 4 {
+		t.Fatalf("recovered replica committed %d ops, sequencer %d, want 4", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].Dot != ref[i].Dot {
+			t.Fatalf("committed order diverges at %d: %s vs %s", i, got[i].Dot, ref[i].Dot)
+		}
+	}
+	if v, err := c.Read(2, "ctr", waitFor); err != nil || !spec.Equal(v, int64(7)) {
+		t.Errorf("recovered ctr = %v (err %v), want 7", v, err)
+	}
+	// And it serves clients again.
+	if _, err := c.InvokeAt(2, spec.Append("post"), core.Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionHealLive parks cross-cell traffic and releases it on heal:
+// weak operations stay available inside the minority cell, strong
+// operations from it stall until the partition heals.
+func TestPartitionHealLive(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+
+	if err := c.Partition([][]int{{0, 1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	weak, err := c.InvokeAt(2, spec.Append("minority"), core.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak.Done() {
+		t.Fatal("weak ops must stay available inside a minority cell")
+	}
+	strong, err := c.InvokeAt(2, spec.PutIfAbsent("k", "v"), core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if strong.Done() {
+		t.Fatal("strong op crossed a partition to the sequencer")
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if !strong.Done() {
+		t.Fatal("strong op must complete after heal")
+	}
+	ref, err := c.Committed(0, waitFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 2 {
+		t.Fatalf("committed %d ops, want 2 (weak update + strong put)", len(ref))
+	}
+}
+
+// TestParkedMessagesSurviveCrashLive pins the simnet-matching semantics on
+// the live substrate: a message parked on a partition survives a
+// crash–recover of its target (the link keeps retransmitting) and is
+// delivered once both the partition and the crash are gone — while traffic
+// sent on an open link to a crashed replica is dropped for good.
+func TestParkedMessagesSurviveCrashLive(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+
+	// Park an update for replica 2, then crash 2 and heal: the parked
+	// message must wait for the recovery, not vanish.
+	if err := c.Partition([][]int{{0, 1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InvokeAt(0, spec.Inc("ctr", 5), core.Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err) // majority side settles; the crashed replica is exempt
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Read(2, "ctr", waitFor); err != nil || !spec.Equal(v, int64(5)) {
+		t.Errorf("recovered ctr = %v (err %v), want 5 — parked update lost", v, err)
+	}
+}
+
+// TestCrashWithPendingContinuationLive: a strong call pending at a crashed
+// replica survives in the durable continuation table and completes after
+// recovery, once the sequencer's commit log replays.
+func TestCrashWithPendingContinuationLive(t *testing.T) {
+	c := New(3, core.NoCircularCausality)
+	defer c.Stop()
+
+	// Isolate replica 2's commits so the strong call is still pending when
+	// the crash hits (the forward reaches the sequencer, the commit
+	// broadcast parks on the partition).
+	if err := c.Partition([][]int{{0, 1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	strong, err := c.InvokeAt(2, spec.Inc("ctr", 3), core.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err) // replica 2 and its calls are exempt while crashed
+	}
+	if strong.Done() {
+		t.Fatal("strong response reached a crashed replica's client")
+	}
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if !strong.Done() {
+		t.Fatal("surviving continuation not answered after recovery")
+	}
+	if resp := strong.Response(); !resp.Committed || !spec.Equal(resp.Value, int64(3)) {
+		t.Errorf("recovered strong response = %+v, want committed 3", resp)
+	}
+}

@@ -36,6 +36,9 @@ var ErrStopped = errors.New("livenet: cluster stopped")
 // ErrTimeout is returned when an operation misses its deadline.
 var ErrTimeout = errors.New("livenet: timed out")
 
+// ErrReplicaDown is returned for operations addressed to a crashed replica.
+var ErrReplicaDown = errors.New("livenet: replica is crashed")
+
 // inboxSize bounds each replica's message queue. Sends are blocking;
 // workloads that could overrun it should be throttled by awaiting calls.
 const inboxSize = 1 << 14
@@ -48,12 +51,16 @@ const (
 	msgForward // weak/strong request en route to the primary
 	msgCommit  // primary's ordering announcement
 	msgInspect // run a closure on the replica goroutine (reads, stats)
+	msgCrash   // fault plane: drop volatile state, start discarding traffic
+	msgRecover // fault plane: restore from the durable snapshot and resync
+	msgResync  // a recovering peer asks for retransmission
 )
 
 type message struct {
 	kind     msgKind
 	req      core.Req
 	commitNo int64
+	from     core.ReplicaID // msgResync: the recovering requester
 	op       spec.Op
 	strong   bool
 	sess     core.SessionID
@@ -84,6 +91,21 @@ type Cluster struct {
 	mu       sync.Mutex
 	sessions map[core.SessionID]int
 	nextSess core.SessionID
+
+	// Fault plane: partition cells (all equal when healed) and the
+	// messages parked on partition boundaries, guarded by partMu. The
+	// partition model matches simnet's: cross-cell traffic is held and
+	// released on Heal (reliable links retransmit); traffic to a crashed
+	// replica is dropped for good.
+	partMu sync.Mutex
+	cell   []int
+	held   []heldMsg
+}
+
+// heldMsg is a message parked on a partition boundary.
+type heldMsg struct {
+	from, to int
+	m        message
 }
 
 type node struct {
@@ -93,9 +115,21 @@ type node struct {
 	inbox   chan message
 	stop    chan struct{}
 
-	// Primary (sequencer) state, used on replica 0 only.
-	commitNo int64
-	stamped  map[string]bool
+	// Fault plane. down is the goroutine-local crashed flag; crashed is
+	// its atomic shadow read by senders (so traffic toward a crashed
+	// replica is dropped at the source, mirroring the network dropping
+	// it). snap is the durable image taken when the crash hit.
+	down    bool
+	crashed atomic.Bool
+	snap    core.Snapshot
+
+	// Primary (sequencer) state, used on replica 0 only. Like a real
+	// sequencer's commit log it is durable: commitLog retains every
+	// stamped request (commit number i+1 at index i) so recovering
+	// learners can refetch commits they slept through.
+	commitNo  int64
+	stamped   map[string]bool
+	commitLog []core.Req
 
 	// Learner hold-back: commits applied in stamped order.
 	nextCommit int64
@@ -122,6 +156,7 @@ func New(n int, variant core.Variant) *Cluster {
 		started:  time.Now(),
 		sessions: make(map[core.SessionID]int, n),
 		nextSess: core.SessionID(n),
+		cell:     make([]int, n),
 	}
 	for i := 0; i < n; i++ {
 		c.sessions[core.SessionID(i)] = i
@@ -164,6 +199,166 @@ func (c *Cluster) Stop() {
 
 // wall is the driver's wall clock (microseconds since construction).
 func (c *Cluster) wall() int64 { return time.Since(c.started).Microseconds() }
+
+// send is the replica-to-replica network: it parks cross-partition traffic
+// until Heal and drops connected traffic toward a crashed replica (the
+// loss the resync handshake repairs). The order matters and matches
+// simnet's pinned semantics: a message parked on a partition models a
+// retransmitting link, so it survives a crash–recover of its target, while
+// a message sent on an open link to a crashed node is gone for good.
+func (c *Cluster) send(from, to int, m message) {
+	c.partMu.Lock()
+	if c.cell[from] != c.cell[to] {
+		c.held = append(c.held, heldMsg{from: from, to: to, m: m})
+		c.partMu.Unlock()
+		return
+	}
+	c.partMu.Unlock()
+	if c.nodes[to].crashed.Load() {
+		return
+	}
+	select {
+	case c.nodes[to].inbox <- m:
+	case <-c.nodes[to].stop:
+	}
+}
+
+// Partition splits the deployment into cells (unlisted replicas form an
+// implicit final cell); replicas in different cells stop exchanging
+// messages until Heal, which releases the parked traffic. Clients stay
+// attached to their replica — sessions on a minority cell keep weak
+// availability while strong operations stall, exactly as on the simulator.
+func (c *Cluster) Partition(cells [][]int) error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	fresh := make([]int, c.n)
+	for i := range fresh {
+		fresh[i] = len(cells)
+	}
+	for i, cell := range cells {
+		for _, id := range cell {
+			if id < 0 || id >= c.n {
+				return fmt.Errorf("livenet: no replica %d", id)
+			}
+			fresh[id] = i
+		}
+	}
+	c.partMu.Lock()
+	c.cell = fresh
+	c.partMu.Unlock()
+	c.releaseHeld()
+	return nil
+}
+
+// Heal removes all partitions and releases parked messages.
+func (c *Cluster) Heal() error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	c.partMu.Lock()
+	for i := range c.cell {
+		c.cell[i] = 0
+	}
+	c.partMu.Unlock()
+	c.releaseHeld()
+	return nil
+}
+
+// releasableLocked extracts the held messages whose endpoints are connected
+// under the current cells and whose target is up — a parked message toward
+// a crashed replica stays parked (the link keeps retransmitting) until
+// Recover releases it. The caller holds partMu.
+func (c *Cluster) releasableLocked() []heldMsg {
+	var released []heldMsg
+	keep := c.held[:0]
+	for _, h := range c.held {
+		if c.cell[h.from] == c.cell[h.to] && !c.nodes[h.to].crashed.Load() {
+			released = append(released, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	c.held = keep
+	return released
+}
+
+// redeliver re-sends released messages through the normal path.
+func (c *Cluster) redeliver(ms []heldMsg) {
+	for _, h := range ms {
+		c.send(h.from, h.to, h.m)
+	}
+}
+
+// releaseHeld re-evaluates the parked messages (after a heal or a
+// recovery) and delivers the releasable ones.
+func (c *Cluster) releaseHeld() {
+	c.partMu.Lock()
+	released := c.releasableLocked()
+	c.partMu.Unlock()
+	c.redeliver(released)
+}
+
+// Crash crashes a replica: its volatile state (tentative list, schedule,
+// stored tentative values) is lost, traffic toward it is dropped, and
+// invocations on its sessions fail until Recover. The durable image —
+// committed log, dot counter, client continuations, sequencer state —
+// survives. The sequencer (replica 0) cannot crash: primary-commit total
+// order does not tolerate it, which is the deficiency the paper's
+// consensus-based TOB removes (use the simulator to script that).
+func (c *Cluster) Crash(replica int) error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	if replica == 0 {
+		return errors.New("livenet: cannot crash the sequencer (replica 0)")
+	}
+	return c.control(replica, msgCrash)
+}
+
+// Recover restarts a crashed replica from its durable snapshot and runs the
+// resync handshake: peers retransmit their tentative suffixes and the
+// sequencer replays the commits the replica slept through.
+func (c *Cluster) Recover(replica int) error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	if err := c.control(replica, msgRecover); err != nil {
+		return err
+	}
+	// Messages parked for this replica while it was down (partition-held
+	// traffic survives a crash) can flow again.
+	c.releaseHeld()
+	return nil
+}
+
+// Crashed reports whether the replica is currently crashed.
+func (c *Cluster) Crashed(replica int) bool {
+	return replica >= 0 && replica < c.n && c.nodes[replica].crashed.Load()
+}
+
+// control delivers a fault-plane message on the replica goroutine and waits
+// for the outcome.
+func (c *Cluster) control(replica int, kind msgKind) error {
+	reply := make(chan invokeReply, 1)
+	select {
+	case c.nodes[replica].inbox <- message{kind: kind, reply: reply}:
+	case <-c.nodes[replica].stop:
+		return ErrStopped
+	}
+	select {
+	case r := <-reply:
+		return r.err
+	case <-c.nodes[replica].stop:
+		return ErrStopped
+	}
+}
 
 // Replicas returns the deployment size.
 func (c *Cluster) Replicas() int { return c.n }
@@ -319,12 +514,17 @@ func (c *Cluster) History() (*history.History, error) { return c.rec.History() }
 // Quiesce blocks until the deployment has settled: every recorded call is
 // terminal (responses delivered, weak updates stabilized) and every replica
 // has applied every commit and drained its internal work. It is the live
-// analogue of the simulator's Settle.
+// analogue of the simulator's Settle. Replicas currently crashed are
+// exempt, as are calls bound to them: a crashed replica is not a correct
+// one, and its clients' calls legitimately pend until it recovers.
 func (c *Cluster) Quiesce(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	ctx, cancel := context.WithDeadline(context.Background(), deadline)
 	defer cancel()
 	for _, call := range c.rec.Calls() {
+		if r, ok := c.SessionReplica(call.Session()); ok && c.Crashed(r) {
+			continue
+		}
 		if err := call.WaitTerminal(ctx); err != nil {
 			return fmt.Errorf("livenet: quiesce: call %s not terminal: %w", call.Dot(), err)
 		}
@@ -336,6 +536,9 @@ func (c *Cluster) Quiesce(timeout time.Duration) error {
 	for {
 		converged := true
 		for i := 0; i < c.n; i++ {
+			if c.Crashed(i) {
+				continue
+			}
 			var committed int
 			var busy bool
 			left := time.Until(deadline)
@@ -392,15 +595,83 @@ func (n *node) run() {
 					break burst
 				}
 			}
-			n.flushRB()
-			n.drain()
+			if !n.down {
+				n.flushRB()
+				n.drain()
+			}
+		}
+	}
+}
+
+// recover restores the replica from its durable snapshot on the node's own
+// goroutine, then asks every peer for retransmission: tentative suffixes
+// arrive as ordinary RB deliveries, missed commits replay from the
+// sequencer's log. Runs entirely before the next inbox message, so the
+// restored state is never observed half-built.
+func (n *node) recover() {
+	eff := n.takeEff()
+	restored, err := core.RestoreReplica(n.snap, func() int64 {
+		return n.cl.clock.Add(1)
+	}, true, eff)
+	if err != nil {
+		panic(fmt.Sprintf("livenet: recover %d: %v", n.id, err))
+	}
+	n.replica = restored
+	// The learner hold-back is volatile; in the primary scheme commits map
+	// 1:1 onto the committed log, so the next expected commit number is
+	// derived from the snapshot.
+	n.held = make(map[int64]core.Req)
+	n.nextCommit = int64(len(n.snap.Committed)) + 1
+	n.down = false
+	n.crashed.Store(false)
+	n.route(*eff) // continuations answered from the committed-while-down prefix
+	n.putEff(eff)
+	for _, peer := range n.cl.nodes {
+		if peer.id != n.id {
+			n.cl.send(int(n.id), int(peer.id), message{kind: msgResync, from: n.id, commitNo: n.nextCommit})
+		}
+	}
+}
+
+// answerResync retransmits to a recovering peer: every tentative request
+// this node holds (the requester's duplicate filters drop what it already
+// knows), plus — on the sequencer — the commit log from the requester's
+// next expected commit number.
+func (n *node) answerResync(m message) {
+	for _, r := range n.replica.Tentative() {
+		n.cl.send(int(n.id), int(m.from), message{kind: msgRBDeliver, req: r})
+	}
+	if n.id == 0 {
+		for no := m.commitNo; no <= n.commitNo; no++ {
+			n.cl.send(0, int(m.from), message{kind: msgCommit, commitNo: no, req: n.commitLog[no-1]})
 		}
 	}
 }
 
 // process handles one message; RB deliveries are buffered (flushed before
-// any other message kind so per-node delivery order is preserved).
+// any other message kind so per-node delivery order is preserved). A
+// crashed node answers only the fault plane (and inspections, which read
+// the stale pre-crash state like the simulator does) and discards protocol
+// traffic — the crash already dropped it conceptually; the resync handshake
+// refetches what matters.
 func (n *node) process(m message) {
+	if n.down {
+		switch m.kind {
+		case msgInvoke:
+			m.reply <- invokeReply{err: fmt.Errorf("%w: %d (session %d)", ErrReplicaDown, n.id, m.sess)}
+		case msgCrash:
+			m.reply <- invokeReply{err: fmt.Errorf("%w: %d already crashed", ErrReplicaDown, n.id)}
+		case msgRecover:
+			n.recover()
+			m.reply <- invokeReply{}
+		case msgInspect:
+			m.inspect(n)
+			close(m.done)
+		case msgRBDeliver, msgForward, msgCommit, msgResync:
+			// Dropped: the node is down.
+		}
+		return
+	}
 	if m.kind == msgRBDeliver {
 		n.rbBatch = append(n.rbBatch, m.req)
 		return
@@ -433,6 +704,16 @@ func (n *node) process(m message) {
 		}
 	case msgCommit:
 		n.applyCommit(m.commitNo, m.req)
+	case msgCrash:
+		n.down = true
+		n.crashed.Store(true)
+		n.snap = n.replica.Snapshot()
+		n.rbBatch = n.rbBatch[:0] // buffered deliveries die with the process
+		m.reply <- invokeReply{}
+	case msgRecover:
+		m.reply <- invokeReply{err: fmt.Errorf("livenet: replica %d is not crashed", n.id)}
+	case msgResync:
+		n.answerResync(m)
 	case msgInspect:
 		// Drain before answering so an inspection mid-burst still
 		// observes every message processed ahead of it.
@@ -462,13 +743,14 @@ func (n *node) stampAndBroadcast(r core.Req) {
 	}
 	n.stamped[r.ID()] = true
 	n.commitNo++
+	n.commitLog = append(n.commitLog, r)
 	no := n.commitNo
 	for _, peer := range n.cl.nodes {
 		if peer.id == n.id {
 			n.applyCommit(no, r)
 			continue
 		}
-		peer.inbox <- message{kind: msgCommit, commitNo: no, req: r}
+		n.cl.send(int(n.id), int(peer.id), message{kind: msgCommit, commitNo: no, req: r})
 	}
 }
 
@@ -521,7 +803,7 @@ func (n *node) route(eff core.Effects) {
 	for _, r := range eff.RBCast {
 		for _, peer := range n.cl.nodes {
 			if peer.id != n.id {
-				peer.inbox <- message{kind: msgRBDeliver, req: r}
+				n.cl.send(int(n.id), int(peer.id), message{kind: msgRBDeliver, req: r})
 			}
 		}
 	}
@@ -530,7 +812,7 @@ func (n *node) route(eff core.Effects) {
 			n.stampAndBroadcast(r)
 			continue
 		}
-		n.cl.nodes[0].inbox <- message{kind: msgForward, req: r}
+		n.cl.send(int(n.id), 0, message{kind: msgForward, req: r})
 	}
 	wall := n.cl.wall()
 	for _, t := range eff.Transitions {

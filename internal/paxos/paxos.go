@@ -76,6 +76,12 @@ type (
 		Slot Slot
 		Val  any
 	}
+	// LearnReq asks peers to re-announce every decided slot ≥ From — the
+	// learner catch-up of a recovering node whose DecideMsg traffic was
+	// lost while it was crashed.
+	LearnReq struct {
+		From Slot
+	}
 )
 
 // SlotVal is an accepted value with its ballot, reported in promises.
@@ -272,10 +278,33 @@ func (n *Node) Handle(from simnet.NodeID, payload any) bool {
 		n.onAck(from, m)
 	case DecideMsg:
 		n.onDecideMsg(m)
+	case LearnReq:
+		n.onLearnReq(from, m)
 	default:
 		return false
 	}
 	return true
+}
+
+// Resync broadcasts a learner catch-up request: every peer re-announces the
+// decided slots this node slept through. Safe to call at any time — decided
+// values are final, so duplicate announcements are idempotent.
+func (n *Node) Resync() {
+	n.sendAll(LearnReq{From: n.nextDeliver})
+}
+
+// onLearnReq re-announces decided slots ≥ From to the requester.
+func (n *Node) onLearnReq(from simnet.NodeID, m LearnReq) {
+	slots := make([]Slot, 0, len(n.decided))
+	for s := range n.decided {
+		if s >= m.From {
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		n.net.Send(n.id, from, DecideMsg{Slot: s, Val: n.decided[s]})
+	}
 }
 
 func (n *Node) onPrepare(from simnet.NodeID, m PrepareMsg) {

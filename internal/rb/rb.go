@@ -43,6 +43,17 @@ type gossipBatch struct {
 	Ms []Message
 }
 
+// resyncReq asks a peer to replay the messages it has seen that the
+// requester lacks — the retransmission handshake a recovering node uses to
+// rebuild the volatile RB state it lost in a crash. Have carries the ids
+// the requester holds durably (its committed prefix), so peers replay only
+// the suffix the crash actually lost. Peers answer with an ordinary
+// gossipBatch sent directly to the requester, so dedup and relay reuse the
+// normal delivery path.
+type resyncReq struct {
+	Have map[string]bool
+}
+
 // Node is the per-replica RB endpoint. Construct with New; wire Handle into
 // the node's simnet mux.
 type Node struct {
@@ -50,6 +61,7 @@ type Node struct {
 	sched        *sim.Scheduler
 	net          *simnet.Network
 	seen         map[string]bool
+	log          []Message // every seen message, in seen order (resync replay)
 	deliver      func(m Message)
 	deliverBatch func(ms []Message)
 	one          [1]Message // scratch for single deliveries via the batch callback
@@ -77,6 +89,7 @@ func (n *Node) Cast(m Message) {
 		return
 	}
 	n.seen[m.ID] = true
+	n.log = append(n.log, m)
 	n.net.Broadcast(n.id, gossip{M: m})
 	n.sched.After(0, func() {
 		n.delivered++
@@ -94,6 +107,7 @@ func (n *Node) filterUnseen(ms []Message) []Message {
 			continue
 		}
 		n.seen[m.ID] = true
+		n.log = append(n.log, m)
 		fresh = append(fresh, m)
 	}
 	return fresh
@@ -129,6 +143,7 @@ func (n *Node) Handle(from simnet.NodeID, payload any) bool {
 			return true
 		}
 		n.seen[g.M.ID] = true
+		n.log = append(n.log, g.M)
 		// Eager relay for agreement despite sender crash.
 		n.net.Broadcast(n.id, g)
 		n.relayed++
@@ -152,9 +167,57 @@ func (n *Node) Handle(from simnet.NodeID, payload any) bool {
 			n.deliver(m)
 		}
 		return true
+	case resyncReq:
+		// Replay what this node has seen minus what the requester already
+		// holds; the requester's own duplicate filter catches the rest
+		// (e.g. overlapping replays from several peers).
+		var missing []Message
+		for _, m := range n.log {
+			if !g.Have[m.ID] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) > 0 {
+			n.net.Send(n.id, from, gossipBatch{Ms: missing})
+		}
+		return true
 	default:
 		return false
 	}
+}
+
+// Resync broadcasts a retransmission request: every connected peer replays
+// the messages it has seen that are not in have (the requester's durable
+// committed ids). A recovering replica calls it after restoring its durable
+// state; MarkSeen primes the duplicate filter with the same ids first so
+// overlapping replays only re-deliver what the crash actually lost.
+func (n *Node) Resync(have map[string]bool) {
+	n.net.Broadcast(n.id, resyncReq{Have: have})
+}
+
+// MarkSeen primes the duplicate filter with an id that must not be delivered
+// (or relayed) again — the recovering node's committed prefix, which
+// survived the crash in its snapshot.
+func (n *Node) MarkSeen(id string) { n.seen[id] = true }
+
+// Compact drops log entries whose id the caller knows to be stable
+// (TOB-committed): a recovering peer can refetch those through the TOB
+// learner catch-up, so RB need not retain them for replay. It returns the
+// number of entries released — the RB half of Bayou's log compaction,
+// keeping the retransmission log proportional to the uncommitted suffix.
+func (n *Node) Compact(stable func(id string) bool) int {
+	kept := n.log[:0]
+	for _, m := range n.log {
+		if !stable(m.ID) {
+			kept = append(kept, m)
+		}
+	}
+	dropped := len(n.log) - len(kept)
+	for i := len(kept); i < len(n.log); i++ {
+		n.log[i] = Message{} // release payload references
+	}
+	n.log = kept
+	return dropped
 }
 
 // dispatch hands one message to the installed delivery callback.

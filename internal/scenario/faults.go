@@ -1,0 +1,244 @@
+// Fault scenarios scripted through the public façade (package bayou) rather
+// than the internal cluster driver: the same scripts run on the simulator
+// and — crashes of non-sequencer replicas, partitions, heals — on the live
+// substrate, which is exactly what makes the checker verdicts comparable
+// across substrates under adversarial schedules.
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bayou"
+	"bayou/internal/history"
+)
+
+// SessionOutcome bundles a façade-driven scenario run. The caller owns the
+// cluster and must Close it.
+type SessionOutcome struct {
+	Cluster *bayou.Cluster
+	History *history.History
+	Calls   map[string]*bayou.Call
+}
+
+// waitCtx bounds the scripted strong-operation waits.
+func waitCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// CrashRecoverRun scripts the fault plane end to end through the public
+// API: a replica crashes mid-run losing its volatile state, the surviving
+// majority keeps serving weak and strong operations, the crashed replica
+// recovers from its durable snapshot and catches up (RB retransmission +
+// TOB learner replay), and the whole deployment reconverges. With
+// live=false it runs on the deterministic simulator (seed applies); with
+// live=true on the goroutine-per-replica substrate (seed ignored).
+func CrashRecoverRun(seed int64, live bool) (*SessionOutcome, error) {
+	var c *bayou.Cluster
+	var err error
+	if live {
+		c, err = bayou.NewLive(bayou.WithReplicas(3))
+	} else {
+		c, err = bayou.New(bayou.WithReplicas(3), bayou.WithSeed(seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+	if err := c.ElectLeader(0); err != nil {
+		return nil, err
+	}
+	ctx, cancel := waitCtx()
+	defer cancel()
+	calls := make(map[string]*bayou.Call)
+
+	s0, err := c.Session(0)
+	if err != nil {
+		return nil, err
+	}
+	s1, err := c.Session(1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := c.Session(2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: the victim serves a weak update; everyone converges.
+	if calls["pre"], err = s2.Invoke(bayou.Append("pre"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: crash the victim; the majority keeps working at both
+	// levels. Sessions bound to the crashed replica are rejected.
+	if err := c.Crash(2); err != nil {
+		return nil, err
+	}
+	if _, err := s2.Invoke(bayou.Append("rejected"), bayou.Weak); err == nil {
+		return nil, errors.New("scenario: invocation on a crashed replica succeeded")
+	}
+	if calls["during-weak"], err = s0.Invoke(bayou.Append("during"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if calls["during-strong"], err = s1.Invoke(bayou.Inc("ctr", 1), bayou.Strong); err != nil {
+		return nil, err
+	}
+	if _, err := s1.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("scenario: strong op with a majority alive: %w", err)
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: recover; the replica restores its committed prefix and
+	// refetches everything it missed, then serves clients again.
+	if err := c.Recover(2); err != nil {
+		return nil, err
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	if calls["post"], err = s2.Invoke(bayou.Append("post"), bayou.Weak); err != nil {
+		return nil, fmt.Errorf("scenario: recovered replica rejects sessions: %w", err)
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+
+	// Post-quiescence probes for the checkers' "eventually" predicates.
+	c.MarkStable()
+	for r := 0; r < 3; r++ {
+		probe, err := c.Session(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := probe.Invoke(bayou.ListRead(), bayou.Weak); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &SessionOutcome{Cluster: c, History: h, Calls: calls}, nil
+}
+
+// AsyncMinorityRun scripts the paper's availability asymmetry through the
+// public API: a partition isolates a minority replica, whose weak
+// operations stay live (bounded wait-free, served locally) while its strong
+// operation starves — total order cannot reach it — exactly the
+// asynchronous-run behaviour of Theorem 3, observed here on a finite
+// prefix. The partition then heals, the starved operation completes, and
+// the run converges so the checkers can pass verdicts. Works on both
+// substrates (live=true ignores the seed).
+func AsyncMinorityRun(seed int64, live bool) (*SessionOutcome, error) {
+	var c *bayou.Cluster
+	var err error
+	if live {
+		c, err = bayou.NewLive(bayou.WithReplicas(3))
+	} else {
+		c, err = bayou.New(bayou.WithReplicas(3), bayou.WithSeed(seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+	if err := c.ElectLeader(0); err != nil {
+		return nil, err
+	}
+	ctx, cancel := waitCtx()
+	defer cancel()
+	calls := make(map[string]*bayou.Call)
+
+	s0, err := c.Session(0)
+	if err != nil {
+		return nil, err
+	}
+	minority, err := c.Session(2)
+	if err != nil {
+		return nil, err
+	}
+	minorityStrong, err := c.Session(2)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := c.Partition([]int{0, 1}, []int{2}); err != nil {
+		return nil, err
+	}
+	// Weak stays live in the minority: the call answers within the invoke.
+	if calls["minority-weak"], err = minority.Invoke(bayou.Append("m"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if !calls["minority-weak"].Done() {
+		return nil, errors.New("scenario: minority weak op lost bounded wait-freedom")
+	}
+	// Strong starves in the minority: its TOB cast is parked on the
+	// partition boundary.
+	if calls["minority-strong"], err = minorityStrong.Invoke(bayou.Inc("ctr", 10), bayou.Strong); err != nil {
+		return nil, err
+	}
+	c.Run(500)
+	if calls["minority-strong"].Done() {
+		return nil, errors.New("scenario: minority strong op committed across a partition")
+	}
+	// The majority cell retains quorum: its strong ops commit.
+	if calls["majority-strong"], err = s0.Invoke(bayou.PutIfAbsent("owner", "s0"), bayou.Strong); err != nil {
+		return nil, err
+	}
+	if _, err := s0.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("scenario: majority strong op: %w", err)
+	}
+
+	// Heal: parked traffic delivers, the starved operation commits, the
+	// deployment converges.
+	if err := c.Heal(); err != nil {
+		return nil, err
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	if !calls["minority-strong"].Done() {
+		return nil, errors.New("scenario: minority strong op still starved after heal")
+	}
+
+	c.MarkStable()
+	for r := 0; r < 3; r++ {
+		probe, err := c.Session(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := probe.Invoke(bayou.ListRead(), bayou.Weak); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &SessionOutcome{Cluster: c, History: h, Calls: calls}, nil
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"testing"
+
+	"bayou"
+	"bayou/internal/check"
+	"bayou/internal/core"
+)
+
+// checkFaultOutcome runs the standard verdicts over a fault-scenario run:
+// FEC(weak) and Seq/BEC(strong) must survive the adversarial schedule, and
+// every replica must hold the same committed order.
+func checkFaultOutcome(t *testing.T, out *SessionOutcome, wantCommits int) {
+	t.Helper()
+	w := check.NewWitness(out.History)
+	for name, rep := range map[string]check.Report{
+		"FEC(weak)":   w.FEC(core.Weak),
+		"BEC(strong)": w.BEC(core.Strong),
+		"Seq(strong)": w.Seq(core.Strong),
+	} {
+		if !rep.OK() {
+			t.Errorf("%s violated under faults:\n%s", name, rep)
+		}
+	}
+	ref, err := out.Cluster.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != wantCommits {
+		t.Fatalf("committed %d ops, want %d (%v)", len(ref), wantCommits, ref)
+	}
+	for r := 1; r < out.Cluster.Replicas(); r++ {
+		got, err := out.Cluster.Committed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d committed %d ops, replica 0 %d", r, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("replica %d committed order diverges at %d: %s vs %s", r, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCrashRecoverRunSim(t *testing.T) {
+	out, err := CrashRecoverRun(101, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Cluster.Close()
+	// pre, during (weak update), inc (strong), post — all TOB-committed.
+	checkFaultOutcome(t, out, 4)
+	if !out.Calls["during-strong"].Response().Committed {
+		t.Error("strong op during the crash must respond from the final order")
+	}
+}
+
+func TestCrashRecoverRunLive(t *testing.T) {
+	out, err := CrashRecoverRun(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Cluster.Close()
+	checkFaultOutcome(t, out, 4)
+}
+
+func TestAsyncMinorityRunSim(t *testing.T) {
+	out, err := AsyncMinorityRun(202, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Cluster.Close()
+	// minority weak, minority strong, majority strong — all committed
+	// after the heal.
+	checkFaultOutcome(t, out, 3)
+	if resp := out.Calls["minority-strong"].Response(); !resp.Committed || !bayou.Equal(resp.Value, int64(10)) {
+		t.Errorf("starved strong op response = %+v, want committed 10", resp)
+	}
+	if !bayou.Equal(out.Calls["majority-strong"].Response().Value, true) {
+		t.Error("majority strong op must win its putIfAbsent")
+	}
+}
+
+func TestAsyncMinorityRunLive(t *testing.T) {
+	out, err := AsyncMinorityRun(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Cluster.Close()
+	checkFaultOutcome(t, out, 3)
+}

@@ -30,7 +30,13 @@ type Stats struct {
 	Sent      int64 // messages submitted
 	Delivered int64 // messages handed to handlers
 	Held      int64 // messages that waited out a partition at least once
-	DroppedTo int64 // messages discarded because the target crashed
+	// DroppedCrash counts messages discarded because the target was
+	// crashed at delivery time. Crash loss is deliberately distinct from
+	// partition holding: a partitioned link retransmits (messages are
+	// parked and released on Heal), while a crashed node genuinely loses
+	// traffic — Recover does not replay it; the protocol's resync
+	// handshakes (rb.Resync, tob.Resync) repair the gap instead.
+	DroppedCrash int64
 }
 
 // heldMsg is a message parked because sender and receiver were separated.
@@ -47,7 +53,8 @@ type Network struct {
 	latency  func(from, to NodeID) sim.Time
 	cell     map[NodeID]int // partition cell per node; all 0 when healed
 	crashed  map[NodeID]bool
-	blocked  map[[2]NodeID]bool // directed per-link blocks
+	blocked  map[[2]NodeID]bool  // directed per-link blocks
+	slow     map[[2]NodeID]int64 // per-link latency multipliers (SlowLink)
 	held     []heldMsg
 	lastDue  map[[2]NodeID]sim.Time // per-link FIFO watermark
 	stats    Stats
@@ -63,6 +70,7 @@ func New(sched *sim.Scheduler) *Network {
 		cell:     make(map[NodeID]int),
 		crashed:  make(map[NodeID]bool),
 		blocked:  make(map[[2]NodeID]bool),
+		slow:     make(map[[2]NodeID]int64),
 		lastDue:  make(map[[2]NodeID]sim.Time),
 	}
 }
@@ -125,10 +133,38 @@ func (n *Network) Heal() {
 
 // Crash marks a node as silently crashed: it no longer sends or receives
 // (§A.2.1 "replicas may crash silently and cease all communication").
+// Messages addressed to it while down are dropped (DroppedCrash), never
+// replayed — see Recover.
 func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Recover brings a crashed node back. The network does NOT replay traffic
+// lost while the node was down (crash loss is permanent at this layer, the
+// pinned semantics distinguishing crashes from partitions); the recovering
+// node's protocol layers must resync explicitly. Messages held on
+// partitions survive a crash–recover of either endpoint and are released
+// when connectivity returns.
+func (n *Network) Recover(id NodeID) {
+	delete(n.crashed, id)
+	n.releaseHeld()
+}
 
 // Crashed reports whether the node has crashed.
 func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// SlowLink multiplies the latency of the links between a and b (both
+// directions) by factor — the degraded-but-alive link of adversarial
+// schedules. A factor of 1 restores normal speed. Per-link FIFO still
+// holds: slowed messages do not overtake, they delay everything behind
+// them on the link.
+func (n *Network) SlowLink(a, b NodeID, factor int64) {
+	if factor <= 1 {
+		delete(n.slow, [2]NodeID{a, b})
+		delete(n.slow, [2]NodeID{b, a})
+		return
+	}
+	n.slow[[2]NodeID{a, b}] = factor
+	n.slow[[2]NodeID{b, a}] = factor
+}
 
 // Send transmits payload from one node to another. Self-sends are delivered
 // through the scheduler like any other message (zero-latency links are
@@ -177,7 +213,11 @@ func (n *Network) Stats() Stats { return n.stats }
 // never overtakes an earlier message on the same (from, to) link even if the
 // latency function fluctuates.
 func (n *Network) transmit(from, to NodeID, payload any) {
-	due := n.sched.Now() + n.latency(from, to)
+	lat := n.latency(from, to)
+	if f, ok := n.slow[[2]NodeID{from, to}]; ok {
+		lat *= sim.Time(f)
+	}
+	due := n.sched.Now() + lat
 	link := [2]NodeID{from, to}
 	if due < n.lastDue[link] {
 		due = n.lastDue[link]
@@ -188,10 +228,10 @@ func (n *Network) transmit(from, to NodeID, payload any) {
 
 // deliver hands the payload to the target handler unless, at delivery time,
 // the endpoints are separated (the message is then re-held) or the target
-// crashed (the message is dropped).
+// crashed (the message is dropped for good and counted DroppedCrash).
 func (n *Network) deliver(from, to NodeID, payload any) {
 	if n.crashed[to] {
-		n.stats.DroppedTo++
+		n.stats.DroppedCrash++
 		return
 	}
 	if !n.linkOpen(from, to) {
@@ -208,16 +248,15 @@ func (n *Network) deliver(from, to NodeID, payload any) {
 }
 
 // releaseHeld re-transmits every held message whose endpoints are connected
-// again. Held messages between still-separated nodes stay held.
+// again. Held messages between still-separated nodes stay held; so do
+// messages toward a currently-crashed target (the partition is still
+// retransmitting — Recover releases them). A held message from a sender
+// that crashed after sending is already in flight and delivers normally.
 func (n *Network) releaseHeld() {
 	pending := n.held
 	n.held = nil
 	for _, m := range pending {
-		if n.crashed[m.to] || n.crashed[m.from] {
-			n.stats.DroppedTo++
-			continue
-		}
-		if !n.linkOpen(m.from, m.to) {
+		if !n.linkOpen(m.from, m.to) || n.crashed[m.to] {
 			n.held = append(n.held, m)
 			continue
 		}

@@ -150,6 +150,78 @@ func TestCrashDropsTraffic(t *testing.T) {
 	}
 }
 
+// TestCrashRecoverSemantics pins the chosen crashed-node semantics: traffic
+// toward a crashed node is dropped for good and counted DroppedCrash —
+// Recover does NOT replay it (the protocol resyncs instead) — while
+// partition-held messages survive a crash–recover of the target and are
+// released once both the partition and the crash are gone.
+func TestCrashRecoverSemantics(t *testing.T) {
+	sched, net, sinks := newNet(t, 3)
+	net.Crash(1)
+	net.Send(0, 1, "lost")
+	sched.Run(0)
+	st := net.Stats()
+	if st.DroppedCrash != 1 {
+		t.Errorf("DroppedCrash = %d, want 1", st.DroppedCrash)
+	}
+	net.Recover(1)
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("recovery replayed crash-dropped traffic: %v", sinks[1].got)
+	}
+	// In contrast, a message held on a partition outlives the crash.
+	net.Partition([]NodeID{0}, []NodeID{1, 2})
+	net.Send(0, 1, "parked")
+	sched.Run(0)
+	net.Crash(1)
+	net.Heal() // held, not dropped: the target is down but the link retransmits
+	sched.Run(0)
+	if len(sinks[1].got) != 0 {
+		t.Errorf("delivered to a crashed node: %v", sinks[1].got)
+	}
+	if st := net.Stats(); st.DroppedCrash != 1 {
+		t.Errorf("partition-held message dropped on crash: DroppedCrash = %d, want 1", st.DroppedCrash)
+	}
+	net.Recover(1)
+	sched.Run(0)
+	if len(sinks[1].got) != 1 || sinks[1].got[0] != "parked" {
+		t.Errorf("partition-held message not released after recover: %v", sinks[1].got)
+	}
+}
+
+// TestCrashedSenderInFlightDelivers pins the flip side: a message already in
+// flight (or parked on a partition) when its sender crashes has left the
+// sender and still delivers.
+func TestCrashedSenderInFlightDelivers(t *testing.T) {
+	sched, net, sinks := newNet(t, 3)
+	net.Partition([]NodeID{0}, []NodeID{1})
+	net.Send(0, 1, "sent-then-died")
+	sched.Run(0)
+	net.Crash(0)
+	net.Heal()
+	sched.Run(0)
+	if len(sinks[1].got) != 1 || sinks[1].got[0] != "sent-then-died" {
+		t.Errorf("in-flight message from crashed sender lost: %v", sinks[1].got)
+	}
+}
+
+func TestSlowLinkDelaysButFIFO(t *testing.T) {
+	sched, net, sinks := newNet(t, 2)
+	net.SlowLink(0, 1, 10)
+	net.Send(0, 1, "slow")
+	sched.RunFor(50) // default latency 10 × factor 10 = 100 ticks
+	if len(sinks[1].got) != 0 {
+		t.Errorf("slowed message arrived early: %v", sinks[1].got)
+	}
+	net.SlowLink(0, 1, 1)
+	net.Send(0, 1, "fast")
+	sched.Run(0)
+	want := []string{"slow", "fast"}
+	if len(sinks[1].got) != 2 || sinks[1].got[0] != want[0] || sinks[1].got[1] != want[1] {
+		t.Errorf("delivery = %v, want %v (FIFO must hold across slowdown)", sinks[1].got, want)
+	}
+}
+
 func TestConnected(t *testing.T) {
 	_, net, _ := newNet(t, 3)
 	if !net.Connected(0, 1) {

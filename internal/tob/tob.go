@@ -71,12 +71,22 @@ type TOB interface {
 	// SetBatchDeliver switches delivery to whole-cascade batches; the
 	// per-message DeliverFunc passed at construction is then unused.
 	SetBatchDeliver(fn BatchDeliverFunc)
+	// Resync repairs the gaps a crash opened: the node asks its peers to
+	// re-announce deliveries it slept through and re-offers undecided
+	// candidates in both directions. Idempotent; delivery order and the
+	// duplicate filter make replays harmless.
+	Resync()
 }
 
 // forwardMsg disseminates a cast message into every node's candidate pool.
 type forwardMsg struct {
 	M Message
 }
+
+// poolReq asks a peer to re-forward its undecided candidate pool — the
+// half of recovery that refills a returning (potential) leader with the
+// proposals it never saw. The reply is ordinary forwardMsg traffic.
+type poolReq struct{}
 
 // fifoGate implements the deterministic per-origin hold-back and the
 // duplicate filter shared by both implementations. Messages unblocked by a
@@ -218,7 +228,8 @@ func (t *Paxos) Cast(id string, payload any) {
 
 // Handle implements TOB.
 func (t *Paxos) Handle(from simnet.NodeID, payload any) bool {
-	if f, ok := payload.(forwardMsg); ok {
+	switch f := payload.(type) {
+	case forwardMsg:
 		if !t.poolIDs[f.M.ID] && !t.gate.sawDecided(f.M.ID) {
 			// Eager relay gives the RB-coupling property: once any
 			// correct node holds the candidate, all of them will.
@@ -226,8 +237,48 @@ func (t *Paxos) Handle(from simnet.NodeID, payload any) bool {
 			t.addCandidate(f.M)
 		}
 		return true
+	case poolReq:
+		t.sendPool(from)
+		return true
 	}
 	return t.px.Handle(from, payload)
+}
+
+// sendPool re-forwards every undecided pooled candidate to one peer.
+func (t *Paxos) sendPool(to simnet.NodeID) {
+	origins := make([]simnet.NodeID, 0, len(t.pool))
+	for o := range t.pool {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		seqs := make([]int64, 0, len(t.pool[o]))
+		for s := range t.pool[o] {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			t.net.Send(t.id, to, forwardMsg{M: t.pool[o][s]})
+		}
+	}
+}
+
+// Resync implements TOB: after a crash–recover, (1) the Paxos learner asks
+// peers to re-announce decided slots it missed, (2) undecided candidates
+// flow both ways — the node re-forwards its own surviving pool (it may be
+// the only holder of a candidate whose broadcast was lost) and asks every
+// peer for theirs (it may have missed candidates a future leadership stint
+// must propose) — and (3) leadership is re-evaluated against Ω, restarting
+// phase 1 if this node is the designated leader.
+func (t *Paxos) Resync() {
+	t.px.Resync()
+	for _, p := range t.peers {
+		if p != t.id {
+			t.sendPool(p)
+		}
+	}
+	t.net.Broadcast(t.id, poolReq{})
+	t.refreshLeadership()
 }
 
 // DeliveredCount implements TOB.
@@ -332,6 +383,12 @@ type commitMsg struct {
 	M  Message
 }
 
+// learnReq asks the primary to re-announce commits ≥ From (the recovering
+// learner's catch-up; only the primary holds the commit log).
+type learnReq struct {
+	From int64
+}
+
 // Primary is the sequencer-based TOB endpoint of one replica. The node with
 // id == primary stamps commit numbers; everyone delivers in stamped order.
 // If the primary crashes, no further message is ever TOB-delivered — the
@@ -344,9 +401,12 @@ type Primary struct {
 
 	myseq int64
 
-	// Sequencer state (used only on the primary).
+	// Sequencer state (used only on the primary). The commit log retains
+	// every stamped message (log[i] has commit number i+1) so recovering
+	// learners can refetch what they missed.
 	commitNo int64
 	stamped  map[string]bool
+	log      []Message
 
 	// Learner state: commits applied in stamped order.
 	nextCommit int64
@@ -391,9 +451,28 @@ func (t *Primary) Handle(from simnet.NodeID, payload any) bool {
 	case commitMsg:
 		t.onCommit(m)
 		return true
+	case learnReq:
+		if t.id == t.primary {
+			for no := m.From; no <= t.commitNo; no++ {
+				t.net.Send(t.id, from, commitMsg{No: no, M: t.log[no-1]})
+			}
+		}
+		return true
 	default:
 		return false
 	}
+}
+
+// Resync implements TOB: ask the primary to re-announce the commits this
+// learner missed. The primary's own sequencer state is durable by
+// construction (it lives across a crash–recover of the process hosting it);
+// if the primary is permanently gone, no resync can help — the
+// fault-tolerance deficiency that motivated the consensus-based TOB.
+func (t *Primary) Resync() {
+	if t.id == t.primary {
+		return
+	}
+	t.net.Send(t.id, t.primary, learnReq{From: t.nextCommit})
 }
 
 // DeliveredCount implements TOB.
@@ -408,6 +487,7 @@ func (t *Primary) stamp(m Message) {
 	}
 	t.stamped[m.ID] = true
 	t.commitNo++
+	t.log = append(t.log, m)
 	c := commitMsg{No: t.commitNo, M: m}
 	t.net.Broadcast(t.id, c)
 	t.onCommit(c)

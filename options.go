@@ -41,6 +41,10 @@ type Options struct {
 	// experiment E13). The live driver drains opportunistically and
 	// ignores it.
 	StepBatch int
+	// Latency is the simulated link latency in ticks (default 10; fault
+	// scripts that reason about message timing set it explicitly). The
+	// live driver has no link timing and rejects it.
+	Latency int64
 }
 
 // WithReplicas sets the number of replicas (default 3).
@@ -83,6 +87,19 @@ func WithStepBatch(n int) Option {
 			return fmt.Errorf("bayou: WithStepBatch(%d): negative batch", n)
 		}
 		o.StepBatch = n
+		return nil
+	}
+}
+
+// WithLatency sets the simulated link latency in ticks (default 10). Fault
+// and timing scripts that reason about when messages cross links set it
+// explicitly; the live driver rejects it (channels have no link timing).
+func WithLatency(ticks int64) Option {
+	return func(o *Options) error {
+		if ticks < 1 {
+			return fmt.Errorf("bayou: WithLatency(%d): need at least one tick", ticks)
+		}
+		o.Latency = ticks
 		return nil
 	}
 }

@@ -86,6 +86,12 @@ func (s *Session) Last() *Call {
 // driving the deployment as the substrate requires (the simulator advances
 // virtual time; the live driver parks on the call), and returns that
 // response. It respects ctx for cancellation and deadlines.
+//
+// If the session's replica is crashed, the call legitimately pends: on the
+// live driver Wait blocks until ctx is done (or the replica recovers and
+// the surviving continuation answers); on the simulator it fails once the
+// event queue drains with the call still pending. Waiting with a deadline
+// is the right shape for fault-tolerant clients.
 func (s *Session) Wait(ctx context.Context) (Response, error) {
 	last := s.Last()
 	if last == nil {

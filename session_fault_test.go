@@ -1,0 +1,192 @@
+package bayou
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSessionWaitCancelledWhileReplicaCrashedLive: a strong call pending at
+// a crashed replica keeps Session.Wait blocked on the live driver; the
+// context is the client's only way out, and the error must be the
+// context's, not a phantom response.
+func TestSessionWaitCancelledWhileReplicaCrashedLive(t *testing.T) {
+	c, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	// Isolate replica 1 so its strong call pends, then crash it.
+	if err := c.Partition([]int{0, 2}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := s.Invoke(Inc("ctr", 1), Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := s.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on a crashed replica's call: err = %v, want deadline exceeded", err)
+	}
+	if call.Done() {
+		t.Fatal("call completed while its replica was crashed")
+	}
+	// The continuation survives: recover, heal, and the call completes.
+	if err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !call.Done() || !call.Response().Committed {
+		t.Fatalf("continuation not answered after recovery: done=%v resp=%+v", call.Done(), call.Response())
+	}
+}
+
+// TestSessionWaitCancelledWhileReplicaCrashedSim: same shape on the
+// simulator — a cancelled context wins immediately, and without one the
+// wait fails cleanly once the simulation quiesces with the call pending.
+func TestSessionWaitCancelledWhileReplicaCrashedSim(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition([]int{0, 2}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(Inc("ctr", 1), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait with a cancelled context: err = %v, want context.Canceled", err)
+	}
+	// Without a context deadline the simulator cannot conjure progress: it
+	// fails once the event queue drains rather than spinning forever.
+	c.Run(100_000) // exhaust retries so the deployment quiesces
+	if _, err := s.Wait(context.Background()); err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on a quiescent simulation with a crashed replica: err = %v, want a driver error", err)
+	}
+	// Invocations on the crashed replica's sessions fail outright.
+	if _, err := s.Invoke(Inc("ctr", 1), Weak); err == nil {
+		t.Fatal("invoke on a crashed replica's session succeeded")
+	}
+}
+
+// TestWatchStreamAcrossCrashRecover drives one weak call through its full
+// tentative → reordered → committed lifecycle with a crash–recover of the
+// observing replica in the middle: the subscription survives (the call
+// handle lives in the recorder, the continuation in the durable snapshot),
+// and the committed transition arrives after recovery.
+func TestWatchStreamAcrossCrashRecover(t *testing.T) {
+	// Replica 0's clock runs 50× slow, so its operation invoked later in
+	// virtual time still carries the smaller timestamp — the recipe for a
+	// reorder at replica 2. No leader yet: nothing commits prematurely.
+	c, err := New(WithReplicas(3), WithSeed(7), WithClockSlowdown(0, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Run(500) // advance virtual time so replica 2 mints a large timestamp
+	s2, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := s2.Invoke(Append("x"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := c.Watch(call.Dot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(200) // RB spreads x
+
+	s0, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Invoke(Append("a"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(200) // a (smaller timestamp) reaches 2: rollback, re-execute, fluctuate
+	if fl := call.Fluctuations(); len(fl) < 2 {
+		t.Fatalf("expected a reorder before the crash, fluctuations = %+v", fl)
+	}
+
+	// Crash the observing replica mid-fluctuation, then bring it back.
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	stable, ok := call.Stable()
+	if !ok {
+		t.Fatal("weak update never stabilized after recovery")
+	}
+	var got []Update
+	for u := range updates {
+		got = append(got, u)
+	}
+	if len(got) < 3 {
+		t.Fatalf("stream = %+v, want tentative → reordered → committed", got)
+	}
+	if got[0].Status != StatusTentative || !Equal(got[0].Value, "x") {
+		t.Errorf("first update = %+v, want tentative \"x\"", got[0])
+	}
+	sawReordered := false
+	for _, u := range got[1 : len(got)-1] {
+		if u.Status == StatusReordered {
+			sawReordered = true
+		}
+		if u.Status == StatusCommitted {
+			t.Errorf("committed update before the terminal one: %+v", got)
+		}
+	}
+	if !sawReordered {
+		t.Errorf("no reordered update in %+v", got)
+	}
+	last := got[len(got)-1]
+	if last.Status != StatusCommitted {
+		t.Errorf("terminal update = %+v, want committed", last)
+	}
+	if !Equal(last.Value, stable.Value) {
+		t.Errorf("terminal update value %v differs from stable response %v", last.Value, stable.Value)
+	}
+}

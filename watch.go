@@ -40,6 +40,12 @@ type Update = record.Update
 // observes a weak response fluctuate tentative → reordered* → committed and
 // then terminates, instead of the application polling Committed state.
 //
+// The stream survives a crash–recover of the observing replica: the
+// committed transition of a call whose replica went down mid-fluctuation
+// is delivered once the replica restores its continuations and catches up
+// (reordered events that would have fired while it was down are lost with
+// the volatile state — only the terminal committed value is durable).
+//
 // On a live cluster the range can run concurrently with the deployment's
 // own progress. On the simulator nothing advances while the caller blocks
 // — subscribe whenever you like, but drain the channel only after Settle
