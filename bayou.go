@@ -14,6 +14,15 @@
 // fluctuation*, the phenomenon the paper's new correctness criterion
 // (Fluctuating Eventual Consistency) formalizes.
 //
+// Sessions are mobile and may carry the classic Bayou *session guarantees*
+// (WithGuarantees: ReadYourWrites, MonotonicReads, MonotonicWrites,
+// WritesFollowReads, or the Causal bundle): a session can migrate between
+// replicas (Session.Bind, Session.InvokeAt) — including failing over from
+// a crashed replica — and whichever replica serves it must first prove
+// coverage of the session's read/write vectors, by waiting until it has
+// caught up (the default) or rejecting with ErrGuarantee (FailFast).
+// CheckGuarantees verifies the carried guarantees over any recorded run.
+//
 // A Cluster runs on one of two substrates behind the same Driver interface:
 //
 //   - New builds the deterministic simulation — Bayou replicas (Algorithm 1
@@ -45,8 +54,6 @@
 package bayou
 
 import (
-	"fmt"
-
 	"bayou/internal/check"
 	"bayou/internal/core"
 	"bayou/internal/history"
@@ -143,17 +150,6 @@ func NewLive(opts ...Option) (*Cluster, error) {
 	return fromDriver(drv), nil
 }
 
-// NewFromOptions builds a simulated cluster from the legacy Options struct.
-//
-// Deprecated: use New with functional options.
-func NewFromOptions(o Options) (*Cluster, error) {
-	norm, err := o.normalize()
-	if err != nil {
-		return nil, err
-	}
-	return New(norm.options()...)
-}
-
 // NewWithDriver wraps an explicit driver (the two built-in ones are
 // constructed by New and NewLive; this entry point exists for tests that
 // need to drive the substrate directly).
@@ -172,18 +168,6 @@ func (c *Cluster) Replicas() int { return c.n }
 // Close releases the substrate: it stops the live driver's goroutines and
 // is a no-op on the simulator. Always `defer c.Close()`.
 func (c *Cluster) Close() error { return c.drv.Close() }
-
-// Invoke submits op at the given replica's *default* session (one such
-// session exists per replica, preserving the seed façade's semantics).
-//
-// Deprecated: mint explicit sessions with Session — multiple sessions per
-// replica may overlap, which this per-replica convenience cannot.
-func (c *Cluster) Invoke(replica int, op Op, level Level) (*Call, error) {
-	if replica < 0 || replica >= c.n {
-		return nil, fmt.Errorf("bayou: no replica %d", replica)
-	}
-	return c.drv.Invoke(core.SessionID(replica), op, level)
-}
 
 // ElectLeader stabilizes the failure detector Ω on the given replica: the
 // stable-run switch that lets strong operations commit. (On the live
@@ -294,6 +278,23 @@ func (c *Cluster) CheckSeq(level Level) (Report, error) {
 		return Report{}, err
 	}
 	return check.NewWitness(h).Seq(level), nil
+}
+
+// CheckGuarantees verifies the selected session guarantees over the
+// recorded history, restricted to the sessions that carried them (a plain
+// session promises nothing). Each guarantee is checked in its
+// client-centric form — what a mobile session can enforce through coverage
+// gating: read guarantees against the session's own response traces (and
+// the demand vectors each accepted invocation proved coverage of), write
+// guarantees against the final arbitration order plus the session's own
+// perception. Histories from runs with migration, crash–recovery and
+// partitions are all fair game: the vectors travelled with the sessions.
+func (c *Cluster) CheckGuarantees(g Guarantee) (Report, error) {
+	h, err := c.rec.History()
+	if err != nil {
+		return Report{}, err
+	}
+	return check.NewWitness(h).Guarantees(g), nil
 }
 
 // Compact runs Bayou's log compaction on every replica: undo data for

@@ -6,6 +6,18 @@ import (
 	"testing"
 )
 
+// invokeAt mints a throwaway session on the replica and invokes op on it —
+// the one-shot form of the session API (the seed façade's per-replica
+// Invoke, now expressed in terms of sessions).
+func invokeAt(t *testing.T, c *Cluster, replica int, op Op, level Level) (*Call, error) {
+	t.Helper()
+	s, err := c.Session(replica)
+	if err != nil {
+		return nil, err
+	}
+	return s.Invoke(op, level)
+}
+
 func TestQuickstartFlow(t *testing.T) {
 	c, err := New(WithReplicas(3), WithSeed(5))
 	if err != nil {
@@ -58,10 +70,10 @@ func TestDefaultsAndValidation(t *testing.T) {
 	if c.Replicas() != 3 {
 		t.Errorf("default replicas = %d, want 3", c.Replicas())
 	}
-	if _, err := c.Invoke(99, Append("x"), Weak); err == nil {
+	if _, err := invokeAt(t, c, 99, Append("x"), Weak); err == nil {
 		t.Error("out-of-range replica must error")
 	}
-	if _, err := c.Invoke(-1, Append("x"), Weak); err == nil {
+	if _, err := invokeAt(t, c, -1, Append("x"), Weak); err == nil {
 		t.Error("negative replica must error")
 	}
 	if _, err := c.Session(99); err == nil {
@@ -85,17 +97,11 @@ func TestVariantValidation(t *testing.T) {
 	if _, err := New(WithVariant(Variant(42))); err == nil {
 		t.Error("unknown variant must be rejected by WithVariant")
 	}
-	if _, err := NewFromOptions(Options{Variant: Variant(42)}); err == nil {
-		t.Error("unknown variant must be rejected through the legacy shim")
-	}
-	if _, err := NewFromOptions(Options{}); err != nil {
-		t.Errorf("legacy zero Options must keep working: %v", err)
-	}
 }
 
-// TestLegacyOptionsShim: the deprecated struct path and the functional
-// options build identical deployments (same seed → same simulation).
-func TestLegacyOptionsShim(t *testing.T) {
+// TestDeterministicConstruction: identical functional options build
+// identical simulations (same seed → same committed order).
+func TestDeterministicConstruction(t *testing.T) {
 	run := func(c *Cluster, err error) []string {
 		if err != nil {
 			t.Fatal(err)
@@ -104,7 +110,7 @@ func TestLegacyOptionsShim(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 3; i++ {
-			if _, err := c.Invoke(i, Append("x"), Weak); err != nil {
+			if _, err := invokeAt(t, c, i, Append("x"), Weak); err != nil {
 				t.Fatal(err)
 			}
 			c.Run(7)
@@ -119,9 +125,9 @@ func TestLegacyOptionsShim(t *testing.T) {
 		return order
 	}
 	a := run(New(WithReplicas(3), WithSeed(77), WithStepBatch(4)))
-	b := run(NewFromOptions(Options{Replicas: 3, Seed: 77, StepBatch: 4}))
+	b := run(New(WithReplicas(3), WithSeed(77), WithStepBatch(4)))
 	if strings.Join(a, ",") != strings.Join(b, ",") {
-		t.Errorf("shim diverges from functional options: %v vs %v", a, b)
+		t.Errorf("same options and seed diverge: %v vs %v", a, b)
 	}
 }
 
@@ -141,13 +147,14 @@ func TestSessionSequentialityEnforced(t *testing.T) {
 	if _, err := s.Invoke(Append("y"), Weak); !errors.Is(err, ErrSessionBusy) {
 		t.Errorf("busy session must reject a second invocation, got %v", err)
 	}
-	// The default per-replica session of the deprecated Invoke keeps the
-	// seed behaviour too.
-	if _, err := c.Invoke(1, Append("x"), Strong); err != nil {
-		t.Fatal(err)
+	// A busy session cannot migrate either: its continuation is owed by
+	// the replica holding it.
+	if err := s.Bind(1); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("busy session must reject re-binding, got %v", err)
 	}
-	if _, err := c.Invoke(1, Append("y"), Weak); !errors.Is(err, ErrSessionBusy) {
-		t.Errorf("busy default session must reject a second invocation, got %v", err)
+	// Other sessions on the same replica are unaffected.
+	if _, err := invokeAt(t, c, 0, Append("y"), Weak); err != nil {
+		t.Errorf("a busy session must not block its replica: %v", err)
 	}
 }
 
@@ -162,11 +169,11 @@ func TestPartitionHealAndConvergence(t *testing.T) {
 	if err := c.Partition([]int{0, 1}, []int{2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	a, err := c.Invoke(0, Append("left"), Weak)
+	a, err := invokeAt(t, c, 0, Append("left"), Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Invoke(3, Append("right"), Weak)
+	b, err := invokeAt(t, c, 3, Append("right"), Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,17 +223,17 @@ func TestCheckersOnFacadeRun(t *testing.T) {
 	if err := c.ElectLeader(0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke(0, Append("a"), Weak); err != nil {
+	if _, err := invokeAt(t, c, 0, Append("a"), Weak); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke(1, Duplicate(), Strong); err != nil {
+	if _, err := invokeAt(t, c, 1, Duplicate(), Strong); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
 	c.MarkStable()
-	if _, err := c.Invoke(2, ListRead(), Weak); err != nil {
+	if _, err := invokeAt(t, c, 2, ListRead(), Weak); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {
@@ -263,7 +270,7 @@ func TestPrimaryTOBOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	call, err := c.Invoke(1, Append("x"), Strong)
+	call, err := invokeAt(t, c, 1, Append("x"), Strong)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,10 +294,10 @@ func TestRollbacksCounter(t *testing.T) {
 	// requests before replica 0's already-executed ones, forcing
 	// rollbacks when they gossip across.
 	for i := 0; i < 6; i++ {
-		if _, err := c.Invoke(0, Append("f"), Weak); err != nil {
+		if _, err := invokeAt(t, c, 0, Append("f"), Weak); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Invoke(1, Append("s"), Weak); err != nil {
+		if _, err := invokeAt(t, c, 1, Append("s"), Weak); err != nil {
 			t.Fatal(err)
 		}
 		c.Run(60)
@@ -315,7 +322,7 @@ func TestStableNoticeViaFacade(t *testing.T) {
 	if err := c.ElectLeader(0); err != nil {
 		t.Fatal(err)
 	}
-	call, err := c.Invoke(1, Append("n"), Weak)
+	call, err := invokeAt(t, c, 1, Append("n"), Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,22 +349,22 @@ func TestEditorOpsViaFacade(t *testing.T) {
 	if err := c.ElectLeader(0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke(0, Insert("d", 0, "world"), Weak); err != nil {
+	if _, err := invokeAt(t, c, 0, Insert("d", 0, "world"), Weak); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke(1, Insert("d", 0, "hello "), Weak); err != nil {
+	if _, err := invokeAt(t, c, 1, Insert("d", 0, "hello "), Weak); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke(0, Delete("d", 0, 0), Weak); err != nil {
+	if _, err := invokeAt(t, c, 0, Delete("d", 0, 0), Weak); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	read, err := c.Invoke(0, DocRead("d"), Strong)
+	read, err := invokeAt(t, c, 0, DocRead("d"), Strong)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +385,7 @@ func TestCompactViaFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := c.Invoke(i%2, Append("x"), Weak); err != nil {
+		if _, err := invokeAt(t, c, i%2, Append("x"), Weak); err != nil {
 			t.Fatal(err)
 		}
 		c.Run(60)
@@ -394,7 +401,7 @@ func TestCompactViaFacade(t *testing.T) {
 		t.Error("compaction must free committed undo entries")
 	}
 	// The cluster keeps working after compaction.
-	if _, err := c.Invoke(0, Append("y"), Weak); err != nil {
+	if _, err := invokeAt(t, c, 0, Append("y"), Weak); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Settle(); err != nil {

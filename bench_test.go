@@ -130,6 +130,21 @@ func BenchmarkMultiSessionInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkGuaranteeCoverage measures the session-guarantee gate on the
+// weak path: the MicroMultiSession deployment and invocation pattern with
+// every session carrying ReadYourWrites|MonotonicReads. The delta against
+// BenchmarkMultiSessionInvoke is the price of coverage checking and vector
+// maintenance (plain sessions pay nothing: the gate is a single combined
+// lock acquisition they already paid as the busy check).
+func BenchmarkGuaranteeCoverage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.MicroGuaranteeSession(8, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAdjustExecution profiles the incremental schedule-edit engine on
 // its three characteristic shapes. One iteration is a fixed 500-request
 // workload on a fresh replica; the per-request cost is what distinguishes
@@ -232,13 +247,19 @@ func BenchmarkEndToEndStableRun(b *testing.B) {
 		if err := c.ElectLeader(0); err != nil {
 			b.Fatal(err)
 		}
+		sessions := make([]*bayou.Session, 3)
+		for r := range sessions {
+			if sessions[r], err = c.Session(r); err != nil {
+				b.Fatal(err)
+			}
+		}
 		for k := 0; k < 10; k++ {
-			if _, err := c.Invoke(k%3, bayou.Append("x"), bayou.Weak); err != nil {
+			if _, err := sessions[k%3].Invoke(bayou.Append("x"), bayou.Weak); err != nil {
 				b.Fatal(err)
 			}
 			c.Run(5)
 		}
-		if _, err := c.Invoke(0, bayou.Duplicate(), bayou.Strong); err != nil {
+		if _, err := sessions[0].Invoke(bayou.Duplicate(), bayou.Strong); err != nil {
 			b.Fatal(err)
 		}
 		if err := c.Settle(); err != nil {

@@ -42,8 +42,12 @@ type benchRecord struct {
 	// drives (1 for the single-client hot paths); successive BENCH_*.json
 	// snapshots can therefore track per-session throughput as this
 	// dimension grows.
-	Sessions int  `json:"sessions"`
-	OK       bool `json:"ok"`
+	Sessions int `json:"sessions"`
+	// Guarantees reports whether the workload's sessions carry session
+	// guarantees (ReadYourWrites|MonotonicReads): paired with the
+	// same-sessions plain record, it pins the coverage-gate overhead.
+	Guarantees bool `json:"guarantees"`
+	OK         bool `json:"ok"`
 }
 
 func main() {
@@ -122,6 +126,7 @@ func emitJSON(only string) error {
 				BytesPerOp:  float64(res.AllocedBytesPerOp()),
 				Ops:         int64(res.N),
 				Sessions:    m.sessions,
+				Guarantees:  m.guarantees,
 				OK:          true,
 			})
 		}
@@ -162,21 +167,23 @@ func measureExperiment(id string, fn func() (experiments.Result, error)) (benchR
 	}, nil
 }
 
+// microBench is one entry of the micro matrix.
+type microBench struct {
+	name       string
+	sessions   int
+	guarantees bool
+	fn         func(b *testing.B)
+}
+
 // microBenches runs the same shared hot-path workloads as the root
 // package's bench_test.go (internal/workload), so the JSON report tracks
 // exactly the numbers CI smoke-runs. The multi-session entries sweep the
-// sessions dimension over one replica.
-func microBenches() []struct {
-	name     string
-	sessions int
-	fn       func(b *testing.B)
-} {
-	benches := []struct {
-		name     string
-		sessions int
-		fn       func(b *testing.B)
-	}{
-		{"WeakInvokeModified/100ops", 1, func(b *testing.B) {
+// sessions×guarantees matrix over one replica: each session count is
+// measured plain and with ReadYourWrites|MonotonicReads sessions, so the
+// coverage-gate overhead is pinned per report.
+func microBenches() []microBench {
+	benches := []microBench{
+		{"WeakInvokeModified/100ops", 1, false, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := workload.MicroWeakInvoke(100); err != nil {
@@ -184,7 +191,7 @@ func microBenches() []struct {
 				}
 			}
 		}},
-		{"RollbackReexecute/100ops", 1, func(b *testing.B) {
+		{"RollbackReexecute/100ops", 1, false, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := workload.MicroRollbackReexecute(100); err != nil {
@@ -195,16 +202,23 @@ func microBenches() []struct {
 	}
 	for _, sessions := range []int{1, 4, 16} {
 		sessions := sessions
-		benches = append(benches, struct {
-			name     string
-			sessions int
-			fn       func(b *testing.B)
-		}{
-			fmt.Sprintf("MultiSession/%dx25ops", sessions), sessions,
+		benches = append(benches, microBench{
+			fmt.Sprintf("MultiSession/%dx25ops", sessions), sessions, false,
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if err := workload.MicroMultiSession(sessions, 25); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+		benches = append(benches, microBench{
+			fmt.Sprintf("GuaranteeSession/%dx25ops", sessions), sessions, true,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := workload.MicroGuaranteeSession(sessions, 25); err != nil {
 						b.Fatal(err)
 					}
 				}

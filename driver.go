@@ -32,10 +32,22 @@ type Driver interface {
 	// Recorder exposes the shared observation layer.
 	Recorder() *record.Recorder
 	// OpenSession mints a fresh sequential session bound to a replica.
+	// Guarantees are registered on the shared Recorder (SetGuarantees),
+	// which is what makes them travel with the session across re-binds.
 	OpenSession(replica int) (core.SessionID, error)
-	// Invoke submits an operation on a session; the returned call fills
-	// in as the deployment makes progress.
-	Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error)
+	// Invoke submits an operation on a session at an explicit target
+	// replica; the returned call fills in as the deployment makes
+	// progress. For guarantee-carrying sessions the target must prove
+	// coverage of the session's vectors first: until it can, the call
+	// parks (WaitForCoverage) or the invocation fails with ErrGuarantee
+	// (FailFast).
+	Invoke(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error)
+	// Bind re-binds a session to another replica (mobile-session
+	// migration); a session with an outstanding call cannot move.
+	Bind(sess core.SessionID, replica int) error
+	// Coverage reports whether the replica's state currently dominates
+	// the session's guarantee vectors — the failover-target probe.
+	Coverage(sess core.SessionID, replica int) (bool, error)
 	// Settle drives the deployment to quiescence: every message
 	// delivered, every replica passive, every call terminal.
 	Settle() error
@@ -102,7 +114,7 @@ type simDriver struct {
 }
 
 // newSimDriver builds the simulated substrate from validated options.
-func newSimDriver(o Options) (*simDriver, error) {
+func newSimDriver(o config) (*simDriver, error) {
 	cfg := cluster.Config{
 		N:         o.Replicas,
 		Variant:   o.Variant,
@@ -139,8 +151,16 @@ func (d *simDriver) OpenSession(replica int) (core.SessionID, error) {
 	return d.c.OpenSession(core.ReplicaID(replica))
 }
 
-func (d *simDriver) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error) {
-	return d.c.InvokeSession(sess, op, level)
+func (d *simDriver) Invoke(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	return d.c.InvokeSessionAt(sess, core.ReplicaID(replica), op, level)
+}
+
+func (d *simDriver) Bind(sess core.SessionID, replica int) error {
+	return d.c.BindSession(sess, core.ReplicaID(replica))
+}
+
+func (d *simDriver) Coverage(sess core.SessionID, replica int) (bool, error) {
+	return d.c.SessionCovered(sess, core.ReplicaID(replica))
 }
 
 func (d *simDriver) Settle() error { return d.c.Settle(0) }
@@ -157,6 +177,9 @@ func (d *simDriver) AwaitCall(ctx context.Context, call *record.Call) error {
 			return err
 		}
 		if d.c.Scheduler().Pending() == 0 {
+			if (call.Dot() == core.Dot{}) {
+				return fmt.Errorf("bayou: session %d's invocation is parked on its guarantee coverage and the simulation is quiescent (the demanded state cannot reach the target replica — heal the partition, recover the replica, or elect a leader)", call.Session())
+			}
 			return fmt.Errorf("bayou: call %s cannot complete: simulation is quiescent (no leader elected, an asynchronous run, or the call's replica is crashed)", call.Dot())
 		}
 		d.c.RunFor(100)

@@ -274,6 +274,150 @@ func runFaultConformance(t *testing.T, c *Cluster) conformanceOutcome {
 	}
 }
 
+// runGuaranteeConformance executes the guarantee script — a Causal session
+// migrating under a partition — on the given cluster, substrate-blind: the
+// session writes at replica 0, migrates to 1 and writes again, then
+// migrates to the partitioned-away replica 2, where its read parks on the
+// coverage gate until the partition heals. Returns the driver-comparable
+// outcome (the gated read's value is folded into the committed/checker
+// comparison by asserting it saw both writes).
+func runGuaranteeConformance(t *testing.T, c *Cluster) conformanceOutcome {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s, err := c.Session(0, WithGuarantees(Causal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(Inc("ctr", 1), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Partition([]int{0, 1}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(Inc("ctr", 2), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate into the minority: the read cannot be served there until the
+	// partition heals (replica 2 has never seen the second write).
+	if err := s.Bind(2); err != nil {
+		t.Fatal(err)
+	}
+	gated, err := s.Invoke(CtrGet("ctr"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Done() {
+		t.Fatal("read served in the minority without coverage of the majority-side write")
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(resp.Value, int64(3)) {
+		t.Fatalf("gated read = %v, want 3 (both session writes)", resp.Value)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.MarkStable()
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := c.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := c.Read(0, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guar, err := c.CheckGuarantees(Causal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conformanceOutcome{
+		counter:    counter,
+		lockOwners: 1, // no strong contention in this script
+		committed:  sortedCopy(ref),
+		fecOK:      fec.OK(),
+		seqOK:      guar.OK(),
+	}
+}
+
+// TestDriverConformanceGuarantees runs the identical migrate-under-partition
+// guarantee script on both drivers and demands equal settled counters, equal
+// committed multisets and equal verdicts (FEC(weak) and CheckGuarantees).
+func TestDriverConformanceGuarantees(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runGuaranteeConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runGuaranteeConformance(t, live)
+
+	if !Equal(simOut.counter, int64(3)) {
+		t.Errorf("sim counter = %v, want 3", simOut.counter)
+	}
+	if !Equal(simOut.counter, liveOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, live %v", simOut.counter, liveOut.counter)
+	}
+	if len(simOut.committed) != len(liveOut.committed) {
+		t.Fatalf("committed sizes diverge: sim %v, live %v", simOut.committed, liveOut.committed)
+	}
+	for i := range simOut.committed {
+		if simOut.committed[i] != liveOut.committed[i] {
+			t.Errorf("committed multisets diverge at %d: sim %s, live %s", i, simOut.committed[i], liveOut.committed[i])
+		}
+	}
+	if !simOut.fecOK || !liveOut.fecOK {
+		t.Errorf("FEC(weak) verdicts: sim %v, live %v, want both true", simOut.fecOK, liveOut.fecOK)
+	}
+	if !simOut.seqOK || !liveOut.seqOK {
+		t.Errorf("CheckGuarantees(Causal) verdicts: sim %v, live %v, want both true", simOut.seqOK, liveOut.seqOK)
+	}
+}
+
 // TestDriverConformanceFaults runs the identical fault script — crash →
 // invoke → recover → partition → heal — on both drivers and demands equal
 // settled values, equal committed multisets and equal checker verdicts.

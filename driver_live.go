@@ -28,7 +28,7 @@ type liveDriver struct {
 }
 
 // newLiveDriver builds the live substrate from validated options.
-func newLiveDriver(o Options) (*liveDriver, error) {
+func newLiveDriver(o config) (*liveDriver, error) {
 	if len(o.SlowReplicas) > 0 || len(o.ClockSlowdown) > 0 {
 		return nil, fmt.Errorf("%w: per-replica timing knobs (SlowReplicas/ClockSlowdown) need the deterministic simulator", ErrUnsupported)
 	}
@@ -47,8 +47,16 @@ func (d *liveDriver) OpenSession(replica int) (core.SessionID, error) {
 	return d.c.OpenSession(replica)
 }
 
-func (d *liveDriver) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error) {
-	return d.c.Invoke(sess, op, level)
+func (d *liveDriver) Invoke(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	return d.c.InvokeSessionAt(sess, replica, op, level)
+}
+
+func (d *liveDriver) Bind(sess core.SessionID, replica int) error {
+	return d.c.BindSession(sess, replica)
+}
+
+func (d *liveDriver) Coverage(sess core.SessionID, replica int) (bool, error) {
+	return d.c.SessionCovered(sess, replica, liveTimeout)
 }
 
 func (d *liveDriver) Settle() error { return d.c.Quiesce(liveTimeout) }

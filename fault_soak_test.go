@@ -2,6 +2,7 @@ package bayou
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -104,10 +105,31 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 		return nil
 	}
 
+	// One guarantee-carrying mobile session rides the whole schedule: it
+	// migrates between surviving replicas and keeps issuing weak reads and
+	// writes under its guarantees. The seed picks the mask (the read pair,
+	// or the full Causal bundle with its write-ordering demands) and the
+	// coverage mode, so the corpus exercises parking (calls pend until the
+	// finale repairs the deployment) as well as fail-fast rejection.
+	mode := WaitForCoverage
+	if seed%2 == 1 {
+		mode = FailFast
+	}
+	mask := ReadYourWrites | MonotonicReads
+	if (seed/2)%2 == 1 {
+		mask = Causal
+	}
+	gs, err := c.Session(int(seed)%soakReplicas, WithGuarantees(mask), WithGuaranteeMode(mode))
+	if err != nil {
+		return sched, "", c, err
+	}
+	act("guarantee session @%d (%s, %s)", gs.Replica(), mask, mode)
+	gsIdle := func() bool { return gs.Last() == nil || gs.Last().Done() }
+
 	steps := 12 + rng.Intn(10)
 	for i := 0; i < steps; i++ {
 		up := alive()
-		switch rng.Intn(12) {
+		switch rng.Intn(14) {
 		case 0, 1, 2, 3: // weak invocation somewhere alive
 			r := up[rng.Intn(len(up))]
 			var op Op
@@ -178,6 +200,36 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 					return sched, "", c, err
 				}
 				act("slowlink %d-%d ×%d", a, b, f)
+			}
+		case 11: // migrate the guarantee session to a surviving replica
+			r := up[rng.Intn(len(up))]
+			if !gsIdle() {
+				continue // a parked call pins the session to its replica
+			}
+			if err := gs.Bind(r); err != nil {
+				return sched, "", c, err
+			}
+			act("guarantee bind %d", r)
+		case 12: // a guarded operation on the mobile session
+			if crashed[gs.Replica()] || !gsIdle() {
+				continue
+			}
+			var op Op
+			var name string
+			if rng.Intn(2) == 0 {
+				e := strconv.Itoa(rng.Intn(8))
+				op, name = SetAdd("gset", e), "setAdd("+e+")"
+			} else {
+				op, name = SetElements("gset"), "read"
+			}
+			_, err := gs.Invoke(op, Weak)
+			switch {
+			case err == nil:
+				act("guarantee %s@%d", name, gs.Replica())
+			case errors.Is(err, ErrGuarantee):
+				act("guarantee %s@%d rejected (fail-fast)", name, gs.Replica())
+			default:
+				return sched, "", c, err
 			}
 		default: // let the deployment run
 			d := int64(50 + rng.Intn(400))
@@ -289,6 +341,12 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 		if rep := w.Seq(core.Strong); !rep.OK() {
 			return sched, fmt.Sprintf("Seq(strong) violated:\n%s", rep), c, nil
 		}
+	}
+	// The mobile guarantee session owes its guarantees on every schedule,
+	// whatever it survived: migrations, crashes of its replica, partitions,
+	// fail-fast rejections.
+	if rep := w.Guarantees(mask); !rep.OK() {
+		return sched, fmt.Sprintf("session guarantees (%s) violated:\n%s", mask, rep), c, nil
 	}
 
 	// On failure the caller dumps the artifact; hand it the history.

@@ -23,6 +23,8 @@ type evt struct {
 	trace   []core.Dot
 	commLen int
 	pending bool
+	guar    core.Guarantee
+	readVec core.Vec
 }
 
 func build(t *testing.T, stableAt int64, evts ...evt) *history.History {
@@ -43,6 +45,8 @@ func build(t *testing.T, stableAt int64, evts ...evt) *history.History {
 			TOBNo:        e.tobNo,
 			Trace:        e.trace,
 			CommittedLen: e.commLen,
+			Guarantees:   e.guar,
+			ReadVec:      e.readVec,
 		}
 	}
 	h, err := history.New(events, stableAt)

@@ -1,0 +1,141 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+)
+
+// TestSessionGuaranteesScoped: the guarantee checker constrains only the
+// sessions that carried the guarantee. The same lost-write history passes
+// when the session is plain and fails when it carried RYW.
+func TestSessionGuaranteesScoped(t *testing.T) {
+	lostWrite := func(g core.Guarantee) *Witness {
+		return NewWitness(build(t, 0,
+			evt{session: 0, eventNo: 1, op: spec.Append("w"), level: core.Weak, rval: "w",
+				invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 1, guar: g},
+			// The session's own later read does not observe the write.
+			evt{session: 0, eventNo: 2, op: spec.ListRead(), level: core.Weak, rval: nil,
+				invoke: 3, ret: 4, ts: 3, guar: g, trace: nil},
+		))
+	}
+	if rep := lostWrite(0).Guarantees(core.ReadYourWrites); !rep.OK() {
+		t.Errorf("plain sessions promise nothing:\n%s", rep)
+	}
+	rep := lostWrite(core.ReadYourWrites).Guarantees(core.ReadYourWrites)
+	if rep.OK() {
+		t.Error("a RYW session losing its own write must fail")
+	}
+	if !strings.Contains(rep.String(), "RYW(sessions)") {
+		t.Errorf("report must name the violated predicate:\n%s", rep)
+	}
+}
+
+func TestSessionMonotonicReadsScoped(t *testing.T) {
+	w := NewWitness(build(t, 0,
+		evt{session: 1, eventNo: 1, op: spec.Append("x"), level: core.Weak, rval: "x",
+			invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 1},
+		// First read observes x; the second loses it.
+		evt{session: 0, eventNo: 1, op: spec.ListRead(), level: core.Weak,
+			invoke: 3, ret: 4, ts: 3, guar: core.MonotonicReads, trace: []core.Dot{dot(1, 1)}},
+		evt{session: 0, eventNo: 2, op: spec.ListRead(), level: core.Weak,
+			invoke: 5, ret: 6, ts: 5, guar: core.MonotonicReads, trace: nil},
+	))
+	if rep := w.Guarantees(core.MonotonicReads); rep.OK() {
+		t.Error("an MR session unseeing an observed write must fail")
+	}
+}
+
+func TestSessionMonotonicWritesArbitration(t *testing.T) {
+	// The session's two writes are TOB-delivered in inverted order.
+	w := NewWitness(build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w1"), level: core.Weak, rval: "w1",
+			invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 2, guar: core.MonotonicWrites},
+		evt{session: 0, eventNo: 2, op: spec.Append("w2"), level: core.Weak, rval: "w2",
+			invoke: 3, ret: 4, ts: 3, tobCast: true, tobNo: 1, guar: core.MonotonicWrites},
+	))
+	rep := w.Guarantees(core.MonotonicWrites)
+	if rep.OK() {
+		t.Error("inverted arbitration of an MW session's writes must fail")
+	}
+	// The same inversion on a plain session is fine.
+	plain := NewWitness(build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.Append("w1"), level: core.Weak, rval: "w1",
+			invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 2},
+		evt{session: 0, eventNo: 2, op: spec.Append("w2"), level: core.Weak, rval: "w2",
+			invoke: 3, ret: 4, ts: 3, tobCast: true, tobNo: 1},
+	))
+	if rep := plain.Guarantees(core.MonotonicWrites); !rep.OK() {
+		t.Errorf("plain sessions promise nothing:\n%s", rep)
+	}
+}
+
+func TestSessionWritesFollowReadsArbitration(t *testing.T) {
+	// Session 0 reads x (session 1's write), then writes v; arbitration
+	// orders v before x — a WFR violation.
+	w := NewWitness(build(t, 0,
+		evt{session: 1, eventNo: 1, op: spec.Append("x"), level: core.Weak, rval: "x",
+			invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 2},
+		evt{session: 0, eventNo: 1, op: spec.ListRead(), level: core.Weak,
+			invoke: 3, ret: 4, ts: 3, guar: core.WritesFollowReads, trace: []core.Dot{dot(1, 1)}},
+		evt{session: 0, eventNo: 2, op: spec.Append("v"), level: core.Weak, rval: "v",
+			invoke: 5, ret: 6, ts: 5, tobCast: true, tobNo: 1, guar: core.WritesFollowReads},
+	))
+	if rep := w.Guarantees(core.WritesFollowReads); rep.OK() {
+		t.Error("a WFR session's write arbitrated before its read context must fail")
+	}
+}
+
+// TestCoveragePredicate replays the recorded demand vectors against traces.
+func TestCoveragePredicate(t *testing.T) {
+	demand := core.Vec{Frontier: []core.Dot{dot(1, 1)}}
+	ok := NewWitness(build(t, 0,
+		evt{session: 1, eventNo: 1, op: spec.Append("x"), level: core.Weak, rval: "x",
+			invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 1},
+		evt{session: 0, eventNo: 1, op: spec.ListRead(), level: core.Weak,
+			invoke: 3, ret: 4, ts: 3, guar: core.MonotonicReads,
+			readVec: demand, trace: []core.Dot{dot(1, 1)}},
+	))
+	if rep := ok.Guarantees(core.MonotonicReads); !rep.OK() {
+		t.Errorf("satisfied demand must pass:\n%s", rep)
+	}
+	bad := NewWitness(build(t, 0,
+		evt{session: 1, eventNo: 1, op: spec.Append("x"), level: core.Weak, rval: "x",
+			invoke: 1, ret: 2, ts: 1, tobCast: true, tobNo: 1},
+		evt{session: 0, eventNo: 1, op: spec.ListRead(), level: core.Weak,
+			invoke: 3, ret: 4, ts: 3, guar: core.MonotonicReads,
+			readVec: demand, trace: nil},
+	))
+	rep := bad.Guarantees(core.MonotonicReads)
+	if rep.OK() {
+		t.Error("a trace missing its demanded dot must fail Coverage")
+	}
+	// Watermark violations are caught too.
+	low := NewWitness(build(t, 0,
+		evt{session: 0, eventNo: 1, op: spec.ListRead(), level: core.Weak,
+			invoke: 1, ret: 2, ts: 1, guar: core.ReadYourWrites,
+			readVec: core.Vec{CommitLen: 3}, commLen: 1},
+	))
+	if rep := low.Guarantees(core.ReadYourWrites); rep.OK() {
+		t.Error("a response behind the demanded watermark must fail Coverage")
+	}
+}
+
+// TestGuaranteesReportShape: the report contains exactly the predicates of
+// the requested mask.
+func TestGuaranteesReportShape(t *testing.T) {
+	w := NewWitness(build(t, 0))
+	rep := w.Guarantees(core.Causal)
+	if len(rep.Results) != 5 { // RYW, MR, MW, WFR, Coverage
+		t.Fatalf("Causal report has %d results, want 5:\n%s", len(rep.Results), rep)
+	}
+	rep = w.Guarantees(core.MonotonicWrites)
+	if len(rep.Results) != 1 {
+		t.Fatalf("MW report has %d results, want 1:\n%s", len(rep.Results), rep)
+	}
+	if !strings.Contains(rep.Guarantee, "MW") {
+		t.Errorf("report label %q", rep.Guarantee)
+	}
+}

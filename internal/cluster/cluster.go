@@ -94,8 +94,24 @@ type node struct {
 	crashed     bool
 	cl          *Cluster
 
+	// parked holds guarantee-carrying invocations waiting for this
+	// replica's state to cover their session vectors; every state change
+	// (delivery, internal step, recovery) retries them. retrying guards
+	// against re-entrance: a primary-TOB self-commit during a completion
+	// re-enters the delivery path synchronously.
+	parked   []parkedInvoke
+	retrying bool
+
 	effPool core.EffectsPool
 	reqBuf  []core.Req // scratch for converting delivery batches
+}
+
+// parkedInvoke is one invocation blocked on a coverage gate.
+type parkedInvoke struct {
+	sess  core.SessionID
+	op    spec.Op
+	level core.Level
+	call  *record.Call
 }
 
 func (n *node) takeEff() *core.Effects { return n.effPool.Take() }
@@ -311,6 +327,7 @@ func (c *Cluster) Recover(id core.ReplicaID) error {
 	n.rbNode.Resync(have)
 	n.tobNode.Resync()
 	n.scheduleStep()
+	n.retryParked() // coverage may already hold again from the durable prefix
 	return nil
 }
 
@@ -338,6 +355,25 @@ func (c *Cluster) SessionReplica(s core.SessionID) (core.ReplicaID, bool) {
 	return id, ok
 }
 
+// BindSession re-binds a session to another replica — the mobile-session
+// migration step. The session's guarantee vectors travel with it (they live
+// on the shared recorder), so the next invocation at the new replica is
+// gated on the same coverage demands. A session with an outstanding call
+// cannot move: its continuation is owed by the old replica.
+func (c *Cluster) BindSession(sess core.SessionID, id core.ReplicaID) error {
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return fmt.Errorf("cluster: no replica %d", id)
+	}
+	if _, ok := c.sessions[sess]; !ok {
+		return fmt.Errorf("cluster: unknown session %d", sess)
+	}
+	if c.rec.SessionBusy(sess) {
+		return fmt.Errorf("%w: session %d cannot re-bind", ErrSessionBusy, sess)
+	}
+	c.sessions[sess] = id
+	return nil
+}
+
 // Invoke submits an operation at a replica on its default session (session
 // id == replica id) and returns the call handle, which fills in when the
 // response arrives. Multi-session clients use OpenSession + InvokeSession.
@@ -349,30 +385,138 @@ func (c *Cluster) Invoke(id core.ReplicaID, op spec.Op, level core.Level) (*Call
 }
 
 // InvokeSession submits an operation on the given session, at the replica
-// the session is bound to. It rejects a session whose previous call has not
-// returned (ErrSessionBusy): sessions are the sequential clients of §3.2.
+// the session is currently bound to. It rejects a session whose previous
+// call has not returned (ErrSessionBusy): sessions are the sequential
+// clients of §3.2.
 func (c *Cluster) InvokeSession(sess core.SessionID, op spec.Op, level core.Level) (*Call, error) {
 	id, ok := c.sessions[sess]
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown session %d", sess)
 	}
-	if c.nodes[id].crashed {
-		return nil, fmt.Errorf("%w: %d (session %d)", ErrReplicaDown, id, sess)
+	return c.InvokeSessionAt(sess, id, op, level)
+}
+
+// InvokeSessionAt submits an operation on the given session at an explicit
+// target replica (which may differ from the session's binding — a one-shot
+// read at another replica, say). Guarantee-carrying sessions are gated on
+// coverage: if the target cannot yet dominate the session's vectors the
+// invocation parks until it can (WaitForCoverage) or fails with
+// record.ErrGuarantee (FailFast).
+func (c *Cluster) InvokeSessionAt(sess core.SessionID, id core.ReplicaID, op spec.Op, level core.Level) (*Call, error) {
+	if _, ok := c.sessions[sess]; !ok {
+		return nil, fmt.Errorf("cluster: unknown session %d", sess)
 	}
-	if c.rec.SessionBusy(sess) {
-		return nil, fmt.Errorf("%w: session %d", ErrSessionBusy, sess)
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return nil, fmt.Errorf("cluster: no replica %d", id)
 	}
 	n := c.nodes[id]
+	if n.crashed {
+		return nil, fmt.Errorf("%w: %d (session %d)", ErrReplicaDown, id, sess)
+	}
+	g, mode, busy := c.rec.SessionGate(sess)
+	if busy {
+		return nil, fmt.Errorf("%w: session %d", ErrSessionBusy, sess)
+	}
+	if g == 0 {
+		// Plain sessions take the ungated hot path.
+		eff := n.takeEff()
+		defer n.putEff(eff)
+		req, err := n.replica.InvokeFrom(sess, op, level == core.Strong, eff)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: invoke on %d: %w", id, err)
+		}
+		call := c.rec.Invoked(sess, req.Dot, op, level, req.Timestamp, len(eff.TOBCast) > 0, int64(c.sched.Now()))
+		n.route(*eff)
+		n.scheduleStep()
+		return call, nil
+	}
+	call, err := c.rec.PendingInvoke(sess, op, level, int64(c.sched.Now()))
+	if err != nil {
+		return nil, err
+	}
+	pi := parkedInvoke{sess: sess, op: op, level: level, call: call}
+	if n.covers(pi) {
+		c.completeParked(n, pi)
+		return call, nil
+	}
+	if mode == core.FailFast {
+		c.rec.CancelInvoke(call)
+		return nil, fmt.Errorf("%w: session %d at replica %d", record.ErrGuarantee, sess, id)
+	}
+	n.parked = append(n.parked, pi)
+	return call, nil
+}
+
+// SessionCovered reports whether the replica's current state dominates the
+// session's full coverage demand (read and write vectors) — the driver's
+// coverage query, useful for choosing a failover target. A crashed replica
+// covers nothing.
+func (c *Cluster) SessionCovered(sess core.SessionID, id core.ReplicaID) (bool, error) {
+	if _, ok := c.sessions[sess]; !ok {
+		return false, fmt.Errorf("cluster: unknown session %d", sess)
+	}
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return false, fmt.Errorf("cluster: no replica %d", id)
+	}
+	n := c.nodes[id]
+	if n.crashed {
+		return false, nil
+	}
+	read, write, _ := c.rec.Demands(sess, true)
+	return n.replica.CoversSession(read, write), nil
+}
+
+// covers reports whether the node's replica dominates the invocation's
+// coverage demands right now (core.Replica.CoversInvoke is the shared
+// gate; see its comment for the read/committed/write split).
+func (n *node) covers(pi parkedInvoke) bool {
+	updating := !pi.op.ReadOnly()
+	read, write, _ := n.cl.rec.Demands(pi.sess, updating)
+	return n.replica.CoversInvoke(pi.level, updating, read, write)
+}
+
+// completeParked accepts a gated invocation at the node: the clock is
+// fenced above the session vectors, the replica invoked, and the pending
+// call bound to its minted dot.
+func (c *Cluster) completeParked(n *node, pi parkedInvoke) {
+	_, _, fence := c.rec.Demands(pi.sess, !pi.op.ReadOnly())
+	n.replica.FenceClock(fence)
 	eff := n.takeEff()
 	defer n.putEff(eff)
-	req, err := n.replica.InvokeFrom(sess, op, level == core.Strong, eff)
+	req, err := n.replica.InvokeFrom(pi.sess, pi.op, pi.level == core.Strong, eff)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: invoke on %d: %w", id, err)
+		panic(fmt.Sprintf("cluster: gated invoke on %d: %v", n.id, err))
 	}
-	call := c.rec.Invoked(sess, req.Dot, op, level, req.Timestamp, len(eff.TOBCast) > 0, int64(c.sched.Now()))
+	c.rec.CompleteInvoke(pi.call, req.Dot, req.Timestamp, len(eff.TOBCast) > 0, int64(c.sched.Now()))
 	n.route(*eff)
 	n.scheduleStep()
-	return call, nil
+}
+
+// retryParked completes every parked invocation whose coverage now holds,
+// repeating until a pass makes no progress (one completion can enable
+// another — a primary self-commit raises the committed watermark
+// synchronously).
+func (n *node) retryParked() {
+	if n.retrying || n.crashed || len(n.parked) == 0 {
+		return
+	}
+	n.retrying = true
+	defer func() { n.retrying = false }()
+	for !n.crashed {
+		hit := -1
+		for i, pi := range n.parked {
+			if n.covers(pi) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			return
+		}
+		pi := n.parked[hit]
+		n.parked = append(n.parked[:hit], n.parked[hit+1:]...)
+		n.cl.completeParked(n, pi)
+	}
 }
 
 // StepReplica performs one internal step at the replica (manual mode).
@@ -387,6 +531,7 @@ func (c *Cluster) StepReplica(id core.ReplicaID) error {
 		return err
 	}
 	n.route(*eff)
+	n.retryParked()
 	return nil
 }
 
@@ -518,6 +663,7 @@ func (n *node) onRBDeliverBatch(ms []rb.Message) {
 	}
 	n.route(*eff)
 	n.scheduleStep()
+	n.retryParked()
 }
 
 // onTOBDeliverBatch feeds a TOB cascade into the replica and records the
@@ -547,6 +693,7 @@ func (n *node) onTOBDeliverBatch(first int64, ms []tob.Message) {
 	}
 	n.route(*eff)
 	n.scheduleStep()
+	n.retryParked()
 }
 
 // scheduleStep arranges the next internal activation after procDelay,
@@ -574,5 +721,6 @@ func (n *node) scheduleStep() {
 		}
 		n.route(*eff)
 		n.scheduleStep()
+		n.retryParked()
 	})
 }

@@ -1,0 +1,168 @@
+package core
+
+import "strings"
+
+// Guarantee is a bitmask of the per-session guarantees of Terry et al.
+// ("Session Guarantees for Weakly Consistent Replicated Data", PDIS '94),
+// carried by mobile client sessions. A session that migrates between
+// replicas — by choice (load balancing) or by necessity (its replica
+// crashed) — keeps exactly the guarantees it was minted with: the serving
+// replica must prove coverage of the session's read/write vectors before
+// the invocation is accepted.
+type Guarantee uint8
+
+const (
+	// ReadYourWrites: every response of the session reflects all of the
+	// session's preceding updating operations.
+	ReadYourWrites Guarantee = 1 << iota
+	// MonotonicReads: once the session has observed an updating operation,
+	// every later response of the session observes it too.
+	MonotonicReads
+	// MonotonicWrites: the session's updating operations are arbitrated
+	// (and perceived by the session) in session order.
+	MonotonicWrites
+	// WritesFollowReads: an updating operation of the session is
+	// arbitrated after every updating operation the session had observed
+	// before issuing it.
+	WritesFollowReads
+)
+
+// Causal bundles all four guarantees — the client-centric approximation of
+// causal consistency a mobile session can carry across replicas.
+const Causal = ReadYourWrites | MonotonicReads | MonotonicWrites | WritesFollowReads
+
+// Has reports whether g includes every guarantee of x.
+func (g Guarantee) Has(x Guarantee) bool { return g&x == x }
+
+// String implements fmt.Stringer ("RYW|MR|MW|WFR"; "causal" for the full
+// bundle, "none" for the empty mask).
+func (g Guarantee) String() string {
+	if g == 0 {
+		return "none"
+	}
+	if g == Causal {
+		return "causal"
+	}
+	var parts []string
+	if g.Has(ReadYourWrites) {
+		parts = append(parts, "RYW")
+	}
+	if g.Has(MonotonicReads) {
+		parts = append(parts, "MR")
+	}
+	if g.Has(MonotonicWrites) {
+		parts = append(parts, "MW")
+	}
+	if g.Has(WritesFollowReads) {
+		parts = append(parts, "WFR")
+	}
+	return strings.Join(parts, "|")
+}
+
+// GuaranteeMode selects what happens when a serving replica cannot yet
+// cover a session's guarantee vector.
+type GuaranteeMode int
+
+const (
+	// WaitForCoverage (the default) parks the invocation until the replica
+	// has caught up — a pending event on the simulator, a parked message
+	// on the live substrate.
+	WaitForCoverage GuaranteeMode = iota
+	// FailFast rejects the invocation immediately with ErrGuarantee.
+	FailFast
+)
+
+// String implements fmt.Stringer.
+func (m GuaranteeMode) String() string {
+	if m == FailFast {
+		return "fail-fast"
+	}
+	return "wait"
+}
+
+// Vec is a session coverage vector: the compact summary of the updating
+// operations a session has written (write vector) or observed (read
+// vector). It rides on the driver's session table — never on Req, which
+// stays hot-path-small — and a replica proves dominance of it before
+// serving the session.
+//
+// The representation exploits that the committed order is a shared prefix
+// across replicas: a dot whose TOB position is known collapses into the
+// CommitLen watermark ("every commit position ≤ CommitLen"), and only the
+// dots not yet known committed remain explicit in Frontier. The watermark
+// over-approximates (it demands the whole prefix, not just the session's
+// dots), which is safe — commit prefixes only grow, everywhere — and keeps
+// the vector bounded by the session's uncommitted suffix.
+type Vec struct {
+	// CommitLen demands the committed prefix up to this length (1-based
+	// TOB positions 1..CommitLen).
+	CommitLen int
+	// Frontier holds the demanded dots not yet known committed.
+	Frontier []Dot
+	// MaxTS is the largest request timestamp in the vector; serving
+	// replicas fence their clock above it so newly minted requests sort
+	// after everything the vector demands.
+	MaxTS int64
+}
+
+// Empty reports whether the vector demands nothing.
+func (v Vec) Empty() bool { return v.CommitLen == 0 && len(v.Frontier) == 0 }
+
+// Add demands a dot with its request timestamp (idempotent).
+func (v *Vec) Add(d Dot, ts int64) {
+	if ts > v.MaxTS {
+		v.MaxTS = ts
+	}
+	for _, x := range v.Frontier {
+		if x == d {
+			return
+		}
+	}
+	v.Frontier = append(v.Frontier, d)
+}
+
+// Merge folds o into v (union of demands).
+func (v *Vec) Merge(o Vec) {
+	if o.CommitLen > v.CommitLen {
+		v.CommitLen = o.CommitLen
+	}
+	if o.MaxTS > v.MaxTS {
+		v.MaxTS = o.MaxTS
+	}
+	for _, d := range o.Frontier {
+		found := false
+		for _, x := range v.Frontier {
+			if x == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			v.Frontier = append(v.Frontier, d)
+		}
+	}
+}
+
+// Clone returns a deep copy (the frontier slice is not shared).
+func (v Vec) Clone() Vec {
+	out := v
+	out.Frontier = append([]Dot(nil), v.Frontier...)
+	return out
+}
+
+// Compact collapses frontier dots whose TOB position is known into the
+// committed watermark. commitPos reports a dot's 1-based TOB delivery
+// position, if any.
+func (v *Vec) Compact(commitPos func(Dot) (int64, bool)) {
+	keep := v.Frontier[:0]
+	for _, d := range v.Frontier {
+		if no, ok := commitPos(d); ok {
+			if int(no) > v.CommitLen {
+				v.CommitLen = int(no)
+			}
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	v.Frontier = keep
+}

@@ -693,6 +693,94 @@ func (p *Replica) markTraceAliased(n int) {
 	}
 }
 
+// CoversRead reports whether the replica's *executed* state dominates the
+// vector: the committed watermark is applied (and executed — executed is a
+// prefix of committed·tentative, so a watermark's worth of executed entries
+// is exactly the committed prefix) and every frontier dot is currently
+// executed. A weak invocation accepted while CoversRead holds computes its
+// response on a trace containing every demanded dot; entries pending
+// rollback do not count, because they are about to leave the state.
+func (p *Replica) CoversRead(v Vec) bool {
+	if len(p.committed) < v.CommitLen || len(p.executed) < v.CommitLen {
+		return false
+	}
+	for _, d := range v.Frontier {
+		if !p.executedSet[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversCommitted reports whether the replica's committed prefix dominates
+// the vector. Strong invocations demand it: a strong response is computed
+// at the request's commit position, on exactly the committed prefix before
+// it, so only dots already inside that prefix are guaranteed visible.
+func (p *Replica) CoversCommitted(v Vec) bool {
+	if len(p.committed) < v.CommitLen {
+		return false
+	}
+	for _, d := range v.Frontier {
+		if !p.committedSet[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversWrite reports whether the replica can accept a new updating request
+// ordered after everything the vector demands: every demanded dot must be
+// committed here. Only the shared committed prefix orders a fresh proposal
+// globally — a new request is necessarily arbitrated after it, everywhere.
+// A demanded dot that is merely tentative does not qualify, even a local
+// one: total order broadcast does not promise per-proposer FIFO under
+// faults (a partition can strand one proposal in a consensus pool while a
+// later one decides first), so nothing orders the fresh request behind an
+// in-flight predecessor.
+func (p *Replica) CoversWrite(v Vec) bool {
+	return p.CoversCommitted(v)
+}
+
+// CoversInvoke is the invocation coverage gate, shared by both drivers: it
+// reports whether the replica can accept an invocation at the given level
+// whose session carries the given read/write demands. Algorithm 2 weak
+// operations compute their response inside the invoke, so executed-state
+// read coverage suffices; strong operations — and every Algorithm 1
+// operation, whose response may be computed at the commit position the
+// commit order pre-empts — demand the committed prefix. Updating
+// operations additionally demand write coverage so arbitration orders them
+// after the session's past.
+func (p *Replica) CoversInvoke(level Level, updating bool, read, write Vec) bool {
+	if level == Strong || p.variant == Original {
+		if !p.CoversCommitted(read) {
+			return false
+		}
+	} else if !p.CoversRead(read) {
+		return false
+	}
+	return !updating || p.CoversWrite(write)
+}
+
+// CoversSession is the conservative session probe behind the drivers'
+// coverage query: whether the replica could serve *any* next operation of
+// a session with these demands, including a strong one. It deliberately
+// uses the strongest read predicate (the committed prefix), so a replica
+// it approves is never rejected by the per-invocation gate.
+func (p *Replica) CoversSession(read, write Vec) bool {
+	return p.CoversCommitted(read) && p.CoversWrite(write)
+}
+
+// FenceClock raises the replica's clock watermark so the next minted
+// request timestamps strictly after ts. Guarantee-carrying drivers fence
+// with the session vector's MaxTS before invoking, which keeps the new
+// request behind every demanded dot in tentative (timestamp) order even
+// when the session migrated from a replica with a faster clock.
+func (p *Replica) FenceClock(ts int64) {
+	if ts > p.lastTS {
+		p.lastTS = ts
+	}
+}
+
 // Committed returns a copy of the committed list.
 func (p *Replica) Committed() []Req { return append([]Req(nil), p.committed...) }
 

@@ -50,6 +50,14 @@ type Event struct {
 	TOBNo        int64 // 1-based delivery position; -1 if never TOB-delivered
 	Trace        []core.Dot
 	CommittedLen int
+
+	// Session-guarantee witnesses: the guarantee mask the issuing session
+	// carried, and the demand vectors the serving replica proved coverage
+	// of before accepting the invocation (zero for plain sessions). The
+	// guarantee checker replays these against the trace witnesses.
+	Guarantees core.Guarantee
+	ReadVec    core.Vec
+	WriteVec   core.Vec
 }
 
 // IsReadOnly reports whether the event's operation is read-only.

@@ -64,6 +64,7 @@ type message struct {
 	op       spec.Op
 	strong   bool
 	sess     core.SessionID
+	call     *record.Call // guarantee-gated invoke: the pre-minted pending call
 	reply    chan invokeReply
 	inspect  func(*node)
 	done     chan struct{}
@@ -140,6 +141,20 @@ type node struct {
 	// single batch.
 	effPool core.EffectsPool
 	rbBatch []core.Req
+
+	// parked holds guarantee-gated invocations waiting for this replica's
+	// state to cover their session vectors; each burst retries them after
+	// draining. Parked entries survive a crash (they are client-side
+	// continuations, not replica state) and retry after recovery.
+	parked []parkedInvoke
+}
+
+// parkedInvoke is one invocation blocked on a coverage gate.
+type parkedInvoke struct {
+	sess  core.SessionID
+	op    spec.Op
+	level core.Level
+	call  *record.Call
 }
 
 func (n *node) takeEff() *core.Effects { return n.effPool.Take() }
@@ -391,6 +406,29 @@ func (c *Cluster) SessionReplica(s core.SessionID) (int, bool) {
 	return id, ok
 }
 
+// BindSession re-binds a session to another replica — the mobile-session
+// migration step. The guarantee vectors live on the shared recorder, so
+// they follow the session for free. A session with an outstanding call
+// cannot move: its continuation is owed by the old replica.
+func (c *Cluster) BindSession(sess core.SessionID, replica int) error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sessions[sess]; !ok {
+		return fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	if c.rec.SessionBusy(sess) {
+		return fmt.Errorf("%w: session %d cannot re-bind", record.ErrSessionBusy, sess)
+	}
+	c.sessions[sess] = replica
+	return nil
+}
+
 // Invoke submits an operation on the given session at the replica the
 // session is bound to, and returns once the replica has processed the
 // invocation: for Algorithm 2 weak operations the call is already Done
@@ -407,18 +445,86 @@ func (c *Cluster) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*re
 	if !ok {
 		return nil, fmt.Errorf("livenet: unknown session %d", sess)
 	}
-	reply := make(chan invokeReply, 1)
+	return c.invokeAt(sess, replica, op, level)
+}
+
+// InvokeSessionAt submits an operation on the given session at an explicit
+// target replica, which may differ from the session's binding. Guarantee
+// vectors are enforced at the target exactly as at the binding.
+func (c *Cluster) InvokeSessionAt(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	if c.stopped.Load() {
+		return nil, ErrStopped
+	}
+	if replica < 0 || replica >= c.n {
+		return nil, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	c.mu.Lock()
+	_, ok := c.sessions[sess]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	return c.invokeAt(sess, replica, op, level)
+}
+
+// invokeAt routes one invocation to the target replica's goroutine. For
+// guarantee-carrying sessions the pending call is minted on the caller's
+// side (atomically marking the session busy) and handed to the replica,
+// which completes it, parks it on the coverage gate, or cancels it — the
+// reply is immediate either way, so Invoke never blocks on coverage; the
+// parked call simply stays pending until the replica catches up.
+func (c *Cluster) invokeAt(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	m := message{kind: msgInvoke, sess: sess, op: op, strong: level == core.Strong, reply: make(chan invokeReply, 1)}
+	if g, _ := c.rec.Guarantees(sess); g != 0 {
+		call, err := c.rec.PendingInvoke(sess, op, level, c.wall())
+		if err != nil {
+			return nil, err
+		}
+		m.call = call
+	}
 	select {
-	case c.nodes[replica].inbox <- message{kind: msgInvoke, sess: sess, op: op, strong: level == core.Strong, reply: reply}:
+	case c.nodes[replica].inbox <- m:
 	case <-c.nodes[replica].stop:
+		if m.call != nil {
+			c.rec.CancelInvoke(m.call)
+		}
 		return nil, ErrStopped
 	}
 	select {
-	case r := <-reply:
+	case r := <-m.reply:
 		return r.call, r.err
 	case <-c.nodes[replica].stop:
+		// The node stopped with the invoke possibly still queued; withdraw
+		// the pending call so the session is not left busy forever
+		// (CancelInvoke is a no-op if the node did complete it first).
+		if m.call != nil {
+			c.rec.CancelInvoke(m.call)
+		}
 		return nil, ErrStopped
 	}
+}
+
+// SessionCovered reports whether the replica's current state dominates the
+// session's full coverage demand — the coverage query of the fault-tolerant
+// client choosing a failover target. A crashed replica covers nothing.
+func (c *Cluster) SessionCovered(sess core.SessionID, replica int, timeout time.Duration) (bool, error) {
+	c.mu.Lock()
+	_, ok := c.sessions[sess]
+	c.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	if c.Crashed(replica) {
+		return false, nil
+	}
+	read, write, _ := c.rec.Demands(sess, true)
+	covered := false
+	if err := c.inspect(replica, timeout, func(n *node) {
+		covered = n.replica.CoversSession(read, write)
+	}); err != nil {
+		return false, err
+	}
+	return covered, nil
 }
 
 // InvokeAt submits on the replica's default session (session id == replica
@@ -597,10 +703,69 @@ func (n *node) run() {
 			}
 			if !n.down {
 				n.flushRB()
-				n.drain()
+				n.settleLocal()
 			}
 		}
 	}
+}
+
+// settleLocal drains internal work and retries parked invocations until
+// neither makes progress: a completed invocation produces new internal
+// work, and drained work (an executed demanded dot, an applied commit) can
+// unlock another parked invocation.
+func (n *node) settleLocal() {
+	for {
+		n.drain()
+		if !n.retryParked() {
+			return
+		}
+	}
+}
+
+// covers reports whether this replica dominates the invocation's coverage
+// demands right now (core.Replica.CoversInvoke is the shared gate; see its
+// comment for the read/committed/write split).
+func (n *node) covers(pi parkedInvoke) bool {
+	updating := !pi.op.ReadOnly()
+	read, write, _ := n.cl.rec.Demands(pi.sess, updating)
+	return n.replica.CoversInvoke(pi.level, updating, read, write)
+}
+
+// complete accepts a gated invocation: the clock is fenced above the
+// session vectors, the replica invoked, and the pending call bound to its
+// minted dot.
+func (n *node) complete(pi parkedInvoke) {
+	_, _, fence := n.cl.rec.Demands(pi.sess, !pi.op.ReadOnly())
+	n.replica.FenceClock(fence)
+	eff := n.takeEff()
+	req, err := n.replica.InvokeFrom(pi.sess, pi.op, pi.level == core.Strong, eff)
+	if err != nil {
+		n.putEff(eff)
+		panic(fmt.Sprintf("livenet: gated invoke on %d: %v", n.id, err))
+	}
+	n.cl.rec.CompleteInvoke(pi.call, req.Dot, req.Timestamp, len(eff.TOBCast) > 0, n.cl.wall())
+	n.route(*eff)
+	n.putEff(eff)
+}
+
+// retryParked completes every parked invocation whose coverage now holds;
+// it reports whether any completed.
+func (n *node) retryParked() bool {
+	if n.down || len(n.parked) == 0 {
+		return false
+	}
+	progress := false
+	keep := n.parked[:0]
+	for _, pi := range n.parked {
+		if n.covers(pi) {
+			n.complete(pi)
+			progress = true
+		} else {
+			keep = append(keep, pi)
+		}
+	}
+	n.parked = keep
+	return progress
 }
 
 // recover restores the replica from its durable snapshot on the node's own
@@ -631,6 +796,9 @@ func (n *node) recover() {
 			n.cl.send(int(n.id), int(peer.id), message{kind: msgResync, from: n.id, commitNo: n.nextCommit})
 		}
 	}
+	// Invocations parked before the crash survived it (they are client-side
+	// continuations); the restored prefix may already cover them.
+	n.settleLocal()
 }
 
 // answerResync retransmits to a recovering peer: every tentative request
@@ -658,6 +826,9 @@ func (n *node) process(m message) {
 	if n.down {
 		switch m.kind {
 		case msgInvoke:
+			if m.call != nil {
+				n.cl.rec.CancelInvoke(m.call)
+			}
 			m.reply <- invokeReply{err: fmt.Errorf("%w: %d (session %d)", ErrReplicaDown, n.id, m.sess)}
 		case msgCrash:
 			m.reply <- invokeReply{err: fmt.Errorf("%w: %d already crashed", ErrReplicaDown, n.id)}
@@ -679,13 +850,31 @@ func (n *node) process(m message) {
 	n.flushRB()
 	switch m.kind {
 	case msgInvoke:
-		if n.cl.rec.SessionBusy(m.sess) {
-			m.reply <- invokeReply{err: fmt.Errorf("%w: session %d", record.ErrSessionBusy, m.sess)}
-			return
-		}
 		level := core.Weak
 		if m.strong {
 			level = core.Strong
+		}
+		if m.call != nil {
+			// Guarantee-gated: the pending call already holds the session's
+			// busy mark; accept, park, or reject on coverage.
+			pi := parkedInvoke{sess: m.sess, op: m.op, level: level, call: m.call}
+			_, mode := n.cl.rec.Guarantees(m.sess)
+			switch {
+			case n.covers(pi):
+				n.complete(pi)
+				m.reply <- invokeReply{call: m.call}
+			case mode == core.FailFast:
+				n.cl.rec.CancelInvoke(m.call)
+				m.reply <- invokeReply{err: fmt.Errorf("%w: session %d at replica %d", record.ErrGuarantee, m.sess, n.id)}
+			default:
+				n.parked = append(n.parked, pi)
+				m.reply <- invokeReply{call: m.call}
+			}
+			return
+		}
+		if n.cl.rec.SessionBusy(m.sess) {
+			m.reply <- invokeReply{err: fmt.Errorf("%w: session %d", record.ErrSessionBusy, m.sess)}
+			return
 		}
 		eff := n.takeEff()
 		req, err := n.replica.InvokeFrom(m.sess, m.op, m.strong, eff)

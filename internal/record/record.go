@@ -14,6 +14,7 @@ package record
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"bayou/internal/core"
@@ -25,6 +26,10 @@ import (
 // has not yet returned. Well-formed histories (§3.2) require sessions to be
 // sequential: a client blocked on a strong operation cannot issue more work.
 var ErrSessionBusy = errors.New("record: session awaiting a response")
+
+// ErrGuarantee reports an invocation rejected under GuaranteeMode FailFast:
+// the serving replica cannot yet cover the session's guarantee vectors.
+var ErrGuarantee = errors.New("record: session guarantee not yet satisfiable at this replica")
 
 // Update is one response-status event delivered on a watch stream: the
 // status the call's response transitioned to, the response value at that
@@ -62,8 +67,14 @@ type Call struct {
 	subs       []*sub
 }
 
-// Dot returns the request identifier.
-func (c *Call) Dot() core.Dot { return c.dot }
+// Dot returns the request identifier (the zero Dot while the invocation is
+// still parked on a coverage gate — the dot is minted when the serving
+// replica accepts it).
+func (c *Call) Dot() core.Dot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dot
+}
 
 // Session returns the issuing session.
 func (c *Call) Session() core.SessionID { return c.session }
@@ -239,6 +250,15 @@ func (s *sub) wake() {
 	}
 }
 
+// bind stamps a pending call with its minted dot (see CompleteInvoke).
+func (c *Call) bind(d core.Dot, tobCast bool, wall int64) {
+	c.mu.Lock()
+	c.dot = d
+	c.tobCast = tobCast
+	c.wallInvoke = wall
+	c.mu.Unlock()
+}
+
 // respond delivers the call's response.
 func (c *Call) respond(resp core.Response, wall int64) {
 	c.mu.Lock()
@@ -316,6 +336,26 @@ type Recorder struct {
 	tobNos   map[core.Dot]int64
 	lastOf   map[core.SessionID]*history.Event
 	tobCast  int
+
+	// The session-guarantee table: read/write vectors ride here — on the
+	// shared observation layer, not on Req — so both drivers enforce the
+	// same coverage demands and a migrating session carries its vectors
+	// with it for free. parked tracks un-minted invocations (coverage
+	// gates) so SessionBusy covers them.
+	guar   map[core.SessionID]*guarSession
+	parked map[core.SessionID]*Call
+}
+
+// guarSession is one guarantee-carrying session's state.
+type guarSession struct {
+	g    core.Guarantee
+	mode core.GuaranteeMode
+	// read accumulates the updating dots the session has observed in its
+	// response traces (consumed by MonotonicReads and WritesFollowReads).
+	read core.Vec
+	// write accumulates the dots of the session's own updating operations
+	// (consumed by ReadYourWrites and MonotonicWrites).
+	write core.Vec
 }
 
 // New returns an empty recorder.
@@ -325,17 +365,201 @@ func New() *Recorder {
 		events: make(map[core.Dot]*history.Event),
 		tobNos: make(map[core.Dot]int64),
 		lastOf: make(map[core.SessionID]*history.Event),
+		guar:   make(map[core.SessionID]*guarSession),
+		parked: make(map[core.SessionID]*Call),
 	}
 }
 
+// SetGuarantees registers the session's guarantee mask and coverage mode.
+// Call it once, right after the session is opened.
+func (r *Recorder) SetGuarantees(session core.SessionID, g core.Guarantee, mode core.GuaranteeMode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g == 0 {
+		delete(r.guar, session)
+		return
+	}
+	r.guar[session] = &guarSession{g: g, mode: mode}
+}
+
+// Guarantees returns the session's guarantee mask and mode (zero mask for
+// plain sessions).
+func (r *Recorder) Guarantees(session core.SessionID) (core.Guarantee, core.GuaranteeMode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gs := r.guar[session]; gs != nil {
+		return gs.g, gs.mode
+	}
+	return 0, core.WaitForCoverage
+}
+
+// SessionGate is the single-lock invoke gate: the session's guarantee mask
+// and mode, plus whether it is busy. Drivers call it once per invocation —
+// the plain-session hot path pays exactly the one lock SessionBusy cost.
+func (r *Recorder) SessionGate(session core.SessionID) (g core.Guarantee, mode core.GuaranteeMode, busy bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gs := r.guar[session]; gs != nil {
+		g, mode = gs.g, gs.mode
+	}
+	return g, mode, r.busyLocked(session)
+}
+
 // SessionBusy reports whether the session's latest invocation is still
-// awaiting its response. Drivers check it before invoking the replica so a
-// rejected invocation leaves no trace in the protocol state.
+// awaiting its response (including an invocation parked on a coverage
+// gate). Drivers check it before invoking the replica so a rejected
+// invocation leaves no trace in the protocol state.
 func (r *Recorder) SessionBusy(session core.SessionID) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.busyLocked(session)
+}
+
+func (r *Recorder) busyLocked(session core.SessionID) bool {
+	if r.parked[session] != nil {
+		return true
+	}
 	last := r.lastOf[session]
 	return last != nil && last.Pending
+}
+
+// Demands assembles the coverage vectors a replica must dominate before
+// serving the session's next operation: the read demand (what the response
+// trace must contain — the session's own writes under ReadYourWrites, its
+// past observations under MonotonicReads) and, for updating operations, the
+// write demand (what the new request must be arbitrated after — the
+// session's writes under MonotonicWrites, its observations under
+// WritesFollowReads). fence is the clock watermark the serving replica must
+// mint above. Vectors are compacted against known TOB positions first and
+// returned as copies safe to use off the recorder's lock.
+func (r *Recorder) Demands(session core.SessionID, updating bool) (read, write core.Vec, fence int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gs := r.guar[session]
+	if gs == nil {
+		return
+	}
+	return r.demandsLocked(gs, updating)
+}
+
+func (r *Recorder) demandsLocked(gs *guarSession, updating bool) (read, write core.Vec, fence int64) {
+	commitPos := func(d core.Dot) (int64, bool) { no, ok := r.tobNos[d]; return no, ok }
+	gs.read.Compact(commitPos)
+	gs.write.Compact(commitPos)
+	if gs.g.Has(core.ReadYourWrites) {
+		read.Merge(gs.write)
+	}
+	if gs.g.Has(core.MonotonicReads) {
+		read.Merge(gs.read)
+	}
+	if updating {
+		if gs.g.Has(core.MonotonicWrites) {
+			write.Merge(gs.write)
+		}
+		if gs.g.Has(core.WritesFollowReads) {
+			write.Merge(gs.read)
+		}
+	}
+	// read and write are freshly built here — Merge appends into their own
+	// backing arrays — so they are already safe to use off the lock.
+	fence = read.MaxTS
+	if write.MaxTS > fence {
+		fence = write.MaxTS
+	}
+	return read, write, fence
+}
+
+// PendingInvoke atomically marks the session busy and mints the client's
+// call handle for an invocation that has not yet been accepted by a replica
+// (its dot is unminted). Guarantee-aware drivers create the call first,
+// then either complete it immediately (coverage holds), park it (coverage
+// pending), or cancel it (fail-fast / replica down).
+func (r *Recorder) PendingInvoke(session core.SessionID, op spec.Op, level core.Level, wall int64) (*Call, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.busyLocked(session) {
+		return nil, fmt.Errorf("%w: session %d", ErrSessionBusy, session)
+	}
+	call := &Call{
+		session: session, op: op, level: level,
+		wallInvoke: wall,
+		doneCh:     make(chan struct{}),
+		termCh:     make(chan struct{}),
+	}
+	r.parked[session] = call
+	r.callList = append(r.callList, call)
+	return call, nil
+}
+
+// CompleteInvoke records the acceptance of a previously pending invocation:
+// the serving replica minted dot at timestamp ts. The history event is
+// created at acceptance (the invocation enters the history when a replica
+// takes it, not when the client queued it), demand-vector witnesses are
+// attached, and the session's write vector absorbs the new dot.
+func (r *Recorder) CompleteInvoke(call *Call, d core.Dot, ts int64, tobCast bool, wall int64) {
+	r.mu.Lock()
+	if r.parked[call.session] == call {
+		delete(r.parked, call.session)
+	}
+	r.seq++
+	e := &history.Event{
+		Session:    call.session,
+		Op:         call.op,
+		Level:      call.level,
+		Pending:    true,
+		Invoke:     r.seq,
+		WallInvoke: wall,
+		Dot:        d,
+		Timestamp:  ts,
+		TOBCast:    tobCast,
+		TOBNo:      -1,
+	}
+	r.attachGuaranteesLocked(e, call.session, d, ts)
+	r.calls[d] = call
+	r.events[d] = e
+	r.lastOf[call.session] = e
+	r.order = append(r.order, d)
+	if tobCast {
+		r.tobCast++
+	}
+	r.mu.Unlock()
+	call.bind(d, tobCast, wall)
+}
+
+// CancelInvoke withdraws a pending invocation that no replica accepted
+// (fail-fast coverage miss, the target was down, or the deployment stopped
+// underneath it): the session's busy mark clears and the call handle is
+// discarded. Calling it on an invocation a replica already completed is a
+// no-op — the parked entry is the pending state, and CompleteInvoke clears
+// it under the same lock.
+func (r *Recorder) CancelInvoke(call *Call) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.parked[call.session] != call {
+		return
+	}
+	delete(r.parked, call.session)
+	for i := len(r.callList) - 1; i >= 0; i-- {
+		if r.callList[i] == call {
+			r.callList = append(r.callList[:i], r.callList[i+1:]...)
+			break
+		}
+	}
+}
+
+// attachGuaranteesLocked stamps a new event with its session's guarantee
+// mask and demand-vector witnesses (the coverage that was enforced for it),
+// then folds the event's own dot into the session's write vector.
+func (r *Recorder) attachGuaranteesLocked(e *history.Event, session core.SessionID, d core.Dot, ts int64) {
+	gs := r.guar[session]
+	if gs == nil {
+		return
+	}
+	e.Guarantees = gs.g
+	e.ReadVec, e.WriteVec, _ = r.demandsLocked(gs, !e.Op.ReadOnly())
+	if !e.Op.ReadOnly() && gs.g&(core.ReadYourWrites|core.MonotonicWrites) != 0 {
+		gs.write.Add(d, ts)
+	}
 }
 
 // Invoked records a new invocation and returns its call handle. Requests
@@ -364,6 +588,7 @@ func (r *Recorder) Invoked(session core.SessionID, d core.Dot, op spec.Op, level
 		TOBCast:    tobCast,
 		TOBNo:      -1,
 	}
+	r.attachGuaranteesLocked(e, session, d, ts)
 	r.calls[d] = call
 	r.callList = append(r.callList, call)
 	r.events[d] = e
@@ -389,6 +614,31 @@ func (r *Recorder) Responded(resp core.Response, wall int64) {
 		e.RVal = resp.Value
 		e.Trace = append([]core.Dot(nil), resp.Trace...)
 		e.CommittedLen = resp.CommittedLen
+		// The session's read vector absorbs the updating operations this
+		// response observed (read-only dots are never demanded: under
+		// Algorithm 2 they are purely local and no replica could cover
+		// them). Dots already known committed fold straight into the
+		// watermark — the frontier stays bounded by the uncommitted
+		// suffix instead of re-accumulating the whole committed history
+		// on every response.
+		if gs := r.guar[e.Session]; gs != nil && gs.g&(core.MonotonicReads|core.WritesFollowReads) != 0 {
+			for _, td := range resp.Trace {
+				ev := r.events[td]
+				if ev == nil || ev.Op.ReadOnly() {
+					continue
+				}
+				if no, ok := r.tobNos[td]; ok {
+					if int(no) > gs.read.CommitLen {
+						gs.read.CommitLen = int(no)
+					}
+					if ev.Timestamp > gs.read.MaxTS {
+						gs.read.MaxTS = ev.Timestamp
+					}
+					continue
+				}
+				gs.read.Add(td, ev.Timestamp)
+			}
+		}
 	}
 	r.mu.Unlock()
 	if call != nil {

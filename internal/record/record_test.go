@@ -221,3 +221,128 @@ func TestHistorySnapshotWhileResponding(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// --- session-guarantee table ------------------------------------------------
+
+func TestGuaranteeVectorsAndDemands(t *testing.T) {
+	r := New()
+	r.SetGuarantees(7, core.ReadYourWrites|core.MonotonicReads, core.WaitForCoverage)
+	if g, mode := r.Guarantees(7); g != core.ReadYourWrites|core.MonotonicReads || mode != core.WaitForCoverage {
+		t.Fatalf("Guarantees(7) = %v, %v", g, mode)
+	}
+	if g, _, busy := r.SessionGate(7); g == 0 || busy {
+		t.Fatalf("gate = %v busy=%v", g, busy)
+	}
+
+	// A write enters the write vector (→ read demand under RYW).
+	d1 := dot(0, 1)
+	r.Invoked(7, d1, spec.Append("a"), core.Weak, 10, true, 1)
+	read, write, fence := r.Demands(7, true)
+	if len(read.Frontier) != 1 || read.Frontier[0] != d1 || fence != 10 {
+		t.Fatalf("read demand %+v fence %d, want [%s] 10", read, fence, d1)
+	}
+	if !write.Empty() {
+		t.Fatalf("write demand %+v, want empty (no MW/WFR)", write)
+	}
+
+	// The response's trace feeds the read vector (updating dots only).
+	other := dot(1, 1)
+	r.Invoked(8, other, spec.Append("b"), core.Weak, 5, true, 2)
+	ro := dot(1, 2)
+	r.Invoked(8, ro, spec.ListRead(), core.Weak, 6, false, 3)
+	r.Responded(core.Response{
+		Req: core.Req{Dot: d1, Op: spec.Append("a")}, Value: "a",
+		Trace: []core.Dot{other, ro},
+	}, 4)
+	read, _, _ = r.Demands(7, false)
+	found := map[core.Dot]bool{}
+	for _, d := range read.Frontier {
+		found[d] = true
+	}
+	if !found[d1] || !found[other] {
+		t.Fatalf("read demand lost dots: %+v", read)
+	}
+	if found[ro] {
+		t.Fatal("read-only dots must never be demanded")
+	}
+
+	// A commit collapses the demand into the watermark.
+	r.TOBDelivered(d1, 1)
+	r.TOBDelivered(other, 2)
+	read, _, _ = r.Demands(7, false)
+	if read.CommitLen != 2 || len(read.Frontier) != 0 {
+		t.Fatalf("compacted read demand %+v, want watermark 2", read)
+	}
+}
+
+func TestPendingInvokeLifecycle(t *testing.T) {
+	r := New()
+	r.SetGuarantees(3, core.Causal, core.WaitForCoverage)
+	call, err := r.PendingInvoke(3, spec.Append("x"), core.Weak, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SessionBusy(3) {
+		t.Error("a pending invoke must mark the session busy")
+	}
+	if (call.Dot() != core.Dot{}) {
+		t.Error("pending calls have no dot yet")
+	}
+	if _, err := r.PendingInvoke(3, spec.Append("y"), core.Weak, 2); err == nil {
+		t.Error("a second pending invoke on the session must be rejected")
+	}
+	if got := len(r.Calls()); got != 1 {
+		t.Fatalf("pending call must be listed, got %d", got)
+	}
+
+	d := dot(2, 1)
+	r.CompleteInvoke(call, d, 42, true, 9)
+	if !r.SessionBusy(3) {
+		t.Error("session stays busy until the response")
+	}
+	if call.Dot() != d {
+		t.Errorf("bound dot = %s, want %s", call.Dot(), d)
+	}
+	if r.Call(d) != call {
+		t.Error("completed call must be indexed by dot")
+	}
+	r.Responded(resp(d, spec.Append("x"), "x", false), 10)
+	if r.SessionBusy(3) {
+		t.Error("session must be free after the response")
+	}
+	h, err := r.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Events) != 1 || h.Events[0].Guarantees != core.Causal {
+		t.Fatalf("history events %+v must carry the guarantee mask", h.Events)
+	}
+	// The session's own write entered its write vector after the demand
+	// snapshot: the recorded demand excludes the event's own dot.
+	if len(h.Events[0].ReadVec.Frontier) != 0 {
+		t.Errorf("first event's demand must be empty, got %+v", h.Events[0].ReadVec)
+	}
+	read, _, _ := r.Demands(3, true)
+	if len(read.Frontier) != 1 || read.Frontier[0] != d {
+		t.Errorf("write vector must hold the completed dot: %+v", read)
+	}
+}
+
+func TestCancelInvokeReleasesSession(t *testing.T) {
+	r := New()
+	r.SetGuarantees(4, core.ReadYourWrites, core.FailFast)
+	call, err := r.PendingInvoke(4, spec.Append("x"), core.Weak, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CancelInvoke(call)
+	if r.SessionBusy(4) {
+		t.Error("cancel must release the busy mark")
+	}
+	if got := len(r.Calls()); got != 0 {
+		t.Errorf("cancelled call must be delisted, got %d", got)
+	}
+	if _, err := r.PendingInvoke(4, spec.Append("y"), core.Weak, 2); err != nil {
+		t.Errorf("session must accept a retry after cancel: %v", err)
+	}
+}

@@ -138,6 +138,109 @@ func CrashRecoverRun(seed int64, live bool) (*SessionOutcome, error) {
 	return &SessionOutcome{Cluster: c, History: h, Calls: calls}, nil
 }
 
+// GuaranteeFailoverRun scripts the mobile-session failover through the
+// public API: a session carrying ReadYourWrites|MonotonicReads writes at a
+// replica, that replica crashes, the session re-binds to a survivor — its
+// coverage vectors travel with it, so the survivor must prove it holds the
+// session's writes before serving the read — and after recovery the session
+// migrates home and reads everything again. The returned history carries
+// the guarantee witnesses for CheckGuarantees. Works on both substrates
+// (live=true ignores the seed; the victim is replica 2, since the live
+// sequencer cannot crash).
+func GuaranteeFailoverRun(seed int64, live bool) (*SessionOutcome, error) {
+	var c *bayou.Cluster
+	var err error
+	if live {
+		c, err = bayou.NewLive(bayou.WithReplicas(3))
+	} else {
+		c, err = bayou.New(bayou.WithReplicas(3), bayou.WithSeed(seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+	if err := c.ElectLeader(0); err != nil {
+		return nil, err
+	}
+	ctx, cancel := waitCtx()
+	defer cancel()
+	calls := make(map[string]*bayou.Call)
+
+	s, err := c.Session(2, bayou.WithGuarantees(bayou.ReadYourWrites|bayou.MonotonicReads))
+	if err != nil {
+		return nil, err
+	}
+	if calls["write"], err = s.Invoke(bayou.SetAdd("cart", "milk"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		return nil, err
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+
+	if err := c.Crash(2); err != nil {
+		return nil, err
+	}
+	if err := s.Bind(0); err != nil {
+		return nil, fmt.Errorf("scenario: failover re-bind: %w", err)
+	}
+	if calls["failover-read"], err = s.Invoke(bayou.SetElements("cart"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("scenario: failover read: %w", err)
+	}
+	if calls["failover-write"], err = s.Invoke(bayou.SetAdd("cart", "eggs"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		return nil, err
+	}
+
+	if err := c.Recover(2); err != nil {
+		return nil, err
+	}
+	if err := s.Bind(2); err != nil {
+		return nil, fmt.Errorf("scenario: homeward re-bind: %w", err)
+	}
+	if calls["home-read"], err = s.Invoke(bayou.SetElements("cart"), bayou.Weak); err != nil {
+		return nil, err
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("scenario: post-recovery read: %w", err)
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+
+	c.MarkStable()
+	for r := 0; r < 3; r++ {
+		probe, err := c.Session(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := probe.Invoke(bayou.SetElements("cart"), bayou.Weak); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	h, err := c.History()
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &SessionOutcome{Cluster: c, History: h, Calls: calls}, nil
+}
+
 // AsyncMinorityRun scripts the paper's availability asymmetry through the
 // public API: a partition isolates a minority replica, whose weak
 // operations stay live (bounded wait-free, served locally) while its strong

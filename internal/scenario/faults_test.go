@@ -68,6 +68,54 @@ func TestCrashRecoverRunLive(t *testing.T) {
 	checkFaultOutcome(t, out, 4)
 }
 
+// checkGuaranteeFailover verifies a GuaranteeFailoverRun outcome: the
+// failover read sees the pre-crash write, the homeward read sees everything,
+// and the guarantee checker proves RYW|MR over the migrated history.
+func checkGuaranteeFailover(t *testing.T, out *SessionOutcome) {
+	t.Helper()
+	has := func(call *bayou.Call, want string) bool {
+		if vs, ok := call.Response().Value.([]bayou.Value); ok {
+			for _, v := range vs {
+				if v == want {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !has(out.Calls["failover-read"], "milk") {
+		t.Errorf("failover read lost the session's own pre-crash write: %v", out.Calls["failover-read"].Response().Value)
+	}
+	if !has(out.Calls["home-read"], "milk") || !has(out.Calls["home-read"], "eggs") {
+		t.Errorf("post-recovery read lost writes: %v", out.Calls["home-read"].Response().Value)
+	}
+	w := check.NewWitness(out.History)
+	if rep := w.Guarantees(core.ReadYourWrites | core.MonotonicReads); !rep.OK() {
+		t.Errorf("session guarantees violated across the failover:\n%s", rep)
+	}
+	if rep := w.FEC(core.Weak); !rep.OK() {
+		t.Errorf("FEC(weak) violated:\n%s", rep)
+	}
+}
+
+func TestGuaranteeFailoverRunSim(t *testing.T) {
+	out, err := GuaranteeFailoverRun(303, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Cluster.Close()
+	checkGuaranteeFailover(t, out)
+}
+
+func TestGuaranteeFailoverRunLive(t *testing.T) {
+	out, err := GuaranteeFailoverRun(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Cluster.Close()
+	checkGuaranteeFailover(t, out)
+}
+
 func TestAsyncMinorityRunSim(t *testing.T) {
 	out, err := AsyncMinorityRun(202, false)
 	if err != nil {

@@ -5,8 +5,11 @@ package workload
 // exact same thing and cannot drift apart.
 
 import (
+	"errors"
+
 	"bayou/internal/cluster"
 	"bayou/internal/core"
+	"bayou/internal/record"
 	"bayou/internal/spec"
 )
 
@@ -55,6 +58,45 @@ func MicroMultiSession(sessions, ops int) error {
 		for _, s := range ids {
 			if _, err := c.InvokeSession(s, spec.Inc("c", 1), core.Weak); err != nil {
 				return err
+			}
+		}
+		c.RunFor(5)
+	}
+	return c.Settle(0)
+}
+
+// MicroGuaranteeSession is MicroMultiSession with every session carrying
+// ReadYourWrites|MonotonicReads: the same deployment, the same invocation
+// pattern, plus the coverage gate on every invoke. Pairing its record with
+// MicroMultiSession's in the -json report pins what guarantee enforcement
+// costs on the weak path as the sessions×guarantees matrix grows. An invoke
+// that lands while the session's previous write is still parked on its own
+// coverage retries after letting the deployment run — that wait is part of
+// the price being measured.
+func MicroGuaranteeSession(sessions, ops int) error {
+	c, err := cluster.New(cluster.Config{N: 3, Variant: core.NoCircularCausality, Seed: 404, StepBatch: 8})
+	if err != nil {
+		return err
+	}
+	c.StabilizeOmega(0)
+	ids := make([]core.SessionID, sessions)
+	for i := range ids {
+		if ids[i], err = c.OpenSession(0); err != nil {
+			return err
+		}
+		c.Recorder().SetGuarantees(ids[i], core.ReadYourWrites|core.MonotonicReads, core.WaitForCoverage)
+	}
+	for k := 0; k < ops; k++ {
+		for _, s := range ids {
+			for try := 0; ; try++ {
+				_, err := c.InvokeSession(s, spec.Inc("c", 1), core.Weak)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, record.ErrSessionBusy) || try > 10_000 {
+					return err
+				}
+				c.RunFor(5)
 			}
 		}
 		c.RunFor(5)

@@ -5,16 +5,13 @@ import (
 )
 
 // Option configures a cluster at construction. Options are applied in
-// order; later options win.
-type Option func(*Options) error
+// order; later options win. The set of options is fixed by this package
+// (the carrier struct is unexported): construct clusters with New or
+// NewLive plus the With* functions below.
+type Option func(*config) error
 
-// Options is the legacy configuration struct.
-//
-// Deprecated: construct clusters with the functional options (WithReplicas,
-// WithVariant, WithSeed, ...) passed to New or NewLive; keep Options only as
-// a migration shim via NewFromOptions. It remains the internal carrier the
-// functional options write into, so the two forms cannot drift apart.
-type Options struct {
+// config is the internal carrier the functional options write into.
+type config struct {
 	// Replicas is the number of replicas (default 3).
 	Replicas int
 	// Variant selects Algorithm 1 (Original) or 2 (Modified).
@@ -49,7 +46,7 @@ type Options struct {
 
 // WithReplicas sets the number of replicas (default 3).
 func WithReplicas(n int) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		if n < 1 {
 			return fmt.Errorf("bayou: WithReplicas(%d): need at least one replica", n)
 		}
@@ -61,7 +58,7 @@ func WithReplicas(n int) Option {
 // WithVariant selects the protocol variant: Original (Algorithm 1) or
 // Modified (Algorithm 2). VariantDefault resolves to Modified.
 func WithVariant(v Variant) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		if v != VariantDefault && !v.Valid() {
 			return fmt.Errorf("bayou: WithVariant(%d): unknown protocol variant", int(v))
 		}
@@ -73,16 +70,16 @@ func WithVariant(v Variant) Option {
 // WithSeed makes simulated runs reproducible (default 1). The live driver
 // ignores the seed.
 func WithSeed(seed int64) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		o.Seed = seed
 		return nil
 	}
 }
 
 // WithStepBatch caps how many internal events one replica activation drains
-// (simulation; see Options.StepBatch and experiment E13).
+// (simulation; see experiment E13).
 func WithStepBatch(n int) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		if n < 0 {
 			return fmt.Errorf("bayou: WithStepBatch(%d): negative batch", n)
 		}
@@ -95,7 +92,7 @@ func WithStepBatch(n int) Option {
 // and timing scripts that reason about when messages cross links set it
 // explicitly; the live driver rejects it (channels have no link timing).
 func WithLatency(ticks int64) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		if ticks < 1 {
 			return fmt.Errorf("bayou: WithLatency(%d): need at least one tick", ticks)
 		}
@@ -107,7 +104,7 @@ func WithLatency(ticks int64) Option {
 // WithPrimaryTOB selects the original Bayou primary-commit scheme instead of
 // Paxos; replica 0 becomes the (non-fault-tolerant) primary.
 func WithPrimaryTOB() Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		o.UsePrimaryTOB = true
 		return nil
 	}
@@ -116,7 +113,7 @@ func WithPrimaryTOB() Option {
 // WithSlowReplica makes one replica process internal steps factor× slower
 // (the §2.3 slow-replica experiments; simulation only).
 func WithSlowReplica(replica int, factor int64) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		if factor < 1 {
 			return fmt.Errorf("bayou: WithSlowReplica(%d, %d): factor must be ≥ 1", replica, factor)
 		}
@@ -131,7 +128,7 @@ func WithSlowReplica(replica int, factor int64) Option {
 // WithClockSlowdown divides one replica's clock (the §2.3 skewed-clock
 // experiments; simulation only).
 func WithClockSlowdown(replica int, divisor int64) Option {
-	return func(o *Options) error {
+	return func(o *config) error {
 		if divisor < 1 {
 			return fmt.Errorf("bayou: WithClockSlowdown(%d, %d): divisor must be ≥ 1", replica, divisor)
 		}
@@ -143,20 +140,19 @@ func WithClockSlowdown(replica int, divisor int64) Option {
 	}
 }
 
-// build folds the options into a validated Options value.
-func build(opts []Option) (Options, error) {
-	o := Options{}
+// build folds the options into a validated config.
+func build(opts []Option) (config, error) {
+	o := config{}
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
-			return Options{}, err
+			return config{}, err
 		}
 	}
 	return o.normalize()
 }
 
-// normalize applies defaults and validates the configuration — shared by the
-// functional-options path and the legacy NewFromOptions shim.
-func (o Options) normalize() (Options, error) {
+// normalize applies defaults and validates the configuration.
+func (o config) normalize() (config, error) {
 	if o.Replicas == 0 {
 		o.Replicas = 3
 	}
@@ -173,13 +169,4 @@ func (o Options) normalize() (Options, error) {
 		o.Seed = 1
 	}
 	return o, nil
-}
-
-// options converts the struct back into functional options (the shim's
-// bridge, also handy for "defaults plus overrides" call sites).
-func (o Options) options() []Option {
-	return []Option{func(dst *Options) error {
-		*dst = o
-		return nil
-	}}
 }

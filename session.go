@@ -19,12 +19,90 @@ type SessionID = core.SessionID
 // to issue concurrent operations.
 var ErrSessionBusy = record.ErrSessionBusy
 
-// Session is one sequential client bound to a replica. Mint sessions with
-// Cluster.Session; any number can share a replica, and their invocations
-// may freely overlap — the restriction the seed façade imposed (one
-// outstanding call per replica) is gone. Each individual session accepts
-// one operation at a time (ErrSessionBusy otherwise), which is exactly the
-// well-formedness the history checkers assume.
+// ErrGuarantee reports an invocation rejected under FailFast: the serving
+// replica cannot yet cover the session's guarantee vectors (it has not seen
+// the session's writes, or lags behind its reads).
+var ErrGuarantee = record.ErrGuarantee
+
+// Guarantee is a bitmask of per-session guarantees (Terry et al., PDIS
+// '94). A session minted with guarantees keeps them wherever it goes: the
+// serving replica must prove coverage of the session's read/write vectors
+// before accepting an invocation, so a client can migrate between replicas
+// — or fail over from a crashed one — without ever unseeing its own writes
+// or rewinding its reads.
+type Guarantee = core.Guarantee
+
+// The four session guarantees, plus the Causal bundle of all of them.
+const (
+	// ReadYourWrites: every response reflects the session's own preceding
+	// updates.
+	ReadYourWrites = core.ReadYourWrites
+	// MonotonicReads: a later response never unsees an update an earlier
+	// one observed.
+	MonotonicReads = core.MonotonicReads
+	// MonotonicWrites: the session's updates are arbitrated in session
+	// order.
+	MonotonicWrites = core.MonotonicWrites
+	// WritesFollowReads: the session's updates are arbitrated after the
+	// updates it had observed.
+	WritesFollowReads = core.WritesFollowReads
+	// Causal bundles all four.
+	Causal = core.Causal
+)
+
+// GuaranteeMode selects what an invocation does when the serving replica
+// cannot yet cover the session's vectors.
+type GuaranteeMode = core.GuaranteeMode
+
+const (
+	// WaitForCoverage (the default) parks the invocation until the replica
+	// catches up; the returned Call stays pending meanwhile.
+	WaitForCoverage = core.WaitForCoverage
+	// FailFast rejects the invocation immediately with ErrGuarantee, so
+	// the client can pick another replica (see Session.Covered).
+	FailFast = core.FailFast
+)
+
+// SessionOption configures a session at minting time.
+type SessionOption func(*sessionConfig) error
+
+type sessionConfig struct {
+	g    Guarantee
+	mode GuaranteeMode
+}
+
+// WithGuarantees makes the session carry the given guarantees — e.g.
+// bayou.ReadYourWrites|bayou.MonotonicReads, or the full bayou.Causal
+// bundle — enforced at whichever replica serves it.
+func WithGuarantees(g Guarantee) SessionOption {
+	return func(sc *sessionConfig) error {
+		sc.g = g
+		return nil
+	}
+}
+
+// WithGuaranteeMode selects WaitForCoverage (default) or FailFast.
+func WithGuaranteeMode(m GuaranteeMode) SessionOption {
+	return func(sc *sessionConfig) error {
+		if m != WaitForCoverage && m != FailFast {
+			return fmt.Errorf("bayou: unknown guarantee mode %d", int(m))
+		}
+		sc.mode = m
+		return nil
+	}
+}
+
+// Session is one sequential client. It is minted bound to a replica
+// (Cluster.Session) but is *mobile*: Bind migrates it to another replica,
+// InvokeAt serves one operation elsewhere without re-binding, and the
+// guarantees it was minted with travel along — the session's read/write
+// vectors live on the deployment's shared session table, so any replica
+// asked to serve it first proves it has caught up to the session's past.
+//
+// Any number of sessions can share a replica, and their invocations may
+// freely overlap. Each individual session accepts one operation at a time
+// (ErrSessionBusy otherwise), which is exactly the well-formedness the
+// history checkers assume.
 //
 // Concurrency: on a live cluster (NewLive), open one session per goroutine
 // — the replica goroutines serialize their work, so sessions may invoke
@@ -33,38 +111,105 @@ var ErrSessionBusy = record.ErrSessionBusy
 // session's call pending while another invokes) but every API call must be
 // issued from a single goroutine, like the rest of the simulator.
 type Session struct {
-	c       *Cluster
-	id      core.SessionID
-	replica int
+	c    *Cluster
+	id   core.SessionID
+	g    Guarantee
+	mode GuaranteeMode
 
-	mu   sync.Mutex
-	last *Call
+	mu      sync.Mutex
+	replica int
+	last    *Call
 }
 
 // Session mints a new sequential session bound to the given replica.
-func (c *Cluster) Session(replica int) (*Session, error) {
+// Options attach session guarantees:
+//
+//	s, _ := c.Session(1, bayou.WithGuarantees(bayou.Causal))
+//
+// A guarantee-carrying session's invocations are gated on coverage: a
+// replica that has not yet seen the session's writes (or lags behind its
+// reads) either parks the invocation until it catches up (the default) or
+// rejects it with ErrGuarantee under WithGuaranteeMode(FailFast).
+func (c *Cluster) Session(replica int, opts ...SessionOption) (*Session, error) {
 	if replica < 0 || replica >= c.n {
 		return nil, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	var sc sessionConfig
+	for _, opt := range opts {
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
 	}
 	id, err := c.drv.OpenSession(replica)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{c: c, id: id, replica: replica}, nil
+	if sc.g != 0 {
+		c.rec.SetGuarantees(id, sc.g, sc.mode)
+	}
+	return &Session{c: c, id: id, g: sc.g, mode: sc.mode, replica: replica}, nil
 }
 
 // ID returns the session's identifier (the Session key of history events).
 func (s *Session) ID() SessionID { return s.id }
 
-// Replica returns the replica the session is bound to.
-func (s *Session) Replica() int { return s.replica }
+// Replica returns the replica the session is currently bound to.
+func (s *Session) Replica() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replica
+}
 
-// Invoke submits op at the session's replica with the given level. The
-// returned Call completes as the deployment makes progress — immediately
-// for Algorithm 2 weak operations, after consensus for strong ones. A
-// session whose previous call has not returned yields ErrSessionBusy.
+// Guarantees returns the guarantee mask the session carries.
+func (s *Session) Guarantees() Guarantee { return s.g }
+
+// Bind migrates the session to another replica: subsequent Invokes are
+// served there, under the same guarantees — the session's vectors follow
+// it, so the new replica must cover the session's past before serving it.
+// A session with an outstanding call cannot move (ErrSessionBusy): its
+// continuation is owed by the current replica.
+func (s *Session) Bind(replica int) error {
+	if replica < 0 || replica >= s.c.n {
+		return fmt.Errorf("bayou: no replica %d", replica)
+	}
+	if err := s.c.drv.Bind(s.id, replica); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.replica = replica
+	s.mu.Unlock()
+	return nil
+}
+
+// Covered reports whether the replica's current state dominates the
+// session's guarantee vectors — the probe a fail-fast client uses to pick
+// a failover target before Bind. A crashed replica covers nothing.
+func (s *Session) Covered(replica int) (bool, error) {
+	if replica < 0 || replica >= s.c.n {
+		return false, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	return s.c.drv.Coverage(s.id, replica)
+}
+
+// Invoke submits op at the session's bound replica with the given level.
+// The returned Call completes as the deployment makes progress —
+// immediately for Algorithm 2 weak operations, after consensus for strong
+// ones. On a guarantee-carrying session the call may additionally park
+// until the replica covers the session's vectors (or the invocation fails
+// with ErrGuarantee under FailFast). A session whose previous call has not
+// returned yields ErrSessionBusy.
 func (s *Session) Invoke(op Op, level Level) (*Call, error) {
-	call, err := s.c.drv.Invoke(s.id, op, level)
+	return s.InvokeAt(s.Replica(), op, level)
+}
+
+// InvokeAt submits op at an explicit target replica without re-binding the
+// session — a one-shot read served elsewhere, say. The session's
+// guarantees are enforced at the target exactly as at the binding.
+func (s *Session) InvokeAt(replica int, op Op, level Level) (*Call, error) {
+	if replica < 0 || replica >= s.c.n {
+		return nil, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	call, err := s.c.drv.Invoke(s.id, replica, op, level)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,401 @@
+package bayou
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Tests for the mobile, guarantee-carrying session API: coverage gating on
+// both drivers, migration (Bind / InvokeAt), fail-fast mode, crash–recover
+// failover, and the CheckGuarantees verdicts over the recorded histories.
+
+// elementsOf decodes a SetElements response into a string set.
+func elementsOf(v Value) map[string]bool {
+	out := map[string]bool{}
+	if vs, ok := v.([]Value); ok {
+		for _, e := range vs {
+			if s, ok := e.(string); ok {
+				out[s] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestGuaranteeGateParksUntilCoverage: on the simulator, a read at a replica
+// that has not yet executed the session's write parks (the plain-session
+// control demonstrably misses the write at the same point in the schedule),
+// completes once the write propagates, and the checker proves RYW|MR over
+// the history.
+func TestGuaranteeGateParksUntilCoverage(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := c.Session(0, WithGuarantees(ReadYourWrites|MonotonicReads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Guarantees() != ReadYourWrites|MonotonicReads {
+		t.Fatalf("session guarantees = %v", s.Guarantees())
+	}
+	if _, err := s.Invoke(SetAdd("cart", "milk"), Weak); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: a plain session reading at replica 1 right now misses the
+	// write — it is still in flight.
+	plain, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := plain.Invoke(SetElements("cart"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elementsOf(ctrl.Value())["milk"] {
+		t.Fatal("control read already sees the write; the gate test is vacuous")
+	}
+
+	// The guaranteed session migrates to replica 1 and reads: the
+	// invocation parks until replica 1 covers the write.
+	if err := s.Bind(1); err != nil {
+		t.Fatal(err)
+	}
+	call, err := s.Invoke(SetElements("cart"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.Done() {
+		t.Fatal("gated read completed before replica 1 could have covered the write")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := s.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !elementsOf(resp.Value)["milk"] {
+		t.Fatalf("guaranteed read lost the session's own write: %v", resp.Value)
+	}
+
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CheckGuarantees(ReadYourWrites | MonotonicReads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("CheckGuarantees(RYW|MR) must hold:\n%s", rep)
+	}
+}
+
+// TestGuaranteeFailFast: under WithGuaranteeMode(FailFast) the same miss is
+// an immediate ErrGuarantee; Covered reports the target's readiness and the
+// invocation succeeds once it flips.
+func TestGuaranteeFailFast(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Session(0, WithGuarantees(Causal), WithGuaranteeMode(FailFast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(SetAdd("cart", "eggs"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if covered, err := s.Covered(1); err != nil || covered {
+		t.Fatalf("replica 1 cannot be covered yet (covered=%v, err=%v)", covered, err)
+	}
+	if _, err := s.InvokeAt(1, SetElements("cart"), Weak); !errors.Is(err, ErrGuarantee) {
+		t.Fatalf("fail-fast read at an uncovered replica: got %v, want ErrGuarantee", err)
+	}
+	// The rejected invocation leaves the session idle: it can retry.
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if covered, err := s.Covered(1); err != nil || !covered {
+		t.Fatalf("replica 1 must be covered after settle (covered=%v, err=%v)", covered, err)
+	}
+	call, err := s.InvokeAt(1, SetElements("cart"), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !elementsOf(call.Value())["eggs"] {
+		t.Fatalf("covered read lost the write: %v", call.Value())
+	}
+}
+
+// TestUnknownGuaranteeModeRejected: session options are validated.
+func TestUnknownGuaranteeModeRejected(t *testing.T) {
+	c, err := New(WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session(0, WithGuaranteeMode(GuaranteeMode(9))); err == nil {
+		t.Error("unknown guarantee mode must be rejected")
+	}
+}
+
+// guaranteeFailover is the acceptance script: a Causal session writes at a
+// replica, that replica crashes, the session re-binds to a survivor and
+// must still read its own writes; after recovery it migrates back and must
+// see everything again. It runs identically on both drivers (the victim is
+// replica 2 — the live sequencer cannot crash).
+func guaranteeFailover(t *testing.T, c *Cluster) {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s, err := c.Session(2, WithGuarantees(ReadYourWrites|MonotonicReads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []string{"milk", "eggs", "bread"} {
+		if _, err := s.Invoke(SetAdd("cart", item), Weak); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the writes propagate off the doomed replica (RB dissemination is
+	// part of the invoke; running the deployment delivers it).
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(SetElements("cart"), Weak); err == nil {
+		t.Fatal("invocation at a crashed replica must fail")
+	}
+
+	// Failover: re-bind to a survivor; the session must not unsee its own
+	// writes there.
+	if err := s.Bind(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(SetElements("cart"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []string{"milk", "eggs", "bread"} {
+		if !elementsOf(resp.Value)[item] {
+			t.Fatalf("failover read lost %q: %v", item, resp.Value)
+		}
+	}
+	// Keep writing at the survivor.
+	if _, err := s.Invoke(SetAdd("cart", "salt"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover the home replica and migrate back: the gate holds the read
+	// until resynchronization has re-taught it everything.
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(SetElements("cart"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []string{"milk", "eggs", "bread", "salt"} {
+		if !elementsOf(resp.Value)[item] {
+			t.Fatalf("post-recovery read lost %q: %v", item, resp.Value)
+		}
+	}
+
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkStable()
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(SetElements("cart"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CheckGuarantees(ReadYourWrites | MonotonicReads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("CheckGuarantees(RYW|MR) across crash-recover must hold:\n%s", rep)
+	}
+}
+
+// TestGuaranteeFailoverAcrossCrash runs the acceptance script on both
+// drivers: a session with ReadYourWrites|MonotonicReads migrates across a
+// crash/recover of its original replica and never observes a state missing
+// its own writes or older than a prior read.
+func TestGuaranteeFailoverAcrossCrash(t *testing.T) {
+	t.Run("sim", func(t *testing.T) {
+		c, err := New(WithReplicas(3), WithSeed(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		guaranteeFailover(t, c)
+	})
+	t.Run("live", func(t *testing.T) {
+		c, err := NewLive(WithReplicas(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		guaranteeFailover(t, c)
+	})
+}
+
+// TestGuaranteeWriteOrdering: a Causal session that migrates mid-stream has
+// its writes arbitrated in session order (MonotonicWrites) and after its
+// reads (WritesFollowReads), proven by the checker; the committed order of
+// the session's writes matches the session order on every replica.
+func TestGuaranteeWriteOrdering(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s, err := c.Session(0, WithGuarantees(Causal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate writes with migrations; each write must end up arbitrated
+	// after all prior ones even though three replicas minted them.
+	for i, replica := range []int{0, 1, 2, 0, 2} {
+		if err := s.Bind(replica); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Invoke(Append(fmt.Sprintf("w%d", i)), Weak); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkStable()
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed order of the session's writes is its session order.
+	for r := 0; r < 3; r++ {
+		order, err := c.Committed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, name := range order {
+			if name == fmt.Sprintf("append(w%d)", want) {
+				want++
+			}
+		}
+		if want != 5 {
+			t.Fatalf("replica %d committed the session's writes out of order: %v", r, order)
+		}
+	}
+	rep, err := c.CheckGuarantees(Causal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("CheckGuarantees(Causal) under migration must hold:\n%s", rep)
+	}
+}
+
+// TestGuaranteeStrongRead: a strong read on a guarantee session is gated on
+// the committed prefix — it cannot answer before the session's weak write
+// commits, so its (final-order) trace contains the write.
+func TestGuaranteeStrongRead(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s, err := c.Session(0, WithGuarantees(ReadYourWrites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(Inc("ctr", 5), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(CtrGet("ctr"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(resp.Value, int64(5)) {
+		t.Fatalf("strong read at the migrated replica = %v, want 5", resp.Value)
+	}
+	if !resp.Committed {
+		t.Error("strong responses are committed")
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CheckGuarantees(ReadYourWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("CheckGuarantees(RYW) with a strong read must hold:\n%s", rep)
+	}
+}

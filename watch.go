@@ -50,6 +50,11 @@ type Update = record.Update
 // own progress. On the simulator nothing advances while the caller blocks
 // — subscribe whenever you like, but drain the channel only after Settle
 // (or Run) has made the call terminal, or the range will block forever.
+//
+// A guarantee-gated invocation has no dot until a replica accepts it
+// (Call.Dot returns the zero Dot while it is parked on its coverage gate):
+// subscribe with Call.Updates directly, or Watch the dot once the call has
+// been accepted.
 func (c *Cluster) Watch(dot core.Dot) (<-chan Update, error) {
 	call := c.rec.Call(dot)
 	if call == nil {
