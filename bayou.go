@@ -302,6 +302,21 @@ func (c *Cluster) CheckGuarantees(g Guarantee) (Report, error) {
 // the number of undo entries freed.
 func (c *Cluster) Compact() (int, error) { return c.drv.Compact() }
 
+// Checkpoint folds every live replica's stable prefix into a checkpoint
+// image and truncates its logs to the suffix — the manual form of
+// WithCheckpointEvery. After a checkpoint, a replica's snapshots and
+// crash-recovery cost O(suffix), its resident committed log and undo data
+// are bounded by the window since the checkpoint, and peers that fall
+// behind the checkpoint catch up by state transfer (they receive the image
+// instead of a per-operation replay — see Call.Lost for the one observable
+// consequence). Returns the total committed entries truncated.
+func (c *Cluster) Checkpoint() (int, error) { return c.drv.Checkpoint() }
+
+// CheckpointedLen reports a replica's absolute checkpointed-prefix length:
+// its resident committed log holds only positions past it (Committed
+// returns that suffix).
+func (c *Cluster) CheckpointedLen(replica int) (int, error) { return c.drv.BaseLen(replica) }
+
 // Rollbacks returns the total number of state rollbacks across replicas —
 // the visible cost of temporary operation reordering.
 func (c *Cluster) Rollbacks() (int64, error) {
@@ -316,8 +331,12 @@ func (c *Cluster) Rollbacks() (int64, error) {
 	return total, nil
 }
 
-// Committed returns the names of the operations in a replica's committed
-// (final) order.
+// Committed returns the names of the operations in a replica's *resident*
+// committed order: the suffix past its checkpoint (the full final order
+// when the replica never checkpointed). The entry at index i sits at
+// absolute commit position CheckpointedLen(replica)+i+1; compare replicas
+// at absolute positions when checkpointing is on — their cadences fire at
+// different points, so resident suffixes legitimately differ.
 func (c *Cluster) Committed(replica int) ([]string, error) {
 	reqs, err := c.drv.Committed(replica)
 	if err != nil {

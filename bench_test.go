@@ -12,7 +12,9 @@ package bayou_test
 // prints the same tables in a human-readable layout.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"bayou"
 	"bayou/internal/check"
@@ -216,6 +218,114 @@ func BenchmarkAdjustExecution(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSnapshotRestore measures the durable-snapshot path (what both
+// drivers run at crash time) over growing histories, with checkpointing off
+// (the seed behaviour: every snapshot deep-copies the whole committed log)
+// and on (the incremental form: the checkpoint record is aliased and only
+// the committed suffix since it is materialized). The checkpointed series
+// must stay flat in history length.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	for _, history := range []int{1_000, 10_000, 50_000} {
+		for _, every := range []int{0, 256} {
+			name := fmt.Sprintf("history=%d/ckpt=off", history)
+			if every > 0 {
+				name = fmt.Sprintf("history=%d/ckpt=%d", history, every)
+			}
+			b.Run(name, func(b *testing.B) {
+				f, err := workload.NewSnapshotFixture(history, every)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					snap := f.Snapshot()
+					if snap.CommittedLen() != history {
+						b.Fatalf("snapshot covers %d of %d ops", snap.CommittedLen(), history)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCheckpointRecovery measures crash recovery (RestoreReplica) over
+// growing histories. Without checkpointing, recovery re-executes the full
+// committed log — O(history); with it, recovery loads the checkpoint image
+// and executes only the suffix — O(window), flat in history length (the
+// ISSUE's ≥5× win at the 50k point is asserted by
+// TestCheckpointRecoveryScaling, which compares the same fixtures).
+func BenchmarkCheckpointRecovery(b *testing.B) {
+	for _, history := range []int{1_000, 10_000, 50_000} {
+		for _, every := range []int{0, 256} {
+			name := fmt.Sprintf("history=%d/ckpt=off", history)
+			if every > 0 {
+				name = fmt.Sprintf("history=%d/ckpt=%d", history, every)
+			}
+			b.Run(name, func(b *testing.B) {
+				f, err := workload.NewSnapshotFixture(history, every)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := f.Restore(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRecoveryScaling pins the tentpole claim without needing a
+// benchmark run: at the 50k-op point, snapshot+recovery with checkpointing
+// must beat the no-checkpoint path by at least 5× wall time, and the
+// checkpointing replica's resident committed log must be bounded by the
+// checkpoint window rather than the history.
+func TestCheckpointRecoveryScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-op fixture is slow under -short")
+	}
+	const history, every = 50_000, 256
+	plain, err := workload.NewSnapshotFixture(history, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := workload.NewSnapshotFixture(history, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ckpt.Replica.Footprint().CommittedSuffix; got > every {
+		t.Errorf("resident committed log = %d entries, want ≤ checkpoint window %d", got, every)
+	}
+	measure := func(f *workload.SnapshotFixture) time.Duration {
+		start := time.Now()
+		f.Snap = f.Snapshot()
+		if err := f.Restore(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm up once each, then take the best of three to damp scheduler noise.
+	measure(plain)
+	measure(ckpt)
+	best := func(f *workload.SnapshotFixture) time.Duration {
+		b := measure(f)
+		for i := 0; i < 2; i++ {
+			if d := measure(f); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	slow, fast := best(plain), best(ckpt)
+	if slow < 5*fast {
+		t.Errorf("recovery at 50k ops: no-checkpoint %v vs checkpointed %v — want ≥5× win", slow, fast)
+	}
 }
 
 // BenchmarkStateObjectExecute measures Algorithm 3's undo-logged

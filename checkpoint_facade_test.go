@@ -1,0 +1,155 @@
+package bayou
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// runCheckpointDiffScript drives one deterministic session script — weak and
+// strong traffic across three replicas with a crash–recover in the middle —
+// and returns the settled registers plus checker verdicts.
+func runCheckpointDiffScript(t *testing.T, c *Cluster) (ctr Value, list Value, fecOK, seqOK bool, bases []int) {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sessions := make([]*Session, 3)
+	for r := range sessions {
+		var err error
+		if sessions[r], err = c.Session(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 12; k++ {
+		if _, err := sessions[k%3].Invoke(Inc("ctr", int64(1+k%4)), Weak); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(5)
+	}
+	if _, err := sessions[0].Invoke(Append("mid"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		if _, err := sessions[k%2].Invoke(Inc("ctr", 2), Weak); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(5)
+	}
+	if _, err := sessions[1].Invoke(PutIfAbsent("lock", "one"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessions[1].Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.Invoke(Inc("ctr", 100), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.MarkStable()
+	probe, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	if ctr, err = c.Read(0, "ctr"); err != nil {
+		t.Fatal(err)
+	}
+	if list, err = c.Read(0, "list"); err != nil {
+		t.Fatal(err)
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases = make([]int, c.Replicas())
+	for r := range bases {
+		if bases[r], err = c.CheckpointedLen(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctr, list, fec.OK(), seq.OK(), bases
+}
+
+// TestCheckpointingPreservesVerdicts is the façade half of the differential
+// property: the same fault script run with automatic checkpointing on and
+// off must settle to identical registers and identical (passing) checker
+// verdicts — log truncation is invisible to every client- and
+// history-observable property, even though the checkpointing run recovers
+// its crashed replica through truncated logs and reconstructed trace
+// witnesses.
+func TestCheckpointingPreservesVerdicts(t *testing.T) {
+	plain, err := New(WithReplicas(3), WithSeed(5151))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCtr, pList, pFEC, pSeq, pBases := runCheckpointDiffScript(t, plain)
+
+	ckpt, err := New(WithReplicas(3), WithSeed(5151), WithCheckpointEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCtr, cList, cFEC, cSeq, cBases := runCheckpointDiffScript(t, ckpt)
+
+	if !Equal(pCtr, cCtr) {
+		t.Errorf("settled counter diverges: plain %v, checkpointing %v", pCtr, cCtr)
+	}
+	if !Equal(pList, cList) {
+		t.Errorf("settled list diverges: plain %v, checkpointing %v", pList, cList)
+	}
+	if !pFEC || !pSeq {
+		t.Errorf("plain run verdicts: FEC %v Seq %v, want both true", pFEC, pSeq)
+	}
+	if !cFEC || !cSeq {
+		t.Errorf("checkpointing run verdicts: FEC %v Seq %v, want both true", cFEC, cSeq)
+	}
+	for _, b := range pBases {
+		if b != 0 {
+			t.Errorf("plain run checkpointed (base %d)?", b)
+		}
+	}
+	active := 0
+	for _, b := range cBases {
+		if b > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Error("checkpointing run never checkpointed — the cadence is dead")
+	}
+}

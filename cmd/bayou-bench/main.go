@@ -10,9 +10,15 @@
 // -only restricts the report to that single experiment record; the
 // micro-benchmark records are emitted only on unfiltered runs.
 //
+// With -compare it instead diffs two such reports: per-benchmark ns/op and
+// allocs/op deltas, exiting non-zero when any benchmark regressed beyond
+// -threshold percent — the guard CI runs against the previous push's
+// BENCH_<sha>.json artifact.
+//
 // Usage:
 //
 //	bayou-bench [-only E7] [-json]
+//	bayou-bench -compare [-threshold 15] old.json new.json
 package main
 
 import (
@@ -54,7 +60,23 @@ func main() {
 	log.SetFlags(0)
 	only := flag.String("only", "", "run a single experiment, e.g. E7")
 	asJSON := flag.Bool("json", false, "emit a machine-readable JSON benchmark report")
+	compare := flag.Bool("compare", false, "compare two -json reports: bayou-bench -compare old.json new.json")
+	threshold := flag.Float64("threshold", 15, "with -compare: fail on ns/op or allocs/op regressions beyond this percentage")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("bayou-bench -compare: want exactly two report files (old.json new.json)")
+		}
+		regressed, err := compareReports(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *asJSON {
 		if err := emitJSON(*only); err != nil {
@@ -85,6 +107,77 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// compareReports diffs two -json reports benchmark-by-benchmark and prints a
+// delta table. It reports whether any benchmark present in both regressed —
+// ns/op or allocs/op grew — by more than threshold percent. Benchmarks only
+// in one report are listed as added/removed and never count as regressions.
+func compareReports(oldPath, newPath string, threshold float64) (bool, error) {
+	load := func(path string) (map[string]benchRecord, []string, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var recs []benchRecord
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		byName := make(map[string]benchRecord, len(recs))
+		order := make([]string, 0, len(recs))
+		for _, r := range recs {
+			if _, dup := byName[r.Name]; !dup {
+				order = append(order, r.Name)
+			}
+			byName[r.Name] = r
+		}
+		return byName, order, nil
+	}
+	oldRecs, _, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRecs, newOrder, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	pct := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			if newV == 0 {
+				return 0
+			}
+			return 100
+		}
+		return (newV - oldV) / oldV * 100
+	}
+	regressed := false
+	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns%", "Δallocs%")
+	for _, name := range newOrder {
+		n := newRecs[name]
+		o, ok := oldRecs[name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14.0f %8s %10s  (added)\n", name, "-", n.NsPerOp, "-", "-")
+			continue
+		}
+		dns := pct(o.NsPerOp, n.NsPerOp)
+		dalloc := pct(o.AllocsPerOp, n.AllocsPerOp)
+		marker := ""
+		if dns > threshold || dalloc > threshold {
+			marker = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+9.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, dns, dalloc, marker)
+	}
+	for name := range oldRecs {
+		if _, ok := newRecs[name]; !ok {
+			fmt.Printf("%-40s  (removed)\n", name)
+		}
+	}
+	if regressed {
+		fmt.Printf("\nregressions beyond %.0f%% detected\n", threshold)
+	}
+	return regressed, nil
 }
 
 // experimentRange renders the registry's span for error messages.
@@ -199,6 +292,31 @@ func microBenches() []microBench {
 				}
 			}
 		}},
+	}
+	// The recovery-cost trajectory: snapshot+restore over a 5k-op history,
+	// with checkpointing off (O(history) recovery — the unbounded-log
+	// baseline) and on (O(window)); successive BENCH_*.json snapshots pin
+	// that the checkpointed series stays flat as the repo evolves.
+	for _, every := range []int{0, 256} {
+		every := every
+		name := "SnapshotRestore/5kops/ckpt=off"
+		if every > 0 {
+			name = fmt.Sprintf("SnapshotRestore/5kops/ckpt=%d", every)
+		}
+		benches = append(benches, microBench{name, 1, false, func(b *testing.B) {
+			f, err := workload.NewSnapshotFixture(5_000, every)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Snap = f.Snapshot()
+				if err := f.Restore(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
 	}
 	for _, sessions := range []int{1, 4, 16} {
 		sessions := sessions

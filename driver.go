@@ -73,6 +73,12 @@ type Driver interface {
 	Stats() (map[core.ReplicaID]core.Stats, error)
 	// Compact runs log compaction everywhere, returning freed undo entries.
 	Compact() (int, error)
+	// Checkpoint checkpoints every live replica's stable state, truncating
+	// its logs to the suffix; returns the total committed entries truncated.
+	Checkpoint() (int, error)
+	// BaseLen reports a replica's absolute checkpointed-prefix length (its
+	// resident committed log holds only positions past it).
+	BaseLen(replica int) (int, error)
 	// MarkStable records the quiescence cutoff for the history checkers.
 	MarkStable()
 	// Close releases the substrate (stops goroutines on live; no-op on sim).
@@ -116,11 +122,12 @@ type simDriver struct {
 // newSimDriver builds the simulated substrate from validated options.
 func newSimDriver(o config) (*simDriver, error) {
 	cfg := cluster.Config{
-		N:         o.Replicas,
-		Variant:   o.Variant,
-		Seed:      o.Seed,
-		StepBatch: o.StepBatch,
-		Latency:   sim.Time(o.Latency),
+		N:               o.Replicas,
+		Variant:         o.Variant,
+		Seed:            o.Seed,
+		StepBatch:       o.StepBatch,
+		Latency:         sim.Time(o.Latency),
+		CheckpointEvery: o.CheckpointEvery,
 	}
 	if o.UsePrimaryTOB {
 		cfg.TOB = cluster.PrimaryTOB
@@ -278,8 +285,16 @@ func (d *simDriver) Committed(replica int) ([]core.Req, error) {
 
 func (d *simDriver) Stats() (map[core.ReplicaID]core.Stats, error) { return d.c.Stats(), nil }
 func (d *simDriver) Compact() (int, error)                         { return d.c.CompactAll(), nil }
+func (d *simDriver) Checkpoint() (int, error)                      { return d.c.Checkpoint() }
 func (d *simDriver) MarkStable()                                   { d.c.MarkStable() }
 func (d *simDriver) Close() error                                  { return nil }
+
+func (d *simDriver) BaseLen(replica int) (int, error) {
+	if replica < 0 || replica >= d.n {
+		return 0, fmt.Errorf("bayou: no replica %d", replica)
+	}
+	return d.c.Replica(core.ReplicaID(replica)).BaseLen(), nil
+}
 
 // Sim exposes the underlying simulated cluster when the driver is the
 // simulator (scenario-style schedule control: manual stepping, network

@@ -274,6 +274,179 @@ func runFaultConformance(t *testing.T, c *Cluster) conformanceOutcome {
 	}
 }
 
+// checkpointOutcome extends the conformance outcome with the checkpoint
+// anchors observed per replica.
+type checkpointOutcome struct {
+	conformanceOutcome
+	bases []int
+}
+
+// runCheckpointConformance executes the checkpoint fault script on the given
+// cluster, substrate-blind: commit traffic, crash a replica, commit more,
+// checkpoint the survivors (truncating their logs below the crashed
+// replica's knowledge), commit a suffix, then recover — the returning
+// replica is behind every peer's checkpoint, so its TOB catch-up must run as
+// *state transfer* (it receives the checkpoint image, not a per-operation
+// replay) before the surviving per-slot suffix replays on top.
+func runCheckpointConformance(t *testing.T, c *Cluster) checkpointOutcome {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// One committed op everywhere, including the soon-to-crash replica 2.
+	s2, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Invoke(Inc("ctr", 1), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash 2 (no outstanding calls there: the script keeps the transfer
+	// orphan-free so both drivers owe full responses), then commit four more
+	// ops among the survivors.
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	s0, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inc := range []int64{2, 4, 8} {
+		if _, err := s0.Invoke(Inc("ctr", inc), Weak); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wins := 0
+	if _, err := s1.Invoke(PutIfAbsent("lock", "b"), Strong); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s1.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value == true {
+		wins++
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint the survivors: their logs truncate at 5 commits — past
+	// everything replica 2 knows.
+	truncated, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated == 0 {
+		t.Fatal("checkpoint truncated nothing")
+	}
+
+	// A committed suffix past the checkpoint, then recover: replica 2 must
+	// install the image (state transfer) and replay only the suffix.
+	for _, inc := range []int64{16, 32} {
+		if _, err := s0.Invoke(Inc("ctr", inc), Weak); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered replica serves fresh traffic.
+	s2b, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2b.Invoke(Inc("ctr", 64), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.MarkStable()
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Convergence in absolute terms: every replica at the same absolute
+	// committed length and identical registers (the resident suffixes hang
+	// off per-replica checkpoint bases, so raw log comparison is no longer
+	// meaningful — that is the point).
+	bases := make([]int, c.Replicas())
+	lens := make([]int, c.Replicas())
+	for r := 0; r < c.Replicas(); r++ {
+		if bases[r], err = c.CheckpointedLen(r); err != nil {
+			t.Fatal(err)
+		}
+		suffix, err := c.Driver().Committed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens[r] = bases[r] + len(suffix)
+	}
+	for r := 1; r < c.Replicas(); r++ {
+		if lens[r] != lens[0] {
+			t.Fatalf("absolute committed lengths diverge: %v", lens)
+		}
+	}
+	counter, err := c.Read(0, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < c.Replicas(); r++ {
+		v, err := c.Read(r, "ctr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(counter, v) {
+			t.Fatalf("registers diverge: replica 0 %v, replica %d %v", counter, r, v)
+		}
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkpointOutcome{
+		conformanceOutcome: conformanceOutcome{
+			counter:    counter,
+			lockOwners: wins,
+			fecOK:      fec.OK(),
+			seqOK:      seq.OK(),
+		},
+		bases: bases,
+	}
+}
+
 // runGuaranteeConformance executes the guarantee script — a Causal session
 // migrating under a partition — on the given cluster, substrate-blind: the
 // session writes at replica 0, migrates to 1 and writes again, then
@@ -456,6 +629,54 @@ func TestDriverConformanceFaults(t *testing.T) {
 	}
 	if !simOut.seqOK || !liveOut.seqOK {
 		t.Errorf("Seq(strong) verdicts under faults: sim %v, live %v, want both true", simOut.seqOK, liveOut.seqOK)
+	}
+}
+
+// TestDriverConformanceCheckpoint runs the checkpoint-then-crash-then-recover
+// script on both drivers: the recovering replica is behind every survivor's
+// checkpoint, so its catch-up must run as state transfer on both substrates,
+// and the drivers must agree on the settled counter, the checkpoint anchors,
+// and the checker verdicts.
+func TestDriverConformanceCheckpoint(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(8642))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runCheckpointConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runCheckpointConformance(t, live)
+
+	if !Equal(simOut.counter, int64(127)) {
+		t.Errorf("sim counter = %v, want 127", simOut.counter)
+	}
+	if !Equal(simOut.counter, liveOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, live %v", simOut.counter, liveOut.counter)
+	}
+	if simOut.lockOwners != 1 || liveOut.lockOwners != 1 {
+		t.Errorf("strong putIfAbsent winners: sim %d, live %d, want 1 and 1", simOut.lockOwners, liveOut.lockOwners)
+	}
+	// The script commits 5 ops before the survivors checkpoint, so every
+	// replica — including the recovered one, whose only way to base 5 is
+	// installing the transferred image — must anchor there.
+	for _, out := range []struct {
+		name  string
+		bases []int
+	}{{"sim", simOut.bases}, {"live", liveOut.bases}} {
+		for r, base := range out.bases {
+			if base != 5 {
+				t.Errorf("%s replica %d checkpoint base = %d, want 5 (state transfer not exercised?)", out.name, r, base)
+			}
+		}
+	}
+	if !simOut.fecOK || !liveOut.fecOK {
+		t.Errorf("FEC(weak) verdicts under checkpointing: sim %v, live %v, want both true", simOut.fecOK, liveOut.fecOK)
+	}
+	if !simOut.seqOK || !liveOut.seqOK {
+		t.Errorf("Seq(strong) verdicts under checkpointing: sim %v, live %v, want both true", simOut.seqOK, liveOut.seqOK)
 	}
 }
 

@@ -37,7 +37,12 @@ func newLiveDriver(o config) (*liveDriver, error) {
 	}
 	// The live substrate always totally orders through the replica-0
 	// sequencer, so UsePrimaryTOB is already true and Seed has no effect.
-	return &liveDriver{c: livenet.New(o.Replicas, o.Variant), n: o.Replicas}, nil
+	inner := livenet.NewFromConfig(livenet.Config{
+		N:               o.Replicas,
+		Variant:         o.Variant,
+		CheckpointEvery: o.CheckpointEvery,
+	})
+	return &liveDriver{c: inner, n: o.Replicas}, nil
 }
 
 func (d *liveDriver) Replicas() int              { return d.n }
@@ -128,8 +133,13 @@ func (d *liveDriver) Stats() (map[core.ReplicaID]core.Stats, error) {
 	return d.c.Stats(liveTimeout)
 }
 
-func (d *liveDriver) Compact() (int, error) { return d.c.Compact(liveTimeout) }
-func (d *liveDriver) MarkStable()           { d.c.MarkStable() }
+func (d *liveDriver) Compact() (int, error)    { return d.c.Compact(liveTimeout) }
+func (d *liveDriver) Checkpoint() (int, error) { return d.c.Checkpoint(liveTimeout) }
+func (d *liveDriver) MarkStable()              { d.c.MarkStable() }
+
+func (d *liveDriver) BaseLen(replica int) (int, error) {
+	return d.c.BaseLen(replica, liveTimeout)
+}
 
 func (d *liveDriver) Close() error {
 	d.c.Stop()

@@ -65,7 +65,12 @@ type soakArtifactEvt struct {
 // closes it.
 func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c *Cluster, err error) {
 	sched = soakSchedule{Seed: seed, Variant: variant.String()}
-	c, err = New(WithReplicas(soakReplicas), WithSeed(seed), WithVariant(variant))
+	// The checkpoint cadence is swept by seed: off, aggressive, or relaxed —
+	// so the corpus soaks checkpoint-vs-crash races (state transfer to
+	// recovering replicas, truncated RB/TOB replay, lost-result
+	// continuations) alongside the plain fault schedules.
+	cadence := []int{0, 3, 9}[((seed/4)%3+3)%3]
+	c, err = New(WithReplicas(soakReplicas), WithSeed(seed), WithVariant(variant), WithCheckpointEvery(cadence))
 	if err != nil {
 		return sched, "", nil, err
 	}
@@ -119,17 +124,17 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 	if (seed/2)%2 == 1 {
 		mask = Causal
 	}
-	gs, err := c.Session(int(seed)%soakReplicas, WithGuarantees(mask), WithGuaranteeMode(mode))
+	gs, err := c.Session(int(((seed%soakReplicas)+soakReplicas)%soakReplicas), WithGuarantees(mask), WithGuaranteeMode(mode))
 	if err != nil {
 		return sched, "", c, err
 	}
-	act("guarantee session @%d (%s, %s)", gs.Replica(), mask, mode)
+	act("guarantee session @%d (%s, %s); checkpoint cadence %d", gs.Replica(), mask, mode, cadence)
 	gsIdle := func() bool { return gs.Last() == nil || gs.Last().Done() }
 
 	steps := 12 + rng.Intn(10)
 	for i := 0; i < steps; i++ {
 		up := alive()
-		switch rng.Intn(14) {
+		switch rng.Intn(16) {
 		case 0, 1, 2, 3: // weak invocation somewhere alive
 			r := up[rng.Intn(len(up))]
 			var op Op
@@ -231,6 +236,16 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 			default:
 				return sched, "", c, err
 			}
+		case 13: // manual checkpoint sweep (truncates logs on every live replica)
+			if _, err := c.Checkpoint(); err != nil {
+				return sched, "", c, err
+			}
+			act("checkpoint")
+		case 14: // undo-log compaction
+			if _, err := c.Compact(); err != nil {
+				return sched, "", c, err
+			}
+			act("compact")
 		default: // let the deployment run
 			d := int64(50 + rng.Intn(400))
 			c.Run(d)
@@ -265,28 +280,58 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 		return sched, fmt.Sprintf("settle after probes: %v", err), c, nil
 	}
 
-	// Liveness: after repair every call must be terminal.
+	// Liveness: after repair every call must be terminal. A call completed
+	// as a lost result (its replica was down when the op committed, and the
+	// recovery caught up by checkpoint state transfer, so the return value
+	// was never computed anywhere) counts: the client was released and the
+	// operation's effect is in every replica's state.
+	lost := 0
 	for _, call := range c.Calls() {
 		if !call.Done() {
 			return sched, fmt.Sprintf("call %s (%s) never completed", call.Dot(), call.Op().Name()), c, nil
 		}
+		if call.Lost() {
+			lost++
+		}
 	}
-	// Convergence: identical committed orders and identical registers.
-	ref, err := c.Driver().Committed(0)
-	if err != nil {
-		return sched, "", c, err
+	if lost > 0 {
+		act("%d lost results (state transfer over pending continuations)", lost)
 	}
-	for r := 1; r < soakReplicas; r++ {
-		got, err := c.Driver().Committed(r)
+	// Convergence: identical *absolute* committed orders — resident logs are
+	// suffixes hanging off per-replica checkpoint bases, so replicas are
+	// compared at absolute positions (length equality plus dot-for-dot
+	// agreement on the region past the larger of each pair's bases) — and
+	// identical registers.
+	type absLog struct {
+		base   int
+		suffix []core.Req
+	}
+	logs := make([]absLog, soakReplicas)
+	for r := 0; r < soakReplicas; r++ {
+		base, err := c.CheckpointedLen(r)
 		if err != nil {
 			return sched, "", c, err
 		}
-		if len(got) != len(ref) {
-			return sched, fmt.Sprintf("replica %d committed %d ops, replica 0 %d", r, len(got), len(ref)), c, nil
+		suffix, err := c.Driver().Committed(r)
+		if err != nil {
+			return sched, "", c, err
 		}
-		for i := range ref {
-			if got[i].Dot != ref[i].Dot {
-				return sched, fmt.Sprintf("committed order diverges at %d: replica %d has %s, replica 0 %s", i, r, got[i].Dot, ref[i].Dot), c, nil
+		logs[r] = absLog{base: base, suffix: suffix}
+	}
+	for r := 1; r < soakReplicas; r++ {
+		a, b := logs[0], logs[r]
+		if a.base+len(a.suffix) != b.base+len(b.suffix) {
+			return sched, fmt.Sprintf("absolute committed lengths diverge: replica 0 %d, replica %d %d",
+				a.base+len(a.suffix), r, b.base+len(b.suffix)), c, nil
+		}
+		from := a.base
+		if b.base > from {
+			from = b.base
+		}
+		for pos := from; pos < a.base+len(a.suffix); pos++ {
+			da, db := a.suffix[pos-a.base].Dot, b.suffix[pos-b.base].Dot
+			if da != db {
+				return sched, fmt.Sprintf("committed order diverges at absolute %d: replica %d has %s, replica 0 %s", pos, r, db, da), c, nil
 			}
 		}
 	}

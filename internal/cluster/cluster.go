@@ -66,6 +66,17 @@ type Config struct {
 	// timing granularity for throughput: a backlog of k ≤ StepBatch
 	// events drains in a single activation costing one ProcDelay.
 	StepBatch int
+
+	// CheckpointEvery makes every replica checkpoint its stable state once
+	// it has accumulated that many committed entries past its last
+	// checkpoint: the committed log, undo data, dedup sets and the TOB
+	// replay log truncate to the suffix, snapshots and recovery become
+	// O(Δ), and far-behind learners catch up by state transfer. Zero (the
+	// default) disables automatic checkpointing; Cluster.Checkpoint
+	// triggers one manually either way. Ignored under ManualStepping — a
+	// checkpoint drains the replica's internal work, which manual-schedule
+	// scenarios must control themselves.
+	CheckpointEvery int
 }
 
 // Call is a client's handle on one invocation (see record.Call).
@@ -98,9 +109,11 @@ type node struct {
 	// replica's state to cover their session vectors; every state change
 	// (delivery, internal step, recovery) retries them. retrying guards
 	// against re-entrance: a primary-TOB self-commit during a completion
-	// re-enters the delivery path synchronously.
+	// re-enters the delivery path synchronously. ckpting likewise guards
+	// the checkpoint drain against cadence re-entrance.
 	parked   []parkedInvoke
 	retrying bool
+	ckpting  bool
 
 	effPool core.EffectsPool
 	reqBuf  []core.Req // scratch for converting delivery batches
@@ -182,6 +195,7 @@ func New(cfg Config) (*Cluster, error) {
 			n.tobNode = tob.NewPaxos(simnet.NodeID(i), peers, c.sched, c.net, c.omega, nil)
 		}
 		n.tobNode.SetBatchDeliver(n.onTOBDeliverBatch)
+		n.tobNode.SetInstall(n.onInstallCheckpoint)
 		mux := &simnet.Mux{}
 		mux.Add(n.rbNode.Handle)
 		mux.Add(n.tobNode.Handle)
@@ -600,13 +614,124 @@ func (c *Cluster) CompactAll() int {
 	total := 0
 	for _, n := range c.nodes {
 		total += n.replica.Compact()
-		committed := make(map[string]bool)
-		for _, r := range n.replica.Committed() {
-			committed[r.ID()] = true
-		}
-		n.rbNode.Compact(func(id string) bool { return committed[id] })
+		n.compactRB()
 	}
 	return total
+}
+
+// compactRB drops RB retransmission-log entries for requests known
+// committed here (inside or past the checkpoint).
+func (n *node) compactRB() {
+	n.rbNode.Compact(func(id string) bool {
+		d, ok := core.ParseDot(id)
+		return ok && n.replica.KnownCommitted(d)
+	})
+}
+
+// Checkpoint checkpoints every live replica at its current stable state: the
+// committed log, undo data and dedup sets truncate to the suffix, the TOB
+// endpoint truncates its replay log and captures the state-transfer record,
+// and the RB retransmission log drops everything the checkpoint covers.
+// Returns the total number of committed entries truncated across replicas.
+// Crashed replicas are skipped — their durable state checkpoints on their
+// own cadence after recovery.
+func (c *Cluster) Checkpoint() (int, error) {
+	total := 0
+	for _, n := range c.nodes {
+		if n.crashed {
+			continue
+		}
+		truncated, err := n.checkpoint()
+		if err != nil {
+			return total, err
+		}
+		total += truncated
+	}
+	return total, nil
+}
+
+// CheckpointReplica checkpoints one replica (see Checkpoint).
+func (c *Cluster) CheckpointReplica(id core.ReplicaID) (int, error) {
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return 0, fmt.Errorf("cluster: no replica %d", id)
+	}
+	n := c.nodes[id]
+	if n.crashed {
+		return 0, fmt.Errorf("%w: %d", ErrReplicaDown, id)
+	}
+	return n.checkpoint()
+}
+
+// checkpoint drains the node's internal work (so the stable prefix reaches
+// the committed watermark), checkpoints the replica, and threads the new
+// base through the broadcast layers.
+func (n *node) checkpoint() (int, error) {
+	if n.ckpting {
+		return 0, nil
+	}
+	n.ckpting = true
+	defer func() { n.ckpting = false }()
+	eff := n.takeEff()
+	if _, err := n.replica.DrainInto(eff); err != nil {
+		n.putEff(eff)
+		return 0, fmt.Errorf("cluster: checkpoint drain on %d: %w", n.id, err)
+	}
+	n.route(*eff)
+	n.putEff(eff)
+	stats, err := n.replica.Checkpoint(n.replica.CommittedLen())
+	if err != nil {
+		return 0, fmt.Errorf("cluster: checkpoint on %d: %w", n.id, err)
+	}
+	if stats.Truncated == 0 {
+		return 0, nil
+	}
+	rec, _ := n.replica.CheckpointRecord()
+	if err := n.tobNode.SetCheckpoint(int64(rec.BaseLen), rec); err != nil {
+		return stats.Truncated, fmt.Errorf("cluster: checkpoint on %d: %w", n.id, err)
+	}
+	n.compactRB()
+	n.retryParked()
+	return stats.Truncated, nil
+}
+
+// maybeCheckpoint runs the automatic cadence: checkpoint once the committed
+// suffix since the last base reaches Config.CheckpointEvery.
+func (n *node) maybeCheckpoint() {
+	every := n.cl.cfg.CheckpointEvery
+	if every <= 0 || n.cl.cfg.ManualStepping || n.crashed || n.ckpting {
+		return
+	}
+	if n.replica.CommittedLen()-n.replica.BaseLen() < every {
+		return
+	}
+	if _, err := n.checkpoint(); err != nil {
+		panic(fmt.Sprintf("cluster: automatic checkpoint on %d: %v", n.id, err))
+	}
+}
+
+// onInstallCheckpoint is the state-transfer sink: a peer's checkpoint record
+// arrives through the TOB endpoint when this replica is too far behind for
+// per-slot replay. It reports whether the replica installed it (the TOB
+// layer then fast-forwards its cursors).
+func (n *node) onInstallCheckpoint(state any, upTo int64) bool {
+	rec, ok := state.(*core.CheckpointRecord)
+	if !ok || n.crashed {
+		return false
+	}
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	stats, err := n.replica.InstallCheckpoint(rec, eff)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: install checkpoint on %d: %v", n.id, err))
+	}
+	if !stats.Installed {
+		return false
+	}
+	n.route(*eff)
+	n.compactRB()
+	n.scheduleStep()
+	n.retryParked()
+	return true
 }
 
 // route dispatches a replica's effects into the broadcast layers and the
@@ -635,6 +760,9 @@ func (n *node) route(eff core.Effects) {
 	}
 	for _, notice := range eff.StableNotices {
 		n.cl.rec.StableNoticed(notice, int64(n.cl.sched.Now()))
+	}
+	for _, lost := range eff.Lost {
+		n.cl.rec.ResultLost(lost.Dot, int64(n.cl.sched.Now()))
 	}
 }
 
@@ -694,6 +822,7 @@ func (n *node) onTOBDeliverBatch(first int64, ms []tob.Message) {
 	n.route(*eff)
 	n.scheduleStep()
 	n.retryParked()
+	n.maybeCheckpoint()
 }
 
 // scheduleStep arranges the next internal activation after procDelay,

@@ -22,8 +22,9 @@ type pendingResp struct {
 	session      SessionID
 	has          bool
 	value        spec.Value
-	trace        []Dot
-	committedLen int
+	trace        []Dot // exec(e) suffix past traceBase (see Response.TraceBase)
+	traceBase    int
+	committedLen int // absolute |committed| at capture
 }
 
 // Replica is one Bayou process. It is not safe for concurrent use: the
@@ -90,6 +91,15 @@ type Replica struct {
 	committedSet map[Dot]bool
 	executedSet  map[Dot]bool
 	tentativeSet map[Dot]bool
+
+	// The checkpoint anchor (see checkpoint.go): committed, executed, the
+	// trace mirror, the dedup sets and the state object's undo trace all
+	// hold only the suffix past absolute position baseLen; base carries the
+	// image of (and the dot summary for) the truncated prefix. Both lists
+	// share the one offset — executed is a prefix of committed·tentative —
+	// so every in-memory schedule-edit position is unchanged by truncation.
+	baseLen int
+	base    *CheckpointRecord
 
 	// transitions gates response-status Transition emission (off by
 	// default: raw replica harnesses and micro-benchmarks measure the
@@ -212,7 +222,8 @@ func (p *Replica) invokeModified(r Req, session SessionID, eff *Effects) error {
 			Value:        value,
 			Committed:    false,
 			Trace:        trace,
-			CommittedLen: len(p.committed),
+			TraceBase:    p.baseLen,
+			CommittedLen: p.absCommitted(),
 		})
 		p.emit(eff, r.Dot, session, StatusTentative, value)
 		if !r.Op.ReadOnly() {
@@ -223,7 +234,7 @@ func (p *Replica) invokeModified(r Req, session SessionID, eff *Effects) error {
 			// (footnote 3); read-only requests are never committed
 			// under Algorithm 2, so they have no stable notice.
 			p.awaitStable[r.Dot] = &pendingResp{
-				session: session, has: true, value: value, trace: trace, committedLen: len(p.committed),
+				session: session, has: true, value: value, trace: trace, traceBase: p.baseLen, committedLen: p.absCommitted(),
 			}
 		}
 		return nil
@@ -251,8 +262,8 @@ func (p *Replica) RBDeliver(r Req) (Effects, error) {
 // crash–recover, where the volatile tentative list is gone and a resync
 // replay legitimately re-teaches the replica its own uncommitted requests.
 func (p *Replica) RBDeliverInto(r Req, eff *Effects) error {
-	if p.committedSet[r.Dot] || p.tentativeSet[r.Dot] {
-		return nil // already known (lines 23 and 25)
+	if p.committedSet[r.Dot] || p.tentativeSet[r.Dot] || p.baseContains(r.Dot) {
+		return nil // already known (lines 23 and 25; or inside the checkpoint)
 	}
 	if p.variant == NoCircularCausality && r.Strong {
 		// Algorithm 2 disseminates strong requests through TOB only; they
@@ -292,7 +303,7 @@ func (p *Replica) TOBDeliver(r Req) (Effects, error) {
 
 // TOBDeliverInto handles a TOB delivery, appending effects to eff.
 func (p *Replica) TOBDeliverInto(r Req, eff *Effects) error {
-	if p.committedSet[r.Dot] {
+	if p.committedSet[r.Dot] || p.baseContains(r.Dot) {
 		return fmt.Errorf("%w: duplicate TOB delivery of %s", ErrInvariant, r.ID())
 	}
 	c := len(p.committed)
@@ -330,10 +341,11 @@ func (p *Replica) TOBDeliverInto(r Req, eff *Effects) error {
 			Value:        pr.value,
 			Committed:    true,
 			Trace:        pr.trace,
+			TraceBase:    pr.traceBase,
 			CommittedLen: pr.committedLen,
 		})
 		p.emit(eff, r.Dot, pr.session, StatusCommitted, pr.value)
-		p.markTraceAliased(len(pr.trace))
+		p.markStoredTraceAliased(pr)
 		delete(p.awaiting, r.Dot)
 	}
 	// A weak request already executed in the (now final) right order: its
@@ -345,10 +357,11 @@ func (p *Replica) TOBDeliverInto(r Req, eff *Effects) error {
 			Value:        pr.value,
 			Committed:    true,
 			Trace:        pr.trace,
+			TraceBase:    pr.traceBase,
 			CommittedLen: pr.committedLen,
 		})
 		p.emit(eff, r.Dot, pr.session, StatusCommitted, pr.value)
-		p.markTraceAliased(len(pr.trace))
+		p.markStoredTraceAliased(pr)
 		delete(p.awaitStable, r.Dot)
 	}
 	return nil
@@ -551,7 +564,8 @@ func (p *Replica) StepInto(eff *Effects) error {
 				Value:        value,
 				Committed:    committed,
 				Trace:        trace,
-				CommittedLen: len(p.committed),
+				TraceBase:    p.baseLen,
+				CommittedLen: p.absCommitted(),
 			})
 			if committed {
 				p.emit(eff, head.Dot, prA.session, StatusCommitted, value)
@@ -565,14 +579,15 @@ func (p *Replica) StepInto(eff *Effects) error {
 				// tracking it so the stable value can be
 				// notified later (footnote 3).
 				p.awaitStable[head.Dot] = &pendingResp{
-					session: prA.session, has: true, value: value, trace: trace, committedLen: len(p.committed),
+					session: prA.session, has: true, value: value, trace: trace, traceBase: p.baseLen, committedLen: p.absCommitted(),
 				}
 			}
 		} else {
 			prA.has = true
 			prA.value = value
 			prA.trace = trace
-			prA.committedLen = len(p.committed)
+			prA.traceBase = p.baseLen
+			prA.committedLen = p.absCommitted()
 		}
 	} else if okS {
 		if p.committedSet[head.Dot] {
@@ -581,7 +596,8 @@ func (p *Replica) StepInto(eff *Effects) error {
 				Value:        value,
 				Committed:    true,
 				Trace:        trace,
-				CommittedLen: len(p.committed),
+				TraceBase:    p.baseLen,
+				CommittedLen: p.absCommitted(),
 			})
 			p.emit(eff, head.Dot, prS.session, StatusCommitted, value)
 			p.markTraceAliased(len(trace))
@@ -602,7 +618,8 @@ func (p *Replica) StepInto(eff *Effects) error {
 			prS.has = true
 			prS.value = value
 			prS.trace = trace
-			prS.committedLen = len(p.committed)
+			prS.traceBase = p.baseLen
+			prS.committedLen = p.absCommitted()
 		}
 	}
 	p.executed = append(p.executed, head)
@@ -693,6 +710,16 @@ func (p *Replica) markTraceAliased(n int) {
 	}
 }
 
+// markStoredTraceAliased marks a stored continuation trace as escaped. A
+// trace captured before a checkpoint aliases a retired mirror array (the
+// checkpoint copied the suffix into a fresh one), so only captures from the
+// current base epoch need COW protection.
+func (p *Replica) markStoredTraceAliased(pr *pendingResp) {
+	if pr.traceBase == p.baseLen {
+		p.markTraceAliased(len(pr.trace))
+	}
+}
+
 // CoversRead reports whether the replica's *executed* state dominates the
 // vector: the committed watermark is applied (and executed — executed is a
 // prefix of committed·tentative, so a watermark's worth of executed entries
@@ -701,11 +728,11 @@ func (p *Replica) markTraceAliased(n int) {
 // response on a trace containing every demanded dot; entries pending
 // rollback do not count, because they are about to leave the state.
 func (p *Replica) CoversRead(v Vec) bool {
-	if len(p.committed) < v.CommitLen || len(p.executed) < v.CommitLen {
+	if p.absCommitted() < v.CommitLen || p.absExecuted() < v.CommitLen {
 		return false
 	}
 	for _, d := range v.Frontier {
-		if !p.executedSet[d] {
+		if !p.executedSet[d] && !p.baseContains(d) {
 			return false
 		}
 	}
@@ -717,11 +744,11 @@ func (p *Replica) CoversRead(v Vec) bool {
 // at the request's commit position, on exactly the committed prefix before
 // it, so only dots already inside that prefix are guaranteed visible.
 func (p *Replica) CoversCommitted(v Vec) bool {
-	if len(p.committed) < v.CommitLen {
+	if p.absCommitted() < v.CommitLen {
 		return false
 	}
 	for _, d := range v.Frontier {
-		if !p.committedSet[d] {
+		if !p.committedSet[d] && !p.baseContains(d) {
 			return false
 		}
 	}
@@ -781,14 +808,16 @@ func (p *Replica) FenceClock(ts int64) {
 	}
 }
 
-// Committed returns a copy of the committed list.
+// Committed returns a copy of the resident committed list — the suffix past
+// the checkpoint (the whole log when the replica never checkpointed; the
+// entry at index i sits at absolute commit position BaseLen()+i+1).
 func (p *Replica) Committed() []Req { return append([]Req(nil), p.committed...) }
 
 // Tentative returns a copy of the tentative list.
 func (p *Replica) Tentative() []Req { return append([]Req(nil), p.tentative...) }
 
-// CurrentOrder returns committed · tentative — the order the replica is
-// converging to.
+// CurrentOrder returns the resident committed suffix · tentative — the order
+// the replica is converging to, past the checkpoint.
 func (p *Replica) CurrentOrder() []Req {
 	out := make([]Req, 0, len(p.committed)+len(p.tentative))
 	out = append(out, p.committed...)
@@ -796,8 +825,9 @@ func (p *Replica) CurrentOrder() []Req {
 	return out
 }
 
-// CommittedLen returns |committed|.
-func (p *Replica) CommittedLen() int { return len(p.committed) }
+// CommittedLen returns the absolute |committed| (checkpointed prefix
+// included).
+func (p *Replica) CommittedLen() int { return p.absCommitted() }
 
 // PendingResponses returns the dots of requests whose clients still await a
 // response (pending events of the history; in asynchronous runs strong
@@ -838,9 +868,16 @@ func (p *Replica) Stats() Stats {
 // tests call it after every transition. It returns nil when all invariants
 // hold.
 func (p *Replica) CheckInvariants() error {
+	// 0. the checkpoint anchor is internally consistent.
+	if p.base == nil && p.baseLen != 0 {
+		return fmt.Errorf("%w: baseLen %d without a checkpoint record", ErrInvariant, p.baseLen)
+	}
+	if p.base != nil && p.base.BaseLen != p.baseLen {
+		return fmt.Errorf("%w: baseLen %d, record covers %d", ErrInvariant, p.baseLen, p.base.BaseLen)
+	}
 	// 1. committed and tentative are disjoint; tentative is sorted.
 	for _, r := range p.tentative {
-		if p.committedSet[r.Dot] {
+		if p.committedSet[r.Dot] || p.baseContains(r.Dot) {
 			return fmt.Errorf("%w: %s in both committed and tentative", ErrInvariant, r.ID())
 		}
 	}

@@ -186,13 +186,35 @@ type Response struct {
 	// when the response value was computed (strong responses always are;
 	// weak responses usually are not).
 	Committed bool
-	// Trace is exec(e): the current trace of the state object — executed
-	// · reverse(toBeRolledBack) — at the moment the response value was
-	// computed, excluding the request itself.
+	// Trace is the suffix of exec(e) — the current trace of the state
+	// object, executed · reverse(toBeRolledBack), at the moment the
+	// response value was computed, excluding the request itself — past the
+	// TraceBase implicit prefix.
 	Trace []Dot
-	// CommittedLen is |committed| at the moment the response value was
-	// computed (anchors read-only events in the arbitration witness).
+	// TraceBase counts the implicit leading entries of exec(e) that the
+	// replica's checkpoint has truncated: exactly the committed prefix at
+	// commit positions 1..TraceBase, in commit order. Zero (the full trace
+	// is explicit) until the replica checkpoints. Recorders reconstruct the
+	// absolute trace from their own commit-order index, so the checker
+	// witnesses stay exact across truncation.
+	TraceBase int
+	// CommittedLen is the absolute |committed| (checkpointed prefix
+	// included) at the moment the response value was computed (anchors
+	// read-only events in the arbitration witness).
 	CommittedLen int
+}
+
+// LostResponse reports a continuation whose result is unrecoverable: the
+// request committed while its replica was down, and the replica caught up by
+// checkpoint state transfer instead of per-slot replay, so the response
+// value was never computed anywhere. The operation itself took effect — it
+// is inside the installed image — only its return value is lost. This is
+// the price of truncating logs under a crashed replica (the original Bayou
+// pays it below the omitted vector); drivers surface it to the client as a
+// terminal lost-result completion.
+type LostResponse struct {
+	Dot     Dot
+	Session SessionID
 }
 
 // Status classifies the lifecycle of a response value — the observable side
@@ -261,6 +283,9 @@ type Effects struct {
 	// Transitions carry response-status lifecycle events (see Transition);
 	// empty unless the replica has transitions enabled.
 	Transitions []Transition
+	// Lost carries continuations orphaned by checkpoint state transfer
+	// (see LostResponse); empty outside that recovery path.
+	Lost []LostResponse
 }
 
 // Reset empties the effect lists while keeping their backing arrays, so an
@@ -272,6 +297,7 @@ func (e *Effects) Reset() {
 	e.Responses = e.Responses[:0]
 	e.StableNotices = e.StableNotices[:0]
 	e.Transitions = e.Transitions[:0]
+	e.Lost = e.Lost[:0]
 }
 
 // EffectsPool recycles Effects accumulators for a single-threaded driver.

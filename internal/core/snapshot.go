@@ -4,66 +4,96 @@ import (
 	"fmt"
 
 	"bayou/internal/spec"
+	"bayou/internal/stateobj"
 )
 
 // Snapshot is the durable image of a replica — what survives a crash. The
 // model follows the original Bayou's stable store: the committed prefix is
-// final and fsynced (it can never be rolled back, so a snapshot of the last
-// stable state is exactly this log), the invocation counter is persisted so
-// a recovered replica never re-mints a dot, and the client continuations
-// record which sessions still await an answer (the session table a server
-// journals so reconnecting clients can be completed after a restart).
-// Everything else — the tentative list, the execution schedule, stored
-// tentative values — is volatile and must be rebuilt by resynchronization
-// (RB retransmission and TOB learner catch-up).
+// final and fsynced, the invocation counter is persisted so a recovered
+// replica never re-mints a dot, and the client continuations record which
+// sessions still await an answer. Everything else — the tentative list, the
+// execution schedule, stored tentative values — is volatile and must be
+// rebuilt by resynchronization (RB retransmission and TOB learner catch-up).
+//
+// The snapshot is *incremental*: the checkpointed prefix rides along as its
+// immutable record (image + dot summary), and only the committed suffix
+// since the checkpoint is materialized — so the cost of taking and loading a
+// snapshot is O(Δ) in the suffix, not O(history).
 type Snapshot struct {
 	Replica ReplicaID
 	Variant Variant
 	EventNo int64 // invocation counter: dots minted so far
 	LastTS  int64 // clock watermark: timestamps stay strictly monotone
 
-	// Committed is the final prefix, in commit order.
+	// Base is the checkpoint record the suffix builds on (nil when the
+	// replica never checkpointed). Records are immutable, so the snapshot
+	// aliases it rather than copying.
+	Base *CheckpointRecord
+
+	// Committed is the committed suffix past the checkpoint, in commit
+	// order: entry i sits at absolute position Base.BaseLen+i (0 without a
+	// base). The slice aliases the replica's log with a full slice
+	// expression — committed entries are immutable and append-only, so the
+	// alias stays valid while the replica keeps running.
 	Committed []Req
 
 	// Awaiting lists requests whose client has received no response yet
 	// (strong requests, and every Algorithm 1 request answered from the
-	// final order), keyed to the session that must be answered.
+	// final order), keyed to the session that must be answered. Nil when
+	// empty.
 	Awaiting map[Dot]SessionID
 
 	// AwaitStable lists weak requests answered tentatively whose stable
-	// notice is still owed (footnote 3 of the paper).
+	// notice is still owed (footnote 3 of the paper). Nil when empty.
 	AwaitStable map[Dot]SessionID
 }
 
-// Snapshot captures the replica's durable image. Call it at crash time (or
-// any time — committed is append-only, so a snapshot only grows).
+// CommittedLen returns the absolute committed length the snapshot covers.
+func (s Snapshot) CommittedLen() int {
+	base := 0
+	if s.Base != nil {
+		base = s.Base.BaseLen
+	}
+	return base + len(s.Committed)
+}
+
+// Snapshot captures the replica's durable image. It is cheap — O(pending
+// continuations), with the committed suffix aliased rather than copied and
+// the checkpoint record shared — so crash paths may call it as often as they
+// like; nothing is allocated proportional to history.
 func (p *Replica) Snapshot() Snapshot {
 	s := Snapshot{
-		Replica:     p.id,
-		Variant:     p.variant,
-		EventNo:     p.currEventNo,
-		LastTS:      p.lastTS,
-		Committed:   append([]Req(nil), p.committed...),
-		Awaiting:    make(map[Dot]SessionID, len(p.awaiting)),
-		AwaitStable: make(map[Dot]SessionID, len(p.awaitStable)),
+		Replica:   p.id,
+		Variant:   p.variant,
+		EventNo:   p.currEventNo,
+		LastTS:    p.lastTS,
+		Base:      p.base,
+		Committed: p.committed[:len(p.committed):len(p.committed)],
 	}
-	for d, pr := range p.awaiting {
-		s.Awaiting[d] = pr.session
+	if len(p.awaiting) > 0 {
+		s.Awaiting = make(map[Dot]SessionID, len(p.awaiting))
+		for d, pr := range p.awaiting {
+			s.Awaiting[d] = pr.session
+		}
 	}
-	for d, pr := range p.awaitStable {
-		s.AwaitStable[d] = pr.session
+	if len(p.awaitStable) > 0 {
+		s.AwaitStable = make(map[Dot]SessionID, len(p.awaitStable))
+		for d, pr := range p.awaitStable {
+			s.AwaitStable[d] = pr.session
+		}
 	}
 	return s
 }
 
 // RestoreReplica rebuilds a replica from its durable snapshot: the state
-// object is reconstructed by executing the committed log in order, the
-// invocation counter and clock watermark carry over, and client
-// continuations re-attach. Continuation requests that committed while the
-// replica was down are answered immediately from the final order (appending
-// the response or stable notice to eff — the recovered value can never
-// fluctuate again); continuations still uncommitted re-register and are
-// answered by the normal paths once resynchronization re-delivers them.
+// object loads the checkpoint image (O(|db|)) and executes only the
+// committed suffix past it (O(Δ)) — never the full history. The invocation
+// counter and clock watermark carry over, and client continuations
+// re-attach. Continuation requests that committed while the replica was down
+// are answered immediately from the final order (appending the response or
+// stable notice to eff — the recovered value can never fluctuate again);
+// continuations still uncommitted re-register and are answered by the normal
+// paths once resynchronization re-delivers them.
 //
 // transitions enables response-status Transition emission on the restored
 // replica (drivers that stream watch updates pass true).
@@ -72,17 +102,22 @@ func RestoreReplica(snap Snapshot, clock func() int64, transitions bool, eff *Ef
 	p.transitions = transitions
 	p.currEventNo = snap.EventNo
 	p.lastTS = snap.LastTS
+	if snap.Base != nil {
+		p.base = snap.Base
+		p.baseLen = snap.Base.BaseLen
+		p.state = stateobj.FromImage(snap.Base.Image)
+	}
 
 	type recovered struct {
 		dot   Dot
 		value spec.Value
 		trace []Dot
-		pos   int // |committed| when the value was computed
+		pos   int // in-memory |committed| when the value was computed
 	}
 	var completions []recovered
 
 	for _, r := range snap.Committed {
-		if p.committedSet[r.Dot] {
+		if p.committedSet[r.Dot] || p.baseContains(r.Dot) {
 			return nil, fmt.Errorf("%w: snapshot commits %s twice", ErrInvariant, r.ID())
 		}
 		_, awaited := snap.Awaiting[r.Dot]
@@ -106,16 +141,21 @@ func RestoreReplica(snap Snapshot, clock func() int64, transitions bool, eff *Ef
 		p.executedSet[r.Dot] = true
 		p.traceBuf = append(p.traceBuf, r.Dot)
 	}
-	// The rebuilt prefix is stable: release its undo data immediately (the
+	// The rebuilt suffix is stable: release its undo data immediately (the
 	// restore is a snapshot load, not a replayable suffix).
 	p.state.Release(len(p.committed))
 
 	// Answer continuations whose requests are inside the committed prefix.
 	// CommittedLen counts the request itself, matching the normal path
-	// (which responds after the commit appended it).
+	// (which responds after the commit appended it); positions and the
+	// implicit trace prefix are anchored at the checkpoint base.
 	for _, c := range completions {
 		req := p.committed[c.pos]
-		resp := Response{Req: req, Value: c.value, Committed: true, Trace: c.trace, CommittedLen: c.pos + 1}
+		resp := Response{
+			Req: req, Value: c.value, Committed: true,
+			Trace: c.trace, TraceBase: p.baseLen,
+			CommittedLen: p.baseLen + c.pos + 1,
+		}
 		if sess, ok := snap.Awaiting[c.dot]; ok {
 			eff.Responses = append(eff.Responses, resp)
 			p.emit(eff, c.dot, sess, StatusCommitted, c.value)
@@ -128,14 +168,17 @@ func RestoreReplica(snap Snapshot, clock func() int64, transitions bool, eff *Ef
 	// Re-register the continuations still outside the committed prefix:
 	// resync re-delivers their requests and the normal execute/commit
 	// paths answer them. The stored tentative value is gone (volatile) —
-	// has=false makes the first post-recovery execution repopulate it.
+	// has=false makes the first post-recovery execution repopulate it. A
+	// continuation inside the checkpoint base would already have been
+	// reported lost when the checkpoint was installed, so none can appear
+	// here; drop defensively rather than wedge the session.
 	for d, sess := range snap.Awaiting {
-		if !p.committedSet[d] {
+		if !p.committedSet[d] && !p.baseContains(d) {
 			p.awaiting[d] = &pendingResp{session: sess}
 		}
 	}
 	for d, sess := range snap.AwaitStable {
-		if !p.committedSet[d] {
+		if !p.committedSet[d] && !p.baseContains(d) {
 			p.awaitStable[d] = &pendingResp{session: sess}
 		}
 	}

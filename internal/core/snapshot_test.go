@@ -196,3 +196,77 @@ func TestRestoreReRegistersUncommittedContinuations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSnapshotIsIncrementalAndStable pins the satellite fix for the crash
+// path: Snapshot no longer deep-copies the committed log (it aliases the
+// append-only log and the immutable checkpoint record), allocates no maps
+// when no continuations are pending, and the captured image stays stable
+// while the replica keeps running — even across a later checkpoint that
+// rebases the live structures.
+func TestSnapshotIsIncrementalAndStable(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, restoreClock())
+	var eff Effects
+	commit := func() {
+		r, err := p.InvokeInto(spec.Inc("c", 1), false, &eff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.TOBDeliverInto(r, &eff); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.DrainInto(&eff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		commit()
+	}
+	snap := p.Snapshot()
+	if snap.Awaiting != nil || snap.AwaitStable != nil {
+		t.Error("empty continuation maps should not be allocated")
+	}
+	if len(snap.Committed) != 10 {
+		t.Fatalf("snapshot covers %d ops, want 10", len(snap.Committed))
+	}
+	dots := append([]Dot(nil), dotsOf(snap.Committed)...)
+
+	// Keep running, checkpoint (rebasing the live log), and run more: the
+	// captured snapshot must be byte-stable.
+	for i := 0; i < 5; i++ {
+		commit()
+	}
+	if _, err := p.Checkpoint(p.CommittedLen()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		commit()
+	}
+	if got := dotsOf(snap.Committed); !sameDots(got, dots) {
+		t.Fatalf("snapshot suffix mutated under the replica: %v vs %v", got, dots)
+	}
+	var reff Effects
+	q, err := RestoreReplica(snap, restoreClock(), false, &reff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.CommittedLen() != 10 {
+		t.Fatalf("restored length %d, want 10", q.CommittedLen())
+	}
+	if v := q.Read("c"); !spec.Equal(v, int64(10)) {
+		t.Fatalf("restored register %v, want 10", v)
+	}
+
+	// A post-checkpoint snapshot restores through the image + suffix.
+	snap2 := p.Snapshot()
+	if snap2.Base == nil || snap2.Base.BaseLen != 15 || len(snap2.Committed) != 5 {
+		t.Fatalf("incremental snapshot = base %+v, suffix %d; want 15/5", snap2.Base, len(snap2.Committed))
+	}
+	var reff2 Effects
+	q2, err := RestoreReplica(snap2, restoreClock(), false, &reff2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.CommittedLen() != 20 || !spec.Equal(q2.Read("c"), int64(20)) {
+		t.Fatalf("restored from incremental snapshot: len %d, c=%v", q2.CommittedLen(), q2.Read("c"))
+	}
+}

@@ -44,11 +44,18 @@ type Event struct {
 	WallReturn int64
 
 	// Witness data (see package comment).
-	Dot          core.Dot
-	Timestamp    int64
-	TOBCast      bool
-	TOBNo        int64 // 1-based delivery position; -1 if never TOB-delivered
-	Trace        []core.Dot
+	Dot       core.Dot
+	Timestamp int64
+	TOBCast   bool
+	TOBNo     int64 // 1-based delivery position; -1 if never TOB-delivered
+	Trace     []core.Dot
+	// TraceBase is recorder-internal bookkeeping: while a run is live, Trace
+	// may hold only the suffix of exec(e) past the responding replica's
+	// checkpoint, with TraceBase counting the implicit committed-prefix
+	// entries (commit positions 1..TraceBase, in commit order). The recorder
+	// materializes the absolute trace — and zeroes this field — when it
+	// assembles the History, so checkers always see full traces.
+	TraceBase    int
 	CommittedLen int
 
 	// Session-guarantee witnesses: the guarantee mask the issuing session

@@ -48,12 +48,13 @@ type msgKind int
 const (
 	msgInvoke msgKind = iota + 1
 	msgRBDeliver
-	msgForward // weak/strong request en route to the primary
-	msgCommit  // primary's ordering announcement
-	msgInspect // run a closure on the replica goroutine (reads, stats)
-	msgCrash   // fault plane: drop volatile state, start discarding traffic
-	msgRecover // fault plane: restore from the durable snapshot and resync
-	msgResync  // a recovering peer asks for retransmission
+	msgForward   // weak/strong request en route to the primary
+	msgCommit    // primary's ordering announcement
+	msgInspect   // run a closure on the replica goroutine (reads, stats)
+	msgCrash     // fault plane: drop volatile state, start discarding traffic
+	msgRecover   // fault plane: restore from the durable snapshot and resync
+	msgResync    // a recovering peer asks for retransmission
+	msgStateXfer // sequencer ships a checkpoint to a learner behind its log
 )
 
 type message struct {
@@ -64,7 +65,8 @@ type message struct {
 	op       spec.Op
 	strong   bool
 	sess     core.SessionID
-	call     *record.Call // guarantee-gated invoke: the pre-minted pending call
+	call     *record.Call           // guarantee-gated invoke: the pre-minted pending call
+	ckpt     *core.CheckpointRecord // msgStateXfer: the transferred image
 	reply    chan invokeReply
 	inspect  func(*node)
 	done     chan struct{}
@@ -77,17 +79,30 @@ type invokeReply struct {
 	err  error
 }
 
+// Config parametrizes a live cluster.
+type Config struct {
+	N       int
+	Variant core.Variant
+	// CheckpointEvery makes every replica checkpoint once it has that many
+	// committed entries past its last checkpoint (0 disables automatic
+	// checkpointing; Cluster.Checkpoint triggers one manually either way).
+	// The sequencer additionally truncates its commit log below its own
+	// checkpoint and serves older learners by state transfer.
+	CheckpointEvery int
+}
+
 // Cluster is a goroutine-per-replica deployment. Construct with New; always
 // Stop it (defer c.Stop()).
 type Cluster struct {
-	n       int
-	variant core.Variant
-	nodes   []*node
-	clock   atomic.Int64
-	wg      sync.WaitGroup
-	stopped atomic.Bool
-	rec     *record.Recorder
-	started time.Time
+	n         int
+	variant   core.Variant
+	ckptEvery int
+	nodes     []*node
+	clock     atomic.Int64
+	wg        sync.WaitGroup
+	stopped   atomic.Bool
+	rec       *record.Recorder
+	started   time.Time
 
 	mu       sync.Mutex
 	sessions map[core.SessionID]int
@@ -125,12 +140,17 @@ type node struct {
 	snap    core.Snapshot
 
 	// Primary (sequencer) state, used on replica 0 only. Like a real
-	// sequencer's commit log it is durable: commitLog retains every
-	// stamped request (commit number i+1 at index i) so recovering
-	// learners can refetch commits they slept through.
+	// sequencer's commit log it is durable: commitLog retains the stamped
+	// requests past the sequencer's checkpoint (commit number logBase+i+1
+	// at index i) so recovering learners can refetch commits they slept
+	// through; learners older than logBase catch up by state transfer.
 	commitNo  int64
 	stamped   map[string]bool
 	commitLog []core.Req
+	logBase   int64
+
+	// ckpting guards the checkpoint drain against cadence re-entrance.
+	ckpting bool
 
 	// Learner hold-back: commits applied in stamped order.
 	nextCommit int64
@@ -164,15 +184,23 @@ func (n *node) putEff(e *core.Effects) { n.effPool.Put(e) }
 // Sessions 0..n-1 are pre-opened as one default session per replica;
 // OpenSession mints more.
 func New(n int, variant core.Variant) *Cluster {
+	return NewFromConfig(Config{N: n, Variant: variant})
+}
+
+// NewFromConfig starts a cluster from a full configuration.
+func NewFromConfig(cfg Config) *Cluster {
+	n := cfg.N
 	c := &Cluster{
-		n:        n,
-		variant:  variant,
-		rec:      record.New(),
-		started:  time.Now(),
-		sessions: make(map[core.SessionID]int, n),
-		nextSess: core.SessionID(n),
-		cell:     make([]int, n),
+		n:         n,
+		variant:   cfg.Variant,
+		ckptEvery: cfg.CheckpointEvery,
+		rec:       record.New(),
+		started:   time.Now(),
+		sessions:  make(map[core.SessionID]int, n),
+		nextSess:  core.SessionID(n),
+		cell:      make([]int, n),
 	}
+	variant := cfg.Variant
 	for i := 0; i < n; i++ {
 		c.sessions[core.SessionID(i)] = i
 	}
@@ -611,6 +639,37 @@ func (c *Cluster) Compact(timeout time.Duration) (int, error) {
 	return total, nil
 }
 
+// Checkpoint checkpoints every live replica at its current stable state (see
+// node.checkpoint); it returns the total number of committed entries
+// truncated. Crashed replicas are skipped.
+func (c *Cluster) Checkpoint(timeout time.Duration) (int, error) {
+	total := 0
+	for i := 0; i < c.n; i++ {
+		if c.Crashed(i) {
+			continue
+		}
+		var truncated int
+		var cerr error
+		if err := c.inspect(i, timeout, func(n *node) { truncated, cerr = n.checkpoint() }); err != nil {
+			return total, err
+		}
+		if cerr != nil {
+			return total, cerr
+		}
+		total += truncated
+	}
+	return total, nil
+}
+
+// BaseLen reports a replica's absolute checkpointed-prefix length.
+func (c *Cluster) BaseLen(replica int, timeout time.Duration) (int, error) {
+	var base int
+	if err := c.inspect(replica, timeout, func(n *node) { base = n.replica.BaseLen() }); err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
 // MarkStable records the quiescence cutoff for the history checkers.
 func (c *Cluster) MarkStable() { c.rec.MarkStable() }
 
@@ -784,9 +843,9 @@ func (n *node) recover() {
 	n.replica = restored
 	// The learner hold-back is volatile; in the primary scheme commits map
 	// 1:1 onto the committed log, so the next expected commit number is
-	// derived from the snapshot.
+	// derived from the snapshot (absolute — the checkpointed prefix counts).
 	n.held = make(map[int64]core.Req)
-	n.nextCommit = int64(len(n.snap.Committed)) + 1
+	n.nextCommit = int64(n.snap.CommittedLen()) + 1
 	n.down = false
 	n.crashed.Store(false)
 	n.route(*eff) // continuations answered from the committed-while-down prefix
@@ -804,15 +863,116 @@ func (n *node) recover() {
 // answerResync retransmits to a recovering peer: every tentative request
 // this node holds (the requester's duplicate filters drop what it already
 // knows), plus — on the sequencer — the commit log from the requester's
-// next expected commit number.
+// next expected commit number. A requester whose cursor predates the
+// sequencer's checkpoint gets the checkpoint image first (state transfer)
+// and per-commit replay only for the log that survives past it.
 func (n *node) answerResync(m message) {
 	for _, r := range n.replica.Tentative() {
 		n.cl.send(int(n.id), int(m.from), message{kind: msgRBDeliver, req: r})
 	}
 	if n.id == 0 {
-		for no := m.commitNo; no <= n.commitNo; no++ {
-			n.cl.send(0, int(m.from), message{kind: msgCommit, commitNo: no, req: n.commitLog[no-1]})
+		from := m.commitNo
+		if from <= n.logBase {
+			if rec, ok := n.replica.CheckpointRecord(); ok {
+				n.cl.send(0, int(m.from), message{kind: msgStateXfer, commitNo: int64(rec.BaseLen), ckpt: rec})
+			}
+			from = n.logBase + 1
 		}
+		for no := from; no <= n.commitNo; no++ {
+			n.cl.send(0, int(m.from), message{kind: msgCommit, commitNo: no, req: n.commitLog[no-1-n.logBase]})
+		}
+	}
+}
+
+// installCheckpoint adopts a transferred checkpoint on the node's own
+// goroutine: the replica installs the image, orphaned continuations resolve
+// as lost results, and the learner cursor jumps past the transferred prefix.
+func (n *node) installCheckpoint(rec *core.CheckpointRecord) {
+	eff := n.takeEff()
+	stats, err := n.replica.InstallCheckpoint(rec, eff)
+	if err != nil {
+		n.putEff(eff)
+		panic(fmt.Sprintf("livenet: install checkpoint on %d: %v", n.id, err))
+	}
+	if stats.Installed {
+		n.route(*eff)
+		if int64(rec.BaseLen)+1 > n.nextCommit {
+			n.nextCommit = int64(rec.BaseLen) + 1
+		}
+		var batch []core.Req
+		for {
+			next, ok := n.held[n.nextCommit]
+			if !ok {
+				break
+			}
+			delete(n.held, n.nextCommit)
+			n.nextCommit++
+			batch = append(batch, next)
+		}
+		for no := range n.held {
+			if no < n.nextCommit {
+				delete(n.held, no)
+			}
+		}
+		first := n.nextCommit - int64(len(batch))
+		for i, next := range batch {
+			n.cl.rec.TOBDelivered(next.Dot, first+int64(i))
+			beff := n.takeEff()
+			if err := n.replica.TOBDeliverInto(next, beff); err == nil {
+				n.route(*beff)
+			}
+			n.putEff(beff)
+		}
+	}
+	n.putEff(eff)
+}
+
+// checkpoint drains the replica and checkpoints its stable state; on the
+// sequencer the commit log truncates below the new base. Runs on the node's
+// goroutine.
+func (n *node) checkpoint() (int, error) {
+	if n.ckpting || n.down {
+		return 0, nil
+	}
+	n.ckpting = true
+	defer func() { n.ckpting = false }()
+	n.drain()
+	stats, err := n.replica.Checkpoint(n.replica.CommittedLen())
+	if err != nil {
+		return 0, fmt.Errorf("livenet: checkpoint on %d: %w", n.id, err)
+	}
+	if stats.Truncated == 0 {
+		return 0, nil
+	}
+	if n.id == 0 {
+		base := int64(stats.BaseLen)
+		if cut := base - n.logBase; cut > 0 {
+			if cut > int64(len(n.commitLog)) {
+				cut = int64(len(n.commitLog))
+			}
+			for _, r := range n.commitLog[:cut] {
+				delete(n.stamped, r.ID())
+			}
+			fresh := make([]core.Req, len(n.commitLog)-int(cut))
+			copy(fresh, n.commitLog[cut:])
+			n.commitLog = fresh
+			n.logBase += cut
+		}
+	}
+	return stats.Truncated, nil
+}
+
+// maybeCheckpoint runs the automatic cadence after applied commits.
+func (n *node) maybeCheckpoint() {
+	every := n.cl.ckptEvery
+	if every <= 0 || n.down || n.ckpting {
+		return
+	}
+	if n.replica.CommittedLen()-n.replica.BaseLen() < every {
+		return
+	}
+	if _, err := n.checkpoint(); err != nil {
+		panic(err)
 	}
 }
 
@@ -838,7 +998,7 @@ func (n *node) process(m message) {
 		case msgInspect:
 			m.inspect(n)
 			close(m.done)
-		case msgRBDeliver, msgForward, msgCommit, msgResync:
+		case msgRBDeliver, msgForward, msgCommit, msgResync, msgStateXfer:
 			// Dropped: the node is down.
 		}
 		return
@@ -893,6 +1053,8 @@ func (n *node) process(m message) {
 		}
 	case msgCommit:
 		n.applyCommit(m.commitNo, m.req)
+	case msgStateXfer:
+		n.installCheckpoint(m.ckpt)
 	case msgCrash:
 		n.down = true
 		n.crashed.Store(true)
@@ -927,7 +1089,12 @@ func (n *node) flushRB() {
 
 // stampAndBroadcast is the primary's sequencer step.
 func (n *node) stampAndBroadcast(r core.Req) {
-	if n.stamped[r.ID()] {
+	if n.stamped[r.ID()] || n.replica.KnownCommitted(r.Dot) {
+		// The stamp filter only covers commits past the sequencer's
+		// checkpoint; the replica's committed knowledge (base summary +
+		// suffix) covers the truncated rest — the sequencer applies its own
+		// stamps synchronously, so everything it ever stamped is committed
+		// locally. Re-stamping would mint a second commit number.
 		return
 	}
 	n.stamped[r.ID()] = true
@@ -976,6 +1143,7 @@ func (n *node) applyCommit(no int64, r core.Req) {
 		}
 		n.putEff(eff)
 	}
+	n.maybeCheckpoint()
 }
 
 // drain runs the replica's internal work and routes the produced effects.
@@ -1012,5 +1180,8 @@ func (n *node) route(eff core.Effects) {
 	}
 	for _, notice := range eff.StableNotices {
 		n.cl.rec.StableNoticed(notice, wall)
+	}
+	for _, lost := range eff.Lost {
+		n.cl.rec.ResultLost(lost.Dot, wall)
 	}
 }

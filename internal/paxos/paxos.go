@@ -115,6 +115,11 @@ type Node struct {
 	// Learner.
 	decided     map[Slot]any
 	nextDeliver Slot
+	// truncBelow is the compaction floor: decided (and accepted) state for
+	// slots below it has been dropped after a checkpoint — a learner asking
+	// for those slots is served by state transfer at the TOB layer instead
+	// of per-slot replay.
+	truncBelow Slot
 
 	// Proposer.
 	wantLead  bool
@@ -293,7 +298,72 @@ func (n *Node) Resync() {
 	n.sendAll(LearnReq{From: n.nextDeliver})
 }
 
-// onLearnReq re-announces decided slots ≥ From to the requester.
+// NextDeliver returns the next undelivered slot — the learner cursor a
+// checkpoint anchors to.
+func (n *Node) NextDeliver() Slot { return n.nextDeliver }
+
+// CompactBelow drops decided and accepted state for slots below s — the
+// consensus half of log truncation. The maps are rebuilt right-sized (Go
+// maps never shrink in place), so a long-lived node's Paxos footprint is
+// bounded by the window since its last checkpoint. Learners that later ask
+// for truncated slots are caught up by checkpoint state transfer at the TOB
+// layer; the acceptor forgetting old accepted values is safe for the same
+// reason — every node that could still need a truncated slot's value is
+// behind some peer's checkpoint and receives the image that already contains
+// it.
+func (n *Node) CompactBelow(s Slot) {
+	if s <= n.truncBelow {
+		return
+	}
+	n.truncBelow = s
+	decided := make(map[Slot]any, len(n.decided))
+	for slot, v := range n.decided {
+		if slot >= s {
+			decided[slot] = v
+		}
+	}
+	n.decided = decided
+	accepted := make(map[Slot]SlotVal, len(n.accepted))
+	for slot, sv := range n.accepted {
+		if slot >= s {
+			accepted[slot] = sv
+		}
+	}
+	n.accepted = accepted
+}
+
+// FastForward jumps the learner cursor to slot s after a checkpoint image
+// covering everything below it was installed: slots below s will never be
+// delivered here (their effects are inside the image). Buffered decided
+// slots that are now contiguous drain immediately.
+func (n *Node) FastForward(s Slot) {
+	if s <= n.nextDeliver {
+		return
+	}
+	for slot := range n.decided {
+		if slot < s {
+			delete(n.decided, slot)
+		}
+	}
+	n.nextDeliver = s
+	if n.nextSlot < s {
+		n.nextSlot = s
+	}
+	for {
+		v, ok := n.decided[n.nextDeliver]
+		if !ok {
+			return
+		}
+		slot := n.nextDeliver
+		n.nextDeliver++
+		n.decidedCount++
+		n.onDecide(slot, v)
+	}
+}
+
+// onLearnReq re-announces decided slots ≥ From to the requester. Slots below
+// the compaction floor are gone; the TOB layer pairs this replay with a
+// state-transfer record covering them.
 func (n *Node) onLearnReq(from simnet.NodeID, m LearnReq) {
 	slots := make([]Slot, 0, len(n.decided))
 	for s := range n.decided {
@@ -472,6 +542,11 @@ func (n *Node) onAck(from simnet.NodeID, m AckMsg) {
 }
 
 func (n *Node) onDecideMsg(m DecideMsg) {
+	if m.Slot < n.nextDeliver {
+		// Already delivered here (delivery is contiguous); without this
+		// guard a late replay would re-enter the truncated decided map.
+		return
+	}
 	if _, ok := n.decided[m.Slot]; ok {
 		return
 	}

@@ -54,6 +54,7 @@ type Call struct {
 
 	mu         sync.Mutex
 	done       bool
+	lost       bool
 	resp       core.Response
 	wallInvoke int64
 	wallReturn int64
@@ -85,11 +86,23 @@ func (c *Call) Op() spec.Op { return c.op }
 // Level returns the invocation's consistency level.
 func (c *Call) Level() core.Level { return c.level }
 
-// Done reports whether the response has arrived.
+// Done reports whether the call has completed — with a response, or as a
+// lost result (see Lost).
 func (c *Call) Done() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.done
+}
+
+// Lost reports whether the call completed as a lost result: the operation
+// committed — it is part of the final order and of every replica's state —
+// but its return value was never computed, because the invoked replica was
+// down when the commit happened and caught up by checkpoint state transfer
+// instead of per-slot replay. Response() stays zero on a lost call.
+func (c *Call) Lost() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost
 }
 
 // Response returns the response (the zero Response while !Done). For weak
@@ -292,6 +305,24 @@ func (c *Call) stable(resp core.Response, wall int64) {
 	c.mu.Unlock()
 }
 
+// loseResult completes the call as a lost result (see Lost): the client
+// unblocks and the call is terminal. A call that already returned a
+// tentative value keeps it — what was lost then is only the stable notice.
+func (c *Call) loseResult(wall int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.terminal {
+		return
+	}
+	c.lost = true
+	if !c.done {
+		c.done = true
+		c.wallReturn = wall
+		close(c.doneCh)
+	}
+	c.setTerminalLocked()
+}
+
 // transition records a status update and fans it out to subscribers.
 func (c *Call) transition(u Update) {
 	c.mu.Lock()
@@ -337,6 +368,23 @@ type Recorder struct {
 	lastOf   map[core.SessionID]*history.Event
 	tobCast  int
 
+	// commitOrder indexes the shared committed prefix by TOB position
+	// (commitOrder[i] committed at position i+1): every delivery lands here
+	// before any response that could reference it, so a truncated response
+	// trace — suffix plus an implicit prefix of TraceBase commits — can be
+	// reconstructed exactly. commitMaxTS[i] is the running maximum
+	// timestamp of the updating operations among the first i+1 commits (the
+	// clock-fence part of absorbing a committed prefix into a read vector
+	// in O(1)).
+	commitOrder []core.Dot
+	commitMaxTS []int64
+
+	// lost marks invocations completed as lost results: committed while
+	// their replica was down and skipped by checkpoint state transfer, so
+	// no response value exists. The history event stays pending (formally
+	// the response never arrived) but the session is released.
+	lost map[core.Dot]bool
+
 	// The session-guarantee table: read/write vectors ride here — on the
 	// shared observation layer, not on Req — so both drivers enforce the
 	// same coverage demands and a migrating session carries its vectors
@@ -367,6 +415,7 @@ func New() *Recorder {
 		lastOf: make(map[core.SessionID]*history.Event),
 		guar:   make(map[core.SessionID]*guarSession),
 		parked: make(map[core.SessionID]*Call),
+		lost:   make(map[core.Dot]bool),
 	}
 }
 
@@ -420,7 +469,7 @@ func (r *Recorder) busyLocked(session core.SessionID) bool {
 		return true
 	}
 	last := r.lastOf[session]
-	return last != nil && last.Pending
+	return last != nil && last.Pending && !r.lost[last.Dot]
 }
 
 // Demands assembles the coverage vectors a replica must dominate before
@@ -613,6 +662,7 @@ func (r *Recorder) Responded(resp core.Response, wall int64) {
 		e.WallReturn = wall
 		e.RVal = resp.Value
 		e.Trace = append([]core.Dot(nil), resp.Trace...)
+		e.TraceBase = resp.TraceBase
 		e.CommittedLen = resp.CommittedLen
 		// The session's read vector absorbs the updating operations this
 		// response observed (read-only dots are never demanded: under
@@ -620,8 +670,18 @@ func (r *Recorder) Responded(resp core.Response, wall int64) {
 		// them). Dots already known committed fold straight into the
 		// watermark — the frontier stays bounded by the uncommitted
 		// suffix instead of re-accumulating the whole committed history
-		// on every response.
+		// on every response. A checkpoint-truncated trace prefix is a
+		// committed prefix by construction: it folds into the watermark
+		// (and its clock fence) in O(1) via the commit index.
 		if gs := r.guar[e.Session]; gs != nil && gs.g&(core.MonotonicReads|core.WritesFollowReads) != 0 {
+			if b := resp.TraceBase; b > 0 {
+				if b > gs.read.CommitLen {
+					gs.read.CommitLen = b
+				}
+				if b <= len(r.commitMaxTS) && r.commitMaxTS[b-1] > gs.read.MaxTS {
+					gs.read.MaxTS = r.commitMaxTS[b-1]
+				}
+			}
 			for _, td := range resp.Trace {
 				ev := r.events[td]
 				if ev == nil || ev.Op.ReadOnly() {
@@ -659,6 +719,22 @@ func (r *Recorder) StableNoticed(resp core.Response, wall int64) {
 	}
 }
 
+// ResultLost completes an invocation as a lost result: checkpoint state
+// transfer skipped the per-slot replay that would have recomputed its
+// response (see core.LostResponse). The history event stays pending — the
+// client observably never received a return value — but the session's busy
+// mark clears and the call handle becomes terminal with Lost() reporting
+// true, so clients and quiescence checks do not wait forever.
+func (r *Recorder) ResultLost(d core.Dot, wall int64) {
+	r.mu.Lock()
+	call := r.calls[d]
+	r.lost[d] = true
+	r.mu.Unlock()
+	if call != nil {
+		call.loseResult(wall)
+	}
+}
+
 // Transition records a response-status transition, feeding the matching
 // call's watch subscriptions.
 func (r *Recorder) Transition(t core.Transition, wall int64) {
@@ -670,11 +746,34 @@ func (r *Recorder) Transition(t core.Transition, wall int64) {
 	}
 }
 
-// TOBDelivered records the request's (first) TOB delivery position.
+// TOBDelivered records the request's (first) TOB delivery position and
+// extends the commit-order index. Each replica delivers contiguously from 1,
+// and every delivery is recorded before the effects it unlocks are routed,
+// so the index is gap-free up to the largest position any live replica has
+// reached — exactly the range truncated response traces can reference.
 func (r *Recorder) TOBDelivered(d core.Dot, tobNo int64) {
 	r.mu.Lock()
 	if _, seen := r.tobNos[d]; !seen {
 		r.tobNos[d] = tobNo
+	}
+	if int(tobNo) == len(r.commitOrder)+1 {
+		r.commitOrder = append(r.commitOrder, d)
+		ts := int64(0)
+		if len(r.commitMaxTS) > 0 {
+			ts = r.commitMaxTS[len(r.commitMaxTS)-1]
+		}
+		// Read-only commits (Algorithm 1 casts them too) do not raise the
+		// fence: read vectors never demand them.
+		if ev := r.events[d]; ev == nil || !ev.Op.ReadOnly() {
+			evTS := int64(0)
+			if ev != nil {
+				evTS = ev.Timestamp
+			}
+			if evTS > ts {
+				ts = evTS
+			}
+		}
+		r.commitMaxTS = append(r.commitMaxTS, ts)
 	}
 	r.mu.Unlock()
 }
@@ -724,6 +823,17 @@ func (r *Recorder) History() (*history.History, error) {
 			e.TOBNo = no
 		} else {
 			e.TOBNo = -1
+		}
+		if e.TraceBase > 0 {
+			// Materialize the absolute exec(e): the truncated prefix is
+			// exactly the shared committed prefix 1..TraceBase, in commit
+			// order, which the responding replica had fully delivered (and
+			// this recorder indexed) before it answered.
+			full := make([]core.Dot, 0, e.TraceBase+len(e.Trace))
+			full = append(full, r.commitOrder[:e.TraceBase]...)
+			full = append(full, e.Trace...)
+			e.Trace = full
+			e.TraceBase = 0
 		}
 		events = append(events, &e)
 	}

@@ -71,6 +71,27 @@ func Clone(v Value) Value {
 	return out
 }
 
+// Checkpoint deep-copies a whole register database into a detached image:
+// the restorable form of a state's db at one point of its trace. The image
+// shares no structure with the live map, so later writes to either side
+// cannot alias (operations may be re-executed after rollbacks and must stay
+// deterministic; a checkpoint must stay byte-stable forever).
+func Checkpoint(db map[string]Value) map[string]Value {
+	img := make(map[string]Value, len(db))
+	for k, v := range db {
+		img[k] = Clone(v)
+	}
+	return img
+}
+
+// Restore deep-copies a checkpoint image back into a fresh register
+// database. The image itself is left untouched and reusable: one checkpoint
+// can seed any number of restored states (a replica's own recovery and every
+// state-transfer catch-up it serves).
+func Restore(img map[string]Value) map[string]Value {
+	return Checkpoint(img)
+}
+
 // Encode renders v canonically so that two Values are semantically equal
 // exactly when their encodings are equal byte-for-byte.
 func Encode(v Value) string {

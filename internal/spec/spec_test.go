@@ -391,3 +391,18 @@ func TestEditorOrderSensitivity(t *testing.T) {
 		t.Errorf("orders must differ: %v vs %v", ab[1], ba[1])
 	}
 }
+
+func TestCheckpointRestoreDetached(t *testing.T) {
+	db := map[string]Value{"k": []Value{"a", int64(1)}, "n": int64(7)}
+	img := Checkpoint(db)
+	db["k"].([]Value)[0] = "mutated"
+	db["n"] = int64(8)
+	if !Equal(img["k"], []Value{"a", int64(1)}) || !Equal(img["n"], int64(7)) {
+		t.Fatalf("image shares structure with the live db: %v", img)
+	}
+	back := Restore(img)
+	back["k"].([]Value)[1] = int64(99)
+	if !Equal(img["k"], []Value{"a", int64(1)}) {
+		t.Fatalf("restored db shares structure with the image: %v", img["k"])
+	}
+}

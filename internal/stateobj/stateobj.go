@@ -74,6 +74,26 @@ func New() *State {
 	return s
 }
 
+// FromImage returns a state whose database is restored from a checkpoint
+// image and whose trace is empty: the anchor a recovering replica loads
+// before executing only the committed suffix past the checkpoint. The image
+// is deep-copied (spec.Restore) and stays reusable.
+func FromImage(img map[string]spec.Value) *State {
+	s := &State{}
+	s.RestoreFrom(img)
+	return s
+}
+
+// RestoreFrom resets the state in place to a checkpoint image: the database
+// becomes a deep copy of img and the trace empties. Everything previously
+// held is released.
+func (s *State) RestoreFrom(img map[string]spec.Value) {
+	s.db = spec.Restore(img)
+	s.stack = nil
+	s.live = make(map[string]int)
+	s.tx = undoTx{db: s.db}
+}
+
 // undoTx is the Tx handed to operations: reads hit the database, writes
 // record the overwritten value the first time each register is touched
 // (Algorithm 3 lines 9–12).
@@ -153,6 +173,69 @@ func (s *State) Release(n int) int {
 		released++
 	}
 	return released
+}
+
+// ReleasedPrefix returns the length of the leading run of released entries —
+// the part of the trace whose pre-images are gone, below which no checkpoint
+// image can be reconstructed anymore.
+func (s *State) ReleasedPrefix() int {
+	n := 0
+	for n < len(s.stack) && s.stack[n].released {
+		n++
+	}
+	return n
+}
+
+// Checkpoint reconstructs the database image as of the first n trace entries
+// — the state a fresh store would hold after executing exactly stack[0..n) —
+// by rewinding the undo records of every later entry onto a deep copy of the
+// current database. Entries at or above n must still hold their undo data
+// (they are above the release watermark whenever n ≥ ReleasedPrefix()).
+// Cost: O(|db| + |stack|−n), independent of how long the prefix is.
+func (s *State) Checkpoint(n int) (map[string]spec.Value, error) {
+	if n < 0 || n > len(s.stack) {
+		return nil, fmt.Errorf("stateobj: checkpoint anchor %d outside trace of length %d", n, len(s.stack))
+	}
+	for i := n; i < len(s.stack); i++ {
+		if s.stack[i].released {
+			return nil, fmt.Errorf("%w: cannot rewind %s to anchor a checkpoint at %d", ErrReleased, s.stack[i].id, n)
+		}
+	}
+	img := spec.Checkpoint(s.db)
+	for i := len(s.stack) - 1; i >= n; i-- {
+		for _, p := range s.stack[i].undo {
+			if p.old == nil {
+				delete(img, p.reg)
+			} else {
+				img[p.reg] = spec.Clone(p.old)
+			}
+		}
+	}
+	return img, nil
+}
+
+// Truncate drops the first n trace entries for good — the log-truncation
+// step after their image has been checkpointed. Unlike Release (which only
+// nils the undo records in place), Truncate actually frees the prefix: the
+// stack is copied down into a right-sized array and the live index is
+// rebuilt, so a long-lived state's footprint is bounded by the suffix since
+// the last checkpoint, not by history.
+func (s *State) Truncate(n int) error {
+	if n < 0 || n > len(s.stack) {
+		return fmt.Errorf("stateobj: truncate %d outside trace of length %d", n, len(s.stack))
+	}
+	if n == 0 {
+		return nil
+	}
+	fresh := make([]undoEntry, len(s.stack)-n)
+	copy(fresh, s.stack[n:])
+	s.stack = fresh
+	live := make(map[string]int, len(fresh))
+	for i, e := range fresh {
+		live[e.id] = i
+	}
+	s.live = live
+	return nil
 }
 
 // LiveUndoEntries returns the number of stack entries still holding undo

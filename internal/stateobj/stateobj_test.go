@@ -272,3 +272,85 @@ func TestExecutionContinuesAfterRelease(t *testing.T) {
 		t.Fatalf("state = %v", got)
 	}
 }
+
+func TestCheckpointImageAnchors(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	mustExec(t, s, "r2", spec.Append("b"))
+	mustExec(t, s, "r3", spec.Append("c"))
+
+	// The image at anchor 2 must be the state after r1·r2 only, while the
+	// live db keeps all three.
+	img, err := s.Checkpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := FromImage(img)
+	if got := re.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "b"}) {
+		t.Fatalf("image state = %v, want [a b]", got)
+	}
+	if got := s.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "b", "c"}) {
+		t.Fatalf("live state disturbed: %v", got)
+	}
+	// An anchor of 0 rewinds to empty; full-length is a plain copy.
+	img0, err := s.Checkpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img0) != 0 {
+		t.Fatalf("image at 0 = %v, want empty", img0)
+	}
+	img3, err := s.Checkpoint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromImage(img3).Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "b", "c"}) {
+		t.Fatalf("full image = %v", got)
+	}
+	// Rewinding across a released entry is impossible.
+	s.Release(2)
+	if _, err := s.Checkpoint(1); !errors.Is(err, ErrReleased) {
+		t.Fatalf("checkpoint below the release watermark = %v, want ErrReleased", err)
+	}
+	if _, err := s.Checkpoint(2); err != nil {
+		t.Fatalf("checkpoint at the release watermark: %v", err)
+	}
+	if got := s.ReleasedPrefix(); got != 2 {
+		t.Fatalf("ReleasedPrefix = %d, want 2", got)
+	}
+}
+
+func TestTruncateFreesPrefixAndRebuildsIndex(t *testing.T) {
+	s := New()
+	mustExec(t, s, "r1", spec.Append("a"))
+	mustExec(t, s, "r2", spec.Append("b"))
+	mustExec(t, s, "r3", spec.Append("c"))
+	if err := s.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Trace(); len(got) != 1 || got[0] != "r3" {
+		t.Fatalf("trace after truncate = %v, want [r3]", got)
+	}
+	// The surviving suffix stays executable and rollback-able, and the
+	// truncated ids are free for reuse (a re-delivered request past a
+	// restore executes under its old id).
+	if err := s.Rollback("r3"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "r1", spec.Append("z"))
+	if got := s.Read(spec.DefaultListID); !spec.Equal(got, []spec.Value{"a", "b", "z"}) {
+		t.Fatalf("state = %v", got)
+	}
+	if err := s.Truncate(99); err == nil {
+		t.Fatal("truncate beyond the trace accepted")
+	}
+}
+
+func TestFromImageIsDetached(t *testing.T) {
+	img := map[string]spec.Value{"k": []spec.Value{"x"}}
+	s := FromImage(img)
+	mustExec(t, s, "r1", spec.Put("k", "y"))
+	if !spec.Equal(img["k"], []spec.Value{"x"}) {
+		t.Fatalf("image mutated through the restored state: %v", img["k"])
+	}
+}

@@ -30,6 +30,7 @@
 package tob
 
 import (
+	"fmt"
 	"sort"
 
 	"bayou/internal/fd"
@@ -76,6 +77,34 @@ type TOB interface {
 	// candidates in both directions. Idempotent; delivery order and the
 	// duplicate filter make replays harmless.
 	Resync()
+	// SetCheckpoint records that the local replica has checkpointed its
+	// first upTo deliveries into the opaque state record: the endpoint
+	// truncates its replay structures below that point and serves later
+	// learner catch-up requests for the truncated range by state transfer
+	// (shipping the record) instead of per-slot replay. upTo must equal
+	// the endpoint's current delivered count — the driver checkpoints at a
+	// delivery boundary.
+	SetCheckpoint(upTo int64, state any) error
+	// SetInstall registers the state-transfer sink: fn receives a peer's
+	// checkpoint record and reports whether the replica installed it (false
+	// when already at or past upTo). On true the endpoint fast-forwards its
+	// delivery cursors past the transferred prefix.
+	SetInstall(fn func(state any, upTo int64) bool)
+}
+
+// Checkpoint is an endpoint's captured transfer record: the replica-level
+// state (opaque to this package) plus the delivery cursors a receiving
+// endpoint needs to resume past the transferred prefix.
+type Checkpoint struct {
+	UpTo    int64                   // deliveries covered (== receiver's new nDelivered)
+	Slot    int64                   // implementation cursor at the boundary (Paxos: next consensus slot)
+	NextSeq map[simnet.NodeID]int64 // per-origin FIFO cursors at the boundary
+	State   any                     // the replica's checkpoint record
+}
+
+// xferMsg ships a checkpoint to a learner that asked for truncated history.
+type xferMsg struct {
+	C Checkpoint
 }
 
 // forwardMsg disseminates a cast message into every node's candidate pool.
@@ -115,6 +144,14 @@ func newFifoGate(deliver DeliverFunc) *fifoGate {
 // buffered successors they unblock) are delivered.
 func (g *fifoGate) offer(m Message) {
 	if g.seen[m.ID] {
+		return
+	}
+	if g.nextSeq[m.Origin] != 0 && m.Seq < g.nextSeq[m.Origin] {
+		// Stale: this origin-sequence was already delivered (directly, or
+		// inside an installed checkpoint). Origins stamp contiguous
+		// sequences, so the Seq cursor alone is a complete duplicate
+		// filter for the past — which is what lets compact() drop the
+		// id set for delivered history without risking re-delivery.
 		return
 	}
 	g.seen[m.ID] = true
@@ -173,6 +210,59 @@ func (g *fifoGate) flush() {
 // delivered reports whether the message id has passed the duplicate filter.
 func (g *fifoGate) sawDecided(id string) bool { return g.seen[id] }
 
+// holes reports whether the gate is holding decided messages back for
+// per-origin FIFO (a predecessor sequence is still undecided). While any are
+// held, the delivered prefix is not the decided prefix — a checkpoint
+// captured now could cover neither the held message (it is undelivered, so
+// it is outside the replica image) nor its replay (its slot would fall below
+// the truncation), so checkpoint capture must wait for the hole to fill.
+func (g *fifoGate) holes() bool {
+	for _, b := range g.buffered {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// compact drops the id-keyed duplicate filter for delivered history: after a
+// checkpoint the per-origin Seq cursors are the duplicate filter for
+// everything below them (see offer), so the set can restart small instead of
+// growing with history. Ids of messages still buffered (Seq ahead of the
+// cursor) are re-added — they have not been delivered yet.
+func (g *fifoGate) compact() {
+	seen := make(map[string]bool, 16)
+	for _, b := range g.buffered {
+		for _, m := range b {
+			seen[m.ID] = true
+		}
+	}
+	g.seen = seen
+}
+
+// fastForward jumps the gate past an installed checkpoint: nDelivered and
+// the per-origin FIFO cursors adopt the sender's boundary capture, and
+// buffered messages the checkpoint already covers are dropped.
+func (g *fifoGate) fastForward(upTo int64, nextSeq map[simnet.NodeID]int64) {
+	if upTo <= g.nDelivered {
+		return
+	}
+	g.nDelivered = upTo
+	for origin, seq := range nextSeq {
+		if seq > g.nextSeq[origin] {
+			g.nextSeq[origin] = seq
+		}
+	}
+	for origin, b := range g.buffered {
+		for seq := range b {
+			if seq < g.nextSeq[origin] {
+				delete(b, seq)
+			}
+		}
+	}
+	g.compact()
+}
+
 // ---------------------------------------------------------------------------
 // Paxos-based TOB
 // ---------------------------------------------------------------------------
@@ -190,6 +280,14 @@ type Paxos struct {
 	pool       map[simnet.NodeID]map[int64]Message // candidates by origin/seq
 	poolIDs    map[string]bool
 	proposePtr map[simnet.NodeID]int64 // next per-origin seq to hand to paxos
+
+	// ckpt is the latest local checkpoint (nil before the first): the
+	// state-transfer record served to learners asking for slots the
+	// compaction dropped. install is the replica-side sink for records
+	// received from peers.
+	ckpt     *Checkpoint
+	ckptSlot paxos.Slot // learner slot the checkpoint boundary maps to
+	install  func(state any, upTo int64) bool
 }
 
 var _ TOB = (*Paxos)(nil)
@@ -230,7 +328,7 @@ func (t *Paxos) Cast(id string, payload any) {
 func (t *Paxos) Handle(from simnet.NodeID, payload any) bool {
 	switch f := payload.(type) {
 	case forwardMsg:
-		if !t.poolIDs[f.M.ID] && !t.gate.sawDecided(f.M.ID) {
+		if !t.poolIDs[f.M.ID] && !t.gate.sawDecided(f.M.ID) && !t.delivered(f.M) {
 			// Eager relay gives the RB-coupling property: once any
 			// correct node holds the candidate, all of them will.
 			t.net.Broadcast(t.id, f)
@@ -240,8 +338,99 @@ func (t *Paxos) Handle(from simnet.NodeID, payload any) bool {
 	case poolReq:
 		t.sendPool(from)
 		return true
+	case xferMsg:
+		t.onXfer(f.C)
+		return true
+	case paxos.LearnReq:
+		// A learner asking for slots the local compaction dropped is served
+		// by state transfer first; the paxos layer then replays whatever it
+		// still holds past the checkpoint boundary.
+		if t.ckpt != nil && f.From < t.ckptSlot {
+			t.net.Send(t.id, from, xferMsg{C: *t.ckpt})
+		}
+		return t.px.Handle(from, payload)
 	}
 	return t.px.Handle(from, payload)
+}
+
+// delivered reports whether the message's origin-sequence lies below the
+// gate's FIFO cursor — already delivered (possibly inside an installed
+// checkpoint whose id set was compacted away).
+func (t *Paxos) delivered(m Message) bool {
+	next := t.gate.nextSeq[m.Origin]
+	return next != 0 && m.Seq < next
+}
+
+// onXfer installs a peer's checkpoint: the replica adopts the image, then
+// the delivery cursors jump past the transferred prefix.
+func (t *Paxos) onXfer(c Checkpoint) {
+	if t.install == nil || !t.install(c.State, c.UpTo) {
+		return
+	}
+	t.gate.fastForward(c.UpTo, c.NextSeq)
+	t.px.FastForward(paxos.Slot(c.Slot))
+	t.prunePool()
+}
+
+// prunePool drops pooled candidates already covered by the gate's FIFO
+// cursors (delivered, directly or via transfer) so the pool cannot retain
+// committed history.
+func (t *Paxos) prunePool() {
+	for origin, byOrigin := range t.pool {
+		next := t.gate.nextSeq[origin]
+		for seq, m := range byOrigin {
+			if seq < next {
+				delete(byOrigin, seq)
+				delete(t.poolIDs, m.ID)
+			}
+		}
+		if ptr := t.proposePtr[origin]; ptr < next {
+			t.proposePtr[origin] = next
+		}
+	}
+}
+
+// SetCheckpoint implements TOB: capture the transfer record at the current
+// delivery boundary and truncate the consensus log below it.
+//
+// Capture is deferred — the previous record (and the previous truncation
+// floor) stay in force — while the FIFO gate holds decided-but-undelivered
+// messages: such a message sits in a slot below the learner cursor but
+// outside the replica image, so a record captured now would lose it for
+// every receiver. The replica-side truncation has already happened and is
+// unaffected; the older record plus the untruncated slot replay still cover
+// any behind learner, and the next checkpoint after the hole fills captures
+// normally.
+func (t *Paxos) SetCheckpoint(upTo int64, state any) error {
+	if upTo != t.gate.nDelivered {
+		return fmt.Errorf("tob: checkpoint at %d deliveries, gate has delivered %d", upTo, t.gate.nDelivered)
+	}
+	if t.gate.holes() {
+		return nil
+	}
+	slot := t.px.NextDeliver()
+	t.ckpt = &Checkpoint{
+		UpTo:    upTo,
+		NextSeq: cloneSeq(t.gate.nextSeq),
+		State:   state,
+		Slot:    int64(slot),
+	}
+	t.ckptSlot = slot
+	t.px.CompactBelow(slot)
+	t.gate.compact()
+	t.prunePool()
+	return nil
+}
+
+// SetInstall implements TOB.
+func (t *Paxos) SetInstall(fn func(state any, upTo int64) bool) { t.install = fn }
+
+func cloneSeq(m map[simnet.NodeID]int64) map[simnet.NodeID]int64 {
+	out := make(map[simnet.NodeID]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // sendPool re-forwards every undecided pooled candidate to one peer.
@@ -402,15 +591,21 @@ type Primary struct {
 	myseq int64
 
 	// Sequencer state (used only on the primary). The commit log retains
-	// every stamped message (log[i] has commit number i+1) so recovering
-	// learners can refetch what they missed.
+	// the stamped messages past the primary's checkpoint (log[i] has commit
+	// number logBase+i+1) so recovering learners can refetch what they
+	// missed; learners older than logBase are caught up by state transfer.
 	commitNo int64
 	stamped  map[string]bool
 	log      []Message
+	logBase  int64
 
 	// Learner state: commits applied in stamped order.
 	nextCommit int64
 	pending    map[int64]Message
+
+	// Checkpoint state (see TOB.SetCheckpoint).
+	ckpt    *Checkpoint
+	install func(state any, upTo int64) bool
 }
 
 var _ TOB = (*Primary)(nil)
@@ -453,15 +648,92 @@ func (t *Primary) Handle(from simnet.NodeID, payload any) bool {
 		return true
 	case learnReq:
 		if t.id == t.primary {
-			for no := m.From; no <= t.commitNo; no++ {
-				t.net.Send(t.id, from, commitMsg{No: no, M: t.log[no-1]})
+			from0 := m.From
+			if from0 <= t.logBase {
+				// The learner predates the primary's checkpoint: ship the
+				// image, then replay the log that survives past it.
+				if t.ckpt != nil {
+					t.net.Send(t.id, from, xferMsg{C: *t.ckpt})
+				}
+				from0 = t.logBase + 1
+			}
+			for no := from0; no <= t.commitNo; no++ {
+				t.net.Send(t.id, from, commitMsg{No: no, M: t.log[no-1-t.logBase]})
 			}
 		}
+		return true
+	case xferMsg:
+		t.onXfer(m.C)
 		return true
 	default:
 		return false
 	}
 }
+
+// onXfer installs a checkpoint received from the primary: the replica adopts
+// the image and the learner jumps past the transferred commits.
+func (t *Primary) onXfer(c Checkpoint) {
+	if t.install == nil || !t.install(c.State, c.UpTo) {
+		return
+	}
+	t.gate.fastForward(c.UpTo, c.NextSeq)
+	if c.UpTo+1 > t.nextCommit {
+		t.nextCommit = c.UpTo + 1
+	}
+	for no := range t.pending {
+		if no < t.nextCommit {
+			delete(t.pending, no)
+		}
+	}
+	// Drain commits buffered past the transferred prefix.
+	for {
+		m, ok := t.pending[t.nextCommit]
+		if !ok {
+			return
+		}
+		delete(t.pending, t.nextCommit)
+		t.nextCommit++
+		t.gate.offer(m)
+	}
+}
+
+// SetCheckpoint implements TOB: capture the transfer record at the current
+// delivery boundary; on the primary, additionally truncate the sequencer's
+// commit log (and its stamp filter) below it. As with the Paxos endpoint,
+// capture defers while the gate holds FIFO-buffered messages (see
+// Paxos.SetCheckpoint) — the previous record and log stay in force.
+func (t *Primary) SetCheckpoint(upTo int64, state any) error {
+	if upTo != t.gate.nDelivered {
+		return fmt.Errorf("tob: checkpoint at %d deliveries, gate has delivered %d", upTo, t.gate.nDelivered)
+	}
+	if t.gate.holes() {
+		return nil
+	}
+	t.ckpt = &Checkpoint{
+		UpTo:    upTo,
+		Slot:    upTo, // commit numbers are delivery numbers under a sequencer
+		NextSeq: cloneSeq(t.gate.nextSeq),
+		State:   state,
+	}
+	t.gate.compact()
+	if t.id == t.primary && upTo > t.logBase {
+		cut := upTo - t.logBase
+		if cut > int64(len(t.log)) {
+			cut = int64(len(t.log))
+		}
+		for _, m := range t.log[:cut] {
+			delete(t.stamped, m.ID)
+		}
+		fresh := make([]Message, len(t.log)-int(cut))
+		copy(fresh, t.log[cut:])
+		t.log = fresh
+		t.logBase += cut
+	}
+	return nil
+}
+
+// SetInstall implements TOB.
+func (t *Primary) SetInstall(fn func(state any, upTo int64) bool) { t.install = fn }
 
 // Resync implements TOB: ask the primary to re-announce the commits this
 // learner missed. The primary's own sequencer state is durable by
@@ -483,6 +755,14 @@ func (t *Primary) SetBatchDeliver(fn BatchDeliverFunc) { t.gate.batch = fn }
 
 func (t *Primary) stamp(m Message) {
 	if t.stamped[m.ID] {
+		return
+	}
+	if next := t.gate.nextSeq[m.Origin]; next != 0 && m.Seq < next {
+		// Already stamped, delivered and possibly truncated from the stamp
+		// filter by a checkpoint: the per-origin sequence cursor is the
+		// duplicate filter for stamped history, exactly as it is for
+		// delivery. Re-stamping would mint a second commit number for the
+		// same request and desynchronize commit numbers from deliveries.
 		return
 	}
 	t.stamped[m.ID] = true

@@ -371,3 +371,76 @@ func TestPaxosTOBChurnProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCheckpointDefersWhileGateHoldsHoles pins the safety rule of checkpoint
+// capture: while the FIFO gate buffers a decided-but-undelivered message (a
+// per-origin hole), SetCheckpoint must keep the previous record and replay
+// log in force — a record captured in that window would cover the held
+// message with neither the image (it is undelivered) nor the replay (its
+// slot would fall below the truncation), losing it for every receiver.
+func TestCheckpointDefersWhileGateHoldsHoles(t *testing.T) {
+	gate := newFifoGate(func(int64, Message) {})
+	gate.offer(Message{ID: "o1#1", Origin: 1, Seq: 1, Payload: "a"})
+	// Seq 3 decided while seq 2 is still undecided: a FIFO hole.
+	gate.offer(Message{ID: "o1#3", Origin: 1, Seq: 3, Payload: "c"})
+	if gate.nDelivered != 1 || !gate.holes() {
+		t.Fatalf("fixture: delivered %d, holes %v; want 1 with a hole", gate.nDelivered, gate.holes())
+	}
+
+	p := &Primary{id: 0, primary: 0, gate: gate, stamped: map[string]bool{}, pending: map[int64]Message{}, nextCommit: 1}
+	p.log = []Message{{ID: "o1#1", Origin: 1, Seq: 1}}
+	p.commitNo = 1
+	if err := p.SetCheckpoint(1, "image"); err != nil {
+		t.Fatal(err)
+	}
+	if p.ckpt != nil || p.logBase != 0 || len(p.log) != 1 {
+		t.Fatalf("capture not deferred: ckpt %v, logBase %d, log %d", p.ckpt, p.logBase, len(p.log))
+	}
+
+	// The hole fills; the same checkpoint now captures and truncates. The
+	// fill delivers seq 2 and the buffered seq 3, so the boundary moves.
+	gate.offer(Message{ID: "o1#2", Origin: 1, Seq: 2, Payload: "b"})
+	if gate.holes() || gate.nDelivered != 3 {
+		t.Fatalf("hole did not drain: delivered %d", gate.nDelivered)
+	}
+	p.log = append(p.log, Message{ID: "o1#2", Origin: 1, Seq: 2}, Message{ID: "o1#3", Origin: 1, Seq: 3})
+	p.commitNo = 3
+	if err := p.SetCheckpoint(3, "image2"); err != nil {
+		t.Fatal(err)
+	}
+	if p.ckpt == nil || p.ckpt.UpTo != 3 || p.logBase != 3 || len(p.log) != 0 {
+		t.Fatalf("capture after drain: ckpt %+v, logBase %d, log %d", p.ckpt, p.logBase, len(p.log))
+	}
+	if p.ckpt.NextSeq[1] != 4 {
+		t.Fatalf("captured cursor %d, want 4", p.ckpt.NextSeq[1])
+	}
+}
+
+// TestStaleSeqDropsAfterCompaction pins the keystone of dedup-set
+// truncation: after the gate compacts its id filter, a replayed message
+// below the per-origin cursor must still be dropped, while genuinely new
+// sequences pass.
+func TestStaleSeqDropsAfterCompaction(t *testing.T) {
+	var got []string
+	gate := newFifoGate(func(_ int64, m Message) { got = append(got, m.ID) })
+	gate.offer(Message{ID: "o1#1", Origin: 1, Seq: 1})
+	gate.offer(Message{ID: "o1#2", Origin: 1, Seq: 2})
+	gate.compact()
+	if len(gate.seen) != 0 {
+		t.Fatalf("compact kept %d delivered ids", len(gate.seen))
+	}
+	gate.offer(Message{ID: "o1#1", Origin: 1, Seq: 1}) // replay of truncated history
+	gate.offer(Message{ID: "o1#3", Origin: 1, Seq: 3}) // fresh
+	want := []string{"o1#1", "o1#2", "o1#3"}
+	if len(got) != len(want) {
+		t.Fatalf("deliveries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deliveries %v, want %v", got, want)
+		}
+	}
+	if gate.nDelivered != 3 {
+		t.Fatalf("nDelivered %d, want 3 (replay dropped)", gate.nDelivered)
+	}
+}

@@ -104,6 +104,77 @@ func MicroGuaranteeSession(sessions, ops int) error {
 	return c.Settle(0)
 }
 
+// SnapshotFixture is a prebuilt single-replica deployment with a long
+// committed history, used by the snapshot/recovery benchmarks: building the
+// history is O(n) setup, while the measured operations — Snapshot and
+// RestoreReplica — must stay O(suffix) when checkpointing is on.
+type SnapshotFixture struct {
+	Replica *core.Replica
+	Snap    core.Snapshot
+}
+
+// NewSnapshotFixture invokes, commits and executes `history` weak increments
+// on a fresh Algorithm 2 replica, checkpointing after every `every` commits
+// (0 = never checkpoint — the unbounded-log baseline), then captures the
+// durable snapshot.
+func NewSnapshotFixture(history, every int) (*SnapshotFixture, error) {
+	r := core.NewReplica(0, core.NoCircularCausality, func() int64 { return 0 })
+	for k := 0; k < history; k++ {
+		eff, err := r.Invoke(spec.Inc("c"+string(rune('a'+k%16)), 1), false)
+		if err != nil {
+			return nil, err
+		}
+		for _, req := range eff.TOBCast {
+			if _, err := r.TOBDeliver(req); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := r.Drain(); err != nil {
+			return nil, err
+		}
+		if every > 0 && r.CommittedLen()-r.BaseLen() >= every {
+			if _, err := r.Checkpoint(r.CommittedLen()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &SnapshotFixture{Replica: r, Snap: r.Snapshot()}, nil
+}
+
+// Snapshot takes one durable snapshot of the fixture's replica — the crash
+// path both drivers run, measured per call.
+func (f *SnapshotFixture) Snapshot() core.Snapshot { return f.Replica.Snapshot() }
+
+// Restore rebuilds a replica from the fixture's snapshot — the recovery
+// path, measured per call. It returns an error if the restored replica does
+// not reach the snapshot's committed length.
+func (f *SnapshotFixture) Restore() error {
+	var eff core.Effects
+	restored, err := core.RestoreReplica(f.Snap, func() int64 { return 0 }, false, &eff)
+	if err != nil {
+		return err
+	}
+	if restored.CommittedLen() != f.Snap.CommittedLen() {
+		return errors.New("workload: restored replica lost committed history")
+	}
+	return nil
+}
+
+// MicroSnapshotRestore is the crash–recovery hot path as a one-shot
+// workload: build `history` committed ops (checkpointing every `every`), then
+// snapshot and restore once. cmd/bayou-bench's -json report runs it so the
+// recovery-cost trajectory is recorded alongside the protocol hot paths; the
+// root package's BenchmarkSnapshotRestore/BenchmarkCheckpointRecovery
+// measure the same fixture with the build excluded from the timed region.
+func MicroSnapshotRestore(history, every int) error {
+	f, err := NewSnapshotFixture(history, every)
+	if err != nil {
+		return err
+	}
+	f.Snap = f.Snapshot()
+	return f.Restore()
+}
+
 // MicroRollbackReexecute is the reordering hot path: a local request with a
 // far-future timestamp, then ops remote deliveries with ever-older
 // timestamps, each forcing a rollback and re-execution

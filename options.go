@@ -42,6 +42,10 @@ type config struct {
 	// scripts that reason about message timing set it explicitly). The
 	// live driver has no link timing and rejects it.
 	Latency int64
+	// CheckpointEvery makes every replica checkpoint its stable state once
+	// it has accumulated that many commits past its last checkpoint (0
+	// disables automatic checkpointing). Both drivers support it.
+	CheckpointEvery int
 }
 
 // WithReplicas sets the number of replicas (default 3).
@@ -97,6 +101,25 @@ func WithLatency(ticks int64) Option {
 			return fmt.Errorf("bayou: WithLatency(%d): need at least one tick", ticks)
 		}
 		o.Latency = ticks
+		return nil
+	}
+}
+
+// WithCheckpointEvery bounds every replica's logs: once a replica has
+// accumulated n commits past its last checkpoint it folds the stable prefix
+// into a checkpoint image and truncates the committed log, undo data, dedup
+// state and the total-order replay log to the suffix. Snapshots and
+// crash-recovery become O(suffix) instead of O(history), and a replica that
+// recovers (or falls) behind a peer's checkpoint catches up by state
+// transfer — it receives the image instead of a per-operation replay. Both
+// drivers support it; Cluster.Checkpoint triggers one manually regardless of
+// the cadence. n = 0 restores the default (no automatic checkpointing).
+func WithCheckpointEvery(n int) Option {
+	return func(o *config) error {
+		if n < 0 {
+			return fmt.Errorf("bayou: WithCheckpointEvery(%d): negative cadence", n)
+		}
+		o.CheckpointEvery = n
 		return nil
 	}
 }

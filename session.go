@@ -245,14 +245,31 @@ func (s *Session) Wait(ctx context.Context) (Response, error) {
 	return s.c.Wait(ctx, last)
 }
 
+// ErrResultLost reports a call that completed without a response value: the
+// operation committed — its effect is in every replica's state — but its
+// replica was down when the commit happened and recovered by checkpoint
+// state transfer, so the return value was never computed anywhere and never
+// can be. The write-log truncation trade-off of the original Bayou, made
+// explicit (see Call.Lost and WithCheckpointEvery).
+var ErrResultLost = errors.New("bayou: operation committed but its result was lost to checkpoint truncation")
+
 // Wait blocks until the given call has its response, driving the deployment
-// as the substrate requires, and returns it.
+// as the substrate requires, and returns it. A call completed as a lost
+// result (Call.Lost) returns ErrResultLost rather than a bogus zero value.
 func (c *Cluster) Wait(ctx context.Context, call *Call) (Response, error) {
 	if call == nil {
 		return Response{}, errors.New("bayou: nil call")
 	}
 	if err := c.drv.AwaitCall(ctx, call); err != nil {
 		return Response{}, err
+	}
+	if resp := call.Response(); resp.Req.Op != nil {
+		// A lost call that had already answered tentatively keeps that
+		// value — only the stable notice was lost.
+		return resp, nil
+	}
+	if call.Lost() {
+		return Response{}, ErrResultLost
 	}
 	return call.Response(), nil
 }
