@@ -147,6 +147,102 @@ func BenchmarkGuaranteeCoverage(b *testing.B) {
 	}
 }
 
+// --- strong-path micro-benchmarks ------------------------------------------
+
+// BenchmarkStrongBurst measures the multi-decree strong path end to end:
+// one iteration is a fixed 64-write/64-read burst from 32 concurrent
+// sessions against a stable leader — slot batching and pipelining collapse
+// the writes into few decided slots, the leader lease serves the reads
+// locally (the shared workload behind bayou-bench's MicroStrongBurst).
+func BenchmarkStrongBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.MicroStrongBurst(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrongCommitLatency measures one strong update committed
+// through consensus to quiescence on a prebuilt leased deployment — the
+// per-operation strong-write latency a sequential session observes.
+func BenchmarkStrongCommitLatency(b *testing.B) {
+	f, err := workload.NewLeaseFixture(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Write(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeaseRead measures one strong read served locally under the
+// leader lease: zero proposal rounds, zero forwarding — the fixture
+// errors out if a read ever falls back to consensus, so the measured
+// region is guaranteed to be the local path.
+func BenchmarkLeaseRead(b *testing.B) {
+	f, err := workload.NewLeaseFixture(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestStrongBurstScaling pins the tentpole claim deterministically, with
+// no wall clock involved: the same 128-write/128-read strong burst on the
+// classic baseline (one value per slot, window 1, every read through
+// consensus) and on the multi-decree fast path (default batching and
+// pipelining, leased reads) must differ by ≥10x in simulated-time
+// throughput. The counter evidence is asserted alongside: the fast path's
+// reads issue zero proposals, its leader never re-runs Phase 1 after
+// taking leadership, and batching actually collapsed slots.
+func TestStrongBurstScaling(t *testing.T) {
+	const ops = 128
+	base, err := workload.MicroStrongBurstStats(ops, ops, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := workload.MicroStrongBurstStats(ops, ops, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: %d ticks, %d msgs, %d slots (%d proposals, %d prepares)",
+		base.Ticks, base.NetSent, base.Leader.DecidedSlots, base.Leader.Proposals, base.Leader.Prepares)
+	t.Logf("fast:     %d ticks, %d msgs, %d slots (%d proposals, %d prepares, %d batched values)",
+		fast.Ticks, fast.NetSent, fast.Leader.DecidedSlots, fast.Leader.Proposals, fast.Leader.Prepares, fast.Leader.BatchedValues)
+	if fast.Ticks <= 0 || base.Ticks < 10*fast.Ticks {
+		t.Errorf("strong-op throughput win = %.1fx in simulated time, want ≥10x (baseline %d ticks, fast %d)",
+			float64(base.Ticks)/float64(fast.Ticks), base.Ticks, fast.Ticks)
+	}
+	if fast.ReadProposals != 0 {
+		t.Errorf("leased reads issued %d proposals, want 0", fast.ReadProposals)
+	}
+	if fast.Leader.Prepares > 1 {
+		t.Errorf("stable leader ran Phase 1 %d times, want 1 (ballot reuse across slots)", fast.Leader.Prepares)
+	}
+	if fast.Leader.BatchedValues == 0 {
+		t.Error("no values rode shared slots — batching never engaged")
+	}
+	if base.Leader.DecidedSlots < 2*ops {
+		t.Errorf("baseline decided %d slots, want ≥ %d (one per write and per consensus read)",
+			base.Leader.DecidedSlots, 2*ops)
+	}
+	if fast.Leader.DecidedSlots >= base.Leader.DecidedSlots/2 {
+		t.Errorf("fast path decided %d slots vs baseline %d — batching did not collapse the burst",
+			fast.Leader.DecidedSlots, base.Leader.DecidedSlots)
+	}
+}
+
 // BenchmarkAdjustExecution profiles the incremental schedule-edit engine on
 // its three characteristic shapes. One iteration is a fixed 500-request
 // workload on a fresh replica; the per-request cost is what distinguishes

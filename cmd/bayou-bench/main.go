@@ -318,6 +318,47 @@ func microBenches() []microBench {
 			}
 		}})
 	}
+	// The strong-path family: a pipelined, batched, leased burst end to
+	// end, the per-commit latency of an established leader (Phase-2-only),
+	// and the locally-served lease read — the three numbers behind the
+	// raw-speed strong path, tracked so the -compare gate catches any
+	// regression of the multi-decree machinery.
+	benches = append(benches,
+		microBench{"StrongBurst/64w64r", workload.StrongBurstSessions, false, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := workload.MicroStrongBurst(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		microBench{"StrongCommitLatency", 1, false, func(b *testing.B) {
+			f, err := workload.NewLeaseFixture(10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Write(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		microBench{"LeaseRead", 1, false, func(b *testing.B) {
+			f, err := workload.NewLeaseFixture(10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Read(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
 	for _, sessions := range []int{1, 4, 16} {
 		sessions := sessions
 		benches = append(benches, microBench{

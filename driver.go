@@ -119,6 +119,12 @@ type simDriver struct {
 	n int
 }
 
+// defaultLeaseTicks is the leader-lease duration WithLeaderLease installs
+// on the simulator: long enough (at default link latency 10) to amortize
+// the quorum grant over many renewals, short enough that a partitioned
+// leader stops serving strong reads within a few hundred simulated ticks.
+const defaultLeaseTicks = 2000
+
 // newSimDriver builds the simulated substrate from validated options.
 func newSimDriver(o config) (*simDriver, error) {
 	cfg := cluster.Config{
@@ -128,6 +134,10 @@ func newSimDriver(o config) (*simDriver, error) {
 		StepBatch:       o.StepBatch,
 		Latency:         sim.Time(o.Latency),
 		CheckpointEvery: o.CheckpointEvery,
+		PipelineDepth:   o.PipelineDepth,
+	}
+	if o.LeaderLease {
+		cfg.LeaseTicks = defaultLeaseTicks
 	}
 	if o.UsePrimaryTOB {
 		cfg.TOB = cluster.PrimaryTOB

@@ -553,6 +553,183 @@ func runGuaranteeConformance(t *testing.T, c *Cluster) conformanceOutcome {
 	}
 }
 
+// runLeaseFailoverConformance executes the lease fault script on the given
+// cluster, substrate-blind: acquire the lease at the leader, then keep
+// serving strong reads locally while a lease *grantor* crashes, recovers,
+// and is partitioned into a minority — the holder retains a quorum of
+// grants throughout, so reads never fall back to consensus for long. The
+// script never crashes replica 0 (the live sequencer cannot crash) and
+// expresses failover through the grantor side, which both substrates can
+// run. Lease service is observed through the public API: a lease-served
+// strong read is complete the moment Invoke returns, a consensus read is
+// not.
+func runLeaseFailoverConformance(t *testing.T, c *Cluster) conformanceOutcome {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s0, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Invoke(Inc("ctr", 1), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// leaseRead retries a strong read until one is served synchronously —
+	// the first queries warm the lease (acquisition is query-driven); the
+	// consensus fallbacks in between must still complete and be correct.
+	leaseRead := func() Value {
+		for try := 0; ; try++ {
+			call, err := s0.Invoke(CtrGet("ctr"), Strong)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := call.Done()
+			resp, err := s0.Wait(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				return resp.Value
+			}
+			if try > 50 {
+				t.Fatal("lease never engaged: strong reads keep routing through consensus")
+			}
+			c.Run(200)
+			if err := c.Settle(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if v := leaseRead(); !Equal(v, int64(1)) {
+		t.Fatalf("lease read = %v, want 1", v)
+	}
+
+	// Crash a grantor: the holder still has a quorum (itself plus replica
+	// 1), so local service must continue.
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Invoke(Inc("ctr", 2), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	leaseRead()
+
+	// Recover the grantor, then partition it into a minority: quorum
+	// {0, 1} keeps granting, and the minority's weak writes stay
+	// wait-free.
+	if err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition([]int{0, 1}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	leaseRead()
+	minority, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := minority.Invoke(Inc("ctr", 4), Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !call.Done() {
+		t.Fatal("weak op lost bounded wait-freedom in the minority cell")
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.MarkStable()
+	c.Run(50) // let simulated time pass the reads' Lamport bumps
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := c.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := c.Read(0, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conformanceOutcome{
+		counter:    counter,
+		lockOwners: 1, // no strong contention in this script
+		committed:  sortedCopy(ref),
+		fecOK:      fec.OK(),
+		seqOK:      seq.OK(),
+	}
+}
+
+// TestDriverConformanceLeaseFailover runs the lease fault script on both
+// drivers with leases enabled and demands the same settled counter and the
+// same checker verdicts — the lease fast path must not be visible in
+// anything but latency.
+func TestDriverConformanceLeaseFailover(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(5150), WithLeaderLease())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runLeaseFailoverConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3), WithLeaderLease())
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runLeaseFailoverConformance(t, live)
+
+	if !Equal(simOut.counter, int64(7)) {
+		t.Errorf("sim counter = %v, want 7", simOut.counter)
+	}
+	if !Equal(simOut.counter, liveOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, live %v", simOut.counter, liveOut.counter)
+	}
+	if !simOut.fecOK || !liveOut.fecOK {
+		t.Errorf("FEC(weak) verdicts under lease failover: sim %v, live %v, want both true", simOut.fecOK, liveOut.fecOK)
+	}
+	if !simOut.seqOK || !liveOut.seqOK {
+		t.Errorf("Seq(strong) verdicts under lease failover: sim %v, live %v, want both true", simOut.seqOK, liveOut.seqOK)
+	}
+}
+
 // TestDriverConformanceGuarantees runs the identical migrate-under-partition
 // guarantee script on both drivers and demands equal settled counters, equal
 // committed multisets and equal verdicts (FEC(weak) and CheckGuarantees).

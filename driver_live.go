@@ -35,12 +35,16 @@ func newLiveDriver(o config) (*liveDriver, error) {
 	if o.Latency != 0 {
 		return nil, fmt.Errorf("%w: link latency (WithLatency) needs the deterministic simulator", ErrUnsupported)
 	}
+	if o.PipelineDepth != 0 {
+		return nil, fmt.Errorf("%w: slot pipelining (WithPipelineDepth) needs the simulator's Paxos total order", ErrUnsupported)
+	}
 	// The live substrate always totally orders through the replica-0
 	// sequencer, so UsePrimaryTOB is already true and Seed has no effect.
 	inner := livenet.NewFromConfig(livenet.Config{
 		N:               o.Replicas,
 		Variant:         o.Variant,
 		CheckpointEvery: o.CheckpointEvery,
+		LeaderLease:     o.LeaderLease,
 	})
 	return &liveDriver{c: inner, n: o.Replicas}, nil
 }

@@ -70,7 +70,15 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 	// recovering replicas, truncated RB/TOB replay, lost-result
 	// continuations) alongside the plain fault schedules.
 	cadence := []int{0, 3, 9}[((seed/4)%3+3)%3]
-	c, err = New(WithReplicas(soakReplicas), WithSeed(seed), WithVariant(variant), WithCheckpointEvery(cadence))
+	// Half the corpus runs with leader leases on, so the lease fast path is
+	// soaked against the same crash/partition schedules as consensus proper
+	// — including crashing or partitioning the lease holder mid-window.
+	lease := ((seed/8)%2+2)%2 == 1
+	opts := []Option{WithReplicas(soakReplicas), WithSeed(seed), WithVariant(variant), WithCheckpointEvery(cadence)}
+	if lease {
+		opts = append(opts, WithLeaderLease())
+	}
+	c, err = New(opts...)
 	if err != nil {
 		return sched, "", nil, err
 	}
@@ -83,7 +91,7 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 	if err := c.ElectLeader(leader); err != nil {
 		return sched, "", c, err
 	}
-	act("elect %d", leader)
+	act("elect %d (lease %v)", leader, lease)
 
 	crashed := make(map[int]bool)
 	alive := func() []int {
@@ -155,11 +163,17 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 		case 4, 5: // strong invocation (no wait: it may starve until the finale)
 			r := up[rng.Intn(len(up))]
 			var op Op
-			name := "dup"
-			if rng.Intn(2) == 0 {
-				op = Duplicate()
-			} else {
+			var name string
+			switch rng.Intn(3) {
+			case 0:
+				op, name = Duplicate(), "dup"
+			case 1:
 				op, name = PutIfAbsent("k"+strconv.Itoa(rng.Intn(2)), r), "putIfAbsent"
+			default:
+				// Read-only: eligible for local lease service at the
+				// leader when leases are on, consensus otherwise — the
+				// checker holds both paths to the same Seq(strong).
+				op, name = Get("ctr"), "get"
 			}
 			if err := invoke(r, op, Strong, "strong "+name); err != nil {
 				return sched, "", c, err

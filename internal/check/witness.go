@@ -51,18 +51,43 @@ func NewWitness(h *history.History) *Witness {
 // observation horizon.
 func delivered(e *history.Event) bool { return e.TOBNo > 0 }
 
-// ArLess is the arbitration comparator of the Theorem 2 proof.
+// anchored reports whether the event has a fixed position in the global
+// commit order: TOB-delivered events sit at their delivery position, and
+// lease reads — strong reads served locally under the ordering lease,
+// never TOB-cast — sit between the commit they read up to and the next one.
+func anchored(e *history.Event) bool { return delivered(e) || e.LeaseRead }
+
+// arPos maps an anchored event to its position on a common axis: commit k
+// at 2k, a lease read that observed the k-length committed prefix at 2k+1 —
+// strictly after commit k and strictly before commit k+1. Positions
+// coincide only for lease reads that observed the same prefix; those are
+// mutually read-only and tie-broken by request order.
+func arPos(e *history.Event) int64 {
+	if e.LeaseRead {
+		return 2*e.LeaseNo + 1
+	}
+	return 2 * e.TOBNo
+}
+
+// ArLess is the arbitration comparator of the Theorem 2 proof, extended to
+// lease reads: anchored events (delivered, or lease-served) by their commit-
+// axis position, TOB-cast-but-undelivered events after all anchored ones in
+// request order, never-cast weak reads interleaved by request order.
 func (w *Witness) ArLess(a, b *history.Event) bool {
 	if a == b {
 		return false
 	}
-	if !a.TOBCast || !b.TOBCast {
+	if (!a.TOBCast && !a.LeaseRead) || (!b.TOBCast && !b.LeaseRead) {
 		return history.ReqLess(a, b)
 	}
-	da, db := delivered(a), delivered(b)
+	da, db := anchored(a), anchored(b)
 	switch {
 	case da && db:
-		return a.TOBNo < b.TOBNo
+		pa, pb := arPos(a), arPos(b)
+		if pa != pb {
+			return pa < pb
+		}
+		return history.ReqLess(a, b)
 	case da:
 		return true
 	case db:
@@ -76,6 +101,12 @@ func (w *Witness) ArLess(a, b *history.Event) bool {
 func (w *Witness) Vis(a, b *history.Event) bool {
 	if a == b {
 		return false
+	}
+	if a.LeaseRead {
+		// A lease read is read-only and never cast, so no trace can hold
+		// it; its visibility follows its arbitration anchor, keeping
+		// vis ⊆ ar.
+		return w.ArLess(a, b)
 	}
 	if !a.TOBCast {
 		// Never-cast (weak read-only) events are "visible" by request

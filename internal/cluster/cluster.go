@@ -19,6 +19,7 @@ import (
 	"bayou/internal/core"
 	"bayou/internal/fd"
 	"bayou/internal/history"
+	"bayou/internal/paxos"
 	"bayou/internal/rb"
 	"bayou/internal/record"
 	"bayou/internal/sim"
@@ -77,6 +78,23 @@ type Config struct {
 	// checkpoint drains the replica's internal work, which manual-schedule
 	// scenarios must control themselves.
 	CheckpointEvery int
+
+	// PipelineDepth bounds how many consensus slots a stable Paxos leader
+	// keeps in flight concurrently (0 = the paxos package default). Only
+	// meaningful under PaxosTOB.
+	PipelineDepth int
+
+	// BatchCap bounds how many cast values one consensus slot carries
+	// (0 = the paxos package default; 1 reproduces the classic
+	// one-value-per-slot baseline — the scaling tests' control knob).
+	BatchCap int
+
+	// LeaseTicks enables leader leases of that duration in scheduler ticks
+	// (0 = disabled): a quorum-leased leader serves strong reads from its
+	// local committed prefix with zero proposal rounds. Under PrimaryTOB
+	// the sequencer is structurally the permanent leaseholder, so any
+	// non-zero value simply switches the local strong-read path on.
+	LeaseTicks sim.Time
 }
 
 // Call is a client's handle on one invocation (see record.Call).
@@ -159,6 +177,12 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.N; i++ {
 		c.sessions[core.SessionID(i)] = core.ReplicaID(i)
 	}
+	if cfg.LeaseTicks > 0 {
+		// The lease-read serve gate needs per-session cast/commit tracking;
+		// with leases off the recorder skips that bookkeeping entirely
+		// (exact alloc parity on the weak hot path).
+		c.rec.EnableLeaseTracking()
+	}
 	c.net = simnet.New(c.sched)
 	c.net.SetLatency(func(from, to simnet.NodeID) sim.Time {
 		if from == to {
@@ -192,7 +216,17 @@ func New(cfg Config) (*Cluster, error) {
 		case PrimaryTOB:
 			n.tobNode = tob.NewPrimary(simnet.NodeID(i), 0, c.net, nil)
 		default:
-			n.tobNode = tob.NewPaxos(simnet.NodeID(i), peers, c.sched, c.net, c.omega, nil)
+			px := tob.NewPaxos(simnet.NodeID(i), peers, c.sched, c.net, c.omega, nil)
+			if cfg.PipelineDepth > 0 {
+				px.SetPipelineDepth(cfg.PipelineDepth)
+			}
+			if cfg.BatchCap > 0 {
+				px.SetBatchCap(cfg.BatchCap)
+			}
+			if cfg.LeaseTicks > 0 {
+				px.EnableLease(cfg.LeaseTicks)
+			}
+			n.tobNode = px
 		}
 		n.tobNode.SetBatchDeliver(n.onTOBDeliverBatch)
 		n.tobNode.SetInstall(n.onInstallCheckpoint)
@@ -432,6 +466,9 @@ func (c *Cluster) InvokeSessionAt(sess core.SessionID, id core.ReplicaID, op spe
 		return nil, fmt.Errorf("%w: session %d", ErrSessionBusy, sess)
 	}
 	if g == 0 {
+		if call, ok := c.tryLeaseRead(n, sess, op, level, nil); ok {
+			return call, nil
+		}
 		// Plain sessions take the ungated hot path.
 		eff := n.takeEff()
 		defer n.putEff(eff)
@@ -489,12 +526,51 @@ func (n *node) covers(pi parkedInvoke) bool {
 	return n.replica.CoversInvoke(pi.level, updating, read, write)
 }
 
+// tryLeaseRead serves a strong read-only invocation locally — zero proposal
+// rounds — when (1) leases are enabled, (2) the node's TOB endpoint holds
+// the ordering lease (its committed prefix is the global one), and (3) the
+// session gate proves every operation the session ever cast is inside that
+// prefix (so session order cannot expose the read as stale). It reports
+// ok=false to fall through to the normal consensus path. A parked
+// guarantee-gated invocation passes its pending call; plain-path callers
+// pass nil and get a freshly minted handle.
+func (c *Cluster) tryLeaseRead(n *node, sess core.SessionID, op spec.Op, level core.Level, pending *record.Call) (*Call, bool) {
+	if c.cfg.LeaseTicks <= 0 || level != core.Strong || !op.ReadOnly() || !n.tobNode.LeaseHeld() {
+		return nil, false
+	}
+	if !c.rec.SessionCastCommittedWithin(sess, int64(n.replica.CommittedLen())) {
+		return nil, false
+	}
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	req, ok, err := n.replica.StrongReadLocal(sess, op, eff)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: lease read on %d: %v", n.id, err))
+	}
+	if !ok {
+		return nil, false
+	}
+	leaseNo := int64(n.replica.CommittedLen())
+	call := pending
+	if call != nil {
+		c.rec.CompleteInvoke(call, req.Dot, req.Timestamp, false, int64(c.sched.Now()))
+	} else {
+		call = c.rec.Invoked(sess, req.Dot, op, level, req.Timestamp, false, int64(c.sched.Now()))
+	}
+	c.rec.LeaseServed(req.Dot, leaseNo)
+	n.route(*eff)
+	return call, true
+}
+
 // completeParked accepts a gated invocation at the node: the clock is
 // fenced above the session vectors, the replica invoked, and the pending
 // call bound to its minted dot.
 func (c *Cluster) completeParked(n *node, pi parkedInvoke) {
 	_, _, fence := c.rec.Demands(pi.sess, !pi.op.ReadOnly())
 	n.replica.FenceClock(fence)
+	if _, ok := c.tryLeaseRead(n, pi.sess, pi.op, pi.level, pi.call); ok {
+		return
+	}
 	eff := n.takeEff()
 	defer n.putEff(eff)
 	req, err := n.replica.InvokeFrom(pi.sess, pi.op, pi.level == core.Strong, eff)
@@ -604,6 +680,29 @@ func (c *Cluster) Stats() map[core.ReplicaID]core.Stats {
 
 // NetStats exposes network counters.
 func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
+
+// TOBLeaseHeld reports whether the replica's TOB endpoint currently holds
+// the ordering lease (false for a crashed replica — its endpoint is not
+// running to serve anything).
+func (c *Cluster) TOBLeaseHeld(id core.ReplicaID) bool {
+	if int(id) < 0 || int(id) >= c.cfg.N || c.nodes[id].crashed {
+		return false
+	}
+	return c.nodes[id].tobNode.LeaseHeld()
+}
+
+// PaxosCounters returns the replica's consensus cost counters (the zero
+// value under PrimaryTOB) — the deterministic evidence for the batching and
+// zero-proposal-round lease-read claims.
+func (c *Cluster) PaxosCounters(id core.ReplicaID) paxos.Counters {
+	if int(id) < 0 || int(id) >= c.cfg.N {
+		return paxos.Counters{}
+	}
+	if px, ok := c.nodes[id].tobNode.(*tob.Paxos); ok {
+		return px.Counters()
+	}
+	return paxos.Counters{}
+}
 
 // CompactAll runs Bayou's log compaction on every replica: undo data for
 // committed prefixes is released (the returned count), and each node's RB

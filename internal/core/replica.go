@@ -244,6 +244,64 @@ func (p *Replica) invokeModified(r Req, session SessionID, eff *Effects) error {
 	return nil
 }
 
+// StrongReadLocal serves a strong read-only operation directly from the
+// replica's committed prefix, bypassing total order broadcast — the lease
+// fast path. The caller (the cluster layer) is responsible for the
+// distributed half of the safety argument: it must hold the ordering lease
+// (so the local committed prefix is the global one) and prove the session
+// gate (so session order cannot observe the read as stale). This method
+// owns the local half: it reports ok=false — caller falls back to the
+// normal TOB path — unless the operation is read-only and the replica has
+// fully executed its committed prefix with no rollbacks pending.
+//
+// The committed prefix is rebuilt transiently: the executed tentative
+// suffix is rolled back in reverse, the read executes (and rolls back) on
+// the committed prefix alone, and the suffix re-executes in order —
+// identical values, identical undo trace, so the replica's observable state
+// is untouched. O(tentative suffix), which is O(1) on a strong-only
+// workload where nothing is tentative.
+func (p *Replica) StrongReadLocal(session SessionID, op spec.Op, eff *Effects) (Req, bool, error) {
+	if !op.ReadOnly() || len(p.toBeRolledBack) > 0 {
+		return Req{}, false, nil
+	}
+	nc := len(p.committed)
+	if len(p.executed) < nc {
+		return Req{}, false, nil // committed prefix not fully executed yet
+	}
+	p.currEventNo++
+	r := Req{Timestamp: p.now(), Dot: Dot{Replica: p.id, EventNo: p.currEventNo}, Strong: true, Op: op}
+	suffix := p.executed[nc:]
+	for i := len(suffix) - 1; i >= 0; i-- {
+		if err := p.state.Rollback(suffix[i].ID()); err != nil {
+			return Req{}, false, fmt.Errorf("%w: lease-read rewind %s: %v", ErrInvariant, suffix[i].ID(), err)
+		}
+	}
+	value, err := p.state.Execute(r.ID(), op)
+	if err != nil {
+		return Req{}, false, fmt.Errorf("%w: lease-read execute: %v", ErrInvariant, err)
+	}
+	if err := p.state.Rollback(r.ID()); err != nil {
+		return Req{}, false, fmt.Errorf("%w: lease-read rollback: %v", ErrInvariant, err)
+	}
+	for _, s := range suffix {
+		if _, err := p.state.Execute(s.ID(), s.Op); err != nil {
+			return Req{}, false, fmt.Errorf("%w: lease-read replay %s: %v", ErrInvariant, s.ID(), err)
+		}
+	}
+	trace := p.traceBuf[:nc:nc]
+	p.markTraceAliased(nc)
+	eff.Responses = append(eff.Responses, Response{
+		Req:          r,
+		Value:        value,
+		Committed:    true,
+		Trace:        trace,
+		TraceBase:    p.baseLen,
+		CommittedLen: p.absCommitted(),
+	})
+	p.emit(eff, r.Dot, session, StatusCommitted, value)
+	return r, true, nil
+}
+
 // RBDeliver handles an RB delivery (Algorithm 1 line 22).
 func (p *Replica) RBDeliver(r Req) (Effects, error) {
 	var eff Effects

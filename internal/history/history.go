@@ -58,6 +58,14 @@ type Event struct {
 	TraceBase    int
 	CommittedLen int
 
+	// LeaseRead marks a strong read served locally under the ordering lease
+	// (zero proposal rounds): it was never TOB-cast, but it *is* anchored in
+	// the commit order — LeaseNo is the length of the committed prefix it
+	// read, placing it between the commits numbered LeaseNo and LeaseNo+1 in
+	// the arbitration the checkers reconstruct.
+	LeaseRead bool
+	LeaseNo   int64
+
 	// Session-guarantee witnesses: the guarantee mask the issuing session
 	// carried, and the demand vectors the serving replica proved coverage
 	// of before accepting the invocation (zero for plain sessions). The

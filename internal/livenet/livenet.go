@@ -48,18 +48,20 @@ type msgKind int
 const (
 	msgInvoke msgKind = iota + 1
 	msgRBDeliver
-	msgForward   // weak/strong request en route to the primary
-	msgCommit    // primary's ordering announcement
-	msgInspect   // run a closure on the replica goroutine (reads, stats)
-	msgCrash     // fault plane: drop volatile state, start discarding traffic
-	msgRecover   // fault plane: restore from the durable snapshot and resync
-	msgResync    // a recovering peer asks for retransmission
-	msgStateXfer // sequencer ships a checkpoint to a learner behind its log
+	msgForward     // weak/strong request en route to the primary
+	msgCommit      // primary's ordering announcement (single, resync replay)
+	msgCommitBatch // primary's ordering announcement for a contiguous run
+	msgInspect     // run a closure on the replica goroutine (reads, stats)
+	msgCrash       // fault plane: drop volatile state, start discarding traffic
+	msgRecover     // fault plane: restore from the durable snapshot and resync
+	msgResync      // a recovering peer asks for retransmission
+	msgStateXfer   // sequencer ships a checkpoint to a learner behind its log
 )
 
 type message struct {
 	kind     msgKind
 	req      core.Req
+	reqs     []core.Req // msgCommitBatch: the run, commit numbers commitNo..commitNo+len-1
 	commitNo int64
 	from     core.ReplicaID // msgResync: the recovering requester
 	op       spec.Op
@@ -89,6 +91,17 @@ type Config struct {
 	// The sequencer additionally truncates its commit log below its own
 	// checkpoint and serves older learners by state transfer.
 	CheckpointEvery int
+	// LeaderLease lets the sequencer (replica 0) serve strong read-only
+	// operations locally from its committed prefix, with zero forwarding
+	// round-trips. The primary-commit scheme makes replica 0 a degenerate
+	// permanent leaseholder: it is the only node that ever stamps commits
+	// and it cannot crash (Crash(0) is refused), so its committed prefix is
+	// the global one by construction — the fault-honesty obligation "never
+	// serve after losing the lease" is vacuous because the lease cannot be
+	// lost. A real deployment over wall clocks would bound the grant with a
+	// clock-skew safety margin; see DESIGN.md for the argument and for how
+	// the simulator's Paxos substrate carries the non-degenerate version.
+	LeaderLease bool
 }
 
 // Cluster is a goroutine-per-replica deployment. Construct with New; always
@@ -97,6 +110,7 @@ type Cluster struct {
 	n         int
 	variant   core.Variant
 	ckptEvery int
+	lease     bool
 	nodes     []*node
 	clock     atomic.Int64
 	wg        sync.WaitGroup
@@ -158,9 +172,13 @@ type node struct {
 
 	// effPool recycles effect accumulators; rbBatch buffers RB deliveries
 	// pulled from the inbox in one burst so they hit the replica as a
-	// single batch.
-	effPool core.EffectsPool
-	rbBatch []core.Req
+	// single batch; fwdBatch (sequencer only) buffers forwarded requests
+	// the same way, so a burst of strong traffic is stamped as one
+	// contiguous run of commit numbers and announced to each peer in a
+	// single batched commit message.
+	effPool  core.EffectsPool
+	rbBatch  []core.Req
+	fwdBatch []core.Req
 
 	// parked holds guarantee-gated invocations waiting for this replica's
 	// state to cover their session vectors; each burst retries them after
@@ -194,11 +212,15 @@ func NewFromConfig(cfg Config) *Cluster {
 		n:         n,
 		variant:   cfg.Variant,
 		ckptEvery: cfg.CheckpointEvery,
+		lease:     cfg.LeaderLease,
 		rec:       record.New(),
 		started:   time.Now(),
 		sessions:  make(map[core.SessionID]int, n),
 		nextSess:  core.SessionID(n),
 		cell:      make([]int, n),
+	}
+	if cfg.LeaderLease {
+		c.rec.EnableLeaseTracking()
 	}
 	variant := cfg.Variant
 	for i := 0; i < n; i++ {
@@ -762,6 +784,7 @@ func (n *node) run() {
 			}
 			if !n.down {
 				n.flushRB()
+				n.flushFwd()
 				n.settleLocal()
 			}
 		}
@@ -790,12 +813,52 @@ func (n *node) covers(pi parkedInvoke) bool {
 	return n.replica.CoversInvoke(pi.level, updating, read, write)
 }
 
+// tryLeaseRead serves a strong read-only invocation locally on the
+// sequencer — zero forwarding round-trips — when (1) the leader lease is
+// enabled, (2) this node is the sequencer (the degenerate permanent
+// leaseholder: its committed prefix is the global one by construction),
+// and (3) the session gate proves every operation the session ever cast
+// is inside that prefix, so session order cannot expose the read as
+// stale. It reports ok=false to fall through to the normal forward path.
+// A guarantee-gated invocation passes its pending call; the plain path
+// passes nil and gets a freshly minted handle.
+func (n *node) tryLeaseRead(sess core.SessionID, op spec.Op, strong bool, pending *record.Call) (*record.Call, bool) {
+	if !n.cl.lease || !strong || !op.ReadOnly() || n.id != 0 || n.down {
+		return nil, false
+	}
+	if !n.cl.rec.SessionCastCommittedWithin(sess, int64(n.replica.CommittedLen())) {
+		return nil, false
+	}
+	eff := n.takeEff()
+	defer n.putEff(eff)
+	req, ok, err := n.replica.StrongReadLocal(sess, op, eff)
+	if err != nil {
+		panic(fmt.Sprintf("livenet: lease read on %d: %v", n.id, err))
+	}
+	if !ok {
+		return nil, false
+	}
+	leaseNo := int64(n.replica.CommittedLen())
+	call := pending
+	if call != nil {
+		n.cl.rec.CompleteInvoke(call, req.Dot, req.Timestamp, false, n.cl.wall())
+	} else {
+		call = n.cl.rec.Invoked(sess, req.Dot, op, core.Strong, req.Timestamp, false, n.cl.wall())
+	}
+	n.cl.rec.LeaseServed(req.Dot, leaseNo)
+	n.route(*eff)
+	return call, true
+}
+
 // complete accepts a gated invocation: the clock is fenced above the
 // session vectors, the replica invoked, and the pending call bound to its
 // minted dot.
 func (n *node) complete(pi parkedInvoke) {
 	_, _, fence := n.cl.rec.Demands(pi.sess, !pi.op.ReadOnly())
 	n.replica.FenceClock(fence)
+	if _, ok := n.tryLeaseRead(pi.sess, pi.op, pi.level == core.Strong, pi.call); ok {
+		return
+	}
 	eff := n.takeEff()
 	req, err := n.replica.InvokeFrom(pi.sess, pi.op, pi.level == core.Strong, eff)
 	if err != nil {
@@ -998,7 +1061,7 @@ func (n *node) process(m message) {
 		case msgInspect:
 			m.inspect(n)
 			close(m.done)
-		case msgRBDeliver, msgForward, msgCommit, msgResync, msgStateXfer:
+		case msgRBDeliver, msgForward, msgCommit, msgCommitBatch, msgResync, msgStateXfer:
 			// Dropped: the node is down.
 		}
 		return
@@ -1007,7 +1070,12 @@ func (n *node) process(m message) {
 		n.rbBatch = append(n.rbBatch, m.req)
 		return
 	}
+	if m.kind == msgForward && n.id == 0 {
+		n.fwdBatch = append(n.fwdBatch, m.req)
+		return
+	}
 	n.flushRB()
+	n.flushFwd()
 	switch m.kind {
 	case msgInvoke:
 		level := core.Weak
@@ -1036,6 +1104,10 @@ func (n *node) process(m message) {
 			m.reply <- invokeReply{err: fmt.Errorf("%w: session %d", record.ErrSessionBusy, m.sess)}
 			return
 		}
+		if call, ok := n.tryLeaseRead(m.sess, m.op, m.strong, nil); ok {
+			m.reply <- invokeReply{call: call}
+			return
+		}
 		eff := n.takeEff()
 		req, err := n.replica.InvokeFrom(m.sess, m.op, m.strong, eff)
 		if err != nil {
@@ -1048,11 +1120,14 @@ func (n *node) process(m message) {
 		n.putEff(eff)
 		m.reply <- invokeReply{call: call}
 	case msgForward:
-		if n.id == 0 {
-			n.stampAndBroadcast(m.req)
-		}
+		// Forwards to the sequencer were buffered above; one addressed to
+		// anybody else was misrouted and is dropped.
 	case msgCommit:
 		n.applyCommit(m.commitNo, m.req)
+	case msgCommitBatch:
+		for i, r := range m.reqs {
+			n.applyCommit(m.commitNo+int64(i), r)
+		}
 	case msgStateXfer:
 		n.installCheckpoint(m.ckpt)
 	case msgCrash:
@@ -1060,6 +1135,7 @@ func (n *node) process(m message) {
 		n.crashed.Store(true)
 		n.snap = n.replica.Snapshot()
 		n.rbBatch = n.rbBatch[:0] // buffered deliveries die with the process
+		n.fwdBatch = n.fwdBatch[:0]
 		m.reply <- invokeReply{}
 	case msgRecover:
 		m.reply <- invokeReply{err: fmt.Errorf("livenet: replica %d is not crashed", n.id)}
@@ -1087,26 +1163,51 @@ func (n *node) flushRB() {
 	n.rbBatch = n.rbBatch[:0]
 }
 
-// stampAndBroadcast is the primary's sequencer step.
-func (n *node) stampAndBroadcast(r core.Req) {
-	if n.stamped[r.ID()] || n.replica.KnownCommitted(r.Dot) {
-		// The stamp filter only covers commits past the sequencer's
-		// checkpoint; the replica's committed knowledge (base summary +
-		// suffix) covers the truncated rest — the sequencer applies its own
-		// stamps synchronously, so everything it ever stamped is committed
-		// locally. Re-stamping would mint a second commit number.
+// flushFwd stamps the buffered forwarded requests as one contiguous run.
+func (n *node) flushFwd() {
+	if len(n.fwdBatch) == 0 {
 		return
 	}
-	n.stamped[r.ID()] = true
-	n.commitNo++
-	n.commitLog = append(n.commitLog, r)
-	no := n.commitNo
-	for _, peer := range n.cl.nodes {
-		if peer.id == n.id {
-			n.applyCommit(no, r)
+	n.stampBatch(n.fwdBatch)
+	n.fwdBatch = n.fwdBatch[:0]
+}
+
+// stampBatch is the primary's sequencer step, batched: every request in
+// the run not already stamped is appended to the durable commit log under
+// the next commit numbers, each peer receives the whole run as a single
+// commit announcement, and the sequencer applies the run to itself
+// synchronously. One channel send per peer per burst, not per request —
+// the commit-log append batching that keeps the sequencer off the
+// per-operation critical path under strong-write load.
+func (n *node) stampBatch(reqs []core.Req) {
+	var fresh []core.Req
+	for _, r := range reqs {
+		if n.stamped[r.ID()] || n.replica.KnownCommitted(r.Dot) {
+			// The stamp filter only covers commits past the sequencer's
+			// checkpoint; the replica's committed knowledge (base summary +
+			// suffix) covers the truncated rest — the sequencer applies its
+			// own stamps synchronously, so everything it ever stamped is
+			// committed locally. Re-stamping would mint a second commit
+			// number.
 			continue
 		}
-		n.cl.send(int(n.id), int(peer.id), message{kind: msgCommit, commitNo: no, req: r})
+		n.stamped[r.ID()] = true
+		n.commitNo++
+		n.commitLog = append(n.commitLog, r)
+		fresh = append(fresh, r)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	first := n.commitNo - int64(len(fresh)) + 1
+	for _, peer := range n.cl.nodes {
+		if peer.id == n.id {
+			continue
+		}
+		n.cl.send(int(n.id), int(peer.id), message{kind: msgCommitBatch, commitNo: first, reqs: fresh})
+	}
+	for i, r := range fresh {
+		n.applyCommit(first+int64(i), r)
 	}
 }
 
@@ -1164,12 +1265,14 @@ func (n *node) route(eff core.Effects) {
 			}
 		}
 	}
-	for _, r := range eff.TOBCast {
+	if len(eff.TOBCast) > 0 {
 		if n.id == 0 {
-			n.stampAndBroadcast(r)
-			continue
+			n.stampBatch(eff.TOBCast)
+		} else {
+			for _, r := range eff.TOBCast {
+				n.cl.send(int(n.id), 0, message{kind: msgForward, req: r})
+			}
 		}
-		n.cl.send(int(n.id), 0, message{kind: msgForward, req: r})
 	}
 	wall := n.cl.wall()
 	for _, t := range eff.Transitions {

@@ -14,11 +14,25 @@
 //     values to fresh slots in phase 2;
 //   - learner: decided values are delivered in contiguous slot order.
 //
+// A stable leader runs the classic multi-decree fast path: phase 1 executes
+// once per ballot, after which every queued value costs one phase-2 round —
+// and the rounds themselves are amortized further by slot batching (a whole
+// pending Batch decided as one slot value) and pipelining (a bounded window
+// of slots in flight concurrently, acks tracked out of order per slot).
+// With leases enabled (EnableLease) the leader additionally acquires a
+// quorum-granted, clock-fenced lease under which LeaseHeld reports that the
+// leader's contiguous delivered prefix is the full decided prefix — the
+// license the TOB layer uses to serve strong reads locally with zero
+// proposal rounds.
+//
 // Progress requires a quorum (⌊n/2⌋+1) of acceptors to be reachable, so a
 // leader inside a minority partition cannot decide anything — which is
 // precisely how asynchronous runs starve strong operations in the paper's
 // model — while safety (no two nodes deliver different values for one slot)
-// holds unconditionally.
+// holds unconditionally. The lease adds no safety assumption beyond the
+// simulator's single virtual clock: a quorum's vows block any competing
+// ballot until they expire, and LeaseHeld turns false at the same instant
+// the vows do.
 package paxos
 
 import (
@@ -40,6 +54,21 @@ type Slot int64
 // skips no-ops at delivery.
 type NoOp struct{}
 
+// Batch is several queued values decided atomically as one slot. The TOB
+// layer unpacks a decided Batch in order, so one consensus round orders the
+// whole pending backlog of a stable leader.
+type Batch []any
+
+// DefaultPipelineDepth bounds in-flight phase-2 slots when SetPipelineDepth
+// is never called.
+const DefaultPipelineDepth = 8
+
+// DefaultBatchCap bounds how many queued values one slot may carry when
+// SetBatchCap is never called. Cap 1 reproduces the classic one-value-per-
+// slot protocol (the pre-batching baseline the scaling tests compare
+// against).
+const DefaultBatchCap = 64
+
 // Wire messages. They are exported so tests can inspect traffic, but only
 // Node methods produce or consume them.
 type (
@@ -56,9 +85,12 @@ type (
 		Accepted []SlotVal
 	}
 	// NackMsg rejects a Prepare or Accept carrying the higher promised
-	// ballot.
+	// ballot. Hold, when non-zero, is the expiry of a lease vow that
+	// caused the rejection even though the ballot was high enough: the
+	// preempted proposer should not expect promises before that time.
 	NackMsg struct {
 		Ballot Ballot
+		Hold   sim.Time
 	}
 	// AcceptMsg is the phase-2 proposal for one slot.
 	AcceptMsg struct {
@@ -82,6 +114,19 @@ type (
 	LearnReq struct {
 		From Slot
 	}
+	// LeaseReq asks every acceptor to vow, until the absolute scheduler
+	// time Until, not to promise or accept any ballot above Ballot owned
+	// by a different proposer. The leader sends it right after phase 1
+	// and again, query-driven, when less than half the lease remains.
+	LeaseReq struct {
+		Ballot Ballot
+		Until  sim.Time
+	}
+	// LeaseGrant confirms one acceptor's vow for LeaseReq.
+	LeaseGrant struct {
+		Ballot Ballot
+		Until  sim.Time
+	}
 )
 
 // SlotVal is an accepted value with its ballot, reported in promises.
@@ -95,6 +140,24 @@ type proposal struct {
 	val     any
 	acks    map[simnet.NodeID]bool
 	retries int
+}
+
+// Counters are cumulative protocol-cost counters, exposed so tests and
+// benchmarks can pin the message-economy claims (batching divides Proposals
+// by the batch size; lease reads add zero to Prepares and Proposals).
+type Counters struct {
+	// Prepares counts phase-1 rounds started (ballot acquisitions).
+	Prepares int64
+	// Proposals counts phase-2 slot proposals sent (accept rounds),
+	// including hole-filling no-ops and adopted re-proposals.
+	Proposals int64
+	// DecidedSlots counts slots delivered in contiguous order.
+	DecidedSlots int64
+	// BatchedValues counts queued values that shared their slot with at
+	// least one other value.
+	BatchedValues int64
+	// LeaseRequests counts lease acquisition/renewal rounds.
+	LeaseRequests int64
 }
 
 // Node is one Paxos participant. Construct with New; wire Handle into the
@@ -111,6 +174,10 @@ type Node struct {
 	// Acceptor.
 	promised Ballot
 	accepted map[Slot]SlotVal
+	// Lease vow: until vowUntil this acceptor refuses ballots above
+	// vowBallot from any proposer other than vowBallot's owner.
+	vowBallot Ballot
+	vowUntil  sim.Time
 
 	// Learner.
 	decided     map[Slot]any
@@ -132,16 +199,33 @@ type Node struct {
 	inflight  map[Slot]*proposal
 	nextSlot  Slot
 
+	// Multi-decree fast path knobs.
+	pipeline int // max in-flight phase-2 slots
+	batchCap int // max queued values per slot
+	// dupFilter, when set, drops queued values the TOB layer has already
+	// seen decided (in a lower slot) before they are re-proposed — the
+	// leadership-change dedup that saves wasted consensus rounds.
+	dupFilter func(any) bool
+
+	// Leader lease (leaseDur == 0 disables the machinery entirely).
+	leaseDur    sim.Time
+	leaseBallot Ballot
+	leaseGrants map[simnet.NodeID]sim.Time
+	leaseUntil  sim.Time
+	leaseReqAt  sim.Time
+	leaseReqFor Ballot
+
 	retryDelay  sim.Time
 	maxRetries  int
 	preemptions int // consecutive preemptions; capped to avoid livelock
 
 	decidedCount int64
+	counters     Counters
 }
 
 // New returns a Paxos node. peers must list every participant including id;
-// onDecide receives decided values (including NoOp fillers) in contiguous
-// slot order starting at 0.
+// onDecide receives decided values (including NoOp fillers and Batch
+// envelopes) in contiguous slot order starting at 0.
 func New(id simnet.NodeID, peers []simnet.NodeID, sched *sim.Scheduler, net *simnet.Network, onDecide func(Slot, any)) *Node {
 	sorted := append([]simnet.NodeID(nil), peers...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -155,6 +239,8 @@ func New(id simnet.NodeID, peers []simnet.NodeID, sched *sim.Scheduler, net *sim
 		decided:    make(map[Slot]any),
 		promises:   make(map[simnet.NodeID]PromiseMsg),
 		inflight:   make(map[Slot]*proposal),
+		pipeline:   DefaultPipelineDepth,
+		batchCap:   DefaultBatchCap,
 		retryDelay: 200,
 		maxRetries: 10,
 	}
@@ -165,7 +251,48 @@ func New(id simnet.NodeID, peers []simnet.NodeID, sched *sim.Scheduler, net *sim
 // candidates to a freshly promoted leader.
 func (n *Node) SetOnLead(fn func()) { n.onLead = fn }
 
+// SetPipelineDepth bounds how many phase-2 slots may be in flight at once
+// (minimum 1). Freed window slots are refilled from the queue as acks
+// arrive, so decisions overlap instead of serializing on nextDeliver.
+func (n *Node) SetPipelineDepth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	n.pipeline = d
+}
+
+// SetBatchCap bounds how many queued values one slot carries (minimum 1;
+// cap 1 disables batching — the classic one-value-per-slot baseline).
+func (n *Node) SetBatchCap(c int) {
+	if c < 1 {
+		c = 1
+	}
+	n.batchCap = c
+}
+
+// SetDupFilter installs the queue-dedup predicate: a queued value for which
+// it returns true is already decided (in a lower slot) and is dropped
+// instead of re-proposed after a leadership change.
+func (n *Node) SetDupFilter(fn func(any) bool) { n.dupFilter = fn }
+
+// EnableLease turns on leader leases with the given duration in scheduler
+// ticks. A node already leading acquires one immediately.
+func (n *Node) EnableLease(dur sim.Time) {
+	n.leaseDur = dur
+	if n.leading && dur > 0 {
+		n.requestLease()
+	}
+}
+
+// Counters returns the cumulative protocol-cost counters.
+func (n *Node) Counters() Counters { return n.counters }
+
 func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+// owner maps a ballot to the proposer that minted it (ballot = round*n+id).
+func (n *Node) owner(b Ballot) simnet.NodeID {
+	return simnet.NodeID(int64(b) % int64(len(n.peers)))
+}
 
 // nextBallot returns a fresh ballot above everything seen, unique to this
 // node.
@@ -204,12 +331,38 @@ func (n *Node) StopLead() {
 	n.wantLead = false
 	n.preparing = false
 	n.leading = false
-	for slot, p := range n.inflight {
-		if _, done := n.decided[slot]; !done {
-			n.queue = append(n.queue, p.val)
-		}
-		delete(n.inflight, slot)
+	n.requeueInflight()
+}
+
+// requeueInflight returns abandoned in-flight values to the queue front, in
+// slot order with batches unpacked, so a later leadership stint re-proposes
+// them before newer traffic and the dedup filter sees individual values.
+func (n *Node) requeueInflight() {
+	if len(n.inflight) == 0 {
+		return
 	}
+	slots := make([]Slot, 0, len(n.inflight))
+	for slot := range n.inflight {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	var requeued []any
+	for _, slot := range slots {
+		p := n.inflight[slot]
+		delete(n.inflight, slot)
+		if _, done := n.decided[slot]; done {
+			continue
+		}
+		switch v := p.val.(type) {
+		case Batch:
+			requeued = append(requeued, v...)
+		case NoOp:
+			// Hole fillers carry no client value; a future leader refills.
+		default:
+			requeued = append(requeued, v)
+		}
+	}
+	n.queue = append(requeued, n.queue...)
 }
 
 // Propose enqueues a value for total ordering. Only a leader assigns slots;
@@ -239,6 +392,7 @@ func (n *Node) startPhase1() {
 	n.curBallot = n.nextBallot()
 	n.maxSeen = n.curBallot
 	n.promises = make(map[simnet.NodeID]PromiseMsg)
+	n.counters.Prepares++
 	msg := PrepareMsg{Ballot: n.curBallot, From: n.nextDeliver}
 	n.sendAll(msg)
 	n.scheduleRetry(n.curBallot, 0, func() bool {
@@ -250,15 +404,25 @@ func (n *Node) startPhase1() {
 	})
 }
 
+// backoff computes the attempt's retry delay: exponential in the attempt
+// with a uniformly random jitter of up to half the base step, so retries
+// from many nodes desynchronize after a partition heal instead of arriving
+// as one synchronized Nack storm.
+func (n *Node) backoff(attempt int) sim.Time {
+	delay := n.retryDelay << uint(attempt)
+	jitter := sim.Time(n.sched.Rand().Int63n(int64(n.retryDelay)/2 + 1))
+	return delay + jitter
+}
+
 // scheduleRetry re-invokes resend (which reports whether to continue) up to
-// maxRetries times with exponential backoff. Retries tolerate crashed
-// acceptors; partition-held messages are re-delivered by simnet anyway.
+// maxRetries times with jittered exponential backoff. Retries tolerate
+// crashed acceptors; partition-held messages are re-delivered by simnet
+// anyway.
 func (n *Node) scheduleRetry(ballot Ballot, attempt int, resend func() bool) {
 	if attempt >= n.maxRetries {
 		return
 	}
-	delay := n.retryDelay << uint(attempt)
-	n.sched.After(delay, func() {
+	n.sched.After(n.backoff(attempt), func() {
 		if n.curBallot != ballot {
 			return
 		}
@@ -285,6 +449,10 @@ func (n *Node) Handle(from simnet.NodeID, payload any) bool {
 		n.onDecideMsg(m)
 	case LearnReq:
 		n.onLearnReq(from, m)
+	case LeaseReq:
+		n.onLeaseReq(from, m)
+	case LeaseGrant:
+		n.onLeaseGrant(from, m)
 	default:
 		return false
 	}
@@ -357,6 +525,7 @@ func (n *Node) FastForward(s Slot) {
 		slot := n.nextDeliver
 		n.nextDeliver++
 		n.decidedCount++
+		n.counters.DecidedSlots++
 		n.onDecide(slot, v)
 	}
 }
@@ -377,12 +546,25 @@ func (n *Node) onLearnReq(from simnet.NodeID, m LearnReq) {
 	}
 }
 
+// vowBlocks reports whether the acceptor's live lease vow forbids promising
+// or accepting ballot b: the vow protects the leaseholder's ballot against
+// every *other* proposer until it expires. The leaseholder itself may mint
+// higher ballots (same owner), and lower ballots are already rejected by the
+// ordinary promise check.
+func (n *Node) vowBlocks(b Ballot) bool {
+	return n.vowUntil > n.sched.Now() && b > n.vowBallot && n.owner(b) != n.owner(n.vowBallot)
+}
+
 func (n *Node) onPrepare(from simnet.NodeID, m PrepareMsg) {
 	if m.Ballot > n.maxSeen {
 		n.maxSeen = m.Ballot
 	}
 	if m.Ballot < n.promised {
 		n.net.Send(n.id, from, NackMsg{Ballot: n.promised})
+		return
+	}
+	if n.vowBlocks(m.Ballot) {
+		n.net.Send(n.id, from, NackMsg{Ballot: n.promised, Hold: n.vowUntil})
 		return
 	}
 	n.promised = m.Ballot
@@ -433,11 +615,6 @@ func (n *Node) onPromise(from simnet.NodeID, m PromiseMsg) {
 	if n.nextSlot < n.nextDeliver {
 		n.nextSlot = n.nextDeliver
 	}
-	slots := make([]Slot, 0, len(merged))
-	for s := range merged {
-		slots = append(slots, s)
-	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
 	// Re-propose adopted values and fill holes with no-ops.
 	for s := n.nextDeliver; s <= maxSlot; s++ {
 		if _, done := n.decided[s]; done {
@@ -450,6 +627,9 @@ func (n *Node) onPromise(from simnet.NodeID, m PromiseMsg) {
 		}
 	}
 	n.drainQueue()
+	if n.leaseDur > 0 {
+		n.requestLease()
+	}
 	if n.onLead != nil {
 		n.onLead()
 	}
@@ -459,24 +639,28 @@ func (n *Node) onNack(m NackMsg) {
 	if m.Ballot > n.maxSeen {
 		n.maxSeen = m.Ballot
 	}
-	if m.Ballot <= n.curBallot {
+	if m.Ballot <= n.curBallot && m.Hold == 0 {
+		return
+	}
+	if !n.preparing && !n.leading {
 		return
 	}
 	// Preempted: abandon the ballot; retry from scratch if still willing.
-	wasActive := n.preparing || n.leading
 	n.preparing = false
 	n.leading = false
-	for slot, p := range n.inflight {
-		if _, done := n.decided[slot]; !done {
-			n.queue = append(n.queue, p.val)
-		}
-		delete(n.inflight, slot)
-	}
+	n.requeueInflight()
 	// Dueling-proposer livelock is broken by capping consecutive
-	// preemption-triggered retries; Ω re-kicks leadership afterwards.
-	if wasActive && n.wantLead && n.preemptions < n.maxRetries {
+	// preemption-triggered retries; Ω re-kicks leadership afterwards. A
+	// lease-vow rejection carries the vow expiry, so the retry is scheduled
+	// past it instead of spinning against a quorum that cannot promise yet.
+	if n.wantLead && n.preemptions < n.maxRetries {
 		n.preemptions++
-		delay := n.retryDelay << uint(n.preemptions)
+		delay := n.backoff(n.preemptions)
+		if m.Hold > 0 {
+			if wait := m.Hold - n.sched.Now(); wait > delay {
+				delay = wait + n.backoff(0)
+			}
+		}
 		n.sched.After(delay, func() {
 			if n.wantLead && !n.preparing && !n.leading {
 				n.startPhase1()
@@ -488,6 +672,7 @@ func (n *Node) onNack(m NackMsg) {
 func (n *Node) propose(slot Slot, val any) {
 	p := &proposal{val: val, acks: make(map[simnet.NodeID]bool)}
 	n.inflight[slot] = p
+	n.counters.Proposals++
 	ballot := n.curBallot
 	msg := AcceptMsg{Ballot: ballot, Slot: slot, Val: val}
 	n.sendAll(msg)
@@ -503,12 +688,39 @@ func (n *Node) propose(slot Slot, val any) {
 	})
 }
 
+// drainQueue assigns queued values to fresh slots while the pipeline window
+// has room: up to batchCap values share one slot (decided atomically as a
+// Batch), values the dup filter recognizes as already decided are dropped,
+// and at most pipeline slots ride in flight concurrently. onAck refills the
+// window as decisions land.
 func (n *Node) drainQueue() {
-	for n.leading && len(n.queue) > 0 {
-		v := n.queue[0]
-		n.queue = n.queue[1:]
-		n.propose(n.nextSlot, v)
-		n.nextSlot++
+	for n.leading && len(n.queue) > 0 && len(n.inflight) < n.pipeline {
+		var batch []any
+		k := 0
+		for k < len(n.queue) && len(batch) < n.batchCap {
+			v := n.queue[k]
+			k++
+			if n.dupFilter != nil && n.dupFilter(v) {
+				continue
+			}
+			batch = append(batch, v)
+		}
+		n.queue = n.queue[k:]
+		switch len(batch) {
+		case 0:
+			// Everything inspected was a duplicate; re-check the loop
+			// condition against the remaining queue.
+		case 1:
+			n.propose(n.nextSlot, batch[0])
+			n.nextSlot++
+		default:
+			n.counters.BatchedValues += int64(len(batch))
+			n.propose(n.nextSlot, Batch(batch))
+			n.nextSlot++
+		}
+	}
+	if len(n.queue) == 0 {
+		n.queue = nil
 	}
 }
 
@@ -518,6 +730,10 @@ func (n *Node) onAccept(from simnet.NodeID, m AcceptMsg) {
 	}
 	if m.Ballot < n.promised {
 		n.net.Send(n.id, from, NackMsg{Ballot: n.promised})
+		return
+	}
+	if n.vowBlocks(m.Ballot) {
+		n.net.Send(n.id, from, NackMsg{Ballot: n.promised, Hold: n.vowUntil})
 		return
 	}
 	n.promised = m.Ballot
@@ -539,6 +755,8 @@ func (n *Node) onAck(from simnet.NodeID, m AckMsg) {
 	}
 	delete(n.inflight, m.Slot)
 	n.sendAll(DecideMsg{Slot: m.Slot, Val: p.val})
+	// The ack freed a pipeline window slot; pull waiting values forward.
+	n.drainQueue()
 }
 
 func (n *Node) onDecideMsg(m DecideMsg) {
@@ -562,6 +780,89 @@ func (n *Node) onDecideMsg(m DecideMsg) {
 		slot := n.nextDeliver
 		n.nextDeliver++
 		n.decidedCount++
+		n.counters.DecidedSlots++
 		n.onDecide(slot, v)
 	}
+}
+
+// --- leader leases ---------------------------------------------------------
+
+// requestLease broadcasts a lease acquisition/renewal round for the current
+// ballot, rate-limited so repeated LeaseHeld queries do not flood the
+// network with identical requests.
+func (n *Node) requestLease() {
+	if n.leaseDur <= 0 || !n.leading {
+		return
+	}
+	now := n.sched.Now()
+	if n.leaseReqFor == n.curBallot && n.leaseReqAt > 0 && now < n.leaseReqAt+n.leaseDur/4 {
+		return
+	}
+	n.leaseReqAt = now
+	n.leaseReqFor = n.curBallot
+	n.counters.LeaseRequests++
+	n.sendAll(LeaseReq{Ballot: n.curBallot, Until: now + n.leaseDur})
+}
+
+// onLeaseReq is the acceptor side: grant (and record the vow) iff the
+// requesting ballot is at least what this acceptor has promised — a live
+// higher ballot means another proposer may already be deciding slots, and a
+// vow for the stale leader would let it serve reads that miss them.
+func (n *Node) onLeaseReq(from simnet.NodeID, m LeaseReq) {
+	if m.Ballot < n.promised || n.vowBlocks(m.Ballot) {
+		n.net.Send(n.id, from, NackMsg{Ballot: n.promised, Hold: n.vowUntil})
+		return
+	}
+	n.promised = m.Ballot
+	n.vowBallot = m.Ballot
+	if m.Until > n.vowUntil {
+		n.vowUntil = m.Until
+	}
+	n.net.Send(n.id, from, LeaseGrant{Ballot: m.Ballot, Until: m.Until})
+}
+
+// onLeaseGrant is the leader side: the lease holds until the expiry the
+// quorum-th freshest grant vouches for.
+func (n *Node) onLeaseGrant(from simnet.NodeID, m LeaseGrant) {
+	if !n.leading || m.Ballot != n.curBallot {
+		return
+	}
+	if n.leaseBallot != m.Ballot {
+		n.leaseBallot = m.Ballot
+		n.leaseGrants = make(map[simnet.NodeID]sim.Time, len(n.peers))
+		n.leaseUntil = 0
+	}
+	if m.Until > n.leaseGrants[from] {
+		n.leaseGrants[from] = m.Until
+	}
+	if len(n.leaseGrants) < n.quorum() {
+		return
+	}
+	expiries := make([]sim.Time, 0, len(n.leaseGrants))
+	for _, until := range n.leaseGrants {
+		expiries = append(expiries, until)
+	}
+	sort.Slice(expiries, func(i, j int) bool { return expiries[i] > expiries[j] })
+	n.leaseUntil = expiries[n.quorum()-1]
+}
+
+// LeaseHeld reports whether this node holds a live quorum-granted leader
+// lease right now — the license to serve strong reads from the local
+// contiguous delivered prefix with zero proposal rounds. While the lease is
+// live, a quorum of acceptors has vowed away every competing ballot, so no
+// slot can be decided that this leader did not propose (and will not learn).
+// The query is also the renewal trigger: when less than half the lease
+// remains (or it has lapsed), a renewal round is sent — there are no
+// background timers, so an idle deployment stays quiescent and a partitioned
+// leader's lease simply expires.
+func (n *Node) LeaseHeld() bool {
+	if n.leaseDur <= 0 || !n.leading {
+		return false
+	}
+	now := n.sched.Now()
+	held := n.leaseBallot == n.curBallot && now < n.leaseUntil
+	if !held || n.leaseUntil-now < n.leaseDur/2 {
+		n.requestLease()
+	}
+	return held
 }

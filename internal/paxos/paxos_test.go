@@ -27,6 +27,12 @@ func newCluster(t *testing.T, n int, seed int64) *cluster {
 	for i := 0; i < n; i++ {
 		i := i
 		c.nodes[i] = New(peers[i], peers, c.sched, c.net, func(s Slot, v any) {
+			// Unpack batches exactly like the TOB layer does: a Batch is one
+			// slot carrying several values in order.
+			if b, ok := v.(Batch); ok {
+				c.deliver[i] = append(c.deliver[i], b...)
+				return
+			}
 			c.deliver[i] = append(c.deliver[i], v)
 		})
 		mux := &simnet.Mux{}
@@ -261,6 +267,17 @@ func flatten(vals []any) string {
 	return out
 }
 
+// vcount counts the delivered values, skipping hole-filling no-ops.
+func vcount(vals []any) int {
+	k := 0
+	for _, v := range vals {
+		if _, isNoop := v.(NoOp); !isNoop {
+			k++
+		}
+	}
+	return k
+}
+
 func contains(vals []any, want any) bool {
 	for _, v := range vals {
 		if v == want {
@@ -338,5 +355,167 @@ func TestDecidedCountAndLeadingAccessors(t *testing.T) {
 	c.run(t)
 	if c.nodes[1].Decided() != 1 {
 		t.Errorf("decided = %d, want 1", c.nodes[1].Decided())
+	}
+}
+
+// --- multi-decree fast path -------------------------------------------------
+
+func TestBatchingCollapsesQueuedBacklog(t *testing.T) {
+	c := newCluster(t, 3, 31)
+	// Queue the whole burst before leadership: Phase 1 completes once and
+	// drainQueue ships the backlog as shared slots, not one slot per value.
+	const vals = 20
+	for k := 0; k < vals; k++ {
+		c.nodes[0].Propose(fmt.Sprintf("v%02d", k))
+	}
+	c.nodes[0].Lead()
+	c.run(t)
+	want := flatten(c.deliver[0])
+	if got := vcount(c.deliver[0]); got != vals {
+		t.Fatalf("leader delivered %d values, want %d", got, vals)
+	}
+	for i := 1; i < 3; i++ {
+		if got := flatten(c.deliver[i]); got != want {
+			t.Errorf("node %d order %v != leader order %v", i, got, want)
+		}
+	}
+	ct := c.nodes[0].Counters()
+	if ct.DecidedSlots >= vals {
+		t.Errorf("decided %d slots for %d values — batching never collapsed the backlog", ct.DecidedSlots, vals)
+	}
+	if ct.BatchedValues < vals/2 {
+		t.Errorf("only %d values rode shared slots, want most of %d", ct.BatchedValues, vals)
+	}
+}
+
+func TestPipelineAtBatchCapOneDecidesAllInOrder(t *testing.T) {
+	c := newCluster(t, 3, 32)
+	c.nodes[0].SetBatchCap(1)
+	c.nodes[0].SetPipelineDepth(3)
+	const vals = 12
+	for k := 0; k < vals; k++ {
+		c.nodes[0].Propose(fmt.Sprintf("v%02d", k))
+	}
+	c.nodes[0].Lead()
+	c.run(t)
+	want := flatten(c.deliver[0])
+	if got := vcount(c.deliver[0]); got != vals {
+		t.Fatalf("leader delivered %d values, want %d", got, vals)
+	}
+	for i := 1; i < 3; i++ {
+		if got := flatten(c.deliver[i]); got != want {
+			t.Errorf("node %d order %v != leader order %v", i, got, want)
+		}
+	}
+	ct := c.nodes[0].Counters()
+	if ct.BatchedValues != 0 {
+		t.Errorf("batch cap 1 still batched %d values", ct.BatchedValues)
+	}
+	if ct.DecidedSlots < vals {
+		t.Errorf("decided %d slots, want ≥ %d (one per value)", ct.DecidedSlots, vals)
+	}
+}
+
+func TestStableLeaderRunsPhase1Once(t *testing.T) {
+	c := newCluster(t, 3, 33)
+	c.nodes[0].Lead()
+	c.run(t)
+	for k := 0; k < 10; k++ {
+		c.nodes[0].Propose(fmt.Sprintf("v%02d", k))
+		c.run(t)
+	}
+	ct := c.nodes[0].Counters()
+	if ct.Prepares != 1 {
+		t.Errorf("stable leader ran Phase 1 %d times across 10 sequential decrees, want 1", ct.Prepares)
+	}
+	if got := vcount(c.deliver[1]); got != 10 {
+		t.Errorf("follower delivered %d values, want 10", got)
+	}
+}
+
+func TestDupFilterDropsAlreadyDecidedValues(t *testing.T) {
+	c := newCluster(t, 3, 34)
+	c.nodes[0].SetDupFilter(func(v any) bool { return v == "dup" })
+	c.nodes[0].Propose("dup")
+	c.nodes[0].Propose("fresh")
+	c.nodes[0].Lead()
+	c.run(t)
+	if got := flatten(c.deliver[0]); got != "fresh|" {
+		t.Errorf("delivered %q, want \"fresh|\" (dup filtered before wasting a slot)", got)
+	}
+}
+
+func TestBackoffJitteredExponential(t *testing.T) {
+	c := newCluster(t, 3, 35)
+	n := c.nodes[0]
+	for attempt := 0; attempt < 4; attempt++ {
+		lo := n.retryDelay << attempt
+		hi := lo + n.retryDelay/2
+		distinct := map[sim.Time]bool{}
+		for i := 0; i < 50; i++ {
+			d := n.backoff(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("backoff(%d) = %d, want in [%d, %d]", attempt, d, lo, hi)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("backoff(%d) returned a constant — no jitter", attempt)
+		}
+	}
+}
+
+// --- leader leases ----------------------------------------------------------
+
+func TestLeaseHeldAfterQuorumGrant(t *testing.T) {
+	c := newCluster(t, 3, 36)
+	c.nodes[0].EnableLease(5000)
+	c.nodes[0].Lead()
+	c.nodes[0].Propose("v")
+	c.run(t)
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("leader with a quorum of grants must hold the lease")
+	}
+	if ct := c.nodes[0].Counters(); ct.LeaseRequests == 0 {
+		t.Error("no lease request counted")
+	}
+	for i := 1; i < 3; i++ {
+		if c.nodes[i].LeaseHeld() {
+			t.Errorf("non-leader %d claims the lease", i)
+		}
+	}
+}
+
+// TestLeaseLostAfterPartitionExpiry is the fault-honesty obligation at the
+// consensus layer: a leader cut off from its quorum stops holding the lease
+// once the granted window has passed — and only then can a rival take over,
+// because the granted vows block a competing ballot exactly as long as the
+// old leader might still be serving.
+func TestLeaseLostAfterPartitionExpiry(t *testing.T) {
+	c := newCluster(t, 3, 37)
+	c.nodes[0].EnableLease(300)
+	c.nodes[0].Lead()
+	c.run(t)
+	if !c.nodes[0].LeaseHeld() {
+		t.Fatal("leader must hold the lease before the fault")
+	}
+	c.net.Partition([]simnet.NodeID{0}, []simnet.NodeID{1, 2})
+	// Retries on an undecidable proposal advance the clock past the
+	// granted window without any grant traffic getting through.
+	c.nodes[0].Propose("stranded")
+	c.run(t)
+	if c.nodes[0].LeaseHeld() {
+		t.Fatal("partitioned leader still claims the lease after expiry")
+	}
+	// The vows on the majority side have expired too: a rival leads and
+	// decides without the old leader.
+	c.nodes[1].Lead()
+	c.nodes[1].Propose("rival")
+	c.run(t)
+	if flatten(c.deliver[1]) == "" {
+		t.Fatal("new leader decided nothing after the vow window passed")
+	}
+	if c.nodes[0].LeaseHeld() {
+		t.Error("deposed leader re-acquired the lease while partitioned")
 	}
 }

@@ -392,6 +392,20 @@ type Recorder struct {
 	// gates) so SessionBusy covers them.
 	guar   map[core.SessionID]*guarSession
 	parked map[core.SessionID]*Call
+
+	// leaseTrack, when non-nil (EnableLeaseTracking), counts each session's
+	// TOB-cast operations that have not yet been delivered, and the largest
+	// delivery position among those that have — the serve gate for lease
+	// reads: a local strong read at committed length L is session-safe iff
+	// the session has nothing in flight and everything it cast sits at or
+	// below L. Nil when leases are off, so the weak hot path pays nothing.
+	leaseTrack map[core.SessionID]*leaseSess
+}
+
+// leaseSess is one session's lease-gate state (see leaseTrack).
+type leaseSess struct {
+	castPending int
+	maxCommit   int64
 }
 
 // guarSession is one guarantee-carrying session's state.
@@ -416,6 +430,63 @@ func New() *Recorder {
 		guar:   make(map[core.SessionID]*guarSession),
 		parked: make(map[core.SessionID]*Call),
 		lost:   make(map[core.Dot]bool),
+	}
+}
+
+// EnableLeaseTracking switches on the per-session cast/commit bookkeeping
+// the lease-read serve gate needs (SessionCastCommittedWithin). Drivers call
+// it once, at construction, iff leases are enabled — with it off, every
+// recording path skips the tracking entirely.
+func (r *Recorder) EnableLeaseTracking() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leaseTrack == nil {
+		r.leaseTrack = make(map[core.SessionID]*leaseSess)
+	}
+}
+
+// trackCastLocked counts a session's newly cast operation (lease gate).
+func (r *Recorder) trackCastLocked(session core.SessionID) {
+	if r.leaseTrack == nil {
+		return
+	}
+	ls := r.leaseTrack[session]
+	if ls == nil {
+		ls = &leaseSess{}
+		r.leaseTrack[session] = ls
+	}
+	ls.castPending++
+}
+
+// SessionCastCommittedWithin reports whether every operation the session has
+// TOB-cast so far is delivered at a position ≤ committedLen — the session-
+// order safety gate for serving a lease read from a committed prefix of that
+// length. Sessions that never cast anything pass trivially. It reports false
+// when lease tracking is disabled: without the bookkeeping the gate cannot
+// be proven, so no lease read may be served.
+func (r *Recorder) SessionCastCommittedWithin(session core.SessionID, committedLen int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leaseTrack == nil {
+		return false
+	}
+	ls := r.leaseTrack[session]
+	if ls == nil {
+		return true
+	}
+	return ls.castPending == 0 && ls.maxCommit <= committedLen
+}
+
+// LeaseServed marks the event of an already-recorded invocation as a lease
+// read anchored at committed length leaseNo: a strong read served locally
+// under the ordering lease, never TOB-cast, arbitrated between commits
+// leaseNo and leaseNo+1 (see history.Event.LeaseRead).
+func (r *Recorder) LeaseServed(d core.Dot, leaseNo int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.events[d]; e != nil {
+		e.LeaseRead = true
+		e.LeaseNo = leaseNo
 	}
 }
 
@@ -570,6 +641,7 @@ func (r *Recorder) CompleteInvoke(call *Call, d core.Dot, ts int64, tobCast bool
 	r.order = append(r.order, d)
 	if tobCast {
 		r.tobCast++
+		r.trackCastLocked(call.session)
 	}
 	r.mu.Unlock()
 	call.bind(d, tobCast, wall)
@@ -645,6 +717,7 @@ func (r *Recorder) Invoked(session core.SessionID, d core.Dot, op spec.Op, level
 	r.order = append(r.order, d)
 	if tobCast {
 		r.tobCast++
+		r.trackCastLocked(session)
 	}
 	r.mu.Unlock()
 	return call
@@ -755,6 +828,16 @@ func (r *Recorder) TOBDelivered(d core.Dot, tobNo int64) {
 	r.mu.Lock()
 	if _, seen := r.tobNos[d]; !seen {
 		r.tobNos[d] = tobNo
+		if r.leaseTrack != nil {
+			if ev := r.events[d]; ev != nil && ev.TOBCast {
+				if ls := r.leaseTrack[ev.Session]; ls != nil {
+					ls.castPending--
+					if tobNo > ls.maxCommit {
+						ls.maxCommit = tobNo
+					}
+				}
+			}
+		}
 	}
 	if int(tobNo) == len(r.commitOrder)+1 {
 		r.commitOrder = append(r.commitOrder, d)

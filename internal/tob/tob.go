@@ -90,6 +90,16 @@ type TOB interface {
 	// when already at or past upTo). On true the endpoint fast-forwards its
 	// delivery cursors past the transferred prefix.
 	SetInstall(fn func(state any, upTo int64) bool)
+	// LeaseHeld reports whether this endpoint currently holds the ordering
+	// lease: a clock-fenced license guaranteeing that its contiguous
+	// delivered prefix is the complete decided prefix — no message can be
+	// TOB-delivered anywhere that this endpoint has not (or will not first)
+	// deliver itself. Under the Paxos implementation it is a quorum-granted
+	// leader lease (see paxos.Node.LeaseHeld); under Primary the sequencer
+	// holds it permanently (commit numbers are minted nowhere else). The
+	// cluster layer uses it to serve strong reads locally with zero
+	// proposal rounds.
+	LeaseHeld() bool
 }
 
 // Checkpoint is an endpoint's captured transfer record: the replica-level
@@ -307,6 +317,16 @@ func NewPaxos(id simnet.NodeID, peers []simnet.NodeID, sched *sim.Scheduler, net
 	}
 	t.px = paxos.New(id, peers, sched, net, t.onDecide)
 	t.px.SetOnLead(t.drainProposals)
+	// A value re-queued across a leadership change may have been decided in
+	// a lower slot meanwhile (by this or another leader); the filter drops
+	// it before it wastes a consensus round.
+	t.px.SetDupFilter(func(v any) bool {
+		m, ok := v.(Message)
+		if !ok {
+			return false
+		}
+		return t.gate.sawDecided(m.ID) || t.delivered(m)
+	})
 	omega.Subscribe(func(node simnet.NodeID) {
 		if node != id {
 			return
@@ -479,6 +499,25 @@ func (t *Paxos) SetBatchDeliver(fn BatchDeliverFunc) { t.gate.batch = fn }
 // Leading reports whether the underlying Paxos node holds leadership.
 func (t *Paxos) Leading() bool { return t.px.Leading() }
 
+// LeaseHeld implements TOB: true while the underlying Paxos node holds a
+// live quorum-granted leader lease. Querying it also drives renewal.
+func (t *Paxos) LeaseHeld() bool { return t.px.LeaseHeld() }
+
+// EnableLease turns on leader leases of the given duration (scheduler
+// ticks) on the underlying Paxos node.
+func (t *Paxos) EnableLease(dur sim.Time) { t.px.EnableLease(dur) }
+
+// SetPipelineDepth bounds the underlying Paxos node's in-flight slot
+// window.
+func (t *Paxos) SetPipelineDepth(d int) { t.px.SetPipelineDepth(d) }
+
+// SetBatchCap bounds how many cast messages the underlying Paxos node packs
+// into one slot (1 = classic one-value-per-slot).
+func (t *Paxos) SetBatchCap(c int) { t.px.SetBatchCap(c) }
+
+// Counters exposes the underlying Paxos node's protocol-cost counters.
+func (t *Paxos) Counters() paxos.Counters { return t.px.Counters() }
+
 func (t *Paxos) refreshLeadership() {
 	if t.omega.Leader(t.id) == t.id {
 		// Re-propose everything undelivered: a returning leader may have
@@ -546,19 +585,36 @@ func (t *Paxos) drainProposals() {
 }
 
 func (t *Paxos) onDecide(_ paxos.Slot, v any) {
+	// One slot may carry a whole Batch of cast messages, decided atomically
+	// and unpacked here in order; a singleton is the bare Message.
+	if b, ok := v.(paxos.Batch); ok {
+		for _, bv := range b {
+			if m, ok := bv.(Message); ok {
+				t.decideOne(m)
+			}
+		}
+		if t.px.Leading() {
+			t.drainProposals()
+		}
+		return
+	}
 	m, ok := v.(Message)
 	if !ok {
 		return // no-op filler
 	}
-	t.gate.offer(m)
-	// Free the pool entry; keep poolIDs so late forwards are not re-pooled.
-	if byOrigin := t.pool[m.Origin]; byOrigin != nil {
-		delete(byOrigin, m.Seq)
-	}
+	t.decideOne(m)
 	// A delivery can unblock FIFO-held successors in the pool; a leader
 	// must pick them up even when no new forward arrives.
 	if t.px.Leading() {
 		t.drainProposals()
+	}
+}
+
+func (t *Paxos) decideOne(m Message) {
+	t.gate.offer(m)
+	// Free the pool entry; keep poolIDs so late forwards are not re-pooled.
+	if byOrigin := t.pool[m.Origin]; byOrigin != nil {
+		delete(byOrigin, m.Seq)
 	}
 }
 
@@ -752,6 +808,13 @@ func (t *Primary) DeliveredCount() int64 { return t.gate.nDelivered }
 
 // SetBatchDeliver implements TOB.
 func (t *Primary) SetBatchDeliver(fn BatchDeliverFunc) { t.gate.batch = fn }
+
+// LeaseHeld implements TOB: the sequencer holds the ordering lease
+// permanently — commit numbers are minted nowhere else, so its delivered
+// prefix is by construction the complete decided prefix. This is trivially
+// fault-honest: a crashed primary stops all commits everywhere (nothing can
+// overtake its prefix), and its own endpoint is not running to serve reads.
+func (t *Primary) LeaseHeld() bool { return t.id == t.primary }
 
 func (t *Primary) stamp(m Message) {
 	if t.stamped[m.ID] {

@@ -6,9 +6,11 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 
 	"bayou/internal/cluster"
 	"bayou/internal/core"
+	"bayou/internal/paxos"
 	"bayou/internal/record"
 	"bayou/internal/spec"
 )
@@ -173,6 +175,207 @@ func MicroSnapshotRestore(history, every int) error {
 	}
 	f.Snap = f.Snapshot()
 	return f.Restore()
+}
+
+// StrongBurstSessions is how many concurrent sequential sessions the
+// strong burst keeps open against the leader. It deliberately exceeds
+// the default pipeline window (8): the overflow is what accumulates in
+// the proposer queue and rides shared slots, so the burst exercises
+// batching and pipelining together rather than just the open window.
+const StrongBurstSessions = 32
+
+// strongBurstLease is the lease duration the burst installs when asked
+// for lease reads (matches the façade's WithLeaderLease default scale).
+const strongBurstLease = 2000
+
+// StrongBurstStats is the deterministic evidence MicroStrongBurstStats
+// returns alongside "it finished": the leader's consensus counters and
+// the simulated network's message tally, the quantities the scaling test
+// pins the ≥10x batching/pipelining win with.
+type StrongBurstStats struct {
+	Writes int // strong updates committed through consensus
+	Reads  int // strong read-only ops issued after the write phase
+	// Leader is the leader's consensus counter snapshot after the run:
+	// Proposals/DecidedSlots expose the batching ratio, Prepares the
+	// Phase-1 skip, BatchedValues the values that rode shared slots.
+	Leader paxos.Counters
+	// ReadProposals counts consensus proposals issued during the read
+	// phase — zero when every read was served under the lease.
+	ReadProposals int64
+	// NetSent is the total simulated messages sent over the whole run.
+	NetSent int64
+	// Ticks is the simulated time the whole burst took. Identical op
+	// counts divided by Ticks is the deterministic throughput the scaling
+	// test compares across configurations — wall-clock-free, so the ≥10x
+	// pin cannot flake on a loaded CI machine.
+	Ticks int64
+}
+
+// MicroStrongBurst is the strong hot path: a three-replica simulated
+// cluster with a stable leader, StrongBurstSessions concurrent sessions
+// pushing `ops` strong increments through consensus (slot batching and
+// pipelining collapse them into few decided slots), then `ops` strong
+// reads served locally under the leader lease (MicroStrongBurst in
+// cmd/bayou-bench's -json report, BenchmarkStrongBurst in the root
+// package).
+func MicroStrongBurst(ops int) error {
+	_, err := MicroStrongBurstStats(ops, ops, 0, 0, true)
+	return err
+}
+
+// MicroStrongBurstStats runs the strong burst with explicit knobs —
+// pipeline/batchCap zero means the Paxos defaults, batchCap 1 with
+// pipeline 1 restores the classic one-value-one-slot baseline — and
+// returns the counter evidence. The write phase keeps every session's
+// one outstanding strong call in flight and lets the deployment run only
+// when the whole fan is awaiting commits; the read phase issues strong
+// read-only ops that a held lease serves locally with zero proposal
+// rounds (lease=false forces them through consensus for comparison).
+func MicroStrongBurstStats(writes, reads, pipeline, batchCap int, lease bool) (StrongBurstStats, error) {
+	var st StrongBurstStats
+	ccfg := cluster.Config{
+		N: 3, Variant: core.NoCircularCausality, Seed: 404, StepBatch: 8,
+		PipelineDepth: pipeline, BatchCap: batchCap,
+	}
+	if lease {
+		ccfg.LeaseTicks = strongBurstLease
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return st, err
+	}
+	c.StabilizeOmega(0)
+	ids := make([]core.SessionID, StrongBurstSessions)
+	for i := range ids {
+		if ids[i], err = c.OpenSession(0); err != nil {
+			return st, err
+		}
+	}
+	phase := func(n int, op spec.Op) error {
+		issued := 0
+		for issued < n {
+			progress := false
+			for _, s := range ids {
+				if issued >= n {
+					break
+				}
+				if _, err := c.InvokeSession(s, op, core.Strong); err != nil {
+					if errors.Is(err, record.ErrSessionBusy) {
+						continue
+					}
+					return err
+				}
+				issued++
+				progress = true
+			}
+			if !progress {
+				c.RunFor(5)
+			}
+		}
+		return c.Settle(0)
+	}
+	if err := phase(writes, spec.Inc("c", 1)); err != nil {
+		return st, err
+	}
+	if lease {
+		if err := waitLease(c); err != nil {
+			return st, err
+		}
+	}
+	beforeReads := c.PaxosCounters(0)
+	if err := phase(reads, spec.Get("c")); err != nil {
+		return st, err
+	}
+	after := c.PaxosCounters(0)
+	st = StrongBurstStats{
+		Writes:        writes,
+		Reads:         reads,
+		Leader:        after,
+		ReadProposals: after.Proposals - beforeReads.Proposals,
+		NetSent:       c.NetStats().Sent,
+		Ticks:         int64(c.Scheduler().Now()),
+	}
+	return st, nil
+}
+
+// LeaseFixture is a prebuilt leased deployment for the per-read
+// benchmark: a three-replica cluster whose leader holds the ordering
+// lease over a committed history, with one idle session bound to it.
+type LeaseFixture struct {
+	C    *cluster.Cluster
+	Sess core.SessionID
+}
+
+// NewLeaseFixture builds the deployment and commits `history` strong
+// increments so the lease reads have a non-trivial committed prefix to
+// serve from.
+func NewLeaseFixture(history int) (*LeaseFixture, error) {
+	c, err := cluster.New(cluster.Config{
+		N: 3, Variant: core.NoCircularCausality, Seed: 404, StepBatch: 8,
+		LeaseTicks: strongBurstLease,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.StabilizeOmega(0)
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < history; k++ {
+		if _, err := c.InvokeSession(sess, spec.Inc("c", 1), core.Strong); err != nil {
+			return nil, err
+		}
+		if err := c.Settle(0); err != nil {
+			return nil, err
+		}
+	}
+	if err := waitLease(c); err != nil {
+		return nil, err
+	}
+	return &LeaseFixture{C: c, Sess: sess}, nil
+}
+
+// waitLease runs the deployment until the leader holds the ordering
+// lease. The lease may have lapsed in simulated time while a long write
+// phase settled; querying TOBLeaseHeld triggers the renewal request, and
+// a few ticks deliver the quorum's grants. Once held, the lease cannot
+// lapse under a read-only load: lease reads are served synchronously
+// without advancing simulated time.
+func waitLease(c *cluster.Cluster) error {
+	for try := 0; !c.TOBLeaseHeld(0); try++ {
+		if try > 1000 {
+			return errors.New("workload: leader did not acquire the lease")
+		}
+		c.RunFor(20)
+	}
+	return nil
+}
+
+// Write commits one strong increment through consensus and settles — the
+// measured region of BenchmarkStrongCommitLatency (the batched/pipelined
+// proposal path at depth one, since a sequential session has exactly one
+// strong call outstanding).
+func (f *LeaseFixture) Write() error {
+	if _, err := f.C.InvokeSession(f.Sess, spec.Inc("c", 1), core.Strong); err != nil {
+		return err
+	}
+	return f.C.Settle(0)
+}
+
+// Read serves one strong read under the lease — the measured region of
+// BenchmarkLeaseRead. A read that fails to complete synchronously (the
+// lease lapsed, or it fell back to consensus) is an error: the benchmark
+// must measure the local path, not a mixture.
+func (f *LeaseFixture) Read() error {
+	call, err := f.C.InvokeSession(f.Sess, spec.Get("c"), core.Strong)
+	if err != nil {
+		return err
+	}
+	if !call.Done() {
+		return fmt.Errorf("workload: lease read %s not served locally", call.Dot())
+	}
+	return nil
 }
 
 // MicroRollbackReexecute is the reordering hot path: a local request with a

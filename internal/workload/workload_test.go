@@ -98,6 +98,52 @@ func TestCompareShapes(t *testing.T) {
 	}
 }
 
+func TestMicroStrongBurstLeaseReadsSkipConsensus(t *testing.T) {
+	st, err := MicroStrongBurstStats(24, 24, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReadProposals != 0 {
+		t.Errorf("read phase issued %d proposals, want 0 (lease serves locally)", st.ReadProposals)
+	}
+	if st.Leader.LeaseRequests == 0 {
+		t.Error("leader never requested the lease")
+	}
+	if st.Leader.BatchedValues == 0 {
+		t.Error("no values rode shared slots — batching never engaged")
+	}
+	if st.Leader.DecidedSlots >= int64(st.Writes) {
+		t.Errorf("decided %d slots for %d writes — batching did not collapse the burst",
+			st.Leader.DecidedSlots, st.Writes)
+	}
+}
+
+func TestMicroStrongBurstBaselineOneSlotPerValue(t *testing.T) {
+	st, err := MicroStrongBurstStats(16, 0, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leader.DecidedSlots < int64(st.Writes) {
+		t.Errorf("baseline decided %d slots for %d writes, want ≥ one slot per value",
+			st.Leader.DecidedSlots, st.Writes)
+	}
+	if st.Leader.BatchedValues != 0 {
+		t.Errorf("baseline batched %d values, want 0 at batch cap 1", st.Leader.BatchedValues)
+	}
+}
+
+func TestLeaseFixtureReadsComplete(t *testing.T) {
+	f, err := NewLeaseFixture(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestRollbackCostSweepGrowsWithSkew(t *testing.T) {
 	points, err := RollbackCostSweep(3, 10, []int64{1, 8})
 	if err != nil {

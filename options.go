@@ -46,6 +46,18 @@ type config struct {
 	// it has accumulated that many commits past its last checkpoint (0
 	// disables automatic checkpointing). Both drivers support it.
 	CheckpointEvery int
+	// PipelineDepth caps how many consensus slots the strong-path leader
+	// keeps in flight concurrently (0 keeps the Paxos default). Depth 1
+	// restores the classic one-slot-at-a-time baseline the scaling
+	// experiments compare against. Simulation's Paxos TOB only; the live
+	// driver (sequencer total order, no consensus slots) rejects it.
+	PipelineDepth int
+	// LeaderLease lets the total-order leader serve strong read-only
+	// operations locally from its committed prefix with zero proposal
+	// rounds. On the simulator's Paxos TOB the lease is quorum-granted and
+	// clock-fenced; on the live driver (and the primary-commit simulator
+	// variant) the sequencer is a degenerate permanent leaseholder.
+	LeaderLease bool
 }
 
 // WithReplicas sets the number of replicas (default 3).
@@ -120,6 +132,38 @@ func WithCheckpointEvery(n int) Option {
 			return fmt.Errorf("bayou: WithCheckpointEvery(%d): negative cadence", n)
 		}
 		o.CheckpointEvery = n
+		return nil
+	}
+}
+
+// WithPipelineDepth caps how many consensus slots the strong-path leader
+// keeps in flight concurrently. The default window (8) overlaps slot
+// round-trips so strong throughput is bounded by bandwidth instead of
+// latency; depth 1 restores the classic one-slot-at-a-time Paxos the
+// scaling experiments use as their baseline. Simulation only — the live
+// driver's sequencer total order has no consensus slots to pipeline and
+// rejects the option.
+func WithPipelineDepth(n int) Option {
+	return func(o *config) error {
+		if n < 1 {
+			return fmt.Errorf("bayou: WithPipelineDepth(%d): need at least one in-flight slot", n)
+		}
+		o.PipelineDepth = n
+		return nil
+	}
+}
+
+// WithLeaderLease lets the total-order leader serve strong read-only
+// operations locally from its committed prefix — zero proposal rounds, no
+// forwarding — while preserving sequential consistency for the strong
+// level: the lease is granted by a read quorum and fenced by the clock,
+// so a leader that loses quorum stops serving before a rival can commit
+// (see DESIGN.md for the per-substrate safety argument). Both drivers
+// support it; on the live driver the permanent sequencer plays the
+// leaseholder.
+func WithLeaderLease() Option {
+	return func(o *config) error {
+		o.LeaderLease = true
 		return nil
 	}
 }
