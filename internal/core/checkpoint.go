@@ -373,18 +373,21 @@ func (p *Replica) InstallCheckpoint(rec *CheckpointRecord, eff *Effects) (Instal
 	p.tentative = keep
 
 	// Orphaned continuations: committed inside the transferred prefix, value
-	// unrecoverable. Their sessions are released with a lost-result notice.
-	for d, pr := range p.awaiting {
-		if rec.Dots.Contains(d) {
-			eff.Lost = append(eff.Lost, LostResponse{Dot: d, Session: pr.session})
-			delete(p.awaiting, d)
-			stats.Orphaned++
+	// unrecoverable. Their sessions are released with a lost-result notice —
+	// emitted in dot order, not map order, so the notice stream (and every
+	// recorder artifact downstream of it) is identical across runs of the
+	// same seed.
+	for _, awaiting := range []map[Dot]*pendingResp{p.awaiting, p.awaitStable} {
+		var orphaned []Dot
+		for d := range awaiting {
+			if rec.Dots.Contains(d) {
+				orphaned = append(orphaned, d)
+			}
 		}
-	}
-	for d, pr := range p.awaitStable {
-		if rec.Dots.Contains(d) {
-			eff.Lost = append(eff.Lost, LostResponse{Dot: d, Session: pr.session})
-			delete(p.awaitStable, d)
+		sort.Slice(orphaned, func(i, j int) bool { return orphaned[i].less(orphaned[j]) })
+		for _, d := range orphaned {
+			eff.Lost = append(eff.Lost, LostResponse{Dot: d, Session: awaiting[d].session})
+			delete(awaiting, d)
 			stats.Orphaned++
 		}
 	}
