@@ -119,17 +119,17 @@ type Cluster struct {
 	started   time.Time
 
 	mu       sync.Mutex
-	sessions map[core.SessionID]int
-	nextSess core.SessionID
+	sessions map[core.SessionID]int // guarded by mu
+	nextSess core.SessionID         // guarded by mu
 
 	// Fault plane: partition cells (all equal when healed) and the
-	// messages parked on partition boundaries, guarded by partMu. The
-	// partition model matches simnet's: cross-cell traffic is held and
-	// released on Heal (reliable links retransmit); traffic to a crashed
-	// replica is dropped for good.
+	// messages parked on partition boundaries. The partition model
+	// matches simnet's: cross-cell traffic is held and released on Heal
+	// (reliable links retransmit); traffic to a crashed replica is
+	// dropped for good.
 	partMu sync.Mutex
-	cell   []int
-	held   []heldMsg
+	cell   []int     // guarded by partMu
+	held   []heldMsg // guarded by partMu
 }
 
 // heldMsg is a message parked on a partition boundary.

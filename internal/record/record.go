@@ -53,19 +53,19 @@ type Call struct {
 	tobCast bool
 
 	mu         sync.Mutex
-	done       bool
-	lost       bool
-	resp       core.Response
-	wallInvoke int64
-	wallReturn int64
-	stableDone bool
-	stableResp core.Response
-	wallStable int64
-	terminal   bool
-	doneCh     chan struct{}
-	termCh     chan struct{}
-	log        []Update
-	subs       []*sub
+	done       bool          // guarded by mu
+	lost       bool          // guarded by mu
+	resp       core.Response // guarded by mu
+	wallInvoke int64         // guarded by mu
+	wallReturn int64         // guarded by mu
+	stableDone bool          // guarded by mu
+	stableResp core.Response // guarded by mu
+	wallStable int64         // guarded by mu
+	terminal   bool          // guarded by mu
+	doneCh     chan struct{} // set at construction; closed under mu, received lock-free
+	termCh     chan struct{} // set at construction; closed under mu, received lock-free
+	log        []Update      // guarded by mu
+	subs       []*sub        // guarded by mu
 }
 
 // Dot returns the request identifier (the zero Dot while the invocation is
@@ -237,8 +237,8 @@ func (c *Call) Updates() <-chan Update {
 // sub is one Updates subscription: an unbounded buffer plus a wake-up edge.
 type sub struct {
 	mu     sync.Mutex
-	buf    []Update
-	done   bool
+	buf    []Update // guarded by mu
+	done   bool     // guarded by mu
 	notify chan struct{}
 }
 
@@ -358,15 +358,15 @@ func (c *Call) setTerminalLocked() {
 // several events share a driver instant.
 type Recorder struct {
 	mu       sync.Mutex
-	seq      int64
-	stableAt int64
-	calls    map[core.Dot]*Call
-	callList []*Call
-	events   map[core.Dot]*history.Event
-	order    []core.Dot
-	tobNos   map[core.Dot]int64
-	lastOf   map[core.SessionID]*history.Event
-	tobCast  int
+	seq      int64                             // guarded by mu
+	stableAt int64                             // guarded by mu
+	calls    map[core.Dot]*Call                // guarded by mu
+	callList []*Call                           // guarded by mu
+	events   map[core.Dot]*history.Event       // guarded by mu
+	order    []core.Dot                        // guarded by mu
+	tobNos   map[core.Dot]int64                // guarded by mu
+	lastOf   map[core.SessionID]*history.Event // guarded by mu
+	tobCast  int                               // guarded by mu
 
 	// commitOrder indexes the shared committed prefix by TOB position
 	// (commitOrder[i] committed at position i+1): every delivery lands here
@@ -376,22 +376,22 @@ type Recorder struct {
 	// timestamp of the updating operations among the first i+1 commits (the
 	// clock-fence part of absorbing a committed prefix into a read vector
 	// in O(1)).
-	commitOrder []core.Dot
-	commitMaxTS []int64
+	commitOrder []core.Dot // guarded by mu
+	commitMaxTS []int64    // guarded by mu
 
 	// lost marks invocations completed as lost results: committed while
 	// their replica was down and skipped by checkpoint state transfer, so
 	// no response value exists. The history event stays pending (formally
 	// the response never arrived) but the session is released.
-	lost map[core.Dot]bool
+	lost map[core.Dot]bool // guarded by mu
 
 	// The session-guarantee table: read/write vectors ride here — on the
 	// shared observation layer, not on Req — so both drivers enforce the
 	// same coverage demands and a migrating session carries its vectors
 	// with it for free. parked tracks un-minted invocations (coverage
 	// gates) so SessionBusy covers them.
-	guar   map[core.SessionID]*guarSession
-	parked map[core.SessionID]*Call
+	guar   map[core.SessionID]*guarSession // guarded by mu
+	parked map[core.SessionID]*Call        // guarded by mu
 
 	// leaseTrack, when non-nil (EnableLeaseTracking), counts each session's
 	// TOB-cast operations that have not yet been delivered, and the largest
@@ -399,7 +399,7 @@ type Recorder struct {
 	// reads: a local strong read at committed length L is session-safe iff
 	// the session has nothing in flight and everything it cast sits at or
 	// below L. Nil when leases are off, so the weak hot path pays nothing.
-	leaseTrack map[core.SessionID]*leaseSess
+	leaseTrack map[core.SessionID]*leaseSess // guarded by mu
 }
 
 // leaseSess is one session's lease-gate state (see leaseTrack).
