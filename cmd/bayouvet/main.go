@@ -1,0 +1,211 @@
+// Command bayouvet is the repo's multichecker: five analyzers that
+// mechanically enforce the invariants the Bayou reproduction depends on
+// (sim-path determinism, lock discipline, sealed-driver layering, Effects
+// hygiene, seed plumbing).
+//
+// It runs two ways, against the same registry:
+//
+//	bayouvet ./...                     # standalone, resolves patterns itself
+//	go vet -vettool=$(which bayouvet) ./...   # unit-checker under cmd/go
+//
+// The second form speaks cmd/go's vet tool protocol: -V=full for the
+// cache fingerprint, -flags for flag discovery, and a JSON vet.cfg per
+// package with export data for every dependency — so it composes with the
+// build cache exactly like the standard vet tool.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"bayou/internal/analysis"
+)
+
+func main() {
+	// cmd/go probes the tool before any per-package run; both probes must
+	// be answered before normal flag parsing.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full":
+			printVersion()
+			return
+		case "-flags":
+			// No tool-specific flags are exposed to `go vet`; analyzer
+			// selection is a standalone-mode concern.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	filter := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "print the analyzer registry and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: bayouvet [-analyzers a,b] [packages]\n       go vet -vettool=bayouvet [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*filter)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+	os.Exit(standalone(args, analyzers))
+}
+
+// printVersion answers `-V=full`. cmd/go folds the last field into the
+// build cache key, so it must change whenever the tool's behavior can:
+// hashing our own executable covers analyzer edits without a manual
+// version bump.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("bayouvet version devel buildID=%x\n", h.Sum(nil))
+}
+
+// standalone resolves the patterns with the go tool and analyzes every
+// matched package in one process. Exit 1 on findings, 0 on clean.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	root, err := analysis.ModuleDir(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON config cmd/go hands a -vettool. The
+// field set mirrors cmd/go/internal/work's vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	ModulePath    string
+	ModuleVersion string
+	GoVersion     string
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgPath under
+// cmd/go. Diagnostics go to stderr; the exit code (2 on findings) is the
+// same convention the standard vet tool uses.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("%s: %v", cfgPath, err))
+	}
+
+	// bayouvet exports no facts, so its "vetx" is an empty placeholder —
+	// written even in facts-only mode so cmd/go can cache the result.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := analysis.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fatal(fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err))
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bayouvet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Package analysis is bayou's in-tree static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass model (the container bakes in only the standard library, so
+// the framework is built directly on go/ast and go/types) plus the five
+// repo-specific analyzers that mechanically enforce invariants the compiler
+// cannot see:
+//
+//   - determinism      — sim-path packages stay bit-for-bit deterministic
+//   - lockcheck        — "// guarded by mu" fields follow mutex discipline
+//   - layering         — the sealed-driver import architecture holds
+//   - effectshygiene   — Effects accumulators are Reset before reuse and
+//     batch results are never discarded
+//   - seedplumb        — every rand.New source traces to a parameter or
+//     config field, so seeds stay replayable
+//
+// The multichecker is exposed three ways, all running the same registry:
+// `cmd/bayouvet` as a standalone command and as a `go vet -vettool`
+// (unitchecker-protocol) tool, and `bayou-check -lint` for local pre-push
+// runs that match CI exactly.
+//
+// Findings can be suppressed only with a documented reason:
+//
+//	//bayouvet:ignore <analyzer> <reason...>
+//
+// on the flagged line or the line above it. An ignore without a reason (or
+// naming no known analyzer) is itself a diagnostic, so CI stays at zero
+// undocumented suppressions by construction.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package through its Pass and reports findings with
+// Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work: the parsed files, the
+// type-checked package, and the reporting sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [bayouvet/%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Callee resolves the static callee of call, or nil for dynamic calls,
+// conversions and builtins.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is a package-level function (not a method)
+// of the package with the given import path and one of the given names.
+func isPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObj resolves the object an lvalue-ish expression ultimately names:
+// the identifier's object, the field object of a selection, through
+// parens and &x. Returns nil for anything else (index expressions, calls).
+func (p *Pass) rootObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := p.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return p.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return p.TypesInfo.Uses[e.Sel]
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return p.rootObj(e.X)
+		}
+	}
+	return nil
+}
+
+// mentionsObj reports whether expr contains an identifier resolving to obj.
+func (p *Pass) mentionsObj(expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in file whose span contains pos, or nil.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == file
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		return true
+	})
+	return body
+}
+
+// within reports whether pos falls inside node's span.
+func within(pos token.Pos, node ast.Node) bool {
+	return node != nil && node.Pos() <= pos && pos < node.End()
+}

@@ -1,0 +1,200 @@
+// Package analysistest runs an analyzer over golden packages laid out
+// GOPATH-style under a testdata root (testdata/<analyzer>/src/<pkgpath>/)
+// and checks its diagnostics against expectations embedded in comments:
+//
+//	x := m[k] // want "regexp" "another regexp"
+//	// want-up "regexp matching a diagnostic on the previous line"
+//
+// Each expectation must match exactly one diagnostic on its line, and
+// every diagnostic must be claimed by an expectation — so a golden file
+// fails both when the analyzer misses a finding and when it overreports,
+// i.e. every analyzer has at least one case that fails without its check.
+//
+// Dependencies of golden packages resolve testdata-first (so fixtures can
+// fabricate module paths like bayou/internal/core) and fall back to the
+// standard library, type-checked from source.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bayou/internal/analysis"
+)
+
+// Run loads each pkgpath from srcRoot/src, applies the analyzer through
+// the full driver pipeline (including //bayouvet:ignore suppression
+// handling), and diffs diagnostics against the want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(srcRoot, "src"))
+	var diags []analysis.Diagnostic
+	var files []string
+	for _, path := range pkgpaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		ds, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		diags = append(diags, ds...)
+		files = append(files, pkg.FileNames()...)
+	}
+	checkExpectations(t, files, diags)
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func checkExpectations(t *testing.T, files []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []expectation
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			lineNo := i + 1
+			idx := strings.Index(line, "// want")
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+len("// want"):]
+			if strings.HasPrefix(rest, "-up") {
+				lineNo--
+				rest = rest[len("-up"):]
+			}
+			for _, m := range wantRE.FindAllString(rest, -1) {
+				pat, err := strconv.Unquote(m)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", name, lineNo, m, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, lineNo, pat, err)
+				}
+				wants = append(wants, expectation{name, lineNo, re, pat})
+			}
+		}
+	}
+
+	claimed := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if claimed[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				claimed[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+}
+
+// loader resolves packages testdata-first with a source-importer fallback
+// for the standard library.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*analysis.Package
+	loading map[string]bool
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		src:     src,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*analysis.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer over the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.src, path)); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer func() { l.loading[path] = false }()
+
+	dir := filepath.Join(l.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := analysis.TypeCheck(l.fset, path, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

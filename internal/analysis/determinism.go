@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simPathPackages are the packages that execute under the deterministic
+// simulator substrate: every fault-soak seed, differential twin and
+// replayable artifact assumes they are bit-for-bit deterministic per seed.
+// One wall-clock read or unordered map iteration here silently invalidates
+// every replayable-seed artifact the soak suite emits.
+var simPathPackages = func() map[string]bool {
+	m := map[string]bool{}
+	for _, n := range []string{
+		"core", "cluster", "simnet", "paxos", "tob", "rb",
+		"check", "sim", "scenario", "workload",
+	} {
+		m["bayou/internal/"+n] = true
+	}
+	return m
+}()
+
+// Determinism flags nondeterminism sources in sim-path packages:
+// wall-clock reads (time.Now/Since/...), the unseeded global math/rand
+// source, goroutine spawns, and range-over-map iterations whose order
+// flows into an ordered sink (a slice append that is never sorted
+// afterwards, or a channel send).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, unseeded rand, goroutines and order-dependent map iteration in deterministic sim-path packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time functions that read or depend on the real
+// clock or the runtime scheduler.
+var wallClockFuncs = []string{
+	"Now", "Since", "Until", "Sleep", "After", "AfterFunc", "Tick",
+	"NewTimer", "NewTicker",
+}
+
+// seededRandCtors are the math/rand constructors that are fine in sim
+// paths: they take an explicit source/seed, which seedplumb separately
+// requires to be plumbed, not hardcoded.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !simPathPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in deterministic sim path %s: scheduling order is nondeterministic", pass.Pkg.Path())
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.Callee(call)
+	if fn == nil {
+		return
+	}
+	if isPkgFunc(fn, "time", wallClockFuncs...) {
+		pass.Reportf(call.Pos(), "time.%s in deterministic sim path: wall-clock values differ across runs of the same seed", fn.Name())
+		return
+	}
+	for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+		if fn.Pkg() != nil && fn.Pkg().Path() == randPkg {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !seededRandCtors[fn.Name()] {
+				pass.Reportf(call.Pos(), "%s.%s uses the unseeded global source: draw from a seeded *rand.Rand plumbed through the scheduler instead", randPkg, fn.Name())
+			}
+			return
+		}
+	}
+}
+
+// checkMapRange flags range-over-map bodies whose iteration order escapes
+// into an ordered sink: a channel send, or a slice append whose target is
+// never handed to sort/slices afterwards in the same function (the
+// collect-then-sort idiom is the sanctioned way to iterate a map
+// deterministically).
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	type appendTarget struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var appends []appendTarget
+	seen := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: iteration order is nondeterministic; collect and sort keys first")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if obj := pass.rootObj(n.Lhs[i]); obj != nil && !seen[obj] {
+					seen[obj] = true
+					appends = append(appends, appendTarget{obj, call.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	if len(appends) == 0 {
+		return
+	}
+	body := enclosingFuncBody(file, rng.Pos())
+	for _, a := range appends {
+		if !sortedAfter(pass, body, rng.End(), a.obj) {
+			pass.Reportf(a.pos, "append inside range over map feeds %s in nondeterministic iteration order; sort it afterwards or iterate sorted keys", a.obj.Name())
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, somewhere after pos in body, obj is passed
+// to a sort/slices function — which re-establishes a deterministic order
+// for the collected elements.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" && !strings.HasSuffix(p, "/slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pass.mentionsObj(arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

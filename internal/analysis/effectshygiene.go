@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EffectsHygiene enforces the two usage rules of the batched Effects API
+// (core.Effects, filled by InvokeInto/RBDeliverBatch/TOBDeliverBatch/
+// DrainInto):
+//
+//  1. calls that fill an Effects accumulator return results (a Req, a
+//     step count, an error) that must not be discarded — an ignored error
+//     silently drops protocol effects;
+//  2. an accumulator reused across loop iterations must be Reset (or
+//     reassigned, e.g. from an EffectsPool) inside the loop, otherwise
+//     effects from iteration N are re-routed on iteration N+1.
+//
+// The check is type-driven: an "Into-style call" is any module function
+// with a *core.Effects parameter, so new batch entry points inherit the
+// rules without touching the analyzer.
+var EffectsHygiene = &Analyzer{
+	Name: "effectshygiene",
+	Doc:  "Effects accumulators must be Reset before reuse and batch-call results must not be discarded",
+	Run:  runEffectsHygiene,
+}
+
+// isEffectsType reports whether t is core.Effects or *core.Effects.
+func isEffectsType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Effects" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "core" || len(path) > 5 && path[len(path)-5:] == "/core"
+}
+
+// intoCallEffectsArg returns the argument expression bound to a
+// *core.Effects parameter of call's static callee, or nil if the call is
+// not Into-style. Effects.Reset itself (pointer receiver, no Effects
+// parameter) does not match.
+func (p *Pass) intoCallEffectsArg(call *ast.CallExpr) ast.Expr {
+	fn := p.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if _, isPtr := params.At(i).Type().(*types.Pointer); isPtr && isEffectsType(params.At(i).Type()) {
+			return call.Args[i]
+		}
+	}
+	return nil
+}
+
+func runEffectsHygiene(pass *Pass) error {
+	reportedReuse := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscard(pass, n)
+			case *ast.AssignStmt:
+				checkBlankDiscard(pass, n)
+			case *ast.ForStmt:
+				checkLoopReuse(pass, file, n, n.Body, reportedReuse)
+			case *ast.RangeStmt:
+				checkLoopReuse(pass, file, n, n.Body, reportedReuse)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDiscard(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok || pass.intoCallEffectsArg(call) == nil {
+		return
+	}
+	if fn := pass.Callee(call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > 0 {
+			pass.Reportf(call.Pos(), "result of %s discarded: batch entry points return the error that says whether the effects are valid", fn.Name())
+		}
+	}
+}
+
+func checkBlankDiscard(pass *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok || pass.intoCallEffectsArg(call) == nil {
+		return
+	}
+	for _, lhs := range stmt.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	if fn := pass.Callee(call); fn != nil {
+		pass.Reportf(call.Pos(), "all results of %s discarded with blank assignments: batch entry points return the error that says whether the effects are valid", fn.Name())
+	}
+}
+
+// checkLoopReuse flags Into-style calls inside a loop whose Effects
+// argument is a local declared outside the loop and neither Reset nor
+// reassigned anywhere in the loop body. Function parameters are exempt:
+// a batch entry point looping over its input appends into a caller-owned
+// accumulator by contract — the caller's own loop (where the variable is
+// local) is where the Reset obligation lives.
+func checkLoopReuse(pass *Pass, file *ast.File, loop ast.Node, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	type use struct {
+		pos token.Pos
+		fn  string
+	}
+	uses := map[types.Object]use{}
+	cleared := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if arg := pass.intoCallEffectsArg(n); arg != nil {
+				obj := pass.rootObj(arg)
+				if v, ok := obj.(*types.Var); ok && !within(v.Pos(), loop) && !isParam(pass, file, v) {
+					if _, dup := uses[obj]; !dup {
+						name := "batch call"
+						if fn := pass.Callee(n); fn != nil {
+							name = fn.Name()
+						}
+						uses[obj] = use{n.Pos(), name}
+					}
+				}
+				return true
+			}
+			// eff.Reset() clears the accumulator for the next iteration.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" && isEffectsType(pass.TypesInfo.TypeOf(sel.X)) {
+				if obj := pass.rootObj(sel.X); obj != nil {
+					cleared[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Reassignment (eff = pool.Take(), eff = &core.Effects{}...)
+			// yields a fresh accumulator each iteration.
+			for _, lhs := range n.Lhs {
+				if obj := pass.rootObj(lhs); obj != nil {
+					cleared[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj, u := range uses {
+		if cleared[obj] || reported[u.pos] {
+			continue
+		}
+		reported[u.pos] = true
+		pass.Reportf(u.pos, "%s reuses Effects value %s across loop iterations without Reset: effects from the previous iteration would be routed again", u.fn, obj.Name())
+	}
+}

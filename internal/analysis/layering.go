@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Layering is the import ruler for the sealed-driver architecture:
+//
+//   - the façade (package bayou) touches substrate packages only from its
+//     driver adapter files (driver*.go) — everything else goes through the
+//     Driver interface;
+//   - internal/core is the protocol kernel and imports nothing from the
+//     module except spec and stateobj (in particular never a substrate or
+//     the drivers that host it);
+//   - internal/check, internal/history and internal/record are the
+//     substrate-blind observation layer: verdicts and histories must stay
+//     comparable across substrates, so they may not import any substrate.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the sealed-driver import architecture (façade/driver/substrate, substrate-blind checkers)",
+	Run:  runLayering,
+}
+
+// substratePackages are the deployment substrates and their plumbing: the
+// two drivers plus the simulator scheduler, network, broadcast and
+// consensus layers and the failure detector.
+var substratePackages = map[string]bool{
+	"bayou/internal/cluster": true,
+	"bayou/internal/livenet": true,
+	"bayou/internal/sim":     true,
+	"bayou/internal/simnet":  true,
+	"bayou/internal/tob":     true,
+	"bayou/internal/rb":      true,
+	"bayou/internal/paxos":   true,
+	"bayou/internal/fd":      true,
+}
+
+// coreAllowed is the import allowlist for the protocol kernel.
+var coreAllowed = map[string]bool{
+	"bayou/internal/spec":     true,
+	"bayou/internal/stateobj": true,
+}
+
+// substrateBlind are the observation-layer packages that must produce
+// identical artifacts regardless of substrate.
+var substrateBlind = map[string]bool{
+	"bayou/internal/check":   true,
+	"bayou/internal/history": true,
+	"bayou/internal/record":  true,
+}
+
+func runLayering(pass *Pass) error {
+	pkgPath := pass.Pkg.Path()
+	for _, f := range pass.Files {
+		fileName := pass.Fset.Position(f.Pos()).Filename
+		base := fileName[strings.LastIndexByte(fileName, '/')+1:]
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			checkImport(pass, pkgPath, base, imp, path)
+		}
+	}
+	return nil
+}
+
+func checkImport(pass *Pass, pkgPath, fileBase string, imp *ast.ImportSpec, path string) {
+	switch {
+	case pkgPath == "bayou":
+		if substratePackages[path] && !strings.HasPrefix(fileBase, "driver") {
+			pass.Reportf(imp.Pos(), "façade file %s imports substrate package %s: only the driver*.go adapters may reach below the Driver interface", fileBase, path)
+		}
+	case pkgPath == "bayou/internal/core":
+		if strings.HasPrefix(path, "bayou") && !coreAllowed[path] {
+			pass.Reportf(imp.Pos(), "core imports %s: the protocol kernel may import only spec and stateobj, never a substrate or driver", path)
+		}
+	case substrateBlind[pkgPath]:
+		if substratePackages[path] {
+			pass.Reportf(imp.Pos(), "%s imports substrate package %s: the observation layer must stay substrate-blind so histories and verdicts are comparable across drivers", pkgPath, path)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool from dir, type-checks every
+// matched non-test package against the export data of its dependencies,
+// and returns the packages ready for Run. It shells out to `go list
+// -deps -export` (which compiles dependencies into the build cache as a
+// side effect) but type-checks the matched packages from source with the
+// standard library alone — no external analysis dependency.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,GoFiles,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	// The -deps closure, with export data for everything compiled.
+	exports := map[string]string{}
+	var all []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		all = append(all, p)
+	}
+
+	// A second, dep-free resolution of the same patterns names the
+	// packages actually under analysis.
+	cmd = exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = dir
+	stderr.Reset()
+	cmd.Stderr = &stderr
+	tout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	targets := map[string]bool{}
+	for _, l := range strings.Fields(string(tout)) {
+		targets[l] = true
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, p := range all {
+		if !targets[p.ImportPath] || p.Standard {
+			continue
+		}
+		var files []*ast.File
+		for _, g := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, g), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := TypeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter builds a types.Importer that reads gc export data files
+// resolved by lookup (import path -> export file). This is the same
+// mechanism `go vet` tools use: dependencies are consumed as compiled
+// export data, only the package under analysis is parsed from source.
+func ExportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// TypeCheck parses nothing: it type-checks the already-parsed files as
+// package path using imp for dependencies and returns the bundled
+// Package.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ModuleDir walks up from dir to the enclosing go.mod, for callers (the
+// smoke test, bayou-check -lint) that want to analyze the whole module
+// regardless of the working directory.
+func ModuleDir(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

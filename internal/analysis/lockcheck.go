@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockcheck enforces the repo's documented mutex discipline: a struct
+// field annotated
+//
+//	field T // guarded by mu
+//
+// may be touched from a method only if that method acquires the named
+// mutex (mu.Lock or mu.RLock, possibly deferred), carries the *Locked
+// name suffix, or documents "caller holds <mu>" — the conventions
+// internal/record and internal/livenet already use. The analyzer is
+// annotation-driven, so any package adopting the comment convention gets
+// the check for free.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "check '// guarded by mu' fields are accessed under their mutex (or from *Locked / 'caller holds' methods)",
+	Run:  runLockcheck,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockcheck(pass *Pass) error {
+	// field name -> guarding mutex field name, per annotated struct type.
+	guarded := map[*types.TypeName]map[string]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fields := map[string]string{}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					fields[name.Name] = mu
+				}
+			}
+			if len(fields) == 0 {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+				guarded[obj] = fields
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			checkLockedMethod(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkLockedMethod(pass *Pass, fd *ast.FuncDecl, guarded map[*types.TypeName]map[string]string) {
+	recvType := recvTypeName(pass, fd.Recv.List[0].Type)
+	if recvType == nil {
+		return
+	}
+	fields, ok := guarded[recvType]
+	if !ok {
+		return
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "caller holds") {
+		return
+	}
+	names := fd.Recv.List[0].Names
+	if len(names) != 1 || names[0].Name == "_" {
+		return
+	}
+	recvObj := pass.TypesInfo.Defs[names[0]]
+	if recvObj == nil {
+		return
+	}
+
+	// Mutex fields acquired anywhere in the body (function granularity:
+	// a method that locks at all is trusted to scope the span itself).
+	held := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base, ok := ast.Unparen(mu.X).(*ast.Ident); ok && pass.TypesInfo.Uses[base] == recvObj {
+			held[mu.Sel.Name] = true
+		}
+		return true
+	})
+
+	reported := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != recvObj {
+			return true
+		}
+		mu, guardedField := fields[sel.Sel.Name]
+		if !guardedField || held[mu] || reported[sel.Sel.Name] {
+			return true
+		}
+		reported[sel.Sel.Name] = true
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but %s does not acquire it (hold %s.Lock, rename with a Locked suffix, or document \"caller holds %s\")",
+			recvType.Name(), sel.Sel.Name, mu, fd.Name.Name, mu, mu)
+		return true
+	})
+}
+
+func recvTypeName(pass *Pass, expr ast.Expr) *types.TypeName {
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.StarExpr:
+		return recvTypeName(pass, t.X)
+	case *ast.Ident:
+		obj, _ := pass.TypesInfo.Uses[t].(*types.TypeName)
+		return obj
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(pass, t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(pass, t.X)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// All returns the bayouvet analyzer registry — the same set no matter how
+// the multichecker is invoked (cmd/bayouvet standalone, go vet -vettool,
+// bayou-check -lint), so local runs match CI exactly.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Lockcheck, Layering, EffectsHygiene, Seedplumb}
+}
+
+// ByName resolves a comma-separated analyzer filter ("" = all). Unknown
+// names are an error.
+func ByName(filter string) ([]*Analyzer, error) {
+	if filter == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(filter, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// A Package is one type-checked unit of analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FileNames returns the source file paths of the package, in parse order.
+func (p *Package) FileNames() []string {
+	var names []string
+	for _, f := range p.Files {
+		names = append(names, p.Fset.Position(f.Pos()).Filename)
+	}
+	return names
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics: documented //bayouvet:ignore suppressions are applied, and
+// undocumented or malformed suppressions become diagnostics themselves.
+// The result is sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		raw, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, filterSuppressed(pkg, raw)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// analyzedFiles drops _test.go files from the pass: the invariants guard
+// the shipped sim-path and substrate code, while tests legitimately read
+// the wall clock and hardcode seeds — a literal seed in a test is exactly
+// what makes it reproducible. Under `go vet` the tool is invoked on test
+// variants of each package, so the filter keeps that path consistent with
+// the standalone loader (which lists only GoFiles).
+func analyzedFiles(pkg *Package) []*ast.File {
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	files := analyzedFiles(pkg)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}
+
+// ignorePrefix introduces a documented suppression:
+//
+//	//bayouvet:ignore <analyzer> <reason...>
+//
+// on the flagged line or the line directly above it.
+const ignorePrefix = "//bayouvet:ignore"
+
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterSuppressed drops diagnostics covered by a documented suppression
+// and reports malformed suppressions (missing analyzer or reason) as
+// "bayouvet" diagnostics, so a clean run has zero undocumented ignores by
+// construction. Suppressions that cover nothing are also reported: a
+// stale ignore hides future regressions.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var sups []suppression
+	used := map[int]bool{}
+	var out []Diagnostic
+	for _, f := range analyzedFiles(pkg) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				switch {
+				case !known[name]:
+					out = append(out, Diagnostic{
+						Analyzer: "bayouvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("malformed suppression: %q names no analyzer (want //bayouvet:ignore <analyzer> <reason>)", name),
+					})
+				case strings.TrimSpace(reason) == "":
+					out = append(out, Diagnostic{
+						Analyzer: "bayouvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("undocumented suppression of %s: a reason is required (//bayouvet:ignore %s <reason>)", name, name),
+					})
+				default:
+					sups = append(sups, suppression{pos.Filename, pos.Line, name})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		suppressed := false
+		for i, s := range sups {
+			if s.analyzer == d.Analyzer && s.file == d.Pos.Filename &&
+				(s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+				suppressed = true
+				used[i] = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for i, s := range sups {
+		if !used[i] {
+			out = append(out, Diagnostic{
+				Analyzer: "bayouvet",
+				Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  fmt.Sprintf("stale suppression: no %s finding on this or the next line", s.analyzer),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedplumb keeps random sources replayable: every rand.New /
+// rand.NewSource / rand.NewPCG seed must trace to a function parameter or
+// a struct (config) field — never to a literal or a package-level
+// variable. A hardcoded seed makes every "replayable seed" artifact the
+// soak suite emits a lie: the run replays, but always the same one, and
+// the recorded seed in the artifact no longer identifies the schedule.
+var Seedplumb = &Analyzer{
+	Name: "seedplumb",
+	Doc:  "rand.New sources must trace to a parameter or config field, never a literal or global, so seeds stay replayable",
+	Run:  runSeedplumb,
+}
+
+// seedCtors maps rand constructor names to which arguments carry seed
+// material (all of them, for the ones we care about).
+var seedCtors = map[string]bool{
+	"NewSource":  true, // math/rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runSeedplumb(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if !seedCtors[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if why := pass.seedOrigin(file, arg); why != "" {
+					pass.Reportf(arg.Pos(), "rand.%s seed %s: plumb the seed from a parameter or config field so runs stay replayable", fn.Name(), why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedOrigin classifies a seed expression: it returns "" when the value
+// plausibly traces to plumbed configuration (parameter, field, call
+// result, index), or a description of the violation when it bottoms out
+// in a literal or package-level state.
+func (p *Pass) seedOrigin(file *ast.File, expr ast.Expr) string {
+	return p.seedOriginDepth(file, expr, 0)
+}
+
+// seedOriginDepth bounds the local-definition chase (self-referential
+// updates like seed = seed + 1 would otherwise recurse forever).
+func (p *Pass) seedOriginDepth(file *ast.File, expr ast.Expr, depth int) string {
+	if depth > 8 {
+		return ""
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return "is the literal " + e.Value
+	case *ast.UnaryExpr:
+		return p.seedOriginDepth(file, e.X, depth+1)
+	case *ast.BinaryExpr:
+		// A mixed expression (base+offset) is fine if any operand is
+		// plumbed; all-literal arithmetic is still a constant seed.
+		left := p.seedOriginDepth(file, e.X, depth+1)
+		right := p.seedOriginDepth(file, e.Y, depth+1)
+		if left != "" && right != "" {
+			return left
+		}
+		return ""
+	case *ast.CallExpr:
+		// A conversion like int64(x) inspects x; a real call result
+		// (cfg.Seed(), crypto draw) counts as plumbed.
+		if len(e.Args) == 1 {
+			if tv, ok := p.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return p.seedOriginDepth(file, e.Args[0], depth+1)
+			}
+		}
+		return ""
+	case *ast.Ident:
+		obj := p.TypesInfo.Uses[e]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			if c, isConst := obj.(*types.Const); isConst {
+				if c.Parent() == p.Pkg.Scope() || c.Parent() == types.Universe {
+					return "is the package-level constant " + c.Name()
+				}
+				return "" // local constant: treat like a local value
+			}
+			return ""
+		}
+		if v.Parent() == p.Pkg.Scope() {
+			return "is the package-level variable " + v.Name()
+		}
+		if v.IsField() {
+			return ""
+		}
+		if isParam(p, file, v) {
+			return ""
+		}
+		// Local variable: trace its (last syntactic) definition.
+		if rhs := definingExpr(p, file, v, e); rhs != nil {
+			return p.seedOriginDepth(file, rhs, depth+1)
+		}
+		return ""
+	case *ast.SelectorExpr:
+		// pkg.Var / pkg.Const is package-level state; x.field is plumbed.
+		obj := p.TypesInfo.Uses[e.Sel]
+		switch o := obj.(type) {
+		case *types.Const:
+			if o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+				return "is the package-level constant " + o.Name()
+			}
+		case *types.Var:
+			if !o.IsField() && o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+				return "is the package-level variable " + o.Name()
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// isParam reports whether v is a parameter of a function declaration or
+// literal in file.
+func isParam(p *Pass, file *ast.File, v *types.Var) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			return true
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if p.TypesInfo.Defs[name] == v {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// definingExpr finds the expression most recently assigned to v before
+// use (syntactically, within file).
+func definingExpr(p *Pass, file *ast.File, v *types.Var, use ast.Node) ast.Expr {
+	var rhs ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Pos() >= use.Pos() {
+				return false
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if p.TypesInfo.Defs[id] == v || p.TypesInfo.Uses[id] == v {
+					rhs = n.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Pos() >= use.Pos() {
+				return false
+			}
+			for i, id := range n.Names {
+				if p.TypesInfo.Defs[id] == v && i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	return rhs
+}

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bayou/internal/analysis"
+)
+
+// TestBayouvetCleanOnRepo is the in-tree form of the CI gate: the whole
+// module must pass the multichecker with zero undocumented suppressions.
+// It exercises the same loader and registry cmd/bayouvet and
+// `bayou-check -lint` use, so a finding introduced anywhere in the repo
+// fails `go test ./internal/analysis/` before it ever reaches CI.
+func TestBayouvetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool and type-checks the whole module")
+	}
+	root, err := analysis.ModuleDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

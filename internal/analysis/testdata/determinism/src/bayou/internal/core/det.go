@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()              // want `time\.Now in deterministic sim path`
+	d := time.Since(t)           // want `time\.Since in deterministic sim path`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic sim path`
+	return t.UnixNano() + int64(d)
+}
+
+func durationConstOnly() time.Duration {
+	return 30 * time.Second // constants are fine: no clock is read
+}
+
+func globalRand(r *rand.Rand) int {
+	n := rand.Intn(10) // want `unseeded global source`
+	return n + r.Intn(10)
+}
+
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // seeded constructor: determinism is satisfied
+}
+
+func spawn() {
+	go func() {}() // want `goroutine spawned in deterministic sim path`
+}
+
+func mapOrder(m map[string]int, out chan<- string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: the collect-then-sort idiom
+		out <- k               // want `channel send inside range over map`
+	}
+	sort.Strings(keys)
+
+	var bad []string
+	for k := range m {
+		bad = append(bad, k) // want `append inside range over map feeds bad`
+	}
+	_ = bad
+}
+
+func mapOrderSlices(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+func sliceRangeIsFine(xs []int, out chan<- int) {
+	var ys []int
+	for _, x := range xs {
+		ys = append(ys, x)
+		out <- x
+	}
+	_ = ys
+}

@@ -1,0 +1,10 @@
+package livenet
+
+import "time"
+
+// livenet is a real-concurrency substrate, not a sim path: wall clock,
+// goroutines and map iteration are its business.
+func wall() int64 {
+	go func() {}()
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,30 @@
+// Package core is a stand-in for the real protocol kernel: just enough of
+// the batched Effects API for the effectshygiene fixtures to type-check.
+package core
+
+type Req struct{ ID int }
+
+type Effects struct {
+	RBCast    []Req
+	Responses []int
+}
+
+func (e *Effects) Reset() {
+	e.RBCast = e.RBCast[:0]
+	e.Responses = e.Responses[:0]
+}
+
+type Replica struct{}
+
+func (r *Replica) InvokeInto(op string, strong bool, eff *Effects) (Req, error) {
+	return Req{}, nil
+}
+
+func (r *Replica) RBDeliverBatch(rs []Req, eff *Effects) error { return nil }
+
+func (r *Replica) DrainInto(eff *Effects) (int, error) { return 0, nil }
+
+type EffectsPool struct{ free []*Effects }
+
+func (p *EffectsPool) Take() *Effects { return &Effects{} }
+func (p *EffectsPool) Put(e *Effects) {}

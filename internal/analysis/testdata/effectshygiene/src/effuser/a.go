@@ -1,0 +1,71 @@
+package effuser
+
+import "bayou/internal/core"
+
+func discard(r *core.Replica, eff *core.Effects) {
+	r.RBDeliverBatch(nil, eff)           // want `result of RBDeliverBatch discarded`
+	_, _ = r.InvokeInto("x", false, eff) // want `all results of InvokeInto discarded`
+	if err := r.RBDeliverBatch(nil, eff); err != nil {
+		panic(err)
+	}
+	if _, err := r.DrainInto(eff); err != nil {
+		panic(err)
+	}
+}
+
+func loopReuse(r *core.Replica, ops []string) {
+	var eff core.Effects
+	for _, op := range ops {
+		if _, err := r.InvokeInto(op, false, &eff); err != nil { // want `InvokeInto reuses Effects value eff across loop iterations without Reset`
+			panic(err)
+		}
+	}
+}
+
+func loopReset(r *core.Replica, ops []string) {
+	var eff core.Effects
+	for _, op := range ops {
+		eff.Reset()
+		if _, err := r.InvokeInto(op, false, &eff); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func loopPool(r *core.Replica, p *core.EffectsPool, ops []string) {
+	for _, op := range ops {
+		eff := p.Take()
+		if _, err := r.InvokeInto(op, false, eff); err != nil {
+			panic(err)
+		}
+		p.Put(eff)
+	}
+}
+
+// batchEntry is the shape of the repo's batch entry points: the Effects
+// accumulator is a caller-owned parameter, and the callee appends into it
+// across its input loop by contract. No diagnostic — the Reset obligation
+// lives in the caller's loop, where the variable is local.
+func batchEntry(r *core.Replica, ops []string, eff *core.Effects) error {
+	for _, op := range ops {
+		if _, err := r.InvokeInto(op, false, eff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accumulate fills one Effects across an inner batch loop and routes it
+// once at the end. The conservative reuse rule still fires (the analyzer
+// cannot see that nothing is routed inside the loop), so intentional
+// accumulation documents itself with a reasoned suppression.
+func accumulate(r *core.Replica, ops []string) {
+	var eff core.Effects
+	for _, op := range ops {
+		//bayouvet:ignore effectshygiene intentional accumulation; eff is routed once after the loop
+		if _, err := r.InvokeInto(op, false, &eff); err != nil {
+			panic(err)
+		}
+	}
+	_ = eff.Responses
+}

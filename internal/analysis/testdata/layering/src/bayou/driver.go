@@ -1,0 +1,9 @@
+// The façade's driver adapters may reach below the Driver interface.
+package bayou
+
+import (
+	_ "bayou/internal/cluster"
+	_ "bayou/internal/spec"
+)
+
+type Driver interface{ Replicas() int }

@@ -1,0 +1,8 @@
+package check
+
+import (
+	_ "bayou/internal/simnet" // want `check imports substrate package bayou/internal/simnet`
+	_ "bayou/internal/spec"
+)
+
+type Verdict struct{}

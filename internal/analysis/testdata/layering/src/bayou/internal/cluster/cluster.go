@@ -1,0 +1,4 @@
+// Package cluster is a stand-in for the simulator driver substrate.
+package cluster
+
+type Cluster struct{}

@@ -1,0 +1,8 @@
+package core
+
+import (
+	_ "bayou/internal/cluster" // want `core imports bayou/internal/cluster`
+	_ "bayou/internal/spec"
+)
+
+type Dot struct{}

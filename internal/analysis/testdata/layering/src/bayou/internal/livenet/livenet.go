@@ -1,0 +1,4 @@
+// Package livenet is a stand-in for the live driver substrate.
+package livenet
+
+type Cluster struct{}

@@ -1,0 +1,4 @@
+// Package simnet is a stand-in for the simulated network substrate.
+package simnet
+
+type Net struct{}

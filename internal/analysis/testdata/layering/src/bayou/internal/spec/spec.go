@@ -1,0 +1,4 @@
+// Package spec is a stand-in for the sequential specification.
+package spec
+
+type Op string

@@ -1,0 +1,7 @@
+package bayou
+
+import (
+	_ "bayou/internal/livenet" // want `façade file watch\.go imports substrate package bayou/internal/livenet`
+)
+
+type Watch struct{}

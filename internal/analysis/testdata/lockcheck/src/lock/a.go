@@ -1,0 +1,49 @@
+package lock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// guarded by mu
+	hist []int
+	name string // immutable after construction, unguarded
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `counter\.n is guarded by mu but Bad does not acquire it`
+}
+
+func (c *counter) bumpLocked() { c.n++ }
+
+// peek returns the current value; caller holds mu.
+func (c *counter) peek() int { return c.n }
+
+func (c *counter) Name() string { return c.name }
+
+func (c *counter) BadTwo() {
+	c.hist = append(c.hist, c.n) // want `counter\.hist is guarded by mu` `counter\.n is guarded by mu`
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (g *gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *gauge) Set(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+package seed
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+var globalSeed int64 = 7
+
+const fixedSeed = 99
+
+type Config struct{ Seed int64 }
+
+func bad() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource seed is the literal 42`
+}
+
+func badGlobal() *rand.Rand {
+	return rand.New(rand.NewSource(globalSeed)) // want `package-level variable globalSeed`
+}
+
+func badConst() *rand.Rand {
+	return rand.New(rand.NewSource(fixedSeed)) // want `package-level constant fixedSeed`
+}
+
+func badLocal() *rand.Rand {
+	s := int64(1234)
+	return rand.New(rand.NewSource(s)) // want `is the literal 1234`
+}
+
+func badPCG() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `is the literal 1` `is the literal 2`
+}
+
+func good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodCfg(c Config) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+func goodDerived(base int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(base + int64(i)*1000003))
+}
+
+func goodLocalChain(seed int64) *rand.Rand {
+	s := seed*2 + 1
+	return rand.New(rand.NewSource(s))
+}

@@ -1,0 +1,30 @@
+package core
+
+import "time"
+
+func documentedAbove() int64 {
+	//bayouvet:ignore determinism the boot banner alone compares sim time to wall time
+	return time.Now().UnixNano()
+}
+
+func documentedInline() int64 {
+	return time.Now().UnixNano() //bayouvet:ignore determinism documented inline reason
+}
+
+func undocumented() int64 {
+	//bayouvet:ignore determinism
+	// want-up `undocumented suppression of determinism`
+	return time.Now().UnixNano() // want `time\.Now in deterministic sim path`
+}
+
+func unknownAnalyzer() int64 {
+	//bayouvet:ignore nosuchanalyzer because reasons
+	// want-up `malformed suppression`
+	return time.Now().UnixNano() // want `time\.Now in deterministic sim path`
+}
+
+func stale() {
+	//bayouvet:ignore determinism nothing below actually trips the analyzer
+	// want-up `stale suppression`
+	_ = 0
+}
