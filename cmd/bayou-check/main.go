@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	bayou-check [-seeds N]
+//	bayou-check [-seeds N] [-lint]
+//
+// With -lint it first runs the bayouvet static-analysis suite over the
+// whole module (the same registry as cmd/bayouvet and the CI gate) and
+// refuses to check protocol runs that the analyzers already know are
+// broken — a determinism finding means the seeds below are not replayable.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"bayou/internal/analysis"
 	"bayou/internal/check"
 	"bayou/internal/core"
 	"bayou/internal/scenario"
@@ -22,7 +28,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	seeds := flag.Int("seeds", 10, "number of randomized runs per theorem check")
+	lint := flag.Bool("lint", false, "run the bayouvet analyzers over the module before checking")
 	flag.Parse()
+
+	if *lint {
+		if n := runLint(); n > 0 {
+			log.Fatalf("bayouvet: %d finding(s); not checking runs whose invariants are already broken", n)
+		}
+		fmt.Printf("%-58s %s  %s\n", "bayouvet static analysis (module-wide)", "PASS", "5 analyzers")
+	}
 
 	failed := false
 	report := func(name string, ok bool, detail string) {
@@ -86,4 +100,25 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runLint executes the bayouvet registry over the enclosing module and
+// prints any findings, returning how many there were.
+func runLint() int {
+	root, err := analysis.ModuleDir(".")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	return len(diags)
 }
