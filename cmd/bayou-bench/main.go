@@ -15,9 +15,16 @@
 // -threshold percent — the guard CI runs against the previous push's
 // BENCH_<sha>.json artifact.
 //
+// With -socket it instead runs the multi-process benchmark: it spawns
+// -socket-nodes bayou-node processes, connects the façade to them over TCP
+// (WithPeers), and drives concurrent sessions of weak increments mixed
+// with strong reads, reporting aggregate ops/sec and the p99 per-operation
+// latency — printed, or as a "socket" BENCH JSON record with -json.
+//
 // Usage:
 //
 //	bayou-bench [-only E7] [-json]
+//	bayou-bench -socket [-socket-nodes 3] [-socket-ops 3000] [-json]
 //	bayou-bench -compare [-threshold 15] old.json new.json
 package main
 
@@ -53,7 +60,12 @@ type benchRecord struct {
 	// guarantees (ReadYourWrites|MonotonicReads): paired with the
 	// same-sessions plain record, it pins the coverage-gate overhead.
 	Guarantees bool `json:"guarantees"`
-	OK         bool `json:"ok"`
+	// OpsPerSec and P99Ns are reported by the multi-process socket mode
+	// (-socket): aggregate throughput and 99th-percentile per-operation
+	// latency over real TCP connections to bayou-node processes.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	P99Ns     float64 `json:"p99_ns,omitempty"`
+	OK        bool    `json:"ok"`
 }
 
 func main() {
@@ -62,7 +74,29 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit a machine-readable JSON benchmark report")
 	compare := flag.Bool("compare", false, "compare two -json reports: bayou-bench -compare old.json new.json")
 	threshold := flag.Float64("threshold", 15, "with -compare: fail on ns/op or allocs/op regressions beyond this percentage")
+	socket := flag.Bool("socket", false, "multi-process mode: spawn bayou-node processes and benchmark over real sockets (ops/sec + p99)")
+	socketNodes := flag.Int("socket-nodes", 3, "with -socket: deployment size")
+	socketOps := flag.Int("socket-ops", 3000, "with -socket: total operations across all sessions")
 	flag.Parse()
+
+	if *socket {
+		res, err := runSocketBench(*socketNodes, *socketOps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode([]benchRecord{res.record}); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("%s: %d ops in %.2fs — %.0f ops/sec, mean %s, p99 %s\n",
+			res.record.Name, res.record.Ops, res.elapsed.Seconds(),
+			res.record.OpsPerSec, time.Duration(res.record.NsPerOp), res.p99)
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bayou"
+	"bayou/internal/launch"
+)
+
+// socketResult is the measured outcome of one multi-process benchmark run.
+type socketResult struct {
+	record  benchRecord
+	elapsed time.Duration
+	p99     time.Duration
+}
+
+// runSocketBench spawns nodes bayou-node processes, connects the façade
+// over TCP (WithPeers), and drives one session per replica concurrently:
+// weak increments with every 16th operation a strong read, each timed end
+// to end (invoke round-trip; strong operations include the commit wait).
+// The run settles, verifies the counter against the issued increments so
+// the numbers cannot come from dropped work, and reports aggregate ops/sec
+// plus the p99 per-operation latency.
+func runSocketBench(nodes, totalOps int) (socketResult, error) {
+	d, err := launch.Start(nodes)
+	if err != nil {
+		return socketResult{}, err
+	}
+	defer func() {
+		d.Stop()
+		d.Cleanup()
+	}()
+	c, err := bayou.NewLive(bayou.WithPeers(d.Addrs...))
+	if err != nil {
+		return socketResult{}, fmt.Errorf("connecting to node processes: %w", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	perWorker := totalOps / nodes
+	lats := make([][]time.Duration, nodes)
+	errs := make([]error, nodes)
+	var wantCtr int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nodes; w++ {
+		s, err := c.Session(w)
+		if err != nil {
+			return socketResult{}, err
+		}
+		wantCtr += int64(perWorker - (perWorker+15)/16) // strong reads don't increment
+		wg.Add(1)
+		go func(w int, s *bayou.Session) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				if i%16 == 0 {
+					if _, err := s.Invoke(bayou.Get("ctr"), bayou.Strong); err != nil {
+						errs[w] = err
+						return
+					}
+					if _, err := s.Wait(ctx); err != nil {
+						errs[w] = err
+						return
+					}
+				} else if _, err := s.Invoke(bayou.Inc("ctr", 1), bayou.Weak); err != nil {
+					errs[w] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[w] = lat
+		}(w, s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return socketResult{}, err
+		}
+	}
+	if err := c.Settle(); err != nil {
+		return socketResult{}, err
+	}
+	v, err := c.Read(0, "ctr")
+	if err != nil {
+		return socketResult{}, err
+	}
+	if !bayou.Equal(v, wantCtr) {
+		return socketResult{}, fmt.Errorf("settled counter = %v, want %d: the benchmark dropped work", v, wantCtr)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	var sum time.Duration
+	for _, l := range all {
+		sum += l
+	}
+	ops := len(all)
+	return socketResult{
+		record: benchRecord{
+			Name:      fmt.Sprintf("LiveSocket/%dnodes", nodes),
+			Kind:      "socket",
+			NsPerOp:   float64(sum.Nanoseconds()) / float64(ops),
+			Ops:       int64(ops),
+			Sessions:  nodes,
+			OpsPerSec: float64(ops) / elapsed.Seconds(),
+			P99Ns:     float64(p99.Nanoseconds()),
+			OK:        true,
+		},
+		elapsed: elapsed,
+		p99:     p99,
+	}, nil
+}

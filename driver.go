@@ -127,6 +127,9 @@ const defaultLeaseTicks = 2000
 
 // newSimDriver builds the simulated substrate from validated options.
 func newSimDriver(o config) (*simDriver, error) {
+	if len(o.Peers) > 0 {
+		return nil, fmt.Errorf("%w: socket peers (WithPeers) need the live driver", ErrUnsupported)
+	}
 	cfg := cluster.Config{
 		N:               o.Replicas,
 		Variant:         o.Variant,

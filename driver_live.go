@@ -23,11 +23,14 @@ const liveTimeout = 30 * time.Second
 // substrate cannot express (partitions, Ω manipulation, per-replica timing)
 // return ErrUnsupported.
 type liveDriver struct {
-	c *livenet.Cluster
+	c livenet.Deployment
 	n int
 }
 
-// newLiveDriver builds the live substrate from validated options.
+// newLiveDriver builds the live substrate from validated options. With
+// WithPeers the replicas are separate OS processes (cmd/bayou-node) reached
+// over TCP and this process is the controller; otherwise the replicas run
+// as in-process goroutines over channel links.
 func newLiveDriver(o config) (*liveDriver, error) {
 	if len(o.SlowReplicas) > 0 || len(o.ClockSlowdown) > 0 {
 		return nil, fmt.Errorf("%w: per-replica timing knobs (SlowReplicas/ClockSlowdown) need the deterministic simulator", ErrUnsupported)
@@ -37,6 +40,18 @@ func newLiveDriver(o config) (*liveDriver, error) {
 	}
 	if o.PipelineDepth != 0 {
 		return nil, fmt.Errorf("%w: slot pipelining (WithPipelineDepth) needs the simulator's Paxos total order", ErrUnsupported)
+	}
+	if len(o.Peers) > 0 {
+		// The node processes own variant and checkpoint cadence via their
+		// flags; the controller only carries the lease gate.
+		inner, err := livenet.NewRemote(livenet.RemoteConfig{
+			Addrs:       o.Peers,
+			LeaderLease: o.LeaderLease,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &liveDriver{c: inner, n: len(o.Peers)}, nil
 	}
 	// The live substrate always totally orders through the replica-0
 	// sequencer, so UsePrimaryTOB is already true and Seed has no effect.
@@ -74,9 +89,9 @@ func (d *liveDriver) Settle() error { return d.c.Quiesce(liveTimeout) }
 // simulator's tick granularity mapped coarsely onto real time, capped so a
 // script written for virtual time cannot stall a live run for minutes).
 func (d *liveDriver) Run(t int64) {
-	const cap = 2_000
-	if t > cap {
-		t = cap
+	const runCapMillis = 2_000
+	if t > runCapMillis {
+		t = runCapMillis
 	}
 	if t > 0 {
 		time.Sleep(time.Duration(t) * time.Millisecond)

@@ -1,0 +1,418 @@
+package bayou
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"bayou/internal/check"
+	"bayou/internal/core"
+	"bayou/internal/launch"
+)
+
+// The socket-transport conformance runs: the same substrate-blind scripts
+// as driver_conformance_test.go, but with every replica a separate OS
+// process (cmd/bayou-node) reached over TCP — the façade is the
+// controller via WithPeers. Each test also runs the simulator and the
+// in-process live substrate and demands all three agree on everything
+// timing-independent, so the wire transport is pinned against both
+// references in one assertion set.
+
+// newSocketCluster spawns n bayou-node processes and connects a façade
+// cluster to them over TCP. Node logs are kept (and printed) when the
+// test fails, removed otherwise.
+func newSocketCluster(t *testing.T, n int, nodeArgs []string, opts ...Option) *Cluster {
+	t.Helper()
+	d, err := launch.Start(n, nodeArgs...)
+	if err != nil {
+		t.Fatalf("launching %d bayou-node processes: %v", n, err)
+	}
+	t.Cleanup(func() {
+		d.Stop()
+		if t.Failed() {
+			if logs := d.Logs(); logs != "" {
+				t.Logf("node process logs:\n%s", logs)
+			}
+		} else {
+			d.Cleanup()
+		}
+	})
+	c, err := NewLive(append(append([]Option(nil), opts...), WithPeers(d.Addrs...))...)
+	if err != nil {
+		t.Fatalf("connecting to node processes: %v\nnode logs:\n%s", err, d.Logs())
+	}
+	return c
+}
+
+// TestDriverConformanceSocket runs the mixed weak/strong session script on
+// all three substrates — simulator, in-process live, multi-process live —
+// and demands equal settled counters, committed multisets, strong winners
+// and checker verdicts.
+func TestDriverConformanceSocket(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runConformance(t, live)
+
+	sock := newSocketCluster(t, 3, nil)
+	sockOut := runConformance(t, sock)
+
+	for _, out := range []struct {
+		name string
+		o    conformanceOutcome
+	}{{"live", liveOut}, {"socket", sockOut}} {
+		if !Equal(simOut.counter, out.o.counter) {
+			t.Errorf("%s counter = %v, sim %v", out.name, out.o.counter, simOut.counter)
+		}
+		if out.o.lockOwners != 1 {
+			t.Errorf("%s strong putIfAbsent winners = %d, want 1", out.name, out.o.lockOwners)
+		}
+		if len(simOut.committed) != len(out.o.committed) {
+			t.Fatalf("committed sizes diverge: sim %v, %s %v", simOut.committed, out.name, out.o.committed)
+		}
+		for i := range simOut.committed {
+			if simOut.committed[i] != out.o.committed[i] {
+				t.Errorf("committed multisets diverge at %d: sim %s, %s %s", i, simOut.committed[i], out.name, out.o.committed[i])
+			}
+		}
+		if !out.o.fecOK || !out.o.seqOK {
+			t.Errorf("%s verdicts: FEC(weak) %v, Seq(strong) %v, want both true", out.name, out.o.fecOK, out.o.seqOK)
+		}
+	}
+}
+
+// TestDriverConformanceFaultsSocket runs the crash → invoke → recover →
+// partition → heal script over real sockets and compares against the
+// simulator. Crash/recover exercises the receiver-side discard semantics
+// and the resync handshake over TCP; partition/heal exercises the
+// controller-broadcast fault view parking envelopes at each node.
+func TestDriverConformanceFaultsSocket(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(4321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runFaultConformance(t, sim)
+
+	sock := newSocketCluster(t, 3, nil)
+	sockOut := runFaultConformance(t, sock)
+
+	if !Equal(simOut.counter, sockOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, socket %v", simOut.counter, sockOut.counter)
+	}
+	if simOut.lockOwners != 1 || sockOut.lockOwners != 1 {
+		t.Errorf("strong putIfAbsent winners: sim %d, socket %d, want 1 and 1", simOut.lockOwners, sockOut.lockOwners)
+	}
+	if len(simOut.committed) != len(sockOut.committed) {
+		t.Fatalf("committed sizes diverge: sim %v, socket %v", simOut.committed, sockOut.committed)
+	}
+	for i := range simOut.committed {
+		if simOut.committed[i] != sockOut.committed[i] {
+			t.Errorf("committed multisets diverge at %d: sim %s, socket %s", i, simOut.committed[i], sockOut.committed[i])
+		}
+	}
+	if !sockOut.fecOK || !sockOut.seqOK {
+		t.Errorf("socket verdicts: FEC(weak) %v, Seq(strong) %v, want both true", sockOut.fecOK, sockOut.seqOK)
+	}
+}
+
+// TestDriverConformanceCheckpointSocket runs the checkpoint-then-recover
+// script over sockets: the recovering node process is behind every peer's
+// checkpoint, so its catch-up must arrive as a checkpoint image in a
+// state-transfer envelope (not a per-operation replay) before the commit
+// suffix replays on top.
+func TestDriverConformanceCheckpointSocket(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(8642))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runCheckpointConformance(t, sim)
+
+	sock := newSocketCluster(t, 3, nil)
+	sockOut := runCheckpointConformance(t, sock)
+
+	if !Equal(simOut.counter, sockOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, socket %v", simOut.counter, sockOut.counter)
+	}
+	for r, base := range sockOut.bases {
+		if base != 5 {
+			t.Errorf("socket replica %d checkpoint base = %d, want 5 (state transfer not exercised?)", r, base)
+		}
+	}
+	if !sockOut.fecOK || !sockOut.seqOK {
+		t.Errorf("socket verdicts: FEC(weak) %v, Seq(strong) %v, want both true", sockOut.fecOK, sockOut.seqOK)
+	}
+}
+
+// TestDriverConformanceGuaranteesSocket runs the Causal-session migration
+// script over sockets: the frozen demand vectors ride the invoke envelope
+// to the node process, which parks the gated read until the partition
+// heals — coverage gating crosses the wire intact.
+func TestDriverConformanceGuaranteesSocket(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runGuaranteeConformance(t, sim)
+
+	sock := newSocketCluster(t, 3, nil)
+	sockOut := runGuaranteeConformance(t, sock)
+
+	if !Equal(simOut.counter, sockOut.counter) {
+		t.Errorf("drivers disagree on the settled counter: sim %v, socket %v", simOut.counter, sockOut.counter)
+	}
+	if !sockOut.fecOK || !sockOut.seqOK {
+		t.Errorf("socket verdicts: FEC(weak) %v, CheckGuarantees %v, want both true", sockOut.fecOK, sockOut.seqOK)
+	}
+}
+
+// TestSocketFaultSoak drives seeded fault schedules against replicas that
+// are separate OS processes: crash/recover, partition/heal, checkpoint
+// and compaction sweeps interleaved with weak, strong and
+// guarantee-carrying traffic, then a repair finale, full convergence and
+// the paper's checkers. The schedule generator is restricted to the
+// live-expressible action set (no SlowLink, no crashing the sequencer),
+// and every schedule is a pure function of its seed.
+//
+//	SOCKET_SOAK_RUNS=<n>  override the schedule count (default 3, 1 under -short)
+//	SOCKET_SOAK_SEED=<s>  run a single schedule
+func TestSocketFaultSoak(t *testing.T) {
+	runs := 3
+	if testing.Short() {
+		runs = 1
+	}
+	if env := os.Getenv("SOCKET_SOAK_RUNS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("SOCKET_SOAK_RUNS=%q: %v", env, err)
+		}
+		runs = n
+	}
+	const base = 700_000
+	if env := os.Getenv("SOCKET_SOAK_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("SOCKET_SOAK_SEED=%q: %v", env, err)
+		}
+		socketSoakRun(t, seed)
+		return
+	}
+	for i := 0; i < runs; i++ {
+		seed := int64(base + i)
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			socketSoakRun(t, seed)
+		})
+	}
+}
+
+// socketSoakRun executes one seeded schedule against a fresh 3-node
+// subprocess deployment. Failures print the decoded action list and the
+// node logs (via the cluster cleanup), and the seed re-runs alone with
+// SOCKET_SOAK_SEED.
+func socketSoakRun(t *testing.T, seed int64) {
+	t.Helper()
+	const n = 3
+	var nodeArgs []string
+	cadence := []int{0, 3}[seed%2]
+	if cadence > 0 {
+		nodeArgs = append(nodeArgs, "-checkpoint-every", strconv.Itoa(cadence))
+	}
+	c := newSocketCluster(t, n, nodeArgs)
+	defer c.Close()
+
+	var actions []string
+	act := func(format string, args ...any) {
+		actions = append(actions, fmt.Sprintf(format, args...))
+	}
+	fail := func(format string, args ...any) {
+		t.Fatalf("seed %d: %s\nactions: %v\nreplay: SOCKET_SOAK_SEED=%d go test -run TestSocketFaultSoak .",
+			seed, fmt.Sprintf(format, args...), actions, seed)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	crashed := make(map[int]bool)
+	alive := func() []int {
+		out := []int{0} // the sequencer cannot crash
+		for i := 1; i < n; i++ {
+			if !crashed[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	gs, err := c.Session(int(seed%n), WithGuarantees(ReadYourWrites|MonotonicReads))
+	if err != nil {
+		fail("guarantee session: %v", err)
+	}
+	act("guarantee session @%d; checkpoint cadence %d", gs.Replica(), cadence)
+	gsIdle := func() bool { return gs.Last() == nil || gs.Last().Done() }
+
+	steps := 10 + rng.Intn(8)
+	for i := 0; i < steps; i++ {
+		up := alive()
+		switch rng.Intn(12) {
+		case 0, 1, 2, 3: // weak invocation somewhere alive
+			r := up[rng.Intn(len(up))]
+			d := int64(1 + rng.Intn(5))
+			s, err := c.Session(r)
+			if err != nil {
+				fail("session: %v", err)
+			}
+			if _, err := s.Invoke(Inc("ctr", d), Weak); err != nil {
+				fail("weak inc@%d: %v", r, err)
+			}
+			act("weak inc(%d)@%d", d, r)
+		case 4, 5: // strong invocation (no wait: may starve until the finale)
+			r := up[rng.Intn(len(up))]
+			s, err := c.Session(r)
+			if err != nil {
+				fail("session: %v", err)
+			}
+			if _, err := s.Invoke(PutIfAbsent("k"+strconv.Itoa(rng.Intn(2)), r), Strong); err != nil {
+				fail("strong putIfAbsent@%d: %v", r, err)
+			}
+			act("strong putIfAbsent@%d", r)
+		case 6: // crash a non-sequencer (keep a majority alive)
+			if len(up) <= n/2+1 {
+				continue
+			}
+			r := up[1+rng.Intn(len(up)-1)]
+			if err := c.Crash(r); err != nil {
+				fail("crash %d: %v", r, err)
+			}
+			crashed[r] = true
+			act("crash %d", r)
+		case 7: // recover
+			for r := range crashed {
+				if err := c.Recover(r); err != nil {
+					fail("recover %d: %v", r, err)
+				}
+				delete(crashed, r)
+				act("recover %d", r)
+				break
+			}
+		case 8: // partition one replica against the rest
+			r := rng.Intn(n)
+			if err := c.Partition([]int{r}); err != nil {
+				fail("partition {%d}: %v", r, err)
+			}
+			act("partition {%d} | rest", r)
+		case 9: // heal
+			if err := c.Heal(); err != nil {
+				fail("heal: %v", err)
+			}
+			act("heal")
+		case 10: // a guarded operation on the mobile session
+			if crashed[gs.Replica()] || !gsIdle() {
+				continue
+			}
+			if _, err := gs.Invoke(SetAdd("gset", strconv.Itoa(rng.Intn(8))), Weak); err != nil {
+				fail("guarantee setAdd: %v", err)
+			}
+			act("guarantee setAdd@%d", gs.Replica())
+		default: // migrate the guarantee session to a surviving replica
+			if !gsIdle() {
+				continue
+			}
+			r := up[rng.Intn(len(up))]
+			if err := gs.Bind(r); err != nil {
+				fail("guarantee bind %d: %v", r, err)
+			}
+			act("guarantee bind %d", r)
+		}
+	}
+
+	// Finale: repair, settle, probe, settle — the stable suffix every
+	// "eventually" clause needs.
+	if err := c.Heal(); err != nil {
+		fail("final heal: %v", err)
+	}
+	for r := range crashed {
+		if err := c.Recover(r); err != nil {
+			fail("final recover %d: %v", r, err)
+		}
+	}
+	act("heal; recover all; settle")
+	if err := c.Settle(); err != nil {
+		fail("settle after repair: %v", err)
+	}
+	c.MarkStable()
+	for r := 0; r < n; r++ {
+		s, err := c.Session(r)
+		if err != nil {
+			fail("probe session: %v", err)
+		}
+		if _, err := s.Invoke(ListRead(), Weak); err != nil {
+			fail("probe@%d: %v", r, err)
+		}
+	}
+	if err := c.Settle(); err != nil {
+		fail("settle after probes: %v", err)
+	}
+
+	// Liveness: every call terminal after repair.
+	for _, call := range c.Calls() {
+		if !call.Done() {
+			fail("call %s (%s) never completed", call.Dot(), call.Op().Name())
+		}
+	}
+	// Convergence: identical absolute committed lengths and registers.
+	lens := make([]int, n)
+	for r := 0; r < n; r++ {
+		base, err := c.CheckpointedLen(r)
+		if err != nil {
+			fail("CheckpointedLen(%d): %v", r, err)
+		}
+		suffix, err := c.Driver().Committed(r)
+		if err != nil {
+			fail("Committed(%d): %v", r, err)
+		}
+		lens[r] = base + len(suffix)
+	}
+	for r := 1; r < n; r++ {
+		if lens[r] != lens[0] {
+			fail("absolute committed lengths diverge: %v", lens)
+		}
+	}
+	for _, reg := range []string{"ctr", "gset", "k0", "k1"} {
+		v0, err := c.Read(0, reg)
+		if err != nil {
+			fail("Read(0, %s): %v", reg, err)
+		}
+		for r := 1; r < n; r++ {
+			vr, err := c.Read(r, reg)
+			if err != nil {
+				fail("Read(%d, %s): %v", r, reg, err)
+			}
+			if !Equal(v0, vr) {
+				fail("register %q diverges: replica 0 %v, replica %d %v", reg, v0, r, vr)
+			}
+		}
+	}
+	// The paper's guarantees plus the mobile session's.
+	h, err := c.History()
+	if err != nil {
+		fail("history: %v", err)
+	}
+	w := check.NewWitness(h)
+	for name, rep := range map[string]check.Report{
+		"FEC(weak)":   w.FEC(core.Weak),
+		"Seq(strong)": w.Seq(core.Strong),
+	} {
+		if !rep.OK() {
+			fail("%s violated:\n%s", name, rep)
+		}
+	}
+	if rep := w.Guarantees(ReadYourWrites | MonotonicReads); !rep.OK() {
+		fail("session guarantees violated:\n%s", rep)
+	}
+}

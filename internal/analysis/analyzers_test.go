@@ -35,6 +35,10 @@ func TestSeedplumb(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "seedplumb"), analysis.Seedplumb, "seed")
 }
 
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "shadow"), analysis.Shadow, "shadow")
+}
+
 // TestSuppression pins the //bayouvet:ignore convention end to end:
 // documented suppressions silence a finding, undocumented or unknown ones
 // are findings themselves, and stale ones are reported so they cannot
@@ -46,8 +50,8 @@ func TestSuppression(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := analysis.ByName("determinism,layering")
 	if err != nil || len(two) != 2 {

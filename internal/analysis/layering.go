@@ -25,10 +25,11 @@ var Layering = &Analyzer{
 
 // substratePackages are the deployment substrates and their plumbing: the
 // two drivers plus the simulator scheduler, network, broadcast and
-// consensus layers and the failure detector.
+// consensus layers, the failure detector, and the socket transport.
 var substratePackages = map[string]bool{
 	"bayou/internal/cluster": true,
 	"bayou/internal/livenet": true,
+	"bayou/internal/wire":    true,
 	"bayou/internal/sim":     true,
 	"bayou/internal/simnet":  true,
 	"bayou/internal/tob":     true,

@@ -13,7 +13,7 @@ import (
 // the multichecker is invoked (cmd/bayouvet standalone, go vet -vettool,
 // bayou-check -lint), so local runs match CI exactly.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Lockcheck, Layering, EffectsHygiene, Seedplumb}
+	return []*Analyzer{Determinism, Lockcheck, Layering, EffectsHygiene, Seedplumb, Shadow}
 }
 
 // ByName resolves a comma-separated analyzer filter ("" = all). Unknown

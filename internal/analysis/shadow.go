@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shadow flags declarations that reuse a predeclared identifier — a
+// variable, constant, parameter, type or function named cap, len, min,
+// error, and so on. Shadowing a builtin is legal Go, but inside the
+// shadowing scope the builtin is silently gone: a later `cap(buf)` in the
+// same function becomes a type error at best and a subtle logic rewrite
+// at worst, and the reader must track which meaning is live line by line.
+// The check exists because the live driver shipped exactly this bug — a
+// `const cap = 2_000` in the Run clamp.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "declarations must not reuse predeclared identifiers (cap, len, min, error, ...): the builtin is silently unusable in the shadowing scope",
+	Run:  runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				return true // a use, a label, or the package name
+			}
+			if types.Universe.Lookup(id.Name) == nil {
+				return true
+			}
+			what := "declaration"
+			switch o := obj.(type) {
+			case *types.Var:
+				switch {
+				case o.IsField():
+					// Field names live behind a selector; x.len never
+					// collides with the builtin.
+					return true
+				case isParamObj(pass, f, o):
+					what = "parameter"
+				default:
+					what = "variable"
+				}
+			case *types.Const:
+				what = "constant"
+			case *types.TypeName:
+				what = "type"
+			case *types.Func:
+				if o.Signature().Recv() != nil {
+					// Method names live behind a selector, like fields;
+					// n.recover() never collides with the builtin.
+					return true
+				}
+				what = "function"
+			}
+			pass.Reportf(id.Pos(), "%s %s shadows the predeclared identifier: the builtin %s is unusable in this scope — rename it", what, id.Name, id.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isParamObj reports whether v is declared in a parameter or result list
+// of a function declaration or literal in file.
+func isParamObj(p *Pass, file *ast.File, v *types.Var) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			return true
+		}
+		for _, list := range []*ast.FieldList{ft.Params, ft.Results} {
+			if list == nil {
+				continue
+			}
+			for _, field := range list.List {
+				for _, name := range field.Names {
+					if p.TypesInfo.Defs[name] == v {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,48 @@
+package shadow
+
+// The live driver's Run clamp, as shipped: a constant named cap.
+func runClamp(t int64) int64 {
+	const cap = 2_000 // want `constant cap shadows the predeclared identifier`
+	if t > cap {
+		t = cap
+	}
+	return t
+}
+
+func shortVar() int {
+	len := 3 // want `variable len shadows the predeclared identifier`
+	return len
+}
+
+func param(min int) int { // want `parameter min shadows the predeclared identifier`
+	return min + 1
+}
+
+func result() (max int) { // want `parameter max shadows the predeclared identifier`
+	return 0
+}
+
+type error struct{ msg string } // want `type error shadows the predeclared identifier`
+
+func new() int { return 0 } // want `function new shadows the predeclared identifier`
+
+const iota = 9 // want `constant iota shadows the predeclared identifier`
+
+// Negative cases: selectors, fields and ordinary names never collide
+// with the universe scope.
+
+type buffer struct {
+	len int // field: reached through a selector, no shadow
+	cap int
+}
+
+func ok(b buffer, n int) int {
+	total := b.len + b.cap
+	_ = n
+	var count int
+	return total + count
+}
+
+func blank() {
+	_ = 1 // the blank identifier is exempt
+}

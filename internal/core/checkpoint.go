@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strconv"
@@ -103,6 +104,75 @@ func (s *DotSet) Count() int64 {
 		}
 	}
 	return n
+}
+
+// GobEncode flattens the set for the wire (CheckpointRecord rides inside
+// state-transfer envelopes, and gob cannot see unexported fields): a varint
+// stream of [replica count, then per replica: id, span count, lo/hi pairs],
+// with replicas in sorted order so the encoding of equal sets is identical
+// byte-for-byte regardless of map iteration order.
+func (s *DotSet) GobEncode() ([]byte, error) {
+	ids := make([]ReplicaID, 0, len(s.r))
+	for id := range s.r {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := binary.AppendVarint(nil, int64(len(ids)))
+	for _, id := range ids {
+		rs := s.r[id]
+		buf = binary.AppendVarint(buf, int64(id))
+		buf = binary.AppendVarint(buf, int64(len(rs)))
+		for _, x := range rs {
+			buf = binary.AppendVarint(buf, x.lo)
+			buf = binary.AppendVarint(buf, x.hi)
+		}
+	}
+	return buf, nil
+}
+
+// GobDecode rebuilds the set from its GobEncode flattening.
+func (s *DotSet) GobDecode(data []byte) error {
+	next := func() (int64, error) {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("core: truncated DotSet encoding")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	nReplicas, err := next()
+	if err != nil {
+		return err
+	}
+	s.r = nil
+	if nReplicas == 0 {
+		return nil
+	}
+	s.r = make(map[ReplicaID][]dotRange, nReplicas)
+	for i := int64(0); i < nReplicas; i++ {
+		id, err := next()
+		if err != nil {
+			return err
+		}
+		nSpans, err := next()
+		if err != nil {
+			return err
+		}
+		rs := make([]dotRange, 0, nSpans)
+		for j := int64(0); j < nSpans; j++ {
+			lo, err := next()
+			if err != nil {
+				return err
+			}
+			hi, err := next()
+			if err != nil {
+				return err
+			}
+			rs = append(rs, dotRange{lo: lo, hi: hi})
+		}
+		s.r[ReplicaID(id)] = rs
+	}
+	return nil
 }
 
 // Spans returns the number of intervals held — the set's actual memory

@@ -686,12 +686,12 @@ func (p *Replica) StepInto(eff *Effects) error {
 	return nil
 }
 
-// StepN executes up to max enabled internal events, appending the merged
+// StepN executes up to limit enabled internal events, appending the merged
 // effects to eff; it returns the number of events executed. Unlike Step, it
 // does not count activations on a passive replica.
-func (p *Replica) StepN(max int, eff *Effects) (int, error) {
+func (p *Replica) StepN(limit int, eff *Effects) (int, error) {
 	done := 0
-	for done < max && p.HasInternalWork() {
+	for done < limit && p.HasInternalWork() {
 		if err := p.StepInto(eff); err != nil {
 			return done, err
 		}

@@ -1,0 +1,203 @@
+// Package launch builds and spawns cmd/bayou-node processes for the
+// multi-process test and benchmark harnesses: it compiles the node binary
+// through the go tool (cached by the build cache, so repeat launches are
+// cheap), reserves loopback addresses, starts one OS process per replica,
+// and captures each node's stderr for failure artifacts. It is test
+// plumbing, not part of the deployment surface — production clusters
+// start bayou-node themselves.
+package launch
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Deployment is a running set of bayou-node processes.
+type Deployment struct {
+	// Addrs lists every node's listen address in replica-id order — feed
+	// it to bayou.WithPeers or livenet.RemoteConfig verbatim.
+	Addrs []string
+	// Dir is the scratch directory holding the per-node stderr logs.
+	Dir string
+
+	procs []*exec.Cmd
+	once  sync.Once
+}
+
+// buildOnce compiles cmd/bayou-node one time per test process; every
+// Start shares the binary.
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// binary returns the path of a compiled bayou-node, building it on first
+// use. The build runs at the module root (found by walking up from the
+// working directory to go.mod), so it works from any package's test.
+func binary() (string, error) {
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "bayou-node-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "bayou-node")
+		cmd := exec.Command("go", "build", "-o", bin, "bayou/cmd/bayou-node")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building bayou-node: %v\n%s", err, out)
+			return
+		}
+		buildBin = bin
+	})
+	return buildBin, buildErr
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// reserveAddrs grabs n distinct loopback ports by listening and closing.
+// The window between close and the node's own listen is a classic race,
+// but the ports come from the kernel's ephemeral range, so collisions in
+// practice require another process binding an ephemeral port by number
+// in the same instant.
+func reserveAddrs(n int) ([]string, error) {
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, nil
+}
+
+// Start builds bayou-node and spawns n of them on freshly reserved
+// loopback addresses; extraArgs are appended to every node's command line
+// (e.g. "-lease", "-checkpoint-every", "3"). The caller must Stop the
+// deployment; connecting controllers should rely on the wire layer's dial
+// backoff rather than waiting for readiness here.
+func Start(n int, extraArgs ...string) (*Deployment, error) {
+	bin, err := binary()
+	if err != nil {
+		return nil, err
+	}
+	addrs, err := reserveAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "bayou-nodes")
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Addrs: addrs, Dir: dir}
+	joined := strings.Join(addrs, ",")
+	for i := 0; i < n; i++ {
+		logf, err := os.Create(filepath.Join(dir, "node"+strconv.Itoa(i)+".log"))
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		args := append([]string{"-id", strconv.Itoa(i), "-addrs", joined}, extraArgs...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = logf
+		cmd.Stdout = logf
+		if err := cmd.Start(); err != nil {
+			logf.Close()
+			d.Stop()
+			return nil, fmt.Errorf("starting node %d: %w", i, err)
+		}
+		logf.Close() // the child holds its own descriptor
+		d.procs = append(d.procs, cmd)
+	}
+	return d, nil
+}
+
+// Stop terminates every node that is still running (SIGTERM, then SIGKILL
+// after a grace period) and reaps the processes. The scratch directory is
+// left in place so failing tests can collect the logs; call Cleanup to
+// remove it.
+func (d *Deployment) Stop() {
+	d.once.Do(func() {
+		for _, p := range d.procs {
+			if p.Process != nil {
+				p.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		deadline := time.After(5 * time.Second)
+		done := make(chan struct{})
+		go func() {
+			for _, p := range d.procs {
+				p.Wait()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-deadline:
+			for _, p := range d.procs {
+				if p.Process != nil {
+					p.Process.Kill()
+				}
+			}
+			<-done
+		}
+	})
+}
+
+// Cleanup removes the scratch directory. Call it only on success — the
+// logs are the failure artifact.
+func (d *Deployment) Cleanup() {
+	os.RemoveAll(d.Dir)
+}
+
+// Logs concatenates every node's captured output, labelled per node, for
+// embedding in a test failure message.
+func (d *Deployment) Logs() string {
+	var sb strings.Builder
+	for i := range d.procs {
+		data, err := os.ReadFile(filepath.Join(d.Dir, "node"+strconv.Itoa(i)+".log"))
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "--- node %d ---\n%s", i, data)
+	}
+	return sb.String()
+}

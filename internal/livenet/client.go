@@ -1,0 +1,689 @@
+package livenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/record"
+	"bayou/internal/spec"
+	"bayou/internal/wire"
+)
+
+// This file is the controller half of the multi-process deployment: the
+// process that owns the shared recorder, the session registry, and the
+// fault picture, with every replica reached over one internal/wire
+// connection. It presents the same surface as the in-process Cluster
+// (both satisfy Deployment), so the bayou façade drives either through
+// one code path — the driver-conformance suites run the same scripts
+// against goroutines-and-channels and against replicas that are separate
+// OS processes, and must reach identical outcomes.
+
+// Deployment is the live-substrate surface the façade driver consumes,
+// satisfied by both the in-process Cluster and the multi-process Remote.
+type Deployment interface {
+	Replicas() int
+	Recorder() *record.Recorder
+	OpenSession(replica int) (core.SessionID, error)
+	BindSession(sess core.SessionID, replica int) error
+	SessionReplica(sess core.SessionID) (int, bool)
+	Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error)
+	InvokeSessionAt(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error)
+	InvokeAt(replica int, op spec.Op, level core.Level) (*record.Call, error)
+	SessionCovered(sess core.SessionID, replica int, timeout time.Duration) (bool, error)
+	Read(replica int, key string, timeout time.Duration) (spec.Value, error)
+	Committed(replica int, timeout time.Duration) ([]core.Req, error)
+	Stats(timeout time.Duration) (map[core.ReplicaID]core.Stats, error)
+	Compact(timeout time.Duration) (int, error)
+	Checkpoint(timeout time.Duration) (int, error)
+	BaseLen(replica int, timeout time.Duration) (int, error)
+	Crash(replica int) error
+	Recover(replica int) error
+	Crashed(replica int) bool
+	Partition(cells [][]int) error
+	Heal() error
+	Quiesce(timeout time.Duration) error
+	MarkStable()
+	History() (*history.History, error)
+	Stop()
+}
+
+var (
+	_ Deployment = (*Cluster)(nil)
+	_ Deployment = (*Remote)(nil)
+)
+
+// rpcTimeout bounds one controller RPC round-trip.
+const rpcTimeout = 30 * time.Second
+
+// Remote drives a deployment whose replicas are separate OS processes
+// (cmd/bayou-node), one wire connection per node. Construct with
+// NewRemote against already-listening node processes; always Stop it.
+type Remote struct {
+	n       int
+	lease   bool
+	rec     *record.Recorder
+	started time.Time
+	conns   []*wire.Conn
+	seq     atomic.Uint64
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// maxTS is the largest completion timestamp observed across all nodes.
+	// Every outgoing RPC carries it as the envelope Clock, and the node
+	// merges it into its Lamport clock — so an invocation reaching node B
+	// after this controller saw a completion from node A is timestamped
+	// after it, preserving session (and controller-observed) order in the
+	// cross-process request order the checkers reconstruct.
+	maxTS atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[core.SessionID]int         // guarded by mu
+	nextSess core.SessionID                 // guarded by mu
+	pendRPC  map[uint64]chan wire.Envelope  // guarded by mu
+	pendCall map[core.SessionID]*record.Call // guarded by mu
+	readErr  error                          // guarded by mu; first reader failure
+
+	partMu sync.Mutex
+	cells  []int  // guarded by partMu
+	down   []bool // guarded by partMu
+}
+
+// RemoteConfig parametrizes the controller side of a multi-process
+// deployment. The per-node knobs (variant, checkpoint cadence, lease) are
+// the node processes' own configuration; the controller only needs to
+// know whether leases are on to mint the lease gate with invocations.
+type RemoteConfig struct {
+	// Addrs lists every node's listen address, indexed by replica id.
+	Addrs []string
+	// LeaderLease must match the node processes' -lease flag: it enables
+	// the recorder's cast tracking that proves the lease-read serve gate.
+	LeaderLease bool
+	// ConnectBudget bounds how long NewRemote waits for each node process
+	// to come up (zero: wire.DefaultConnectBudget).
+	ConnectBudget time.Duration
+}
+
+// NewRemote connects the controller to every node process and starts the
+// event-stream readers. The node processes must already be serving (or
+// come up within the connect budget).
+func NewRemote(cfg RemoteConfig) (*Remote, error) {
+	n := len(cfg.Addrs)
+	if n == 0 {
+		return nil, errors.New("livenet: remote deployment needs at least one node address")
+	}
+	budget := cfg.ConnectBudget
+	if budget == 0 {
+		budget = wire.DefaultConnectBudget
+	}
+	r := &Remote{
+		n:        n,
+		lease:    cfg.LeaderLease,
+		rec:      record.New(),
+		started:  time.Now(),
+		sessions: make(map[core.SessionID]int, n),
+		nextSess: core.SessionID(n),
+		pendRPC:  make(map[uint64]chan wire.Envelope),
+		pendCall: make(map[core.SessionID]*record.Call),
+		cells:    make([]int, n),
+		down:     make([]bool, n),
+	}
+	if cfg.LeaderLease {
+		r.rec.EnableLeaseTracking()
+	}
+	for i := 0; i < n; i++ {
+		r.sessions[core.SessionID(i)] = i
+	}
+	hello := wire.Envelope{Kind: wire.KindHello, From: wire.ControllerID}
+	for i := 0; i < n; i++ {
+		conn, err := wire.Dial(cfg.Addrs[i], hello, budget)
+		if err != nil {
+			for _, c := range r.conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("livenet: node %d: %w", i, err)
+		}
+		r.conns = append(r.conns, conn)
+	}
+	for i := 0; i < n; i++ {
+		r.wg.Add(1)
+		go func(i int) {
+			defer r.wg.Done()
+			r.readLoop(i)
+		}(i)
+	}
+	return r, nil
+}
+
+// readLoop applies one node's frames in arrival order: observation events
+// land on the recorder, replies resolve their waiting RPC. A node sends an
+// invocation's events before its reply on the same connection, so by the
+// time an invoke RPC returns the completion is recorded — the same
+// ordering the in-process host gets from running observe synchronously.
+func (r *Remote) readLoop(node int) {
+	conn := r.conns[node]
+	for {
+		var env wire.Envelope
+		if err := conn.Recv(&env); err != nil {
+			r.mu.Lock()
+			if r.readErr == nil && !r.stopped.Load() {
+				r.readErr = fmt.Errorf("livenet: node %d stream: %w", node, err)
+			}
+			// Unblock every RPC still waiting on this node.
+			for seq, ch := range r.pendRPC {
+				select {
+				case ch <- wire.Envelope{Kind: wire.KindReply, Seq: seq, Err: ErrStopped.Error()}:
+				default:
+				}
+			}
+			r.mu.Unlock()
+			return
+		}
+		switch env.Kind {
+		case wire.KindEvents:
+			for _, ev := range env.Events {
+				r.applyEvent(ev)
+			}
+		case wire.KindReply:
+			r.mu.Lock()
+			ch := r.pendRPC[env.Seq]
+			delete(r.pendRPC, env.Seq)
+			r.mu.Unlock()
+			if ch != nil {
+				ch <- env
+			}
+		}
+	}
+}
+
+// applyEvent lands one remote observation on the recorder. The node ships
+// events call-blind (the pending call lives here); sessions are sequential
+// so the session id identifies the one pending call, and completion or
+// cancellation retires it.
+func (r *Remote) applyEvent(ev wire.Event) {
+	oe := obsEvent{
+		kind:  obsKind(ev.EKind),
+		sess:  core.SessionID(ev.Sess),
+		dot:   ev.Dot,
+		ts:    ev.TS,
+		tob:   ev.TOB,
+		no:    ev.No,
+		resp:  ev.Resp,
+		trans: ev.Trans,
+	}
+	for {
+		cur := r.maxTS.Load()
+		if oe.ts <= cur || r.maxTS.CompareAndSwap(cur, oe.ts) {
+			break
+		}
+	}
+	switch oe.kind {
+	case obsComplete, obsCancel:
+		r.mu.Lock()
+		oe.call = r.pendCall[oe.sess]
+		delete(r.pendCall, oe.sess)
+		r.mu.Unlock()
+		if oe.call == nil {
+			return // duplicate or raced with a local cancel
+		}
+	}
+	applyObs(r.rec, oe, r.wall())
+}
+
+func (r *Remote) wall() int64 { return time.Since(r.started).Microseconds() }
+
+// rpc runs one round-trip against a node.
+func (r *Remote) rpc(node int, env *wire.Envelope) (wire.Envelope, error) {
+	if r.stopped.Load() {
+		return wire.Envelope{}, ErrStopped
+	}
+	env.Seq = r.seq.Add(1)
+	env.Clock = r.maxTS.Load()
+	ch := make(chan wire.Envelope, 1)
+	r.mu.Lock()
+	if r.readErr != nil {
+		err := r.readErr
+		r.mu.Unlock()
+		return wire.Envelope{}, err
+	}
+	r.pendRPC[env.Seq] = ch
+	r.mu.Unlock()
+	if err := r.conns[node].Send(env); err != nil {
+		r.mu.Lock()
+		delete(r.pendRPC, env.Seq)
+		r.mu.Unlock()
+		return wire.Envelope{}, fmt.Errorf("livenet: rpc to node %d: %w", node, err)
+	}
+	timer := time.NewTimer(rpcTimeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		if reply.Err != "" {
+			return reply, remoteError(reply.Err)
+		}
+		return reply, nil
+	case <-timer.C:
+		r.mu.Lock()
+		delete(r.pendRPC, env.Seq)
+		r.mu.Unlock()
+		return wire.Envelope{}, fmt.Errorf("livenet: rpc to node %d: %w", node, ErrTimeout)
+	}
+}
+
+// remoteError rehydrates the sentinel errors the façade and the tests
+// branch on; everything else arrives as an opaque remote error.
+func remoteError(s string) error {
+	for _, sentinel := range []error{ErrReplicaDown, ErrStopped, ErrTimeout, record.ErrGuarantee, record.ErrSessionBusy} {
+		if strings.Contains(s, sentinel.Error()) {
+			return fmt.Errorf("%w (node: %s)", sentinel, s)
+		}
+	}
+	return errors.New(s)
+}
+
+// Replicas returns the deployment size.
+func (r *Remote) Replicas() int { return r.n }
+
+// Recorder exposes the controller-owned observation layer.
+func (r *Remote) Recorder() *record.Recorder { return r.rec }
+
+// OpenSession mints a fresh sequential session bound to the given replica.
+func (r *Remote) OpenSession(replica int) (core.SessionID, error) {
+	if r.stopped.Load() {
+		return 0, ErrStopped
+	}
+	if replica < 0 || replica >= r.n {
+		return 0, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.nextSess
+	r.nextSess++
+	r.sessions[s] = replica
+	return s, nil
+}
+
+// SessionReplica returns the replica a session is bound to.
+func (r *Remote) SessionReplica(s core.SessionID) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.sessions[s]
+	return id, ok
+}
+
+// BindSession re-binds a session to another replica (see Cluster.BindSession).
+func (r *Remote) BindSession(sess core.SessionID, replica int) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= r.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[sess]; !ok {
+		return fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	if r.rec.SessionBusy(sess) {
+		return fmt.Errorf("%w: session %d cannot re-bind", record.ErrSessionBusy, sess)
+	}
+	r.sessions[sess] = replica
+	return nil
+}
+
+// Invoke submits on the session's bound replica (see Cluster.Invoke).
+func (r *Remote) Invoke(sess core.SessionID, op spec.Op, level core.Level) (*record.Call, error) {
+	if r.stopped.Load() {
+		return nil, ErrStopped
+	}
+	r.mu.Lock()
+	replica, ok := r.sessions[sess]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	return r.invokeAt(sess, replica, op, level)
+}
+
+// InvokeSessionAt submits on an explicit target replica.
+func (r *Remote) InvokeSessionAt(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	if r.stopped.Load() {
+		return nil, ErrStopped
+	}
+	if replica < 0 || replica >= r.n {
+		return nil, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	r.mu.Lock()
+	_, ok := r.sessions[sess]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	return r.invokeAt(sess, replica, op, level)
+}
+
+// InvokeAt submits on the replica's default session.
+func (r *Remote) InvokeAt(replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	if replica < 0 || replica >= r.n {
+		return nil, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	return r.Invoke(core.SessionID(replica), op, level)
+}
+
+// invokeAt mirrors the in-process client exactly: the pending call is
+// minted here (atomically marking the session busy), the session's frozen
+// demand vectors and lease gate travel inside the envelope, and the node's
+// completion/cancellation event retires the pending entry before the RPC
+// reply resolves.
+func (r *Remote) invokeAt(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
+	g, mode := r.rec.Guarantees(sess)
+	call, err := r.rec.PendingInvoke(sess, op, level, r.wall())
+	if err != nil {
+		return nil, err
+	}
+	env := wire.Envelope{
+		Kind:   wire.KindInvoke,
+		Sess:   int64(sess),
+		Op:     op,
+		Strong: level == core.Strong,
+	}
+	if g != 0 {
+		env.Gated = true
+		env.FailFast = mode == core.FailFast
+		env.Read, env.Write, env.Fence = r.rec.FreezeDemands(call, !op.ReadOnly())
+	}
+	if r.lease && level == core.Strong && op.ReadOnly() {
+		env.CastCeil, env.CastOK = r.rec.SessionCastCeiling(sess)
+	}
+	r.mu.Lock()
+	r.pendCall[sess] = call
+	r.mu.Unlock()
+	if _, err := r.rpc(replica, &env); err != nil {
+		// The node's cancel event may have raced us; local cancel is a
+		// no-op if the call completed, and the pending entry must go
+		// either way.
+		r.mu.Lock()
+		if r.pendCall[sess] == call {
+			delete(r.pendCall, sess)
+		}
+		r.mu.Unlock()
+		r.rec.CancelInvoke(call)
+		return nil, err
+	}
+	return call, nil
+}
+
+// SessionCovered asks whether the replica's state dominates the session's
+// full coverage demand (see Cluster.SessionCovered).
+func (r *Remote) SessionCovered(sess core.SessionID, replica int, timeout time.Duration) (bool, error) {
+	r.mu.Lock()
+	_, ok := r.sessions[sess]
+	r.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("livenet: unknown session %d", sess)
+	}
+	if r.Crashed(replica) {
+		return false, nil
+	}
+	read, write, _ := r.rec.Demands(sess, true)
+	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindCovered, Read: read, Write: write})
+	if err != nil {
+		return false, err
+	}
+	return reply.Bool, nil
+}
+
+// Read fetches a register value from one replica process.
+func (r *Remote) Read(replica int, key string, timeout time.Duration) (spec.Value, error) {
+	if replica < 0 || replica >= r.n {
+		return nil, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindRead, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Value, nil
+}
+
+// Committed returns a snapshot of the replica's committed order.
+func (r *Remote) Committed(replica int, timeout time.Duration) ([]core.Req, error) {
+	if replica < 0 || replica >= r.n {
+		return nil, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindCommitted})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Reqs, nil
+}
+
+// Stats aggregates replica cost counters.
+func (r *Remote) Stats(timeout time.Duration) (map[core.ReplicaID]core.Stats, error) {
+	out := make(map[core.ReplicaID]core.Stats, r.n)
+	for i := 0; i < r.n; i++ {
+		reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindStats})
+		if err != nil {
+			return nil, err
+		}
+		out[core.ReplicaID(i)] = reply.Stats
+	}
+	return out, nil
+}
+
+// Compact runs log compaction on every replica.
+func (r *Remote) Compact(timeout time.Duration) (int, error) {
+	total := 0
+	for i := 0; i < r.n; i++ {
+		reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindCompact})
+		if err != nil {
+			return total, err
+		}
+		total += int(reply.Int)
+	}
+	return total, nil
+}
+
+// Checkpoint checkpoints every live replica (crashed ones are skipped).
+func (r *Remote) Checkpoint(timeout time.Duration) (int, error) {
+	total := 0
+	for i := 0; i < r.n; i++ {
+		if r.Crashed(i) {
+			continue
+		}
+		reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindCheckpoint})
+		if err != nil {
+			return total, err
+		}
+		total += int(reply.Int)
+	}
+	return total, nil
+}
+
+// BaseLen reports a replica's checkpointed-prefix length.
+func (r *Remote) BaseLen(replica int, timeout time.Duration) (int, error) {
+	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindBaseLen})
+	if err != nil {
+		return 0, err
+	}
+	return int(reply.Int), nil
+}
+
+// Crash crashes a replica process's automaton (the OS process stays up,
+// discarding protocol traffic — the state loss is what a crash means
+// here, exactly as in-process). The sequencer cannot crash.
+func (r *Remote) Crash(replica int) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= r.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	if replica == 0 {
+		return errors.New("livenet: cannot crash the sequencer (replica 0)")
+	}
+	if _, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindCrash}); err != nil {
+		return err
+	}
+	r.partMu.Lock()
+	r.down[replica] = true
+	r.partMu.Unlock()
+	return r.broadcastFaultView()
+}
+
+// Recover restores a crashed replica; the node resyncs off its peers once
+// the RPC lands, and the fresh fault view releases traffic parked toward
+// it on partition boundaries.
+func (r *Remote) Recover(replica int) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	if replica < 0 || replica >= r.n {
+		return fmt.Errorf("livenet: no replica %d", replica)
+	}
+	if _, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindRecover}); err != nil {
+		return err
+	}
+	r.partMu.Lock()
+	r.down[replica] = false
+	r.partMu.Unlock()
+	return r.broadcastFaultView()
+}
+
+// Crashed reports the controller's picture of a replica's fault state.
+func (r *Remote) Crashed(replica int) bool {
+	if replica < 0 || replica >= r.n {
+		return false
+	}
+	r.partMu.Lock()
+	defer r.partMu.Unlock()
+	return r.down[replica]
+}
+
+// Partition splits the deployment into cells (see Cluster.Partition).
+func (r *Remote) Partition(cells [][]int) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	fresh := make([]int, r.n)
+	for i := range fresh {
+		fresh[i] = len(cells)
+	}
+	for i, cell := range cells {
+		for _, id := range cell {
+			if id < 0 || id >= r.n {
+				return fmt.Errorf("livenet: no replica %d", id)
+			}
+			fresh[id] = i
+		}
+	}
+	r.partMu.Lock()
+	copy(r.cells, fresh)
+	r.partMu.Unlock()
+	return r.broadcastFaultView()
+}
+
+// Heal removes all partitions; the nodes release their parked traffic.
+func (r *Remote) Heal() error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	r.partMu.Lock()
+	for i := range r.cells {
+		r.cells[i] = 0
+	}
+	r.partMu.Unlock()
+	return r.broadcastFaultView()
+}
+
+// broadcastFaultView ships the current cells+down picture to every node
+// (crashed nodes too: they need the view current when they recover).
+func (r *Remote) broadcastFaultView() error {
+	r.partMu.Lock()
+	cells := append([]int(nil), r.cells...)
+	down := append([]bool(nil), r.down...)
+	r.partMu.Unlock()
+	var firstErr error
+	for i := 0; i < r.n; i++ {
+		env := wire.Envelope{Kind: wire.KindFaultView, Cells: cells, Down: down}
+		if _, err := r.rpc(i, &env); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Quiesce blocks until the deployment has settled (see Cluster.Quiesce).
+// Convergence probes are RPC round-trips; between unsettled probes the
+// controller backs off briefly — the node-side progress signal does not
+// cross the wire, so this is the polled variant of the in-process
+// event-driven wait, paced by real network round-trips.
+func (r *Remote) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	for _, call := range r.rec.Calls() {
+		if rep, ok := r.SessionReplica(call.Session()); ok && r.Crashed(rep) {
+			continue
+		}
+		if err := call.WaitTerminal(ctx); err != nil {
+			return fmt.Errorf("livenet: quiesce: call %s not terminal: %w", call.Dot(), err)
+		}
+	}
+	expected := int64(r.rec.TOBCastCount())
+	wait := time.Millisecond
+	for {
+		converged := true
+		for i := 0; i < r.n; i++ {
+			if r.Crashed(i) {
+				continue
+			}
+			reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindProbe})
+			if err != nil {
+				return fmt.Errorf("livenet: quiesce: %w", err)
+			}
+			if reply.Int < expected || reply.Bool {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livenet: quiesce: %w", ErrTimeout)
+		}
+		time.Sleep(wait)
+		if wait *= 2; wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+	}
+}
+
+// MarkStable records the quiescence cutoff for the history checkers.
+func (r *Remote) MarkStable() { r.rec.MarkStable() }
+
+// History assembles the recorded history.
+func (r *Remote) History() (*history.History, error) { return r.rec.History() }
+
+// Stop shuts the node processes down (best effort) and closes the
+// connections. The process launcher owns the OS processes; after Stop
+// they exit on their own.
+func (r *Remote) Stop() {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		env := wire.Envelope{Kind: wire.KindShutdown, Seq: r.seq.Add(1)}
+		_ = r.conns[i].Send(&env) // best effort; the reply may race the close below
+	}
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.wg.Wait()
+}

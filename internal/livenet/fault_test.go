@@ -3,7 +3,6 @@ package livenet
 import (
 	"errors"
 	"testing"
-	"time"
 
 	"bayou/internal/core"
 	"bayou/internal/spec"
@@ -110,7 +109,20 @@ func TestPartitionHealLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	// Deterministic stall check — no sleep: an inspect round-trip through
+	// replica 2 proves it processed the invoke (each node's inbox is FIFO,
+	// and the inspect was enqueued after it), so the forward to the
+	// sequencer has been sent — and parked at the partition. A second
+	// round-trip through the sequencer then proves it drained everything it
+	// will ever receive while the partition holds. If the forward had
+	// crossed, the completion would have been observed before that second
+	// reply, so Done() here is a real verdict, not a timing accident.
+	if _, err := c.Read(2, "k", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(0, "k", waitFor); err != nil {
+		t.Fatal(err)
+	}
 	if strong.Done() {
 		t.Fatal("strong op crossed a partition to the sequencer")
 	}

@@ -14,6 +14,15 @@
 // Driver interface and the same programs run on both. Simulation remains the
 // tool for the paper's experiments (determinism is what makes the figures
 // reproducible); livenet is the shape a real deployment driver takes.
+//
+// The replica automaton itself (type node) is substrate-blind a second
+// time over: it talks to its surroundings only through the host interface
+// — a peer fabric to send protocol messages into and an observation sink
+// for recorder events. Cluster implements host with channel inboxes and
+// the in-process Recorder; remote.go implements it with TCP links
+// (internal/wire envelopes) and an event stream back to the controller
+// process, so the same node code runs in-process and as one OS process per
+// replica (see client.go for the controller side).
 package livenet
 
 import (
@@ -46,28 +55,39 @@ const inboxSize = 1 << 14
 type msgKind int
 
 const (
-	msgInvoke msgKind = iota + 1
-	msgRBDeliver
-	msgForward     // weak/strong request en route to the primary
-	msgCommit      // primary's ordering announcement (single, resync replay)
-	msgCommitBatch // primary's ordering announcement for a contiguous run
-	msgInspect     // run a closure on the replica goroutine (reads, stats)
-	msgCrash       // fault plane: drop volatile state, start discarding traffic
-	msgRecover     // fault plane: restore from the durable snapshot and resync
-	msgResync      // a recovering peer asks for retransmission
-	msgStateXfer   // sequencer ships a checkpoint to a learner behind its log
+	msgInvoke      msgKind = iota + 1
+	msgRBDeliver           // a batch of RB broadcasts from one peer
+	msgForward             // weak/strong requests en route to the primary
+	msgCommitBatch         // primary's ordering announcement for a contiguous run
+	msgInspect             // run a closure on the replica goroutine (reads, stats)
+	msgCrash               // fault plane: drop volatile state, start discarding traffic
+	msgRecover             // fault plane: restore from the durable snapshot and resync
+	msgResync              // a recovering peer asks for retransmission
+	msgStateXfer           // sequencer ships a checkpoint to a learner behind its log
 )
 
 type message struct {
 	kind     msgKind
-	req      core.Req
-	reqs     []core.Req // msgCommitBatch: the run, commit numbers commitNo..commitNo+len-1
+	reqs     []core.Req // msgRBDeliver/msgForward batch; msgCommitBatch run (numbers commitNo..commitNo+len-1)
 	commitNo int64
 	from     core.ReplicaID // msgResync: the recovering requester
 	op       spec.Op
 	strong   bool
 	sess     core.SessionID
-	call     *record.Call           // guarantee-gated invoke: the pre-minted pending call
+	call     *record.Call // the pre-minted pending call (nil on a remote node: the controller holds it)
+	// Invoke payload computed at the client against the shared recorder and
+	// shipped with the message, so the node never reads the recorder: the
+	// session's frozen demand vectors and fence (gated invokes), and the
+	// lease-read gate (the highest commit position among the session's TOB
+	// casts, proven only when castOK). They are frozen safely: PendingInvoke
+	// marks the session busy, and a busy session's vectors cannot change.
+	gated    bool
+	failFast bool
+	read     core.Vec
+	write    core.Vec
+	fence    int64
+	castOK   bool
+	castCeil int64
 	ckpt     *core.CheckpointRecord // msgStateXfer: the transferred image
 	reply    chan invokeReply
 	inspect  func(*node)
@@ -79,6 +99,55 @@ type message struct {
 type invokeReply struct {
 	call *record.Call
 	err  error
+}
+
+// obsKind tags one observation event a node emits toward the recorder.
+type obsKind int
+
+const (
+	obsComplete obsKind = iota + 1 // pending call accepted: dot/ts/tob
+	obsCancel                      // pending call withdrawn (down, fail-fast, invoke error)
+	obsLease                       // strong read served under the ordering lease
+	obsTOB                         // a commit applied (TOB delivery number)
+	obsTransition
+	obsResponded
+	obsStable
+	obsLost
+)
+
+// obsEvent is one recorder-bound observation. In-process the call pointer
+// identifies the pending invocation directly; on a remote node call is nil
+// and sess identifies it (sessions are sequential, so at most one pending
+// invocation per session exists at a time).
+type obsEvent struct {
+	kind  obsKind
+	call  *record.Call
+	sess  core.SessionID
+	dot   core.Dot
+	ts    int64
+	tob   bool
+	no    int64
+	resp  core.Response
+	trans core.Transition
+}
+
+// host is the node's view of its surroundings: the peer fabric protocol
+// traffic flows into, the observation sink recorder events flow into, and
+// the driver wall clock. Cluster implements it with channels and the shared
+// in-process recorder; remoteHost (remote.go) implements it with TCP links
+// and an event stream to the controller.
+type host interface {
+	// sendPeer delivers a protocol message to another replica (parking it
+	// on partitions, dropping or parking it toward crashed targets — the
+	// fault semantics live in the fabric, not the node).
+	sendPeer(from, to int, m message)
+	// observe sinks one recorder-bound event. Events are emitted in the
+	// node's processing order and must be applied in that order.
+	observe(ev obsEvent)
+	// endBurst is called once per inbox burst, after internal work has
+	// drained: the in-process host signals quiescence watchers, the remote
+	// host flushes coalesced peer envelopes.
+	endBurst()
 }
 
 // Config parametrizes a live cluster.
@@ -122,6 +191,12 @@ type Cluster struct {
 	sessions map[core.SessionID]int // guarded by mu
 	nextSess core.SessionID         // guarded by mu
 
+	// progress is the quiescence signal: each node burst closes and
+	// replaces the current channel, so Quiesce can wait for state to move
+	// instead of busy-polling.
+	progMu sync.Mutex
+	progCh chan struct{} // guarded by progMu
+
 	// Fault plane: partition cells (all equal when healed) and the
 	// messages parked on partition boundaries. The partition model
 	// matches simnet's: cross-cell traffic is held and released on Heal
@@ -140,7 +215,11 @@ type heldMsg struct {
 
 type node struct {
 	id      core.ReplicaID
-	cl      *Cluster
+	h       host
+	n       int          // deployment size
+	clock   func() int64 // logical timestamp source
+	lease   bool
+	ckptE   int // automatic checkpoint cadence (0 = off)
 	replica *core.Replica
 	inbox   chan message
 	stop    chan struct{}
@@ -187,12 +266,18 @@ type node struct {
 	parked []parkedInvoke
 }
 
-// parkedInvoke is one invocation blocked on a coverage gate.
+// parkedInvoke is one invocation blocked on a coverage gate, carrying the
+// session's frozen demand vectors and lease gate (see message).
 type parkedInvoke struct {
-	sess  core.SessionID
-	op    spec.Op
-	level core.Level
-	call  *record.Call
+	sess     core.SessionID
+	op       spec.Op
+	level    core.Level
+	call     *record.Call
+	read     core.Vec
+	write    core.Vec
+	fence    int64
+	castOK   bool
+	castCeil int64
 }
 
 func (n *node) takeEff() *core.Effects { return n.effPool.Take() }
@@ -217,6 +302,7 @@ func NewFromConfig(cfg Config) *Cluster {
 		started:   time.Now(),
 		sessions:  make(map[core.SessionID]int, n),
 		nextSess:  core.SessionID(n),
+		progCh:    make(chan struct{}),
 		cell:      make([]int, n),
 	}
 	if cfg.LeaderLease {
@@ -227,28 +313,41 @@ func NewFromConfig(cfg Config) *Cluster {
 		c.sessions[core.SessionID(i)] = i
 	}
 	for i := 0; i < n; i++ {
-		nd := &node{
-			id:         core.ReplicaID(i),
-			cl:         c,
-			inbox:      make(chan message, inboxSize),
-			stop:       make(chan struct{}),
-			stamped:    make(map[string]bool),
-			nextCommit: 1,
-			held:       make(map[int64]core.Req),
-		}
-		nd.replica = core.NewReplica(nd.id, variant, func() int64 {
+		nd := newNode(core.ReplicaID(i), n, variant, c, func() int64 {
 			// A shared logical clock keeps timestamps globally unique
 			// and roughly synchronized without wall-clock flakiness.
 			return c.clock.Add(1)
-		})
-		nd.replica.EnableTransitions()
+		}, cfg.LeaderLease, cfg.CheckpointEvery)
 		c.nodes = append(c.nodes, nd)
 	}
 	for _, nd := range c.nodes {
 		c.wg.Add(1)
-		go nd.run()
+		go func(nd *node) {
+			defer c.wg.Done()
+			nd.run()
+		}(nd)
 	}
 	return c
+}
+
+// newNode builds one replica automaton bound to a host.
+func newNode(id core.ReplicaID, n int, variant core.Variant, h host, clock func() int64, lease bool, ckptEvery int) *node {
+	nd := &node{
+		id:         id,
+		h:          h,
+		n:          n,
+		clock:      clock,
+		lease:      lease,
+		ckptE:      ckptEvery,
+		inbox:      make(chan message, inboxSize),
+		stop:       make(chan struct{}),
+		stamped:    make(map[string]bool),
+		nextCommit: 1,
+		held:       make(map[int64]core.Req),
+	}
+	nd.replica = core.NewReplica(id, variant, clock)
+	nd.replica.EnableTransitions()
+	return nd
 }
 
 // Stop terminates every replica goroutine and waits for them.
@@ -264,6 +363,58 @@ func (c *Cluster) Stop() {
 
 // wall is the driver's wall clock (microseconds since construction).
 func (c *Cluster) wall() int64 { return time.Since(c.started).Microseconds() }
+
+// sendPeer implements host over channel inboxes.
+func (c *Cluster) sendPeer(from, to int, m message) { c.send(from, to, m) }
+
+// observe implements host against the shared in-process recorder. The call
+// pointer is always present in-process (the client minted it).
+func (c *Cluster) observe(ev obsEvent) { applyObs(c.rec, ev, c.wall()) }
+
+// applyObs lands one observation event on a recorder, stamped with the
+// applying side's wall clock. Both the in-process host and the remote
+// controller (which receives events over the node's event stream) funnel
+// through it, so the two substrates record identically.
+func applyObs(rec *record.Recorder, ev obsEvent, wall int64) {
+	switch ev.kind {
+	case obsComplete:
+		rec.CompleteInvoke(ev.call, ev.dot, ev.ts, ev.tob, wall)
+	case obsCancel:
+		rec.CancelInvoke(ev.call)
+	case obsLease:
+		rec.LeaseServed(ev.dot, ev.no)
+	case obsTOB:
+		rec.TOBDelivered(ev.dot, ev.no)
+	case obsTransition:
+		rec.Transition(ev.trans, wall)
+	case obsResponded:
+		rec.Responded(ev.resp, wall)
+	case obsStable:
+		rec.StableNoticed(ev.resp, wall)
+	case obsLost:
+		rec.ResultLost(ev.dot, wall)
+	}
+}
+
+// endBurst implements host: it publishes a progress epoch by closing the
+// current progress channel and installing a fresh one, waking every Quiesce
+// waiter to re-check convergence.
+func (c *Cluster) endBurst() {
+	c.progMu.Lock()
+	ch := c.progCh
+	c.progCh = make(chan struct{})
+	c.progMu.Unlock()
+	close(ch)
+}
+
+// progressChan returns the channel the next endBurst will close. Grab it
+// before inspecting state: a signal raced between inspection and wait then
+// still wakes the waiter.
+func (c *Cluster) progressChan() <-chan struct{} {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	return c.progCh
+}
 
 // send is the replica-to-replica network: it parks cross-partition traffic
 // until Heal and drops connected traffic toward a crashed replica (the
@@ -517,27 +668,41 @@ func (c *Cluster) InvokeSessionAt(sess core.SessionID, replica int, op spec.Op, 
 	return c.invokeAt(sess, replica, op, level)
 }
 
-// invokeAt routes one invocation to the target replica's goroutine. For
-// guarantee-carrying sessions the pending call is minted on the caller's
-// side (atomically marking the session busy) and handed to the replica,
-// which completes it, parks it on the coverage gate, or cancels it — the
-// reply is immediate either way, so Invoke never blocks on coverage; the
-// parked call simply stays pending until the replica catches up.
+// invokeAt routes one invocation to the target replica's goroutine. The
+// pending call is minted on the caller's side (atomically marking the
+// session busy) and handed to the replica together with everything the
+// node needs from the recorder — frozen demand vectors for gated sessions,
+// the lease-read cast ceiling — so the node itself never touches the
+// recorder. The replica completes the call, parks it on the coverage gate,
+// or cancels it; the reply is immediate either way, so Invoke never blocks
+// on coverage — a parked call simply stays pending until the replica
+// catches up.
 func (c *Cluster) invokeAt(sess core.SessionID, replica int, op spec.Op, level core.Level) (*record.Call, error) {
-	m := message{kind: msgInvoke, sess: sess, op: op, strong: level == core.Strong, reply: make(chan invokeReply, 1)}
-	if g, _ := c.rec.Guarantees(sess); g != 0 {
-		call, err := c.rec.PendingInvoke(sess, op, level, c.wall())
-		if err != nil {
-			return nil, err
-		}
-		m.call = call
+	g, mode := c.rec.Guarantees(sess)
+	call, err := c.rec.PendingInvoke(sess, op, level, c.wall())
+	if err != nil {
+		return nil, err
+	}
+	m := message{
+		kind:   msgInvoke,
+		sess:   sess,
+		op:     op,
+		strong: level == core.Strong,
+		call:   call,
+		reply:  make(chan invokeReply, 1),
+	}
+	if g != 0 {
+		m.gated = true
+		m.failFast = mode == core.FailFast
+		m.read, m.write, m.fence = c.rec.FreezeDemands(call, !op.ReadOnly())
+	}
+	if c.lease && level == core.Strong && op.ReadOnly() {
+		m.castCeil, m.castOK = c.rec.SessionCastCeiling(sess)
 	}
 	select {
 	case c.nodes[replica].inbox <- m:
 	case <-c.nodes[replica].stop:
-		if m.call != nil {
-			c.rec.CancelInvoke(m.call)
-		}
+		c.rec.CancelInvoke(call)
 		return nil, ErrStopped
 	}
 	select {
@@ -547,9 +712,7 @@ func (c *Cluster) invokeAt(sess core.SessionID, replica int, op spec.Op, level c
 		// The node stopped with the invoke possibly still queued; withdraw
 		// the pending call so the session is not left busy forever
 		// (CancelInvoke is a no-op if the node did complete it first).
-		if m.call != nil {
-			c.rec.CancelInvoke(m.call)
-		}
+		c.rec.CancelInvoke(call)
 		return nil, ErrStopped
 	}
 }
@@ -704,6 +867,10 @@ func (c *Cluster) History() (*history.History, error) { return c.rec.History() }
 // analogue of the simulator's Settle. Replicas currently crashed are
 // exempt, as are calls bound to them: a crashed replica is not a correct
 // one, and its clients' calls legitimately pend until it recovers.
+//
+// Convergence is event-driven: each node burst publishes a progress epoch
+// (Cluster.endBurst), and Quiesce re-checks only when one fires — no
+// polling loop. The deadline is enforced by a single timer.
 func (c *Cluster) Quiesce(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	ctx, cancel := context.WithDeadline(context.Background(), deadline)
@@ -721,6 +888,9 @@ func (c *Cluster) Quiesce(timeout time.Duration) error {
 	// for how many commits a settled run contains.
 	expected := c.rec.TOBCastCount()
 	for {
+		// Grab the epoch channel before inspecting: progress made between
+		// the inspection and the wait below still wakes us.
+		ch := c.progressChan()
 		converged := true
 		for i := 0; i < c.n; i++ {
 			if c.Crashed(i) {
@@ -746,10 +916,11 @@ func (c *Cluster) Quiesce(timeout time.Duration) error {
 		if converged {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-ctx.Done():
 			return fmt.Errorf("livenet: quiesce: %w", ErrTimeout)
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -766,7 +937,6 @@ const maxBurst = 256
 // batched schedule adjustment, and internal work is drained once per burst
 // instead of once per message.
 func (n *node) run() {
-	defer n.cl.wg.Done()
 	for {
 		select {
 		case <-n.stop:
@@ -787,6 +957,7 @@ func (n *node) run() {
 				n.flushFwd()
 				n.settleLocal()
 			}
+			n.h.endBurst()
 		}
 	}
 }
@@ -806,11 +977,11 @@ func (n *node) settleLocal() {
 
 // covers reports whether this replica dominates the invocation's coverage
 // demands right now (core.Replica.CoversInvoke is the shared gate; see its
-// comment for the read/committed/write split).
+// comment for the read/committed/write split). The demand vectors were
+// frozen when the invocation was submitted — the session has been busy
+// since, so they cannot have moved.
 func (n *node) covers(pi parkedInvoke) bool {
-	updating := !pi.op.ReadOnly()
-	read, write, _ := n.cl.rec.Demands(pi.sess, updating)
-	return n.replica.CoversInvoke(pi.level, updating, read, write)
+	return n.replica.CoversInvoke(pi.level, !pi.op.ReadOnly(), pi.read, pi.write)
 }
 
 // tryLeaseRead serves a strong read-only invocation locally on the
@@ -819,44 +990,40 @@ func (n *node) covers(pi parkedInvoke) bool {
 // leaseholder: its committed prefix is the global one by construction),
 // and (3) the session gate proves every operation the session ever cast
 // is inside that prefix, so session order cannot expose the read as
-// stale. It reports ok=false to fall through to the normal forward path.
-// A guarantee-gated invocation passes its pending call; the plain path
-// passes nil and gets a freshly minted handle.
-func (n *node) tryLeaseRead(sess core.SessionID, op spec.Op, strong bool, pending *record.Call) (*record.Call, bool) {
-	if !n.cl.lease || !strong || !op.ReadOnly() || n.id != 0 || n.down {
-		return nil, false
+// stale. The gate ships with the invocation (castOK/castCeil): the
+// highest commit position among the session's TOB casts, proven at
+// submission — the session is busy from then on, so no new casts can
+// appear underneath it. It reports false to fall through to the normal
+// forward path.
+func (n *node) tryLeaseRead(pi parkedInvoke) bool {
+	if !n.lease || pi.level != core.Strong || !pi.op.ReadOnly() || n.id != 0 || n.down {
+		return false
 	}
-	if !n.cl.rec.SessionCastCommittedWithin(sess, int64(n.replica.CommittedLen())) {
-		return nil, false
+	if !pi.castOK || pi.castCeil > int64(n.replica.CommittedLen()) {
+		return false
 	}
 	eff := n.takeEff()
 	defer n.putEff(eff)
-	req, ok, err := n.replica.StrongReadLocal(sess, op, eff)
+	req, ok, err := n.replica.StrongReadLocal(pi.sess, pi.op, eff)
 	if err != nil {
 		panic(fmt.Sprintf("livenet: lease read on %d: %v", n.id, err))
 	}
 	if !ok {
-		return nil, false
+		return false
 	}
 	leaseNo := int64(n.replica.CommittedLen())
-	call := pending
-	if call != nil {
-		n.cl.rec.CompleteInvoke(call, req.Dot, req.Timestamp, false, n.cl.wall())
-	} else {
-		call = n.cl.rec.Invoked(sess, req.Dot, op, core.Strong, req.Timestamp, false, n.cl.wall())
-	}
-	n.cl.rec.LeaseServed(req.Dot, leaseNo)
+	n.h.observe(obsEvent{kind: obsComplete, call: pi.call, sess: pi.sess, dot: req.Dot, ts: req.Timestamp})
+	n.h.observe(obsEvent{kind: obsLease, dot: req.Dot, no: leaseNo})
 	n.route(*eff)
-	return call, true
+	return true
 }
 
 // complete accepts a gated invocation: the clock is fenced above the
 // session vectors, the replica invoked, and the pending call bound to its
 // minted dot.
 func (n *node) complete(pi parkedInvoke) {
-	_, _, fence := n.cl.rec.Demands(pi.sess, !pi.op.ReadOnly())
-	n.replica.FenceClock(fence)
-	if _, ok := n.tryLeaseRead(pi.sess, pi.op, pi.level == core.Strong, pi.call); ok {
+	n.replica.FenceClock(pi.fence)
+	if n.tryLeaseRead(pi) {
 		return
 	}
 	eff := n.takeEff()
@@ -865,7 +1032,10 @@ func (n *node) complete(pi parkedInvoke) {
 		n.putEff(eff)
 		panic(fmt.Sprintf("livenet: gated invoke on %d: %v", n.id, err))
 	}
-	n.cl.rec.CompleteInvoke(pi.call, req.Dot, req.Timestamp, len(eff.TOBCast) > 0, n.cl.wall())
+	n.h.observe(obsEvent{
+		kind: obsComplete, call: pi.call, sess: pi.sess,
+		dot: req.Dot, ts: req.Timestamp, tob: len(eff.TOBCast) > 0,
+	})
 	n.route(*eff)
 	n.putEff(eff)
 }
@@ -897,9 +1067,7 @@ func (n *node) retryParked() bool {
 // restored state is never observed half-built.
 func (n *node) recover() {
 	eff := n.takeEff()
-	restored, err := core.RestoreReplica(n.snap, func() int64 {
-		return n.cl.clock.Add(1)
-	}, true, eff)
+	restored, err := core.RestoreReplica(n.snap, n.clock, true, eff)
 	if err != nil {
 		panic(fmt.Sprintf("livenet: recover %d: %v", n.id, err))
 	}
@@ -913,9 +1081,9 @@ func (n *node) recover() {
 	n.crashed.Store(false)
 	n.route(*eff) // continuations answered from the committed-while-down prefix
 	n.putEff(eff)
-	for _, peer := range n.cl.nodes {
-		if peer.id != n.id {
-			n.cl.send(int(n.id), int(peer.id), message{kind: msgResync, from: n.id, commitNo: n.nextCommit})
+	for peer := 0; peer < n.n; peer++ {
+		if peer != int(n.id) {
+			n.h.sendPeer(int(n.id), peer, message{kind: msgResync, from: n.id, commitNo: n.nextCommit})
 		}
 	}
 	// Invocations parked before the crash survived it (they are client-side
@@ -925,24 +1093,28 @@ func (n *node) recover() {
 
 // answerResync retransmits to a recovering peer: every tentative request
 // this node holds (the requester's duplicate filters drop what it already
-// knows), plus — on the sequencer — the commit log from the requester's
-// next expected commit number. A requester whose cursor predates the
-// sequencer's checkpoint gets the checkpoint image first (state transfer)
-// and per-commit replay only for the log that survives past it.
+// knows) as one batched delivery, plus — on the sequencer — the commit log
+// from the requester's next expected commit number as one batched commit
+// run. A requester whose cursor predates the sequencer's checkpoint gets
+// the checkpoint image first (state transfer) and per-commit replay only
+// for the log that survives past it. This is also the bootstrap path of a
+// multi-process node: it sends a resync on startup, and a lagging learner
+// catches up by checkpoint image instead of channel replay.
 func (n *node) answerResync(m message) {
-	for _, r := range n.replica.Tentative() {
-		n.cl.send(int(n.id), int(m.from), message{kind: msgRBDeliver, req: r})
+	if tent := n.replica.Tentative(); len(tent) > 0 {
+		n.h.sendPeer(int(n.id), int(m.from), message{kind: msgRBDeliver, reqs: tent})
 	}
 	if n.id == 0 {
 		from := m.commitNo
 		if from <= n.logBase {
 			if rec, ok := n.replica.CheckpointRecord(); ok {
-				n.cl.send(0, int(m.from), message{kind: msgStateXfer, commitNo: int64(rec.BaseLen), ckpt: rec})
+				n.h.sendPeer(0, int(m.from), message{kind: msgStateXfer, commitNo: int64(rec.BaseLen), ckpt: rec})
 			}
 			from = n.logBase + 1
 		}
-		for no := from; no <= n.commitNo; no++ {
-			n.cl.send(0, int(m.from), message{kind: msgCommit, commitNo: no, req: n.commitLog[no-1-n.logBase]})
+		if from <= n.commitNo {
+			run := append([]core.Req(nil), n.commitLog[from-1-n.logBase:]...)
+			n.h.sendPeer(0, int(m.from), message{kind: msgCommitBatch, commitNo: from, reqs: run})
 		}
 	}
 }
@@ -979,7 +1151,7 @@ func (n *node) installCheckpoint(rec *core.CheckpointRecord) {
 		}
 		first := n.nextCommit - int64(len(batch))
 		for i, next := range batch {
-			n.cl.rec.TOBDelivered(next.Dot, first+int64(i))
+			n.h.observe(obsEvent{kind: obsTOB, dot: next.Dot, no: first + int64(i)})
 			beff := n.takeEff()
 			if err := n.replica.TOBDeliverInto(next, beff); err == nil {
 				n.route(*beff)
@@ -1027,7 +1199,7 @@ func (n *node) checkpoint() (int, error) {
 
 // maybeCheckpoint runs the automatic cadence after applied commits.
 func (n *node) maybeCheckpoint() {
-	every := n.cl.ckptEvery
+	every := n.ckptE
 	if every <= 0 || n.down || n.ckpting {
 		return
 	}
@@ -1049,9 +1221,7 @@ func (n *node) process(m message) {
 	if n.down {
 		switch m.kind {
 		case msgInvoke:
-			if m.call != nil {
-				n.cl.rec.CancelInvoke(m.call)
-			}
+			n.h.observe(obsEvent{kind: obsCancel, call: m.call, sess: m.sess})
 			m.reply <- invokeReply{err: fmt.Errorf("%w: %d (session %d)", ErrReplicaDown, n.id, m.sess)}
 		case msgCrash:
 			m.reply <- invokeReply{err: fmt.Errorf("%w: %d already crashed", ErrReplicaDown, n.id)}
@@ -1061,17 +1231,17 @@ func (n *node) process(m message) {
 		case msgInspect:
 			m.inspect(n)
 			close(m.done)
-		case msgRBDeliver, msgForward, msgCommit, msgCommitBatch, msgResync, msgStateXfer:
+		case msgRBDeliver, msgForward, msgCommitBatch, msgResync, msgStateXfer:
 			// Dropped: the node is down.
 		}
 		return
 	}
 	if m.kind == msgRBDeliver {
-		n.rbBatch = append(n.rbBatch, m.req)
+		n.rbBatch = append(n.rbBatch, m.reqs...)
 		return
 	}
 	if m.kind == msgForward && n.id == 0 {
-		n.fwdBatch = append(n.fwdBatch, m.req)
+		n.fwdBatch = append(n.fwdBatch, m.reqs...)
 		return
 	}
 	n.flushRB()
@@ -1082,17 +1252,20 @@ func (n *node) process(m message) {
 		if m.strong {
 			level = core.Strong
 		}
-		if m.call != nil {
+		pi := parkedInvoke{
+			sess: m.sess, op: m.op, level: level, call: m.call,
+			read: m.read, write: m.write, fence: m.fence,
+			castOK: m.castOK, castCeil: m.castCeil,
+		}
+		if m.gated {
 			// Guarantee-gated: the pending call already holds the session's
 			// busy mark; accept, park, or reject on coverage.
-			pi := parkedInvoke{sess: m.sess, op: m.op, level: level, call: m.call}
-			_, mode := n.cl.rec.Guarantees(m.sess)
 			switch {
 			case n.covers(pi):
 				n.complete(pi)
 				m.reply <- invokeReply{call: m.call}
-			case mode == core.FailFast:
-				n.cl.rec.CancelInvoke(m.call)
+			case m.failFast:
+				n.h.observe(obsEvent{kind: obsCancel, call: m.call, sess: m.sess})
 				m.reply <- invokeReply{err: fmt.Errorf("%w: session %d at replica %d", record.ErrGuarantee, m.sess, n.id)}
 			default:
 				n.parked = append(n.parked, pi)
@@ -1100,30 +1273,30 @@ func (n *node) process(m message) {
 			}
 			return
 		}
-		if n.cl.rec.SessionBusy(m.sess) {
-			m.reply <- invokeReply{err: fmt.Errorf("%w: session %d", record.ErrSessionBusy, m.sess)}
-			return
-		}
-		if call, ok := n.tryLeaseRead(m.sess, m.op, m.strong, nil); ok {
-			m.reply <- invokeReply{call: call}
+		// Plain session: the busy mark was taken at the client
+		// (PendingInvoke), so acceptance is unconditional.
+		if n.tryLeaseRead(pi) {
+			m.reply <- invokeReply{call: m.call}
 			return
 		}
 		eff := n.takeEff()
 		req, err := n.replica.InvokeFrom(m.sess, m.op, m.strong, eff)
 		if err != nil {
 			n.putEff(eff)
+			n.h.observe(obsEvent{kind: obsCancel, call: m.call, sess: m.sess})
 			m.reply <- invokeReply{err: fmt.Errorf("livenet: invoke on %d: %w", n.id, err)}
 			return
 		}
-		call := n.cl.rec.Invoked(m.sess, req.Dot, m.op, level, req.Timestamp, len(eff.TOBCast) > 0, n.cl.wall())
+		n.h.observe(obsEvent{
+			kind: obsComplete, call: m.call, sess: m.sess,
+			dot: req.Dot, ts: req.Timestamp, tob: len(eff.TOBCast) > 0,
+		})
 		n.route(*eff)
 		n.putEff(eff)
-		m.reply <- invokeReply{call: call}
+		m.reply <- invokeReply{call: m.call}
 	case msgForward:
 		// Forwards to the sequencer were buffered above; one addressed to
 		// anybody else was misrouted and is dropped.
-	case msgCommit:
-		n.applyCommit(m.commitNo, m.req)
 	case msgCommitBatch:
 		for i, r := range m.reqs {
 			n.applyCommit(m.commitNo+int64(i), r)
@@ -1176,8 +1349,8 @@ func (n *node) flushFwd() {
 // the run not already stamped is appended to the durable commit log under
 // the next commit numbers, each peer receives the whole run as a single
 // commit announcement, and the sequencer applies the run to itself
-// synchronously. One channel send per peer per burst, not per request —
-// the commit-log append batching that keeps the sequencer off the
+// synchronously. One send per peer per burst, not per request — the
+// commit-log append batching that keeps the sequencer off the
 // per-operation critical path under strong-write load.
 func (n *node) stampBatch(reqs []core.Req) {
 	var fresh []core.Req
@@ -1200,11 +1373,11 @@ func (n *node) stampBatch(reqs []core.Req) {
 		return
 	}
 	first := n.commitNo - int64(len(fresh)) + 1
-	for _, peer := range n.cl.nodes {
-		if peer.id == n.id {
+	for peer := 0; peer < n.n; peer++ {
+		if peer == int(n.id) {
 			continue
 		}
-		n.cl.send(int(n.id), int(peer.id), message{kind: msgCommitBatch, commitNo: first, reqs: fresh})
+		n.h.sendPeer(int(n.id), peer, message{kind: msgCommitBatch, commitNo: first, reqs: fresh})
 	}
 	for i, r := range fresh {
 		n.applyCommit(first+int64(i), r)
@@ -1237,7 +1410,7 @@ func (n *node) applyCommit(no int64, r core.Req) {
 	// of the cascade.
 	first := n.nextCommit - int64(len(batch))
 	for i, next := range batch {
-		n.cl.rec.TOBDelivered(next.Dot, first+int64(i))
+		n.h.observe(obsEvent{kind: obsTOB, dot: next.Dot, no: first + int64(i)})
 		eff := n.takeEff()
 		if err := n.replica.TOBDeliverInto(next, eff); err == nil {
 			n.route(*eff)
@@ -1257,11 +1430,15 @@ func (n *node) drain() {
 }
 
 // route fans a step's effects out to the other replicas and the recorder.
+// Peer traffic is batched: one RB envelope (and at most one forward
+// envelope) per peer per effects, carrying the whole cast — the effects
+// accumulator is pooled, so the batch is copied out before fan-out.
 func (n *node) route(eff core.Effects) {
-	for _, r := range eff.RBCast {
-		for _, peer := range n.cl.nodes {
-			if peer.id != n.id {
-				n.cl.send(int(n.id), int(peer.id), message{kind: msgRBDeliver, req: r})
+	if len(eff.RBCast) > 0 {
+		rs := append([]core.Req(nil), eff.RBCast...)
+		for peer := 0; peer < n.n; peer++ {
+			if peer != int(n.id) {
+				n.h.sendPeer(int(n.id), peer, message{kind: msgRBDeliver, reqs: rs})
 			}
 		}
 	}
@@ -1269,22 +1446,20 @@ func (n *node) route(eff core.Effects) {
 		if n.id == 0 {
 			n.stampBatch(eff.TOBCast)
 		} else {
-			for _, r := range eff.TOBCast {
-				n.cl.send(int(n.id), 0, message{kind: msgForward, req: r})
-			}
+			rs := append([]core.Req(nil), eff.TOBCast...)
+			n.h.sendPeer(int(n.id), 0, message{kind: msgForward, reqs: rs})
 		}
 	}
-	wall := n.cl.wall()
 	for _, t := range eff.Transitions {
-		n.cl.rec.Transition(t, wall)
+		n.h.observe(obsEvent{kind: obsTransition, trans: t})
 	}
 	for _, resp := range eff.Responses {
-		n.cl.rec.Responded(resp, wall)
+		n.h.observe(obsEvent{kind: obsResponded, resp: resp})
 	}
 	for _, notice := range eff.StableNotices {
-		n.cl.rec.StableNoticed(notice, wall)
+		n.h.observe(obsEvent{kind: obsStable, resp: notice})
 	}
 	for _, lost := range eff.Lost {
-		n.cl.rec.ResultLost(lost.Dot, wall)
+		n.h.observe(obsEvent{kind: obsLost, dot: lost.Dot})
 	}
 }

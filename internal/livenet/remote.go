@@ -1,0 +1,451 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"bayou/internal/core"
+	"bayou/internal/wire"
+)
+
+// This file is the node-process half of the multi-process deployment: one
+// replica automaton (the same type node the in-process Cluster runs)
+// hosted behind a TCP listener, speaking internal/wire envelopes. Peers
+// exchange the replica protocol; the controller process (client.go) drives
+// invocations, inspections, and the fault plane over the same listener and
+// receives the node's observation events as a stream.
+//
+// The fault semantics mirror the in-process fabric with one documented
+// shift: the in-process network drops traffic toward a crashed replica at
+// the sender, while the wire transport discards it at the receiver (the
+// down node) — indistinguishable to the protocol, since both are repaired
+// by the recovery resync. Partition parking is sender-side in both: each
+// node holds cross-cell envelopes under the controller's broadcast fault
+// view and releases them when a new view reconnects the cells, with
+// release gated on the target being up, exactly like the in-process
+// releasableLocked.
+
+// NodeConfig parametrizes one hosted replica.
+type NodeConfig struct {
+	ID              int
+	Variant         core.Variant
+	CheckpointEvery int
+	LeaderLease     bool
+	// Addrs lists every replica's listen address, indexed by replica id;
+	// len(Addrs) is the deployment size and Addrs[ID] is this node's
+	// listen address.
+	Addrs []string
+}
+
+// heldEnv is an envelope parked on a partition boundary.
+type heldEnv struct {
+	to  int
+	env wire.Envelope
+}
+
+// remoteNode hosts one replica over the wire transport; it implements host.
+type remoteNode struct {
+	cfg   NodeConfig
+	nd    *node
+	links []*wire.Link
+
+	// clock is the node's Lamport clock: local timestamps are minted by
+	// incrementing it, and every received envelope's Clock stamp merges in
+	// with mergeClock — so a timestamp minted after a message arrives
+	// exceeds every timestamp the sender had seen. Cross-process request
+	// order (which the checkers derive from timestamps) thereby respects
+	// causality; the dot still breaks exact ties.
+	clock atomic.Int64
+
+	// Controller link: events buffer between bursts and flush before any
+	// RPC reply so the controller applies them in emission order.
+	evMu  sync.Mutex
+	evBuf []wire.Event  // guarded by evMu
+	ctrl  *wire.Conn    // guarded by evMu; current controller connection
+	quit  chan struct{} // closed on shutdown RPC
+
+	// Fault view, as last broadcast by the controller.
+	partMu sync.Mutex
+	cells  []int     // guarded by partMu
+	down   []bool    // guarded by partMu
+	held   []heldEnv // guarded by partMu
+}
+
+// ServeNode hosts one replica process: it listens on cfg.Addrs[cfg.ID],
+// resyncs off its peers (the bootstrap handshake — a node joining a
+// deployment with history catches up by checkpoint state transfer plus
+// commit replay), and serves until a shutdown RPC arrives. It is the
+// entire body of cmd/bayou-node.
+func ServeNode(cfg NodeConfig) error {
+	n := len(cfg.Addrs)
+	if cfg.ID < 0 || cfg.ID >= n {
+		return fmt.Errorf("livenet: node id %d outside %d addrs", cfg.ID, n)
+	}
+	variant := cfg.Variant
+	if variant == core.VariantDefault {
+		variant = core.NoCircularCausality
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
+	if err != nil {
+		return fmt.Errorf("livenet: node %d listen: %w", cfg.ID, err)
+	}
+	defer ln.Close()
+
+	r := &remoteNode{
+		cfg:   cfg,
+		quit:  make(chan struct{}),
+		cells: make([]int, n),
+		down:  make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		var link *wire.Link
+		if i != cfg.ID {
+			link = wire.NewLink(cfg.Addrs[i], wire.Envelope{Kind: wire.KindHello, From: cfg.ID})
+		}
+		r.links = append(r.links, link)
+	}
+	r.nd = newNode(core.ReplicaID(cfg.ID), n, variant, r, func() int64 {
+		return r.clock.Add(1)
+	}, cfg.LeaderLease, cfg.CheckpointEvery)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.nd.run()
+	}()
+
+	// Bootstrap: ask every peer for retransmission. A fresh deployment
+	// answers with nothing; a node joining late gets the tentative
+	// suffixes, and from the sequencer a checkpoint image plus the commit
+	// run past it.
+	for peer := 0; peer < n; peer++ {
+		if peer != cfg.ID {
+			r.sendPeer(cfg.ID, peer, message{kind: msgResync, from: core.ReplicaID(cfg.ID), commitNo: 1})
+		}
+	}
+
+	go func() {
+		<-r.quit
+		ln.Close() // unblocks Accept
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-r.quit: // orderly shutdown
+				close(r.nd.stop)
+				wg.Wait()
+				return nil
+			default:
+				return fmt.Errorf("livenet: node %d accept: %w", cfg.ID, err)
+			}
+		}
+		go r.serveConn(wire.Wrap(c))
+	}
+}
+
+// serveConn reads one inbound connection: a hello frame identifies the
+// dialer (peer or controller), then frames flow for the connection's life.
+func (r *remoteNode) serveConn(conn *wire.Conn) {
+	defer conn.Close()
+	var hello wire.Envelope
+	if err := conn.Recv(&hello); err != nil || hello.Kind != wire.KindHello {
+		return
+	}
+	if hello.From == wire.ControllerID {
+		r.evMu.Lock()
+		r.ctrl = conn
+		r.evMu.Unlock()
+		r.serveController(conn)
+		return
+	}
+	r.servePeer(conn)
+}
+
+// servePeer translates peer envelopes into inbox messages.
+func (r *remoteNode) servePeer(conn *wire.Conn) {
+	for {
+		var env wire.Envelope
+		if err := conn.Recv(&env); err != nil {
+			return // peer reconnects with a fresh link if it has more to say
+		}
+		r.mergeClock(env.Clock)
+		var m message
+		switch env.Kind {
+		case wire.KindRBDeliver:
+			m = message{kind: msgRBDeliver, reqs: env.Reqs}
+		case wire.KindForward:
+			m = message{kind: msgForward, reqs: env.Reqs}
+		case wire.KindCommitBatch:
+			m = message{kind: msgCommitBatch, commitNo: env.CommitNo, reqs: env.Reqs}
+		case wire.KindStateXfer:
+			m = message{kind: msgStateXfer, commitNo: env.CommitNo, ckpt: env.Ckpt}
+		case wire.KindResync:
+			m = message{kind: msgResync, from: core.ReplicaID(env.From), commitNo: env.CommitNo}
+		default:
+			continue
+		}
+		r.deliver(m)
+	}
+}
+
+// deliver queues a message for the node goroutine.
+func (r *remoteNode) deliver(m message) {
+	select {
+	case r.nd.inbox <- m:
+	case <-r.nd.stop:
+	}
+}
+
+// serveController handles the controller link: RPC frames answered with
+// KindReply (the observation events emitted while serving flush first, on
+// the same connection, so the controller applies them before the reply).
+func (r *remoteNode) serveController(conn *wire.Conn) {
+	for {
+		var env wire.Envelope
+		if err := conn.Recv(&env); err != nil {
+			return
+		}
+		r.mergeClock(env.Clock)
+		switch env.Kind {
+		case wire.KindInvoke:
+			go r.handleInvoke(conn, env)
+		case wire.KindRead:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Value = n.replica.Read(env.Key)
+			})
+		case wire.KindCommitted:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Reqs = n.replica.Committed()
+			})
+		case wire.KindStats:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Stats = n.replica.Stats()
+			})
+		case wire.KindCompact:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Int = int64(n.replica.Compact())
+			})
+		case wire.KindCheckpoint:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				truncated, err := n.checkpoint()
+				out.Int = int64(truncated)
+				if err != nil {
+					out.Err = err.Error()
+				}
+			})
+		case wire.KindBaseLen:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Int = int64(n.replica.BaseLen())
+			})
+		case wire.KindProbe:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Int = int64(n.replica.CommittedLen())
+				out.Bool = n.replica.HasInternalWork()
+			})
+		case wire.KindCovered:
+			read, write := env.Read, env.Write
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Bool = n.replica.CoversSession(read, write)
+			})
+		case wire.KindCrash, wire.KindRecover:
+			go r.handleControl(conn, env)
+		case wire.KindFaultView:
+			r.applyFaultView(env.Cells, env.Down)
+			r.reply(conn, &wire.Envelope{Kind: wire.KindReply, Seq: env.Seq})
+		case wire.KindShutdown:
+			r.reply(conn, &wire.Envelope{Kind: wire.KindReply, Seq: env.Seq})
+			close(r.quit)
+			return
+		}
+	}
+}
+
+// handleInvoke runs one invocation RPC: the envelope carries everything
+// the in-process client would have computed against the recorder (frozen
+// demand vectors, lease gate), and the node treats it exactly like an
+// in-process invoke with a nil call pointer.
+func (r *remoteNode) handleInvoke(conn *wire.Conn, env wire.Envelope) {
+	m := message{
+		kind:     msgInvoke,
+		sess:     core.SessionID(env.Sess),
+		op:       env.Op,
+		strong:   env.Strong,
+		gated:    env.Gated,
+		failFast: env.FailFast,
+		read:     env.Read,
+		write:    env.Write,
+		fence:    env.Fence,
+		castOK:   env.CastOK,
+		castCeil: env.CastCeil,
+		reply:    make(chan invokeReply, 1),
+	}
+	r.deliver(m)
+	out := wire.Envelope{Kind: wire.KindReply, Seq: env.Seq}
+	select {
+	case rep := <-m.reply:
+		if rep.err != nil {
+			out.Err = rep.err.Error()
+		}
+	case <-r.nd.stop:
+		out.Err = ErrStopped.Error()
+	}
+	r.reply(conn, &out)
+}
+
+// handleControl runs a crash/recover RPC on the node goroutine.
+func (r *remoteNode) handleControl(conn *wire.Conn, env wire.Envelope) {
+	kind := msgCrash
+	if env.Kind == wire.KindRecover {
+		kind = msgRecover
+	}
+	m := message{kind: kind, reply: make(chan invokeReply, 1)}
+	r.deliver(m)
+	out := wire.Envelope{Kind: wire.KindReply, Seq: env.Seq}
+	select {
+	case rep := <-m.reply:
+		if rep.err != nil {
+			out.Err = rep.err.Error()
+		}
+	case <-r.nd.stop:
+		out.Err = ErrStopped.Error()
+	}
+	r.reply(conn, &out)
+}
+
+// handleInspect runs fn on the node goroutine and replies with what it
+// filled in.
+func (r *remoteNode) handleInspect(conn *wire.Conn, seq uint64, fn func(*node, *wire.Envelope)) {
+	out := &wire.Envelope{Kind: wire.KindReply, Seq: seq}
+	done := make(chan struct{})
+	r.deliver(message{kind: msgInspect, inspect: func(n *node) { fn(n, out) }, done: done})
+	select {
+	case <-done:
+	case <-r.nd.stop:
+		out.Err = ErrStopped.Error()
+	}
+	r.reply(conn, out)
+}
+
+// applyFaultView adopts a controller fault broadcast and releases parked
+// envelopes the new view reconnects (targets still down stay parked, like
+// the in-process fabric's releasableLocked).
+func (r *remoteNode) applyFaultView(cells []int, down []bool) {
+	r.partMu.Lock()
+	if len(cells) == len(r.cells) {
+		copy(r.cells, cells)
+	}
+	if len(down) == len(r.down) {
+		copy(r.down, down)
+	}
+	var release []heldEnv
+	keep := r.held[:0]
+	for _, h := range r.held {
+		if r.cells[r.cfg.ID] == r.cells[h.to] && !r.down[h.to] {
+			release = append(release, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	r.held = keep
+	r.partMu.Unlock()
+	for _, h := range release {
+		if err := r.links[h.to].Send(&h.env); err != nil {
+			fmt.Fprintf(os.Stderr, "bayou-node %d: release to %d: %v\n", r.cfg.ID, h.to, err)
+		}
+	}
+}
+
+// mergeClock raises the Lamport clock to at least ts.
+func (r *remoteNode) mergeClock(ts int64) {
+	for {
+		cur := r.clock.Load()
+		if ts <= cur || r.clock.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// sendPeer implements host over the per-peer links, parking cross-cell
+// traffic under the current fault view.
+func (r *remoteNode) sendPeer(from, to int, m message) {
+	env := wire.Envelope{From: from, CommitNo: m.commitNo, Reqs: m.reqs, Ckpt: m.ckpt, Clock: r.clock.Load()}
+	switch m.kind {
+	case msgRBDeliver:
+		env.Kind = wire.KindRBDeliver
+	case msgForward:
+		env.Kind = wire.KindForward
+	case msgCommitBatch:
+		env.Kind = wire.KindCommitBatch
+	case msgStateXfer:
+		env.Kind = wire.KindStateXfer
+	case msgResync:
+		env.Kind = wire.KindResync
+		env.From = int(m.from)
+	default:
+		return
+	}
+	r.partMu.Lock()
+	if r.cells[from] != r.cells[to] {
+		r.held = append(r.held, heldEnv{to: to, env: env})
+		r.partMu.Unlock()
+		return
+	}
+	r.partMu.Unlock()
+	if err := r.links[to].Send(&env); err != nil {
+		// The peer is unreachable past the reconnect budget: the frame is
+		// lost like a dropped datagram; the resync handshake repairs real
+		// gaps when the peer returns.
+		fmt.Fprintf(os.Stderr, "bayou-node %d: send to %d: %v\n", r.cfg.ID, to, err)
+	}
+}
+
+// observe implements host: events buffer locally and flush as one frame
+// per burst (or before any RPC reply).
+func (r *remoteNode) observe(ev obsEvent) {
+	r.evMu.Lock()
+	r.evBuf = append(r.evBuf, wire.Event{
+		EKind: int(ev.kind),
+		Sess:  int64(ev.sess),
+		Dot:   ev.dot,
+		TS:    ev.ts,
+		TOB:   ev.tob,
+		No:    ev.no,
+		Resp:  ev.resp,
+		Trans: ev.trans,
+	})
+	r.evMu.Unlock()
+}
+
+// endBurst implements host: the burst's events ship as one frame.
+func (r *remoteNode) endBurst() { r.flushEvents() }
+
+// flushEvents sends the buffered events to the controller, preserving
+// emission order (one writer at a time; the controller applies frames
+// sequentially).
+func (r *remoteNode) flushEvents() {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	if len(r.evBuf) == 0 || r.ctrl == nil {
+		return
+	}
+	env := wire.Envelope{Kind: wire.KindEvents, Events: r.evBuf, Clock: r.clock.Load()}
+	if err := r.ctrl.Send(&env); err != nil {
+		fmt.Fprintf(os.Stderr, "bayou-node %d: event stream: %v\n", r.cfg.ID, err)
+	}
+	r.evBuf = nil
+}
+
+// reply flushes pending events, then sends an RPC reply — the order that
+// guarantees the controller has applied an invocation's completion before
+// the invoke returns.
+func (r *remoteNode) reply(conn *wire.Conn, env *wire.Envelope) {
+	r.flushEvents()
+	if err := conn.Send(env); err != nil {
+		fmt.Fprintf(os.Stderr, "bayou-node %d: reply: %v\n", r.cfg.ID, err)
+	}
+}

@@ -52,6 +52,18 @@ type Call struct {
 	level   core.Level
 	tobCast bool
 
+	// Frozen demand-vector witnesses (FreezeDemands): the coverage the
+	// serving replica will actually enforce for this invocation, captured at
+	// submission while the session's busy mark already held the vectors
+	// still. CompleteInvoke attaches these to the history event, so the
+	// Coverage checker verifies exactly what was enforced — re-deriving the
+	// demand at acceptance could compact a frontier dot into a committed
+	// watermark the replica never checked (a commit landing between
+	// submission and acceptance) and report a phantom violation.
+	frozen      bool
+	frozenRead  core.Vec
+	frozenWrite core.Vec
+
 	mu         sync.Mutex
 	done       bool          // guarded by mu
 	lost       bool          // guarded by mu
@@ -477,6 +489,28 @@ func (r *Recorder) SessionCastCommittedWithin(session core.SessionID, committedL
 	return ls.castPending == 0 && ls.maxCommit <= committedLen
 }
 
+// SessionCastCeiling is the shippable form of the lease gate: it returns the
+// largest delivery position among the session's TOB casts, with ok reporting
+// that nothing the session cast is still in flight. A replica may serve the
+// session a local strong read from a committed prefix of length L iff ok and
+// ceil ≤ L — the same predicate as SessionCastCommittedWithin, split so the
+// client can evaluate its session half once and ship (ceil, ok) with the
+// invocation while the replica supplies L. Sessions that never cast pass
+// with (0, true); with lease tracking disabled ok is false (the gate cannot
+// be proven, so no lease read may be served).
+func (r *Recorder) SessionCastCeiling(session core.SessionID) (ceil int64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leaseTrack == nil {
+		return 0, false
+	}
+	ls := r.leaseTrack[session]
+	if ls == nil {
+		return 0, true
+	}
+	return ls.maxCommit, ls.castPending == 0
+}
+
 // LeaseServed marks the event of an already-recorded invocation as a lease
 // read anchored at committed length leaseNo: a strong read served locally
 // under the ordering lease, never TOB-cast, arbitrated between commits
@@ -611,6 +645,26 @@ func (r *Recorder) PendingInvoke(session core.SessionID, op spec.Op, level core.
 	return call, nil
 }
 
+// FreezeDemands assembles the session's coverage demand (see Demands) and
+// freezes it on the pending call as the witness CompleteInvoke will attach.
+// Drivers call it right after PendingInvoke — the busy mark guarantees the
+// vectors cannot move until the call resolves, so the frozen form is exactly
+// what the serving replica enforces, however long the invocation is queued
+// or parked.
+func (r *Recorder) FreezeDemands(call *Call, updating bool) (read, write core.Vec, fence int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gs := r.guar[call.session]
+	if gs == nil {
+		return
+	}
+	read, write, fence = r.demandsLocked(gs, updating)
+	call.frozen = true
+	call.frozenRead = read
+	call.frozenWrite = write
+	return read, write, fence
+}
+
 // CompleteInvoke records the acceptance of a previously pending invocation:
 // the serving replica minted dot at timestamp ts. The history event is
 // created at acceptance (the invocation enters the history when a replica
@@ -634,7 +688,7 @@ func (r *Recorder) CompleteInvoke(call *Call, d core.Dot, ts int64, tobCast bool
 		TOBCast:    tobCast,
 		TOBNo:      -1,
 	}
-	r.attachGuaranteesLocked(e, call.session, d, ts)
+	r.attachGuaranteesLocked(e, call, call.session, d, ts)
 	r.calls[d] = call
 	r.events[d] = e
 	r.lastOf[call.session] = e
@@ -670,14 +724,21 @@ func (r *Recorder) CancelInvoke(call *Call) {
 
 // attachGuaranteesLocked stamps a new event with its session's guarantee
 // mask and demand-vector witnesses (the coverage that was enforced for it),
-// then folds the event's own dot into the session's write vector.
-func (r *Recorder) attachGuaranteesLocked(e *history.Event, session core.SessionID, d core.Dot, ts int64) {
+// then folds the event's own dot into the session's write vector. A call
+// carrying frozen witnesses (FreezeDemands) contributes them verbatim —
+// they are what the replica checked; re-deriving here could compact past
+// them (see Call.frozen).
+func (r *Recorder) attachGuaranteesLocked(e *history.Event, call *Call, session core.SessionID, d core.Dot, ts int64) {
 	gs := r.guar[session]
 	if gs == nil {
 		return
 	}
 	e.Guarantees = gs.g
-	e.ReadVec, e.WriteVec, _ = r.demandsLocked(gs, !e.Op.ReadOnly())
+	if call != nil && call.frozen {
+		e.ReadVec, e.WriteVec = call.frozenRead, call.frozenWrite
+	} else {
+		e.ReadVec, e.WriteVec, _ = r.demandsLocked(gs, !e.Op.ReadOnly())
+	}
 	if !e.Op.ReadOnly() && gs.g&(core.ReadYourWrites|core.MonotonicWrites) != 0 {
 		gs.write.Add(d, ts)
 	}
@@ -709,7 +770,7 @@ func (r *Recorder) Invoked(session core.SessionID, d core.Dot, op spec.Op, level
 		TOBCast:    tobCast,
 		TOBNo:      -1,
 	}
-	r.attachGuaranteesLocked(e, session, d, ts)
+	r.attachGuaranteesLocked(e, nil, session, d, ts)
 	r.calls[d] = call
 	r.callList = append(r.callList, call)
 	r.events[d] = e

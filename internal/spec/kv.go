@@ -105,7 +105,7 @@ type CasOp struct {
 }
 
 // Cas constructs a cas(key, old, new) operation.
-func Cas(key string, old, new Value) CasOp { return CasOp{Key: key, Old: old, New: new} }
+func Cas(key string, old, next Value) CasOp { return CasOp{Key: key, Old: old, New: next} }
 
 // Name implements Op.
 func (o CasOp) Name() string {

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds one frame's body; a peer announcing more is corrupt (or
+// hostile) and the connection is torn down rather than the allocation made.
+// Checkpoint images are the largest legitimate payload.
+const MaxFrame = 64 << 20
+
+// Conn frames one TCP connection: 4-byte big-endian length prefix, gob
+// body. Each frame is encoded with a fresh encoder — a gob stream is
+// stateful (type definitions are sent once per stream), and per-frame
+// encoding keeps frames self-contained so a reconnecting reader can join
+// at any frame boundary. Send is safe for concurrent use; Recv is a
+// single-reader method.
+type Conn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	mu  sync.Mutex
+	w   *bufio.Writer // guarded by mu
+	buf bytes.Buffer  // guarded by mu
+}
+
+// Wrap frames an established connection.
+func Wrap(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// Send writes one envelope as a frame and flushes it.
+func (c *Conn) Send(env *Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf.Reset()
+	if err := gob.NewEncoder(&c.buf).Encode(env); err != nil {
+		return fmt.Errorf("wire: encode %d: %w", env.Kind, err)
+	}
+	if c.buf.Len() > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", c.buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(c.buf.Len()))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(c.buf.Bytes()); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame into env (zeroing it first — gob only writes the
+// fields present on the wire).
+func (c *Conn) Recv(env *Envelope) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return err
+	}
+	*env = Envelope{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(env); err != nil {
+		return fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return nil
+}
+
+// Close tears the connection down; blocked Send/Recv calls unblock with an
+// error.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer, for diagnostics.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }

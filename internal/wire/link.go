@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Link is an outbound connection to one peer that dials lazily and
+// re-dials with exponential backoff: nodes of a multi-process deployment
+// start in arbitrary order, so the first Send may precede the peer's
+// listener by a while. Every fresh connection opens with the configured
+// hello frame, identifying the dialer to the acceptor.
+//
+// A Send that hits a broken connection tears it down and retries once on a
+// fresh one; the frame in flight when a connection died may or may not
+// have arrived (at-least-once overall — receivers dedup, and the resync
+// handshake refetches real gaps).
+type Link struct {
+	addr  string
+	hello Envelope
+	// connectBudget bounds one Send's total dial-and-retry time.
+	connectBudget time.Duration
+
+	mu     sync.Mutex
+	conn   *Conn // guarded by mu; nil when disconnected
+	closed bool  // guarded by mu
+}
+
+// backoff bounds for re-dialing.
+const (
+	dialBackoffMin = 5 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+	dialTimeout    = 2 * time.Second
+)
+
+// DefaultConnectBudget is how long a Send keeps re-dialing an unreachable
+// peer before reporting failure.
+const DefaultConnectBudget = 15 * time.Second
+
+// NewLink prepares an outbound link (no connection is made until the first
+// Send). hello is sent first on every fresh connection.
+func NewLink(addr string, hello Envelope) *Link {
+	return &Link{addr: addr, hello: hello, connectBudget: DefaultConnectBudget}
+}
+
+// Dial connects to addr, retrying with exponential backoff within budget,
+// and opens the connection with the hello frame. It is the shared connect
+// path of Link and of the controller client (which keeps the raw Conn to
+// read the node's event stream).
+func Dial(addr string, hello Envelope, budget time.Duration) (*Conn, error) {
+	deadline := time.Now().Add(budget)
+	wait := dialBackoffMin
+	for {
+		c, lastErr := net.DialTimeout("tcp", addr, dialTimeout)
+		if lastErr == nil {
+			conn := Wrap(c)
+			if lastErr = conn.Send(&hello); lastErr == nil {
+				return conn, nil
+			}
+			conn.Close()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("wire: cannot reach %s within %v: %w", addr, budget, lastErr)
+		}
+		time.Sleep(wait)
+		if wait *= 2; wait > dialBackoffMax {
+			wait = dialBackoffMax
+		}
+	}
+}
+
+// Send writes one envelope, dialing or re-dialing as needed.
+func (l *Link) Send(env *Envelope) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wire: link to %s closed", l.addr)
+	}
+	if l.conn == nil {
+		if err := l.connectLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.conn.Send(env); err == nil {
+		return nil
+	}
+	// The connection broke underneath us; one fresh attempt.
+	l.conn.Close()
+	l.conn = nil
+	if err := l.connectLocked(); err != nil {
+		return err
+	}
+	return l.conn.Send(env)
+}
+
+// connectLocked dials with backoff until the budget runs out. Caller holds
+// l.mu.
+func (l *Link) connectLocked() error {
+	conn, err := Dial(l.addr, l.hello, l.connectBudget)
+	if err != nil {
+		return err
+	}
+	l.conn = conn
+	return nil
+}
+
+// Close tears the link down; subsequent Sends fail.
+func (l *Link) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+}

@@ -66,7 +66,7 @@ func Del(key string) Op { return spec.Del(key) }
 func PutIfAbsent(key string, v Value) Op { return spec.PutIfAbsent(key, v) }
 
 // Cas swaps the value under key from old to new, returning true on success.
-func Cas(key string, old, new Value) Op { return spec.Cas(key, old, new) }
+func Cas(key string, old, next Value) Op { return spec.Cas(key, old, next) }
 
 // Set operations.
 

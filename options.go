@@ -58,6 +58,12 @@ type config struct {
 	// clock-fenced; on the live driver (and the primary-commit simulator
 	// variant) the sequencer is a degenerate permanent leaseholder.
 	LeaderLease bool
+	// Peers, when set, makes NewLive drive replicas that run as separate
+	// OS processes (cmd/bayou-node) at these addresses, over TCP, instead
+	// of spawning in-process goroutine replicas. The listed order is the
+	// replica-id order and its length is the deployment size (Replicas is
+	// overridden). NewLive only; the simulator rejects it.
+	Peers []string
 }
 
 // WithReplicas sets the number of replicas (default 3).
@@ -168,6 +174,24 @@ func WithLeaderLease() Option {
 	}
 }
 
+// WithPeers points NewLive at replicas running as separate OS processes:
+// addrs lists every node's listen address in replica-id order (each one a
+// running cmd/bayou-node with the same -addrs list), and the constructed
+// driver is the controller — it owns the sessions, the recorder, and the
+// fault plane, and reaches every replica over TCP. The node processes'
+// own flags must agree with the driver's options (variant, checkpoint
+// cadence, leader lease). Without this option NewLive runs the replicas
+// as in-process goroutines; the simulator rejects it.
+func WithPeers(addrs ...string) Option {
+	return func(o *config) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("bayou: WithPeers: need at least one node address")
+		}
+		o.Peers = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
 // WithPrimaryTOB selects the original Bayou primary-commit scheme instead of
 // Paxos; replica 0 becomes the (non-fault-tolerant) primary.
 func WithPrimaryTOB() Option {
@@ -220,6 +244,12 @@ func build(opts []Option) (config, error) {
 
 // normalize applies defaults and validates the configuration.
 func (o config) normalize() (config, error) {
+	if len(o.Peers) > 0 {
+		if o.Replicas != 0 && o.Replicas != len(o.Peers) {
+			return o, fmt.Errorf("bayou: WithReplicas(%d) contradicts WithPeers of %d addresses", o.Replicas, len(o.Peers))
+		}
+		o.Replicas = len(o.Peers)
+	}
 	if o.Replicas == 0 {
 		o.Replicas = 3
 	}
