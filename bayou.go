@@ -259,6 +259,34 @@ func (c *Cluster) CheckFEC(level Level) (Report, error) {
 	return check.NewWitness(h).FEC(level), nil
 }
 
+// Invariant is an application-level predicate over a register database,
+// checked by CheckTxn between whole operations ("" = holds; otherwise a
+// description of the violation).
+type Invariant = check.Invariant
+
+// SumConserved builds the classic transfer invariant for CheckTxn: the sum
+// over every register with the given prefix must equal one of the
+// admissible totals (the running sums the workload's seeding reaches, which
+// pure transfers then conserve forever).
+func SumConserved(prefix string, admissible ...int64) Invariant {
+	return check.SumConserved(prefix, admissible...)
+}
+
+// CheckTxn verifies the transactional guarantees on the recorded history:
+// every transaction's abort/success verdict is explained by whole-unit
+// replay of its perceived context, completed strong transactions are
+// totally ordered at distinct commit positions, and — when inv is non-nil —
+// the invariant holds at every whole-op boundary of every response's
+// context and of the final arbitration order (no history event witnesses a
+// partial transaction). Pass nil to skip the invariant leg.
+func (c *Cluster) CheckTxn(inv Invariant) (Report, error) {
+	h, err := c.rec.History()
+	if err != nil {
+		return Report{}, err
+	}
+	return check.NewWitness(h).TxnAtomicity(inv), nil
+}
+
 // CheckBEC verifies Basic Eventual Consistency for the given level. Bayou
 // deliberately does not satisfy BEC(weak) on reordered schedules — that gap
 // is the subject of the paper.

@@ -119,6 +119,31 @@ func BenchmarkRollbackReexecute(b *testing.B) {
 	}
 }
 
+// BenchmarkTxnWeakRebase measures the transactional rebase hot path: a weak
+// two-op transfer txn rolled back across its undo span and re-executed
+// atomically by each of 100 older remote deliveries. Its delta over
+// BenchmarkRollbackReexecute is what the span machinery adds to the loop.
+func BenchmarkTxnWeakRebase(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.MicroTxnWeakRebase(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxnStrongCommit measures the strong transactional path: one
+// session committing 64 strong transfer txns through consensus, each unit
+// anchored in a single slot and settled before the next.
+func BenchmarkTxnStrongCommit(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.MicroTxnStrongCommit(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMultiSessionInvoke measures the session-fan-in path: 8 concurrent
 // sessions on one replica of a simulated cluster, 25 weak increments each
 // (the shared workload behind the `sessions` dimension of bayou-bench's

@@ -1,0 +1,98 @@
+package bayou
+
+import "testing"
+
+// TestCheckpointMidBatchRecovery is a regression test for a checkpoint
+// capture bug: when a consensus slot carries a batch of TOB messages, the
+// deliver callback for an early batch member could trigger a cadence
+// checkpoint while later members were still pending inside the unpack loop.
+// The captured record then claimed the post-batch slot boundary yet missed
+// the batch tail, and the log truncation destroyed the only replayable copy
+// — a replica recovering from that record could never obtain the tail and
+// silently diverged (here: replica 1 wedging at 11 committed entries while
+// its peers reach 14). The TOB now defers capture while a batch is
+// mid-unpack (see tob.Paxos.SetCheckpoint).
+//
+// The schedule is distilled from fault-soak seed 900055: the crash window
+// plus the strong ops under partition make the post-recovery commits land in
+// one batched slot straddling the cadence-3 checkpoint boundary.
+func TestCheckpointMidBatchRecovery(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(900055), WithVariant(Original), WithCheckpointEvery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	weak := func(r int, op Op) {
+		t.Helper()
+		s, err := c.Session(r)
+		must(err)
+		_, err = s.Invoke(op, Weak)
+		must(err)
+	}
+	strong := func(r int, op Op) {
+		t.Helper()
+		s, err := c.Session(r)
+		must(err)
+		_, err = s.Invoke(op, Strong)
+		must(err)
+	}
+
+	must(c.ElectLeader(0))
+	gs, err := c.Session(1, WithGuarantees(Causal), WithGuaranteeMode(FailFast))
+	must(err)
+
+	weak(0, Inc("ctr", 100))
+	_, err = gs.Invoke(SetAdd("gset", "6"), Weak)
+	must(err)
+	_, err = c.Checkpoint()
+	must(err)
+	weak(0, Append("c"))
+	weak(2, Append("c"))
+	must(c.SlowLink(2, 1, 4))
+	must(c.Heal())
+	weak(2, Inc("ctr", 1))
+	must(c.Crash(1))
+	must(c.Partition([]int{1}))
+	weak(0, Inc("ctr", 63))
+	strong(2, Duplicate())
+	strong(0, Inc("ctr", 2))
+	strong(0, PutIfAbsent("k0", 0))
+	must(c.Heal())
+	_, err = c.Checkpoint()
+	must(err)
+	weak(2, SetAdd("s", "1"))
+	weak(0, Inc("ctr", 5))
+	c.Run(213)
+	_, err = c.Compact()
+	must(err)
+
+	must(c.Heal())
+	must(c.Recover(1))
+	must(c.ElectLeader(0))
+	must(c.Settle())
+	c.MarkStable()
+	for r := 0; r < 3; r++ {
+		weak(r, ListRead())
+	}
+	must(c.Settle())
+
+	lens := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		base, err := c.CheckpointedLen(r)
+		must(err)
+		suffix, err := c.Driver().Committed(r)
+		must(err)
+		lens[r] = base + len(suffix)
+	}
+	for r := 1; r < 3; r++ {
+		if lens[r] != lens[0] {
+			t.Fatalf("absolute committed lengths diverged after recovery: %v", lens)
+		}
+	}
+}

@@ -326,6 +326,27 @@ func microBenches() []microBench {
 				}
 			}
 		}},
+		// The transactional pair: the weak rebase loop with a multi-op
+		// undo span in the rolled-back suffix, and strong transfer units
+		// anchored one consensus slot each. Tracked next to their
+		// single-op counterparts so the span/anchoring overhead is pinned
+		// per report.
+		{"TxnWeakRebase/100ops", 1, false, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := workload.MicroTxnWeakRebase(100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"TxnStrongCommit/64ops", 1, false, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := workload.MicroTxnStrongCommit(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 	// The recovery-cost trajectory: snapshot+restore over a 5k-op history,
 	// with checkpointing off (O(history) recovery — the unbounded-log

@@ -20,11 +20,12 @@ type socketResult struct {
 
 // runSocketBench spawns nodes bayou-node processes, connects the façade
 // over TCP (WithPeers), and drives one session per replica concurrently:
-// weak increments with every 16th operation a strong read, each timed end
-// to end (invoke round-trip; strong operations include the commit wait).
-// The run settles, verifies the counter against the issued increments so
-// the numbers cannot come from dropped work, and reports aggregate ops/sec
-// plus the p99 per-operation latency.
+// weak increments with every 16th operation a strong read and every 16th
+// (offset by 8) a weak two-increment txn — one atomic unit over the wire —
+// each timed end to end (invoke round-trip; strong operations include the
+// commit wait). The run settles, verifies the counter against the issued
+// increments so the numbers cannot come from dropped work, and reports
+// aggregate ops/sec plus the p99 per-operation latency.
 func runSocketBench(nodes, totalOps int) (socketResult, error) {
 	d, err := launch.Start(nodes)
 	if err != nil {
@@ -53,14 +54,16 @@ func runSocketBench(nodes, totalOps int) (socketResult, error) {
 		if err != nil {
 			return socketResult{}, err
 		}
-		wantCtr += int64(perWorker - (perWorker+15)/16) // strong reads don't increment
+		// Strong reads don't increment; each txn slot increments twice.
+		wantCtr += int64(perWorker - (perWorker+15)/16 + (perWorker+7)/16)
 		wg.Add(1)
 		go func(w int, s *bayou.Session) {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, perWorker)
 			for i := 0; i < perWorker; i++ {
 				t0 := time.Now()
-				if i%16 == 0 {
+				switch {
+				case i%16 == 0:
 					if _, err := s.Invoke(bayou.Get("ctr"), bayou.Strong); err != nil {
 						errs[w] = err
 						return
@@ -69,9 +72,19 @@ func runSocketBench(nodes, totalOps int) (socketResult, error) {
 						errs[w] = err
 						return
 					}
-				} else if _, err := s.Invoke(bayou.Inc("ctr", 1), bayou.Weak); err != nil {
-					errs[w] = err
-					return
+				case i%16 == 8:
+					_, err := s.Txn(bayou.Weak,
+						bayou.Do(bayou.Inc("ctr", 1)),
+						bayou.Do(bayou.Inc("ctr", 1)))
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				default:
+					if _, err := s.Invoke(bayou.Inc("ctr", 1), bayou.Weak); err != nil {
+						errs[w] = err
+						return
+					}
 				}
 				lat = append(lat, time.Since(t0))
 			}

@@ -857,6 +857,234 @@ func TestDriverConformanceCheckpoint(t *testing.T) {
 	}
 }
 
+// txnOutcome is everything the transaction conformance script observes
+// through the public API, in a driver-comparable form.
+type txnOutcome struct {
+	alice, bob, carol Value
+	counter           Value
+	aborts            int  // terminal Call.Aborted() verdicts (must be 1)
+	strongOK          bool // the majority's strong transfer succeeded
+	committed         []string
+	fecOK, seqOK      bool
+	txnOK             bool // CheckTxn(SumConserved) verdict
+}
+
+// runTxnConformance executes the transfer-under-partition transaction script
+// on the given cluster, substrate-blind. A committed deposit funds alice
+// everywhere; a partition isolates replica 2, whose WEAK transfer txn
+// tentatively approves against the seeded balance while the majority's
+// STRONG transfer drains the same funds through one consensus slot. On heal
+// the minority unit rebases behind the strong one, its precondition fails at
+// the fixed position, and it must abort atomically — no substrate may leak
+// its paired deposit. Plain weak counter increments ride the same schedule
+// on both sides of the split so units and single ops interleave in one
+// committed order.
+func runTxnConformance(t *testing.T, c *Cluster) txnOutcome {
+	t.Helper()
+	defer c.Close()
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	transfer := func(from, to string, amount int64) []TxnStep {
+		return []TxnStep{
+			Require(Withdraw(from, amount)),
+			Do(Deposit(to, amount)),
+		}
+	}
+
+	// Seed: one committed deposit, settled onto every replica so the
+	// minority's tentative run observes the funds.
+	s0, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Invoke(Deposit("alice", 100), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Partition([]int{0, 1}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The minority transfer: wait-free and tentatively approved, but its
+	// consensus cast is parked by the partition.
+	minority, err := c.Session(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakTxn, err := minority.Txn(Weak, transfer("alice", "bob", 80)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weakTxn.Done() {
+		t.Fatal("weak txn lost bounded wait-freedom in the minority cell")
+	}
+	if _, err := minority.Invoke(Inc("ctr", 2), Weak); err != nil {
+		t.Fatal(err)
+	}
+
+	// The majority drains the funds: a strong unit through one slot, final
+	// the moment it returns, plus a plain weak op in the same cell.
+	s1, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Invoke(Inc("ctr", 1), Weak); err != nil {
+		t.Fatal(err)
+	}
+	strongTxn, err := s0.Txn(Strong, transfer("alice", "carol", 60)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	aborts := 0
+	for _, call := range []*Call{weakTxn, strongTxn} {
+		if call.Aborted() {
+			aborts++
+		}
+	}
+
+	// Convergence within the deployment: every replica holds the same
+	// committed order, units appearing as single entries.
+	ref, err := c.Committed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < c.Replicas(); r++ {
+		got, err := c.Committed(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d committed %d ops, replica 0 %d", r, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("replica %d committed order diverges at %d: %s vs %s", r, i, got[i], ref[i])
+			}
+		}
+	}
+
+	c.MarkStable()
+	probe, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Invoke(ListRead(), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(reg string) Value {
+		v, err := c.Read(0, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	fec, err := c.CheckFEC(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.CheckSeq(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomic, err := c.CheckTxn(SumConserved("acct/", 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atomic.OK() {
+		t.Errorf("transactional atomicity violated:\n%s", atomic)
+	}
+	return txnOutcome{
+		alice:     read("acct/alice"),
+		bob:       read("acct/bob"),
+		carol:     read("acct/carol"),
+		counter:   read("ctr"),
+		aborts:    aborts,
+		strongOK:  !strongTxn.Aborted(),
+		committed: sortedCopy(ref),
+		fecOK:     fec.OK(),
+		seqOK:     seq.OK(),
+		txnOK:     atomic.OK(),
+	}
+}
+
+// assertTxnOutcome pins one substrate's transaction-script outcome against
+// the simulator reference: same balances, same settled counter, the same
+// single abort, and the same verdicts.
+func assertTxnOutcome(t *testing.T, name string, sim, got txnOutcome) {
+	t.Helper()
+	if !Equal(got.alice, int64(40)) || got.bob != nil || !Equal(got.carol, int64(60)) {
+		t.Errorf("%s balances alice=%v bob=%v carol=%v; want 40/<nil>/60", name, got.alice, got.bob, got.carol)
+	}
+	if !Equal(got.counter, int64(3)) {
+		t.Errorf("%s counter = %v, want 3", name, got.counter)
+	}
+	if got.aborts != 1 {
+		t.Errorf("%s terminal aborts = %d, want exactly the minority unit", name, got.aborts)
+	}
+	if !got.strongOK {
+		t.Errorf("%s strong transfer aborted; its slot precedes the conflict", name)
+	}
+	if len(sim.committed) != len(got.committed) {
+		t.Fatalf("committed sizes diverge: sim %v, %s %v", sim.committed, name, got.committed)
+	}
+	for i := range sim.committed {
+		if sim.committed[i] != got.committed[i] {
+			t.Errorf("committed multisets diverge at %d: sim %s, %s %s", i, sim.committed[i], name, got.committed[i])
+		}
+	}
+	if !got.fecOK || !got.seqOK || !got.txnOK {
+		t.Errorf("%s verdicts: FEC(weak) %v, Seq(strong) %v, TxnAtomicity %v, want all true",
+			name, got.fecOK, got.seqOK, got.txnOK)
+	}
+}
+
+// TestDriverConformanceTxn runs the transfer-under-partition transaction
+// script on the simulator and the in-process live driver and demands equal
+// balances, counters, committed multisets, abort counts and checker
+// verdicts — a transaction is one schedule entry on every substrate, and an
+// abort is atomic on every substrate.
+func TestDriverConformanceTxn(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(2468))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runTxnConformance(t, sim)
+
+	live, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveOut := runTxnConformance(t, live)
+
+	assertTxnOutcome(t, "sim", simOut, simOut)
+	assertTxnOutcome(t, "live", simOut, liveOut)
+}
+
 // TestDriverConformance runs the identical scripted scenario against both
 // drivers and asserts they agree on everything timing-independent: the
 // settled counter value, the committed operation multiset, exactly one

@@ -124,6 +124,26 @@ func TestDriverConformanceFaultsSocket(t *testing.T) {
 	}
 }
 
+// TestDriverConformanceTxnSocket runs the transfer-under-partition
+// transaction script with every replica a separate OS process: the unit
+// travels the invoke envelope as one operation, aborts atomically after its
+// parked cast rebases behind the majority's strong slot, and the node
+// processes must agree with the simulator on balances, counters, committed
+// multisets, abort counts and checker verdicts.
+func TestDriverConformanceTxnSocket(t *testing.T) {
+	sim, err := New(WithReplicas(3), WithSeed(2468))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOut := runTxnConformance(t, sim)
+
+	sock := newSocketCluster(t, 3, nil)
+	sockOut := runTxnConformance(t, sock)
+
+	assertTxnOutcome(t, "sim", simOut, simOut)
+	assertTxnOutcome(t, "socket", simOut, sockOut)
+}
+
 // TestDriverConformanceCheckpointSocket runs the checkpoint-then-recover
 // script over sockets: the recovering node process is behind every peer's
 // checkpoint, so its catch-up must arrive as a checkpoint image in a

@@ -1,12 +1,19 @@
-// Command banking shows why the paper's mixed consistency matters on one
-// data set: deposits are blind, commuting updates — perfect weak operations,
-// available even under partitions — while withdrawals are balance-guarded
-// and must not be approved twice, so they go through the strong level. The
-// example also demonstrates the hazard of issuing a guarded operation
-// weakly: the tentative approval can be invalidated by the final order (the
-// Cassandra LWT-mixing bug the paper cites as [13]) — and with the watch
-// API the teller sees that invalidation happen, instead of discovering it
-// by re-reading the balance later.
+// Command banking shows mixed-consistency TRANSACTIONS on the paper's
+// motivating data set. A transfer is two operations — withdraw here,
+// deposit there — and issuing them as separate ops is unsafe twice over:
+// another client can observe the money gone from one account and not yet in
+// the other, and a reordering can approve the withdrawal yet strand the
+// deposit. Session.Txn packages the pair as ONE atomic unit: a single dot,
+// a single schedule entry, a single undo span — no history ever sees half a
+// transfer.
+//
+// The consistency level still matters, exactly as for single ops:
+//
+//   - a WEAK transfer is available under partitions and rebases as a unit;
+//     its tentative approval can be invalidated by the final order — the
+//     watch stream shows the abort happen (StatusAborted);
+//   - a STRONG transfer anchors the whole unit in one consensus slot: its
+//     verdict — success or abort — is final the moment it returns.
 package main
 
 import (
@@ -19,6 +26,13 @@ import (
 func check(err error) {
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+func transfer(from, to string, amount int64) []bayou.TxnStep {
+	return []bayou.TxnStep{
+		bayou.Require(bayou.Withdraw(from, amount)),
+		bayou.Do(bayou.Deposit(to, amount)),
 	}
 }
 
@@ -36,55 +50,69 @@ func main() {
 	auditor, err := c.Session(2)
 	check(err)
 
-	// Fund the account with weak deposits from two branches.
-	d1, err := branch0.Invoke(bayou.Deposit("shared", 60), bayou.Weak)
+	// Fund alice with weak deposits from two branches.
+	d1, err := branch0.Invoke(bayou.Deposit("alice", 60), bayou.Weak)
 	check(err)
-	d2, err := branch1.Invoke(bayou.Deposit("shared", 40), bayou.Weak)
+	d2, err := branch1.Invoke(bayou.Deposit("alice", 40), bayou.Weak)
 	check(err)
 	fmt.Printf("branch 0 deposits 60 -> tentative balance %v\n", d1.Value())
 	fmt.Printf("branch 1 deposits 40 -> tentative balance %v\n", d2.Value())
 	check(c.Settle())
 
-	// The danger: two branches both try to withdraw 80 weakly. Each sees
-	// enough balance locally and tentatively approves — but only one can
-	// survive the final order.
-	fmt.Println("\n— two concurrent WEAK withdrawals of 80 (unsafe) —")
-	w1, err := branch0.Invoke(bayou.Withdraw("shared", 80), bayou.Weak)
+	// The hazard: two branches both transfer 80 out of alice, weakly. Each
+	// txn tentatively approves — alice holds 100 on both sides — but the
+	// final order funds only one; the other aborts ATOMICALLY (the paired
+	// deposit never happens, no money is minted or lost).
+	fmt.Println("\n— two concurrent WEAK transfers of 80 (watch the abort) —")
+	t1, err := branch0.Txn(bayou.Weak, transfer("alice", "bob", 80)...)
 	check(err)
-	w2, err := branch1.Invoke(bayou.Withdraw("shared", 80), bayou.Weak)
+	t2, err := branch1.Txn(bayou.Weak, transfer("alice", "carol", 80)...)
 	check(err)
-	u1, u2 := w1.Updates(), w2.Updates()
-	fmt.Printf("branch 0 weak withdraw(80) tentatively -> %v\n", w1.Value())
-	fmt.Printf("branch 1 weak withdraw(80) tentatively -> %v\n", w2.Value())
+	u1, u2 := t1.Updates(), t2.Updates()
+	report := func(v bayou.Value) string {
+		if bayou.IsAborted(v) {
+			return "ABORTED (insufficient funds at the final position)"
+		}
+		if results, ok := bayou.TxnResults(v); ok {
+			return fmt.Sprintf("ok, from-balance %v", results[0])
+		}
+		return fmt.Sprintf("%v", v)
+	}
+	fmt.Printf("branch 0 txn transfer(alice→bob, 80)   tentatively -> %s\n", report(t1.Value()))
+	fmt.Printf("branch 1 txn transfer(alice→carol, 80) tentatively -> %s\n", report(t2.Value()))
 	check(c.Settle())
-	// Each teller watches their approval's fate under the final order.
+	// Each teller watches their transfer's fate under the final order: one
+	// stream ends in committed, the other in aborted.
 	for name, updates := range map[string]<-chan bayou.Update{"branch 0": u1, "branch 1": u2} {
 		for u := range updates {
-			fmt.Printf("%s watch: %-9s -> %v\n", name, u.Status, u.Value)
+			fmt.Printf("%s watch: %-9s -> %s\n", name, u.Status, report(u.Value))
 		}
 	}
-	final, err := auditor.Invoke(bayou.Balance("shared"), bayou.Weak)
-	check(err)
-	fmt.Printf("final balance after reconciliation: %v\n", final.Value())
-	fmt.Println("=> both clients were told 'approved', but one withdrawal was")
-	fmt.Println("   silently rejected in the final order — temporary operation")
-	fmt.Println("   reordering made a tentative response unreliable.")
+	fmt.Printf("branch 0 txn aborted: %v; branch 1 txn aborted: %v\n", t1.Aborted(), t2.Aborted())
+	for _, acct := range []string{"alice", "bob", "carol"} {
+		bal, err := auditor.Invoke(bayou.Balance(acct), bayou.Weak)
+		check(err)
+		fmt.Printf("  %s: %v\n", acct, bal.Value())
+	}
+	fmt.Println("=> exactly one transfer survived, and the loser vanished whole:")
+	fmt.Println("   both its withdraw and its deposit were undone together — the")
+	fmt.Println("   accounts always sum to 100, at every moment on every replica.")
 
-	// The safe pattern: strong withdrawals. The second one is rejected
-	// up front, and its rejection is final.
-	fmt.Println("\n— the same flow with STRONG withdrawals (safe) —")
+	// The safe pattern: strong transfers. The unit rides one consensus
+	// slot, so the second transfer is rejected up front — and finally.
+	fmt.Println("\n— the same flow with STRONG transfers (verdicts are final) —")
 	_, err = branch0.Invoke(bayou.Deposit("vault", 100), bayou.Weak)
 	check(err)
 	check(c.Settle())
-	s1, err := branch0.Invoke(bayou.Withdraw("vault", 80), bayou.Strong)
+	s1, err := branch0.Txn(bayou.Strong, transfer("vault", "payroll", 80)...)
 	check(err)
 	check(c.Settle())
-	s2, err := branch1.Invoke(bayou.Withdraw("vault", 80), bayou.Strong)
+	s2, err := branch1.Txn(bayou.Strong, transfer("vault", "rent", 80)...)
 	check(err)
 	check(c.Settle())
-	fmt.Printf("branch 0 strong withdraw(80) -> %v (stable=%v)\n", s1.Value(), s1.Response().Committed)
-	fmt.Printf("branch 1 strong withdraw(80) -> %v (stable=%v)\n", s2.Value(), s2.Response().Committed)
+	fmt.Printf("branch 0 strong transfer(vault→payroll, 80) -> %s (aborted=%v)\n", report(s1.Value()), s1.Aborted())
+	fmt.Printf("branch 1 strong transfer(vault→rent, 80)    -> %s (aborted=%v)\n", report(s2.Value()), s2.Aborted())
 	vault, err := auditor.Invoke(bayou.Balance("vault"), bayou.Weak)
 	check(err)
-	fmt.Printf("vault balance: %v — no double spend, and both answers are final\n", vault.Value())
+	fmt.Printf("vault balance: %v — no double spend, and both verdicts are final\n", vault.Value())
 }

@@ -30,6 +30,14 @@ import (
 // 200+ schedules fast.
 const soakReplicas = 3
 
+// soakAccounts bank registers share the seeded soakTotal; the schedule's
+// transfer units shuffle it between them and the checkers hold the sum
+// conserved at every boundary (transactional atomicity).
+const (
+	soakAccounts = 3
+	soakTotal    = 100
+)
+
 // soakSchedule is the decoded action list, kept as strings so the artifact
 // is readable and diffable.
 type soakSchedule struct {
@@ -139,10 +147,27 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 	act("guarantee session @%d (%s, %s); checkpoint cadence %d", gs.Replica(), mask, mode, cadence)
 	gsIdle := func() bool { return gs.Last() == nil || gs.Last().Done() }
 
+	// Fund one account up front. The schedule's transfer units move money
+	// between the soakTotal-seeded accounts but never mint or destroy it,
+	// so conservation of the sum is exactly transactional atomicity: any
+	// torn unit — a withdraw whose paired deposit is missing, on any
+	// replica, at any boundary — breaks it.
+	if err := invoke(leader, Deposit("a0", soakTotal), Weak, fmt.Sprintf("seed deposit(a0,%d)", soakTotal)); err != nil {
+		return sched, "", c, err
+	}
+	acct := func() string { return "a" + strconv.Itoa(rng.Intn(soakAccounts)) }
+	transferUnit := func(level Level, name string) error {
+		r := alive()[rng.Intn(len(alive()))]
+		from, to := acct(), acct()
+		amt := int64(1 + rng.Intn(80))
+		op := TxnOp(Require(Withdraw(from, amt)), Do(Deposit(to, amt)))
+		return invoke(r, op, level, fmt.Sprintf("%s txn %s→%s %d", name, from, to, amt))
+	}
+
 	steps := 12 + rng.Intn(10)
 	for i := 0; i < steps; i++ {
 		up := alive()
-		switch rng.Intn(16) {
+		switch rng.Intn(18) {
 		case 0, 1, 2, 3: // weak invocation somewhere alive
 			r := up[rng.Intn(len(up))]
 			var op Op
@@ -260,6 +285,14 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 				return sched, "", c, err
 			}
 			act("compact")
+		case 15: // a weak transfer unit: rebases as one; the tentative verdict may flip at the fixed position
+			if err := transferUnit(Weak, "weak"); err != nil {
+				return sched, "", c, err
+			}
+		case 16: // a strong transfer unit: one consensus slot (no wait: it may starve until the finale)
+			if err := transferUnit(Strong, "strong"); err != nil {
+				return sched, "", c, err
+			}
 		default: // let the deployment run
 			d := int64(50 + rng.Intn(400))
 			c.Run(d)
@@ -349,7 +382,7 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 			}
 		}
 	}
-	for _, reg := range []string{"list", "ctr", "s", "k0", "k1"} {
+	for _, reg := range []string{"list", "ctr", "s", "k0", "k1", "acct/a0", "acct/a1", "acct/a2"} {
 		v0, err := c.Read(0, reg)
 		if err != nil {
 			return sched, "", c, err
@@ -400,6 +433,29 @@ func soakRun(seed int64, variant Variant) (sched soakSchedule, failure string, c
 		if rep := w.Seq(core.Strong); !rep.OK() {
 			return sched, fmt.Sprintf("Seq(strong) violated:\n%s", rep), c, nil
 		}
+	}
+	// Transactional atomicity, both variants: every unit's abort verdict
+	// coheres with whole-unit replay, strong units anchor in distinct
+	// slots, and the conservation invariant holds at every whole-op
+	// boundary of every perceived context and of the arbitration order —
+	// no schedule may ever have witnessed half a transfer.
+	if rep := w.TxnAtomicity(check.SumConserved("acct/", 0, soakTotal)); !rep.OK() {
+		return sched, fmt.Sprintf("TxnAtomicity violated:\n%s", rep), c, nil
+	}
+	// And at the converged store itself: the accounts still hold exactly
+	// the seeded total.
+	var sum int64
+	for i := 0; i < soakAccounts; i++ {
+		v, err := c.Read(0, "acct/a"+strconv.Itoa(i))
+		if err != nil {
+			return sched, "", c, err
+		}
+		if n, ok := v.(int64); ok {
+			sum += n
+		}
+	}
+	if sum != soakTotal {
+		return sched, fmt.Sprintf("account sum = %d, want the seeded %d (a torn transfer minted or destroyed money)", sum, soakTotal), c, nil
 	}
 	// The mobile guarantee session owes its guarantees on every schedule,
 	// whatever it survived: migrations, crashes of its replica, partitions,

@@ -28,7 +28,7 @@ func TestLayering(t *testing.T) {
 }
 
 func TestEffectsHygiene(t *testing.T) {
-	analysistest.Run(t, filepath.Join("testdata", "effectshygiene"), analysis.EffectsHygiene, "effuser")
+	analysistest.Run(t, filepath.Join("testdata", "effectshygiene"), analysis.EffectsHygiene, "effuser", "txnuser")
 }
 
 func TestSeedplumb(t *testing.T) {

@@ -6,23 +6,28 @@ import (
 	"go/types"
 )
 
-// EffectsHygiene enforces the two usage rules of the batched Effects API
-// (core.Effects, filled by InvokeInto/RBDeliverBatch/TOBDeliverBatch/
-// DrainInto):
+// EffectsHygiene enforces the usage rules of the APIs whose results carry
+// protocol outcomes:
 //
-//  1. calls that fill an Effects accumulator return results (a Req, a
-//     step count, an error) that must not be discarded — an ignored error
-//     silently drops protocol effects;
+//  1. calls that fill an Effects accumulator (core.Effects, filled by
+//     InvokeInto/RBDeliverBatch/TOBDeliverBatch/DrainInto) return results
+//     (a Req, a step count, an error) that must not be discarded — an
+//     ignored error silently drops protocol effects;
 //  2. an accumulator reused across loop iterations must be Reset (or
 //     reassigned, e.g. from an EffectsPool) inside the loop, otherwise
-//     effects from iteration N are re-routed on iteration N+1.
+//     effects from iteration N are re-routed on iteration N+1;
+//  3. the result of Session.Txn/TxnAt must not be discarded: the returned
+//     Call is the only place the transaction's abort verdict surfaces — a
+//     dropped Call is an unchecked abort (the unit may have been revoked
+//     at its final position with none of its writes surviving).
 //
-// The check is type-driven: an "Into-style call" is any module function
-// with a *core.Effects parameter, so new batch entry points inherit the
-// rules without touching the analyzer.
+// The Effects check is type-driven: an "Into-style call" is any module
+// function with a *core.Effects parameter, so new batch entry points
+// inherit the rules without touching the analyzer. The txn check matches
+// methods named Txn/TxnAt on the façade Session type.
 var EffectsHygiene = &Analyzer{
 	Name: "effectshygiene",
-	Doc:  "Effects accumulators must be Reset before reuse and batch-call results must not be discarded",
+	Doc:  "Effects accumulators must be Reset before reuse; batch-call and Session.Txn results must not be discarded",
 	Run:  runEffectsHygiene,
 }
 
@@ -86,15 +91,49 @@ func runEffectsHygiene(pass *Pass) error {
 	return nil
 }
 
+// sessionTxnCallee returns the callee if call is Session.Txn or
+// Session.TxnAt on the façade Session type (package bayou), else nil.
+// These return the *Call that carries the transaction's terminal verdict:
+// discarding it leaves an abort with no observer.
+func (p *Pass) sessionTxnCallee(call *ast.CallExpr) types.Object {
+	fn := p.Callee(call)
+	if fn == nil || fn.Name() != "Txn" && fn.Name() != "TxnAt" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Session" || obj.Pkg() == nil || obj.Pkg().Path() != "bayou" {
+		return nil
+	}
+	return fn
+}
+
 func checkDiscard(pass *Pass, stmt *ast.ExprStmt) {
 	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-	if !ok || pass.intoCallEffectsArg(call) == nil {
+	if !ok {
 		return
 	}
-	if fn := pass.Callee(call); fn != nil {
-		if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > 0 {
-			pass.Reportf(call.Pos(), "result of %s discarded: batch entry points return the error that says whether the effects are valid", fn.Name())
+	if pass.intoCallEffectsArg(call) != nil {
+		if fn := pass.Callee(call); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > 0 {
+				pass.Reportf(call.Pos(), "result of %s discarded: batch entry points return the error that says whether the effects are valid", fn.Name())
+			}
 		}
+		return
+	}
+	if fn := pass.sessionTxnCallee(call); fn != nil {
+		pass.Reportf(call.Pos(), "result of %s discarded: the returned Call is the only way to observe the transaction's abort verdict", fn.Name())
 	}
 }
 
@@ -103,7 +142,11 @@ func checkBlankDiscard(pass *Pass, stmt *ast.AssignStmt) {
 		return
 	}
 	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
-	if !ok || pass.intoCallEffectsArg(call) == nil {
+	if !ok {
+		return
+	}
+	isInto := pass.intoCallEffectsArg(call) != nil
+	if !isInto && pass.sessionTxnCallee(call) == nil {
 		return
 	}
 	for _, lhs := range stmt.Lhs {
@@ -111,9 +154,15 @@ func checkBlankDiscard(pass *Pass, stmt *ast.AssignStmt) {
 			return
 		}
 	}
-	if fn := pass.Callee(call); fn != nil {
-		pass.Reportf(call.Pos(), "all results of %s discarded with blank assignments: batch entry points return the error that says whether the effects are valid", fn.Name())
+	fn := pass.Callee(call)
+	if fn == nil {
+		return
 	}
+	if isInto {
+		pass.Reportf(call.Pos(), "all results of %s discarded with blank assignments: batch entry points return the error that says whether the effects are valid", fn.Name())
+		return
+	}
+	pass.Reportf(call.Pos(), "all results of %s discarded with blank assignments: the returned Call is the only way to observe the transaction's abort verdict", fn.Name())
 }
 
 // checkLoopReuse flags Into-style calls inside a loop whose Effects

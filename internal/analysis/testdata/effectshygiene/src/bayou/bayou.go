@@ -1,0 +1,38 @@
+// Package bayou is a stand-in for the real façade: just enough of the
+// Session.Txn surface for the effectshygiene txn fixtures to type-check.
+package bayou
+
+type Level int
+
+const (
+	Weak Level = iota
+	Strong
+)
+
+type Op interface{ Name() string }
+
+type TxnStep struct {
+	Op      Op
+	Require bool
+}
+
+func Do(op Op) TxnStep      { return TxnStep{Op: op} }
+func Require(op Op) TxnStep { return TxnStep{Op: op, Require: true} }
+
+type Call struct{}
+
+func (c *Call) Aborted() bool { return false }
+
+type Session struct{}
+
+func (s *Session) Txn(level Level, steps ...TxnStep) (*Call, error) {
+	return &Call{}, nil
+}
+
+func (s *Session) TxnAt(replica int, level Level, steps ...TxnStep) (*Call, error) {
+	return &Call{}, nil
+}
+
+func (s *Session) Invoke(op Op, level Level) (*Call, error) {
+	return &Call{}, nil
+}

@@ -1,0 +1,45 @@
+package txnuser
+
+import "bayou"
+
+// discardTxn drops the *Call that carries the transaction's abort verdict:
+// the unit may have been revoked at its final position with none of its
+// writes surviving, and nothing would ever observe it.
+func discardTxn(s *bayou.Session, transfer []bayou.TxnStep) {
+	s.Txn(bayou.Weak, transfer...)               // want `result of Txn discarded: the returned Call is the only way to observe the transaction's abort verdict`
+	s.TxnAt(1, bayou.Strong, transfer...)        // want `result of TxnAt discarded`
+	_, _ = s.Txn(bayou.Weak, transfer...)        // want `all results of Txn discarded with blank assignments`
+	_, _ = s.TxnAt(2, bayou.Strong, transfer...) // want `all results of TxnAt discarded with blank assignments`
+}
+
+// checkedTxn keeps the Call (or at least the error): no diagnostic — the
+// abort verdict has an observer.
+func checkedTxn(s *bayou.Session, transfer []bayou.TxnStep) bool {
+	call, err := s.Txn(bayou.Weak, transfer...)
+	if err != nil {
+		return false
+	}
+	if _, err := s.TxnAt(0, bayou.Strong, transfer...); err != nil {
+		return false
+	}
+	call2, _ := s.Txn(bayou.Strong, transfer...) // err blank is fine; the Call is kept
+	return call.Aborted() || call2.Aborted()
+}
+
+// suppressed documents an intentional fire-and-forget with a reasoned
+// ignore, mirroring the Effects accumulation idiom.
+func suppressed(s *bayou.Session, transfer []bayou.TxnStep) {
+	//bayouvet:ignore effectshygiene fire-and-forget demo txn; outcome observed via a separate watch session
+	s.Txn(bayou.Weak, transfer...)
+}
+
+// notTheFacade guards the type filter: a Txn method on some other Session
+// type is none of our business.
+type Session struct{}
+
+func (s *Session) Txn(n int) (int, error) { return n, nil }
+
+func otherTxn(s *Session) {
+	s.Txn(1)
+	_, _ = s.Txn(2)
+}

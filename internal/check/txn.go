@@ -1,0 +1,177 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"bayou/internal/core"
+	"bayou/internal/history"
+	"bayou/internal/spec"
+	"bayou/internal/txn"
+)
+
+// Transactional predicates. A transaction is one operation to the protocol
+// (one dot, one schedule entry, one undo span), so the generic predicates
+// already treat it as an indivisible context element: FRVal/RVal replay
+// whole units, never step prefixes. The predicates here pin the
+// specifically transactional claims on top of that —
+//
+//   - txn-abort-coherent: a unit's abort/success verdict is explained by
+//     whole-unit replay of its perceived context (a response computed from
+//     a partially-applied foreign txn would disagree);
+//   - txn-strong-anchored: every completed strong unit holds a position of
+//     the commit order, and no two units share one (strong txns totally
+//     ordered);
+//   - txn-invariant: an application invariant holds at EVERY whole-op
+//     boundary of every response's perceived context and of the final
+//     arbitration order. Combined with FRVal (each response equals the
+//     replay of exactly these states), no response was ever computed from
+//     a state violating the invariant — which is how "no history event
+//     witnesses a partial txn" becomes checkable: a partial transfer
+//     breaks conservation at the boundary where it would have to appear.
+
+// Invariant is an application-level predicate over a register database,
+// checked between whole operations. It returns "" when the state is
+// admissible and a description of the violation otherwise.
+type Invariant func(db map[string]spec.Value) string
+
+// SumConserved returns the classic transfer invariant: the sum over every
+// register with the given prefix equals one of the admissible totals — the
+// running sums reached by the workload's seeding deposits, ending at the
+// final total that pure transfers then conserve forever.
+func SumConserved(prefix string, admissible ...int64) Invariant {
+	ok := make(map[int64]bool, len(admissible))
+	for _, s := range admissible {
+		ok[s] = true
+	}
+	return func(db map[string]spec.Value) string {
+		var sum int64
+		for k, v := range db {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				n, _ := v.(int64)
+				sum += n
+			}
+		}
+		if !ok[sum] {
+			return fmt.Sprintf("sum over %q registers = %d, not among admissible totals %v", prefix, sum, admissible)
+		}
+		return ""
+	}
+}
+
+// isTxn reports whether the event carries a multi-op unit.
+func isTxn(e *history.Event) bool {
+	_, ok := e.Op.(txn.Txn)
+	return ok
+}
+
+// TxnAbortCoherent checks that every completed transaction's verdict —
+// aborted or succeeded — matches the whole-unit replay of its perceived
+// context: IsAborted(rval) ⇔ IsAborted(F(op, fcontext)). This is coarser
+// than FRVal's value equality but applies uniformly to both levels and
+// names the transactional failure mode directly.
+func (w *Witness) TxnAbortCoherent() Result {
+	units := 0
+	for _, e := range w.H.Events {
+		if e.Pending || !isTxn(e) {
+			continue
+		}
+		units++
+		want := w.expectedFRVal(e)
+		if spec.IsAborted(e.RVal) != spec.IsAborted(want) {
+			return Result{Predicate: "txn-abort-coherent", Holds: false,
+				Detail: fmt.Sprintf("%s %s returned %s but whole-unit replay of its context gives %s",
+					e.Dot, e.Op.Name(), spec.Encode(e.RVal), spec.Encode(want))}
+		}
+	}
+	return Result{Predicate: "txn-abort-coherent", Holds: true, Detail: fmt.Sprintf("%d txn events", units)}
+}
+
+// TxnStrongAnchored checks that every completed strong transaction is
+// anchored in the commit order and that no two strong units share an
+// arbitration position — the total order strong txns ride one slot for.
+func (w *Witness) TxnStrongAnchored() Result {
+	seen := make(map[int64]*history.Event)
+	for _, e := range w.H.Events {
+		if e.Pending || !isTxn(e) || e.Level != core.Strong {
+			continue
+		}
+		if !anchored(e) {
+			return Result{Predicate: "txn-strong-anchored", Holds: false,
+				Detail: fmt.Sprintf("completed strong txn %s (%s) holds no commit-order position", e.Dot, e.Op.Name())}
+		}
+		if e.LeaseRead {
+			continue // lease reads legitimately share a prefix position
+		}
+		if prev, ok := seen[arPos(e)]; ok {
+			return Result{Predicate: "txn-strong-anchored", Holds: false,
+				Detail: fmt.Sprintf("strong txns %s and %s share commit position %d", prev.Dot, e.Dot, e.TOBNo)}
+		}
+		seen[arPos(e)] = e
+	}
+	return Result{Predicate: "txn-strong-anchored", Holds: true, Detail: fmt.Sprintf("%d anchored", len(seen))}
+}
+
+// TxnInvariant replays, op by whole op, (a) every completed event's
+// perceived context followed by the event's own operation and (b) the full
+// arbitration order of updating events, asserting inv on the register
+// database at every boundary. No partial unit can satisfy a conservation
+// invariant its whole unit satisfies, so a violation pinpoints the event
+// and boundary where a torn transaction would have been witnessed.
+func (w *Witness) TxnInvariant(inv Invariant) Result {
+	replay := func(label string, ops []spec.Op) (string, bool) {
+		store := spec.NewMapTx()
+		for i, op := range ops {
+			op.Apply(store)
+			if msg := inv(store.Snapshot()); msg != "" {
+				return fmt.Sprintf("%s: after op %d (%s): %s", label, i, op.Name(), msg), false
+			}
+		}
+		return "", true
+	}
+
+	checked := 0
+	for _, e := range w.H.Events {
+		if e.Pending {
+			continue
+		}
+		checked++
+		ctx := w.updatingTrace(e)
+		ops := make([]spec.Op, 0, len(ctx)+1)
+		for _, x := range ctx {
+			ops = append(ops, x.Op)
+		}
+		ops = append(ops, e.Op)
+		if detail, ok := replay(fmt.Sprintf("perceived context of %s (%s)", e.Dot, e.Op.Name()), ops); !ok {
+			return Result{Predicate: "txn-invariant", Holds: false, Detail: detail}
+		}
+	}
+
+	// The converged view: all updating events in arbitration order.
+	var updating []*history.Event
+	for _, e := range w.H.Events {
+		if !e.IsReadOnly() && !e.Pending {
+			updating = append(updating, e)
+		}
+	}
+	sort.SliceStable(updating, func(i, j int) bool { return w.ArLess(updating[i], updating[j]) })
+	ops := make([]spec.Op, len(updating))
+	for i, e := range updating {
+		ops[i] = e.Op
+	}
+	if detail, ok := replay("arbitration order", ops); !ok {
+		return Result{Predicate: "txn-invariant", Holds: false, Detail: detail}
+	}
+	return Result{Predicate: "txn-invariant", Holds: true,
+		Detail: fmt.Sprintf("%d contexts + arbitration order of %d updates", checked, len(updating))}
+}
+
+// TxnAtomicity assembles the transactional report: abort coherence, strong
+// anchoring, and — when inv is non-nil — the boundary invariant.
+func (w *Witness) TxnAtomicity(inv Invariant) Report {
+	results := []Result{w.TxnAbortCoherent(), w.TxnStrongAnchored()}
+	if inv != nil {
+		results = append(results, w.TxnInvariant(inv))
+	}
+	return Report{Guarantee: "TxnAtomicity", Results: results}
+}

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+	"bayou/internal/txn"
+)
+
+func transfer(amount int64) spec.Op {
+	return txn.New().
+		Require(spec.Withdraw("a", amount)).
+		Do(spec.Deposit("b", amount)).
+		Txn()
+}
+
+// txnHistory: a seeding deposit, a weak transfer txn that committed
+// successfully having observed the seed, an aborted transfer that observed
+// the drained state, and a post-quiescence probe.
+func txnHistory(t *testing.T) *Witness {
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Deposit("a", 100), level: core.Strong,
+			rval: int64(100), invoke: 5, ret: 8, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: transfer(80), level: core.Weak,
+			rval:   []spec.Value{int64(20), int64(80)},
+			invoke: 10, ret: 12, ts: 10, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1)}},
+		// Observed seed + successful transfer: only 20 left, 90 must abort.
+		evt{session: 1, eventNo: 2, op: transfer(90), level: core.Strong,
+			rval:   spec.Aborted(0),
+			invoke: 20, ret: 25, ts: 20, tobCast: true, tobNo: 3,
+			trace: []core.Dot{dot(0, 1), dot(1, 1)}, commLen: 2},
+		evt{session: 2, eventNo: 1, op: spec.Balance("b"), level: core.Weak,
+			rval: int64(80), invoke: 200, ret: 200, ts: 200, tobCast: false, tobNo: -1,
+			trace: []core.Dot{dot(0, 1), dot(1, 1), dot(1, 2)}, commLen: 3},
+	)
+	return NewWitness(h)
+}
+
+func TestTxnAtomicityHoldsOnCleanHistory(t *testing.T) {
+	w := txnHistory(t)
+	rep := w.TxnAtomicity(SumConserved("acct/", 0, 100))
+	if !rep.OK() {
+		t.Fatalf("clean txn history failed:\n%s", rep)
+	}
+}
+
+func TestTxnAbortCoherentCatchesWrongVerdict(t *testing.T) {
+	// The transfer claims abort although its observed context (the 100
+	// seed) funds it: the verdict is incoherent with whole-unit replay.
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Deposit("a", 100), level: core.Strong,
+			rval: int64(100), invoke: 5, ret: 8, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: transfer(80), level: core.Weak,
+			rval:   spec.Aborted(0),
+			invoke: 10, ret: 12, ts: 10, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1)}},
+	)
+	res := NewWitness(h).TxnAbortCoherent()
+	if res.Holds {
+		t.Fatalf("incoherent abort verdict not caught")
+	}
+	if !strings.Contains(res.Detail, "whole-unit replay") {
+		t.Fatalf("detail %q does not explain the replay mismatch", res.Detail)
+	}
+}
+
+func TestTxnInvariantCatchesTornTransfer(t *testing.T) {
+	// A bare withdraw — half a transfer — leaks into the history: the sum
+	// drops to 20 at its boundary, which no whole transfer can produce.
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: spec.Deposit("a", 100), level: core.Strong,
+			rval: int64(100), invoke: 5, ret: 8, ts: 5, tobCast: true, tobNo: 1},
+		evt{session: 1, eventNo: 1, op: spec.Withdraw("a", 80), level: core.Weak,
+			rval: int64(20), invoke: 10, ret: 12, ts: 10, tobCast: true, tobNo: 2,
+			trace: []core.Dot{dot(0, 1)}},
+	)
+	res := NewWitness(h).TxnInvariant(SumConserved("acct/", 0, 100))
+	if res.Holds {
+		t.Fatalf("torn transfer not caught by the boundary invariant")
+	}
+	if !strings.Contains(res.Detail, "withdraw") {
+		t.Fatalf("detail %q does not name the torn op", res.Detail)
+	}
+}
+
+func TestTxnStrongAnchored(t *testing.T) {
+	w := txnHistory(t)
+	if res := w.TxnStrongAnchored(); !res.Holds {
+		t.Fatalf("anchored strong txns reported unanchored: %s", res.Detail)
+	}
+	// A completed strong txn with no commit position is a violation.
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: transfer(10), level: core.Strong,
+			rval: spec.Aborted(0), invoke: 5, ret: 8, ts: 5, tobCast: true, tobNo: -1},
+	)
+	if res := NewWitness(h).TxnStrongAnchored(); res.Holds {
+		t.Fatalf("unanchored completed strong txn not caught")
+	}
+}
+
+// A pending transaction (still parked, or in flight at the horizon) is
+// exempt from every transactional predicate.
+func TestTxnPredicatesSkipPending(t *testing.T) {
+	h := build(t, 100,
+		evt{session: 0, eventNo: 1, op: transfer(10), level: core.Strong,
+			invoke: 5, ts: 5, tobCast: true, tobNo: -1, pending: true},
+	)
+	rep := NewWitness(h).TxnAtomicity(SumConserved("acct/", 0))
+	if !rep.OK() {
+		t.Fatalf("pending txn tripped the predicates:\n%s", rep)
+	}
+}

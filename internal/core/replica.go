@@ -139,6 +139,13 @@ func (p *Replica) emit(eff *Effects, d Dot, session SessionID, s Status, value s
 	if !p.transitions {
 		return
 	}
+	// A commit whose value is the transaction abort marker surfaces as the
+	// terminal aborted status: same fixed position, clearer verdict. Only
+	// the committed emission translates — a tentative abort may still
+	// rebase into success and keeps streaming as tentative/reordered.
+	if s == StatusCommitted && spec.IsAborted(value) {
+		s = StatusAborted
+	}
 	eff.Transitions = append(eff.Transitions, Transition{
 		Dot: d, Session: session, Status: s, Value: value,
 	})

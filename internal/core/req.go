@@ -233,6 +233,13 @@ const (
 	// StatusCommitted marks the final execution: the request's position is
 	// fixed by TOB and the value can never change again.
 	StatusCommitted
+	// StatusAborted is the terminal status of a transaction whose
+	// precondition failed at its committed position (the response value is
+	// the spec abort marker). It is StatusCommitted under a clearer name —
+	// the order is just as fixed, the unit just declined to write — so a
+	// tentative abort that a rebase later turns into success still streams
+	// as tentative/reordered like any other fluctuation.
+	StatusAborted
 )
 
 // String implements fmt.Stringer.
@@ -244,6 +251,8 @@ func (s Status) String() string {
 		return "reordered"
 	case StatusCommitted:
 		return "committed"
+	case StatusAborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

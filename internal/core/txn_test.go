@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"bayou/internal/spec"
+	"bayou/internal/txn"
+)
+
+// transferTxn builds the canonical guarded transfer: move amount from a to
+// b only when a's balance suffices.
+func transferTxn(amount int64) spec.Op {
+	return txn.New().
+		Require(spec.Withdraw("a", amount)).
+		Do(spec.Deposit("b", amount)).
+		Txn()
+}
+
+// TestTxnAbortSurfacesStatusAborted: a weak transaction that tentatively
+// succeeds, then loses its funds to an older remote op on rebase, commits
+// at a position where its precondition fails — the terminal transition is
+// StatusAborted carrying the abort marker, and none of the unit's writes
+// survive.
+func TestTxnAbortSurfacesStatusAborted(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, func() int64 { return 100 })
+	p.EnableTransitions()
+
+	seed := Req{Timestamp: 1, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Deposit("a", 100)}
+	var eff Effects
+	if err := p.RBDeliverInto(seed, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+
+	eff.Reset()
+	req, err := p.InvokeFrom(7, transferTxn(80), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Transition
+	got = append(got, eff.Transitions...)
+
+	// An older remote withdrawal reschedules before the txn: a drops to 70,
+	// the precondition 80 ≤ balance now fails, and the whole unit aborts on
+	// re-execution.
+	drain := Req{Timestamp: 50, Dot: Dot{Replica: 1, EventNo: 2}, Op: spec.Withdraw("a", 30)}
+	eff.Reset()
+	if err := p.RBDeliverInto(drain, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, eff.Transitions...)
+
+	eff.Reset()
+	for _, r := range []Req{seed, drain, req} {
+		if err := p.TOBDeliverInto(r, &eff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, eff.Transitions...)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []Status{StatusTentative, StatusReordered, StatusAborted}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v; want statuses %v", got, want)
+	}
+	for i, w := range want {
+		if got[i].Status != w {
+			t.Fatalf("transition[%d] = %v; want %v", i, got[i].Status, w)
+		}
+	}
+	if _, ok := txn.Results(got[0].Value); !ok {
+		t.Fatalf("tentative value %v; want per-step results (txn succeeded at first)", got[0].Value)
+	}
+	if !spec.IsAborted(got[1].Value) || !spec.IsAborted(got[2].Value) {
+		t.Fatalf("rebase/commit values %v, %v; want abort markers", got[1].Value, got[2].Value)
+	}
+
+	// The aborted unit wrote nothing: b stays unset, a holds the remote
+	// withdrawal's result only.
+	eff.Reset()
+	if _, err := p.InvokeFrom(8, spec.Balance("b"), false, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	probe := eff.Responses[len(eff.Responses)-1]
+	if !spec.Equal(probe.Value, int64(0)) {
+		t.Fatalf("b = %v after aborted transfer; want 0", probe.Value)
+	}
+}
+
+// TestTxnRebaseIntoSuccess: the mirror image — a tentative abort is not
+// terminal. An older remote deposit rebases the txn onto sufficient funds;
+// the commit is a plain StatusCommitted with the per-step results.
+func TestTxnRebaseIntoSuccess(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, func() int64 { return 100 })
+	p.EnableTransitions()
+
+	seed := Req{Timestamp: 1, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Deposit("a", 50)}
+	var eff Effects
+	if err := p.RBDeliverInto(seed, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+
+	eff.Reset()
+	req, err := p.InvokeFrom(7, transferTxn(80), false, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Transition
+	got = append(got, eff.Transitions...)
+	if len(got) != 1 || got[0].Status != StatusTentative || !spec.IsAborted(got[0].Value) {
+		t.Fatalf("tentative transition = %+v; want tentative abort (50 < 80)", got)
+	}
+
+	top := Req{Timestamp: 10, Dot: Dot{Replica: 1, EventNo: 2}, Op: spec.Deposit("a", 50)}
+	eff.Reset()
+	if err := p.RBDeliverInto(top, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Req{seed, top, req} {
+		if err := p.TOBDeliverInto(r, &eff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, eff.Transitions...)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	last := got[len(got)-1]
+	if last.Status != StatusAborted && last.Status != StatusCommitted {
+		t.Fatalf("terminal transition = %+v; want committed", last)
+	}
+	if last.Status != StatusCommitted {
+		t.Fatalf("terminal status = %v; a rebased-into-success txn must commit plainly", last.Status)
+	}
+	results, ok := txn.Results(last.Value)
+	if !ok || len(results) != 2 {
+		t.Fatalf("committed value = %v; want two per-step results", last.Value)
+	}
+	if !spec.Equal(results[0], int64(20)) || !spec.Equal(results[1], int64(80)) {
+		t.Fatalf("step results = %v; want [20 80]", results)
+	}
+}
+
+// TestStrongTxnOneSlot: a strong transaction is ONE consensus submission —
+// a single TOBCast request carrying the whole unit — and commits with its
+// per-step results in one delivery.
+func TestStrongTxnOneSlot(t *testing.T) {
+	p := NewReplica(0, NoCircularCausality, func() int64 { return 100 })
+	p.EnableTransitions()
+
+	seed := Req{Timestamp: 1, Dot: Dot{Replica: 1, EventNo: 1}, Op: spec.Deposit("a", 100)}
+	var eff Effects
+	if err := p.RBDeliverInto(seed, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TOBDeliverInto(seed, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+
+	eff.Reset()
+	req, err := p.InvokeFrom(7, transferTxn(80), true, &eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.TOBCast) != 1 {
+		t.Fatalf("strong txn cast %d TOB requests; want exactly 1 (one slot)", len(eff.TOBCast))
+	}
+	if !req.Strong {
+		t.Fatalf("txn request not marked strong: %+v", req)
+	}
+	if err := p.TOBDeliverInto(req, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DrainInto(&eff); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(eff.Responses) == 0 {
+		t.Fatalf("no response after TOB delivery")
+	}
+	resp := eff.Responses[len(eff.Responses)-1]
+	if !resp.Committed {
+		t.Fatalf("strong txn response not committed: %+v", resp)
+	}
+	results, ok := txn.Results(resp.Value)
+	if !ok || len(results) != 2 || !spec.Equal(results[1], int64(80)) {
+		t.Fatalf("strong txn value = %v; want per-step results [20 80]", resp.Value)
+	}
+	last := eff.Transitions[len(eff.Transitions)-1]
+	if last.Status != StatusCommitted {
+		t.Fatalf("terminal status = %v; want committed", last.Status)
+	}
+}

@@ -84,11 +84,11 @@ type Remote struct {
 	maxTS atomic.Int64
 
 	mu       sync.Mutex
-	sessions map[core.SessionID]int         // guarded by mu
-	nextSess core.SessionID                 // guarded by mu
-	pendRPC  map[uint64]chan wire.Envelope  // guarded by mu
+	sessions map[core.SessionID]int          // guarded by mu
+	nextSess core.SessionID                  // guarded by mu
+	pendRPC  map[uint64]chan wire.Envelope   // guarded by mu
 	pendCall map[core.SessionID]*record.Call // guarded by mu
-	readErr  error                          // guarded by mu; first reader failure
+	readErr  error                           // guarded by mu; first reader failure
 
 	partMu sync.Mutex
 	cells  []int  // guarded by partMu

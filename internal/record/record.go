@@ -145,6 +145,24 @@ func (c *Call) Stable() (core.Response, bool) {
 	return core.Response{}, false
 }
 
+// Aborted reports whether the call is a transaction that reached its fixed
+// (committed-order) position with a failed precondition: the stable value
+// is the spec abort marker and the unit wrote nothing. While only a
+// tentative value has aborted this still reports false — a rebase may yet
+// move the txn before the conflicting op and commit it successfully, and
+// vice versa. Lost calls report false: their value was never computed.
+func (c *Call) Aborted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lost {
+		return false
+	}
+	if c.stableDone {
+		return spec.IsAborted(c.stableResp.Value)
+	}
+	return c.done && c.resp.Committed && spec.IsAborted(c.resp.Value)
+}
+
 // WallInvoke returns the driver wall time of the invocation.
 func (c *Call) WallInvoke() int64 {
 	c.mu.Lock()

@@ -1,0 +1,54 @@
+package spec
+
+// Transaction abort marker.
+//
+// A multi-op transaction (internal/txn) that fails one of its Require
+// preconditions returns this reserved value instead of its per-step results
+// and performs no writes. The marker lives in spec — not in the txn package —
+// so that the layers below the façade (core's transition stream, the
+// recorder's terminal-status logic, the checkers' replay) can recognize an
+// aborted execution without importing the transaction machinery: to them an
+// abort is just a distinguished response value of an otherwise ordinary
+// operation.
+//
+// The shape is a []Value whose first element is an out-of-band tag string;
+// no catalog operation produces a list starting with that tag, so the marker
+// can never collide with a legitimate response. Like every Value it survives
+// Encode/Equal canonically and travels over the wire with the shapes already
+// registered by the socket transport.
+
+// abortTag is the reserved first element of an abort marker value. The NUL
+// byte keeps it out of the space of human-chosen strings.
+const abortTag = "\x00bayou/txn-abort"
+
+// Aborted returns the abort marker recording that the precondition at step
+// (0-based position in the transaction's op list) failed.
+func Aborted(step int) Value {
+	return []Value{abortTag, int64(step)}
+}
+
+// IsAborted reports whether v is a transaction abort marker.
+func IsAborted(v Value) bool {
+	_, ok := AbortStep(v)
+	return ok
+}
+
+// AbortStep returns the failing step index carried by an abort marker, and
+// whether v is one.
+func AbortStep(v Value) (int, bool) {
+	s, ok := v.([]Value)
+	if !ok || len(s) != 2 {
+		return 0, false
+	}
+	tag, ok := s[0].(string)
+	if !ok || tag != abortTag {
+		return 0, false
+	}
+	switch n := s[1].(type) {
+	case int64:
+		return int(n), true
+	case int:
+		return n, true
+	}
+	return 0, false
+}

@@ -1,0 +1,47 @@
+package spec
+
+import "testing"
+
+func TestAbortMarker(t *testing.T) {
+	m := Aborted(3)
+	if !IsAborted(m) {
+		t.Fatalf("IsAborted(Aborted(3)) = false")
+	}
+	step, ok := AbortStep(m)
+	if !ok || step != 3 {
+		t.Fatalf("AbortStep = %d,%v; want 3,true", step, ok)
+	}
+	// The marker is a plain Value: canonical encoding round-trips through
+	// Equal and survives Clone without losing its identity.
+	if !Equal(m, Clone(m)) {
+		t.Fatalf("abort marker not Equal to its Clone")
+	}
+	if !IsAborted(Clone(m)) {
+		t.Fatalf("Clone dropped abort identity")
+	}
+	// An int-typed step (untyped literal path) is also accepted.
+	if s, ok := AbortStep([]Value{abortTag, 7}); !ok || s != 7 {
+		t.Fatalf("AbortStep(int shape) = %d,%v; want 7,true", s, ok)
+	}
+}
+
+func TestAbortMarkerDoesNotCollide(t *testing.T) {
+	for _, v := range []Value{
+		nil,
+		false,
+		int64(0),
+		"ok",
+		[]Value{},
+		[]Value{"x", int64(1)},
+		[]Value{abortTag},                     // wrong arity
+		[]Value{abortTag, "not-a-step"},       // wrong step type
+		[]Value{abortTag, int64(1), int64(2)}, // wrong arity
+		[]Value{int64(1), int64(2)},           // wrong tag type
+		[]Value{"bayou/txn-abort", int64(0)},  // missing NUL prefix
+		map[string]Value{abortTag: int64(0)},  // wrong shape entirely
+	} {
+		if IsAborted(v) {
+			t.Errorf("IsAborted(%v) = true; want false", v)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stateobj
+
+import (
+	"testing"
+
+	"bayou/internal/spec"
+	"bayou/internal/txn"
+)
+
+// A multi-op transaction executes as ONE undo entry — the undo span: a
+// single rollback boundary covering every step, so rolling the unit back is
+// one Rollback call and no interleaved foreign request can sit between its
+// steps in the trace.
+func TestTxnExecutesAsOneUndoSpan(t *testing.T) {
+	s := New()
+	if _, err := s.Execute("seed", spec.Deposit("a", 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	transfer := txn.New().
+		Require(spec.Withdraw("a", 80)).
+		Do(spec.Deposit("b", 80)).
+		Txn()
+	v, err := s.Execute("t1", transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := txn.Results(v); !ok {
+		t.Fatalf("transfer response %v; want result list", v)
+	}
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d after seed+txn; want 2 (txn is one trace entry)", s.Depth())
+	}
+	if got := s.Read("acct/a"); !spec.Equal(got, int64(20)) {
+		t.Fatalf("a = %v; want 20", got)
+	}
+	if got := s.Read("acct/b"); !spec.Equal(got, int64(80)) {
+		t.Fatalf("b = %v; want 80", got)
+	}
+
+	// One Rollback revokes the whole unit: both registers revert together.
+	if err := s.Rollback("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read("acct/a"); !spec.Equal(got, int64(100)) {
+		t.Fatalf("a = %v after span rollback; want 100", got)
+	}
+	if got := s.Read("acct/b"); got != nil {
+		t.Fatalf("b = %v after span rollback; want unset", got)
+	}
+
+	// Re-execution replays every step (the rebase cycle).
+	if _, err := s.Execute("t1", transfer); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read("acct/b"); !spec.Equal(got, int64(80)) {
+		t.Fatalf("b = %v after re-execute; want 80", got)
+	}
+}
+
+// An aborted transaction writes nothing, so its undo span is empty: the
+// entry holds its place in the trace but rolling it back is a no-op on the
+// database.
+func TestAbortedTxnLeavesEmptySpan(t *testing.T) {
+	s := New()
+	if _, err := s.Execute("seed", spec.Deposit("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	transfer := txn.New().
+		Require(spec.Withdraw("a", 80)).
+		Do(spec.Deposit("b", 80)).
+		Txn()
+	v, err := s.Execute("t1", transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsAborted(v) {
+		t.Fatalf("response %v; want abort marker", v)
+	}
+	if got := s.Read("acct/a"); !spec.Equal(got, int64(10)) {
+		t.Fatalf("a = %v; aborted txn touched the store", got)
+	}
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d; aborted txn must still occupy its trace slot", s.Depth())
+	}
+	if err := s.Rollback("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read("acct/a"); !spec.Equal(got, int64(10)) {
+		t.Fatalf("a = %v after rolling back an empty span; want 10", got)
+	}
+}
+
+// Checkpoint anchors compose with spans: rewinding past a txn removes the
+// whole unit's effects at once, never a partial step.
+func TestCheckpointRewindsWholeSpan(t *testing.T) {
+	s := New()
+	if _, err := s.Execute("seed", spec.Deposit("a", 100)); err != nil {
+		t.Fatal(err)
+	}
+	transfer := txn.New().
+		Require(spec.Withdraw("a", 30)).
+		Do(spec.Deposit("b", 30)).
+		Txn()
+	if _, err := s.Execute("t1", transfer); err != nil {
+		t.Fatal(err)
+	}
+	img, err := s.Checkpoint(1) // anchor before the txn
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img["acct/a"]; !spec.Equal(got, int64(100)) {
+		t.Fatalf("image a = %v; want pre-txn 100", got)
+	}
+	if _, ok := img["acct/b"]; ok {
+		t.Fatalf("image holds b = %v; a partial txn leaked into the anchor", img["acct/b"])
+	}
+}

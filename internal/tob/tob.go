@@ -298,6 +298,13 @@ type Paxos struct {
 	ckpt     *Checkpoint
 	ckptSlot paxos.Slot // learner slot the checkpoint boundary maps to
 	install  func(state any, upTo int64) bool
+
+	// unpacking is true while a decided Batch is being unpacked into the
+	// gate. Deliver callbacks run synchronously from inside the loop, so a
+	// checkpoint requested mid-batch would be captured with the paxos
+	// cursor already past the batch's slot while the batch tail is not yet
+	// in the replica image — see SetCheckpoint.
+	unpacking bool
 }
 
 var _ TOB = (*Paxos)(nil)
@@ -421,11 +428,19 @@ func (t *Paxos) prunePool() {
 // unaffected; the older record plus the untruncated slot replay still cover
 // any behind learner, and the next checkpoint after the hole fills captures
 // normally.
+//
+// The same hazard exists one layer down, without any gate hole: when a slot
+// carries a Batch, the paxos cursor moves past the slot before the batch is
+// unpacked, and the deliver callback for an early batch member can request a
+// checkpoint while later members are still pending inside the loop. A record
+// captured then would claim the slot boundary yet miss the batch tail, and
+// the truncation would destroy the only replayable copy. Capture is deferred
+// for that case too.
 func (t *Paxos) SetCheckpoint(upTo int64, state any) error {
 	if upTo != t.gate.nDelivered {
 		return fmt.Errorf("tob: checkpoint at %d deliveries, gate has delivered %d", upTo, t.gate.nDelivered)
 	}
-	if t.gate.holes() {
+	if t.gate.holes() || t.unpacking {
 		return nil
 	}
 	slot := t.px.NextDeliver()
@@ -588,11 +603,13 @@ func (t *Paxos) onDecide(_ paxos.Slot, v any) {
 	// One slot may carry a whole Batch of cast messages, decided atomically
 	// and unpacked here in order; a singleton is the bare Message.
 	if b, ok := v.(paxos.Batch); ok {
+		t.unpacking = true
 		for _, bv := range b {
 			if m, ok := bv.(Message); ok {
 				t.decideOne(m)
 			}
 		}
+		t.unpacking = false
 		if t.px.Leading() {
 			t.drainProposals()
 		}

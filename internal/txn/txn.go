@@ -1,0 +1,187 @@
+// Package txn lifts the per-op tentative/rollback machinery to multi-op
+// atomic units, in the spirit of Creek's mixed-consistency transactions: a
+// Txn is an ordered list of catalog operations that executes as ONE
+// spec.Op — one request dot, one schedule entry, one undo record, one wire
+// envelope. Atomicity is therefore structural rather than protocolic:
+//
+//   - a weak txn rebases through the existing O(suffix) engine exactly like
+//     a single op — rollback revokes the whole unit (the state object's one
+//     undo entry is the undo span) and re-execution replays every step, so
+//     no interleaved foreign op ever observes a partial txn;
+//   - a strong txn rides one Paxos slot (or one batch-envelope member) and
+//     anchors the whole unit at one arbitration position;
+//   - the guarantee machinery sees one invocation, so a session's coverage
+//     demand gates the entire read/write set at once: the txn is read-only
+//     only if every step is, and otherwise the whole unit carries the
+//     stronger updating demand.
+//
+// Steps execute against a staging overlay of the replica state: reads see
+// earlier steps' buffered writes over the base store, and nothing reaches
+// the base until every step has run. A step added with Require is a
+// precondition — if its result is nil or false the transaction aborts: the
+// overlay is discarded (the base store is untouched, so the undo span is
+// empty) and Apply returns the spec.Aborted marker naming the failing step.
+// Because operations are deterministic, the same txn may abort tentatively
+// at one position and commit after a rebase moves it before the conflicting
+// op — or vice versa; the terminal verdict is the one at its arbitration
+// position.
+package txn
+
+import (
+	"strings"
+
+	"bayou/internal/spec"
+)
+
+// Step is one operation inside a transaction. If Require is set the step is
+// a precondition: a nil or false result aborts the whole unit.
+type Step struct {
+	Op      spec.Op
+	Require bool
+}
+
+// Txn is an ordered list of steps executing as one atomic spec.Op. The zero
+// value is an empty (vacuously successful) transaction; build with New or a
+// Steps literal. Txn has value receivers and exported fields so it travels
+// the wire as a registered gob concrete type like any catalog op.
+type Txn struct {
+	Steps []Step
+}
+
+// Name renders the unit as txn[step;step;...], with precondition steps
+// marked by a leading "must ". Names appear in traces and histories, where
+// the whole txn occupies a single position.
+func (t Txn) Name() string {
+	var b strings.Builder
+	b.WriteString("txn[")
+	for i, s := range t.Steps {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		if s.Require {
+			b.WriteString("must ")
+		}
+		b.WriteString(s.Op.Name())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ReadOnly reports whether every step is read-only: only then can the unit
+// take the read-only fast paths (local strong reads, relaxed coverage
+// demands). A single updating step makes the whole txn updating.
+func (t Txn) ReadOnly() bool {
+	for _, s := range t.Steps {
+		if !s.Op.ReadOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply executes the steps in order against a staging overlay of tx. On
+// success the buffered writes flush to tx in first-write order and the
+// response is the []spec.Value of per-step results. If a Require step
+// yields nil or false, nothing is written and the response is the
+// spec.Aborted marker for that step index.
+func (t Txn) Apply(tx spec.Tx) spec.Value {
+	o := overlay{base: tx}
+	results := make([]spec.Value, len(t.Steps))
+	for i, s := range t.Steps {
+		r := s.Op.Apply(&o)
+		if s.Require && failed(r) {
+			return spec.Aborted(i)
+		}
+		results[i] = r
+	}
+	o.flush(tx)
+	return results
+}
+
+// failed reports a precondition miss: the catalog signals failure with nil
+// (e.g. withdraw on insufficient funds, cas mismatch) or false (e.g.
+// put-if-absent on a present key, transfer short of funds).
+func failed(r spec.Value) bool {
+	if r == nil {
+		return true
+	}
+	b, ok := r.(bool)
+	return ok && !b
+}
+
+// overlay is the staging Tx: reads see buffered writes over the base store,
+// writes buffer in first-write order and reach the base only on flush.
+type overlay struct {
+	base   spec.Tx
+	order  []string // registers in first-write order
+	writes map[string]spec.Value
+}
+
+func (o *overlay) Read(id string) spec.Value {
+	if v, ok := o.writes[id]; ok {
+		return spec.Clone(v)
+	}
+	return o.base.Read(id)
+}
+
+func (o *overlay) Write(id string, v spec.Value) {
+	if o.writes == nil {
+		o.writes = make(map[string]spec.Value)
+	}
+	if _, ok := o.writes[id]; !ok {
+		o.order = append(o.order, id)
+	}
+	o.writes[id] = spec.Clone(v)
+}
+
+// flush applies the buffered writes to the base in first-write order, so the
+// base's own undo record sees the same register order a direct execution
+// would have.
+func (o *overlay) flush(tx spec.Tx) {
+	for _, id := range o.order {
+		tx.Write(id, o.writes[id])
+	}
+}
+
+// Results unpacks a successful transaction response into its per-step
+// results. It returns ok=false for the abort marker (use spec.AbortStep for
+// the failing index) and for values that are not a txn response.
+func Results(v spec.Value) ([]spec.Value, bool) {
+	if spec.IsAborted(v) {
+		return nil, false
+	}
+	s, ok := v.([]spec.Value)
+	if !ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// Builder accumulates steps fluently: New().Do(op).Require(op).Txn().
+type Builder struct {
+	steps []Step
+}
+
+// New returns an empty transaction builder.
+func New() *Builder { return &Builder{} }
+
+// Do appends an unconditional step.
+func (b *Builder) Do(op spec.Op) *Builder {
+	b.steps = append(b.steps, Step{Op: op})
+	return b
+}
+
+// Require appends a precondition step: a nil or false result aborts the
+// whole transaction.
+func (b *Builder) Require(op spec.Op) *Builder {
+	b.steps = append(b.steps, Step{Op: op, Require: true})
+	return b
+}
+
+// Txn returns the built transaction. The builder may keep accumulating;
+// the returned value owns a copy of the current step list.
+func (b *Builder) Txn() Txn {
+	steps := make([]Step, len(b.steps))
+	copy(steps, b.steps)
+	return Txn{Steps: steps}
+}

@@ -1,0 +1,155 @@
+package txn
+
+import (
+	"testing"
+
+	"bayou/internal/spec"
+)
+
+func TestTxnAppliesAllStepsAtomically(t *testing.T) {
+	store := spec.NewMapTx()
+	spec.Deposit("a", 100).Apply(store)
+
+	transfer := New().
+		Require(spec.Withdraw("a", 80)).
+		Do(spec.Deposit("b", 80)).
+		Txn()
+
+	v := transfer.Apply(store)
+	results, ok := Results(v)
+	if !ok {
+		t.Fatalf("transfer response %v is not a result list", v)
+	}
+	if len(results) != 2 || !spec.Equal(results[0], int64(20)) || !spec.Equal(results[1], int64(80)) {
+		t.Fatalf("step results = %v; want [20 80]", results)
+	}
+	if bal := spec.Balance("a").Apply(store); !spec.Equal(bal, int64(20)) {
+		t.Fatalf("a = %v; want 20", bal)
+	}
+	if bal := spec.Balance("b").Apply(store); !spec.Equal(bal, int64(80)) {
+		t.Fatalf("b = %v; want 80", bal)
+	}
+}
+
+func TestTxnAbortWritesNothing(t *testing.T) {
+	store := spec.NewMapTx()
+	spec.Deposit("a", 50).Apply(store)
+
+	transfer := New().
+		Require(spec.Withdraw("a", 80)). // insufficient: aborts at step 0
+		Do(spec.Deposit("b", 80)).
+		Txn()
+
+	v := transfer.Apply(store)
+	if !spec.IsAborted(v) {
+		t.Fatalf("response %v; want abort marker", v)
+	}
+	if step, _ := spec.AbortStep(v); step != 0 {
+		t.Fatalf("abort step = %d; want 0", step)
+	}
+	if _, ok := Results(v); ok {
+		t.Fatalf("Results accepted an abort marker")
+	}
+	if bal := spec.Balance("a").Apply(store); !spec.Equal(bal, int64(50)) {
+		t.Fatalf("a = %v after abort; want untouched 50", bal)
+	}
+	if bal := spec.Balance("b").Apply(store); !spec.Equal(bal, int64(0)) {
+		t.Fatalf("b = %v after abort; want untouched 0", bal)
+	}
+}
+
+// A later Require step aborts the unit even after earlier steps wrote to the
+// overlay: none of those buffered writes may reach the base.
+func TestTxnLateAbortDiscardsEarlierWrites(t *testing.T) {
+	store := spec.NewMapTx()
+	u := New().
+		Do(spec.Deposit("a", 10)).
+		Require(spec.Cas("k", "expected", "next")). // k is unset: cas fails
+		Txn()
+	v := u.Apply(store)
+	if !spec.IsAborted(v) {
+		t.Fatalf("response %v; want abort", v)
+	}
+	if step, _ := spec.AbortStep(v); step != 1 {
+		t.Fatalf("abort step = %d; want 1", step)
+	}
+	if bal := spec.Balance("a").Apply(store); !spec.Equal(bal, int64(0)) {
+		t.Fatalf("deposit before the failed require leaked: a = %v", bal)
+	}
+}
+
+// Steps observe earlier steps' buffered writes: read-your-own-writes inside
+// the unit, invisibility outside until flush.
+func TestTxnOverlayReadsOwnWrites(t *testing.T) {
+	store := spec.NewMapTx()
+	u := New().
+		Do(spec.Deposit("a", 30)).
+		Do(spec.Balance("a")).
+		Txn()
+	results, ok := Results(u.Apply(store))
+	if !ok || !spec.Equal(results[1], int64(30)) {
+		t.Fatalf("in-txn balance = %v; want 30", results)
+	}
+}
+
+func TestTxnReadOnly(t *testing.T) {
+	ro := Txn{Steps: []Step{{Op: spec.Balance("a")}, {Op: spec.Get("k")}}}
+	if !ro.ReadOnly() {
+		t.Fatalf("all-read txn not ReadOnly")
+	}
+	rw := Txn{Steps: []Step{{Op: spec.Balance("a")}, {Op: spec.Deposit("a", 1)}}}
+	if rw.ReadOnly() {
+		t.Fatalf("updating txn claims ReadOnly")
+	}
+	if !(Txn{}).ReadOnly() {
+		t.Fatalf("empty txn not ReadOnly")
+	}
+}
+
+func TestTxnName(t *testing.T) {
+	u := New().Require(spec.Withdraw("a", 5)).Do(spec.Deposit("b", 5)).Txn()
+	want := "txn[must withdraw(a,i5);deposit(b,i5)]"
+	if got := u.Name(); got != want {
+		t.Fatalf("Name = %q; want %q", got, want)
+	}
+}
+
+// Determinism across re-execution: the same txn applied to equal stores
+// yields equal responses and equal final states — required because the
+// engine re-executes after rollbacks.
+func TestTxnDeterministicReplay(t *testing.T) {
+	build := func() (spec.Value, map[string]spec.Value) {
+		store := spec.NewMapTx()
+		spec.Deposit("a", 100).Apply(store)
+		u := New().
+			Require(spec.Withdraw("a", 40)).
+			Do(spec.Deposit("b", 40)).
+			Do(spec.Put("last", "t1")).
+			Txn()
+		return u.Apply(store), store.Snapshot()
+	}
+	v1, s1 := build()
+	v2, s2 := build()
+	if !spec.Equal(v1, v2) {
+		t.Fatalf("replay responses diverged: %v vs %v", v1, v2)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("replay stores diverged in size")
+	}
+	for k, v := range s1 {
+		if !spec.Equal(v, s2[k]) {
+			t.Fatalf("replay stores diverged at %s: %v vs %v", k, v, s2[k])
+		}
+	}
+}
+
+// The builder snapshots its steps: continuing to build does not mutate a
+// previously returned Txn.
+func TestBuilderSnapshot(t *testing.T) {
+	b := New().Do(spec.Deposit("a", 1))
+	first := b.Txn()
+	b.Do(spec.Deposit("a", 2))
+	if len(first.Steps) != 1 {
+		t.Fatalf("earlier Txn() grew to %d steps", len(first.Steps))
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"bayou/internal/core"
 	"bayou/internal/spec"
+	"bayou/internal/txn"
 )
 
 // Kind discriminates envelope payloads.
@@ -162,6 +163,10 @@ func init() {
 		spec.InsertOp{}, spec.DeleteOp{}, spec.DocReadOp{},
 		// meeting
 		spec.ReserveOp{}, spec.CancelOp{}, spec.ScheduleOp{},
+		// multi-op atomic units: a whole transaction is one op, so it is
+		// one envelope — the steps' concrete types are the catalog entries
+		// above, already registered.
+		txn.Txn{},
 	} {
 		gob.Register(op)
 	}

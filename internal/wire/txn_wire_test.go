@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"net"
+	"testing"
+
+	"bayou/internal/core"
+	"bayou/internal/spec"
+	"bayou/internal/txn"
+)
+
+// A whole transaction is one op, so it is one envelope: the composite unit
+// — steps, Require flags, nested catalog ops — survives the framed gob
+// codec intact, both as an invocation payload and inside a request batch,
+// and the decoded unit still executes with transactional semantics.
+func TestTxnRidesOneEnvelope(t *testing.T) {
+	client, server := net.Pipe()
+	a, b := Wrap(client), Wrap(server)
+	defer a.Close()
+	defer b.Close()
+
+	transfer := txn.New().
+		Require(spec.Withdraw("alice", 80)).
+		Do(spec.Deposit("bob", 80)).
+		Txn()
+	out := Envelope{
+		Kind:   KindInvoke,
+		Sess:   7,
+		Op:     transfer,
+		Strong: true,
+		Reqs: []core.Req{
+			{Timestamp: 3, Dot: core.Dot{Replica: 1, EventNo: 2}, Op: transfer},
+		},
+	}
+	go func() {
+		if err := a.Send(&out); err != nil {
+			t.Error(err)
+		}
+	}()
+	var in Envelope
+	if err := b.Recv(&in); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := in.Op.(txn.Txn)
+	if !ok {
+		t.Fatalf("invoke op decoded as %T; want txn.Txn", in.Op)
+	}
+	if got.Name() != transfer.Name() {
+		t.Fatalf("decoded txn = %s; want %s", got.Name(), transfer.Name())
+	}
+	if len(got.Steps) != 2 || !got.Steps[0].Require || got.Steps[1].Require {
+		t.Fatalf("Require flags mangled: %+v", got.Steps)
+	}
+	if len(in.Reqs) != 1 || in.Reqs[0].Op.Name() != transfer.Name() {
+		t.Fatalf("request batch mangled: %+v", in.Reqs)
+	}
+
+	// The decoded unit still aborts atomically: insufficient funds on the
+	// far side of the wire writes nothing.
+	store := spec.NewMapTx()
+	spec.Deposit("alice", 50).Apply(store)
+	if v := got.Apply(store); !spec.IsAborted(v) {
+		t.Fatalf("decoded txn response %v; want abort", v)
+	}
+	if bal := spec.Balance("bob").Apply(store); !spec.Equal(bal, int64(0)) {
+		t.Fatalf("decoded txn leaked a partial write: bob = %v", bal)
+	}
+}

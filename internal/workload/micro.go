@@ -13,6 +13,7 @@ import (
 	"bayou/internal/paxos"
 	"bayou/internal/record"
 	"bayou/internal/spec"
+	"bayou/internal/txn"
 )
 
 // MicroWeakInvoke is the Algorithm 2 weak hot path: ops rounds of immediate
@@ -374,6 +375,92 @@ func (f *LeaseFixture) Read() error {
 	}
 	if !call.Done() {
 		return fmt.Errorf("workload: lease read %s not served locally", call.Dot())
+	}
+	return nil
+}
+
+// transferTxn is the composite unit the txn micros push through the
+// machinery: a guarded withdraw plus a deposit, the canonical two-op
+// atomic transfer (one dot, one schedule entry, one undo span).
+func transferTxn() txn.Txn {
+	return txn.New().Require(spec.Withdraw("a", 1)).Do(spec.Deposit("b", 1)).Txn()
+}
+
+// MicroTxnWeakRebase is the weak transactional rebase hot path: a funded
+// account, one weak transfer txn installed at a far-future timestamp, then
+// ops remote deliveries with ever-older timestamps — each rolls the whole
+// unit back across its undo span and re-executes it atomically at its new
+// position (BenchmarkTxnWeakRebase). It is MicroRollbackReexecute with the
+// rolled-back suffix being a multi-op unit instead of a single op, so the
+// pair pins what the span machinery adds to the rebase loop.
+func MicroTxnWeakRebase(ops int) error {
+	r := core.NewReplica(0, core.Original, func() int64 { return 1 << 40 })
+	fund := core.Req{
+		Timestamp: 0,
+		Dot:       core.Dot{Replica: 1, EventNo: 1},
+		Op:        spec.Deposit("a", int64(ops)+1),
+	}
+	if _, err := r.RBDeliver(fund); err != nil {
+		return err
+	}
+	if _, err := r.Drain(); err != nil {
+		return err
+	}
+	if _, err := r.Invoke(transferTxn(), false); err != nil {
+		return err
+	}
+	if _, err := r.Drain(); err != nil {
+		return err
+	}
+	for k := 0; k < ops; k++ {
+		req := core.Req{
+			Timestamp: int64(k + 1), // always older than the txn
+			Dot:       core.Dot{Replica: 1, EventNo: int64(k + 2)},
+			Op:        spec.Inc("c", 1),
+		}
+		if _, err := r.RBDeliver(req); err != nil {
+			return err
+		}
+		if _, err := r.Drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MicroTxnStrongCommit is the strong transactional hot path: a three-replica
+// simulated cluster with a stable leader and one session committing ops
+// strong transfer txns, each unit riding one consensus slot and settling
+// before the next (BenchmarkTxnStrongCommit). An aborted transfer is an
+// error — the account is funded for exactly ops transfers, so the benchmark
+// measures the commit path, not a mixture with the abort path.
+func MicroTxnStrongCommit(ops int) error {
+	c, err := cluster.New(cluster.Config{N: 3, Variant: core.NoCircularCausality, Seed: 404, StepBatch: 8})
+	if err != nil {
+		return err
+	}
+	c.StabilizeOmega(0)
+	sess, err := c.OpenSession(0)
+	if err != nil {
+		return err
+	}
+	if _, err := c.InvokeSession(sess, spec.Deposit("a", int64(ops)), core.Strong); err != nil {
+		return err
+	}
+	if err := c.Settle(0); err != nil {
+		return err
+	}
+	for k := 0; k < ops; k++ {
+		call, err := c.InvokeSession(sess, transferTxn(), core.Strong)
+		if err != nil {
+			return err
+		}
+		if err := c.Settle(0); err != nil {
+			return err
+		}
+		if call.Aborted() {
+			return fmt.Errorf("workload: strong transfer %d aborted with funds available", k)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,237 @@
+package bayou
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSessionTxnAtomicOnSim: Session.Txn executes all steps as one unit on
+// the simulator — a funded transfer commits with per-step results, an
+// underfunded one aborts terminally with Call.Aborted and writes nothing.
+func TestSessionTxnAtomicOnSim(t *testing.T) {
+	c, err := New(WithReplicas(3), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ElectLeader(0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(Deposit("alice", 100), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, err := s.Txn(Weak,
+		Require(Withdraw("alice", 80)),
+		Do(Deposit("bob", 80)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Aborted() {
+		t.Fatalf("funded transfer aborted: %v", ok.Value())
+	}
+	stable, has := ok.Stable()
+	if !has {
+		t.Fatalf("weak txn never stabilized")
+	}
+	results, isResults := TxnResults(stable.Value)
+	if !isResults || len(results) != 2 || !Equal(results[0], int64(20)) || !Equal(results[1], int64(80)) {
+		t.Fatalf("stable txn value = %v; want [20 80]", stable.Value)
+	}
+
+	bad, err := s.Txn(Strong,
+		Require(Withdraw("alice", 500)),
+		Do(Deposit("bob", 500)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Aborted() {
+		t.Fatalf("underfunded transfer did not abort: %v", bad.Value())
+	}
+	if step, isAbort := AbortStep(bad.Value()); !isAbort || step != 0 {
+		t.Fatalf("abort value = %v; want marker at step 0", bad.Value())
+	}
+
+	// Atomicity at the store: exactly one transfer happened.
+	for r := 0; r < 3; r++ {
+		a, err := c.Read(r, "acct/alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Read(r, "acct/bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(a, int64(20)) || !Equal(b, int64(80)) {
+			t.Fatalf("replica %d: alice=%v bob=%v; want 20/80", r, a, b)
+		}
+	}
+}
+
+// TestSessionTxnAbortWatchStream: the abort verdict rides the watch stream
+// as the terminal StatusAborted update, after the tentative fluctuations of
+// a weak txn whose funds an older remote op steals before commit.
+func TestSessionTxnAbortWatchStream(t *testing.T) {
+	// Replica 1's clock runs 8× slow, so its requests carry older
+	// timestamps and schedule before replica 0's already-executed ones.
+	c, err := New(WithReplicas(2), WithSeed(59), WithClockSlowdown(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leader lives on the slow-clocked replica: during the partition
+	// below its own ops reach consensus while replica 0's casts are parked.
+	if err := c.ElectLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100)
+
+	seeder, err := c.Session(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seeder.Invoke(Deposit("alice", 100), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the cluster: the txn executes tentatively on the minority side.
+	if err := c.Partition([]int{0}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := s.Txn(Weak,
+		Require(Withdraw("alice", 80)),
+		Do(Deposit("bob", 80)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := c.Watch(call.Dot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if call.Aborted() {
+		t.Fatalf("txn aborted before commit: Aborted must wait for the fixed position")
+	}
+
+	// The slow-clocked replica withdraws the funds with an older timestamp
+	// and commits it while the partition holds the txn out of consensus;
+	// on heal the txn rebases behind it to a position where the
+	// precondition fails, and commits aborted.
+	if _, err := seeder.Invoke(Withdraw("alice", 50), Weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stream []Update
+	for u := range updates {
+		stream = append(stream, u)
+	}
+	if len(stream) < 2 {
+		t.Fatalf("stream = %+v; want tentative …→ aborted", stream)
+	}
+	if stream[0].Status != StatusTentative {
+		t.Errorf("first update = %+v; want tentative", stream[0])
+	}
+	last := stream[len(stream)-1]
+	if last.Status != StatusAborted || !IsAborted(last.Value) {
+		t.Fatalf("terminal update = %+v; want StatusAborted with the abort marker", last)
+	}
+	if !call.Aborted() {
+		t.Fatalf("call not Aborted after terminal abort update")
+	}
+	if b, err := c.Read(0, "acct/bob"); err != nil || b != nil {
+		t.Fatalf("bob = %v (%v); aborted txn leaked a write", b, err)
+	}
+}
+
+// TestSessionTxnLive: the same atomic transfer through the live in-process
+// driver — the sealed Driver interface carries the unit unchanged.
+func TestSessionTxnLive(t *testing.T) {
+	c, err := NewLive(WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Session(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := s.Invoke(Deposit("alice", 100), Strong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Txn(Strong,
+		Require(Withdraw("alice", 80)),
+		Do(Deposit("bob", 80)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if good.Aborted() {
+		t.Fatalf("funded transfer aborted: %v", good.Value())
+	}
+	bad, err := s.Txn(Strong,
+		Require(Withdraw("alice", 500)),
+		Do(Deposit("bob", 500)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Aborted() {
+		t.Fatalf("underfunded transfer did not abort: %v", bad.Value())
+	}
+	a, err := c.Read(0, "acct/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Read(0, "acct/bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, int64(20)) || !Equal(b, int64(80)) {
+		t.Fatalf("alice=%v bob=%v; want 20/80", a, b)
+	}
+}

@@ -1,0 +1,76 @@
+package bayou
+
+import (
+	"bayou/internal/spec"
+	"bayou/internal/txn"
+)
+
+// Mixed-consistency transactions (Creek-style): an ordered list of
+// operations executing as ONE atomic unit — one dot, one schedule entry,
+// one undo span, one wire envelope. A weak transaction executes tentatively
+// and rebases as a unit while consensus rearranges the schedule; a strong
+// transaction anchors the whole unit at one position of the total order.
+// Either way no history ever witnesses a partial transaction: rollback and
+// re-execution cover all steps or none.
+//
+//	call, _ := s.Txn(bayou.Strong,
+//	    bayou.Require(bayou.Withdraw("alice", 80)),
+//	    bayou.Do(bayou.Deposit("bob", 80)),
+//	)
+//	c.Settle()
+//	if call.Aborted() { /* precondition failed at the committed position */ }
+//
+// A Require step is a precondition: if its result is nil or false the whole
+// unit aborts — nothing is written and the call terminates with
+// Call.Aborted() true (watch streams see StatusAborted). Because a weak
+// transaction's position may move until commit, a tentative abort can
+// rebase into success and vice versa; only the committed verdict is final.
+
+// TxnStep is one operation inside a transaction (see Do and Require).
+type TxnStep = txn.Step
+
+// Do wraps an operation as an unconditional transaction step.
+func Do(op Op) TxnStep { return txn.Step{Op: op} }
+
+// Require wraps an operation as a precondition step: a nil or false result
+// aborts the whole transaction without writing anything.
+func Require(op Op) TxnStep { return txn.Step{Op: op, Require: true} }
+
+// TxnOp composes steps into the atomic composite operation itself — the
+// builder-free form for callers that want to hold the unit as a value,
+// reuse it across sessions, or pass it to InvokeAt:
+//
+//	transfer := bayou.TxnOp(bayou.Require(bayou.Withdraw("a", 10)), bayou.Do(bayou.Deposit("b", 10)))
+//	call, _ := s.Invoke(transfer, bayou.Weak)
+func TxnOp(steps ...TxnStep) Op {
+	return txn.Txn{Steps: append([]TxnStep(nil), steps...)}
+}
+
+// Txn submits the steps as one atomic unit at the session's bound replica.
+// The returned Call completes like any single invocation — weak units
+// answer tentatively and rebase, strong units ride one consensus slot — and
+// additionally reports Call.Aborted once a failed precondition is fixed at
+// the unit's committed position. Discarding the returned Call discards the
+// abort verdict; bayouvet's effects-hygiene analyzer flags that.
+func (s *Session) Txn(level Level, steps ...TxnStep) (*Call, error) {
+	return s.Invoke(TxnOp(steps...), level)
+}
+
+// TxnAt submits the steps as one atomic unit at an explicit replica without
+// re-binding the session (the transactional InvokeAt).
+func (s *Session) TxnAt(replica int, level Level, steps ...TxnStep) (*Call, error) {
+	return s.InvokeAt(replica, TxnOp(steps...), level)
+}
+
+// IsAborted reports whether a response value is the transaction abort
+// marker (the value a Call carries when Call.Aborted is true, and the shape
+// watch updates deliver with StatusAborted).
+func IsAborted(v Value) bool { return spec.IsAborted(v) }
+
+// AbortStep returns the index of the failing Require step carried by an
+// abort marker, and whether v is one.
+func AbortStep(v Value) (int, bool) { return spec.AbortStep(v) }
+
+// TxnResults unpacks a successful transaction response into its per-step
+// results (ok=false for the abort marker and for non-transaction values).
+func TxnResults(v Value) ([]Value, bool) { return txn.Results(v) }

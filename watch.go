@@ -23,6 +23,11 @@ const (
 	StatusReordered = core.StatusReordered
 	// StatusCommitted: the final order fixed the value for good.
 	StatusCommitted = core.StatusCommitted
+	// StatusAborted: the final order fixed a transaction at a position
+	// where its precondition fails — the terminal value is the abort
+	// marker and the unit wrote nothing (see Session.Txn and
+	// Call.Aborted).
+	StatusAborted = core.StatusAborted
 )
 
 // Update is one status transition on a watch stream.
