@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bayou/internal/core"
 	"bayou/internal/livenet"
+	"bayou/internal/wire"
 )
 
 func main() {
@@ -32,6 +34,11 @@ func main() {
 	variant := flag.String("variant", "modified", "protocol variant: original | modified")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint once this many commits accumulate past the last one (0: manual only)")
 	lease := flag.Bool("lease", false, "serve strong read-only operations locally on the sequencer (leader lease)")
+	dataDir := flag.String("data-dir", "", "directory for durable snapshots; empty runs the node volatile (recovery by peer rescue only)")
+	keep := flag.Int("keep", 0, "snapshot generations to retain in -data-dir (0: default)")
+	seed := flag.Int64("seed", 0, "seed for this node's randomized behavior (dial jitter, fault injection)")
+	chaos := flag.String("chaos", "", "wire fault-injection spec, e.g. drop=0.02,dup=0.02,reorder=0.02,flip=0.01,trunc=0.005,delay=0.05,delaymax=5ms (testing only)")
+	antiEntropy := flag.Duration("anti-entropy", 250*time.Millisecond, "interval between background peer resyncs (0: disabled)")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -49,12 +56,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bayou-node: unknown variant %q\n", *variant)
 		os.Exit(2)
 	}
+	faults, err := wire.ParseFaults(*chaos, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bayou-node: -chaos: %v\n", err)
+		os.Exit(2)
+	}
 	if err := livenet.ServeNode(livenet.NodeConfig{
-		ID:              *id,
-		Variant:         v,
-		CheckpointEvery: *ckptEvery,
-		LeaderLease:     *lease,
-		Addrs:           list,
+		ID:               *id,
+		Variant:          v,
+		CheckpointEvery:  *ckptEvery,
+		LeaderLease:      *lease,
+		Addrs:            list,
+		DataDir:          *dataDir,
+		Keep:             *keep,
+		Seed:             *seed,
+		Chaos:            faults,
+		AntiEntropyEvery: *antiEntropy,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "bayou-node: %v\n", err)
 		os.Exit(1)

@@ -5,6 +5,14 @@
 // and captures each node's stderr for failure artifacts. It is test
 // plumbing, not part of the deployment surface — production clusters
 // start bayou-node themselves.
+//
+// Beyond starting and stopping, the launcher is the process-level fault
+// plane of the chaos harness: Kill delivers SIGKILL (no drain, no final
+// save — the crash the durability layer must survive), Freeze/Thaw deliver
+// SIGSTOP/SIGCONT (a wedged-but-alive node, the case the controller's RPC
+// deadlines must surface), and Restart re-execs a node on its original
+// address with its original arguments — including its data dir, so a
+// durable node comes back from its own disk.
 package launch
 
 import (
@@ -20,15 +28,45 @@ import (
 	"time"
 )
 
+// Options parametrizes a deployment beyond its size.
+type Options struct {
+	// N is the number of replicas.
+	N int
+	// Volatile disables per-node data dirs. By default every node gets
+	// -data-dir under the scratch dir, so the whole socket suite runs with
+	// durability on — the conformance tests double as its regression net.
+	Volatile bool
+	// Seed is the deployment's chaos seed; node i receives a seed derived
+	// from it. Zero is a valid (and the default) seed.
+	Seed int64
+	// Chaos is a wire fault-injection spec (see wire.ParseFaults) passed to
+	// every node; empty injects nothing.
+	Chaos string
+	// ExtraArgs are appended to every node's command line.
+	ExtraArgs []string
+}
+
+// nodeProc is one replica process slot; the slot outlives any single OS
+// process (Kill + Restart reuse it).
+type nodeProc struct {
+	args    []string // stable across restarts: same id, addr, data dir
+	logPath string
+
+	cmd    *exec.Cmd // guarded by Deployment.mu; nil once reaped
+	frozen bool      // guarded by Deployment.mu
+}
+
 // Deployment is a running set of bayou-node processes.
 type Deployment struct {
 	// Addrs lists every node's listen address in replica-id order — feed
 	// it to bayou.WithPeers or livenet.RemoteConfig verbatim.
 	Addrs []string
-	// Dir is the scratch directory holding the per-node stderr logs.
+	// Dir is the scratch directory holding the per-node stderr logs and
+	// data dirs.
 	Dir string
 
-	procs []*exec.Cmd
+	mu    sync.Mutex
+	nodes []*nodeProc
 	once  sync.Once
 }
 
@@ -115,11 +153,15 @@ func reserveAddrs(n int) ([]string, error) {
 // deployment; connecting controllers should rely on the wire layer's dial
 // backoff rather than waiting for readiness here.
 func Start(n int, extraArgs ...string) (*Deployment, error) {
-	bin, err := binary()
-	if err != nil {
+	return StartWith(Options{N: n, ExtraArgs: extraArgs})
+}
+
+// StartWith spawns a deployment from full options.
+func StartWith(o Options) (*Deployment, error) {
+	if _, err := binary(); err != nil {
 		return nil, err
 	}
-	addrs, err := reserveAddrs(n)
+	addrs, err := reserveAddrs(o.N)
 	if err != nil {
 		return nil, err
 	}
@@ -129,42 +171,169 @@ func Start(n int, extraArgs ...string) (*Deployment, error) {
 	}
 	d := &Deployment{Addrs: addrs, Dir: dir}
 	joined := strings.Join(addrs, ",")
-	for i := 0; i < n; i++ {
-		logf, err := os.Create(filepath.Join(dir, "node"+strconv.Itoa(i)+".log"))
-		if err != nil {
-			d.Stop()
-			return nil, err
+	for i := 0; i < o.N; i++ {
+		args := []string{"-id", strconv.Itoa(i), "-addrs", joined}
+		if !o.Volatile {
+			args = append(args, "-data-dir", filepath.Join(dir, "node"+strconv.Itoa(i)+".data"))
 		}
-		args := append([]string{"-id", strconv.Itoa(i), "-addrs", joined}, extraArgs...)
-		cmd := exec.Command(bin, args...)
-		cmd.Stderr = logf
-		cmd.Stdout = logf
-		if err := cmd.Start(); err != nil {
-			logf.Close()
+		args = append(args, "-seed", strconv.FormatInt(o.Seed*1_000_003+int64(i)+1, 10))
+		if o.Chaos != "" {
+			args = append(args, "-chaos", o.Chaos)
+		}
+		args = append(args, o.ExtraArgs...)
+		np := &nodeProc{args: args, logPath: filepath.Join(dir, "node"+strconv.Itoa(i)+".log")}
+		d.nodes = append(d.nodes, np)
+		cmd, err := d.spawn(np)
+		if err != nil {
 			d.Stop()
 			return nil, fmt.Errorf("starting node %d: %w", i, err)
 		}
-		logf.Close() // the child holds its own descriptor
-		d.procs = append(d.procs, cmd)
+		np.cmd = cmd
 	}
 	return d, nil
 }
 
+// spawn starts one node process appending to its log (restarts of one node
+// share a log file, so the failure artifact shows every incarnation).
+func (d *Deployment) spawn(np *nodeProc) (*exec.Cmd, error) {
+	bin, err := binary()
+	if err != nil {
+		return nil, err
+	}
+	logf, err := os.OpenFile(np.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, np.args...)
+	cmd.Stderr = logf
+	cmd.Stdout = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, err
+	}
+	logf.Close() // the child holds its own descriptor
+	return cmd, nil
+}
+
+// DataDir returns node i's data directory ("" when launched Volatile) —
+// chaos harnesses corrupt snapshot files through it between Kill and
+// Restart.
+func (d *Deployment) DataDir(i int) string {
+	for _, a := range d.nodes[i].args {
+		if strings.HasPrefix(a, d.Dir) && strings.HasSuffix(a, ".data") {
+			return a
+		}
+	}
+	return ""
+}
+
+// Kill SIGKILLs node i: no drain, no shutdown RPC, no final save — the
+// process dies mid-whatever-it-was-doing. The slot stays; Restart revives
+// it on the same address with the same data dir.
+func (d *Deployment) Kill(i int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	np := d.nodes[i]
+	if np.cmd == nil || np.cmd.Process == nil {
+		return fmt.Errorf("launch: node %d is not running", i)
+	}
+	if np.frozen {
+		// A stopped process still dies to SIGKILL, but thaw first so the
+		// reap below cannot hang on a stopped zombie edge case.
+		np.cmd.Process.Signal(syscall.SIGCONT)
+		np.frozen = false
+	}
+	if err := np.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("launch: kill node %d: %w", i, err)
+	}
+	np.cmd.Wait()
+	np.cmd = nil
+	return nil
+}
+
+// Restart re-execs a killed node with its original arguments: same id,
+// same listen address, same data dir — a durable node recovers from its
+// own disk, a volatile one bootstraps from peers.
+func (d *Deployment) Restart(i int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	np := d.nodes[i]
+	if np.cmd != nil {
+		return fmt.Errorf("launch: node %d is already running", i)
+	}
+	cmd, err := d.spawn(np)
+	if err != nil {
+		return fmt.Errorf("launch: restart node %d: %w", i, err)
+	}
+	np.cmd = cmd
+	np.frozen = false
+	return nil
+}
+
+// Freeze SIGSTOPs node i: the process stops scheduling but stays alive —
+// TCP connections remain established and peers' writes back up until
+// their write deadlines fire.
+func (d *Deployment) Freeze(i int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	np := d.nodes[i]
+	if np.cmd == nil || np.cmd.Process == nil {
+		return fmt.Errorf("launch: node %d is not running", i)
+	}
+	if err := np.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		return fmt.Errorf("launch: freeze node %d: %w", i, err)
+	}
+	np.frozen = true
+	return nil
+}
+
+// Thaw SIGCONTs a frozen node; it resumes exactly where it stopped.
+func (d *Deployment) Thaw(i int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	np := d.nodes[i]
+	if np.cmd == nil || np.cmd.Process == nil {
+		return fmt.Errorf("launch: node %d is not running", i)
+	}
+	if err := np.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		return fmt.Errorf("launch: thaw node %d: %w", i, err)
+	}
+	np.frozen = false
+	return nil
+}
+
+// Running reports whether node i currently has a live process.
+func (d *Deployment) Running(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nodes[i].cmd != nil
+}
+
 // Stop terminates every node that is still running (SIGTERM, then SIGKILL
-// after a grace period) and reaps the processes. The scratch directory is
-// left in place so failing tests can collect the logs; call Cleanup to
+// after a grace period) and reaps the processes. Frozen nodes are thawed
+// first — a stopped process cannot act on SIGTERM. The scratch directory
+// is left in place so failing tests can collect the logs; call Cleanup to
 // remove it.
 func (d *Deployment) Stop() {
 	d.once.Do(func() {
-		for _, p := range d.procs {
-			if p.Process != nil {
-				p.Process.Signal(syscall.SIGTERM)
+		d.mu.Lock()
+		var live []*exec.Cmd
+		for _, np := range d.nodes {
+			if np.cmd == nil || np.cmd.Process == nil {
+				continue
 			}
+			if np.frozen {
+				np.cmd.Process.Signal(syscall.SIGCONT)
+				np.frozen = false
+			}
+			np.cmd.Process.Signal(syscall.SIGTERM)
+			live = append(live, np.cmd)
 		}
+		d.mu.Unlock()
 		deadline := time.After(5 * time.Second)
 		done := make(chan struct{})
 		go func() {
-			for _, p := range d.procs {
+			for _, p := range live {
 				p.Wait()
 			}
 			close(done)
@@ -172,7 +341,7 @@ func (d *Deployment) Stop() {
 		select {
 		case <-done:
 		case <-deadline:
-			for _, p := range d.procs {
+			for _, p := range live {
 				if p.Process != nil {
 					p.Process.Kill()
 				}
@@ -183,7 +352,7 @@ func (d *Deployment) Stop() {
 }
 
 // Cleanup removes the scratch directory. Call it only on success — the
-// logs are the failure artifact.
+// logs and data dirs are the failure artifact.
 func (d *Deployment) Cleanup() {
 	os.RemoveAll(d.Dir)
 }
@@ -192,8 +361,8 @@ func (d *Deployment) Cleanup() {
 // embedding in a test failure message.
 func (d *Deployment) Logs() string {
 	var sb strings.Builder
-	for i := range d.procs {
-		data, err := os.ReadFile(filepath.Join(d.Dir, "node"+strconv.Itoa(i)+".log"))
+	for i := range d.nodes {
+		data, err := os.ReadFile(d.nodes[i].logPath)
 		if err != nil || len(data) == 0 {
 			continue
 		}

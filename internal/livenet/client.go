@@ -59,21 +59,67 @@ var (
 	_ Deployment = (*Remote)(nil)
 )
 
-// rpcTimeout bounds one controller RPC round-trip.
+// rpcTimeout bounds one controller RPC round-trip when the caller supplied
+// no tighter deadline.
 const rpcTimeout = 30 * time.Second
+
+// ctrlWriteTimeout bounds each controller frame write, so a frozen
+// (SIGSTOP'd) node fails the send instead of wedging the caller.
+const ctrlWriteTimeout = 5 * time.Second
+
+// redialBudget is the per-attempt dial budget of the controller's
+// reconnect loop — short, so the loop observes Stop promptly; the loop
+// itself retries until the node returns or the controller stops.
+const redialBudget = time.Second
+
+// faultViewTimeout bounds each node's slice of a fault-view broadcast; an
+// unresponsive node forfeits the push and catches up on reconnect.
+const faultViewTimeout = 5 * time.Second
+
+// streamLostMark tags the synthetic replies failPending fabricates when a
+// node's stream breaks with RPCs in flight; rpcT retries idempotent
+// requests that failed with it.
+const streamLostMark = "stream lost"
+
+// pendingRPC is one in-flight round-trip, tagged with its target node so a
+// lost node stream fails exactly the RPCs waiting on that node.
+type pendingRPC struct {
+	node int
+	ch   chan wire.Envelope
+}
 
 // Remote drives a deployment whose replicas are separate OS processes
 // (cmd/bayou-node), one wire connection per node. Construct with
 // NewRemote against already-listening node processes; always Stop it.
+//
+// Node connections are resilient: when a node's stream breaks (the process
+// was SIGKILL'd, or a frame failed its checksum and the connection was torn
+// down), the RPCs in flight to that node fail, and a background loop
+// redials until the node — possibly a restarted process recovering from its
+// data dir — accepts again, then re-sends the current fault view so the
+// fresh process knows the partition picture.
 type Remote struct {
 	n       int
 	lease   bool
 	rec     *record.Recorder
 	started time.Time
-	conns   []*wire.Conn
+	addrs   []string
 	seq     atomic.Uint64
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  []*wire.Conn // guarded by connMu; entry replaced on reconnect
+
+	// evApplied[i] is the highest event sequence number applied from node
+	// i's stream. Nodes journal events until acked: every outgoing RPC
+	// carries the counter back (Envelope.AckEv), and a reconnecting — or
+	// restarted — node resends its whole unacked journal, so events whose
+	// first transmission died with a connection or a SIGKILL'd process
+	// arrive on the next stream. Resent duplicates are skipped here by
+	// sequence number. Written only by the node's readLoop goroutine; read
+	// by any RPC sender.
+	evApplied []atomic.Int64
 
 	// maxTS is the largest completion timestamp observed across all nodes.
 	// Every outgoing RPC carries it as the envelope Clock, and the node
@@ -86,9 +132,8 @@ type Remote struct {
 	mu       sync.Mutex
 	sessions map[core.SessionID]int          // guarded by mu
 	nextSess core.SessionID                  // guarded by mu
-	pendRPC  map[uint64]chan wire.Envelope   // guarded by mu
+	pendRPC  map[uint64]pendingRPC           // guarded by mu
 	pendCall map[core.SessionID]*record.Call // guarded by mu
-	readErr  error                           // guarded by mu; first reader failure
 
 	partMu sync.Mutex
 	cells  []int  // guarded by partMu
@@ -127,12 +172,14 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 		lease:    cfg.LeaderLease,
 		rec:      record.New(),
 		started:  time.Now(),
+		addrs:    append([]string(nil), cfg.Addrs...),
 		sessions: make(map[core.SessionID]int, n),
 		nextSess: core.SessionID(n),
-		pendRPC:  make(map[uint64]chan wire.Envelope),
-		pendCall: make(map[core.SessionID]*record.Call),
-		cells:    make([]int, n),
-		down:     make([]bool, n),
+		pendRPC:   make(map[uint64]pendingRPC),
+		pendCall:  make(map[core.SessionID]*record.Call),
+		cells:     make([]int, n),
+		down:      make([]bool, n),
+		evApplied: make([]atomic.Int64, n),
 	}
 	if cfg.LeaderLease {
 		r.rec.EnableLeaseTracking()
@@ -149,6 +196,7 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 			}
 			return nil, fmt.Errorf("livenet: node %d: %w", i, err)
 		}
+		conn.SetWriteTimeout(ctrlWriteTimeout)
 		r.conns = append(r.conns, conn)
 	}
 	for i := 0; i < n; i++ {
@@ -166,39 +214,126 @@ func NewRemote(cfg RemoteConfig) (*Remote, error) {
 // invocation's events before its reply on the same connection, so by the
 // time an invoke RPC returns the completion is recorded — the same
 // ordering the in-process host gets from running observe synchronously.
+//
+// A stream failure — the node process died, its connection reset, or a
+// frame arrived corrupt (wire.ErrCorrupt: the stream is no longer at a
+// frame boundary and cannot be resumed) — fails this node's in-flight RPCs
+// and enters the redial loop; the loop survives any number of node
+// restarts and exits only on Stop.
 func (r *Remote) readLoop(node int) {
-	conn := r.conns[node]
+	for {
+		conn := r.conn(node)
+		r.drainConn(node, conn)
+		if r.stopped.Load() {
+			return
+		}
+		conn.Close()
+		r.failPending(node)
+		hello := wire.Envelope{Kind: wire.KindHello, From: wire.ControllerID}
+		for {
+			if r.stopped.Load() {
+				return
+			}
+			fresh, err := wire.Dial(r.addrs[node], hello, redialBudget)
+			if err != nil {
+				continue
+			}
+			fresh.SetWriteTimeout(ctrlWriteTimeout)
+			if !r.setConn(node, fresh) {
+				return
+			}
+			// A reconnected process (possibly freshly restarted) needs the
+			// current fault picture; its reply drains through this loop.
+			go r.sendFaultView(node)
+			break
+		}
+	}
+}
+
+// drainConn applies frames from one connection until it fails.
+func (r *Remote) drainConn(node int, conn *wire.Conn) {
 	for {
 		var env wire.Envelope
 		if err := conn.Recv(&env); err != nil {
-			r.mu.Lock()
-			if r.readErr == nil && !r.stopped.Load() {
-				r.readErr = fmt.Errorf("livenet: node %d stream: %w", node, err)
-			}
-			// Unblock every RPC still waiting on this node.
-			for seq, ch := range r.pendRPC {
-				select {
-				case ch <- wire.Envelope{Kind: wire.KindReply, Seq: seq, Err: ErrStopped.Error()}:
-				default:
-				}
-			}
-			r.mu.Unlock()
 			return
 		}
 		switch env.Kind {
 		case wire.KindEvents:
-			for _, ev := range env.Events {
+			// Events carry absolute sequence numbers (the frame's last is
+			// EvSeq); a reconnected or restarted node resends its whole
+			// unacked journal, so skip what this controller already
+			// applied — replaying a stale completion against a session's
+			// NEW pending call would complete it with the old call's dot.
+			applied := r.evApplied[node].Load()
+			first := env.EvSeq - int64(len(env.Events)) + 1
+			for i, ev := range env.Events {
+				if first+int64(i) <= applied {
+					continue
+				}
 				r.applyEvent(ev)
+			}
+			if env.EvSeq > applied {
+				r.evApplied[node].Store(env.EvSeq)
 			}
 		case wire.KindReply:
 			r.mu.Lock()
-			ch := r.pendRPC[env.Seq]
+			pend, ok := r.pendRPC[env.Seq]
 			delete(r.pendRPC, env.Seq)
 			r.mu.Unlock()
-			if ch != nil {
-				ch <- env
+			if ok {
+				pend.ch <- env
 			}
 		}
+	}
+}
+
+// failPending resolves every RPC in flight to one node with an error: its
+// stream is gone, so no reply is coming.
+func (r *Remote) failPending(node int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for seq, pend := range r.pendRPC {
+		if pend.node != node {
+			continue
+		}
+		delete(r.pendRPC, seq)
+		select {
+		case pend.ch <- wire.Envelope{Kind: wire.KindReply, Seq: seq, Err: fmt.Sprintf("livenet: node %d %s", node, streamLostMark)}:
+		default:
+		}
+	}
+}
+
+// conn returns the node's current connection.
+func (r *Remote) conn(node int) *wire.Conn {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	return r.conns[node]
+}
+
+// setConn installs a fresh connection for a node. It refuses (closing the
+// connection) once the controller has stopped, so a redial racing Stop
+// cannot install a stream nobody will ever close.
+func (r *Remote) setConn(node int, c *wire.Conn) bool {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.stopped.Load() {
+		c.Close()
+		return false
+	}
+	r.conns[node] = c
+	return true
+}
+
+// sendFaultView pushes the controller's current fault picture to one node.
+func (r *Remote) sendFaultView(node int) {
+	r.partMu.Lock()
+	env := wire.Envelope{Kind: wire.KindFaultView, Cells: append([]int(nil), r.cells...), Down: append([]bool(nil), r.down...)}
+	r.partMu.Unlock()
+	if _, err := r.rpcT(node, &env, rpcTimeout); err != nil && !r.stopped.Load() {
+		// Best effort: the node may have died again; the next reconnect
+		// repeats the push.
+		_ = err
 	}
 }
 
@@ -238,42 +373,97 @@ func (r *Remote) applyEvent(ev wire.Event) {
 
 func (r *Remote) wall() int64 { return time.Since(r.started).Microseconds() }
 
-// rpc runs one round-trip against a node.
+// rpc runs one round-trip against a node under the default deadline.
 func (r *Remote) rpc(node int, env *wire.Envelope) (wire.Envelope, error) {
+	return r.rpcT(node, env, rpcTimeout)
+}
+
+// rpcT runs one round-trip against a node, bounded by the caller's
+// deadline — a wedged node (SIGSTOP'd, or silently dropping frames)
+// surfaces ErrTimeout to Inspect/Quiesce instead of hanging the controller.
+// Within the deadline it rides out stream loss: a send that never left
+// this process is always safe to retry on the redialed stream, and a
+// request that did leave retries only when re-asking is harmless — Invoke
+// plants an operation, every other kind is a read-only probe.
+func (r *Remote) rpcT(node int, env *wire.Envelope, timeout time.Duration) (wire.Envelope, error) {
 	if r.stopped.Load() {
 		return wire.Envelope{}, ErrStopped
 	}
+	if timeout <= 0 {
+		timeout = rpcTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	idempotent := env.Kind != wire.KindInvoke
+	for {
+		reply, sent, err := r.rpcOnce(node, env, deadline)
+		if err == nil {
+			return reply, nil
+		}
+		if r.stopped.Load() || time.Now().After(deadline) {
+			return reply, err
+		}
+		if !sent || (idempotent && strings.Contains(err.Error(), streamLostMark)) {
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		return reply, err
+	}
+}
+
+// rpcOnce is a single attempt: stamp a fresh sequence number, send, wait.
+// sent reports whether the request left this process — a false return can
+// never have reached the node.
+func (r *Remote) rpcOnce(node int, env *wire.Envelope, deadline time.Time) (_ wire.Envelope, sent bool, _ error) {
 	env.Seq = r.seq.Add(1)
 	env.Clock = r.maxTS.Load()
+	env.AckEv = r.evApplied[node].Load()
 	ch := make(chan wire.Envelope, 1)
 	r.mu.Lock()
-	if r.readErr != nil {
-		err := r.readErr
-		r.mu.Unlock()
-		return wire.Envelope{}, err
-	}
-	r.pendRPC[env.Seq] = ch
+	r.pendRPC[env.Seq] = pendingRPC{node: node, ch: ch}
 	r.mu.Unlock()
-	if err := r.conns[node].Send(env); err != nil {
+	conn := r.conn(node)
+	if err := conn.Send(env); err != nil {
+		// A failed send may have left a partial frame on the stream; close
+		// so the read loop tears down and redials rather than desyncing.
+		conn.Close()
 		r.mu.Lock()
 		delete(r.pendRPC, env.Seq)
 		r.mu.Unlock()
-		return wire.Envelope{}, fmt.Errorf("livenet: rpc to node %d: %w", node, err)
+		return wire.Envelope{}, false, fmt.Errorf("livenet: rpc to node %d: %w", node, err)
 	}
-	timer := time.NewTimer(rpcTimeout)
+	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case reply := <-ch:
 		if reply.Err != "" {
-			return reply, remoteError(reply.Err)
+			return reply, true, remoteError(reply.Err)
 		}
-		return reply, nil
+		return reply, true, nil
 	case <-timer.C:
 		r.mu.Lock()
 		delete(r.pendRPC, env.Seq)
 		r.mu.Unlock()
-		return wire.Envelope{}, fmt.Errorf("livenet: rpc to node %d: %w", node, ErrTimeout)
+		return wire.Envelope{}, true, fmt.Errorf("livenet: rpc to node %d: %w", node, ErrTimeout)
 	}
+}
+
+// Durability asks one node process how it came up: whether boot restored a
+// local snapshot (and which generation), how many saves it has made since,
+// and how many peer state transfers it accepted — the counters that verify
+// a restarted node recovered from its own disk rather than by the grace of
+// its peers.
+func (r *Remote) Durability(replica int, timeout time.Duration) (wire.Durability, error) {
+	if replica < 0 || replica >= r.n {
+		return wire.Durability{}, fmt.Errorf("livenet: no replica %d", replica)
+	}
+	reply, err := r.rpcT(replica, &wire.Envelope{Kind: wire.KindDurability}, timeout)
+	if err != nil {
+		return wire.Durability{}, err
+	}
+	if reply.Durab == nil {
+		return wire.Durability{}, errors.New("livenet: node sent no durability report")
+	}
+	return *reply.Durab, nil
 }
 
 // remoteError rehydrates the sentinel errors the façade and the tests
@@ -432,7 +622,7 @@ func (r *Remote) SessionCovered(sess core.SessionID, replica int, timeout time.D
 		return false, nil
 	}
 	read, write, _ := r.rec.Demands(sess, true)
-	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindCovered, Read: read, Write: write})
+	reply, err := r.rpcT(replica, &wire.Envelope{Kind: wire.KindCovered, Read: read, Write: write}, timeout)
 	if err != nil {
 		return false, err
 	}
@@ -444,7 +634,7 @@ func (r *Remote) Read(replica int, key string, timeout time.Duration) (spec.Valu
 	if replica < 0 || replica >= r.n {
 		return nil, fmt.Errorf("livenet: no replica %d", replica)
 	}
-	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindRead, Key: key})
+	reply, err := r.rpcT(replica, &wire.Envelope{Kind: wire.KindRead, Key: key}, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -456,7 +646,7 @@ func (r *Remote) Committed(replica int, timeout time.Duration) ([]core.Req, erro
 	if replica < 0 || replica >= r.n {
 		return nil, fmt.Errorf("livenet: no replica %d", replica)
 	}
-	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindCommitted})
+	reply, err := r.rpcT(replica, &wire.Envelope{Kind: wire.KindCommitted}, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +657,7 @@ func (r *Remote) Committed(replica int, timeout time.Duration) ([]core.Req, erro
 func (r *Remote) Stats(timeout time.Duration) (map[core.ReplicaID]core.Stats, error) {
 	out := make(map[core.ReplicaID]core.Stats, r.n)
 	for i := 0; i < r.n; i++ {
-		reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindStats})
+		reply, err := r.rpcT(i, &wire.Envelope{Kind: wire.KindStats}, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -480,7 +670,7 @@ func (r *Remote) Stats(timeout time.Duration) (map[core.ReplicaID]core.Stats, er
 func (r *Remote) Compact(timeout time.Duration) (int, error) {
 	total := 0
 	for i := 0; i < r.n; i++ {
-		reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindCompact})
+		reply, err := r.rpcT(i, &wire.Envelope{Kind: wire.KindCompact}, timeout)
 		if err != nil {
 			return total, err
 		}
@@ -496,7 +686,7 @@ func (r *Remote) Checkpoint(timeout time.Duration) (int, error) {
 		if r.Crashed(i) {
 			continue
 		}
-		reply, err := r.rpc(i, &wire.Envelope{Kind: wire.KindCheckpoint})
+		reply, err := r.rpcT(i, &wire.Envelope{Kind: wire.KindCheckpoint}, timeout)
 		if err != nil {
 			return total, err
 		}
@@ -507,7 +697,7 @@ func (r *Remote) Checkpoint(timeout time.Duration) (int, error) {
 
 // BaseLen reports a replica's checkpointed-prefix length.
 func (r *Remote) BaseLen(replica int, timeout time.Duration) (int, error) {
-	reply, err := r.rpc(replica, &wire.Envelope{Kind: wire.KindBaseLen})
+	reply, err := r.rpcT(replica, &wire.Envelope{Kind: wire.KindBaseLen}, timeout)
 	if err != nil {
 		return 0, err
 	}
@@ -602,20 +792,23 @@ func (r *Remote) Heal() error {
 }
 
 // broadcastFaultView ships the current cells+down picture to every node
-// (crashed nodes too: they need the view current when they recover).
+// (crashed nodes too: they need the view current when they recover). The
+// push is best-effort per node: a node that is unreachable — SIGKILLed,
+// frozen, mid-redial — gets the then-current view again when its stream
+// reconnects (see readLoop), so a dead process cannot fail a partition of
+// the live ones.
 func (r *Remote) broadcastFaultView() error {
 	r.partMu.Lock()
 	cells := append([]int(nil), r.cells...)
 	down := append([]bool(nil), r.down...)
 	r.partMu.Unlock()
-	var firstErr error
 	for i := 0; i < r.n; i++ {
 		env := wire.Envelope{Kind: wire.KindFaultView, Cells: cells, Down: down}
-		if _, err := r.rpc(i, &env); err != nil && firstErr == nil {
-			firstErr = err
+		if _, err := r.rpcT(i, &env, faultViewTimeout); err != nil && !r.stopped.Load() {
+			_ = err // re-pushed on reconnect
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // Quiesce blocks until the deployment has settled (see Cluster.Quiesce).
@@ -678,12 +871,12 @@ func (r *Remote) Stop() {
 	if !r.stopped.CompareAndSwap(false, true) {
 		return
 	}
+	r.connMu.Lock()
 	for i := 0; i < r.n; i++ {
 		env := wire.Envelope{Kind: wire.KindShutdown, Seq: r.seq.Add(1)}
 		_ = r.conns[i].Send(&env) // best effort; the reply may race the close below
+		r.conns[i].Close()
 	}
-	for _, c := range r.conns {
-		c.Close()
-	}
+	r.connMu.Unlock()
 	r.wg.Wait()
 }

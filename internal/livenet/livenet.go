@@ -1091,6 +1091,47 @@ func (n *node) recover() {
 	n.settleLocal()
 }
 
+// antiEntropy is one background repair tick (remote substrate only; the
+// in-process fabric never loses frames, so Cluster never calls it): ask one
+// peer, round-robin across ticks, for retransmission from the local commit
+// cursor — the same idempotent handshake recovery uses, re-driven
+// periodically so frames lost to corruption teardowns, write timeouts, or
+// the fault injector are repaired without an explicit recovery event. The
+// sequencer additionally stamps any TOB-cast request it has learned via RB
+// but never received the forward for.
+func (n *node) antiEntropy(cursor *int) {
+	if n.down || n.n <= 1 {
+		return
+	}
+	if n.id == 0 {
+		n.stampTentative()
+	}
+	t := *cursor % n.n
+	if t == int(n.id) {
+		t = (t + 1) % n.n
+	}
+	*cursor = t + 1
+	n.h.sendPeer(int(n.id), t, message{kind: msgResync, from: n.id, commitNo: n.nextCommit})
+}
+
+// stampTentative commits requests the sequencer knows only tentatively.
+// Every request on a tentative list was TOB-cast by its origin (weak
+// updates broadcast and forward together), so a tentative entry with no
+// stamp and no committed record means the forward frame was lost — and
+// stamping from the RB copy is indistinguishable from receiving it: the
+// stamp filter dedups the forward if it does arrive later.
+func (n *node) stampTentative() {
+	var stale []core.Req
+	for _, r := range n.replica.Tentative() {
+		if !n.stamped[r.ID()] && !n.replica.KnownCommitted(r.Dot) {
+			stale = append(stale, r)
+		}
+	}
+	if len(stale) > 0 {
+		n.stampBatch(stale)
+	}
+}
+
 // answerResync retransmits to a recovering peer: every tentative request
 // this node holds (the requester's duplicate filters drop what it already
 // knows) as one batched delivery, plus — on the sequencer — the commit log

@@ -2,12 +2,15 @@ package livenet
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bayou/internal/core"
+	"bayou/internal/store"
 	"bayou/internal/wire"
 )
 
@@ -38,7 +41,38 @@ type NodeConfig struct {
 	// len(Addrs) is the deployment size and Addrs[ID] is this node's
 	// listen address.
 	Addrs []string
+
+	// DataDir is the node's stable storage (empty: fully volatile, the
+	// pre-durability behavior). With a data dir the node persists its
+	// durable image once per dirty burst and before every invoke reply,
+	// and a restarted process restores from the newest intact generation
+	// instead of bootstrapping from peers.
+	DataDir string
+	// Keep bounds the snapshot generations retained (0: store.DefaultKeep).
+	Keep int
+
+	// Seed governs every stochastic choice this node makes (dial-backoff
+	// jitter, injected faults), so a multi-process schedule replays from
+	// the per-node seeds alone.
+	Seed int64
+	// Chaos, when enabled, attaches a seeded frame fault injector to every
+	// peer link (controller links are never injected).
+	Chaos wire.FaultConfig
+
+	// AntiEntropyEvery paces the background repair tick: each tick asks one
+	// peer (round-robin) for retransmission from the local commit cursor,
+	// and on the sequencer additionally stamps TOB-cast requests whose
+	// forward frame was lost. Zero disables it; lossless transports
+	// (in-process, clean TCP) converge without it, a chaos deployment needs
+	// it to re-drive frames the injector dropped.
+	AntiEntropyEvery time.Duration
 }
+
+// peerWriteTimeout bounds each peer-bound frame write so a frozen
+// (SIGSTOP'd) receiver surfaces a send error — tearing down the link and
+// losing the frame like a drop — instead of wedging the sender's goroutine
+// once kernel buffers fill.
+const peerWriteTimeout = 2 * time.Second
 
 // heldEnv is an envelope parked on a partition boundary.
 type heldEnv struct {
@@ -46,11 +80,19 @@ type heldEnv struct {
 	env wire.Envelope
 }
 
+// peerQueueCap bounds the frames queued toward one peer while it is slow,
+// partitioned away at the TCP level, or dead. Overflow drops the frame —
+// loss the protocol already tolerates (receivers dedup; resync and
+// anti-entropy repair real gaps) — so an unreachable peer can never wedge
+// the node goroutine behind a dial backoff.
+const peerQueueCap = 4096
+
 // remoteNode hosts one replica over the wire transport; it implements host.
 type remoteNode struct {
 	cfg   NodeConfig
 	nd    *node
 	links []*wire.Link
+	sendq []chan wire.Envelope // per-peer outbound pumps; nil at own index
 
 	// clock is the node's Lamport clock: local timestamps are minted by
 	// incrementing it, and every received envelope's Clock stamp merges in
@@ -60,18 +102,54 @@ type remoteNode struct {
 	// causality; the dot still breaks exact ties.
 	clock atomic.Int64
 
-	// Controller link: events buffer between bursts and flush before any
-	// RPC reply so the controller applies them in emission order.
-	evMu  sync.Mutex
-	evBuf []wire.Event  // guarded by evMu
-	ctrl  *wire.Conn    // guarded by evMu; current controller connection
-	quit  chan struct{} // closed on shutdown RPC
+	// Controller link: events journal between bursts and flush before any
+	// RPC reply so the controller applies them in emission order. The
+	// journal is an acknowledged stream — every event has an absolute
+	// sequence number (evBase+1 .. evBase+len(evLog) are outstanding),
+	// entries retire only when a controller RPC acks them applied, the
+	// whole unacked suffix resends on every controller reconnect, and the
+	// suffix persists inside the NodeImage — so neither a dead connection
+	// (a frame flushed into a socket nobody drains) nor a SIGKILL between
+	// flush and delivery can lose a completion the recorder still needs.
+	evMu   sync.Mutex
+	evLog  []wire.Event  // guarded by evMu; unacked journal suffix
+	evBase int64         // guarded by evMu; events acked and retired
+	evSent int64         // guarded by evMu; highest seq sent on the current ctrl conn
+	ctrl   *wire.Conn    // guarded by evMu; current controller connection
+	quit   chan struct{} // closed on shutdown RPC
+
+	// evDurable gates the flush: the highest sequence number covered by a
+	// completed persist (MaxInt64 without a data dir — nothing survives a
+	// crash there, so nothing is gated). Flushing only durable events keeps
+	// the invariant the controller's dedup depends on: every sequence
+	// number it has applied is in the newest on-disk image, so a restarted
+	// process can never re-mint an applied number for a different event.
+	// Without the gate a concurrent inspect reply could ship a mid-burst
+	// event before endBurst persists it; a SIGKILL in that window would
+	// regress the restored counter below the controller's cursor and its
+	// dedup would then silently swallow fresh post-restart events.
+	evDurable int64 // guarded by evMu
 
 	// Fault view, as last broadcast by the controller.
 	partMu sync.Mutex
 	cells  []int     // guarded by partMu
 	down   []bool    // guarded by partMu
 	held   []heldEnv // guarded by partMu
+
+	// Stable storage (nil without a data dir). lastFP and outbound are
+	// touched on the node goroutine only: persist runs there (endBurst and
+	// the pre-reply sync), sendPeer records forwards there, observe retires
+	// them there.
+	st       *store.Store
+	lastFP   fingerprint         // node-goroutine only
+	outbound map[string]core.Req // node-goroutine only; forwarded, not yet committed
+
+	// Recovery scorecard, served by the KindDurability RPC. loaded/loadedGen
+	// are written once before the node goroutine starts.
+	loaded    bool
+	loadedGen int64
+	saves     atomic.Int64
+	xfersIn   atomic.Int64
 }
 
 // ServeNode hosts one replica process: it listens on cfg.Addrs[cfg.ID],
@@ -95,21 +173,84 @@ func ServeNode(cfg NodeConfig) error {
 	defer ln.Close()
 
 	r := &remoteNode{
-		cfg:   cfg,
-		quit:  make(chan struct{}),
-		cells: make([]int, n),
-		down:  make([]bool, n),
+		cfg:      cfg,
+		quit:     make(chan struct{}),
+		cells:    make([]int, n),
+		down:     make([]bool, n),
+		outbound: make(map[string]core.Req),
 	}
 	for i := 0; i < n; i++ {
 		var link *wire.Link
 		if i != cfg.ID {
 			link = wire.NewLink(cfg.Addrs[i], wire.Envelope{Kind: wire.KindHello, From: cfg.ID})
+			// Jitter seeds derive from (node seed, peer id) so no two links
+			// — on this node or its siblings booted from related seeds —
+			// share a backoff schedule: a restarted node's peers redial it
+			// spread out instead of in lockstep.
+			link.SetDialJitter(cfg.Seed*1_000_003 + int64(cfg.ID)*64 + int64(i) + 1)
+			link.SetWriteTimeout(peerWriteTimeout)
+			if cfg.Chaos.Enabled() {
+				link.SetFaults(cfg.Chaos.Derive(int64(cfg.ID)*64 + int64(i)))
+			}
 		}
 		r.links = append(r.links, link)
+		var q chan wire.Envelope
+		if i != cfg.ID {
+			q = make(chan wire.Envelope, peerQueueCap)
+		}
+		r.sendq = append(r.sendq, q)
+	}
+	for i := 0; i < n; i++ {
+		if i != cfg.ID {
+			go r.pumpPeer(i)
+		}
+	}
+
+	// Stable storage: load the newest intact generation before the node
+	// goroutine exists, so the restored state is never observed half-built.
+	var img NodeImage
+	if cfg.DataDir == "" {
+		// Volatile node: no persist will ever run, so the flush gate must
+		// stand open or no event would ever leave the process.
+		r.evDurable = math.MaxInt64
+	}
+	if cfg.DataDir != "" {
+		st, loaded, gen, ok, err := loadImage(cfg.DataDir, cfg.Keep)
+		if err != nil {
+			return fmt.Errorf("livenet: node %d storage: %w", cfg.ID, err)
+		}
+		r.st = st
+		if ok {
+			img = loaded
+			r.loaded = true
+			r.loadedGen = gen
+			// The Lamport clock resumes past the persisted watermark;
+			// peer and controller frames merge in anything newer.
+			r.clock.Store(img.Snap.LastTS)
+			// The unacked event journal resumes too: events flushed before
+			// the crash but never applied by the controller resend on its
+			// first (re)connection, and anything it did apply is dropped
+			// by its sequence-number dedup.
+			r.evBase = img.EvBase
+			r.evLog = img.EvLog
+			r.evSent = img.EvBase
+			r.evDurable = img.EvBase + int64(len(img.EvLog))
+		}
 	}
 	r.nd = newNode(core.ReplicaID(cfg.ID), n, variant, r, func() int64 {
 		return r.clock.Add(1)
 	}, cfg.LeaderLease, cfg.CheckpointEvery)
+	if r.loaded {
+		r.nd.bootRestore(img)
+	}
+
+	// Bootstrap, queued as the node's first message: re-announce what only
+	// this node's disk still knows, then ask every peer for retransmission
+	// from the restored commit cursor (1 on a fresh boot — the late-joiner
+	// handshake; past the durable prefix after a restore, so recovery is a
+	// snapshot load plus a delta, not a full state transfer).
+	bootDone := make(chan struct{})
+	r.nd.inbox <- message{kind: msgInspect, inspect: func(nd *node) { nd.bootAnnounce(img) }, done: bootDone}
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -117,15 +258,12 @@ func ServeNode(cfg NodeConfig) error {
 		defer wg.Done()
 		r.nd.run()
 	}()
-
-	// Bootstrap: ask every peer for retransmission. A fresh deployment
-	// answers with nothing; a node joining late gets the tentative
-	// suffixes, and from the sequencer a checkpoint image plus the commit
-	// run past it.
-	for peer := 0; peer < n; peer++ {
-		if peer != cfg.ID {
-			r.sendPeer(cfg.ID, peer, message{kind: msgResync, from: core.ReplicaID(cfg.ID), commitNo: 1})
-		}
+	if cfg.AntiEntropyEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.antiEntropyLoop(cfg.AntiEntropyEvery)
+		}()
 	}
 
 	go func() {
@@ -139,12 +277,46 @@ func ServeNode(cfg NodeConfig) error {
 			case <-r.quit: // orderly shutdown
 				close(r.nd.stop)
 				wg.Wait()
+				// Final save: a graceful stop leaves the newest state on
+				// disk even if the last burst's save raced the shutdown.
+				// The node goroutine has exited, so the direct call is safe.
+				r.persist(r.nd)
 				return nil
 			default:
 				return fmt.Errorf("livenet: node %d accept: %w", cfg.ID, err)
 			}
 		}
 		go r.serveConn(wire.Wrap(c))
+	}
+}
+
+// antiEntropyLoop drives the repair tick on the node goroutine until
+// shutdown. The tick itself (node.antiEntropy) is a no-op on a crashed
+// automaton.
+func (r *remoteNode) antiEntropyLoop(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	cursor := 0
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-r.nd.stop:
+			return
+		case <-tick.C:
+			done := make(chan struct{})
+			r.deliver(message{kind: msgInspect, inspect: func(n *node) {
+				n.antiEntropy(&cursor)
+				r.reforwardOutbound(n)
+			}, done: done})
+			select {
+			case <-done:
+			case <-r.quit:
+				return
+			case <-r.nd.stop:
+				return
+			}
+		}
 	}
 }
 
@@ -159,6 +331,12 @@ func (r *remoteNode) serveConn(conn *wire.Conn) {
 	if hello.From == wire.ControllerID {
 		r.evMu.Lock()
 		r.ctrl = conn
+		// A fresh controller stream restarts from the last ack: whatever
+		// was sent on the old connection may have died in its socket
+		// buffers, and the controller skips what it did apply by sequence
+		// number, so resending the whole unacked suffix is always right.
+		r.evSent = r.evBase
+		r.flushLocked()
 		r.evMu.Unlock()
 		r.serveController(conn)
 		return
@@ -183,6 +361,10 @@ func (r *remoteNode) servePeer(conn *wire.Conn) {
 		case wire.KindCommitBatch:
 			m = message{kind: msgCommitBatch, commitNo: env.CommitNo, reqs: env.Reqs}
 		case wire.KindStateXfer:
+			// Counted on receipt (installed or not): the durable-restart
+			// test asserts recovery needed zero transfers, and "one arrived
+			// but was stale" would already falsify that claim.
+			r.xfersIn.Add(1)
 			m = message{kind: msgStateXfer, commitNo: env.CommitNo, ckpt: env.Ckpt}
 		case wire.KindResync:
 			m = message{kind: msgResync, from: core.ReplicaID(env.From), commitNo: env.CommitNo}
@@ -211,6 +393,7 @@ func (r *remoteNode) serveController(conn *wire.Conn) {
 			return
 		}
 		r.mergeClock(env.Clock)
+		r.ackEvents(env.AckEv)
 		switch env.Kind {
 		case wire.KindInvoke:
 			go r.handleInvoke(conn, env)
@@ -251,6 +434,16 @@ func (r *remoteNode) serveController(conn *wire.Conn) {
 			read, write := env.Read, env.Write
 			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
 				out.Bool = n.replica.CoversSession(read, write)
+			})
+		case wire.KindDurability:
+			r.handleInspect(conn, env.Seq, func(n *node, out *wire.Envelope) {
+				out.Durab = &wire.Durability{
+					Loaded:    r.loaded,
+					Gen:       r.loadedGen,
+					Saves:     r.saves.Load(),
+					XfersIn:   r.xfersIn.Load(),
+					Committed: int64(n.replica.CommittedLen()),
+				}
 			})
 		case wire.KindCrash, wire.KindRecover:
 			go r.handleControl(conn, env)
@@ -294,6 +487,9 @@ func (r *remoteNode) handleInvoke(conn *wire.Conn, env wire.Envelope) {
 	case <-r.nd.stop:
 		out.Err = ErrStopped.Error()
 	}
+	// Persist before the reply externalizes the invocation: once the
+	// controller sees the acceptance, a SIGKILL must not unmint it.
+	r.syncPersist()
 	r.reply(conn, &out)
 }
 
@@ -354,8 +550,45 @@ func (r *remoteNode) applyFaultView(cells []int, down []bool) {
 	r.held = keep
 	r.partMu.Unlock()
 	for _, h := range release {
-		if err := r.links[h.to].Send(&h.env); err != nil {
-			fmt.Fprintf(os.Stderr, "bayou-node %d: release to %d: %v\n", r.cfg.ID, h.to, err)
+		r.enqueue(h.to, h.env)
+	}
+}
+
+// enqueue hands a frame to the peer's outbound pump without blocking; a
+// full queue (the peer has been unreachable long enough to back up
+// peerQueueCap frames) drops it like a dead link drops a datagram.
+func (r *remoteNode) enqueue(to int, env wire.Envelope) {
+	select {
+	case r.sendq[to] <- env:
+	default:
+		fmt.Fprintf(os.Stderr, "bayou-node %d: queue to %d full, dropping %v frame\n", r.cfg.ID, to, env.Kind)
+	}
+}
+
+// pumpPeer drains one peer's outbound queue onto its link. The pump — not
+// the node goroutine — absorbs dial backoff when the peer is down, and
+// after a failed send it discards the backlog wholesale: those frames
+// were addressed to a process that is gone, and the boot resync plus
+// anti-entropy retransmit whatever still matters when it returns.
+func (r *remoteNode) pumpPeer(to int) {
+	for {
+		select {
+		case env := <-r.sendq[to]:
+			if err := r.links[to].Send(&env); err != nil {
+				dropped := 1
+				for {
+					select {
+					case <-r.sendq[to]:
+						dropped++
+						continue
+					default:
+					}
+					break
+				}
+				fmt.Fprintf(os.Stderr, "bayou-node %d: send to %d: %v (%d frames dropped)\n", r.cfg.ID, to, err, dropped)
+			}
+		case <-r.quit:
+			return
 		}
 	}
 }
@@ -371,8 +604,18 @@ func (r *remoteNode) mergeClock(ts int64) {
 }
 
 // sendPeer implements host over the per-peer links, parking cross-cell
-// traffic under the current fault view.
+// traffic under the current fault view. Runs on the node goroutine (every
+// caller is node code), so the outbound record needs no lock.
 func (r *remoteNode) sendPeer(from, to int, m message) {
+	if m.kind == msgForward {
+		// Record TOB casts leaving this node: a frame lost in flight — to a
+		// dead peer or to wire corruption — is this node's to re-drive
+		// (anti-entropy re-forwards, boot re-announces), and under
+		// Algorithm 2 a pending strong request lives nowhere else.
+		for _, rq := range m.reqs {
+			r.outbound[rq.ID()] = rq
+		}
+	}
 	env := wire.Envelope{From: from, CommitNo: m.commitNo, Reqs: m.reqs, Ckpt: m.ckpt, Clock: r.clock.Load()}
 	switch m.kind {
 	case msgRBDeliver:
@@ -396,19 +639,18 @@ func (r *remoteNode) sendPeer(from, to int, m message) {
 		return
 	}
 	r.partMu.Unlock()
-	if err := r.links[to].Send(&env); err != nil {
-		// The peer is unreachable past the reconnect budget: the frame is
-		// lost like a dropped datagram; the resync handshake repairs real
-		// gaps when the peer returns.
-		fmt.Fprintf(os.Stderr, "bayou-node %d: send to %d: %v\n", r.cfg.ID, to, err)
-	}
+	r.enqueue(to, env)
 }
 
 // observe implements host: events buffer locally and flush as one frame
 // per burst (or before any RPC reply).
 func (r *remoteNode) observe(ev obsEvent) {
+	if ev.kind == obsTOB {
+		// The cast is committed; its outbound record has done its job.
+		delete(r.outbound, ev.dot.String())
+	}
 	r.evMu.Lock()
-	r.evBuf = append(r.evBuf, wire.Event{
+	r.evLog = append(r.evLog, wire.Event{
 		EKind: int(ev.kind),
 		Sess:  int64(ev.sess),
 		Dot:   ev.dot,
@@ -421,23 +663,67 @@ func (r *remoteNode) observe(ev obsEvent) {
 	r.evMu.Unlock()
 }
 
-// endBurst implements host: the burst's events ship as one frame.
-func (r *remoteNode) endBurst() { r.flushEvents() }
+// ackEvents retires the journal prefix the controller has confirmed
+// applied (AckEv rides every controller RPC request).
+func (r *remoteNode) ackEvents(ack int64) {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	if ack <= r.evBase {
+		return
+	}
+	if top := r.evBase + int64(len(r.evLog)); ack > top {
+		ack = top
+	}
+	r.evLog = append([]wire.Event(nil), r.evLog[ack-r.evBase:]...)
+	r.evBase = ack
+	if r.evSent < ack {
+		r.evSent = ack
+	}
+}
 
-// flushEvents sends the buffered events to the controller, preserving
-// emission order (one writer at a time; the controller applies frames
-// sequentially).
+// endBurst implements host: persist first (anything the events externalize
+// is then already on disk), then the burst's events ship as one frame.
+// Runs on the node goroutine.
+func (r *remoteNode) endBurst() {
+	r.persist(r.nd)
+	r.flushEvents()
+}
+
+// flushEvents sends the journal's unsent suffix to the controller,
+// preserving emission order (one writer at a time; the controller applies
+// frames sequentially).
 func (r *remoteNode) flushEvents() {
 	r.evMu.Lock()
 	defer r.evMu.Unlock()
-	if len(r.evBuf) == 0 || r.ctrl == nil {
+	r.flushLocked()
+}
+
+// flushLocked is flushEvents with evMu already held. A failed send keeps
+// the journal intact: the connection is dead, and the next controller
+// connection restarts the stream from the last ack. Only events a
+// completed persist covers are sent (evDurable): an event the controller
+// applies must already be on disk, or a SIGKILL before the next save
+// would restore a sequence counter behind the controller's dedup cursor
+// and fresh post-restart events would be swallowed as duplicates.
+func (r *remoteNode) flushLocked() {
+	top := r.evBase + int64(len(r.evLog))
+	if top > r.evDurable {
+		top = r.evDurable // the rest ships after endBurst persists it
+	}
+	if r.ctrl == nil || r.evSent >= top {
 		return
 	}
-	env := wire.Envelope{Kind: wire.KindEvents, Events: r.evBuf, Clock: r.clock.Load()}
+	env := wire.Envelope{
+		Kind:   wire.KindEvents,
+		Events: r.evLog[r.evSent-r.evBase : top-r.evBase],
+		EvSeq:  top,
+		Clock:  r.clock.Load(),
+	}
 	if err := r.ctrl.Send(&env); err != nil {
 		fmt.Fprintf(os.Stderr, "bayou-node %d: event stream: %v\n", r.cfg.ID, err)
+		return
 	}
-	r.evBuf = nil
+	r.evSent = top
 }
 
 // reply flushes pending events, then sends an RPC reply — the order that

@@ -1,0 +1,284 @@
+// Package store is the stable storage of a replica process: atomic,
+// checksummed, generation-versioned snapshot files. Each Save gob-encodes
+// one value, frames it with a magic/version header, a length and a CRC32C
+// (Castagnoli — the polynomial with hardware support on every platform the
+// repo targets), writes it to a temporary file in the same directory,
+// fsyncs, and renames it into place — so a crash at any instant leaves
+// either the previous generation or a complete new one, never a half
+// snapshot under the live name. The newest N generations are kept; Load
+// walks them newest-first and silently skips any file that is torn,
+// truncated or bit-rotted (the checksum catches all three), so recovery
+// degrades one rung at a time: newest generation → previous generation →
+// "nothing durable here, bootstrap from peers" (ok=false).
+//
+// The package knows nothing about what it stores: values are any
+// gob-encodable type (interface-typed fields need their concrete types
+// registered by the caller, as internal/wire does for the protocol types).
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Suffix is the snapshot file extension; .gitignore and the CI oversize
+// guard key on it.
+const Suffix = ".bayou-snap"
+
+// DefaultKeep is how many generations Open retains when the caller passes
+// keep <= 0: the live one, the fallback, and one more so a torn write
+// during pruning still leaves a fallback.
+const DefaultKeep = 3
+
+// File format: header then payload.
+//
+//	magic   uint32  "BYSN"
+//	version uint32
+//	length  uint64  payload bytes
+//	crc     uint32  CRC32C over the payload
+//	payload []byte  gob stream
+const (
+	fileMagic   = 0x4259534e // "BYSN"
+	fileVersion = 1
+	headerLen   = 4 + 4 + 8 + 4
+)
+
+// castagnoli is the CRC32C table, shared with the wire framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store manages the generations inside one directory. Safe for concurrent
+// use; saves are serialized.
+type Store struct {
+	dir  string
+	keep int
+
+	mu      sync.Mutex
+	nextGen int64 // guarded by mu
+}
+
+// Open prepares dir (creating it if needed) and scans the existing
+// generations so fresh saves continue the sequence instead of colliding
+// with survivors of an earlier incarnation.
+func Open(dir string, keep int) (*Store, error) {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, keep: keep, nextGen: 1}
+	gens, err := s.Generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		s.nextGen = gens[len(gens)-1] + 1
+	}
+	return s, nil
+}
+
+// Dir returns the directory the store manages.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file name a generation lives under (whether or not it
+// exists) — the torn-write tests corrupt snapshots through it.
+func (s *Store) Path(gen int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%016d%s", gen, Suffix))
+}
+
+// parseGen extracts the generation from a snapshot file name; ok=false for
+// anything that is not a snapshot (tmp files, strays).
+func parseGen(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, Suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), Suffix)
+	gen, err := strconv.ParseInt(mid, 10, 64)
+	if err != nil || gen <= 0 {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Generations lists the snapshot generations present on disk, ascending.
+func (s *Store) Generations() ([]int64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", s.dir, err)
+	}
+	var gens []int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := parseGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save writes one snapshot atomically and returns its generation number:
+// encode, frame, write to a temp file, fsync, rename into place, fsync the
+// directory, prune generations beyond keep. A crash mid-save leaves at
+// worst a stray temp file the next Open ignores.
+func (s *Store) Save(v any) (int64, error) {
+	var payload bytes.Buffer
+	payload.Write(make([]byte, headerLen)) // header placeholder
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return 0, fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	frame := payload.Bytes()
+	body := frame[headerLen:]
+	binary.BigEndian.PutUint32(frame[0:4], fileMagic)
+	binary.BigEndian.PutUint32(frame[4:8], fileVersion)
+	binary.BigEndian.PutUint64(frame[8:16], uint64(len(body)))
+	binary.BigEndian.PutUint32(frame[16:20], crc32.Checksum(body, castagnoli))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.nextGen
+	tmp, err := os.CreateTemp(s.dir, ".snap-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("store: temp snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, s.Path(gen)); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	s.nextGen = gen + 1
+	s.pruneLocked()
+	return gen, nil
+}
+
+// pruneLocked removes the oldest generations beyond keep. Best effort: a
+// removal error leaves an extra file behind, never breaks the save.
+func (s *Store) pruneLocked() {
+	gens, err := s.Generations()
+	if err != nil {
+		return
+	}
+	for len(gens) > s.keep {
+		os.Remove(s.Path(gens[0]))
+		gens = gens[1:]
+	}
+}
+
+// syncDir fsyncs a directory so a rename survives power loss; on platforms
+// or filesystems that refuse, the rename alone still orders the publish.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Load decodes the newest intact snapshot into v and returns its
+// generation. Snapshots that fail the header, length or checksum check —
+// torn writes, truncation, bit rot — are skipped in favor of the next
+// older generation; ok=false (with nil error) means nothing durable
+// survived and the caller should bootstrap from peers. Only directory-scan
+// failures surface as errors.
+func (s *Store) Load(v any) (gen int64, ok bool, err error) {
+	gens, err := s.Generations()
+	if err != nil {
+		return 0, false, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		body, verr := verifyFile(s.Path(gens[i]))
+		if verr != nil {
+			continue // torn or corrupt: fall back one generation
+		}
+		if derr := gob.NewDecoder(bytes.NewReader(body)).Decode(v); derr != nil {
+			continue
+		}
+		return gens[i], true, nil
+	}
+	return 0, false, nil
+}
+
+// Verify checks one snapshot file end to end without decoding it; the
+// error says what is wrong (missing, short header, bad magic, truncated
+// payload, checksum mismatch). The torn-write sweep calls it directly.
+func Verify(path string) error {
+	_, err := verifyFile(path)
+	return err
+}
+
+// verifyFile reads and integrity-checks one snapshot, returning its
+// payload.
+func verifyFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("store: %s: short header (%d bytes)", path, len(data))
+	}
+	if m := binary.BigEndian.Uint32(data[0:4]); m != fileMagic {
+		return nil, fmt.Errorf("store: %s: bad magic %#x", path, m)
+	}
+	if ver := binary.BigEndian.Uint32(data[4:8]); ver != fileVersion {
+		return nil, fmt.Errorf("store: %s: unknown version %d", path, ver)
+	}
+	n := binary.BigEndian.Uint64(data[8:16])
+	if uint64(len(data)-headerLen) != n {
+		return nil, fmt.Errorf("store: %s: payload is %d bytes, header says %d (torn write)", path, len(data)-headerLen, n)
+	}
+	body := data[headerLen:]
+	want := binary.BigEndian.Uint32(data[16:20])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("store: %s: checksum %#x, want %#x (corrupt)", path, got, want)
+	}
+	return body, nil
+}
+
+// NewestPath returns the path of the newest snapshot in dir (by
+// generation), for harnesses that corrupt it before a restart. ok=false
+// when dir holds no snapshots.
+func NewestPath(dir string) (string, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	best := int64(-1)
+	name := ""
+	for _, e := range entries {
+		if gen, ok := parseGen(e.Name()); ok && gen > best {
+			best = gen
+			name = e.Name()
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	return filepath.Join(dir, name), true
+}

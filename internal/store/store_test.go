@@ -1,0 +1,214 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// payload is a representative nested value: interface-free (the caller
+// registers concrete types for interface fields; the store itself is
+// payload-blind).
+type payload struct {
+	Name  string
+	Seq   int64
+	Log   []string
+	Index map[string]int64
+}
+
+func sample(seq int64) payload {
+	return payload{
+		Name:  "replica-2",
+		Seq:   seq,
+		Log:   []string{"r0#1", "r1#4", "r2#2"},
+		Index: map[string]int64{"ctr": seq, "gset": seq * 2},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		gen, err := s.Save(sample(i))
+		if err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		if gen != i {
+			t.Fatalf("save %d: generation %d", i, gen)
+		}
+	}
+	var got payload
+	gen, ok, err := s.Load(&got)
+	if err != nil || !ok {
+		t.Fatalf("load: gen=%d ok=%v err=%v", gen, ok, err)
+	}
+	if gen != 5 || got.Seq != 5 || got.Index["gset"] != 10 {
+		t.Fatalf("loaded gen %d payload %+v, want generation 5", gen, got)
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 3 || gens[2] != 5 {
+		t.Fatalf("kept generations %v, want [3 4 5]", gens)
+	}
+}
+
+func TestOpenContinuesGenerationSequence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(sample(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(sample(2)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Open (process restart) must not reuse generation numbers.
+	s2, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := s2.Save(sample(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 {
+		t.Fatalf("post-restart save got generation %d, want 3", gen)
+	}
+}
+
+func TestLoadEmptyDirSignalsBootstrap(t *testing.T) {
+	s, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	gen, ok, err := s.Load(&got)
+	if err != nil {
+		t.Fatalf("load on empty dir errored: %v", err)
+	}
+	if ok || gen != 0 {
+		t.Fatalf("load on empty dir: gen=%d ok=%v, want clean bootstrap signal", gen, ok)
+	}
+}
+
+// TestTornWriteSweep is the satellite recovery sweep: the newest snapshot
+// is truncated at EVERY byte boundary (header, length field, mid-payload,
+// one short of complete) and separately bit-flipped at every byte. Load
+// must never panic, never return garbage, and always yield either the
+// prior generation or the clean bootstrap signal.
+func TestTornWriteSweep(t *testing.T) {
+	build := func(t *testing.T) (*Store, string) {
+		t.Helper()
+		s, err := Open(t.TempDir(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Save(sample(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Save(sample(2)); err != nil {
+			t.Fatal(err)
+		}
+		newest, ok := NewestPath(s.Dir())
+		if !ok {
+			t.Fatal("no newest snapshot")
+		}
+		return s, newest
+	}
+	assertFallback := func(t *testing.T, s *Store, what string) {
+		t.Helper()
+		var got payload
+		gen, ok, err := s.Load(&got)
+		if err != nil {
+			t.Fatalf("%s: load errored: %v", what, err)
+		}
+		if !ok || gen != 1 || got.Seq != 1 {
+			t.Fatalf("%s: load gave gen=%d ok=%v seq=%d, want prior generation 1", what, gen, ok, got.Seq)
+		}
+	}
+
+	probe, newest := build(t)
+	whole, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = probe
+
+	t.Run("truncate-every-boundary", func(t *testing.T) {
+		for cut := 0; cut < len(whole); cut++ {
+			s, newest := build(t)
+			if err := os.Truncate(newest, int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(newest); err == nil {
+				t.Fatalf("cut=%d: truncated snapshot verified clean", cut)
+			}
+			assertFallback(t, s, "cut="+string(rune('0'+cut%10)))
+		}
+	})
+
+	t.Run("flip-every-byte", func(t *testing.T) {
+		// Flipping a bit anywhere — magic, version, length, checksum, or
+		// payload — must be detected.
+		for off := 0; off < len(whole); off++ {
+			s, newest := build(t)
+			data := append([]byte(nil), whole...)
+			data[off] ^= 0x40
+			if err := os.WriteFile(newest, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(newest); err == nil {
+				t.Fatalf("flip at %d: corrupt snapshot verified clean", off)
+			}
+			assertFallback(t, s, "flip")
+		}
+	})
+
+	t.Run("all-generations-torn", func(t *testing.T) {
+		s, _ := build(t)
+		gens, err := s.Generations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gens {
+			if err := os.Truncate(s.Path(g), 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got payload
+		gen, ok, err := s.Load(&got)
+		if err != nil {
+			t.Fatalf("load with every generation torn errored: %v", err)
+		}
+		if ok || gen != 0 {
+			t.Fatalf("load with every generation torn: gen=%d ok=%v, want bootstrap signal", gen, ok)
+		}
+	})
+}
+
+func TestStrayFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	for _, stray := range []string{".snap-123.tmp", "snap-notanumber" + Suffix, "README"} {
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := s.Save(sample(1))
+	if err != nil || gen != 1 {
+		t.Fatalf("save among strays: gen=%d err=%v", gen, err)
+	}
+	var got payload
+	if _, ok, _ := s.Load(&got); !ok || got.Seq != 1 {
+		t.Fatalf("load among strays failed: ok=%v got=%+v", ok, got)
+	}
+}

@@ -64,6 +64,11 @@ const (
 	// cells + down set) to every node; senders park cross-cell traffic and
 	// re-evaluate their parked envelopes on each new view.
 	KindFaultView
+	// KindDurability asks a node how it came up: whether boot loaded a
+	// local snapshot, which generation, how many saves since, and how many
+	// peer state transfers it has accepted — the counters that let a test
+	// distinguish "recovered from disk" from "rescued by peers".
+	KindDurability
 
 	// Node → controller frames: RPC replies and the observation event
 	// stream. Events and the replies they order before share one
@@ -123,8 +128,30 @@ type Envelope struct {
 	Cells []int
 	Down  []bool
 
-	// Event stream payload.
+	// Durability payload (KindDurability reply).
+	Durab *Durability
+
+	// Event stream payload. Every event carries an absolute sequence
+	// number (cumulative per node, durable across restarts): EvSeq is the
+	// number of the LAST event in Events, so the first is
+	// EvSeq-len(Events)+1. AckEv rides every controller→node RPC request
+	// and names the highest event number the controller has applied from
+	// that node; the node retires its journal up to it and resends
+	// everything after it whenever the controller reconnects — an
+	// acknowledged-delivery stream, so a SIGKILL or a dropped connection
+	// between emission and application loses nothing.
 	Events []Event
+	EvSeq  int64
+	AckEv  int64
+}
+
+// Durability is one node's recovery scorecard (KindDurability reply).
+type Durability struct {
+	Loaded    bool  // boot restored a local snapshot
+	Gen       int64 // generation loaded at boot (0 = none)
+	Saves     int64 // snapshots persisted since boot
+	XfersIn   int64 // peer checkpoint state transfers accepted since boot
+	Committed int64 // committed prefix length right now
 }
 
 // Event is the wire form of one recorder-bound observation (livenet's

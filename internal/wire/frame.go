@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrame bounds one frame's body; a peer announcing more is corrupt (or
@@ -16,19 +19,37 @@ import (
 // Checkpoint images are the largest legitimate payload.
 const MaxFrame = 64 << 20
 
-// Conn frames one TCP connection: 4-byte big-endian length prefix, gob
-// body. Each frame is encoded with a fresh encoder — a gob stream is
-// stateful (type definitions are sent once per stream), and per-frame
-// encoding keeps frames self-contained so a reconnecting reader can join
-// at any frame boundary. Send is safe for concurrent use; Recv is a
-// single-reader method.
+// ErrCorrupt marks a frame whose checksum (or framing) failed verification:
+// the stream can no longer be trusted to be at a frame boundary, so the
+// receiver tears the connection down and the sender redials — corruption is
+// detected and repaired by retransmission, never handed to gob to
+// misdecode.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on the
+// platforms the repo targets), shared by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// headerLen frames each body with a 4-byte big-endian length and a 4-byte
+// CRC32C over the body.
+const headerLen = 8
+
+// Conn frames one TCP connection: 4-byte big-endian length prefix, 4-byte
+// CRC32C, gob body. Each frame is encoded with a fresh encoder — a gob
+// stream is stateful (type definitions are sent once per stream), and
+// per-frame encoding keeps frames self-contained so a reconnecting reader
+// can join at any frame boundary. Send is safe for concurrent use; Recv is
+// a single-reader method.
 type Conn struct {
 	c net.Conn
 	r *bufio.Reader
 
-	mu  sync.Mutex
-	w   *bufio.Writer // guarded by mu
-	buf bytes.Buffer  // guarded by mu
+	mu       sync.Mutex
+	w        *bufio.Writer // guarded by mu
+	buf      bytes.Buffer  // guarded by mu
+	reorder  []byte        // guarded by mu; frame held back by the injector
+	faults   *Faults       // guarded by mu; nil = no injection
+	writeTmo time.Duration // guarded by mu; 0 = no write deadline
 }
 
 // Wrap frames an established connection.
@@ -36,46 +57,125 @@ func Wrap(c net.Conn) *Conn {
 	return &Conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
 }
 
+// SetFaults attaches a seeded fault injector to the send path (nil
+// detaches). Peer links of a chaos deployment set it; controller links
+// never do.
+func (c *Conn) SetFaults(f *Faults) {
+	c.mu.Lock()
+	c.faults = f
+	c.mu.Unlock()
+}
+
+// SetWriteTimeout bounds every frame write; a peer that stops draining
+// (SIGSTOP, dead TCP window) surfaces an error instead of blocking the
+// sender forever once kernel buffers fill.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.writeTmo = d
+	c.mu.Unlock()
+}
+
 // Send writes one envelope as a frame and flushes it.
 func (c *Conn) Send(env *Envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.buf.Reset()
+	c.buf.Write(make([]byte, headerLen)) // header placeholder
 	if err := gob.NewEncoder(&c.buf).Encode(env); err != nil {
 		return fmt.Errorf("wire: encode %d: %w", env.Kind, err)
 	}
-	if c.buf.Len() > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", c.buf.Len())
+	frame := c.buf.Bytes()
+	body := frame[headerLen:]
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(c.buf.Len()))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return err
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+	if c.faults != nil {
+		return c.sendFaultyLocked(frame)
 	}
-	if _, err := c.w.Write(c.buf.Bytes()); err != nil {
+	return c.writeFrameLocked(frame)
+}
+
+// writeFrameLocked ships one serialized frame. Caller holds c.mu.
+func (c *Conn) writeFrameLocked(frame []byte) error {
+	if c.writeTmo > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.writeTmo))
+		defer c.c.SetWriteDeadline(time.Time{})
+	}
+	if _, err := c.w.Write(frame); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
+// sendFaultyLocked runs one serialized frame through the injector's seeded
+// decision: deliver, drop, duplicate, delay, reorder behind the next
+// frame, flip a bit (the receiver's checksum catches it), or truncate
+// mid-frame and reset the connection. Caller holds c.mu.
+func (c *Conn) sendFaultyLocked(frame []byte) error {
+	d := c.faults.decide(len(frame))
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	switch d.action {
+	case faultDrop:
+		return nil
+	case faultReorder:
+		// Hold this frame back; it ships after the next one (or is lost
+		// with the connection, which at-least-once delivery absorbs).
+		c.reorder = append([]byte(nil), frame...)
+		return nil
+	case faultFlip:
+		// Flip inside the body (never the length header): the receiver's
+		// checksum rejects the frame immediately instead of misframing the
+		// stream behind a corrupted length.
+		mut := append([]byte(nil), frame...)
+		mut[headerLen+d.offset%(len(mut)-headerLen)] ^= 1 << (d.offset % 8)
+		frame = mut
+	case faultTruncate:
+		cut := d.offset % len(frame)
+		c.writeFrameLocked(frame[:cut])
+		return c.c.Close() // mid-frame connection reset
+	}
+	if err := c.writeFrameLocked(frame); err != nil {
+		return err
+	}
+	if held := c.reorder; held != nil {
+		c.reorder = nil
+		if err := c.writeFrameLocked(held); err != nil {
+			return err
+		}
+	}
+	if d.action == faultDup {
+		return c.writeFrameLocked(frame)
+	}
+	return nil
+}
+
 // Recv reads one frame into env (zeroing it first — gob only writes the
-// fields present on the wire).
+// fields present on the wire). A checksum mismatch returns ErrCorrupt: the
+// caller must discard the connection, not the frame.
 func (c *Conn) Recv(env *Envelope) error {
-	var hdr [4]byte
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[0:4])
 	if n > MaxFrame {
-		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+		return fmt.Errorf("%w: announced body of %d bytes exceeds limit", ErrCorrupt, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(c.r, body); err != nil {
 		return err
 	}
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+	}
 	*env = Envelope{}
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(env); err != nil {
-		return fmt.Errorf("wire: decode frame: %w", err)
+		return fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
 	}
 	return nil
 }

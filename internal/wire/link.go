@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -20,12 +21,15 @@ import (
 type Link struct {
 	addr  string
 	hello Envelope
-	// connectBudget bounds one Send's total dial-and-retry time.
-	connectBudget time.Duration
 
-	mu     sync.Mutex
-	conn   *Conn // guarded by mu; nil when disconnected
-	closed bool  // guarded by mu
+	mu sync.Mutex
+	// connectBudget bounds one Send's total dial-and-retry time.
+	connectBudget time.Duration // guarded by mu
+	conn          *Conn         // guarded by mu; nil when disconnected
+	closed        bool          // guarded by mu
+	faults        *Faults       // guarded by mu; attached to each fresh conn
+	writeTmo      time.Duration // guarded by mu; propagated to each fresh conn
+	rng           *rand.Rand    // guarded by mu; nil = jitter-free backoff
 }
 
 // backoff bounds for re-dialing.
@@ -45,11 +49,58 @@ func NewLink(addr string, hello Envelope) *Link {
 	return &Link{addr: addr, hello: hello, connectBudget: DefaultConnectBudget}
 }
 
+// SetConnectBudget bounds one Send's total dial-and-retry time; chaos
+// deployments shorten it so a killed peer surfaces promptly.
+func (l *Link) SetConnectBudget(d time.Duration) {
+	l.mu.Lock()
+	if d > 0 {
+		l.connectBudget = d
+	}
+	l.mu.Unlock()
+}
+
+// SetFaults attaches a seeded fault injector to every connection the link
+// opens from now on (nil detaches).
+func (l *Link) SetFaults(f *Faults) {
+	l.mu.Lock()
+	l.faults = f
+	if l.conn != nil {
+		l.conn.SetFaults(f)
+	}
+	l.mu.Unlock()
+}
+
+// SetWriteTimeout bounds each frame write on the link's connections, so a
+// frozen peer surfaces an error instead of wedging the sender.
+func (l *Link) SetWriteTimeout(d time.Duration) {
+	l.mu.Lock()
+	l.writeTmo = d
+	if l.conn != nil {
+		l.conn.SetWriteTimeout(d)
+	}
+	l.mu.Unlock()
+}
+
+// SetDialJitter seeds the backoff jitter stream. Without it the doubling
+// backoff is deterministic and identical across peers, so every peer of a
+// restarted node re-dials in lockstep — a thundering herd at the exact
+// moment the node is busiest replaying its log. The seed is plumbed from
+// the owning node's seed, keeping schedules replayable.
+func (l *Link) SetDialJitter(seed int64) {
+	l.mu.Lock()
+	l.rng = rand.New(rand.NewSource(seed))
+	l.mu.Unlock()
+}
+
 // Dial connects to addr, retrying with exponential backoff within budget,
 // and opens the connection with the hello frame. It is the shared connect
 // path of Link and of the controller client (which keeps the raw Conn to
-// read the node's event stream).
+// read the node's event stream). A nil rng means jitter-free backoff.
 func Dial(addr string, hello Envelope, budget time.Duration) (*Conn, error) {
+	return dialJittered(addr, hello, budget, nil)
+}
+
+func dialJittered(addr string, hello Envelope, budget time.Duration, rng *rand.Rand) (*Conn, error) {
 	deadline := time.Now().Add(budget)
 	wait := dialBackoffMin
 	for {
@@ -64,7 +115,7 @@ func Dial(addr string, hello Envelope, budget time.Duration) (*Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("wire: cannot reach %s within %v: %w", addr, budget, lastErr)
 		}
-		time.Sleep(wait)
+		time.Sleep(jitter(rng, wait))
 		if wait *= 2; wait > dialBackoffMax {
 			wait = dialBackoffMax
 		}
@@ -98,10 +149,12 @@ func (l *Link) Send(env *Envelope) error {
 // connectLocked dials with backoff until the budget runs out. Caller holds
 // l.mu.
 func (l *Link) connectLocked() error {
-	conn, err := Dial(l.addr, l.hello, l.connectBudget)
+	conn, err := dialJittered(l.addr, l.hello, l.connectBudget, l.rng)
 	if err != nil {
 		return err
 	}
+	conn.SetFaults(l.faults)
+	conn.SetWriteTimeout(l.writeTmo)
 	l.conn = conn
 	return nil
 }
